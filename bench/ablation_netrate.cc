@@ -1,0 +1,66 @@
+// Ablation of the NetRate optimization budget (DESIGN.md "NetRate
+// optimization budget"): sweeps the EM iteration count from 1 to 100 on
+// LFR1 and LFR5. The default budget (4) is calibrated to the accuracy band
+// the paper reports for NetRate; the converged solver on clean
+// discrete-round cascades is substantially stronger — this bench makes the
+// calibration fully visible.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "graph/generators/lfr.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader(
+      "Ablation - NetRate EM Iteration Budget",
+      "NetRate best-threshold F-score vs. EM iterations on LFR (n=100, "
+      "n=300); beta=150, alpha=0.15, mu=0.3. TENDS shown for reference.");
+  const bool fast = benchlib::FastBenchMode();
+  std::vector<std::pair<std::string,
+                        std::vector<metrics::AlgorithmEvaluation>>> rows;
+  for (uint32_t n : {100u, 300u}) {
+    Rng rng(1000 + n);
+    auto truth = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(n, 4, 2), rng);
+    if (!truth.ok()) {
+      std::cerr << "LFR generation failed: " << truth.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    // TENDS reference row.
+    {
+      benchlib::ExperimentConfig config;
+      config.seed = 42 + n;
+      config.algorithms = {.tends = true,
+                           .netrate = false,
+                           .multree = false,
+                           .lift = false};
+      auto evaluations = benchlib::RunExperiment(*truth, config);
+      if (!evaluations.ok()) return EXIT_FAILURE;
+      rows.emplace_back(StrFormat("n=%u reference", n),
+                        std::move(evaluations).value());
+    }
+    for (uint32_t iterations : {1u, 2u, 4u, 10u, 30u, 100u}) {
+      if (fast && iterations > 10) continue;
+      benchlib::ExperimentConfig config;
+      config.seed = 42 + n;
+      config.algorithms = {.tends = false,
+                           .netrate = true,
+                           .multree = false,
+                           .lift = false};
+      config.netrate_options.max_iterations = iterations;
+      auto evaluations = benchlib::RunExperiment(*truth, config);
+      if (!evaluations.ok()) {
+        std::cerr << "experiment failed: " << evaluations.status() << "\n";
+        return EXIT_FAILURE;
+      }
+      rows.emplace_back(StrFormat("n=%u em_iters=%u", n, iterations),
+                        std::move(evaluations).value());
+    }
+  }
+  benchlib::MakeFigureTable(rows).PrintText(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,66 @@
+// Extension bench: MulTree (all propagation trees) vs. its predecessor
+// NetInf (single most probable tree) — the accuracy/efficiency trade-off
+// the paper describes in Section II-A — across the LFR1-5 sizes.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "diffusion/propagation.h"
+#include "graph/generators/lfr.h"
+#include "inference/multree.h"
+#include "inference/netinf.h"
+#include "metrics/fscore.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader(
+      "Ablation - All-Trees (MulTree) vs Best-Tree (NetInf) Objective",
+      "LFR1-5, kappa=4, T=2, beta=150, alpha=0.15, mu=0.3; both receive the "
+      "true edge count");
+  Table table({"setting", "algorithm", "f_score", "time_s", "edges"});
+  for (uint32_t n : {100u, 150u, 200u, 250u, 300u}) {
+    Rng graph_rng(1000 + n);
+    auto truth_or = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(n, 4, 2), graph_rng);
+    if (!truth_or.ok()) {
+      std::cerr << "LFR generation failed: " << truth_or.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    const graph::DirectedGraph& truth = *truth_or;
+    Rng rng(42 + n);
+    auto probabilities =
+        diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, rng);
+    diffusion::SimulationConfig sim_config;
+    auto observations = diffusion::Simulate(truth, probabilities, sim_config,
+                                            rng);
+    if (!observations.ok()) return EXIT_FAILURE;
+
+    inference::MulTree multree({.num_edges = truth.num_edges()});
+    inference::NetInf netinf({.num_edges = truth.num_edges()});
+    for (inference::NetworkInference* algorithm :
+         std::initializer_list<inference::NetworkInference*>{&multree,
+                                                             &netinf}) {
+      Timer timer;
+      auto inferred = algorithm->Infer(*observations);
+      double seconds = timer.ElapsedSeconds();
+      if (!inferred.ok()) {
+        std::cerr << algorithm->name() << " failed: " << inferred.status()
+                  << "\n";
+        return EXIT_FAILURE;
+      }
+      metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+      table.AddRow()
+          .Add(StrFormat("n=%u", n))
+          .Add(std::string(algorithm->name()))
+          .AddDouble(metrics.f_score)
+          .AddDouble(seconds)
+          .AddInt(static_cast<int64_t>(inferred->num_edges()));
+    }
+  }
+  table.PrintText(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,16 @@
+// Reproduces Fig. 10: effect of the infection-MI-based pruning method on
+// NetSci. TENDS is run with the pruning threshold scaled from 0.4*tau to
+// 2.0*tau, plus a variant using traditional MI instead of infection MI
+// (the paper's second ablation in the same figure).
+
+#include <cstdlib>
+
+#include "benchlib/pruning_sweep.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunPruningSweepBench(
+      "Fig. 10 - Effect of Infection MI-based Pruning on NetSci",
+      graph::MakeNetSciSurrogate());
+}

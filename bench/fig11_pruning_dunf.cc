@@ -1,0 +1,15 @@
+// Reproduces Fig. 11: effect of the infection-MI-based pruning method on
+// DUNF (threshold sweep 0.4*tau .. 2.0*tau plus the traditional-MI
+// variant).
+
+#include <cstdlib>
+
+#include "benchlib/pruning_sweep.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunPruningSweepBench(
+      "Fig. 11 - Effect of Infection MI-based Pruning on DUNF",
+      graph::MakeDunfSurrogate());
+}

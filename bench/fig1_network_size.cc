@@ -1,0 +1,45 @@
+// Reproduces Fig. 1: effect of diffusion network size on accuracy (F-score)
+// and running time. Workload: LFR1-5 (n = 100..300, kappa = 4, T = 2),
+// beta = 150, alpha = 0.15, mu = 0.3; algorithms: TENDS, NetRate, MulTree,
+// LIFT.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "graph/generators/lfr.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader("Fig. 1 - Effect of Diffusion Network Size",
+                             "LFR1-5, n in {100,150,200,250,300}, kappa=4, "
+                             "T=2, beta=150, alpha=0.15, mu=0.3");
+  const bool fast = benchlib::FastBenchMode();
+  std::vector<std::pair<std::string,
+                        std::vector<metrics::AlgorithmEvaluation>>> rows;
+  int lfr_id = 1;
+  for (uint32_t n : {100u, 150u, 200u, 250u, 300u}) {
+    Rng graph_rng(1000 + n);
+    auto truth_or = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(n, /*kappa=*/4.0, /*t=*/2.0),
+        graph_rng);
+    if (!truth_or.ok()) {
+      std::cerr << "LFR generation failed: " << truth_or.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    benchlib::ExperimentConfig config;
+    config.seed = 42 + n;
+    config.repetitions = fast ? 1 : 3;
+    auto evaluations = benchlib::RunExperiment(*truth_or, config);
+    if (!evaluations.ok()) {
+      std::cerr << "experiment failed: " << evaluations.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    rows.emplace_back(StrFormat("LFR%d n=%u", lfr_id++, n),
+                      std::move(evaluations).value());
+  }
+  benchlib::MakeFigureTable(rows).PrintText(std::cout);
+  return EXIT_SUCCESS;
+}

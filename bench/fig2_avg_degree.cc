@@ -1,0 +1,42 @@
+// Reproduces Fig. 2: effect of the average node degree. Workload: LFR6-10
+// (n = 200, kappa = 2..6, T = 2), beta = 150, alpha = 0.15, mu = 0.3.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "graph/generators/lfr.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader("Fig. 2 - Effect of Average Node Degree",
+                             "LFR6-10, n=200, kappa in {2..6}, T=2, beta=150, "
+                             "alpha=0.15, mu=0.3");
+  const bool fast = benchlib::FastBenchMode();
+  std::vector<std::pair<std::string,
+                        std::vector<metrics::AlgorithmEvaluation>>> rows;
+  int lfr_id = 6;
+  for (double kappa : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    Rng graph_rng(2000 + static_cast<uint64_t>(kappa * 10));
+    auto truth_or = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(200, kappa, 2.0), graph_rng);
+    if (!truth_or.ok()) {
+      std::cerr << "LFR generation failed: " << truth_or.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    benchlib::ExperimentConfig config;
+    config.seed = 52 + static_cast<uint64_t>(kappa * 10);
+    config.repetitions = fast ? 1 : 3;
+    auto evaluations = benchlib::RunExperiment(*truth_or, config);
+    if (!evaluations.ok()) {
+      std::cerr << "experiment failed: " << evaluations.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    rows.emplace_back(StrFormat("LFR%d k=%.0f", lfr_id++, kappa),
+                      std::move(evaluations).value());
+  }
+  benchlib::MakeFigureTable(rows).PrintText(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 4 - Effect of Initial Infection Ratio on NetSci (beta=150, alpha=0.15, mu=0.3 unless swept).
+// See DESIGN.md for the dataset surrogate substitution.
+
+#include "benchlib/experiment.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunDatasetSweepBench(
+      "Fig. 4 - Effect of Initial Infection Ratio on NetSci",
+      "4 algorithms, sweep over the listed values, other parameters per "
+      "Section V-A",
+      graph::MakeNetSciSurrogate(), benchlib::SweepParameter::kAlpha,
+      {0.05, 0.10, 0.15, 0.20, 0.25}, /*repetitions=*/2);
+}

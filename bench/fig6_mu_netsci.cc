@@ -1,0 +1,15 @@
+// Reproduces Fig. 6 - Effect of Propagation Probability on NetSci (beta=150, alpha=0.15, mu=0.3 unless swept).
+// See DESIGN.md for the dataset surrogate substitution.
+
+#include "benchlib/experiment.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunDatasetSweepBench(
+      "Fig. 6 - Effect of Propagation Probability on NetSci",
+      "4 algorithms, sweep over the listed values, other parameters per "
+      "Section V-A",
+      graph::MakeNetSciSurrogate(), benchlib::SweepParameter::kMu,
+      {0.20, 0.25, 0.30, 0.35, 0.40}, /*repetitions=*/2);
+}

@@ -1,0 +1,15 @@
+// Reproduces Fig. 7 - Effect of Propagation Probability on DUNF (beta=150, alpha=0.15, mu=0.3 unless swept).
+// See DESIGN.md for the dataset surrogate substitution.
+
+#include "benchlib/experiment.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunDatasetSweepBench(
+      "Fig. 7 - Effect of Propagation Probability on DUNF",
+      "4 algorithms, sweep over the listed values, other parameters per "
+      "Section V-A",
+      graph::MakeDunfSurrogate(), benchlib::SweepParameter::kMu,
+      {0.20, 0.25, 0.30, 0.35, 0.40}, /*repetitions=*/1);
+}

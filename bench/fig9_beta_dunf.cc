@@ -1,0 +1,15 @@
+// Reproduces Fig. 9 - Effect of Number of Diffusion Processes on DUNF (beta=150, alpha=0.15, mu=0.3 unless swept).
+// See DESIGN.md for the dataset surrogate substitution.
+
+#include "benchlib/experiment.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace tends;
+  return benchlib::RunDatasetSweepBench(
+      "Fig. 9 - Effect of Number of Diffusion Processes on DUNF",
+      "4 algorithms, sweep over the listed values, other parameters per "
+      "Section V-A",
+      graph::MakeDunfSurrogate(), benchlib::SweepParameter::kBeta,
+      {50, 100, 150, 200, 250}, /*repetitions=*/1);
+}

@@ -1,0 +1,137 @@
+// Google-benchmark micro-benchmarks of the library's hot primitives:
+// pairwise IMI matrix construction, joint counting / local scoring, the
+// K-means threshold, IC simulation throughput and the per-node parent
+// search. These back the complexity claims of Section IV-D.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/lfr.h"
+#include "inference/counting.h"
+#include "inference/imi.h"
+#include "inference/kmeans_threshold.h"
+#include "inference/local_score.h"
+#include "inference/parent_search.h"
+#include "inference/tends.h"
+
+namespace {
+
+using namespace tends;
+
+diffusion::StatusMatrix RandomStatuses(uint32_t beta, uint32_t n,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  diffusion::StatusMatrix statuses(beta, n);
+  for (uint32_t p = 0; p < beta; ++p) {
+    for (uint32_t v = 0; v < n; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.4));
+    }
+  }
+  return statuses;
+}
+
+// O(beta * n^2 / 64): the dominant term of TENDS's pruning stage.
+void BM_ImiMatrix(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto statuses = RandomStatuses(150, n, 1);
+  for (auto _ : state) {
+    inference::ImiMatrix imi(statuses, false);
+    benchmark::DoNotOptimize(imi.Get(0, 1));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ImiMatrix)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+// O(beta * |F|): one sufficient-statistics pass.
+void BM_CountJoint(benchmark::State& state) {
+  const uint32_t parents = static_cast<uint32_t>(state.range(0));
+  auto statuses = RandomStatuses(150, 32, 2);
+  std::vector<graph::NodeId> parent_ids;
+  for (uint32_t b = 0; b < parents; ++b) parent_ids.push_back(b + 1);
+  for (auto _ : state) {
+    auto counts = inference::CountJoint(statuses, 0, parent_ids);
+    benchmark::DoNotOptimize(counts.num_unobserved);
+  }
+}
+BENCHMARK(BM_CountJoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(15);
+
+void BM_LocalScore(benchmark::State& state) {
+  auto statuses = RandomStatuses(150, 16, 3);
+  auto counts = inference::CountJoint(statuses, 0, {1, 2, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inference::LocalScore(counts));
+  }
+}
+BENCHMARK(BM_LocalScore);
+
+void BM_KmeansThreshold(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) {
+    v = rng.NextBernoulli(0.05) ? rng.NextDouble(0.3, 1.0)
+                                : rng.NextDouble(0.0, 0.02);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inference::FindImiThreshold(values).tau);
+  }
+}
+BENCHMARK(BM_KmeansThreshold)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IcSimulation(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng graph_rng(5);
+  auto truth = graph::GenerateLfr(
+                   graph::LfrOptions::FromPaperParams(n, 4, 2), graph_rng)
+                   .value();
+  Rng rng(6);
+  auto probs = diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, rng);
+  diffusion::SimulationConfig config;
+  config.num_processes = 150;
+  uint64_t batch = 0;
+  for (auto _ : state) {
+    Rng sim_rng(7 + batch++);
+    auto observations = diffusion::Simulate(truth, probs, config, sim_rng);
+    benchmark::DoNotOptimize(observations->statuses.Get(0, 0));
+  }
+  state.counters["processes_per_s"] = benchmark::Counter(
+      150.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IcSimulation)->Arg(100)->Arg(300);
+
+void BM_ParentSearch(benchmark::State& state) {
+  const uint32_t candidates = static_cast<uint32_t>(state.range(0));
+  auto statuses = RandomStatuses(150, 24, 8);
+  std::vector<graph::NodeId> candidate_ids;
+  for (uint32_t b = 0; b < candidates; ++b) candidate_ids.push_back(b + 1);
+  inference::ParentSearchOptions options;
+  for (auto _ : state) {
+    auto result = inference::FindParents(statuses, 0, candidate_ids, options);
+    benchmark::DoNotOptimize(result.score);
+  }
+}
+BENCHMARK(BM_ParentSearch)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_TendsEndToEnd(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng graph_rng(9);
+  auto truth = graph::GenerateLfr(
+                   graph::LfrOptions::FromPaperParams(n, 4, 2), graph_rng)
+                   .value();
+  Rng rng(10);
+  auto probs = diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, rng);
+  diffusion::SimulationConfig config;
+  auto observations = diffusion::Simulate(truth, probs, config, rng).value();
+  for (auto _ : state) {
+    inference::Tends tends;
+    auto inferred = tends.InferFromStatuses(observations.statuses);
+    benchmark::DoNotOptimize(inferred->num_edges());
+  }
+}
+BENCHMARK(BM_TendsEndToEnd)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Reproduces Table II: properties of the LFR benchmark graphs LFR1-15.
+// For each configuration (n, kappa, T) the generator is run and the
+// realized node/edge counts and degree statistics are reported.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "common/table.h"
+#include "graph/generators/lfr.h"
+#include "graph/stats.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader(
+      "Table II - LFR Benchmark Graphs",
+      "LFR1-5: n in {100..300}, k=4, T=2; LFR6-10: n=200, k in {2..6}, T=2; "
+      "LFR11-15: n=200, k=4, T in {1,1.5,2,2.5,3}");
+
+  struct Config {
+    int id;
+    uint32_t n;
+    double kappa;
+    double t;
+  };
+  std::vector<Config> configs;
+  int id = 1;
+  for (uint32_t n : {100u, 150u, 200u, 250u, 300u}) {
+    configs.push_back({id++, n, 4.0, 2.0});
+  }
+  for (double k : {2.0, 3.0, 4.0, 5.0, 6.0}) {
+    configs.push_back({id++, 200, k, 2.0});
+  }
+  for (double t : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+    configs.push_back({id++, 200, 4.0, t});
+  }
+
+  Table table({"graph", "n", "kappa", "T", "edges_m", "avg_degree",
+               "degree_mean", "degree_sd", "degree_max", "wcc"});
+  for (const Config& config : configs) {
+    Rng rng(7000 + config.id);
+    auto graph = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(config.n, config.kappa, config.t),
+        rng);
+    if (!graph.ok()) {
+      std::cerr << "LFR" << config.id << " failed: " << graph.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    graph::GraphStats stats = graph::ComputeStats(*graph);
+    table.AddRow()
+        .Add(StrFormat("LFR%d", config.id))
+        .AddInt(config.n)
+        .AddDouble(config.kappa, 1)
+        .AddDouble(config.t, 1)
+        .AddInt(static_cast<int64_t>(stats.num_edges))
+        .AddDouble(stats.average_degree, 2)
+        .AddDouble(stats.mean_total_degree, 2)
+        .AddDouble(stats.stddev_total_degree, 2)
+        .AddInt(stats.max_total_degree)
+        .AddInt(stats.num_weak_components);
+  }
+  table.PrintText(std::cout);
+  return EXIT_SUCCESS;
+}

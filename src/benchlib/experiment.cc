@@ -1,0 +1,186 @@
+#include "benchlib/experiment.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/random.h"
+#include "diffusion/propagation.h"
+
+namespace tends::benchlib {
+
+namespace {
+
+void Accumulate(metrics::AlgorithmEvaluation& total,
+                const metrics::AlgorithmEvaluation& sample) {
+  total.algorithm = sample.algorithm;
+  total.metrics.precision += sample.metrics.precision;
+  total.metrics.recall += sample.metrics.recall;
+  total.metrics.f_score += sample.metrics.f_score;
+  total.metrics.true_positives += sample.metrics.true_positives;
+  total.metrics.false_positives += sample.metrics.false_positives;
+  total.metrics.false_negatives += sample.metrics.false_negatives;
+  total.seconds += sample.seconds;
+  total.inferred_edges += sample.inferred_edges;
+}
+
+void Average(metrics::AlgorithmEvaluation& total, uint32_t reps) {
+  total.metrics.precision /= reps;
+  total.metrics.recall /= reps;
+  total.metrics.f_score /= reps;
+  total.metrics.true_positives /= reps;
+  total.metrics.false_positives /= reps;
+  total.metrics.false_negatives /= reps;
+  total.seconds /= reps;
+  total.inferred_edges /= reps;
+}
+
+}  // namespace
+
+StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
+    const graph::DirectedGraph& truth, const ExperimentConfig& config) {
+  if (config.repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be > 0");
+  }
+  std::vector<metrics::AlgorithmEvaluation> totals;
+  for (uint32_t rep = 0; rep < config.repetitions; ++rep) {
+    Rng rng(config.seed + 0x9E37ULL * rep);
+    diffusion::EdgeProbabilities probabilities =
+        diffusion::EdgeProbabilities::Gaussian(truth, config.mu,
+                                               config.prob_stddev, rng);
+    diffusion::SimulationConfig sim_config;
+    sim_config.num_processes = config.beta;
+    sim_config.initial_infection_ratio = config.alpha;
+    sim_config.model = config.model;
+    TENDS_ASSIGN_OR_RETURN(
+        diffusion::DiffusionObservations observations,
+        diffusion::Simulate(truth, probabilities, sim_config, rng));
+
+    std::vector<metrics::AlgorithmEvaluation> evaluations;
+    if (config.algorithms.tends) {
+      inference::Tends tends(config.tends_options);
+      TENDS_ASSIGN_OR_RETURN(
+          metrics::AlgorithmEvaluation evaluation,
+          metrics::RunAndEvaluate(tends, observations, truth));
+      evaluations.push_back(evaluation);
+    }
+    if (config.algorithms.netrate) {
+      inference::NetRate netrate(config.netrate_options);
+      TENDS_ASSIGN_OR_RETURN(
+          metrics::AlgorithmEvaluation evaluation,
+          metrics::RunAndEvaluate(netrate, observations, truth,
+                                  /*sweep_threshold=*/true));
+      evaluations.push_back(evaluation);
+    }
+    if (config.algorithms.multree) {
+      inference::MulTreeOptions options;
+      options.num_edges = truth.num_edges();
+      inference::MulTree multree(options);
+      TENDS_ASSIGN_OR_RETURN(
+          metrics::AlgorithmEvaluation evaluation,
+          metrics::RunAndEvaluate(multree, observations, truth));
+      evaluations.push_back(evaluation);
+    }
+    if (config.algorithms.lift) {
+      inference::LiftOptions options;
+      options.num_edges = truth.num_edges();
+      inference::Lift lift(options);
+      TENDS_ASSIGN_OR_RETURN(
+          metrics::AlgorithmEvaluation evaluation,
+          metrics::RunAndEvaluate(lift, observations, truth));
+      evaluations.push_back(evaluation);
+    }
+
+    if (rep == 0) {
+      totals = std::move(evaluations);
+    } else {
+      for (size_t a = 0; a < totals.size(); ++a) {
+        Accumulate(totals[a], evaluations[a]);
+      }
+    }
+  }
+  if (config.repetitions > 1) {
+    for (auto& total : totals) Average(total, config.repetitions);
+  }
+  return totals;
+}
+
+Table MakeFigureTable(
+    const std::vector<std::pair<std::string,
+                                std::vector<metrics::AlgorithmEvaluation>>>&
+        rows) {
+  Table table({"setting", "algorithm", "f_score", "precision", "recall",
+               "time_s", "edges"});
+  for (const auto& [setting, evaluations] : rows) {
+    for (const auto& evaluation : evaluations) {
+      table.AddRow()
+          .Add(setting)
+          .Add(evaluation.algorithm)
+          .AddDouble(evaluation.metrics.f_score)
+          .AddDouble(evaluation.metrics.precision)
+          .AddDouble(evaluation.metrics.recall)
+          .AddDouble(evaluation.seconds)
+          .AddInt(static_cast<int64_t>(evaluation.inferred_edges));
+    }
+  }
+  return table;
+}
+
+bool FastBenchMode() {
+  const char* value = std::getenv("TENDS_BENCH_FAST");
+  return value != nullptr && value[0] != '\0';
+}
+
+int RunDatasetSweepBench(const std::string& title, const std::string& reference,
+                         const StatusOr<graph::DirectedGraph>& truth_or,
+                         SweepParameter parameter,
+                         const std::vector<double>& values,
+                         uint32_t repetitions) {
+  PrintBenchHeader(title, reference);
+  if (!truth_or.ok()) {
+    std::cerr << "dataset construction failed: " << truth_or.status() << "\n";
+    return 1;
+  }
+  const graph::DirectedGraph& truth = *truth_or;
+  const bool fast = FastBenchMode();
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  for (double value : values) {
+    ExperimentConfig config;
+    config.repetitions = fast ? 1 : repetitions;
+    std::string label;
+    switch (parameter) {
+      case SweepParameter::kAlpha:
+        config.alpha = value;
+        config.seed = 42 + static_cast<uint64_t>(value * 1000);
+        label = "alpha=" + std::to_string(value).substr(0, 4);
+        break;
+      case SweepParameter::kMu:
+        config.mu = value;
+        config.seed = 142 + static_cast<uint64_t>(value * 1000);
+        label = "mu=" + std::to_string(value).substr(0, 4);
+        break;
+      case SweepParameter::kBeta:
+        config.beta = static_cast<uint32_t>(value);
+        config.seed = 242 + static_cast<uint64_t>(value);
+        label = "beta=" + std::to_string(static_cast<int>(value));
+        break;
+    }
+    auto evaluations = RunExperiment(truth, config);
+    if (!evaluations.ok()) {
+      std::cerr << "experiment failed: " << evaluations.status() << "\n";
+      return 1;
+    }
+    rows.emplace_back(label, std::move(evaluations).value());
+  }
+  MakeFigureTable(rows).PrintText(std::cout);
+  return 0;
+}
+
+void PrintBenchHeader(const std::string& title, const std::string& reference) {
+  std::cout << "==== " << title << " ====\n"
+            << "Reproduces: " << reference << "\n"
+            << "(Statistical Estimation of Diffusion Network Topologies, "
+               "ICDE 2020)\n\n";
+}
+
+}  // namespace tends::benchlib

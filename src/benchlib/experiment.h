@@ -1,0 +1,87 @@
+#ifndef TENDS_BENCHLIB_EXPERIMENT_H_
+#define TENDS_BENCHLIB_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/table.h"
+#include "diffusion/simulator.h"
+#include "graph/graph.h"
+#include "inference/lift.h"
+#include "inference/multree.h"
+#include "inference/netrate.h"
+#include "inference/tends.h"
+#include "metrics/evaluation.h"
+
+namespace tends::benchlib {
+
+/// Which of the four paper algorithms an experiment runs.
+struct AlgorithmSelection {
+  bool tends = true;
+  bool netrate = true;
+  bool multree = true;
+  bool lift = true;
+};
+
+/// Full configuration of one experimental setting, mirroring §V-A:
+/// beta diffusion processes, alpha * n random sources each, edge
+/// probabilities ~ N(mu, stddev^2).
+struct ExperimentConfig {
+  uint64_t seed = 42;
+  uint32_t beta = 150;
+  double alpha = 0.15;
+  double mu = 0.3;
+  double prob_stddev = 0.05;
+  diffusion::DiffusionModel model =
+      diffusion::DiffusionModel::kIndependentCascade;
+  /// Independent repetitions (distinct seeds); metrics and times are
+  /// averaged.
+  uint32_t repetitions = 1;
+  AlgorithmSelection algorithms;
+  inference::TendsOptions tends_options;
+  inference::NetRateOptions netrate_options;
+};
+
+/// Simulates the configured diffusion processes on `truth` and runs the
+/// selected algorithms (MulTree and LIFT receive the true edge count m;
+/// NetRate is scored with the best-threshold sweep, per the paper). Returns
+/// one averaged evaluation per selected algorithm, in fixed order
+/// (TENDS, NetRate, MulTree, LIFT).
+StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
+    const graph::DirectedGraph& truth, const ExperimentConfig& config);
+
+/// Builds the standard figure table (columns: setting, algorithm, F-score,
+/// precision, recall, time in seconds). `rows` pairs a setting label with
+/// the evaluations returned by RunExperiment.
+Table MakeFigureTable(
+    const std::vector<std::pair<std::string,
+                                std::vector<metrics::AlgorithmEvaluation>>>&
+        rows);
+
+/// True when the TENDS_BENCH_FAST environment variable is set (non-empty):
+/// benches then shrink repetitions / iteration counts for smoke runs.
+bool FastBenchMode();
+
+/// Prints a bench header with the paper reference.
+void PrintBenchHeader(const std::string& title, const std::string& reference);
+
+/// The workload parameter a dataset bench sweeps (Figs. 4-9).
+enum class SweepParameter {
+  kAlpha,  // initial infection ratio
+  kMu,     // mean propagation probability
+  kBeta,   // number of diffusion processes
+};
+
+/// Runs the standard real-world-network sweep bench (Figs. 4-9): for each
+/// value of the swept parameter, runs the four algorithms on `truth` and
+/// prints the figure table. Returns a process exit code.
+int RunDatasetSweepBench(const std::string& title, const std::string& reference,
+                         const StatusOr<graph::DirectedGraph>& truth_or,
+                         SweepParameter parameter,
+                         const std::vector<double>& values,
+                         uint32_t repetitions);
+
+}  // namespace tends::benchlib
+
+#endif  // TENDS_BENCHLIB_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "benchlib/pruning_sweep.h"
+
+#include <iostream>
+
+#include "benchlib/experiment.h"
+#include "common/stringutil.h"
+
+namespace tends::benchlib {
+
+int RunPruningSweepBench(const std::string& title,
+                         const StatusOr<graph::DirectedGraph>& truth_or) {
+  PrintBenchHeader(title,
+                   "TENDS with pruning threshold in {0.4..2.0}*tau plus a "
+                   "traditional-MI variant; beta=150, alpha=0.15, mu=0.3");
+  if (!truth_or.ok()) {
+    std::cerr << "dataset construction failed: " << truth_or.status() << "\n";
+    return 1;
+  }
+  const graph::DirectedGraph& truth = *truth_or;
+  const bool fast = FastBenchMode();
+
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  auto run = [&](const std::string& label,
+                 const inference::TendsOptions& options) -> Status {
+    ExperimentConfig config;
+    config.repetitions = fast ? 1 : 2;
+    config.algorithms = {.tends = true,
+                         .netrate = false,
+                         .multree = false,
+                         .lift = false};
+    config.tends_options = options;
+    TENDS_ASSIGN_OR_RETURN(std::vector<metrics::AlgorithmEvaluation> result,
+                           RunExperiment(truth, config));
+    rows.emplace_back(label, std::move(result));
+    return Status::OK();
+  };
+
+  for (double multiplier : {0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0}) {
+    inference::TendsOptions options;
+    options.tau_multiplier = multiplier;
+    Status status = run(StrFormat("%.1f*tau (IMI)", multiplier), options);
+    if (!status.ok()) {
+      std::cerr << "experiment failed: " << status << "\n";
+      return 1;
+    }
+  }
+  // Traditional-MI ablation at the auto threshold.
+  inference::TendsOptions traditional;
+  traditional.use_traditional_mi = true;
+  Status status = run("1.0*tau (traditional MI)", traditional);
+  if (!status.ok()) {
+    std::cerr << "experiment failed: " << status << "\n";
+    return 1;
+  }
+  MakeFigureTable(rows).PrintText(std::cout);
+  return 0;
+}
+
+}  // namespace tends::benchlib

@@ -1,0 +1,20 @@
+#ifndef TENDS_BENCHLIB_PRUNING_SWEEP_H_
+#define TENDS_BENCHLIB_PRUNING_SWEEP_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::benchlib {
+
+/// The Figs. 10-11 harness: runs TENDS on `truth` with the pruning
+/// threshold scaled by {0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.0} and once with
+/// traditional MI replacing infection MI, printing F-score / precision /
+/// recall / time per setting. Returns a process exit code.
+int RunPruningSweepBench(const std::string& title,
+                         const StatusOr<graph::DirectedGraph>& truth_or);
+
+}  // namespace tends::benchlib
+
+#endif  // TENDS_BENCHLIB_PRUNING_SWEEP_H_

@@ -1,0 +1,128 @@
+#include "common/flags.h"
+
+#include "common/stringutil.h"
+
+namespace tends {
+
+FlagParser::FlagParser(std::string program_description)
+    : program_description_(std::move(program_description)) {}
+
+void FlagParser::AddString(const std::string& name, std::string* destination,
+                           const std::string& description) {
+  flags_[name] = {Type::kString, destination, description, *destination};
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* destination,
+                          const std::string& description) {
+  flags_[name] = {Type::kInt64, destination, description,
+                  StrFormat("%lld", static_cast<long long>(*destination))};
+}
+
+void FlagParser::AddUint32(const std::string& name, uint32_t* destination,
+                           const std::string& description) {
+  flags_[name] = {Type::kUint32, destination, description,
+                  StrFormat("%u", *destination)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* destination,
+                           const std::string& description) {
+  flags_[name] = {Type::kDouble, destination, description,
+                  StrFormat("%g", *destination)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* destination,
+                         const std::string& description) {
+  flags_[name] = {Type::kBool, destination, description,
+                  *destination ? "true" : "false"};
+}
+
+Status FlagParser::SetValue(const std::string& name, Flag& flag,
+                            const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.destination) = value;
+      return Status::OK();
+    case Type::kInt64: {
+      TENDS_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(value));
+      *static_cast<int64_t*>(flag.destination) = parsed;
+      return Status::OK();
+    }
+    case Type::kUint32: {
+      TENDS_ASSIGN_OR_RETURN(uint32_t parsed, ParseUint32(value));
+      *static_cast<uint32_t*>(flag.destination) = parsed;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      TENDS_ASSIGN_OR_RETURN(double parsed, ParseDouble(value));
+      *static_cast<double*>(flag.destination) = parsed;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.destination) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.destination) = false;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("--%s expects true/false, got '%s'", name.c_str(),
+                      value.c_str()));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  if (argc > 0) program_name_ = argv[0];
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (arg == "--help") return Status::NotFound(Usage());
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" + Usage());
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";  // "--flag" means true
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+    }
+    TENDS_RETURN_IF_ERROR(SetValue(name, it->second, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string usage = program_description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    usage += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                       flag.description.c_str(), flag.default_value.c_str());
+  }
+  return usage;
+}
+
+}  // namespace tends

@@ -1,0 +1,66 @@
+#ifndef TENDS_COMMON_FLAGS_H_
+#define TENDS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace tends {
+
+/// Minimal command-line flag parser for the CLI tools and examples.
+///
+/// Flags are registered with a name, a description and a pointer to their
+/// destination; Parse consumes "--name=value" and "--name value" forms
+/// (plus "--bool_flag" as true) and leaves positional arguments available
+/// via positional(). Unknown flags are errors.
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  /// Registration. Destinations must outlive Parse. The current value of
+  /// the destination is the default shown in usage.
+  void AddString(const std::string& name, std::string* destination,
+                 const std::string& description);
+  void AddInt64(const std::string& name, int64_t* destination,
+                const std::string& description);
+  void AddUint32(const std::string& name, uint32_t* destination,
+                 const std::string& description);
+  void AddDouble(const std::string& name, double* destination,
+                 const std::string& description);
+  void AddBool(const std::string& name, bool* destination,
+               const std::string& description);
+
+  /// Parses argv. On success, positional() holds the non-flag arguments in
+  /// order. "--" ends flag parsing. "--help" yields a NotFound status whose
+  /// message is the usage text (callers print it and exit 0).
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all registered flags with defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt64, kUint32, kDouble, kBool };
+  struct Flag {
+    Type type;
+    void* destination;
+    std::string description;
+    std::string default_value;
+  };
+
+  Status SetValue(const std::string& name, Flag& flag,
+                  const std::string& value);
+
+  std::string program_description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_FLAGS_H_

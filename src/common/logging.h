@@ -1,0 +1,68 @@
+#ifndef TENDS_COMMON_LOGGING_H_
+#define TENDS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tends {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink. Emits on destruction; kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it (used for disabled levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define TENDS_LOG(level)                                                  \
+  if (::tends::LogLevel::k##level < ::tends::GetLogLevel()) {             \
+  } else                                                                  \
+    ::tends::internal_logging::LogMessage(::tends::LogLevel::k##level,    \
+                                          __FILE__, __LINE__)             \
+        .stream()
+
+/// Fatal assertion; active in all build modes (unlike assert()).
+#define TENDS_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::tends::internal_logging::LogMessage(::tends::LogLevel::kFatal,      \
+                                          __FILE__, __LINE__)             \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_LOGGING_H_

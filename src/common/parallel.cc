@@ -1,0 +1,85 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tends {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  num_threads = std::max(1u, num_threads);
+  workers_.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(uint32_t num_threads, uint32_t begin, uint32_t end,
+                 const std::function<void(uint32_t)>& fn) {
+  if (begin >= end) return;
+  if (num_threads <= 1 || end - begin == 1) {
+    for (uint32_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  num_threads = std::min(num_threads, end - begin);
+  std::atomic<uint32_t> cursor{begin};
+  auto worker = [&] {
+    while (true) {
+      uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (uint32_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace tends

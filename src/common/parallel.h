@@ -1,0 +1,57 @@
+#ifndef TENDS_COMMON_PARALLEL_H_
+#define TENDS_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tends {
+
+/// Fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks
+/// until every submitted task has finished. Exceptions must not escape
+/// tasks (the library is exception-free; a throwing task terminates).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  uint32_t active_tasks_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [begin, end), distributing indices across
+/// `num_threads` workers (dynamic chunking via an atomic cursor).
+/// num_threads <= 1 runs inline. fn must be safe to call concurrently for
+/// distinct indices; results must not depend on execution order.
+void ParallelFor(uint32_t num_threads, uint32_t begin, uint32_t end,
+                 const std::function<void(uint32_t)>& fn);
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_PARALLEL_H_

@@ -1,0 +1,83 @@
+#ifndef TENDS_COMMON_STATUSOR_H_
+#define TENDS_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tends {
+
+/// Either a value of type T or an error Status. Modeled on absl::StatusOr.
+///
+/// A StatusOr constructed from a T is ok(); one constructed from a non-OK
+/// Status is not. Constructing from an OK Status is a programming error and
+/// is converted to an Internal error so that misuse is observable rather
+/// than undefined.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK Status");
+    }
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked via assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+/// the error from the enclosing function.
+#define TENDS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto TENDS_CONCAT_(_tends_sor_, __LINE__) = (rexpr);  \
+  if (!TENDS_CONCAT_(_tends_sor_, __LINE__).ok())       \
+    return TENDS_CONCAT_(_tends_sor_, __LINE__).status(); \
+  lhs = std::move(TENDS_CONCAT_(_tends_sor_, __LINE__)).value()
+
+#define TENDS_CONCAT_INNER_(a, b) a##b
+#define TENDS_CONCAT_(a, b) TENDS_CONCAT_INNER_(a, b)
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_STATUSOR_H_

@@ -1,0 +1,36 @@
+#ifndef TENDS_COMMON_STRINGUTIL_H_
+#define TENDS_COMMON_STRINGUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace tends {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view input, char delim);
+
+/// Splits `input` on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Parses a base-10 signed/unsigned integer or double from the entire input
+/// (after whitespace stripping). Errors on trailing garbage or overflow.
+StatusOr<int64_t> ParseInt64(std::string_view input);
+StatusOr<uint32_t> ParseUint32(std::string_view input);
+StatusOr<double> ParseDouble(std::string_view input);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_STRINGUTIL_H_

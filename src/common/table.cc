@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace tends {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  TENDS_CHECK(!rows_.empty()) << "Add() before AddRow()";
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::Add(const char* cell) { return Add(std::string(cell)); }
+
+Table& Table::AddInt(int64_t value) { return Add(StrFormat("%lld", static_cast<long long>(value))); }
+
+Table& Table::AddDouble(double value, int precision) {
+  return Add(StrFormat("%.*f", precision, value));
+}
+
+void Table::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell;
+      if (c + 1 < columns_.size()) {
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << CsvEscape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      os << (c < row.size() ? CsvEscape(row[c]) : std::string());
+    }
+    os << '\n';
+  }
+}
+
+Status Table::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  PrintCsv(out);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tends

@@ -1,0 +1,49 @@
+#ifndef TENDS_COMMON_TABLE_H_
+#define TENDS_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tends {
+
+/// Plain-text / CSV table builder used by the benchmark harness to print
+/// the rows each paper figure reports. Cells are strings; numeric helpers
+/// format with fixed precision so columns align.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  Table& AddRow();
+
+  Table& Add(std::string cell);
+  Table& Add(const char* cell);
+  Table& AddInt(int64_t value);
+  /// Fixed-point with `precision` digits after the decimal point.
+  Table& AddDouble(double value, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Renders an aligned ASCII table. Rows shorter than the header are padded
+  /// with empty cells.
+  void PrintText(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted, quotes doubled).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes CSV to `path`.
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_TABLE_H_

@@ -1,0 +1,31 @@
+#ifndef TENDS_COMMON_TIMER_H_
+#define TENDS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tends {
+
+/// Monotonic wall-clock stopwatch used by the evaluation harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_TIMER_H_

@@ -1,0 +1,76 @@
+#include "diffusion/cascade.h"
+
+#include "common/logging.h"
+
+namespace tends::diffusion {
+
+uint32_t Cascade::NumInfected() const {
+  uint32_t count = 0;
+  for (int32_t t : infection_time) {
+    if (t != kNeverInfected) ++count;
+  }
+  return count;
+}
+
+std::vector<uint8_t> Cascade::FinalStatuses() const {
+  std::vector<uint8_t> statuses(infection_time.size());
+  for (size_t i = 0; i < infection_time.size(); ++i) {
+    statuses[i] = infection_time[i] != kNeverInfected ? 1 : 0;
+  }
+  return statuses;
+}
+
+std::vector<std::vector<graph::NodeId>> ExtractPathTraces(
+    const std::vector<Cascade>& cascades, uint32_t length) {
+  std::vector<std::vector<graph::NodeId>> traces;
+  if (length < 2) return traces;
+  for (const Cascade& cascade : cascades) {
+    if (!cascade.HasInfectors()) continue;
+    const uint32_t n = static_cast<uint32_t>(cascade.infector.size());
+    // Walk the infector chain backwards from every infected node; a node
+    // at the end of a chain of >= length nodes yields one trace.
+    for (uint32_t v = 0; v < n; ++v) {
+      if (!cascade.Infected(v)) continue;
+      std::vector<graph::NodeId> chain = {v};
+      graph::NodeId current = v;
+      while (chain.size() < length &&
+             cascade.infector[current] != kNoInfector) {
+        current = cascade.infector[current];
+        chain.push_back(current);
+      }
+      if (chain.size() == length) {
+        // Reverse so the trace runs in transmission order.
+        std::vector<graph::NodeId> trace(chain.rbegin(), chain.rend());
+        traces.push_back(std::move(trace));
+      }
+    }
+  }
+  return traces;
+}
+
+StatusMatrix::StatusMatrix(uint32_t num_processes, uint32_t num_nodes)
+    : num_processes_(num_processes),
+      num_nodes_(num_nodes),
+      data_(static_cast<size_t>(num_processes) * num_nodes, 0) {}
+
+uint32_t StatusMatrix::InfectionCount(graph::NodeId node) const {
+  uint32_t count = 0;
+  for (uint32_t p = 0; p < num_processes_; ++p) count += Get(p, node);
+  return count;
+}
+
+StatusMatrix StatusesFromCascades(const std::vector<Cascade>& cascades) {
+  if (cascades.empty()) return StatusMatrix();
+  const uint32_t n = static_cast<uint32_t>(cascades[0].infection_time.size());
+  StatusMatrix matrix(static_cast<uint32_t>(cascades.size()), n);
+  for (uint32_t p = 0; p < cascades.size(); ++p) {
+    TENDS_CHECK(cascades[p].infection_time.size() == n)
+        << "cascade node-count mismatch";
+    for (uint32_t v = 0; v < n; ++v) {
+      matrix.Set(p, v, cascades[p].Infected(v) ? 1 : 0);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,93 @@
+#ifndef TENDS_DIFFUSION_CASCADE_H_
+#define TENDS_DIFFUSION_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Infection time of a node that was never infected in a process.
+inline constexpr int32_t kNeverInfected = -1;
+
+/// "No recorded infector": sources, never-infected nodes, and models that
+/// have no single transmitting parent (e.g. Linear Threshold).
+inline constexpr graph::NodeId kNoInfector = ~graph::NodeId{0};
+
+/// Full record of one diffusion process: who started it, and when each node
+/// became infected (discrete rounds; sources have time 0). The
+/// timestamp-based baselines consume the times; TENDS sees only the derived
+/// final statuses; LIFT sees sources + statuses; the PATH baseline consumes
+/// the oracle transmission paths implied by `infector`.
+struct Cascade {
+  /// Initially infected nodes (infection time 0).
+  std::vector<graph::NodeId> sources;
+  /// infection_time[v] = round at which v got infected, or kNeverInfected.
+  std::vector<int32_t> infection_time;
+  /// infector[v] = the node whose transmission actually infected v in this
+  /// process (IC model), or kNoInfector. Empty when the model does not
+  /// track infectors.
+  std::vector<graph::NodeId> infector;
+
+  /// Number of nodes with infection_time >= 0.
+  uint32_t NumInfected() const;
+
+  /// True iff v was infected.
+  bool Infected(graph::NodeId v) const {
+    return infection_time[v] != kNeverInfected;
+  }
+
+  /// Final 0/1 statuses (the only thing TENDS observes).
+  std::vector<uint8_t> FinalStatuses() const;
+
+  /// True iff infector information was recorded.
+  bool HasInfectors() const { return !infector.empty(); }
+};
+
+/// Extracts all transmission paths of exactly `length` nodes from the
+/// recorded infector chains of `cascades` (e.g. length 3 yields the
+/// "path-connected node triples" of the PATH approach). Each trace is a
+/// node sequence (u_1 -> ... -> u_length) where each u_{k+1} was actually
+/// infected by u_k. Cascades without infector records are skipped.
+std::vector<std::vector<graph::NodeId>> ExtractPathTraces(
+    const std::vector<Cascade>& cascades, uint32_t length);
+
+/// Final infection statuses of all nodes across beta diffusion processes:
+/// the paper's observation set S. Row-major beta x n matrix of 0/1 bytes.
+class StatusMatrix {
+ public:
+  StatusMatrix() = default;
+  StatusMatrix(uint32_t num_processes, uint32_t num_nodes);
+
+  uint32_t num_processes() const { return num_processes_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  uint8_t Get(uint32_t process, graph::NodeId node) const {
+    return data_[static_cast<size_t>(process) * num_nodes_ + node];
+  }
+  void Set(uint32_t process, graph::NodeId node, uint8_t status) {
+    data_[static_cast<size_t>(process) * num_nodes_ + node] = status;
+  }
+
+  /// Pointer to the row of process `process` (n bytes).
+  const uint8_t* Row(uint32_t process) const {
+    return data_.data() + static_cast<size_t>(process) * num_nodes_;
+  }
+
+  /// Number of processes in which `node` ended up infected.
+  uint32_t InfectionCount(graph::NodeId node) const;
+
+ private:
+  uint32_t num_processes_ = 0;
+  uint32_t num_nodes_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Builds the status matrix from recorded cascades (all cascades must have
+/// the same node count).
+StatusMatrix StatusesFromCascades(const std::vector<Cascade>& cascades);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_CASCADE_H_

@@ -1,0 +1,55 @@
+#include "diffusion/ic_model.h"
+
+#include "common/stringutil.h"
+
+namespace tends::diffusion {
+
+IndependentCascadeModel::IndependentCascadeModel(
+    const graph::DirectedGraph& graph, const EdgeProbabilities& probabilities)
+    : graph_(graph), probabilities_(probabilities) {}
+
+StatusOr<Cascade> IndependentCascadeModel::Run(
+    const std::vector<graph::NodeId>& sources, Rng& rng,
+    uint32_t max_rounds) const {
+  const uint32_t n = graph_.num_nodes();
+  Cascade cascade;
+  cascade.infection_time.assign(n, kNeverInfected);
+  cascade.infector.assign(n, kNoInfector);
+  cascade.sources = sources;
+  std::vector<graph::NodeId> frontier;
+  frontier.reserve(sources.size());
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (cascade.infection_time[s] != kNeverInfected) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    cascade.infection_time[s] = 0;
+    frontier.push_back(s);
+  }
+
+  int32_t round = 0;
+  std::vector<graph::NodeId> next;
+  while (!frontier.empty() &&
+         (max_rounds == 0 || round < static_cast<int32_t>(max_rounds))) {
+    ++round;
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        if (cascade.infection_time[v] == kNeverInfected &&
+            rng.NextBernoulli(probabilities_.GetByIndex(edge_index))) {
+          cascade.infection_time[v] = round;
+          cascade.infector[v] = u;
+          next.push_back(v);
+        }
+        ++edge_index;
+      }
+    }
+    frontier.swap(next);
+  }
+  return cascade;
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,39 @@
+#ifndef TENDS_DIFFUSION_IC_MODEL_H_
+#define TENDS_DIFFUSION_IC_MODEL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Discrete-round Independent Cascade model (Kempe, Kleinberg & Tardos
+/// 2003), matching the paper's infection-data setup: "each infected node
+/// tries to infect its uninfected child nodes with a given propagation
+/// probability". Each edge gets exactly one activation attempt, in the
+/// round after its source becomes infected.
+class IndependentCascadeModel {
+ public:
+  /// Both references must outlive the model.
+  IndependentCascadeModel(const graph::DirectedGraph& graph,
+                          const EdgeProbabilities& probabilities);
+
+  /// Runs one diffusion process from the given initially infected nodes.
+  /// Sources must be distinct and in range. `max_rounds` bounds the number
+  /// of rounds (0 = unbounded; the process always terminates because each
+  /// edge fires at most once).
+  StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources, Rng& rng,
+                        uint32_t max_rounds = 0) const;
+
+ private:
+  const graph::DirectedGraph& graph_;
+  const EdgeProbabilities& probabilities_;
+};
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_IC_MODEL_H_

@@ -1,0 +1,201 @@
+#include "diffusion/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/stringutil.h"
+
+namespace tends::diffusion {
+
+namespace {
+
+constexpr char kObservationsHeader[] = "# tends-observations v1";
+constexpr char kStatusesHeader[] = "# tends-statuses v1";
+
+Status OpenError(const std::string& path) {
+  return Status::IoError("cannot open: " + path);
+}
+
+}  // namespace
+
+Status WriteObservations(const DiffusionObservations& observations,
+                         std::ostream& out) {
+  out << kObservationsHeader << '\n';
+  out << "processes " << observations.cascades.size() << " nodes "
+      << observations.num_nodes() << '\n';
+  for (size_t p = 0; p < observations.cascades.size(); ++p) {
+    const Cascade& cascade = observations.cascades[p];
+    out << "process " << p << '\n';
+    out << "sources";
+    for (graph::NodeId s : cascade.sources) out << ' ' << s;
+    out << '\n';
+    out << "times";
+    for (int32_t t : cascade.infection_time) out << ' ' << t;
+    out << '\n';
+  }
+  if (!out) return Status::IoError("observations write failed");
+  return Status::OK();
+}
+
+Status WriteObservationsFile(const DiffusionObservations& observations,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  return WriteObservations(observations, out);
+}
+
+StatusOr<DiffusionObservations> ReadObservations(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kObservationsHeader) {
+    return Status::Corruption("missing tends-observations header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing dimensions line");
+  }
+  auto fields = SplitWhitespace(line);
+  if (fields.size() != 4 || fields[0] != "processes" || fields[2] != "nodes") {
+    return Status::Corruption("bad dimensions line: " + line);
+  }
+  auto num_processes = ParseUint32(fields[1]);
+  auto num_nodes = ParseUint32(fields[3]);
+  if (!num_processes.ok() || !num_nodes.ok()) {
+    return Status::Corruption("bad dimensions values: " + line);
+  }
+
+  DiffusionObservations observations;
+  observations.cascades.reserve(*num_processes);
+  for (uint32_t p = 0; p < *num_processes; ++p) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(StrFormat("truncated at process %u", p));
+    }
+    auto header = SplitWhitespace(line);
+    if (header.size() != 2 || header[0] != "process") {
+      return Status::Corruption("expected 'process <i>': " + line);
+    }
+    Cascade cascade;
+    if (!std::getline(in, line)) {
+      return Status::Corruption("missing sources line");
+    }
+    auto sources = SplitWhitespace(line);
+    if (sources.empty() || sources[0] != "sources") {
+      return Status::Corruption("expected 'sources ...': " + line);
+    }
+    for (size_t f = 1; f < sources.size(); ++f) {
+      TENDS_ASSIGN_OR_RETURN(uint32_t s, ParseUint32(sources[f]));
+      if (s >= *num_nodes) {
+        return Status::Corruption(StrFormat("source %u out of range", s));
+      }
+      cascade.sources.push_back(s);
+    }
+    if (!std::getline(in, line)) {
+      return Status::Corruption("missing times line");
+    }
+    auto times = SplitWhitespace(line);
+    if (times.empty() || times[0] != "times") {
+      return Status::Corruption("expected 'times ...': " + line);
+    }
+    if (times.size() != *num_nodes + 1) {
+      return Status::Corruption(
+          StrFormat("process %u: expected %u times, got %zu", p, *num_nodes,
+                    times.size() - 1));
+    }
+    cascade.infection_time.reserve(*num_nodes);
+    for (size_t f = 1; f < times.size(); ++f) {
+      TENDS_ASSIGN_OR_RETURN(int64_t t, ParseInt64(times[f]));
+      if (t < -1 || t > INT32_MAX) {
+        return Status::Corruption("bad infection time: " + std::string(times[f]));
+      }
+      cascade.infection_time.push_back(static_cast<int32_t>(t));
+    }
+    // Consistency: every source must have time 0.
+    for (graph::NodeId s : cascade.sources) {
+      if (cascade.infection_time[s] != 0) {
+        return Status::Corruption(
+            StrFormat("process %u: source %u has time %d", p, s,
+                      cascade.infection_time[s]));
+      }
+    }
+    observations.cascades.push_back(std::move(cascade));
+  }
+  observations.statuses = StatusesFromCascades(observations.cascades);
+  return observations;
+}
+
+StatusOr<DiffusionObservations> ReadObservationsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  return ReadObservations(in);
+}
+
+Status WriteStatusMatrix(const StatusMatrix& statuses, std::ostream& out) {
+  out << kStatusesHeader << '\n';
+  out << "processes " << statuses.num_processes() << " nodes "
+      << statuses.num_nodes() << '\n';
+  for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
+    for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+      if (v) out << ' ';
+      out << static_cast<int>(statuses.Get(p, v));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("status matrix write failed");
+  return Status::OK();
+}
+
+Status WriteStatusMatrixFile(const StatusMatrix& statuses,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenError(path);
+  return WriteStatusMatrix(statuses, out);
+}
+
+StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kStatusesHeader) {
+    return Status::Corruption("missing tends-statuses header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing dimensions line");
+  }
+  auto fields = SplitWhitespace(line);
+  if (fields.size() != 4 || fields[0] != "processes" || fields[2] != "nodes") {
+    return Status::Corruption("bad dimensions line: " + line);
+  }
+  auto num_processes = ParseUint32(fields[1]);
+  auto num_nodes = ParseUint32(fields[3]);
+  if (!num_processes.ok() || !num_nodes.ok()) {
+    return Status::Corruption("bad dimensions values: " + line);
+  }
+  StatusMatrix statuses(*num_processes, *num_nodes);
+  for (uint32_t p = 0; p < *num_processes; ++p) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(StrFormat("truncated at row %u", p));
+    }
+    auto cells = SplitWhitespace(line);
+    if (cells.size() != *num_nodes) {
+      return Status::Corruption(
+          StrFormat("row %u: expected %u statuses, got %zu", p, *num_nodes,
+                    cells.size()));
+    }
+    for (uint32_t v = 0; v < *num_nodes; ++v) {
+      if (cells[v] == "0") {
+        statuses.Set(p, v, 0);
+      } else if (cells[v] == "1") {
+        statuses.Set(p, v, 1);
+      } else {
+        return Status::Corruption("statuses must be 0 or 1, got '" +
+                                  std::string(cells[v]) + "'");
+      }
+    }
+  }
+  return statuses;
+}
+
+StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenError(path);
+  return ReadStatusMatrix(in);
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,37 @@
+#ifndef TENDS_DIFFUSION_IO_H_
+#define TENDS_DIFFUSION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "diffusion/simulator.h"
+
+namespace tends::diffusion {
+
+/// Text formats for diffusion observations, used by the CLI tools.
+///
+/// Full observations ("tends-observations v1"): per process one block
+///   process <index>
+///   sources <id> <id> ...
+///   times <t_0> <t_1> ... <t_{n-1}>        (-1 = never infected)
+/// Final statuses are derived from the times on load.
+///
+/// Status-only matrix ("tends-statuses v1"): one row of space-separated
+/// 0/1 per process — exactly the minimal input TENDS needs.
+Status WriteObservations(const DiffusionObservations& observations,
+                         std::ostream& out);
+Status WriteObservationsFile(const DiffusionObservations& observations,
+                             const std::string& path);
+StatusOr<DiffusionObservations> ReadObservations(std::istream& in);
+StatusOr<DiffusionObservations> ReadObservationsFile(const std::string& path);
+
+Status WriteStatusMatrix(const StatusMatrix& statuses, std::ostream& out);
+Status WriteStatusMatrixFile(const StatusMatrix& statuses,
+                             const std::string& path);
+StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in);
+StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_IO_H_

@@ -1,0 +1,83 @@
+#include "diffusion/lt_model.h"
+
+#include <algorithm>
+
+#include "common/stringutil.h"
+
+namespace tends::diffusion {
+
+LinearThresholdModel::LinearThresholdModel(
+    const graph::DirectedGraph& graph, const EdgeProbabilities& probabilities)
+    : graph_(graph) {
+  // Sum incoming raw probabilities per node, then scale each node's
+  // incoming weights to sum to min(1, raw_sum).
+  const uint32_t n = graph_.num_nodes();
+  std::vector<double> in_sum(n, 0.0);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint64_t edge_index = graph_.OutEdgeBegin(u);
+    for (graph::NodeId v : graph_.OutNeighbors(u)) {
+      in_sum[v] += probabilities.GetByIndex(edge_index);
+      ++edge_index;
+    }
+  }
+  normalized_weight_.resize(graph_.num_edges());
+  for (uint32_t u = 0; u < n; ++u) {
+    uint64_t edge_index = graph_.OutEdgeBegin(u);
+    for (graph::NodeId v : graph_.OutNeighbors(u)) {
+      double raw = probabilities.GetByIndex(edge_index);
+      double scale = in_sum[v] > 1.0 ? 1.0 / in_sum[v] : 1.0;
+      normalized_weight_[edge_index] = raw * scale;
+      ++edge_index;
+    }
+  }
+}
+
+StatusOr<Cascade> LinearThresholdModel::Run(
+    const std::vector<graph::NodeId>& sources, Rng& rng,
+    uint32_t max_rounds) const {
+  const uint32_t n = graph_.num_nodes();
+  Cascade cascade;
+  cascade.infection_time.assign(n, kNeverInfected);
+  cascade.sources = sources;
+  std::vector<double> pressure(n, 0.0);  // weight-sum of infected parents
+  std::vector<double> threshold(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    // Uniform in (0, 1]: a zero threshold would infect nodes spontaneously.
+    threshold[v] = 1.0 - rng.NextDouble();
+  }
+  std::vector<graph::NodeId> frontier;
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (cascade.infection_time[s] != kNeverInfected) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    cascade.infection_time[s] = 0;
+    frontier.push_back(s);
+  }
+  int32_t round = 0;
+  std::vector<graph::NodeId> next;
+  while (!frontier.empty() &&
+         (max_rounds == 0 || round < static_cast<int32_t>(max_rounds))) {
+    ++round;
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        if (cascade.infection_time[v] == kNeverInfected) {
+          pressure[v] += normalized_weight_[edge_index];
+          if (pressure[v] >= threshold[v]) {
+            cascade.infection_time[v] = round;
+            next.push_back(v);
+          }
+        }
+        ++edge_index;
+      }
+    }
+    frontier.swap(next);
+  }
+  return cascade;
+}
+
+}  // namespace tends::diffusion

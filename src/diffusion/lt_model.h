@@ -1,0 +1,38 @@
+#ifndef TENDS_DIFFUSION_LT_MODEL_H_
+#define TENDS_DIFFUSION_LT_MODEL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Discrete-round Linear Threshold model (Kempe, Kleinberg & Tardos 2003),
+/// provided as an extension beyond the paper's IC setup so the inference
+/// algorithms can be exercised under a different diffusion dynamic.
+///
+/// Edge weights are the propagation probabilities normalized per receiving
+/// node so that incoming weights sum to at most 1; each run draws a uniform
+/// threshold per node, and an uninfected node becomes infected in the round
+/// where the weight-sum of its infected in-neighbors reaches its threshold.
+class LinearThresholdModel {
+ public:
+  LinearThresholdModel(const graph::DirectedGraph& graph,
+                       const EdgeProbabilities& probabilities);
+
+  StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources, Rng& rng,
+                        uint32_t max_rounds = 0) const;
+
+ private:
+  const graph::DirectedGraph& graph_;
+  /// normalized_weight_[EdgeIndex(u, v)] = influence weight of u on v.
+  std::vector<double> normalized_weight_;
+};
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_LT_MODEL_H_

@@ -1,0 +1,28 @@
+#include "diffusion/noise.h"
+
+namespace tends::diffusion {
+
+StatusOr<StatusMatrix> ApplyStatusNoise(const StatusMatrix& statuses,
+                                        const StatusNoiseOptions& options,
+                                        Rng& rng) {
+  if (options.miss_probability < 0.0 || options.miss_probability > 1.0 ||
+      options.false_alarm_probability < 0.0 ||
+      options.false_alarm_probability > 1.0) {
+    return Status::InvalidArgument("noise probabilities must be in [0,1]");
+  }
+  StatusMatrix noisy(statuses.num_processes(), statuses.num_nodes());
+  for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
+    for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+      uint8_t observed = statuses.Get(p, v);
+      if (observed == 1) {
+        if (rng.NextBernoulli(options.miss_probability)) observed = 0;
+      } else {
+        if (rng.NextBernoulli(options.false_alarm_probability)) observed = 1;
+      }
+      noisy.Set(p, v, observed);
+    }
+  }
+  return noisy;
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,30 @@
+#ifndef TENDS_DIFFUSION_NOISE_H_
+#define TENDS_DIFFUSION_NOISE_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+
+namespace tends::diffusion {
+
+/// Observation-noise model for final infection statuses (an extension
+/// beyond the paper's noiseless setting, motivated by its introduction:
+/// monitoring uncertainty and incubation periods corrupt observations).
+struct StatusNoiseOptions {
+  /// Probability that a truly-infected node is observed uninfected
+  /// (missed detection, e.g. asymptomatic cases).
+  double miss_probability = 0.0;
+  /// Probability that a truly-uninfected node is observed infected
+  /// (false alarm, e.g. misdiagnosis).
+  double false_alarm_probability = 0.0;
+};
+
+/// Returns a copy of `statuses` with each entry flipped independently
+/// according to the noise model. Deterministic given `rng`.
+StatusOr<StatusMatrix> ApplyStatusNoise(const StatusMatrix& statuses,
+                                        const StatusNoiseOptions& options,
+                                        Rng& rng);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_NOISE_H_

@@ -1,0 +1,48 @@
+#include "diffusion/propagation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tends::diffusion {
+
+EdgeProbabilities EdgeProbabilities::Uniform(const graph::DirectedGraph& graph,
+                                             double value) {
+  return EdgeProbabilities(std::vector<double>(graph.num_edges(), value));
+}
+
+StatusOr<EdgeProbabilities> EdgeProbabilities::FromValues(
+    const graph::DirectedGraph& graph, std::vector<double> values) {
+  if (values.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "value count does not match graph edge count");
+  }
+  for (double v : values) {
+    if (!(v > 0.0 && v <= 1.0)) {
+      return Status::InvalidArgument(
+          "edge probabilities must lie in (0, 1]");
+    }
+  }
+  return EdgeProbabilities(std::move(values));
+}
+
+EdgeProbabilities EdgeProbabilities::Gaussian(const graph::DirectedGraph& graph,
+                                              double mean, double stddev,
+                                              Rng& rng, double min_prob,
+                                              double max_prob) {
+  std::vector<double> values(graph.num_edges());
+  for (double& v : values) {
+    v = std::clamp(rng.NextGaussian(mean, stddev), min_prob, max_prob);
+  }
+  return EdgeProbabilities(std::move(values));
+}
+
+double EdgeProbabilities::Get(const graph::DirectedGraph& graph,
+                              graph::NodeId u, graph::NodeId v) const {
+  uint64_t index = graph.EdgeIndex(u, v);
+  TENDS_CHECK(index != graph::DirectedGraph::kInvalidEdgeIndex)
+      << "no edge (" << u << "," << v << ")";
+  return values_[index];
+}
+
+}  // namespace tends::diffusion

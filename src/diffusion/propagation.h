@@ -1,0 +1,56 @@
+#ifndef TENDS_DIFFUSION_PROPAGATION_H_
+#define TENDS_DIFFUSION_PROPAGATION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Per-edge propagation probabilities (transmission rates) for a fixed
+/// graph, keyed by DirectedGraph::EdgeIndex. Values live in (0, 1].
+class EdgeProbabilities {
+ public:
+  EdgeProbabilities() = default;
+
+  /// All edges share `value`.
+  static EdgeProbabilities Uniform(const graph::DirectedGraph& graph,
+                                   double value);
+
+  /// Explicit per-edge values, aligned with DirectedGraph::EdgeIndex order
+  /// (i.e. OutNeighbors traversal). Errors unless values.size() equals the
+  /// edge count and every value lies in (0, 1].
+  static StatusOr<EdgeProbabilities> FromValues(
+      const graph::DirectedGraph& graph, std::vector<double> values);
+
+  /// The paper's setup (§V-A): each edge's probability is drawn once from
+  /// N(mean, stddev^2) and clamped to [min_prob, max_prob], so that >95% of
+  /// probabilities fall within mean ± 2*stddev.
+  static EdgeProbabilities Gaussian(const graph::DirectedGraph& graph,
+                                    double mean, double stddev, Rng& rng,
+                                    double min_prob = 0.01,
+                                    double max_prob = 0.99);
+
+  /// Probability of edge (u -> v); requires the edge to exist.
+  double Get(const graph::DirectedGraph& graph, graph::NodeId u,
+             graph::NodeId v) const;
+
+  /// Probability by edge ordinal (aligned with OutNeighbors traversal).
+  double GetByIndex(uint64_t edge_index) const { return values_[edge_index]; }
+
+  size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  explicit EdgeProbabilities(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  std::vector<double> values_;
+};
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_PROPAGATION_H_

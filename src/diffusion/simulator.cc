@@ -1,0 +1,52 @@
+#include "diffusion/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/ic_model.h"
+#include "diffusion/lt_model.h"
+
+namespace tends::diffusion {
+
+StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
+                                         const EdgeProbabilities& probabilities,
+                                         const SimulationConfig& config,
+                                         Rng& rng) {
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  if (config.num_processes == 0) {
+    return Status::InvalidArgument("num_processes must be > 0");
+  }
+  if (config.initial_infection_ratio <= 0.0 ||
+      config.initial_infection_ratio > 1.0) {
+    return Status::InvalidArgument("initial_infection_ratio must be in (0,1]");
+  }
+  if (probabilities.size() != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "probabilities not aligned with graph edges");
+  }
+  const uint32_t num_sources = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::lround(config.initial_infection_ratio * n)));
+
+  IndependentCascadeModel ic(graph, probabilities);
+  LinearThresholdModel lt(graph, probabilities);
+
+  DiffusionObservations observations;
+  observations.cascades.reserve(config.num_processes);
+  for (uint32_t p = 0; p < config.num_processes; ++p) {
+    Rng process_rng = rng.Fork(p + 1);
+    std::vector<graph::NodeId> sources =
+        process_rng.SampleWithoutReplacement(n, num_sources);
+    StatusOr<Cascade> cascade =
+        config.model == DiffusionModel::kIndependentCascade
+            ? ic.Run(sources, process_rng, config.max_rounds)
+            : lt.Run(sources, process_rng, config.max_rounds);
+    if (!cascade.ok()) return cascade.status();
+    observations.cascades.push_back(std::move(cascade).value());
+  }
+  observations.statuses = StatusesFromCascades(observations.cascades);
+  return observations;
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,55 @@
+#ifndef TENDS_DIFFUSION_SIMULATOR_H_
+#define TENDS_DIFFUSION_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+enum class DiffusionModel {
+  kIndependentCascade,
+  kLinearThreshold,
+};
+
+/// Configuration of the paper's infection-data generation (§V-A).
+struct SimulationConfig {
+  /// Number of diffusion processes (the paper's β).
+  uint32_t num_processes = 150;
+  /// Fraction of nodes initially infected in each process (the paper's α);
+  /// the source count is max(1, round(alpha * n)).
+  double initial_infection_ratio = 0.15;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// Bound on diffusion rounds per process (0 = until quiescence).
+  uint32_t max_rounds = 0;
+};
+
+/// Everything observed from a batch of simulated diffusion processes. The
+/// inference algorithms consume different slices of it:
+///   TENDS    -> statuses only,
+///   NetRate  -> cascades (infection timestamps),
+///   MulTree  -> cascades (infection timestamps),
+///   LIFT     -> statuses + per-process sources.
+struct DiffusionObservations {
+  std::vector<Cascade> cascades;
+  StatusMatrix statuses;
+
+  uint32_t num_processes() const { return statuses.num_processes(); }
+  uint32_t num_nodes() const { return statuses.num_nodes(); }
+};
+
+/// Runs `config.num_processes` independent diffusion processes on `graph`
+/// with uniformly random source sets and records all observations.
+/// Deterministic given `rng` (each process gets a forked stream).
+StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
+                                         const EdgeProbabilities& probabilities,
+                                         const SimulationConfig& config,
+                                         Rng& rng);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_SIMULATOR_H_

@@ -1,0 +1,73 @@
+#include "diffusion/sir_model.h"
+
+#include "common/stringutil.h"
+
+namespace tends::diffusion {
+
+SirModel::SirModel(const graph::DirectedGraph& graph,
+                   const EdgeProbabilities& probabilities, SirOptions options)
+    : graph_(graph), probabilities_(probabilities), options_(options) {}
+
+StatusOr<Cascade> SirModel::Run(const std::vector<graph::NodeId>& sources,
+                                Rng& rng) const {
+  if (options_.recovery_probability <= 0.0 ||
+      options_.recovery_probability > 1.0) {
+    return Status::InvalidArgument("recovery_probability must be in (0,1]");
+  }
+  const uint32_t n = graph_.num_nodes();
+  Cascade cascade;
+  cascade.infection_time.assign(n, kNeverInfected);
+  cascade.infector.assign(n, kNoInfector);
+  cascade.sources = sources;
+  std::vector<graph::NodeId> infectious;
+  infectious.reserve(sources.size());
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (cascade.infection_time[s] != kNeverInfected) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    cascade.infection_time[s] = 0;
+    infectious.push_back(s);
+  }
+
+  int32_t round = 0;
+  std::vector<graph::NodeId> still_infectious;
+  while (!infectious.empty() &&
+         (options_.max_rounds == 0 ||
+          round < static_cast<int32_t>(options_.max_rounds))) {
+    ++round;
+    still_infectious.clear();
+    // Transmission phase: every infectious node attacks its susceptible
+    // children once this round.
+    size_t previously_infectious = infectious.size();
+    for (size_t idx = 0; idx < previously_infectious; ++idx) {
+      graph::NodeId u = infectious[idx];
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        if (cascade.infection_time[v] == kNeverInfected &&
+            rng.NextBernoulli(probabilities_.GetByIndex(edge_index))) {
+          cascade.infection_time[v] = round;
+          cascade.infector[v] = u;
+          infectious.push_back(v);  // infectious from the next round on
+        }
+        ++edge_index;
+      }
+    }
+    // Recovery phase: each node infectious during this round may recover;
+    // nodes infected this round have not spread yet and stay infectious.
+    for (size_t idx = 0; idx < infectious.size(); ++idx) {
+      graph::NodeId u = infectious[idx];
+      const bool spread_this_round = idx < previously_infectious;
+      if (spread_this_round && rng.NextBernoulli(options_.recovery_probability)) {
+        continue;  // recovered
+      }
+      still_infectious.push_back(u);
+    }
+    infectious.swap(still_infectious);
+  }
+  return cascade;
+}
+
+}  // namespace tends::diffusion

@@ -1,0 +1,52 @@
+#ifndef TENDS_DIFFUSION_SIR_MODEL_H_
+#define TENDS_DIFFUSION_SIR_MODEL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Options of the SIR diffusion model.
+struct SirOptions {
+  /// Per-round probability that an infectious node recovers (geometric
+  /// infectious period with mean 1/recovery_probability). 1.0 makes each
+  /// node infectious for exactly one round, which is the Independent
+  /// Cascade model.
+  double recovery_probability = 0.5;
+  /// Bound on rounds (0 = until no node is infectious).
+  uint32_t max_rounds = 0;
+};
+
+/// Discrete-round Susceptible-Infectious-Recovered model (an extension of
+/// the paper's IC setting toward its epidemic-prevention motivation):
+/// while a node is infectious, it attempts to infect each susceptible
+/// child once per round with the edge's propagation probability; after
+/// each round it recovers with `recovery_probability` and stops spreading.
+///
+/// The recorded Cascade's statuses mean "ever infected" — exactly what an
+/// end-of-outbreak serological survey observes — so TENDS and the other
+/// status-only consumers run on SIR data unchanged. Infection times are
+/// first-infection rounds, and the true infector is recorded per node.
+class SirModel {
+ public:
+  SirModel(const graph::DirectedGraph& graph,
+           const EdgeProbabilities& probabilities, SirOptions options = {});
+
+  /// Runs one outbreak from the given initially infectious nodes.
+  StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources,
+                        Rng& rng) const;
+
+ private:
+  const graph::DirectedGraph& graph_;
+  const EdgeProbabilities& probabilities_;
+  SirOptions options_;
+};
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_SIR_MODEL_H_

@@ -1,0 +1,43 @@
+#include "graph/builder.h"
+
+#include "common/stringutil.h"
+
+namespace tends::graph {
+
+GraphBuilder::GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u,%u) out of range for n=%u", u, v, num_nodes_));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  if (!edge_keys_.insert(Key(u, v)).second) {
+    return Status::AlreadyExists(StrFormat("duplicate edge (%u,%u)", u, v));
+  }
+  edges_.push_back({u, v});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdgeIfAbsent(NodeId u, NodeId v) {
+  Status s = AddEdge(u, v);
+  if (s.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return s;
+}
+
+bool GraphBuilder::HasEdge(NodeId u, NodeId v) const {
+  return edge_keys_.count(Key(u, v)) > 0;
+}
+
+Status GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v) {
+  TENDS_RETURN_IF_ERROR(AddEdgeIfAbsent(u, v));
+  return AddEdgeIfAbsent(v, u);
+}
+
+DirectedGraph GraphBuilder::Build() const {
+  return DirectedGraph(num_nodes_, edges_);
+}
+
+}  // namespace tends::graph

@@ -1,0 +1,56 @@
+#ifndef TENDS_GRAPH_BUILDER_H_
+#define TENDS_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+/// Incremental, validating builder for DirectedGraph. Rejects self-loops,
+/// out-of-range endpoints and (by default) silently ignores duplicates so
+/// that generators can over-propose edges.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_nodes);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return edges_.size(); }
+
+  /// Adds edge u -> v. Returns:
+  ///   InvalidArgument  - endpoint out of range or u == v,
+  ///   AlreadyExists    - duplicate edge (graph unchanged),
+  ///   OK               - edge added.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// AddEdge, but duplicates are OK (no-op). Out-of-range / self-loop still
+  /// error.
+  Status AddEdgeIfAbsent(NodeId u, NodeId v);
+
+  /// True iff the edge has been added.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Adds both u -> v and v -> u (the paper's real-world networks —
+  /// coauthorship, following — are used as diffusion networks with
+  /// influence in both directions).
+  Status AddUndirectedEdge(NodeId u, NodeId v);
+
+  /// Finalizes into an immutable graph. The builder may be reused after.
+  DirectedGraph Build() const;
+
+ private:
+  static uint64_t Key(NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  uint32_t num_nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_set<uint64_t> edge_keys_;
+};
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_BUILDER_H_

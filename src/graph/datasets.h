@@ -1,0 +1,31 @@
+#ifndef TENDS_GRAPH_DATASETS_H_
+#define TENDS_GRAPH_DATASETS_H_
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+/// Deterministic surrogate of the NetSci coauthorship network (Newman 2006):
+/// 379 scientists, 1602 influence relationships interpreted as 801 mutual
+/// coauthor ties carried in both directions (1602 directed edges). Built
+/// with the Chung-Lu community generator from a fixed seed; see DESIGN.md
+/// ("Substitutions") for why a size/density/structure-matched surrogate
+/// preserves the paper's experimental behaviour, and for the directed-count
+/// interpretation.
+StatusOr<DirectedGraph> MakeNetSciSurrogate();
+
+/// Deterministic surrogate of the DUNF microblogging network (Wang et al.
+/// 2014): 750 users, 2974 directed following relationships with a 60%
+/// mutual-follow rate.
+StatusOr<DirectedGraph> MakeDunfSurrogate();
+
+/// Expected sizes, used by tests and the bench harness.
+inline constexpr uint32_t kNetSciNodes = 379;
+inline constexpr uint32_t kNetSciDirectedEdges = 1602;
+inline constexpr uint32_t kDunfNodes = 750;
+inline constexpr uint32_t kDunfDirectedEdges = 2974;
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_DATASETS_H_

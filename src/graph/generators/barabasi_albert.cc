@@ -1,0 +1,63 @@
+#include "graph/generators/barabasi_albert.h"
+
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace tends::graph {
+
+StatusOr<DirectedGraph> GenerateBarabasiAlbert(
+    const BarabasiAlbertOptions& options, Rng& rng) {
+  if (options.edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node must be >= 1");
+  }
+  if (options.num_nodes <= options.edges_per_node) {
+    return Status::InvalidArgument("num_nodes must exceed edges_per_node");
+  }
+  GraphBuilder builder(options.num_nodes);
+  // Endpoint pool: every time a node gains an (undirected) attachment, it
+  // is appended, so a uniform draw from the pool is degree-proportional.
+  std::vector<NodeId> pool;
+  const uint32_t m0 = options.edges_per_node;
+  // Seed clique-ish core: connect the first m0+1 nodes in a ring.
+  for (uint32_t u = 0; u <= m0; ++u) {
+    NodeId v = (u + 1) % (m0 + 1);
+    if (options.bidirectional) {
+      TENDS_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v));
+    } else {
+      TENDS_RETURN_IF_ERROR(builder.AddEdgeIfAbsent(u, v));
+    }
+    pool.push_back(u);
+    pool.push_back(v);
+  }
+  for (uint32_t u = m0 + 1; u < options.num_nodes; ++u) {
+    std::vector<NodeId> targets;
+    targets.reserve(m0);
+    int attempts = 0;
+    while (targets.size() < m0 && attempts < 1000) {
+      ++attempts;
+      NodeId cand = pool[rng.NextBounded(pool.size())];
+      if (cand == u) continue;
+      bool dup = false;
+      for (NodeId t : targets) {
+        if (t == cand) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) targets.push_back(cand);
+    }
+    for (NodeId v : targets) {
+      if (options.bidirectional) {
+        TENDS_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v));
+      } else {
+        TENDS_RETURN_IF_ERROR(builder.AddEdgeIfAbsent(u, v));
+      }
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tends::graph

@@ -1,0 +1,27 @@
+#ifndef TENDS_GRAPH_GENERATORS_BARABASI_ALBERT_H_
+#define TENDS_GRAPH_GENERATORS_BARABASI_ALBERT_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+struct BarabasiAlbertOptions {
+  uint32_t num_nodes = 0;
+  /// Number of edges each newly arriving node attaches with (to existing
+  /// nodes chosen with probability proportional to their current degree).
+  uint32_t edges_per_node = 1;
+  /// If true, each attachment produces edges in both directions; otherwise
+  /// the new node points at the chosen target only.
+  bool bidirectional = true;
+};
+
+/// Preferential-attachment scale-free graph (Barabási & Albert 1999),
+/// implemented with the repeated-endpoints trick for linear-time sampling.
+StatusOr<DirectedGraph> GenerateBarabasiAlbert(
+    const BarabasiAlbertOptions& options, Rng& rng);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GENERATORS_BARABASI_ALBERT_H_

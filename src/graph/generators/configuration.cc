@@ -1,0 +1,227 @@
+#include "graph/generators/configuration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+
+namespace tends::graph {
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    total += std::max(0.0, w);
+    cumulative_.push_back(total);
+  }
+}
+
+uint32_t WeightedSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble() * total_weight();
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<uint32_t>(it - cumulative_.begin());
+}
+
+namespace {
+
+// Inverse CDF of the continuous truncated power law p(x) ~ x^-gamma on
+// [a, b], evaluated at quantile u in [0, 1).
+double PowerLawInverseCdf(double u, double gamma, double a, double b) {
+  if (std::abs(gamma - 1.0) < 1e-12) {
+    return a * std::pow(b / a, u);
+  }
+  double e = 1.0 - gamma;
+  double fa = std::pow(a, e);
+  double fb = std::pow(b, e);
+  return std::pow(fa + u * (fb - fa), 1.0 / e);
+}
+
+// Deterministic estimate of the mean of the rounded truncated power law.
+double EstimateMean(double gamma, double a, double b) {
+  constexpr int kGrid = 2048;
+  double sum = 0.0;
+  for (int i = 0; i < kGrid; ++i) {
+    double u = (i + 0.5) / kGrid;
+    sum += std::round(PowerLawInverseCdf(u, gamma, a, b));
+  }
+  return sum / kGrid;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> SamplePowerLawDegrees(Rng& rng, uint32_t n,
+                                                      double exponent,
+                                                      double target_mean,
+                                                      uint32_t min_degree,
+                                                      uint32_t max_degree) {
+  if (n == 0) return Status::InvalidArgument("n must be > 0");
+  if (exponent <= 1.0) {
+    return Status::InvalidArgument("power-law exponent must be > 1");
+  }
+  if (min_degree < 1 || min_degree > max_degree) {
+    return Status::InvalidArgument("need 1 <= min_degree <= max_degree");
+  }
+  if (target_mean < min_degree || target_mean > max_degree) {
+    return Status::InvalidArgument(
+        StrFormat("target_mean %.2f outside [%u, %u]", target_mean, min_degree,
+                  max_degree));
+  }
+  const double b = max_degree;
+  // Bisect the continuous lower cutoff a in [min_degree, max_degree] so the
+  // expected (rounded) value matches target_mean. EstimateMean is monotone
+  // increasing in a.
+  double lo = min_degree, hi = b;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (EstimateMean(exponent, mid, b) < target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double a = 0.5 * (lo + hi);
+
+  std::vector<uint32_t> degrees(n);
+  int64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    double x = PowerLawInverseCdf(rng.NextDouble(), exponent, a, b);
+    uint32_t d = static_cast<uint32_t>(std::lround(x));
+    d = std::clamp(d, min_degree, max_degree);
+    degrees[i] = d;
+    sum += d;
+  }
+  // Nudge random entries until the sum is exact.
+  const int64_t target_sum = std::llround(static_cast<double>(n) * target_mean);
+  int64_t guard = 0;
+  while (sum != target_sum && guard++ < 100000000LL) {
+    uint32_t i = static_cast<uint32_t>(rng.NextBounded(n));
+    if (sum < target_sum && degrees[i] < max_degree) {
+      ++degrees[i];
+      ++sum;
+    } else if (sum > target_sum && degrees[i] > min_degree) {
+      --degrees[i];
+      --sum;
+    }
+  }
+  if (sum != target_sum) {
+    return Status::Internal("degree sum adjustment did not converge");
+  }
+  return degrees;
+}
+
+std::vector<uint32_t> AssignCommunities(uint32_t num_nodes,
+                                        uint32_t num_communities) {
+  std::vector<uint32_t> community(num_nodes);
+  if (num_communities == 0) num_communities = 1;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    community[i] = i % num_communities;
+  }
+  return community;
+}
+
+StatusOr<DirectedGraph> GenerateChungLuCommunity(
+    const ChungLuCommunityOptions& options, Rng& rng) {
+  const uint32_t n = options.num_nodes;
+  if (n < 2) return Status::InvalidArgument("need at least 2 nodes");
+  if (options.intra_fraction < 0.0 || options.intra_fraction > 1.0) {
+    return Status::InvalidArgument("intra_fraction must be in [0,1]");
+  }
+  if (!options.directed && options.num_edges % 2 != 0) {
+    return Status::InvalidArgument(
+        "undirected output requires an even num_edges");
+  }
+  if (options.reciprocal_fraction < 0.0 || options.reciprocal_fraction > 1.0) {
+    return Status::InvalidArgument("reciprocal_fraction must be in [0,1]");
+  }
+  // Directed mode with reciprocity: the first `mutual_pairs` accepted pairs
+  // are placed in both directions, the rest one-way.
+  const uint64_t mutual_pairs =
+      options.directed
+          ? static_cast<uint64_t>(
+                std::llround(options.num_edges * options.reciprocal_fraction / 2.0))
+          : 0;
+  const uint64_t pair_budget = options.directed
+                                   ? options.num_edges - mutual_pairs
+                                   : options.num_edges / 2;
+  const uint64_t max_pairs = static_cast<uint64_t>(n) * (n - 1) /
+                             (options.directed ? 1 : 2);
+  if (pair_budget > max_pairs / 2) {
+    return Status::InvalidArgument(
+        "requested density too high for rejection sampling (> 50% of pairs)");
+  }
+
+  // Power-law node weights; heavier nodes attract more edges.
+  std::vector<double> weights(n);
+  const double wmin = 1.0;
+  const double wmax = std::max(1.0, options.weight_spread);
+  for (uint32_t i = 0; i < n; ++i) {
+    weights[i] =
+        PowerLawInverseCdf(rng.NextDouble(), options.degree_exponent, wmin, wmax);
+  }
+  const std::vector<uint32_t> community =
+      AssignCommunities(n, options.num_communities);
+  const uint32_t num_comm = std::max(1u, options.num_communities);
+
+  // Per-community samplers for intra edges, global sampler otherwise.
+  std::vector<std::vector<uint32_t>> members(num_comm);
+  for (uint32_t i = 0; i < n; ++i) members[community[i]].push_back(i);
+  std::vector<WeightedSampler> comm_samplers;
+  comm_samplers.reserve(num_comm);
+  std::vector<double> comm_totals(num_comm, 0.0);
+  for (uint32_t c = 0; c < num_comm; ++c) {
+    std::vector<double> w;
+    w.reserve(members[c].size());
+    for (uint32_t i : members[c]) {
+      w.push_back(weights[i]);
+      comm_totals[c] += weights[i];
+    }
+    comm_samplers.emplace_back(w);
+  }
+  WeightedSampler global_sampler(weights);
+  WeightedSampler community_picker(comm_totals);
+
+  GraphBuilder builder(n);
+  uint64_t pairs_added = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 200 * (pair_budget + 16);
+  while (pairs_added < pair_budget && attempts < max_attempts) {
+    ++attempts;
+    NodeId u, v;
+    if (rng.NextBernoulli(options.intra_fraction)) {
+      uint32_t c = community_picker.Sample(rng);
+      if (members[c].size() < 2) continue;
+      u = members[c][comm_samplers[c].Sample(rng)];
+      v = members[c][comm_samplers[c].Sample(rng)];
+    } else {
+      u = global_sampler.Sample(rng);
+      v = global_sampler.Sample(rng);
+    }
+    if (u == v) continue;
+    if (options.directed) {
+      // Both directions must be free so one-way edges stay one-way and
+      // mutual pairs contribute exactly two edges.
+      if (builder.HasEdge(u, v) || builder.HasEdge(v, u)) continue;
+      if (pairs_added < mutual_pairs) {
+        TENDS_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v));
+      } else {
+        TENDS_RETURN_IF_ERROR(builder.AddEdge(u, v));
+      }
+    } else {
+      if (builder.HasEdge(u, v) || builder.HasEdge(v, u)) continue;
+      TENDS_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, v));
+    }
+    ++pairs_added;
+  }
+  if (pairs_added < pair_budget) {
+    return Status::Internal(
+        StrFormat("edge sampling saturated after %llu attempts (%llu/%llu)",
+                  static_cast<unsigned long long>(attempts),
+                  static_cast<unsigned long long>(pairs_added),
+                  static_cast<unsigned long long>(pair_budget)));
+  }
+  return builder.Build();
+}
+
+}  // namespace tends::graph

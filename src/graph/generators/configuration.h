@@ -1,0 +1,80 @@
+#ifndef TENDS_GRAPH_GENERATORS_CONFIGURATION_H_
+#define TENDS_GRAPH_GENERATORS_CONFIGURATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+/// Draws from a fixed discrete distribution in O(log n) per sample
+/// (cumulative-sum + binary search). Weights must be non-negative with a
+/// positive total.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  /// Index in [0, weights.size()) with probability proportional to weight.
+  uint32_t Sample(Rng& rng) const;
+
+  double total_weight() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Samples `n` integer degrees from a truncated power law with density
+/// proportional to x^-exponent on [min_degree, max_degree], then nudges
+/// individual degrees (staying in range) until the sequence sums to
+/// round(n * target_mean). The lower truncation point is tuned by bisection
+/// so the pre-adjustment mean is already close to `target_mean`.
+///
+/// Requires exponent > 1, 1 <= min_degree <= max_degree, and
+/// min_degree <= target_mean <= max_degree.
+StatusOr<std::vector<uint32_t>> SamplePowerLawDegrees(Rng& rng, uint32_t n,
+                                                      double exponent,
+                                                      double target_mean,
+                                                      uint32_t min_degree,
+                                                      uint32_t max_degree);
+
+struct ChungLuCommunityOptions {
+  uint32_t num_nodes = 0;
+  /// Exact number of directed edges in the output.
+  uint64_t num_edges = 0;
+  uint32_t num_communities = 1;
+  /// Probability that an edge is placed within a single community
+  /// (both endpoints in the same community); the rest are global.
+  double intra_fraction = 0.8;
+  /// Power-law exponent of the node weight (expected-degree) distribution.
+  double degree_exponent = 2.5;
+  /// Ratio max_weight / min_weight of the expected-degree distribution.
+  double weight_spread = 20.0;
+  /// If true, each accepted node pair (u, v) contributes the single edge
+  /// u -> v; if false, both directions are added (num_edges must be even).
+  bool directed = true;
+  /// Directed mode only: fraction of edges that come in mutual pairs
+  /// (u -> v and v -> u), modeling e.g. mutual follows in a microblog
+  /// graph. round(num_edges * reciprocal_fraction / 2) pairs are placed
+  /// bidirectionally, the remainder one-way. Must be in [0, 1].
+  double reciprocal_fraction = 0.0;
+};
+
+/// Community-structured heavy-tailed random graph with an exact edge count:
+/// endpoints are drawn with probability proportional to power-law node
+/// weights (Chung-Lu style), biased to fall inside a common community with
+/// probability `intra_fraction`. Used to build the NetSci / DUNF surrogate
+/// topologies (see DESIGN.md substitutions).
+StatusOr<DirectedGraph> GenerateChungLuCommunity(
+    const ChungLuCommunityOptions& options, Rng& rng);
+
+/// Community assignment used by GenerateChungLuCommunity for a given node
+/// count (round-robin blocks); exposed for tests.
+std::vector<uint32_t> AssignCommunities(uint32_t num_nodes,
+                                        uint32_t num_communities);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GENERATORS_CONFIGURATION_H_

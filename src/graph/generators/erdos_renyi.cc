@@ -1,0 +1,47 @@
+#include "graph/generators/erdos_renyi.h"
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+
+namespace tends::graph {
+
+StatusOr<DirectedGraph> GenerateErdosRenyi(const ErdosRenyiOptions& options,
+                                           Rng& rng) {
+  if (options.edge_probability < 0.0 || options.edge_probability > 1.0) {
+    return Status::InvalidArgument("edge_probability must be in [0,1]");
+  }
+  GraphBuilder builder(options.num_nodes);
+  for (uint32_t u = 0; u < options.num_nodes; ++u) {
+    for (uint32_t v = 0; v < options.num_nodes; ++v) {
+      if (u == v) continue;
+      if (rng.NextBernoulli(options.edge_probability)) {
+        TENDS_RETURN_IF_ERROR(builder.AddEdge(u, v));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<DirectedGraph> GenerateErdosRenyiM(uint32_t num_nodes,
+                                            uint64_t num_edges, Rng& rng) {
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_nodes) * (num_nodes > 0 ? num_nodes - 1 : 0);
+  if (num_edges > max_edges) {
+    return Status::InvalidArgument(
+        StrFormat("num_edges %llu exceeds maximum %llu",
+                  static_cast<unsigned long long>(num_edges),
+                  static_cast<unsigned long long>(max_edges)));
+  }
+  GraphBuilder builder(num_nodes);
+  while (builder.num_edges() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+    if (u == v) continue;
+    Status s = builder.AddEdge(u, v);
+    if (s.code() == StatusCode::kAlreadyExists) continue;
+    TENDS_RETURN_IF_ERROR(s);
+  }
+  return builder.Build();
+}
+
+}  // namespace tends::graph

@@ -1,0 +1,27 @@
+#ifndef TENDS_GRAPH_GENERATORS_ERDOS_RENYI_H_
+#define TENDS_GRAPH_GENERATORS_ERDOS_RENYI_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+struct ErdosRenyiOptions {
+  uint32_t num_nodes = 0;
+  /// Each ordered pair (u, v), u != v, gets a directed edge independently
+  /// with this probability.
+  double edge_probability = 0.0;
+};
+
+/// G(n, p) directed random graph. Deterministic given `rng`'s state.
+StatusOr<DirectedGraph> GenerateErdosRenyi(const ErdosRenyiOptions& options,
+                                           Rng& rng);
+
+/// G(n, m): exactly `num_edges` distinct directed edges chosen uniformly.
+StatusOr<DirectedGraph> GenerateErdosRenyiM(uint32_t num_nodes,
+                                            uint64_t num_edges, Rng& rng);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GENERATORS_ERDOS_RENYI_H_

@@ -1,0 +1,234 @@
+#include "graph/generators/lfr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+#include "graph/generators/configuration.h"
+
+namespace tends::graph {
+
+LfrOptions LfrOptions::FromPaperParams(uint32_t n, double kappa, double t) {
+  LfrOptions options;
+  options.num_nodes = n;
+  options.average_degree = kappa;
+  options.tau1 = t + 1.0;
+  return options;
+}
+
+namespace {
+
+// Samples community sizes from a power law until they cover num_nodes,
+// then trims the last community (merging it into the previous one if it
+// would fall below min_size).
+std::vector<uint32_t> SampleCommunitySizes(Rng& rng, uint32_t num_nodes,
+                                           double tau2, uint32_t min_size,
+                                           uint32_t max_size) {
+  std::vector<uint32_t> sizes;
+  uint64_t total = 0;
+  while (total < num_nodes) {
+    double u = rng.NextDouble();
+    double e = 1.0 - tau2;
+    double fa = std::pow(static_cast<double>(min_size), e);
+    double fb = std::pow(static_cast<double>(max_size), e);
+    double x = std::pow(fa + u * (fb - fa), 1.0 / e);
+    uint32_t s = std::clamp(static_cast<uint32_t>(std::lround(x)), min_size,
+                            max_size);
+    sizes.push_back(s);
+    total += s;
+  }
+  // Trim the overshoot from the last community.
+  uint32_t overshoot = static_cast<uint32_t>(total - num_nodes);
+  while (overshoot > 0) {
+    uint32_t& last = sizes.back();
+    if (last > overshoot && last - overshoot >= min_size) {
+      last -= overshoot;
+      overshoot = 0;
+    } else if (sizes.size() > 1) {
+      // Merge the last community into the previous one and retry.
+      uint32_t merged = last;
+      sizes.pop_back();
+      sizes.back() = std::min(sizes.back() + merged, max_size * 2);
+      uint64_t new_total = std::accumulate(sizes.begin(), sizes.end(),
+                                           static_cast<uint64_t>(0));
+      overshoot = new_total > num_nodes
+                      ? static_cast<uint32_t>(new_total - num_nodes)
+                      : 0;
+      if (new_total < num_nodes) {
+        sizes.push_back(static_cast<uint32_t>(num_nodes - new_total));
+        overshoot = 0;
+      }
+    } else {
+      sizes.back() = num_nodes;
+      overshoot = 0;
+    }
+  }
+  return sizes;
+}
+
+// Configuration-model stub matching within one node set. Stub multiset =
+// node i repeated stubs[i] times. Produces distinct undirected pairs;
+// leftover unmatched stubs are dropped.
+void MatchStubs(Rng& rng, const std::vector<NodeId>& nodes,
+                std::vector<uint32_t>& stubs, GraphBuilder& builder,
+                bool require_cross_community,
+                const std::vector<uint32_t>* community) {
+  std::vector<NodeId> pool;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (uint32_t s = 0; s < stubs[i]; ++s) pool.push_back(nodes[i]);
+  }
+  rng.Shuffle(pool);
+  // Repeatedly draw two random stubs; accept if they form a new valid edge.
+  // A bounded number of global passes keeps this O(m) in practice.
+  size_t live = pool.size();
+  uint64_t failures = 0;
+  const uint64_t max_failures = 50 * (pool.size() + 16);
+  while (live >= 2 && failures < max_failures) {
+    size_t ia = rng.NextBounded(live);
+    size_t ib = rng.NextBounded(live);
+    if (ia == ib) {
+      ++failures;
+      continue;
+    }
+    NodeId a = pool[ia];
+    NodeId b = pool[ib];
+    if (a == b || builder.HasEdge(a, b) || builder.HasEdge(b, a) ||
+        (require_cross_community && (*community)[a] == (*community)[b])) {
+      ++failures;
+      continue;
+    }
+    // AddUndirectedEdge cannot fail here: endpoints valid, no dup, no loop.
+    (void)builder.AddUndirectedEdge(a, b);
+    // Remove the two consumed stubs (swap with the back of the live region).
+    if (ia < ib) std::swap(ia, ib);
+    std::swap(pool[ia], pool[live - 1]);
+    --live;
+    std::swap(pool[ib], pool[live - 1]);
+    --live;
+  }
+}
+
+}  // namespace
+
+StatusOr<DirectedGraph> GenerateLfr(const LfrOptions& options, Rng& rng) {
+  const uint32_t n = options.num_nodes;
+  if (n < 4) return Status::InvalidArgument("LFR needs at least 4 nodes");
+  if (options.average_degree < 1.0 || options.average_degree >= n) {
+    return Status::InvalidArgument("average_degree must be in [1, n)");
+  }
+  if (options.tau1 <= 1.0 || options.tau2 <= 1.0) {
+    return Status::InvalidArgument("power-law exponents must be > 1");
+  }
+  if (options.mixing < 0.0 || options.mixing > 1.0) {
+    return Status::InvalidArgument("mixing must be in [0,1]");
+  }
+  uint32_t max_degree = options.max_degree;
+  if (max_degree == 0) {
+    max_degree = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::ceil(3.0 * options.average_degree)));
+  }
+  max_degree = std::min(max_degree, n - 1);
+  uint32_t min_comm = options.min_community;
+  if (min_comm == 0) {
+    min_comm = std::max<uint32_t>(
+        8, static_cast<uint32_t>(options.average_degree) + 2);
+  }
+  uint32_t max_comm = options.max_community;
+  if (max_comm == 0) max_comm = std::max(2 * min_comm, n / 4);
+  max_comm = std::min(max_comm, n);
+  min_comm = std::min(min_comm, max_comm);
+
+  // 1. Degree sequence.
+  TENDS_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> degrees,
+      SamplePowerLawDegrees(rng, n, options.tau1, options.average_degree, 1,
+                            max_degree));
+
+  // 2. Community sizes and node assignment. Nodes are assigned to
+  // communities that can host their internal degree (internal degree must
+  // not exceed community size - 1); larger-degree nodes are placed first.
+  std::vector<uint32_t> sizes =
+      SampleCommunitySizes(rng, n, options.tau2, min_comm, max_comm);
+  const uint32_t num_comm = static_cast<uint32_t>(sizes.size());
+  std::vector<uint32_t> internal_degree(n), external_degree(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    internal_degree[i] = static_cast<uint32_t>(
+        std::lround((1.0 - options.mixing) * degrees[i]));
+    internal_degree[i] = std::min(internal_degree[i], degrees[i]);
+    external_degree[i] = degrees[i] - internal_degree[i];
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return degrees[a] > degrees[b];
+  });
+  std::vector<uint32_t> community(n, UINT32_MAX);
+  std::vector<uint32_t> filled(num_comm, 0);
+  for (uint32_t node : order) {
+    // Candidate communities with space whose size can host the internal
+    // degree; pick one at random (weighted by remaining space).
+    std::vector<uint32_t> candidates;
+    for (uint32_t c = 0; c < num_comm; ++c) {
+      if (filled[c] < sizes[c] && internal_degree[node] < sizes[c]) {
+        candidates.push_back(c);
+      }
+    }
+    uint32_t chosen;
+    if (!candidates.empty()) {
+      chosen = candidates[rng.NextBounded(candidates.size())];
+    } else {
+      // No community can host the internal degree: clamp it to the largest
+      // community with space.
+      chosen = 0;
+      uint32_t best_size = 0;
+      for (uint32_t c = 0; c < num_comm; ++c) {
+        if (filled[c] < sizes[c] && sizes[c] > best_size) {
+          best_size = sizes[c];
+          chosen = c;
+        }
+      }
+      internal_degree[node] = std::min(internal_degree[node], best_size - 1);
+      external_degree[node] = degrees[node] - internal_degree[node];
+    }
+    community[node] = chosen;
+    ++filled[chosen];
+  }
+
+  // 3. Internal wiring per community (even out each community's stub sum).
+  GraphBuilder builder(n);
+  std::vector<std::vector<NodeId>> members(num_comm);
+  for (uint32_t i = 0; i < n; ++i) members[community[i]].push_back(i);
+  for (uint32_t c = 0; c < num_comm; ++c) {
+    uint64_t stub_sum = 0;
+    for (NodeId i : members[c]) stub_sum += internal_degree[i];
+    if (stub_sum % 2 == 1) {
+      // Move one stub from internal to external on a random member.
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        NodeId i = members[c][rng.NextBounded(members[c].size())];
+        if (internal_degree[i] > 0) {
+          --internal_degree[i];
+          ++external_degree[i];
+          break;
+        }
+      }
+    }
+    std::vector<uint32_t> stubs;
+    stubs.reserve(members[c].size());
+    for (NodeId i : members[c]) stubs.push_back(internal_degree[i]);
+    MatchStubs(rng, members[c], stubs, builder, /*require_cross_community=*/false,
+               nullptr);
+  }
+
+  // 4. External wiring across communities.
+  std::vector<NodeId> all_nodes(n);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  MatchStubs(rng, all_nodes, external_degree, builder,
+             /*require_cross_community=*/true, &community);
+
+  return builder.Build();
+}
+
+}  // namespace tends::graph

@@ -1,0 +1,54 @@
+#include "graph/generators/watts_strogatz.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace tends::graph {
+
+StatusOr<DirectedGraph> GenerateWattsStrogatz(
+    const WattsStrogatzOptions& options, Rng& rng) {
+  const uint32_t n = options.num_nodes;
+  const uint32_t k = options.neighbors_each_side;
+  if (n == 0) return Status::InvalidArgument("num_nodes must be > 0");
+  if (2 * k >= n) {
+    return Status::InvalidArgument("ring degree 2k must be < num_nodes");
+  }
+  if (options.rewire_probability < 0.0 || options.rewire_probability > 1.0) {
+    return Status::InvalidArgument("rewire_probability must be in [0,1]");
+  }
+  // Undirected edge set of the ring lattice, then rewiring.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(n) * k);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      edges.emplace_back(u, (u + j) % n);
+    }
+  }
+  GraphBuilder builder(n);
+  auto exists = [&](NodeId a, NodeId b) {
+    return builder.HasEdge(a, b) || builder.HasEdge(b, a);
+  };
+  for (auto& [u, v] : edges) {
+    NodeId target = v;
+    if (rng.NextBernoulli(options.rewire_probability)) {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        NodeId cand = static_cast<NodeId>(rng.NextBounded(n));
+        if (cand != u && !exists(u, cand)) {
+          target = cand;
+          break;
+        }
+      }
+    }
+    if (exists(u, target)) continue;  // duplicate after rewiring collision
+    if (options.bidirectional) {
+      TENDS_RETURN_IF_ERROR(builder.AddUndirectedEdge(u, target));
+    } else {
+      TENDS_RETURN_IF_ERROR(builder.AddEdgeIfAbsent(u, target));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tends::graph

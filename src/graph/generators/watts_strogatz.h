@@ -1,0 +1,27 @@
+#ifndef TENDS_GRAPH_GENERATORS_WATTS_STROGATZ_H_
+#define TENDS_GRAPH_GENERATORS_WATTS_STROGATZ_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+struct WattsStrogatzOptions {
+  uint32_t num_nodes = 0;
+  /// Each node connects to `neighbors_each_side` ring neighbors on each
+  /// side (total ring degree 2k).
+  uint32_t neighbors_each_side = 1;
+  /// Probability of rewiring each ring edge to a uniform random target.
+  double rewire_probability = 0.0;
+  /// Emit both directions of each undirected edge.
+  bool bidirectional = true;
+};
+
+/// Small-world ring-lattice-with-rewiring graph (Watts & Strogatz 1998).
+StatusOr<DirectedGraph> GenerateWattsStrogatz(
+    const WattsStrogatzOptions& options, Rng& rng);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GENERATORS_WATTS_STROGATZ_H_

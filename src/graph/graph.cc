@@ -1,0 +1,102 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stringutil.h"
+
+namespace tends::graph {
+
+DirectedGraph::DirectedGraph(uint32_t num_nodes) : num_nodes_(num_nodes) {
+  out_offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+}
+
+DirectedGraph::DirectedGraph(uint32_t num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes) {
+  out_offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges) {
+    assert(e.from < num_nodes_ && e.to < num_nodes_ && e.from != e.to);
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    out_offsets_[i + 1] += out_offsets_[i];
+    in_offsets_[i + 1] += in_offsets_[i];
+  }
+  out_targets_.resize(edges.size());
+  in_sources_.resize(edges.size());
+  std::vector<uint64_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    out_targets_[out_cursor[e.from]++] = e.to;
+    in_sources_[in_cursor[e.to]++] = e.from;
+  }
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    std::sort(out_targets_.begin() + static_cast<int64_t>(out_offsets_[u]),
+              out_targets_.begin() + static_cast<int64_t>(out_offsets_[u + 1]));
+    std::sort(in_sources_.begin() + static_cast<int64_t>(in_offsets_[u]),
+              in_sources_.begin() + static_cast<int64_t>(in_offsets_[u + 1]));
+  }
+}
+
+std::span<const NodeId> DirectedGraph::OutNeighbors(NodeId u) const {
+  assert(u < num_nodes_);
+  return {out_targets_.data() + out_offsets_[u],
+          out_targets_.data() + out_offsets_[u + 1]};
+}
+
+std::span<const NodeId> DirectedGraph::InNeighbors(NodeId v) const {
+  assert(v < num_nodes_);
+  return {in_sources_.data() + in_offsets_[v],
+          in_sources_.data() + in_offsets_[v + 1]};
+}
+
+uint32_t DirectedGraph::OutDegree(NodeId u) const {
+  assert(u < num_nodes_);
+  return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+}
+
+uint32_t DirectedGraph::InDegree(NodeId v) const {
+  assert(v < num_nodes_);
+  return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+bool DirectedGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint64_t DirectedGraph::EdgeIndex(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdgeIndex;
+  return out_offsets_[u] + static_cast<uint64_t>(it - nbrs.begin());
+}
+
+uint64_t DirectedGraph::OutEdgeBegin(NodeId u) const {
+  assert(u < num_nodes_);
+  return out_offsets_[u];
+}
+
+std::vector<Edge> DirectedGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(out_targets_.size());
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+double DirectedGraph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(num_edges()) / num_nodes_;
+}
+
+std::string DirectedGraph::DebugString() const {
+  return StrFormat("DirectedGraph(n=%u, m=%llu)", num_nodes_,
+                   static_cast<unsigned long long>(num_edges()));
+}
+
+}  // namespace tends::graph

@@ -1,0 +1,96 @@
+#ifndef TENDS_GRAPH_GRAPH_H_
+#define TENDS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tends::graph {
+
+/// Node identifier: dense 0-based index into the graph's node set.
+using NodeId = uint32_t;
+
+/// A directed edge from `from` to `to` (an influence relationship: when
+/// `from` is infected and `to` is not, `from` may infect `to`).
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+};
+
+/// Immutable directed graph in CSR (compressed sparse row) form, storing
+/// both out-adjacency and in-adjacency with sorted neighbor lists so that
+/// HasEdge is O(log degree). Build instances with GraphBuilder.
+class DirectedGraph {
+ public:
+  /// Empty graph with `num_nodes` nodes and no edges.
+  explicit DirectedGraph(uint32_t num_nodes = 0);
+
+  /// Constructs from an edge list. Edges must be pre-deduplicated and free
+  /// of self-loops (GraphBuilder enforces this); violations here are
+  /// programming errors checked in debug builds.
+  DirectedGraph(uint32_t num_nodes, const std::vector<Edge>& edges);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return static_cast<uint64_t>(out_targets_.size()); }
+
+  /// Sorted successor list of `u` (nodes that `u` influences).
+  std::span<const NodeId> OutNeighbors(NodeId u) const;
+
+  /// Sorted predecessor list of `v` (nodes that influence `v`; the true
+  /// parent set the inference algorithms try to recover).
+  std::span<const NodeId> InNeighbors(NodeId v) const;
+
+  uint32_t OutDegree(NodeId u) const;
+  uint32_t InDegree(NodeId v) const;
+
+  /// True iff the edge (u -> v) exists. O(log OutDegree(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Dense ordinal of edge (u -> v) in [0, num_edges), stable for a given
+  /// graph (edges ordered by (from, to)). Returns kInvalidEdgeIndex when the
+  /// edge does not exist. Used to key per-edge attributes such as
+  /// propagation probabilities.
+  static constexpr uint64_t kInvalidEdgeIndex = ~uint64_t{0};
+  uint64_t EdgeIndex(NodeId u, NodeId v) const;
+
+  /// Ordinal of the first out-edge of `u`; the edges of `u` occupy indices
+  /// [OutEdgeBegin(u), OutEdgeBegin(u) + OutDegree(u)) aligned with
+  /// OutNeighbors(u).
+  uint64_t OutEdgeBegin(NodeId u) const;
+
+  /// All edges in (from, to) lexicographic order.
+  std::vector<Edge> Edges() const;
+
+  /// Average total degree m / n (0 for an empty graph). Note the paper's
+  /// "average node degree" counts each directed edge once per node pair
+  /// endpoint: total edges / total nodes.
+  double AverageDegree() const;
+
+  /// Human-readable one-line summary ("DirectedGraph(n=..., m=...)").
+  std::string DebugString() const;
+
+  friend bool operator==(const DirectedGraph& a, const DirectedGraph& b) {
+    return a.num_nodes_ == b.num_nodes_ && a.out_offsets_ == b.out_offsets_ &&
+           a.out_targets_ == b.out_targets_;
+  }
+
+ private:
+  uint32_t num_nodes_;
+  // CSR out-adjacency: neighbors of u are out_targets_[out_offsets_[u] ..
+  // out_offsets_[u+1]).
+  std::vector<uint64_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  // CSR in-adjacency (derived).
+  std::vector<uint64_t> in_offsets_;
+  std::vector<NodeId> in_sources_;
+};
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GRAPH_H_

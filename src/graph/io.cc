@@ -1,0 +1,82 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+
+namespace tends::graph {
+
+StatusOr<DirectedGraph> ReadEdgeList(std::istream& in) {
+  std::string line;
+  int64_t num_nodes = -1;
+  GraphBuilder builder(0);
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (num_nodes < 0) {
+      if (fields.size() != 1) {
+        return Status::Corruption(
+            StrFormat("line %d: expected node count header", line_no));
+      }
+      auto n = ParseInt64(fields[0]);
+      if (!n.ok() || *n < 0) {
+        return Status::Corruption(
+            StrFormat("line %d: bad node count", line_no));
+      }
+      num_nodes = *n;
+      builder = GraphBuilder(static_cast<uint32_t>(num_nodes));
+      continue;
+    }
+    if (fields.size() != 2) {
+      return Status::Corruption(
+          StrFormat("line %d: expected '<from> <to>'", line_no));
+    }
+    auto from = ParseUint32(fields[0]);
+    auto to = ParseUint32(fields[1]);
+    if (!from.ok() || !to.ok()) {
+      return Status::Corruption(StrFormat("line %d: bad node id", line_no));
+    }
+    Status s = builder.AddEdge(*from, *to);
+    if (!s.ok()) {
+      return Status::Corruption(
+          StrFormat("line %d: %s", line_no, s.ToString().c_str()));
+    }
+  }
+  if (num_nodes < 0) {
+    return Status::Corruption("edge list missing node count header");
+  }
+  return builder.Build();
+}
+
+StatusOr<DirectedGraph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  return ReadEdgeList(in);
+}
+
+Status WriteEdgeList(const DirectedGraph& graph, std::ostream& out) {
+  out << "# tends edge list: <num_nodes> then one '<from> <to>' per line\n";
+  out << graph.num_nodes() << '\n';
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+  if (!out) return Status::IoError("edge list write failed");
+  return Status::OK();
+}
+
+Status WriteEdgeListFile(const DirectedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteEdgeList(graph, out);
+}
+
+}  // namespace tends::graph

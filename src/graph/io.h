@@ -1,0 +1,27 @@
+#ifndef TENDS_GRAPH_IO_H_
+#define TENDS_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+/// Edge-list text format:
+///   - first non-comment line: "<num_nodes>"
+///   - each following non-comment line: "<from> <to>"
+///   - '#'-prefixed lines and blank lines are comments.
+/// Node ids must be in [0, num_nodes). Duplicate edges and self-loops are
+/// rejected with Corruption.
+StatusOr<DirectedGraph> ReadEdgeList(std::istream& in);
+StatusOr<DirectedGraph> ReadEdgeListFile(const std::string& path);
+
+/// Writes the same format (header comment + node count + edges).
+Status WriteEdgeList(const DirectedGraph& graph, std::ostream& out);
+Status WriteEdgeListFile(const DirectedGraph& graph, const std::string& path);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_IO_H_

@@ -1,0 +1,172 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stringutil.h"
+
+namespace tends::graph {
+
+std::string GraphStats::DebugString() const {
+  return StrFormat(
+      "GraphStats(n=%u, m=%llu, avg_deg=%.2f, deg_mean=%.2f, deg_sd=%.2f, "
+      "deg_max=%u, wcc=%u, largest_wcc=%u, reciprocity=%.2f)",
+      num_nodes, static_cast<unsigned long long>(num_edges), average_degree,
+      mean_total_degree, stddev_total_degree, max_total_degree,
+      num_weak_components, largest_weak_component, reciprocity);
+}
+
+std::vector<uint32_t> WeakComponents(const DirectedGraph& graph) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  uint32_t next_comp = 0;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    comp[start] = next_comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.OutNeighbors(u)) {
+        if (comp[v] == UINT32_MAX) {
+          comp[v] = next_comp;
+          stack.push_back(v);
+        }
+      }
+      for (NodeId v : graph.InNeighbors(u)) {
+        if (comp[v] == UINT32_MAX) {
+          comp[v] = next_comp;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_comp;
+  }
+  return comp;
+}
+
+std::vector<uint32_t> DegreeHistogram(const DirectedGraph& graph) {
+  std::vector<uint32_t> hist;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t d = graph.InDegree(u) + graph.OutDegree(u);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+namespace {
+
+// Sorted undirected neighbor lists (directions collapsed, no duplicates).
+std::vector<std::vector<NodeId>> UndirectedAdjacency(
+    const DirectedGraph& graph) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      adjacency[u].push_back(v);
+      adjacency[v].push_back(u);
+    }
+  }
+  for (auto& neighbors : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const DirectedGraph& graph) {
+  const auto adjacency = UndirectedAdjacency(graph);
+  uint64_t triangles_x3 = 0;  // each triangle counted once per corner
+  uint64_t triples = 0;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const auto& neighbors = adjacency[u];
+    const uint64_t degree = neighbors.size();
+    triples += degree * (degree - 1) / 2;
+    for (size_t a = 0; a < neighbors.size(); ++a) {
+      for (size_t b = a + 1; b < neighbors.size(); ++b) {
+        if (std::binary_search(adjacency[neighbors[a]].begin(),
+                               adjacency[neighbors[a]].end(), neighbors[b])) {
+          ++triangles_x3;
+        }
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(triangles_x3) / static_cast<double>(triples);
+}
+
+double Modularity(const DirectedGraph& graph,
+                  const std::vector<uint32_t>& community) {
+  const auto adjacency = UndirectedAdjacency(graph);
+  const uint32_t n = graph.num_nodes();
+  uint64_t m2 = 0;  // 2 * undirected edge count = sum of degrees
+  for (const auto& neighbors : adjacency) m2 += neighbors.size();
+  if (m2 == 0) return 0.0;
+  uint32_t num_comm = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    num_comm = std::max(num_comm, community[v] + 1);
+  }
+  std::vector<uint64_t> intra_x2(num_comm, 0);  // 2 * intra edges
+  std::vector<uint64_t> degree_sum(num_comm, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    degree_sum[community[u]] += adjacency[u].size();
+    for (NodeId v : adjacency[u]) {
+      if (community[u] == community[v]) ++intra_x2[community[u]];
+    }
+  }
+  double q = 0.0;
+  const double m2d = static_cast<double>(m2);
+  for (uint32_t c = 0; c < num_comm; ++c) {
+    const double e = static_cast<double>(intra_x2[c]) / m2d;
+    const double a = static_cast<double>(degree_sum[c]) / m2d;
+    q += e - a * a;
+  }
+  return q;
+}
+
+GraphStats ComputeStats(const DirectedGraph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  stats.average_degree = graph.AverageDegree();
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  double sum = 0.0, sum_sq = 0.0;
+  uint64_t reciprocal = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t d = graph.InDegree(u) + graph.OutDegree(u);
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+    stats.max_total_degree = std::max(stats.max_total_degree, d);
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(u));
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(u));
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (graph.HasEdge(v, u)) ++reciprocal;
+    }
+  }
+  stats.mean_total_degree = sum / n;
+  double var = sum_sq / n - stats.mean_total_degree * stats.mean_total_degree;
+  stats.stddev_total_degree = var > 0 ? std::sqrt(var) : 0.0;
+  stats.reciprocity =
+      stats.num_edges > 0
+          ? static_cast<double>(reciprocal) / static_cast<double>(stats.num_edges)
+          : 0.0;
+
+  std::vector<uint32_t> comp = WeakComponents(graph);
+  uint32_t num_comp = 0;
+  for (uint32_t c : comp) num_comp = std::max(num_comp, c + 1);
+  std::vector<uint32_t> sizes(num_comp, 0);
+  for (uint32_t c : comp) ++sizes[c];
+  stats.num_weak_components = num_comp;
+  stats.largest_weak_component =
+      num_comp ? *std::max_element(sizes.begin(), sizes.end()) : 0;
+  return stats;
+}
+
+}  // namespace tends::graph

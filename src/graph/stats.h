@@ -1,0 +1,60 @@
+#ifndef TENDS_GRAPH_STATS_H_
+#define TENDS_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+/// Degree and connectivity summary used by Table II and the generator tests.
+struct GraphStats {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  /// num_edges / num_nodes.
+  double average_degree = 0.0;
+  /// Mean / stddev / max of total degree (in + out).
+  double mean_total_degree = 0.0;
+  double stddev_total_degree = 0.0;
+  uint32_t max_total_degree = 0;
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+  /// Number of weakly connected components and size of the largest.
+  uint32_t num_weak_components = 0;
+  uint32_t largest_weak_component = 0;
+  /// Fraction of node pairs with edges in both directions (reciprocity).
+  double reciprocity = 0.0;
+
+  std::string DebugString() const;
+};
+
+/// Computes the summary in O(n + m).
+GraphStats ComputeStats(const DirectedGraph& graph);
+
+/// Weakly connected component id per node (0-based, component ids are
+/// assigned in discovery order).
+std::vector<uint32_t> WeakComponents(const DirectedGraph& graph);
+
+/// Histogram of total degrees: result[d] = #nodes with total degree d.
+std::vector<uint32_t> DegreeHistogram(const DirectedGraph& graph);
+
+/// Global clustering coefficient of the underlying undirected graph
+/// (3 * triangles / connected triples). Directions and reciprocal pairs
+/// are collapsed into single undirected edges first. 0 for graphs without
+/// any connected triple.
+double GlobalClusteringCoefficient(const DirectedGraph& graph);
+
+/// Newman modularity of a node partition on the underlying undirected
+/// graph: Q = sum_c (e_c / m - (d_c / 2m)^2), where e_c is the number of
+/// undirected intra-community edges and d_c the total undirected degree of
+/// community c. `community[v]` is v's community id. Returns 0 for an
+/// edgeless graph. High values on generator output confirm the planted
+/// community structure.
+double Modularity(const DirectedGraph& graph,
+                  const std::vector<uint32_t>& community);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_STATS_H_

@@ -1,0 +1,28 @@
+#include "inference/correlation.h"
+
+#include "inference/imi.h"
+
+namespace tends::inference {
+
+StatusOr<InferredNetwork> CorrelationBaseline::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  if (options_.num_edges == 0) {
+    return Status::InvalidArgument(
+        "Correlation baseline requires a target edge count");
+  }
+  const uint32_t n = observations.num_nodes();
+  if (n == 0) return Status::InvalidArgument("no nodes in observations");
+  ImiMatrix imi(observations.statuses, options_.use_traditional_mi);
+  InferredNetwork network(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double value = imi.Get(i, j);
+      if (value > 0.0) network.AddEdge(i, j, value);
+    }
+  }
+  network.KeepTopM(options_.num_edges);
+  return network;
+}
+
+}  // namespace tends::inference

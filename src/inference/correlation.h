@@ -1,0 +1,39 @@
+#ifndef TENDS_INFERENCE_CORRELATION_H_
+#define TENDS_INFERENCE_CORRELATION_H_
+
+#include <string_view>
+
+#include "inference/network_inference.h"
+
+namespace tends::inference {
+
+/// Options of the naive correlation baseline.
+struct CorrelationOptions {
+  /// Number of edges to output (each unordered correlated pair contributes
+  /// both directions).
+  uint64_t num_edges = 0;
+  /// Rank pairs by infection MI (default) or traditional MI.
+  bool use_traditional_mi = false;
+};
+
+/// Naive baseline (not from the paper; used in ablations and examples):
+/// ranks node pairs by their pairwise infection-MI and emits the top
+/// num_edges ordered pairs. Shows how much of TENDS's accuracy comes from
+/// the score-based parent-set search versus raw pairwise correlation.
+class CorrelationBaseline : public NetworkInference {
+ public:
+  explicit CorrelationBaseline(CorrelationOptions options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "Correlation"; }
+
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) override;
+
+ private:
+  CorrelationOptions options_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_CORRELATION_H_

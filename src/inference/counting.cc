@@ -1,0 +1,136 @@
+#include "inference/counting.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tends::inference {
+
+JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
+                       graph::NodeId child,
+                       const std::vector<graph::NodeId>& parents) {
+  const uint32_t s = static_cast<uint32_t>(parents.size());
+  TENDS_CHECK(s <= kMaxCountableParents) << "parent set too large: " << s;
+  JointCounts counts;
+  counts.num_possible = uint64_t{1} << s;
+  const uint32_t beta = statuses.num_processes();
+
+  if (s <= 14) {
+    // Dense tables (<= 16384 entries).
+    const uint32_t size = 1u << s;
+    std::vector<uint32_t> dense0(size, 0), dense1(size, 0);
+    for (uint32_t p = 0; p < beta; ++p) {
+      const uint8_t* row = statuses.Row(p);
+      uint32_t combo = 0;
+      for (uint32_t b = 0; b < s; ++b) {
+        combo |= static_cast<uint32_t>(row[parents[b]] & 1) << b;
+      }
+      if (row[child]) {
+        ++dense1[combo];
+      } else {
+        ++dense0[combo];
+      }
+    }
+    for (uint32_t j = 0; j < size; ++j) {
+      if (dense0[j] + dense1[j] == 0) continue;
+      counts.combo.push_back(j);
+      counts.child0_count.push_back(dense0[j]);
+      counts.child1_count.push_back(dense1[j]);
+    }
+  } else {
+    std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> sparse;
+    sparse.reserve(beta);
+    for (uint32_t p = 0; p < beta; ++p) {
+      const uint8_t* row = statuses.Row(p);
+      uint32_t combo = 0;
+      for (uint32_t b = 0; b < s; ++b) {
+        combo |= static_cast<uint32_t>(row[parents[b]] & 1) << b;
+      }
+      auto& entry = sparse[combo];
+      if (row[child]) {
+        ++entry.second;
+      } else {
+        ++entry.first;
+      }
+    }
+    counts.combo.reserve(sparse.size());
+    for (const auto& [combo, pair] : sparse) {
+      counts.combo.push_back(combo);
+      counts.child0_count.push_back(pair.first);
+      counts.child1_count.push_back(pair.second);
+    }
+  }
+  counts.num_unobserved = counts.num_possible - counts.num_observed();
+  return counts;
+}
+
+PairCounts CountPair(const diffusion::StatusMatrix& statuses,
+                     graph::NodeId i, graph::NodeId j) {
+  PairCounts counts;
+  for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
+    const uint8_t* row = statuses.Row(p);
+    uint8_t a = row[i] & 1;
+    uint8_t b = row[j] & 1;
+    if (a) {
+      if (b) {
+        ++counts.c11;
+      } else {
+        ++counts.c10;
+      }
+    } else {
+      if (b) {
+        ++counts.c01;
+      } else {
+        ++counts.c00;
+      }
+    }
+  }
+  return counts;
+}
+
+PackedStatuses::PackedStatuses(const diffusion::StatusMatrix& statuses)
+    : num_nodes_(statuses.num_nodes()),
+      num_processes_(statuses.num_processes()),
+      words_per_node_((statuses.num_processes() + 63) / 64) {
+  words_.assign(static_cast<size_t>(num_nodes_) * words_per_node_, 0);
+  for (uint32_t p = 0; p < num_processes_; ++p) {
+    const uint8_t* row = statuses.Row(p);
+    const uint32_t word = p >> 6;
+    const uint64_t bit = uint64_t{1} << (p & 63);
+    for (uint32_t v = 0; v < num_nodes_; ++v) {
+      if (row[v]) {
+        words_[static_cast<size_t>(v) * words_per_node_ + word] |= bit;
+      }
+    }
+  }
+}
+
+PairCounts PackedStatuses::CountPair(graph::NodeId i, graph::NodeId j) const {
+  const uint64_t* a = Column(i);
+  const uint64_t* b = Column(j);
+  uint32_t c11 = 0, c10 = 0, c01 = 0;
+  for (uint32_t w = 0; w < words_per_node_; ++w) {
+    c11 += static_cast<uint32_t>(std::popcount(a[w] & b[w]));
+    c10 += static_cast<uint32_t>(std::popcount(a[w] & ~b[w]));
+    c01 += static_cast<uint32_t>(std::popcount(~a[w] & b[w]));
+  }
+  // ~a & ~b would count padding bits beyond num_processes_; derive c00.
+  PairCounts counts;
+  counts.c11 = c11;
+  counts.c10 = c10;
+  counts.c01 = c01;
+  counts.c00 = num_processes_ - c11 - c10 - c01;
+  return counts;
+}
+
+uint32_t PackedStatuses::InfectedCount(graph::NodeId v) const {
+  const uint64_t* a = Column(v);
+  uint32_t count = 0;
+  for (uint32_t w = 0; w < words_per_node_; ++w) {
+    count += static_cast<uint32_t>(std::popcount(a[w]));
+  }
+  return count;
+}
+
+}  // namespace tends::inference

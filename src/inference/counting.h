@@ -1,0 +1,82 @@
+#ifndef TENDS_INFERENCE_COUNTING_H_
+#define TENDS_INFERENCE_COUNTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace tends::inference {
+
+/// Sufficient statistics for a child node and a candidate parent set F:
+/// for every parent-status combination j observed in S, the counts
+/// N_ij1 (child uninfected, paper's s_1 = 0) and N_ij2 (child infected).
+/// Combinations never observed contribute N_ij = 0 and are represented only
+/// by the `num_unobserved` tally (the paper's φ_F).
+///
+/// The combination index j encodes parent statuses as bits: bit b is the
+/// status of parents[b].
+struct JointCounts {
+  /// Parallel arrays over *observed* combinations.
+  std::vector<uint32_t> combo;         // bit-encoded parent statuses
+  std::vector<uint32_t> child0_count;  // N with child status 0
+  std::vector<uint32_t> child1_count;  // N with child status 1
+  /// φ_F: number of the 2^|F| combinations with no instance in S.
+  uint64_t num_unobserved = 0;
+  /// 2^|F| (total possible combinations).
+  uint64_t num_possible = 0;
+
+  size_t num_observed() const { return combo.size(); }
+};
+
+/// Maximum parent-set size CountJoint accepts (combination indices are
+/// 32-bit and dense tables are bounded).
+inline constexpr uint32_t kMaxCountableParents = 24;
+
+/// Counts parent-status combinations of `parents` against `child` over all
+/// processes in `statuses`. Requires parents.size() <= kMaxCountableParents
+/// (checked; exceeding it is a programming error guarded by TENDS options).
+JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
+                       graph::NodeId child,
+                       const std::vector<graph::NodeId>& parents);
+
+/// 2x2 contingency counts of two nodes' statuses across processes:
+/// count[a][b] = #processes with X_i = a and X_j = b.
+struct PairCounts {
+  uint32_t c00 = 0, c01 = 0, c10 = 0, c11 = 0;
+  uint32_t total() const { return c00 + c01 + c10 + c11; }
+};
+
+PairCounts CountPair(const diffusion::StatusMatrix& statuses,
+                     graph::NodeId i, graph::NodeId j);
+
+/// Bit-packed per-node status columns for fast pairwise counting: node v's
+/// statuses across processes stored as ceil(beta/64) words.
+class PackedStatuses {
+ public:
+  explicit PackedStatuses(const diffusion::StatusMatrix& statuses);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t num_processes() const { return num_processes_; }
+
+  /// Same contingency table as CountPair, via popcount (O(beta/64)).
+  PairCounts CountPair(graph::NodeId i, graph::NodeId j) const;
+
+  /// Number of processes in which `v` is infected.
+  uint32_t InfectedCount(graph::NodeId v) const;
+
+ private:
+  const uint64_t* Column(graph::NodeId v) const {
+    return words_.data() + static_cast<size_t>(v) * words_per_node_;
+  }
+
+  uint32_t num_nodes_ = 0;
+  uint32_t num_processes_ = 0;
+  uint32_t words_per_node_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_COUNTING_H_

@@ -1,0 +1,61 @@
+#include "inference/imi.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tends::inference {
+
+double PointwiseMiTerm(const PairCounts& counts, int a, int b) {
+  const double total = counts.total();
+  if (total == 0) return 0.0;
+  const double joint = a ? (b ? counts.c11 : counts.c10)
+                         : (b ? counts.c01 : counts.c00);
+  if (joint == 0) return 0.0;
+  const double pi = a ? counts.c11 + counts.c10 : counts.c01 + counts.c00;
+  const double pj = b ? counts.c11 + counts.c01 : counts.c10 + counts.c00;
+  const double p_joint = joint / total;
+  const double p_i = pi / total;
+  const double p_j = pj / total;
+  return p_joint * std::log2(p_joint / (p_i * p_j));
+}
+
+double TraditionalMi(const PairCounts& counts) {
+  return PointwiseMiTerm(counts, 0, 0) + PointwiseMiTerm(counts, 0, 1) +
+         PointwiseMiTerm(counts, 1, 0) + PointwiseMiTerm(counts, 1, 1);
+}
+
+double InfectionMi(const PairCounts& counts) {
+  return PointwiseMiTerm(counts, 1, 1) + PointwiseMiTerm(counts, 0, 0) -
+         std::abs(PointwiseMiTerm(counts, 1, 0)) -
+         std::abs(PointwiseMiTerm(counts, 0, 1));
+}
+
+ImiMatrix::ImiMatrix(const diffusion::StatusMatrix& statuses,
+                     bool use_traditional_mi)
+    : num_nodes_(statuses.num_nodes()) {
+  values_.assign(static_cast<size_t>(num_nodes_) * num_nodes_, 0.0);
+  PackedStatuses packed(statuses);
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    for (uint32_t j = i + 1; j < num_nodes_; ++j) {
+      PairCounts counts = packed.CountPair(i, j);
+      double value =
+          use_traditional_mi ? TraditionalMi(counts) : InfectionMi(counts);
+      values_[static_cast<size_t>(i) * num_nodes_ + j] = value;
+      values_[static_cast<size_t>(j) * num_nodes_ + i] = value;
+    }
+  }
+}
+
+std::vector<double> ImiMatrix::UpperTriangleValues() const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(num_nodes_) * (num_nodes_ - 1) / 2);
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    for (uint32_t j = i + 1; j < num_nodes_; ++j) {
+      out.push_back(Get(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,48 @@
+#ifndef TENDS_INFERENCE_IMI_H_
+#define TENDS_INFERENCE_IMI_H_
+
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "inference/counting.h"
+
+namespace tends::inference {
+
+/// Pointwise mutual-information term MI(X_i = a, X_j = b) =
+/// P(a,b) * log2(P(a,b) / (P_i(a) * P_j(b))); 0 when P(a,b) = 0.
+double PointwiseMiTerm(const PairCounts& counts, int a, int b);
+
+/// Traditional mutual information MI(X_i, X_j): sum of the four pointwise
+/// terms (Eq. 24 summed over outcomes). Used by the MI-vs-IMI ablation.
+double TraditionalMi(const PairCounts& counts);
+
+/// Infection mutual information (Eq. 25):
+///   MI(1,1) + MI(0,0) - |MI(1,0)| - |MI(0,1)|.
+/// Positive for positively correlated infections, near 0 for independent
+/// nodes, negative for negatively correlated infections.
+double InfectionMi(const PairCounts& counts);
+
+/// Symmetric matrix of pairwise correlation values over all node pairs.
+class ImiMatrix {
+ public:
+  /// Computes IMI (or traditional MI when use_traditional_mi) for every
+  /// unordered pair via bit-packed counting: O(n^2 * beta / 64).
+  ImiMatrix(const diffusion::StatusMatrix& statuses, bool use_traditional_mi);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  double Get(graph::NodeId i, graph::NodeId j) const {
+    return values_[static_cast<size_t>(i) * num_nodes_ + j];
+  }
+
+  /// All strictly-upper-triangle values (each unordered pair once).
+  std::vector<double> UpperTriangleValues() const;
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<double> values_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_IMI_H_

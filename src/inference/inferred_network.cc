@@ -1,0 +1,40 @@
+#include "inference/inferred_network.h"
+
+#include <algorithm>
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+
+namespace tends::inference {
+
+void InferredNetwork::KeepTopM(size_t m) {
+  if (edges_.size() <= m) return;
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const ScoredEdge& a, const ScoredEdge& b) {
+                     if (a.weight != b.weight) return a.weight > b.weight;
+                     return a.edge < b.edge;
+                   });
+  edges_.resize(m);
+}
+
+void InferredNetwork::KeepAboveThreshold(double threshold) {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [&](const ScoredEdge& e) {
+                                return e.weight < threshold;
+                              }),
+               edges_.end());
+}
+
+StatusOr<graph::DirectedGraph> InferredNetwork::ToGraph() const {
+  graph::GraphBuilder builder(num_nodes_);
+  for (const ScoredEdge& e : edges_) {
+    TENDS_RETURN_IF_ERROR(builder.AddEdge(e.edge.from, e.edge.to));
+  }
+  return builder.Build();
+}
+
+std::string InferredNetwork::DebugString() const {
+  return StrFormat("InferredNetwork(n=%u, m=%zu)", num_nodes_, edges_.size());
+}
+
+}  // namespace tends::inference

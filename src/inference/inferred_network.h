@@ -1,0 +1,55 @@
+#ifndef TENDS_INFERENCE_INFERRED_NETWORK_H_
+#define TENDS_INFERENCE_INFERRED_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::inference {
+
+/// A directed edge proposed by an inference algorithm, with an optional
+/// confidence weight (higher = more confident; algorithms that do not
+/// produce weights leave them at 1).
+struct ScoredEdge {
+  graph::Edge edge;
+  double weight = 1.0;
+};
+
+/// Output of a network-inference algorithm: a set of directed edges over a
+/// fixed node set.
+class InferredNetwork {
+ public:
+  explicit InferredNetwork(uint32_t num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  const std::vector<ScoredEdge>& edges() const { return edges_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  void AddEdge(graph::NodeId from, graph::NodeId to, double weight = 1.0) {
+    edges_.push_back({{from, to}, weight});
+  }
+
+  /// Keeps only the `m` highest-weight edges (ties broken by (from, to)
+  /// order for determinism). Used by algorithms that are given the true
+  /// edge count, and by NetRate's threshold sweep.
+  void KeepTopM(size_t m);
+
+  /// Drops edges with weight below `threshold`.
+  void KeepAboveThreshold(double threshold);
+
+  /// Materializes as a DirectedGraph (drops weights). Fails on duplicate
+  /// edges or self-loops, which indicate an algorithm bug.
+  StatusOr<graph::DirectedGraph> ToGraph() const;
+
+  std::string DebugString() const;
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<ScoredEdge> edges_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_INFERRED_NETWORK_H_

@@ -1,0 +1,76 @@
+#include "inference/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/stringutil.h"
+
+namespace tends::inference {
+
+namespace {
+constexpr char kHeader[] = "# tends-network v1";
+}  // namespace
+
+Status WriteInferredNetwork(const InferredNetwork& network,
+                            std::ostream& out) {
+  out << kHeader << '\n';
+  out << network.num_nodes() << '\n';
+  for (const ScoredEdge& scored : network.edges()) {
+    out << scored.edge.from << ' ' << scored.edge.to << ' '
+        << StrFormat("%.17g", scored.weight) << '\n';
+  }
+  if (!out) return Status::IoError("network write failed");
+  return Status::OK();
+}
+
+Status WriteInferredNetworkFile(const InferredNetwork& network,
+                                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open: " + path);
+  return WriteInferredNetwork(network, out);
+}
+
+StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kHeader) {
+    return Status::Corruption("missing tends-network header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::Corruption("missing node count");
+  }
+  auto num_nodes = ParseUint32(StripWhitespace(line));
+  if (!num_nodes.ok()) return Status::Corruption("bad node count: " + line);
+  InferredNetwork network(*num_nodes);
+  int line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto fields = SplitWhitespace(stripped);
+    if (fields.size() != 3) {
+      return Status::Corruption(
+          StrFormat("line %d: expected '<from> <to> <weight>'", line_no));
+    }
+    auto from = ParseUint32(fields[0]);
+    auto to = ParseUint32(fields[1]);
+    auto weight = ParseDouble(fields[2]);
+    if (!from.ok() || !to.ok() || !weight.ok()) {
+      return Status::Corruption(StrFormat("line %d: bad edge fields", line_no));
+    }
+    if (*from >= *num_nodes || *to >= *num_nodes) {
+      return Status::Corruption(
+          StrFormat("line %d: endpoint out of range", line_no));
+    }
+    network.AddEdge(*from, *to, *weight);
+  }
+  return network;
+}
+
+StatusOr<InferredNetwork> ReadInferredNetworkFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  return ReadInferredNetwork(in);
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,24 @@
+#ifndef TENDS_INFERENCE_IO_H_
+#define TENDS_INFERENCE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/statusor.h"
+#include "inference/inferred_network.h"
+
+namespace tends::inference {
+
+/// Text format for inference results ("tends-network v1"):
+///   - header comment line
+///   - "<num_nodes>"
+///   - one "<from> <to> <weight>" line per edge.
+Status WriteInferredNetwork(const InferredNetwork& network, std::ostream& out);
+Status WriteInferredNetworkFile(const InferredNetwork& network,
+                                const std::string& path);
+StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in);
+StatusOr<InferredNetwork> ReadInferredNetworkFile(const std::string& path);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_IO_H_

@@ -1,0 +1,60 @@
+#include "inference/kmeans_threshold.h"
+
+#include <algorithm>
+
+namespace tends::inference {
+
+ImiThreshold FindImiThreshold(const std::vector<double>& values,
+                              uint32_t max_iterations) {
+  std::vector<double> points;
+  points.reserve(values.size());
+  double max_value = 0.0;
+  for (double v : values) {
+    if (v >= 0.0) {
+      points.push_back(v);
+      max_value = std::max(max_value, v);
+    }
+  }
+  ImiThreshold result;
+  if (points.empty() || max_value == 0.0) {
+    result.noise_count = static_cast<uint32_t>(points.size());
+    return result;
+  }
+  std::sort(points.begin(), points.end());
+
+  // Centroid 0 is pinned at 0; centroid 1 starts at the maximum so the
+  // signal cluster begins with the clearly-correlated pairs.
+  double signal_mean = max_value;
+  size_t split = points.size();  // first index assigned to the signal cluster
+  for (uint32_t iter = 1; iter <= max_iterations; ++iter) {
+    result.iterations = iter;
+    // Assignment step: value v goes to the signal cluster iff it is closer
+    // to signal_mean than to 0, i.e. v > signal_mean / 2. Points are
+    // sorted, so the boundary is a single split index.
+    const double boundary = signal_mean / 2.0;
+    size_t new_split = static_cast<size_t>(
+        std::upper_bound(points.begin(), points.end(), boundary) -
+        points.begin());
+    if (new_split == points.size()) {
+      // Keep at least the maximum in the signal cluster; an empty signal
+      // cluster would leave the free centroid undefined.
+      new_split = points.size() - 1;
+    }
+    // Update step: recompute the free centroid.
+    double sum = 0.0;
+    for (size_t k = new_split; k < points.size(); ++k) sum += points[k];
+    double new_mean = sum / static_cast<double>(points.size() - new_split);
+    if (new_split == split && new_mean == signal_mean) break;
+    split = new_split;
+    signal_mean = new_mean;
+  }
+  if (split == points.size()) split = points.size() - 1;
+
+  result.signal_mean = signal_mean;
+  result.noise_count = static_cast<uint32_t>(split);
+  result.signal_count = static_cast<uint32_t>(points.size() - split);
+  result.tau = split > 0 ? points[split - 1] : 0.0;
+  return result;
+}
+
+}  // namespace tends::inference

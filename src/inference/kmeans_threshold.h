@@ -1,0 +1,31 @@
+#ifndef TENDS_INFERENCE_KMEANS_THRESHOLD_H_
+#define TENDS_INFERENCE_KMEANS_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tends::inference {
+
+/// Result of the modified 2-means clustering used by the pruning method
+/// (§IV-B): non-negative IMI values are split into a "noise" cluster whose
+/// centroid is pinned at 0 and a "signal" cluster with a free centroid;
+/// tau is the largest value assigned to the noise cluster.
+struct ImiThreshold {
+  double tau = 0.0;
+  /// Final centroid of the free (signal) cluster.
+  double signal_mean = 0.0;
+  uint32_t noise_count = 0;
+  uint32_t signal_count = 0;
+  uint32_t iterations = 0;
+};
+
+/// Runs the modified K-means (K = 2, one mean fixed at 0) on the
+/// non-negative entries of `values` (negative entries are dropped first,
+/// as the paper removes negative IMI values). Deterministic. With no
+/// positive values the threshold is 0 and everything is noise.
+ImiThreshold FindImiThreshold(const std::vector<double>& values,
+                              uint32_t max_iterations = 100);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_KMEANS_THRESHOLD_H_

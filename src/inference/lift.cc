@@ -1,0 +1,60 @@
+#include "inference/lift.h"
+
+#include <vector>
+
+#include "diffusion/cascade.h"
+
+namespace tends::inference {
+
+StatusOr<InferredNetwork> Lift::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  if (options_.num_edges == 0) {
+    return Status::InvalidArgument(
+        "LIFT requires the target edge count (the paper supplies the true m)");
+  }
+  const auto& cascades = observations.cascades;
+  const auto& statuses = observations.statuses;
+  if (cascades.empty()) {
+    return Status::InvalidArgument(
+        "LIFT requires per-process diffusion sources");
+  }
+  const uint32_t n = observations.num_nodes();
+  const uint32_t beta = observations.num_processes();
+
+  // source_count[u] = #processes where u was initially infected.
+  // joint[u][v]     = #processes where u was a source and v got infected.
+  std::vector<uint32_t> source_count(n, 0);
+  std::vector<uint32_t> infected_count(n, 0);
+  std::vector<uint32_t> joint(static_cast<size_t>(n) * n, 0);
+  for (uint32_t c = 0; c < beta; ++c) {
+    const uint8_t* row = statuses.Row(c);
+    for (graph::NodeId u : cascades[c].sources) {
+      ++source_count[u];
+      uint32_t* joint_row = joint.data() + static_cast<size_t>(u) * n;
+      for (uint32_t v = 0; v < n; ++v) {
+        joint_row[v] += row[v];
+      }
+    }
+    for (uint32_t v = 0; v < n; ++v) infected_count[v] += row[v];
+  }
+
+  const double s = options_.smoothing;
+  InferredNetwork network(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (source_count[u] == 0) continue;  // no lift estimate possible
+    const uint32_t not_source = beta - source_count[u];
+    const uint32_t* joint_row = joint.data() + static_cast<size_t>(u) * n;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double p_with =
+          (joint_row[v] + s) / (source_count[u] + 2.0 * s);
+      const double p_without =
+          (infected_count[v] - joint_row[v] + s) / (not_source + 2.0 * s);
+      network.AddEdge(u, v, p_with - p_without);
+    }
+  }
+  network.KeepTopM(options_.num_edges);
+  return network;
+}
+
+}  // namespace tends::inference

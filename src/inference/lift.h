@@ -1,0 +1,42 @@
+#ifndef TENDS_INFERENCE_LIFT_H_
+#define TENDS_INFERENCE_LIFT_H_
+
+#include <string_view>
+
+#include "inference/network_inference.h"
+
+namespace tends::inference {
+
+/// Options of the LIFT baseline.
+struct LiftOptions {
+  /// Number of edges to infer (the paper supplies the true m).
+  uint64_t num_edges = 0;
+  /// Additive smoothing of the conditional infection-probability estimates
+  /// (nodes are sources in only ~alpha*beta processes, so the estimates are
+  /// noisy without smoothing).
+  double smoothing = 1.0;
+};
+
+/// LIFT (Amin, Heidari & Kearns, ICML 2014): reconstructs edges from
+/// diffusion sources plus final infection statuses. The lifting effect of u
+/// on v is the increase in v's infection probability when u is among the
+/// initially infected:
+///   lift(u, v) = P(X_v = 1 | u in sources) - P(X_v = 1 | u not in sources),
+/// estimated with additive smoothing. The num_edges ordered pairs with the
+/// largest lifts become the inferred edges.
+class Lift : public NetworkInference {
+ public:
+  explicit Lift(LiftOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "LIFT"; }
+
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) override;
+
+ private:
+  LiftOptions options_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_LIFT_H_

@@ -1,0 +1,80 @@
+#include "inference/local_score.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tends::inference {
+
+namespace {
+
+// n * log2(n / d); 0 when n == 0.
+inline double NLogRatio(uint32_t n, uint32_t d) {
+  if (n == 0) return 0.0;
+  return n * std::log2(static_cast<double>(n) / d);
+}
+
+}  // namespace
+
+double LogLikelihood(const JointCounts& counts) {
+  double ll = 0.0;
+  for (size_t j = 0; j < counts.num_observed(); ++j) {
+    const uint32_t n0 = counts.child0_count[j];
+    const uint32_t n1 = counts.child1_count[j];
+    const uint32_t nj = n0 + n1;
+    ll += NLogRatio(n0, nj) + NLogRatio(n1, nj);
+  }
+  return ll;
+}
+
+double ScorePenalty(const JointCounts& counts) {
+  double penalty = 0.0;
+  for (size_t j = 0; j < counts.num_observed(); ++j) {
+    const uint32_t nj = counts.child0_count[j] + counts.child1_count[j];
+    penalty += std::log2(static_cast<double>(nj) + 1.0);
+  }
+  return 0.5 * penalty;
+}
+
+double LocalScore(const JointCounts& counts) {
+  return LogLikelihood(counts) - ScorePenalty(counts);
+}
+
+double EmptySetLocalScore(uint32_t n1, uint32_t n2) {
+  const uint32_t beta = n1 + n2;
+  if (beta == 0) return 0.0;
+  return NLogRatio(n1, beta) + NLogRatio(n2, beta) -
+         0.5 * std::log2(static_cast<double>(beta) + 1.0);
+}
+
+double DeltaI(uint32_t beta, uint32_t n1, uint32_t n2) {
+  TENDS_CHECK(n1 + n2 == beta) << "N1 + N2 must equal beta";
+  double delta = std::log2(static_cast<double>(beta) + 1.0);
+  if (n1 > 0) delta += 2.0 * n1 * std::log2(static_cast<double>(beta) / n1);
+  if (n2 > 0) delta += 2.0 * n2 * std::log2(static_cast<double>(beta) / n2);
+  return delta;
+}
+
+bool WithinParentBound(size_t parent_set_size, uint64_t phi, double delta) {
+  return static_cast<double>(parent_set_size) <=
+         std::log2(static_cast<double>(phi) + delta);
+}
+
+double LocalScoreFor(const diffusion::StatusMatrix& statuses,
+                     graph::NodeId child,
+                     const std::vector<graph::NodeId>& parents) {
+  return LocalScore(CountJoint(statuses, child, parents));
+}
+
+double NetworkScore(const diffusion::StatusMatrix& statuses,
+                    const std::vector<std::vector<graph::NodeId>>& parents) {
+  TENDS_CHECK(parents.size() == statuses.num_nodes())
+      << "one parent set per node required";
+  double total = 0.0;
+  for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+    total += LocalScoreFor(statuses, v, parents[v]);
+  }
+  return total;
+}
+
+}  // namespace tends::inference

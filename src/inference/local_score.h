@@ -1,0 +1,50 @@
+#ifndef TENDS_INFERENCE_LOCAL_SCORE_H_
+#define TENDS_INFERENCE_LOCAL_SCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "inference/counting.h"
+
+namespace tends::inference {
+
+/// log2 of the likelihood L(v_i, F_i) (Eq. 3): sum over observed parent-
+/// status combinations j and child statuses k of N_ijk * log2(N_ijk / N_ij).
+/// Terms with N_ijk = 0 contribute 0. Always <= 0.
+double LogLikelihood(const JointCounts& counts);
+
+/// The statistical-error penalty of Eq. 12: (1/2) * sum_j log2(N_ij + 1).
+/// Unobserved combinations have N_ij = 0 and contribute log2(1) = 0.
+double ScorePenalty(const JointCounts& counts);
+
+/// Local score g(v_i, F_i) = LogLikelihood - ScorePenalty (Eq. 13).
+double LocalScore(const JointCounts& counts);
+
+/// g(v_i, emptyset) (Eq. 18): n1/n2 are the counts of child status 0/1
+/// across the beta = n1 + n2 processes.
+double EmptySetLocalScore(uint32_t n1, uint32_t n2);
+
+/// Theorem 2's delta_i (Eq. 17):
+///   2*N1*log2(beta/N1) + 2*N2*log2(beta/N2) + log2(beta + 1),
+/// with the convention that an N_k = 0 term contributes 0.
+double DeltaI(uint32_t beta, uint32_t n1, uint32_t n2);
+
+/// Theorem 2's bound: |F| <= log2(phi_F + delta). `phi` is the number of
+/// unobserved parent-status combinations.
+bool WithinParentBound(size_t parent_set_size, uint64_t phi, double delta);
+
+/// Convenience: counts + local score for (child, parents) in one call.
+double LocalScoreFor(const diffusion::StatusMatrix& statuses,
+                     graph::NodeId child,
+                     const std::vector<graph::NodeId>& parents);
+
+/// Total network score g(T) (Eq. 12) for a full topology given per-node
+/// parent sets: sum of local scores. Exposed for tests of decomposability
+/// and for the examples.
+double NetworkScore(const diffusion::StatusMatrix& statuses,
+                    const std::vector<std::vector<graph::NodeId>>& parents);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_LOCAL_SCORE_H_

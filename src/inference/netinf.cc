@@ -1,0 +1,110 @@
+#include "inference/netinf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "diffusion/cascade.h"
+
+namespace tends::inference {
+
+namespace {
+
+struct HeapEntry {
+  double gain;
+  uint32_t edge_id;
+  uint64_t computed_at;
+
+  bool operator<(const HeapEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return edge_id > other.edge_id;
+  }
+};
+
+}  // namespace
+
+StatusOr<InferredNetwork> NetInf::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  if (options_.num_edges == 0) {
+    return Status::InvalidArgument("NetInf requires the target edge count");
+  }
+  const auto& cascades = observations.cascades;
+  if (cascades.empty()) {
+    return Status::InvalidArgument("NetInf requires recorded cascades");
+  }
+  const uint32_t n = observations.num_nodes();
+  const uint32_t num_cascades = static_cast<uint32_t>(cascades.size());
+
+  // Candidate edges: ordered time-respecting co-infected pairs.
+  std::vector<graph::Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& cascade : cascades) {
+    std::vector<graph::NodeId> infected;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (cascade.Infected(v)) infected.push_back(v);
+    }
+    for (graph::NodeId v : infected) {
+      const int32_t tv = cascade.infection_time[v];
+      if (tv == 0) continue;
+      for (graph::NodeId u : infected) {
+        if (cascade.infection_time[u] >= tv) continue;
+        uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+        if (seen.insert(key).second) edges.push_back({u, v});
+      }
+    }
+  }
+  if (edges.empty()) return InferredNetwork(n);
+
+  // explained[c * n + v]: whether node v already has a selected
+  // time-respecting parent in cascade c. In the best-tree likelihood each
+  // node keeps only its best parent, so with uniform weights an edge only
+  // contributes to unexplained heads (gain log(w/eps) per cascade).
+  std::vector<uint8_t> explained(static_cast<size_t>(num_cascades) * n, 0);
+  const double per_cascade_gain =
+      std::log(options_.edge_weight / options_.epsilon);
+
+  auto compute_gain = [&](const graph::Edge& e) {
+    uint32_t newly_explained = 0;
+    for (uint32_t c = 0; c < num_cascades; ++c) {
+      const auto& time = cascades[c].infection_time;
+      const int32_t tv = time[e.to];
+      const int32_t tu = time[e.from];
+      if (tv <= 0 || tu == diffusion::kNeverInfected || tu >= tv) continue;
+      if (!explained[static_cast<size_t>(c) * n + e.to]) ++newly_explained;
+    }
+    return newly_explained * per_cascade_gain;
+  };
+
+  std::priority_queue<HeapEntry> heap;
+  for (uint32_t id = 0; id < edges.size(); ++id) {
+    heap.push({compute_gain(edges[id]), id, 0});
+  }
+  InferredNetwork network(n);
+  uint64_t round = 0;
+  while (network.num_edges() < options_.num_edges && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.computed_at != round) {
+      top.gain = compute_gain(edges[top.edge_id]);
+      top.computed_at = round;
+      heap.push(top);
+      continue;
+    }
+    if (top.gain <= 0.0) break;  // nothing left to explain
+    const graph::Edge& e = edges[top.edge_id];
+    for (uint32_t c = 0; c < num_cascades; ++c) {
+      const auto& time = cascades[c].infection_time;
+      const int32_t tv = time[e.to];
+      const int32_t tu = time[e.from];
+      if (tv <= 0 || tu == diffusion::kNeverInfected || tu >= tv) continue;
+      explained[static_cast<size_t>(c) * n + e.to] = 1;
+    }
+    network.AddEdge(e.from, e.to, top.gain);
+    ++round;
+  }
+  return network;
+}
+
+}  // namespace tends::inference

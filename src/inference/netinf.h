@@ -1,0 +1,44 @@
+#ifndef TENDS_INFERENCE_NETINF_H_
+#define TENDS_INFERENCE_NETINF_H_
+
+#include <string_view>
+
+#include "inference/network_inference.h"
+
+namespace tends::inference {
+
+/// Options of the NetInf baseline.
+struct NetInfOptions {
+  /// Number of edges to infer (NetInf, like MulTree, takes the budget).
+  uint64_t num_edges = 0;
+  /// Weight ratio between an edge explanation and the background epsilon;
+  /// only the ratio enters the greedy gains.
+  double edge_weight = 0.5;
+  double epsilon = 1e-9;
+};
+
+/// NetInf (Gomez-Rodriguez, Leskovec & Krause, KDD 2010): the predecessor
+/// of MulTree that scores each cascade by its single most probable
+/// propagation tree instead of the sum over all trees (§II-A: "NetInf
+/// considers only the most probable propagation tree, to achieve high
+/// efficiency"). With uniform edge weights, an infected node's term
+/// improves only when it gains its *first* selected time-respecting
+/// parent, so the greedy gain of an edge counts the cascades where it is
+/// the first explanation of its head. Submodular; solved greedily with
+/// CELF.
+class NetInf : public NetworkInference {
+ public:
+  explicit NetInf(NetInfOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "NetInf"; }
+
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) override;
+
+ private:
+  NetInfOptions options_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_NETINF_H_

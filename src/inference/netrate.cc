@@ -1,0 +1,134 @@
+#include "inference/netrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+#include "diffusion/cascade.h"
+
+namespace tends::inference {
+
+namespace {
+
+// Per-cascade view of one node's subproblem: the candidate parents exposed
+// to the node in this cascade and for how long.
+struct CascadeTerm {
+  std::vector<uint32_t> parents;  // indices into the node's candidate list
+  std::vector<double> exposure;   // t_i - t_j (infected) or T_c - t_j (not)
+  bool node_infected = false;
+};
+
+}  // namespace
+
+StatusOr<InferredNetwork> NetRate::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  const auto& cascades = observations.cascades;
+  if (cascades.empty()) {
+    return Status::InvalidArgument("NetRate requires recorded cascades");
+  }
+  const uint32_t n = observations.num_nodes();
+  InferredNetwork network(n);
+
+  // Observation window per cascade: last infection time + 1.
+  std::vector<double> window(cascades.size(), 1.0);
+  for (size_t c = 0; c < cascades.size(); ++c) {
+    int32_t last = 0;
+    for (int32_t t : cascades[c].infection_time) last = std::max(last, t);
+    window[c] = static_cast<double>(last) + 1.0;
+  }
+
+  // Solve the convex subproblem of each node i independently (optionally
+  // in parallel; outputs are per-node and assembled in node order).
+  std::vector<std::vector<std::pair<graph::NodeId, double>>> per_node_rates(n);
+  ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
+    // Candidates: nodes infected strictly before i in some cascade where i
+    // got infected (only those can carry positive rates at the optimum).
+    std::vector<graph::NodeId> candidates;
+    std::vector<uint32_t> candidate_index(n, UINT32_MAX);
+    for (const auto& cascade : cascades) {
+      const int32_t ti = cascade.infection_time[i];
+      if (ti == diffusion::kNeverInfected || ti == 0) continue;
+      for (uint32_t j = 0; j < n; ++j) {
+        const int32_t tj = cascade.infection_time[j];
+        if (j != i && tj != diffusion::kNeverInfected && tj < ti &&
+            candidate_index[j] == UINT32_MAX) {
+          candidate_index[j] = static_cast<uint32_t>(candidates.size());
+          candidates.push_back(j);
+        }
+      }
+    }
+    if (candidates.empty()) return;
+
+    // Precompute per-cascade exposure terms.
+    std::vector<CascadeTerm> terms;
+    terms.reserve(cascades.size());
+    for (size_t c = 0; c < cascades.size(); ++c) {
+      const auto& cascade = cascades[c];
+      const int32_t ti = cascade.infection_time[i];
+      if (ti == 0) continue;  // i is a source: nothing to explain
+      CascadeTerm term;
+      term.node_infected = ti != diffusion::kNeverInfected;
+      const double horizon = term.node_infected ? ti : window[c];
+      for (graph::NodeId j : candidates) {
+        const int32_t tj = cascade.infection_time[j];
+        if (tj == diffusion::kNeverInfected || tj >= horizon) continue;
+        term.parents.push_back(candidate_index[j]);
+        term.exposure.push_back(horizon - tj);
+      }
+      if (!term.parents.empty()) terms.push_back(std::move(term));
+    }
+    if (terms.empty()) return;
+
+    // Maximize (per node, concave)
+    //   L(a) = sum_{c: infected} [ log(sum_{j exposed} a_j)
+    //                              - sum_{j exposed} a_j * (t_i - t_j) ]
+    //        + sum_{c: survived} [ - sum_{j exposed} a_j * (T_c - t_j) ]
+    // with the EM / minorize-maximize update for censored exponentials:
+    //   gamma_{cj} = a_j / sum_{k exposed in c} a_k      (infected cascades)
+    //   a_j <- sum_c gamma_{cj} / sum_c exposure_{cj}.
+    // The update preserves positivity and has the stationary points of L.
+    const uint32_t k = static_cast<uint32_t>(candidates.size());
+    std::vector<double> total_exposure(k, 0.0);
+    for (const CascadeTerm& term : terms) {
+      for (size_t idx = 0; idx < term.parents.size(); ++idx) {
+        total_exposure[term.parents[idx]] += term.exposure[idx];
+      }
+    }
+    std::vector<double> rate(k, options_.initial_rate);
+    std::vector<double> responsibility(k);
+    for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+      std::fill(responsibility.begin(), responsibility.end(), 0.0);
+      for (const CascadeTerm& term : terms) {
+        if (!term.node_infected) continue;
+        double hazard_sum = 0.0;
+        for (uint32_t p : term.parents) hazard_sum += rate[p];
+        if (hazard_sum <= 0.0) continue;
+        const double inv = 1.0 / hazard_sum;
+        for (uint32_t p : term.parents) responsibility[p] += rate[p] * inv;
+      }
+      double max_change = 0.0;
+      for (uint32_t p = 0; p < k; ++p) {
+        double updated =
+            std::min(responsibility[p] / total_exposure[p], options_.rate_cap);
+        max_change = std::max(max_change, std::abs(updated - rate[p]));
+        rate[p] = updated;
+      }
+      if (max_change < options_.tolerance) break;
+    }
+
+    for (uint32_t p = 0; p < k; ++p) {
+      if (rate[p] >= options_.min_output_rate) {
+        per_node_rates[i].emplace_back(candidates[p], rate[p]);
+      }
+    }
+  });
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const auto& [parent, rate] : per_node_rates[i]) {
+      network.AddEdge(parent, i, rate);
+    }
+  }
+  return network;
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,32 @@
+#ifndef TENDS_INFERENCE_NETWORK_INFERENCE_H_
+#define TENDS_INFERENCE_NETWORK_INFERENCE_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+#include "diffusion/simulator.h"
+#include "inference/inferred_network.h"
+
+namespace tends::inference {
+
+/// Common interface of all diffusion-network reconstruction algorithms.
+///
+/// Each algorithm consumes a different slice of the observations (TENDS:
+/// final statuses only; NetRate/MulTree: cascades with timestamps; LIFT:
+/// statuses + sources) but they all produce an InferredNetwork, which lets
+/// the evaluation harness treat them uniformly.
+class NetworkInference {
+ public:
+  virtual ~NetworkInference() = default;
+
+  /// Algorithm display name ("TENDS", "NetRate", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Reconstructs the topology from the observations.
+  virtual StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) = 0;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_NETWORK_INFERENCE_H_

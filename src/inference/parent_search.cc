@@ -1,0 +1,173 @@
+#include "inference/parent_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "inference/counting.h"
+#include "inference/local_score.h"
+
+namespace tends::inference {
+
+namespace {
+
+// Score under the configured mode: penalized (Eq. 13) or likelihood-only
+// (the ablation of the statistical-error penalty).
+double ScoreOf(const JointCounts& counts, const ParentSearchOptions& options) {
+  return options.use_penalty ? LocalScore(counts) : LogLikelihood(counts);
+}
+
+}  // namespace
+
+void ForEachCombination(
+    const std::vector<graph::NodeId>& candidates, uint32_t max_size,
+    const std::function<void(const std::vector<graph::NodeId>&)>& visit) {
+  const uint32_t k = static_cast<uint32_t>(candidates.size());
+  max_size = std::min(max_size, k);
+  std::vector<graph::NodeId> subset;
+  std::vector<uint32_t> index;
+  for (uint32_t size = 1; size <= max_size; ++size) {
+    index.resize(size);
+    for (uint32_t b = 0; b < size; ++b) index[b] = b;
+    while (true) {
+      subset.clear();
+      for (uint32_t b = 0; b < size; ++b) subset.push_back(candidates[index[b]]);
+      visit(subset);
+      // Advance to the next size-`size` combination.
+      int32_t pos = static_cast<int32_t>(size) - 1;
+      while (pos >= 0 && index[pos] == k - size + pos) --pos;
+      if (pos < 0) break;
+      ++index[pos];
+      for (uint32_t b = pos + 1; b < size; ++b) index[b] = index[b - 1] + 1;
+    }
+  }
+}
+
+namespace {
+
+// Sorted union of a sorted set and a (small) combination.
+std::vector<graph::NodeId> SortedUnion(const std::vector<graph::NodeId>& f,
+                                       const std::vector<graph::NodeId>& w) {
+  std::vector<graph::NodeId> merged = f;
+  for (graph::NodeId v : w) {
+    auto it = std::lower_bound(merged.begin(), merged.end(), v);
+    if (it == merged.end() || *it != v) merged.insert(it, v);
+  }
+  return merged;
+}
+
+bool IsSubsetOf(const std::vector<graph::NodeId>& w,
+                const std::vector<graph::NodeId>& sorted_f) {
+  for (graph::NodeId v : w) {
+    if (!std::binary_search(sorted_f.begin(), sorted_f.end(), v)) return false;
+  }
+  return true;
+}
+
+struct ScoredCombination {
+  std::vector<graph::NodeId> members;
+  double static_score = 0.0;
+};
+
+}  // namespace
+
+ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
+                               graph::NodeId child,
+                               const std::vector<graph::NodeId>& candidates,
+                               const ParentSearchOptions& options) {
+  ParentSearchResult result;
+  const uint32_t beta = statuses.num_processes();
+  const uint32_t n2 = statuses.InfectionCount(child);  // X_i = 1
+  const uint32_t n1 = beta - n2;                       // X_i = 0
+  result.delta = DeltaI(beta, n1, n2);
+  result.empty_score = EmptySetLocalScore(n1, n2);
+  result.score = options.use_penalty
+                     ? result.empty_score
+                     : LogLikelihood(CountJoint(statuses, child, {}));
+  if (candidates.empty()) return result;
+
+  // Build C_i: every combination W (|W| <= eta) passing the Theorem-2
+  // admission check |W| <= log2(phi_W + delta_i) (Algorithm 1 line 13).
+  std::vector<ScoredCombination> combos;
+  ForEachCombination(
+      candidates, options.max_combination_size,
+      [&](const std::vector<graph::NodeId>& w) {
+        JointCounts counts = CountJoint(statuses, child, w);
+        ++result.score_evaluations;
+        if (!WithinParentBound(w.size(), counts.num_unobserved, result.delta)) {
+          return;
+        }
+        combos.push_back({w, ScoreOf(counts, options)});
+      });
+  result.combinations_considered = combos.size();
+  if (combos.empty()) return result;
+
+  std::vector<graph::NodeId> parents;  // F_i, kept sorted
+
+  if (options.greedy_mode == GreedyMode::kStaticAlgorithm1) {
+    // Rank once by standalone score; merge in that order while the bound
+    // holds (Algorithm 1 lines 16-20, literal reading).
+    std::stable_sort(combos.begin(), combos.end(),
+                     [](const ScoredCombination& a, const ScoredCombination& b) {
+                       return a.static_score > b.static_score;
+                     });
+    for (const ScoredCombination& c : combos) {
+      if (IsSubsetOf(c.members, parents)) continue;
+      std::vector<graph::NodeId> merged = SortedUnion(parents, c.members);
+      if (merged.size() > options.max_parents ||
+          merged.size() > kMaxCountableParents) {
+        continue;
+      }
+      JointCounts counts = CountJoint(statuses, child, merged);
+      ++result.score_evaluations;
+      if (!WithinParentBound(merged.size(), counts.num_unobserved,
+                             result.delta)) {
+        continue;
+      }
+      parents = std::move(merged);
+      result.score = ScoreOf(counts, options);
+    }
+  } else {
+    // Adaptive greedy: each step adopts the W whose union with F_i yields
+    // the best recomputed score; stop when nothing improves.
+    std::vector<bool> used(combos.size(), false);
+    while (true) {
+      double best_score = result.score + options.min_improvement;
+      int64_t best_index = -1;
+      std::vector<graph::NodeId> best_union;
+      for (size_t c = 0; c < combos.size(); ++c) {
+        if (used[c]) continue;
+        if (IsSubsetOf(combos[c].members, parents)) {
+          used[c] = true;  // union would be a no-op forever
+          continue;
+        }
+        std::vector<graph::NodeId> merged =
+            SortedUnion(parents, combos[c].members);
+        if (merged.size() > options.max_parents ||
+            merged.size() > kMaxCountableParents) {
+          continue;
+        }
+        JointCounts counts = CountJoint(statuses, child, merged);
+        ++result.score_evaluations;
+        if (!WithinParentBound(merged.size(), counts.num_unobserved,
+                               result.delta)) {
+          continue;
+        }
+        double score = ScoreOf(counts, options);
+        if (score > best_score) {
+          best_score = score;
+          best_index = static_cast<int64_t>(c);
+          best_union = std::move(merged);
+        }
+      }
+      if (best_index < 0) break;
+      parents = std::move(best_union);
+      result.score = best_score;
+      used[static_cast<size_t>(best_index)] = true;
+    }
+  }
+
+  result.parents = std::move(parents);
+  return result;
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,79 @@
+#ifndef TENDS_INFERENCE_PARENT_SEARCH_H_
+#define TENDS_INFERENCE_PARENT_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace tends::inference {
+
+/// How the greedy expansion of F_i interprets Algorithm 1 (see DESIGN.md,
+/// "Substitutions": the paper's prose and pseudo-code differ).
+enum class GreedyMode {
+  /// Default. Each step adds the candidate combination W that maximizes
+  /// the *recomputed* score g(v_i, F_i ∪ W); stops when no combination
+  /// improves the current score (the prose reading: "adding a node
+  /// combination that increases the value of the current g(v_i, F_i) the
+  /// most").
+  kAdaptive,
+  /// Literal pseudo-code reading: combinations are ranked once by their
+  /// standalone scores g(v_i, W) and merged into F_i in that order
+  /// whenever the Theorem-2 bound still holds, until C_i is exhausted.
+  kStaticAlgorithm1,
+};
+
+struct ParentSearchOptions {
+  /// Maximum size of a candidate parent combination W (the paper's η,
+  /// assumed small in its complexity analysis).
+  uint32_t max_combination_size = 3;
+  /// Hard cap on |F_i| (engineering safeguard on top of Theorem 2, which
+  /// only binds for heavily skewed infection counts).
+  uint32_t max_parents = 16;
+  GreedyMode greedy_mode = GreedyMode::kAdaptive;
+  /// Minimum score improvement for the adaptive mode to keep expanding.
+  double min_improvement = 1e-9;
+  /// Ablation switch: when false, the statistical-error penalty of Eq. 12
+  /// is dropped and the search maximizes the raw log-likelihood. By
+  /// Theorem 1 the likelihood is monotone in the parent set, so this mode
+  /// degenerates to adding every admissible candidate — the behaviour the
+  /// penalty exists to prevent (bench/ablation_penalty).
+  bool use_penalty = true;
+};
+
+struct ParentSearchResult {
+  /// Inferred parent set F_i, sorted ascending.
+  std::vector<graph::NodeId> parents;
+  /// Final local score g(v_i, F_i).
+  double score = 0.0;
+  /// g(v_i, emptyset), for diagnostics.
+  double empty_score = 0.0;
+  /// Theorem-2 delta_i for this child.
+  double delta = 0.0;
+  /// Number of candidate combinations admitted to C_i.
+  uint64_t combinations_considered = 0;
+  /// Total CountJoint evaluations performed (cost proxy).
+  uint64_t score_evaluations = 0;
+};
+
+/// Finds the most probable parent set of `child` among `candidates` by
+/// maximizing the local score g (Algorithm 1 lines 13-20). Deterministic:
+/// candidates are processed in the given order and ties keep the earlier
+/// combination.
+ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
+                               graph::NodeId child,
+                               const std::vector<graph::NodeId>& candidates,
+                               const ParentSearchOptions& options);
+
+/// Enumerates all non-empty subsets of `candidates` with size at most
+/// `max_size`, invoking `visit(subset)` in deterministic order (by size,
+/// then lexicographic over candidate positions). Exposed for tests.
+void ForEachCombination(
+    const std::vector<graph::NodeId>& candidates, uint32_t max_size,
+    const std::function<void(const std::vector<graph::NodeId>&)>& visit);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_PARENT_SEARCH_H_

@@ -1,0 +1,62 @@
+#include "inference/path.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "diffusion/cascade.h"
+
+namespace tends::inference {
+
+StatusOr<InferredNetwork> Path::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  if (options_.num_edges == 0) {
+    return Status::InvalidArgument("PATH requires the target edge count");
+  }
+  if (options_.trace_length < 2) {
+    return Status::InvalidArgument("trace_length must be >= 2");
+  }
+  const auto& cascades = observations.cascades;
+  bool has_infectors = false;
+  for (const auto& cascade : cascades) {
+    if (cascade.HasInfectors()) {
+      has_infectors = true;
+      break;
+    }
+  }
+  if (!has_infectors) {
+    return Status::FailedPrecondition(
+        "PATH requires transmission-path traces, which these observations "
+        "do not carry (the approach's practical limitation; see Section "
+        "II-B of the paper)");
+  }
+  const uint32_t n = observations.num_nodes();
+
+  // Count pair co-occurrences over the unordered path-connected sets.
+  std::vector<std::vector<graph::NodeId>> traces =
+      diffusion::ExtractPathTraces(cascades, options_.trace_length);
+  std::unordered_map<uint64_t, uint64_t> pair_counts;
+  for (const auto& trace : traces) {
+    for (size_t a = 0; a < trace.size(); ++a) {
+      for (size_t b = a + 1; b < trace.size(); ++b) {
+        graph::NodeId lo = std::min(trace[a], trace[b]);
+        graph::NodeId hi = std::max(trace[a], trace[b]);
+        if (lo == hi) continue;
+        ++pair_counts[(static_cast<uint64_t>(lo) << 32) | hi];
+      }
+    }
+  }
+
+  // Most frequently co-occurring pairs become (undirected) edges.
+  InferredNetwork network(n);
+  for (const auto& [key, count] : pair_counts) {
+    graph::NodeId lo = static_cast<graph::NodeId>(key >> 32);
+    graph::NodeId hi = static_cast<graph::NodeId>(key & 0xFFFFFFFFu);
+    network.AddEdge(lo, hi, static_cast<double>(count));
+    network.AddEdge(hi, lo, static_cast<double>(count));
+  }
+  network.KeepTopM(options_.num_edges);
+  return network;
+}
+
+}  // namespace tends::inference

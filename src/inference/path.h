@@ -1,0 +1,47 @@
+#ifndef TENDS_INFERENCE_PATH_H_
+#define TENDS_INFERENCE_PATH_H_
+
+#include <string_view>
+
+#include "inference/network_inference.h"
+
+namespace tends::inference {
+
+/// Options of the PATH baseline.
+struct PathOptions {
+  /// Number of directed edges to output (pairs are emitted in both
+  /// directions, matching PATH's undirected reconstruction).
+  uint64_t num_edges = 0;
+  /// Length (node count) of the path-connected sets; the reference setting
+  /// is triples.
+  uint32_t trace_length = 3;
+};
+
+/// PATH (Gripon & Rabbat, ISIT 2013): reconstructs a graph from unordered
+/// path-connected node sets of fixed length by connecting the node pairs
+/// that co-occur most frequently across the sets.
+///
+/// The paper excludes PATH from its comparison because exact path traces
+/// are unobtainable in practice ("an exact diffusion path is often hard to
+/// trace when multiple paths coexist"). Our simulator records the true
+/// transmission chains, so this implementation runs PATH with *oracle*
+/// traces — an upper bound on its achievable accuracy — for the
+/// bench/ablation_path study. It errors when the observations carry no
+/// infector records (e.g. Linear Threshold simulations or data loaded from
+/// the status-only format), which is exactly PATH's practical limitation.
+class Path : public NetworkInference {
+ public:
+  explicit Path(PathOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "PATH"; }
+
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) override;
+
+ private:
+  PathOptions options_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_PATH_H_

@@ -1,0 +1,67 @@
+#include "inference/probability_estimation.h"
+
+#include <algorithm>
+
+namespace tends::inference {
+
+StatusOr<std::vector<EdgeProbabilityEstimate>> EstimatePropagationProbabilities(
+    const diffusion::StatusMatrix& statuses, const InferredNetwork& network) {
+  const uint32_t n = statuses.num_nodes();
+  if (n == 0 || statuses.num_processes() == 0) {
+    return Status::InvalidArgument("empty observations");
+  }
+  if (network.num_nodes() != n) {
+    return Status::InvalidArgument(
+        "network and observations disagree on node count");
+  }
+  // Parent lists per child.
+  std::vector<std::vector<graph::NodeId>> parents(n);
+  for (const ScoredEdge& scored : network.edges()) {
+    if (scored.edge.from >= n || scored.edge.to >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    parents[scored.edge.to].push_back(scored.edge.from);
+  }
+
+  std::vector<EdgeProbabilityEstimate> estimates;
+  estimates.reserve(network.num_edges());
+  const uint32_t beta = statuses.num_processes();
+  for (const ScoredEdge& scored : network.edges()) {
+    const graph::NodeId u = scored.edge.from;
+    const graph::NodeId v = scored.edge.to;
+    uint32_t isolated_total = 0, isolated_infected = 0;
+    uint32_t pair_total = 0, pair_infected = 0;
+    for (uint32_t p = 0; p < beta; ++p) {
+      const uint8_t* row = statuses.Row(p);
+      if (!row[u]) continue;
+      ++pair_total;
+      pair_infected += row[v];
+      bool co_parent_infected = false;
+      for (graph::NodeId w : parents[v]) {
+        if (w != u && row[w]) {
+          co_parent_infected = true;
+          break;
+        }
+      }
+      if (!co_parent_infected) {
+        ++isolated_total;
+        isolated_infected += row[v];
+      }
+    }
+    EdgeProbabilityEstimate estimate;
+    estimate.edge = scored.edge;
+    estimate.support = isolated_total;
+    if (isolated_total > 0) {
+      estimate.probability =
+          (isolated_infected + 1.0) / (isolated_total + 2.0);
+    } else if (pair_total > 0) {
+      estimate.probability = (pair_infected + 1.0) / (pair_total + 2.0);
+    } else {
+      estimate.probability = 0.5;  // no evidence either way
+    }
+    estimates.push_back(estimate);
+  }
+  return estimates;
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,36 @@
+#ifndef TENDS_INFERENCE_PROBABILITY_ESTIMATION_H_
+#define TENDS_INFERENCE_PROBABILITY_ESTIMATION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "inference/inferred_network.h"
+
+namespace tends::inference {
+
+/// One edge's estimated propagation probability.
+struct EdgeProbabilityEstimate {
+  graph::Edge edge;
+  /// P(child infected | this parent infected, co-parents uninfected),
+  /// estimated from the status results with add-one smoothing.
+  double probability = 0.0;
+  /// Number of processes the isolated-parent estimate is based on; when it
+  /// is 0 the estimate falls back to the unconditional pair estimate
+  /// P(child | parent).
+  uint32_t support = 0;
+};
+
+/// Quantifies propagation probabilities for the edges of an inferred
+/// topology from final statuses only — the companion problem the paper
+/// delegates to prior work ([28], Yan et al. DASFAA 2017) after the
+/// topology is recovered. For each edge (u -> v) the estimator conditions
+/// on the processes where u is infected and all of v's other inferred
+/// parents are uninfected, isolating u's influence; with no such processes
+/// it falls back to P(v = 1 | u = 1).
+StatusOr<std::vector<EdgeProbabilityEstimate>> EstimatePropagationProbabilities(
+    const diffusion::StatusMatrix& statuses, const InferredNetwork& network);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_PROBABILITY_ESTIMATION_H_

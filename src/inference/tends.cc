@@ -1,0 +1,99 @@
+#include "inference/tends.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "inference/local_score.h"
+
+namespace tends::inference {
+
+StatusOr<InferredNetwork> Tends::Infer(
+    const diffusion::DiffusionObservations& observations) {
+  return InferFromStatuses(observations.statuses);
+}
+
+StatusOr<InferredNetwork> Tends::InferFromStatuses(
+    const diffusion::StatusMatrix& statuses) {
+  const uint32_t n = statuses.num_nodes();
+  if (n == 0) return Status::InvalidArgument("no nodes in observations");
+  if (statuses.num_processes() == 0) {
+    return Status::InvalidArgument("no diffusion processes in observations");
+  }
+  if (options_.tau_multiplier <= 0.0) {
+    return Status::InvalidArgument("tau_multiplier must be > 0");
+  }
+  if (options_.max_candidates == 0) {
+    return Status::InvalidArgument("max_candidates must be > 0");
+  }
+  diagnostics_ = TendsDiagnostics();
+
+  // Lines 2-4: pairwise infection-MI values.
+  ImiMatrix imi(statuses, options_.use_traditional_mi);
+
+  // Line 5: threshold tau via the modified K-means on non-negative values.
+  double tau = 0.0;
+  if (options_.tau_override.has_value()) {
+    tau = *options_.tau_override;
+  } else {
+    ImiThreshold threshold = FindImiThreshold(imi.UpperTriangleValues());
+    diagnostics_.kmeans_iterations = threshold.iterations;
+    tau = threshold.tau * options_.tau_multiplier;
+  }
+  diagnostics_.tau = tau;
+
+  // Per-node subproblems are independent; run them (optionally) in
+  // parallel and assemble results in node order so the output is
+  // identical for any thread count.
+  std::vector<ParentSearchResult> results(n);
+  std::vector<uint32_t> candidate_counts(n, 0);
+  std::vector<uint8_t> clipped(n, 0);
+  ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
+    // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
+    std::vector<std::pair<double, graph::NodeId>> ranked;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double value = imi.Get(i, j);
+      if (options_.enable_pruning ? value > tau : true) {
+        ranked.emplace_back(value, j);
+      }
+    }
+    if (ranked.size() > options_.max_candidates) {
+      clipped[i] = 1;
+      std::partial_sort(ranked.begin(), ranked.begin() + options_.max_candidates,
+                        ranked.end(), [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      ranked.resize(options_.max_candidates);
+    }
+    std::vector<graph::NodeId> candidates;
+    candidates.reserve(ranked.size());
+    // Deterministic processing order: by node id.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    for (const auto& [value, j] : ranked) candidates.push_back(j);
+    candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+
+    // Lines 13-20: greedy parent-set search.
+    results[i] = FindParents(statuses, i, candidates, options_.search);
+  });
+
+  InferredNetwork network(n);
+  uint64_t total_candidates = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total_candidates += candidate_counts[i];
+    diagnostics_.max_candidates_seen =
+        std::max(diagnostics_.max_candidates_seen, candidate_counts[i]);
+    diagnostics_.clipped_nodes += clipped[i];
+    diagnostics_.total_score_evaluations += results[i].score_evaluations;
+    diagnostics_.network_score += results[i].score;
+    // Line 21: a directed edge from each inferred parent to v_i.
+    for (graph::NodeId parent : results[i].parents) {
+      network.AddEdge(parent, i, imi.Get(i, parent));
+    }
+  }
+  diagnostics_.mean_candidates = static_cast<double>(total_candidates) / n;
+  return network;
+}
+
+}  // namespace tends::inference

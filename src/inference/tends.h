@@ -1,0 +1,77 @@
+#ifndef TENDS_INFERENCE_TENDS_H_
+#define TENDS_INFERENCE_TENDS_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "inference/imi.h"
+#include "inference/kmeans_threshold.h"
+#include "inference/network_inference.h"
+#include "inference/parent_search.h"
+
+namespace tends::inference {
+
+/// Options of the TENDS algorithm (Algorithm 1).
+struct TendsOptions {
+  /// Use the infection-MI pruning of §IV-B. Disabling it makes every other
+  /// node a candidate parent of every node (prohibitively slow on anything
+  /// but toy graphs; the paper likewise omits the unpruned runs).
+  bool enable_pruning = true;
+  /// Scales the automatically found threshold tau (the Fig. 10/11 sweep
+  /// uses 0.4..2.0).
+  double tau_multiplier = 1.0;
+  /// Fixed threshold instead of the K-means one (used by tests).
+  std::optional<double> tau_override;
+  /// Use traditional MI instead of infection MI (the Fig. 10/11 ablation).
+  bool use_traditional_mi = false;
+  /// Cap on |P_i|: when more candidates pass the tau test, only the
+  /// highest-IMI ones are kept (engineering safeguard; see DESIGN.md).
+  uint32_t max_candidates = 16;
+  /// Worker threads for the per-node parent searches (the subproblems are
+  /// independent; results are identical for any thread count).
+  uint32_t num_threads = 1;
+  ParentSearchOptions search;
+};
+
+/// Post-run diagnostics (valid after a successful Infer call).
+struct TendsDiagnostics {
+  double tau = 0.0;
+  uint32_t kmeans_iterations = 0;
+  /// Mean |P_i| over nodes, after pruning and the max_candidates cap.
+  double mean_candidates = 0.0;
+  uint32_t max_candidates_seen = 0;
+  /// Nodes whose candidate set was clipped by max_candidates.
+  uint32_t clipped_nodes = 0;
+  uint64_t total_score_evaluations = 0;
+  /// Final network score g(T) of the inferred topology (Eq. 12).
+  double network_score = 0.0;
+};
+
+/// TENDS: reconstructs a diffusion network topology from final infection
+/// statuses only (no timestamps, sources, or edge-count prior).
+class Tends : public NetworkInference {
+ public:
+  explicit Tends(TendsOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "TENDS"; }
+
+  /// Uses only observations.statuses.
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) override;
+
+  /// The native entry point: status matrix in, topology out.
+  StatusOr<InferredNetwork> InferFromStatuses(
+      const diffusion::StatusMatrix& statuses);
+
+  const TendsDiagnostics& diagnostics() const { return diagnostics_; }
+  const TendsOptions& options() const { return options_; }
+
+ private:
+  TendsOptions options_;
+  TendsDiagnostics diagnostics_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_TENDS_H_

@@ -1,0 +1,25 @@
+#include "metrics/evaluation.h"
+
+#include "common/timer.h"
+
+namespace tends::metrics {
+
+StatusOr<AlgorithmEvaluation> RunAndEvaluate(
+    inference::NetworkInference& algorithm,
+    const diffusion::DiffusionObservations& observations,
+    const graph::DirectedGraph& truth, bool sweep_threshold) {
+  AlgorithmEvaluation evaluation;
+  evaluation.algorithm = std::string(algorithm.name());
+  Timer timer;
+  StatusOr<inference::InferredNetwork> inferred =
+      algorithm.Infer(observations);
+  evaluation.seconds = timer.ElapsedSeconds();
+  if (!inferred.ok()) return inferred.status();
+  evaluation.inferred_edges = inferred->num_edges();
+  evaluation.metrics = sweep_threshold
+                           ? EvaluateBestThreshold(*inferred, truth)
+                           : EvaluateEdges(*inferred, truth);
+  return evaluation;
+}
+
+}  // namespace tends::metrics

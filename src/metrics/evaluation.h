@@ -1,0 +1,33 @@
+#ifndef TENDS_METRICS_EVALUATION_H_
+#define TENDS_METRICS_EVALUATION_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "diffusion/simulator.h"
+#include "graph/graph.h"
+#include "inference/network_inference.h"
+#include "metrics/fscore.h"
+
+namespace tends::metrics {
+
+/// One algorithm's result on one workload: accuracy plus wall time.
+struct AlgorithmEvaluation {
+  std::string algorithm;
+  EdgeMetrics metrics;
+  double seconds = 0.0;
+  uint64_t inferred_edges = 0;
+};
+
+/// Runs `algorithm` on `observations`, times it, and scores it against
+/// `truth`. When `sweep_threshold` is set, the F-score is the best over all
+/// weight thresholds (the paper's NetRate treatment); otherwise the full
+/// inferred edge set is scored.
+StatusOr<AlgorithmEvaluation> RunAndEvaluate(
+    inference::NetworkInference& algorithm,
+    const diffusion::DiffusionObservations& observations,
+    const graph::DirectedGraph& truth, bool sweep_threshold = false);
+
+}  // namespace tends::metrics
+
+#endif  // TENDS_METRICS_EVALUATION_H_

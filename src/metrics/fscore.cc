@@ -1,0 +1,94 @@
+#include "metrics/fscore.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stringutil.h"
+
+namespace tends::metrics {
+
+namespace {
+
+EdgeMetrics MetricsFromCounts(uint64_t tp, uint64_t fp, uint64_t fn) {
+  EdgeMetrics metrics;
+  metrics.true_positives = tp;
+  metrics.false_positives = fp;
+  metrics.false_negatives = fn;
+  metrics.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  metrics.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  metrics.f_score = metrics.precision + metrics.recall > 0
+                        ? 2.0 * metrics.precision * metrics.recall /
+                              (metrics.precision + metrics.recall)
+                        : 0.0;
+  return metrics;
+}
+
+uint64_t EdgeKey(const graph::Edge& e) {
+  return (static_cast<uint64_t>(e.from) << 32) | e.to;
+}
+
+}  // namespace
+
+std::string EdgeMetrics::DebugString() const {
+  return StrFormat("EdgeMetrics(P=%.4f, R=%.4f, F=%.4f, tp=%llu, fp=%llu, fn=%llu)",
+                   precision, recall, f_score,
+                   static_cast<unsigned long long>(true_positives),
+                   static_cast<unsigned long long>(false_positives),
+                   static_cast<unsigned long long>(false_negatives));
+}
+
+EdgeMetrics EvaluateEdges(const inference::InferredNetwork& inferred,
+                          const graph::DirectedGraph& truth) {
+  std::unordered_set<uint64_t> seen;
+  uint64_t tp = 0, fp = 0;
+  for (const auto& scored : inferred.edges()) {
+    if (!seen.insert(EdgeKey(scored.edge)).second) continue;
+    if (scored.edge.from < truth.num_nodes() &&
+        truth.HasEdge(scored.edge.from, scored.edge.to)) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  const uint64_t fn = truth.num_edges() - tp;
+  return MetricsFromCounts(tp, fp, fn);
+}
+
+EdgeMetrics EvaluateBestThreshold(const inference::InferredNetwork& inferred,
+                                  const graph::DirectedGraph& truth) {
+  // Sort unique edges by weight descending; the candidate thresholds are
+  // the distinct weights, so prefix k of the sorted list is the edge set
+  // for the k-th threshold.
+  std::unordered_set<uint64_t> seen;
+  std::vector<inference::ScoredEdge> edges;
+  edges.reserve(inferred.edges().size());
+  for (const auto& scored : inferred.edges()) {
+    if (seen.insert(EdgeKey(scored.edge)).second) edges.push_back(scored);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const inference::ScoredEdge& a, const inference::ScoredEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.edge < b.edge;
+            });
+  const uint64_t total_true = truth.num_edges();
+  EdgeMetrics best;  // zero-F default (threshold above all weights)
+  best.false_negatives = total_true;
+  uint64_t tp = 0;
+  for (size_t k = 0; k < edges.size(); ++k) {
+    const auto& e = edges[k].edge;
+    if (e.from < truth.num_nodes() && truth.HasEdge(e.from, e.to)) ++tp;
+    // A threshold boundary is only valid after the last edge of a weight
+    // tie group (all edges with equal weight are in or out together).
+    if (k + 1 < edges.size() && edges[k + 1].weight == edges[k].weight) {
+      continue;
+    }
+    const uint64_t kept = k + 1;
+    EdgeMetrics candidate =
+        MetricsFromCounts(tp, kept - tp, total_true - tp);
+    if (candidate.f_score > best.f_score) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace tends::metrics

@@ -1,0 +1,39 @@
+#ifndef TENDS_METRICS_FSCORE_H_
+#define TENDS_METRICS_FSCORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "inference/inferred_network.h"
+
+namespace tends::metrics {
+
+/// Directed-edge reconstruction quality versus the ground-truth topology
+/// (§V-A "Performance Criteria").
+struct EdgeMetrics {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+
+  std::string DebugString() const;
+};
+
+/// Compares inferred directed edges against the true graph. Duplicate
+/// inferred edges are counted once.
+EdgeMetrics EvaluateEdges(const inference::InferredNetwork& inferred,
+                          const graph::DirectedGraph& truth);
+
+/// The paper's preferential treatment of NetRate: sweeps a threshold over
+/// the inferred edge weights, evaluates the F-score of the edges at or
+/// above each candidate threshold, and returns the best result. With k
+/// distinct weights this costs O(k + m) after sorting.
+EdgeMetrics EvaluateBestThreshold(const inference::InferredNetwork& inferred,
+                                  const graph::DirectedGraph& truth);
+
+}  // namespace tends::metrics
+
+#endif  // TENDS_METRICS_FSCORE_H_

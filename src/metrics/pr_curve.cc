@@ -1,0 +1,53 @@
+#include "metrics/pr_curve.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tends::metrics {
+
+PrCurve ComputePrCurve(const inference::InferredNetwork& inferred,
+                       const graph::DirectedGraph& truth) {
+  // Deduplicate and sort by weight descending (ties by edge order for
+  // determinism; tie groups share one curve point).
+  std::unordered_set<uint64_t> seen;
+  std::vector<inference::ScoredEdge> edges;
+  edges.reserve(inferred.edges().size());
+  for (const auto& scored : inferred.edges()) {
+    uint64_t key =
+        (static_cast<uint64_t>(scored.edge.from) << 32) | scored.edge.to;
+    if (seen.insert(key).second) edges.push_back(scored);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const inference::ScoredEdge& a, const inference::ScoredEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.edge < b.edge;
+            });
+
+  PrCurve curve;
+  const uint64_t total_true = truth.num_edges();
+  if (total_true == 0) return curve;
+  uint64_t tp = 0;
+  double previous_recall = 0.0;
+  for (size_t k = 0; k < edges.size(); ++k) {
+    const auto& edge = edges[k].edge;
+    if (edge.from < truth.num_nodes() && truth.HasEdge(edge.from, edge.to)) {
+      ++tp;
+    }
+    // Close the point at the end of each weight-tie group.
+    if (k + 1 < edges.size() && edges[k + 1].weight == edges[k].weight) {
+      continue;
+    }
+    PrPoint point;
+    point.threshold = edges[k].weight;
+    point.kept_edges = k + 1;
+    point.precision = static_cast<double>(tp) / point.kept_edges;
+    point.recall = static_cast<double>(tp) / total_true;
+    curve.average_precision +=
+        point.precision * (point.recall - previous_recall);
+    previous_recall = point.recall;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace tends::metrics

@@ -1,0 +1,39 @@
+#ifndef TENDS_METRICS_PR_CURVE_H_
+#define TENDS_METRICS_PR_CURVE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "inference/inferred_network.h"
+
+namespace tends::metrics {
+
+/// One operating point of a weighted edge ranking.
+struct PrPoint {
+  /// Weight threshold: all edges with weight >= threshold are kept.
+  double threshold = 0.0;
+  uint64_t kept_edges = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// The precision-recall curve of a ranking plus summary statistics. For
+/// weighted outputs (NetRate rates, IMI weights) this is a richer view
+/// than the single best-threshold F-score.
+struct PrCurve {
+  /// One point per distinct weight, in decreasing-threshold order (edges
+  /// in a weight-tie group enter together).
+  std::vector<PrPoint> points;
+  /// Average precision: sum over points of precision * recall-increment
+  /// (the usual AP summary of the curve, in [0, 1]).
+  double average_precision = 0.0;
+};
+
+/// Builds the PR curve of `inferred` (ranked by weight, descending,
+/// duplicate edges counted once) against the true topology.
+PrCurve ComputePrCurve(const inference::InferredNetwork& inferred,
+                       const graph::DirectedGraph& truth);
+
+}  // namespace tends::metrics
+
+#endif  // TENDS_METRICS_PR_CURVE_H_

@@ -1,0 +1,211 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "inference/correlation.h"
+#include "inference/lift.h"
+#include "inference/multree.h"
+#include "inference/netrate.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeGraph;
+using ::tends::testing::SimulateUniform;
+
+graph::DirectedGraph ChainTruth() {
+  return MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+}
+
+// -------------------------------------------------------------- NetRate
+
+TEST(NetRateTest, RequiresCascades) {
+  NetRate netrate;
+  diffusion::DiffusionObservations empty;
+  EXPECT_FALSE(netrate.Infer(empty).ok());
+}
+
+TEST(NetRateTest, NameIsStable) {
+  NetRate netrate;
+  EXPECT_EQ(netrate.name(), "NetRate");
+}
+
+TEST(NetRateTest, RecoversChainWithBestThreshold) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 400, 0.17, 21);
+  NetRateOptions options;
+  options.max_iterations = 100;  // converged mode
+  NetRate netrate(options);
+  auto inferred = netrate.Infer(observations);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  metrics::EdgeMetrics metrics = metrics::EvaluateBestThreshold(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.6) << metrics.DebugString();
+}
+
+TEST(NetRateTest, AllWeightsArePositiveRates) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.5, 150, 0.2, 23);
+  NetRate netrate;
+  auto inferred = netrate.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  for (const auto& scored : inferred->edges()) {
+    EXPECT_GT(scored.weight, 0.0);
+    EXPECT_LE(scored.weight, NetRateOptions().rate_cap);
+  }
+}
+
+TEST(NetRateTest, MoreIterationsDoNotHurtMuch) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 300, 0.17, 25);
+  NetRateOptions few, many;
+  few.max_iterations = 2;
+  many.max_iterations = 60;
+  NetRate netrate_few(few), netrate_many(many);
+  auto f = metrics::EvaluateBestThreshold(*netrate_few.Infer(observations),
+                                          truth);
+  auto m = metrics::EvaluateBestThreshold(*netrate_many.Infer(observations),
+                                          truth);
+  EXPECT_GE(m.f_score + 0.05, f.f_score);
+}
+
+TEST(NetRateTest, DeterministicOnSameObservations) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.5, 150, 0.2, 27);
+  NetRate a, b;
+  auto r1 = a.Infer(observations);
+  auto r2 = b.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+    EXPECT_DOUBLE_EQ(r1->edges()[e].weight, r2->edges()[e].weight);
+  }
+}
+
+// -------------------------------------------------------------- MulTree
+
+TEST(MulTreeTest, RequiresEdgeCountAndCascades) {
+  MulTree no_edges({});
+  diffusion::DiffusionObservations empty;
+  EXPECT_FALSE(no_edges.Infer(empty).ok());
+  MulTreeOptions options;
+  options.num_edges = 5;
+  MulTree no_cascades(options);
+  EXPECT_FALSE(no_cascades.Infer(empty).ok());
+}
+
+TEST(MulTreeTest, ProducesAtMostRequestedEdges) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 200, 0.17, 29);
+  MulTreeOptions options;
+  options.num_edges = truth.num_edges();
+  MulTree multree(options);
+  auto inferred = multree.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_LE(inferred->num_edges(), truth.num_edges());
+}
+
+TEST(MulTreeTest, RecoversChain) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 400, 0.17, 31);
+  MulTreeOptions options;
+  options.num_edges = truth.num_edges();
+  MulTree multree(options);
+  auto inferred = multree.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.6) << metrics.DebugString();
+}
+
+TEST(MulTreeTest, SelectedGainsAreNonIncreasing) {
+  // Submodularity: the gain recorded at selection k is >= the gain at k+1.
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 200, 0.17, 33);
+  MulTreeOptions options;
+  options.num_edges = 10;
+  MulTree multree(options);
+  auto inferred = multree.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  const auto& edges = inferred->edges();
+  for (size_t e = 1; e < edges.size(); ++e) {
+    EXPECT_GE(edges[e - 1].weight, edges[e].weight - 1e-9);
+  }
+}
+
+TEST(MulTreeTest, DeterministicOnSameObservations) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.5, 150, 0.2, 35);
+  MulTreeOptions options;
+  options.num_edges = 5;
+  MulTree a(options), b(options);
+  auto r1 = a.Infer(observations);
+  auto r2 = b.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+  }
+}
+
+// ----------------------------------------------------------------- LIFT
+
+TEST(LiftTest, RequiresEdgeCountAndSources) {
+  Lift no_edges({});
+  diffusion::DiffusionObservations empty;
+  EXPECT_FALSE(no_edges.Infer(empty).ok());
+  LiftOptions options;
+  options.num_edges = 5;
+  Lift no_sources(options);
+  EXPECT_FALSE(no_sources.Infer(empty).ok());
+}
+
+TEST(LiftTest, ProducesExactlyRequestedEdges) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 300, 0.3, 37);
+  LiftOptions options;
+  options.num_edges = truth.num_edges();
+  Lift lift(options);
+  auto inferred = lift.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_EQ(inferred->num_edges(), truth.num_edges());
+}
+
+TEST(LiftTest, SourceLiftBeatsChance) {
+  // On a strongly-transmitting chain with many observations the lift
+  // ranking must beat random edge guessing (chance F ~ m / (n*(n-1))).
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.7, 600, 0.2, 39);
+  LiftOptions options;
+  options.num_edges = truth.num_edges();
+  Lift lift(options);
+  auto inferred = lift.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.3) << metrics.DebugString();
+}
+
+// ----------------------------------------------------------- Correlation
+
+TEST(CorrelationTest, RequiresEdgeCount) {
+  CorrelationBaseline baseline({});
+  diffusion::DiffusionObservations empty;
+  EXPECT_FALSE(baseline.Infer(empty).ok());
+}
+
+TEST(CorrelationTest, TopPairsMatchImiRanking) {
+  auto truth = ChainTruth();
+  auto observations = SimulateUniform(truth, 0.6, 300, 0.2, 41);
+  CorrelationOptions options;
+  options.num_edges = truth.num_edges();
+  CorrelationBaseline baseline(options);
+  auto inferred = baseline.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_EQ(inferred->num_edges(), truth.num_edges());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.3);
+}
+
+}  // namespace
+}  // namespace tends::inference

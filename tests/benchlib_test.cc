@@ -1,0 +1,89 @@
+#include "benchlib/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators/erdos_renyi.h"
+
+namespace tends::benchlib {
+namespace {
+
+graph::DirectedGraph SmallGraph() {
+  Rng rng(1);
+  return graph::GenerateErdosRenyiM(30, 120, rng).value();
+}
+
+TEST(BenchlibTest, FigureTableColumnsAreStable) {
+  Table table = MakeFigureTable({});
+  EXPECT_EQ(table.num_columns(), 7u);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(BenchlibTest, ExperimentHonoursTendsOptions) {
+  auto truth = SmallGraph();
+  ExperimentConfig config;
+  config.beta = 40;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = false};
+  config.tends_options.tau_multiplier = 2.0;
+  auto strict = RunExperiment(truth, config);
+  config.tends_options.tau_multiplier = 0.5;
+  auto lax = RunExperiment(truth, config);
+  ASSERT_TRUE(strict.ok() && lax.ok());
+  // A stricter threshold cannot infer more edges than a laxer one.
+  EXPECT_LE((*strict)[0].inferred_edges, (*lax)[0].inferred_edges);
+}
+
+TEST(BenchlibTest, ExperimentHonoursNetRateBudget) {
+  auto truth = SmallGraph();
+  ExperimentConfig config;
+  config.beta = 40;
+  config.algorithms = {.tends = false,
+                       .netrate = true,
+                       .multree = false,
+                       .lift = false};
+  config.netrate_options.max_iterations = 1;
+  auto one = RunExperiment(truth, config);
+  config.netrate_options.max_iterations = 50;
+  auto fifty = RunExperiment(truth, config);
+  ASSERT_TRUE(one.ok() && fifty.ok());
+  // Converged EM prunes more zero rates, so it emits no more raw edges.
+  EXPECT_LE((*fifty)[0].inferred_edges, (*one)[0].inferred_edges);
+}
+
+TEST(BenchlibTest, DifferentSeedsChangeOutcomes) {
+  auto truth = SmallGraph();
+  ExperimentConfig config;
+  config.beta = 40;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = false};
+  config.seed = 1;
+  auto a = RunExperiment(truth, config);
+  config.seed = 2;
+  auto b = RunExperiment(truth, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Not a hard invariant, but with different diffusion draws the inferred
+  // edge counts virtually always differ on this workload.
+  EXPECT_NE((*a)[0].inferred_edges, (*b)[0].inferred_edges);
+}
+
+TEST(BenchlibTest, LinearThresholdModelSelectable) {
+  auto truth = SmallGraph();
+  ExperimentConfig config;
+  config.beta = 30;
+  config.model = diffusion::DiffusionModel::kLinearThreshold;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = false};
+  auto result = RunExperiment(truth, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)[0].algorithm, "TENDS");
+}
+
+}  // namespace
+}  // namespace tends::benchlib

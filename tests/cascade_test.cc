@@ -1,0 +1,72 @@
+#include "diffusion/cascade.h"
+
+#include <gtest/gtest.h>
+
+namespace tends::diffusion {
+namespace {
+
+TEST(CascadeTest, NumInfectedCountsNonNegativeTimes) {
+  Cascade cascade;
+  cascade.infection_time = {0, kNeverInfected, 2, 1, kNeverInfected};
+  EXPECT_EQ(cascade.NumInfected(), 3u);
+  EXPECT_TRUE(cascade.Infected(0));
+  EXPECT_FALSE(cascade.Infected(1));
+  EXPECT_TRUE(cascade.Infected(3));
+}
+
+TEST(CascadeTest, FinalStatuses) {
+  Cascade cascade;
+  cascade.infection_time = {0, kNeverInfected, 3};
+  EXPECT_EQ(cascade.FinalStatuses(), (std::vector<uint8_t>{1, 0, 1}));
+}
+
+TEST(StatusMatrixTest, SetAndGet) {
+  StatusMatrix matrix(2, 3);
+  EXPECT_EQ(matrix.num_processes(), 2u);
+  EXPECT_EQ(matrix.num_nodes(), 3u);
+  EXPECT_EQ(matrix.Get(0, 0), 0);
+  matrix.Set(1, 2, 1);
+  EXPECT_EQ(matrix.Get(1, 2), 1);
+  EXPECT_EQ(matrix.Get(0, 2), 0);
+}
+
+TEST(StatusMatrixTest, RowPointerMatchesGet) {
+  StatusMatrix matrix(2, 3);
+  matrix.Set(1, 0, 1);
+  matrix.Set(1, 2, 1);
+  const uint8_t* row = matrix.Row(1);
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 0);
+  EXPECT_EQ(row[2], 1);
+}
+
+TEST(StatusMatrixTest, InfectionCount) {
+  StatusMatrix matrix(3, 2);
+  matrix.Set(0, 1, 1);
+  matrix.Set(2, 1, 1);
+  EXPECT_EQ(matrix.InfectionCount(0), 0u);
+  EXPECT_EQ(matrix.InfectionCount(1), 2u);
+}
+
+TEST(StatusesFromCascadesTest, BuildsMatrix) {
+  Cascade a, b;
+  a.infection_time = {0, kNeverInfected, 1};
+  b.infection_time = {kNeverInfected, 2, kNeverInfected};
+  StatusMatrix matrix = StatusesFromCascades({a, b});
+  EXPECT_EQ(matrix.num_processes(), 2u);
+  EXPECT_EQ(matrix.num_nodes(), 3u);
+  EXPECT_EQ(matrix.Get(0, 0), 1);
+  EXPECT_EQ(matrix.Get(0, 1), 0);
+  EXPECT_EQ(matrix.Get(0, 2), 1);
+  EXPECT_EQ(matrix.Get(1, 1), 1);
+  EXPECT_EQ(matrix.Get(1, 2), 0);
+}
+
+TEST(StatusesFromCascadesTest, EmptyInput) {
+  StatusMatrix matrix = StatusesFromCascades({});
+  EXPECT_EQ(matrix.num_processes(), 0u);
+  EXPECT_EQ(matrix.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace tends::diffusion

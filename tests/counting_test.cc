@@ -1,0 +1,173 @@
+#include "inference/counting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+
+TEST(CountJointTest, EmptyParentSet) {
+  auto statuses = MakeStatuses({{1, 0}, {0, 0}, {1, 1}});
+  JointCounts counts = CountJoint(statuses, /*child=*/0, {});
+  EXPECT_EQ(counts.num_possible, 1u);
+  ASSERT_EQ(counts.num_observed(), 1u);
+  EXPECT_EQ(counts.num_unobserved, 0u);
+  EXPECT_EQ(counts.child0_count[0], 1u);  // child 0 uninfected once
+  EXPECT_EQ(counts.child1_count[0], 2u);
+}
+
+TEST(CountJointTest, SingleParentHandComputed) {
+  // child = node 0, parent = node 1.
+  auto statuses = MakeStatuses({
+      {1, 1},  // parent 1, child 1
+      {1, 1},
+      {0, 1},  // parent 1, child 0
+      {0, 0},  // parent 0, child 0
+      {1, 0},  // parent 0, child 1
+  });
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_EQ(counts.num_possible, 2u);
+  ASSERT_EQ(counts.num_observed(), 2u);
+  // Combination index = parent status bit.
+  for (size_t j = 0; j < 2; ++j) {
+    if (counts.combo[j] == 0) {
+      EXPECT_EQ(counts.child0_count[j], 1u);
+      EXPECT_EQ(counts.child1_count[j], 1u);
+    } else {
+      EXPECT_EQ(counts.child0_count[j], 1u);
+      EXPECT_EQ(counts.child1_count[j], 2u);
+    }
+  }
+}
+
+TEST(CountJointTest, TwoParentsBitEncoding) {
+  // parents = {1, 2}: bit 0 = node 1's status, bit 1 = node 2's status.
+  auto statuses = MakeStatuses({
+      {1, 1, 0},  // combo 0b01 = 1
+      {0, 0, 1},  // combo 0b10 = 2
+      {1, 1, 1},  // combo 0b11 = 3
+  });
+  JointCounts counts = CountJoint(statuses, 0, {1, 2});
+  EXPECT_EQ(counts.num_possible, 4u);
+  EXPECT_EQ(counts.num_observed(), 3u);
+  EXPECT_EQ(counts.num_unobserved, 1u);  // combo 0b00 never seen
+  for (size_t j = 0; j < counts.num_observed(); ++j) {
+    switch (counts.combo[j]) {
+      case 1:
+        EXPECT_EQ(counts.child1_count[j], 1u);
+        EXPECT_EQ(counts.child0_count[j], 0u);
+        break;
+      case 2:
+        EXPECT_EQ(counts.child0_count[j], 1u);
+        break;
+      case 3:
+        EXPECT_EQ(counts.child1_count[j], 1u);
+        break;
+      default:
+        FAIL() << "unexpected combo " << counts.combo[j];
+    }
+  }
+}
+
+TEST(CountJointTest, CountsSumToBeta) {
+  Rng rng(1);
+  diffusion::StatusMatrix statuses(100, 20);
+  for (uint32_t p = 0; p < 100; ++p) {
+    for (uint32_t v = 0; v < 20; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.4));
+    }
+  }
+  for (uint32_t s = 1; s <= 5; ++s) {
+    std::vector<graph::NodeId> parents;
+    for (uint32_t b = 0; b < s; ++b) parents.push_back(b + 1);
+    JointCounts counts = CountJoint(statuses, 0, parents);
+    uint64_t total = 0;
+    for (size_t j = 0; j < counts.num_observed(); ++j) {
+      total += counts.child0_count[j] + counts.child1_count[j];
+    }
+    EXPECT_EQ(total, 100u);
+    EXPECT_EQ(counts.num_possible,
+              static_cast<uint64_t>(1) << s);
+    EXPECT_EQ(counts.num_observed() + counts.num_unobserved,
+              counts.num_possible);
+  }
+}
+
+TEST(CountJointTest, DenseAndSparsePathsAgree) {
+  // 15 parents forces the sparse path; compare its aggregate counts with a
+  // 14-parent dense run on the same data restricted appropriately.
+  Rng rng(2);
+  diffusion::StatusMatrix statuses(64, 20);
+  for (uint32_t p = 0; p < 64; ++p) {
+    for (uint32_t v = 0; v < 20; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.5));
+    }
+  }
+  std::vector<graph::NodeId> parents15;
+  for (uint32_t b = 1; b <= 15; ++b) parents15.push_back(b);
+  JointCounts sparse = CountJoint(statuses, 0, parents15);
+  uint64_t total = 0;
+  for (size_t j = 0; j < sparse.num_observed(); ++j) {
+    total += sparse.child0_count[j] + sparse.child1_count[j];
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_LE(sparse.num_observed(), 64u);
+  EXPECT_EQ(sparse.num_possible, uint64_t{1} << 15);
+}
+
+// --------------------------------------------------------------- PairCounts
+
+TEST(CountPairTest, HandComputed) {
+  auto statuses = MakeStatuses({
+      {1, 1},
+      {1, 0},
+      {0, 1},
+      {0, 0},
+      {1, 1},
+  });
+  PairCounts counts = CountPair(statuses, 0, 1);
+  EXPECT_EQ(counts.c11, 2u);
+  EXPECT_EQ(counts.c10, 1u);
+  EXPECT_EQ(counts.c01, 1u);
+  EXPECT_EQ(counts.c00, 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+class PackedStatusesTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PackedStatusesTest, AgreesWithScalarCounting) {
+  const uint32_t beta = GetParam();
+  Rng rng(100 + beta);
+  diffusion::StatusMatrix statuses(beta, 12);
+  for (uint32_t p = 0; p < beta; ++p) {
+    for (uint32_t v = 0; v < 12; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.35));
+    }
+  }
+  PackedStatuses packed(statuses);
+  EXPECT_EQ(packed.num_processes(), beta);
+  EXPECT_EQ(packed.num_nodes(), 12u);
+  for (uint32_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(packed.InfectedCount(i), statuses.InfectionCount(i));
+    for (uint32_t j = 0; j < 12; ++j) {
+      if (i == j) continue;
+      PairCounts scalar = CountPair(statuses, i, j);
+      PairCounts fast = packed.CountPair(i, j);
+      EXPECT_EQ(scalar.c00, fast.c00);
+      EXPECT_EQ(scalar.c01, fast.c01);
+      EXPECT_EQ(scalar.c10, fast.c10);
+      EXPECT_EQ(scalar.c11, fast.c11);
+    }
+  }
+}
+
+// beta values straddling the 64-bit word boundaries.
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, PackedStatusesTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 150, 250));
+
+}  // namespace
+}  // namespace tends::inference

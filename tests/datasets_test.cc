@@ -1,0 +1,51 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace tends::graph {
+namespace {
+
+TEST(DatasetsTest, NetSciSurrogateMatchesPublishedSize) {
+  auto graph = MakeNetSciSurrogate();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_nodes(), kNetSciNodes);
+  // 1602 influence relationships (801 mutual ties, both directions).
+  EXPECT_EQ(graph->num_edges(), kNetSciDirectedEdges);
+}
+
+TEST(DatasetsTest, NetSciIsFullyReciprocal) {
+  auto graph = MakeNetSciSurrogate();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(ComputeStats(*graph).reciprocity, 1.0);
+}
+
+TEST(DatasetsTest, DunfSurrogateMatchesPublishedSize) {
+  auto graph = MakeDunfSurrogate();
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_nodes(), kDunfNodes);
+  EXPECT_EQ(graph->num_edges(), kDunfDirectedEdges);
+}
+
+TEST(DatasetsTest, DunfHasConfiguredReciprocity) {
+  auto graph = MakeDunfSurrogate();
+  ASSERT_TRUE(graph.ok());
+  // 60% mutual-follow rate, not fully reciprocal.
+  EXPECT_NEAR(ComputeStats(*graph).reciprocity, 0.6, 0.02);
+}
+
+TEST(DatasetsTest, SurrogatesAreDeterministic) {
+  EXPECT_EQ(*MakeNetSciSurrogate(), *MakeNetSciSurrogate());
+  EXPECT_EQ(*MakeDunfSurrogate(), *MakeDunfSurrogate());
+}
+
+TEST(DatasetsTest, SurrogatesHaveHeavyTails) {
+  auto netsci = MakeNetSciSurrogate().value();
+  GraphStats stats = ComputeStats(netsci);
+  // Hubs well above the mean degree, as in real coauthorship networks.
+  EXPECT_GT(stats.max_total_degree, 2.5 * stats.mean_total_degree);
+}
+
+}  // namespace
+}  // namespace tends::graph

@@ -1,0 +1,116 @@
+#include "diffusion/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tends::diffusion {
+namespace {
+
+DiffusionObservations SampleObservations() {
+  auto truth = ::tends::testing::MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  return ::tends::testing::SimulateUniform(truth, 0.5, 20, 0.2, 77);
+}
+
+TEST(ObservationsIoTest, RoundTrip) {
+  DiffusionObservations original = SampleObservations();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteObservations(original, stream).ok());
+  auto parsed = ReadObservations(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->cascades.size(), original.cascades.size());
+  for (size_t p = 0; p < original.cascades.size(); ++p) {
+    EXPECT_EQ(parsed->cascades[p].sources, original.cascades[p].sources);
+    EXPECT_EQ(parsed->cascades[p].infection_time,
+              original.cascades[p].infection_time);
+  }
+  // Derived statuses must agree too.
+  for (uint32_t p = 0; p < original.num_processes(); ++p) {
+    for (uint32_t v = 0; v < original.num_nodes(); ++v) {
+      EXPECT_EQ(parsed->statuses.Get(p, v), original.statuses.Get(p, v));
+    }
+  }
+}
+
+TEST(ObservationsIoTest, RejectsMissingHeader) {
+  std::istringstream in("processes 1 nodes 2\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, RejectsBadDimensions) {
+  std::istringstream in("# tends-observations v1\nprocesses x nodes 2\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, RejectsTruncation) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 2 nodes 2\nprocess 0\nsources 0\n"
+      "times 0 -1\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, RejectsWrongTimeCount) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 1 nodes 3\nprocess 0\nsources 0\n"
+      "times 0 -1\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, RejectsSourceOutOfRange) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 1 nodes 2\nprocess 0\nsources 5\n"
+      "times 0 -1\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, RejectsSourceWithNonzeroTime) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 1 nodes 2\nprocess 0\nsources 0\n"
+      "times 3 -1\n");
+  EXPECT_TRUE(ReadObservations(in).status().IsCorruption());
+}
+
+TEST(ObservationsIoTest, FileErrors) {
+  EXPECT_TRUE(
+      ReadObservationsFile("/nonexistent_tends/o.txt").status().IsIoError());
+  DiffusionObservations observations = SampleObservations();
+  EXPECT_TRUE(WriteObservationsFile(observations, "/nonexistent_tends/o.txt")
+                  .IsIoError());
+}
+
+TEST(StatusMatrixIoTest, RoundTrip) {
+  auto statuses = ::tends::testing::MakeStatuses(
+      {{1, 0, 1}, {0, 0, 0}, {1, 1, 1}});
+  std::stringstream stream;
+  ASSERT_TRUE(WriteStatusMatrix(statuses, stream).ok());
+  auto parsed = ReadStatusMatrix(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_processes(), 3u);
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  for (uint32_t p = 0; p < 3; ++p) {
+    for (uint32_t v = 0; v < 3; ++v) {
+      EXPECT_EQ(parsed->Get(p, v), statuses.Get(p, v));
+    }
+  }
+}
+
+TEST(StatusMatrixIoTest, RejectsNonBinaryCell) {
+  std::istringstream in("# tends-statuses v1\nprocesses 1 nodes 2\n1 2\n");
+  EXPECT_TRUE(ReadStatusMatrix(in).status().IsCorruption());
+}
+
+TEST(StatusMatrixIoTest, RejectsShortRow) {
+  std::istringstream in("# tends-statuses v1\nprocesses 1 nodes 3\n1 0\n");
+  EXPECT_TRUE(ReadStatusMatrix(in).status().IsCorruption());
+}
+
+TEST(StatusMatrixIoTest, RejectsMissingRows) {
+  std::istringstream in("# tends-statuses v1\nprocesses 2 nodes 2\n1 0\n");
+  EXPECT_TRUE(ReadStatusMatrix(in).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace tends::diffusion

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "diffusion/ic_model.h"
+#include "diffusion/lt_model.h"
+#include "diffusion/propagation.h"
+#include "graph/generators/erdos_renyi.h"
+#include "test_util.h"
+
+namespace tends::diffusion {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+// ------------------------------------------------------- EdgeProbabilities
+
+TEST(EdgeProbabilitiesTest, UniformAssignsAllEdges) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.4);
+  EXPECT_EQ(probs.size(), 3u);
+  EXPECT_DOUBLE_EQ(probs.Get(graph, 0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(probs.Get(graph, 2, 0), 0.4);
+}
+
+TEST(EdgeProbabilitiesTest, GaussianClampsToRange) {
+  Rng graph_rng(1);
+  auto graph =
+      graph::GenerateErdosRenyiM(100, 2000, graph_rng).value();
+  Rng rng(2);
+  auto probs = EdgeProbabilities::Gaussian(graph, 0.3, 0.05, rng);
+  double sum = 0.0;
+  for (double p : probs.values()) {
+    EXPECT_GE(p, 0.01);
+    EXPECT_LE(p, 0.99);
+    sum += p;
+  }
+  // Mean should be close to 0.3 (the paper's setting).
+  EXPECT_NEAR(sum / probs.size(), 0.3, 0.01);
+}
+
+TEST(EdgeProbabilitiesTest, GaussianMostlyWithinTwoSigma) {
+  Rng graph_rng(3);
+  auto graph = graph::GenerateErdosRenyiM(100, 3000, graph_rng).value();
+  Rng rng(4);
+  auto probs = EdgeProbabilities::Gaussian(graph, 0.3, 0.05, rng);
+  // The paper: >95% of probabilities within mean +/- 0.1 (= 2 sigma).
+  uint32_t within = 0;
+  for (double p : probs.values()) {
+    within += p >= 0.2 && p <= 0.4;
+  }
+  EXPECT_GT(static_cast<double>(within) / probs.size(), 0.95);
+}
+
+// ---------------------------------------------------------------- IC model
+
+TEST(IcModelTest, ProbabilityOneInfectsReachableSet) {
+  // 0 -> 1 -> 2, 3 isolated.
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}});
+  auto probs = EdgeProbabilities::Uniform(graph, 1.0);
+  IndependentCascadeModel model(graph, probs);
+  Rng rng(5);
+  auto cascade = model.Run({0}, rng);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->infection_time[0], 0);
+  EXPECT_EQ(cascade->infection_time[1], 1);
+  EXPECT_EQ(cascade->infection_time[2], 2);
+  EXPECT_EQ(cascade->infection_time[3], kNeverInfected);
+}
+
+TEST(IcModelTest, ProbabilityZeroInfectsOnlySources) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.0);
+  IndependentCascadeModel model(graph, probs);
+  Rng rng(6);
+  auto cascade = model.Run({0, 2}, rng);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->NumInfected(), 2u);
+  EXPECT_EQ(cascade->infection_time[1], kNeverInfected);
+}
+
+TEST(IcModelTest, RejectsBadSources) {
+  auto graph = MakeGraph(3, {{0, 1}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.5);
+  IndependentCascadeModel model(graph, probs);
+  Rng rng(7);
+  EXPECT_FALSE(model.Run({3}, rng).ok());
+  EXPECT_FALSE(model.Run({0, 0}, rng).ok());
+}
+
+TEST(IcModelTest, MaxRoundsBoundsSpread) {
+  // Chain of 5 with certain transmission.
+  auto graph = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto probs = EdgeProbabilities::Uniform(graph, 1.0);
+  IndependentCascadeModel model(graph, probs);
+  Rng rng(8);
+  auto cascade = model.Run({0}, rng, /*max_rounds=*/2);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->NumInfected(), 3u);  // rounds 0,1,2
+  EXPECT_EQ(cascade->infection_time[3], kNeverInfected);
+}
+
+// Property suite: IC invariants on random graphs and probabilities.
+class IcInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IcInvariantTest, SourcesAtTimeZeroAndInfectionClosure) {
+  Rng graph_rng(GetParam());
+  auto graph = graph::GenerateErdosRenyiM(60, 300, graph_rng).value();
+  Rng rng(GetParam() + 1);
+  auto probs = EdgeProbabilities::Gaussian(graph, 0.4, 0.1, rng);
+  IndependentCascadeModel model(graph, probs);
+  auto sources = rng.SampleWithoutReplacement(60, 9);
+  std::vector<graph::NodeId> source_vec(sources.begin(), sources.end());
+  auto cascade = model.Run(source_vec, rng);
+  ASSERT_TRUE(cascade.ok());
+  // 1. Sources are infected at time 0.
+  for (graph::NodeId s : source_vec) {
+    EXPECT_EQ(cascade->infection_time[s], 0);
+  }
+  // 2. Every infected non-source has an in-neighbor infected exactly one
+  //    round earlier (its IC infector).
+  for (uint32_t v = 0; v < 60; ++v) {
+    int32_t tv = cascade->infection_time[v];
+    if (tv <= 0) continue;
+    bool has_infector = false;
+    for (graph::NodeId u : graph.InNeighbors(v)) {
+      if (cascade->infection_time[u] == tv - 1) {
+        has_infector = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_infector) << "node " << v << " infected at " << tv
+                              << " without an infector";
+  }
+  // 3. Times are either kNeverInfected or non-negative.
+  for (int32_t t : cascade->infection_time) {
+    EXPECT_TRUE(t == kNeverInfected || t >= 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IcInvariantTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(IcModelTest, DeterministicGivenRngState) {
+  auto graph = MakeGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.5);
+  IndependentCascadeModel model(graph, probs);
+  Rng a(9), b(9);
+  auto c1 = model.Run({0}, a);
+  auto c2 = model.Run({0}, b);
+  EXPECT_EQ(c1->infection_time, c2->infection_time);
+}
+
+// ---------------------------------------------------------------- LT model
+
+TEST(LtModelTest, FullWeightChainSpreads) {
+  // Single parent with raw probability 1.0: weight 1 >= any threshold in
+  // (0, 1], so the infection must propagate down the chain.
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto probs = EdgeProbabilities::Uniform(graph, 1.0);
+  LinearThresholdModel model(graph, probs);
+  Rng rng(10);
+  auto cascade = model.Run({0}, rng);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->NumInfected(), 3u);
+  EXPECT_EQ(cascade->infection_time[2], 2);
+}
+
+TEST(LtModelTest, RejectsBadSources) {
+  auto graph = MakeGraph(2, {{0, 1}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.5);
+  LinearThresholdModel model(graph, probs);
+  Rng rng(11);
+  EXPECT_FALSE(model.Run({2}, rng).ok());
+  EXPECT_FALSE(model.Run({1, 1}, rng).ok());
+}
+
+class LtInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LtInvariantTest, InfectionClosure) {
+  Rng graph_rng(GetParam());
+  auto graph = graph::GenerateErdosRenyiM(50, 250, graph_rng).value();
+  Rng rng(GetParam() + 7);
+  auto probs = EdgeProbabilities::Gaussian(graph, 0.5, 0.1, rng);
+  LinearThresholdModel model(graph, probs);
+  auto cascade = model.Run({0, 1, 2, 3, 4}, rng);
+  ASSERT_TRUE(cascade.ok());
+  // Every infected non-source has at least one in-neighbor infected
+  // strictly earlier (threshold crossings need infected parents).
+  for (uint32_t v = 0; v < 50; ++v) {
+    int32_t tv = cascade->infection_time[v];
+    if (tv <= 0) continue;
+    bool has_earlier_parent = false;
+    for (graph::NodeId u : graph.InNeighbors(v)) {
+      int32_t tu = cascade->infection_time[u];
+      if (tu != kNeverInfected && tu < tv) {
+        has_earlier_parent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_earlier_parent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LtInvariantTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(LtModelTest, MaxRoundsBoundsSpread) {
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto probs = EdgeProbabilities::Uniform(graph, 1.0);
+  LinearThresholdModel model(graph, probs);
+  Rng rng(12);
+  auto cascade = model.Run({0}, rng, /*max_rounds=*/1);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->NumInfected(), 2u);
+}
+
+}  // namespace
+}  // namespace tends::diffusion

@@ -1,0 +1,133 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tends {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesAllTypesEqualsForm) {
+  std::string s = "default";
+  int64_t i = 0;
+  uint32_t u = 0;
+  double d = 0.0;
+  bool b = false;
+  FlagParser parser("test");
+  parser.AddString("s", &s, "a string");
+  parser.AddInt64("i", &i, "an int");
+  parser.AddUint32("u", &u, "a uint");
+  parser.AddDouble("d", &d, "a double");
+  parser.AddBool("b", &b, "a bool");
+  auto argv = Argv({"--s=hello", "--i=-5", "--u=7", "--d=0.25", "--b=true"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 7u);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParserTest, ParsesSpaceSeparatedForm) {
+  std::string s;
+  FlagParser parser("test");
+  parser.AddString("name", &s, "x");
+  auto argv = Argv({"--name", "value"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(s, "value");
+}
+
+TEST(FlagParserTest, BareBoolFlagMeansTrue) {
+  bool b = false;
+  FlagParser parser("test");
+  parser.AddBool("verbose", &b, "x");
+  auto argv = Argv({"--verbose"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParserTest, BoolRejectsGarbage) {
+  bool b = false;
+  FlagParser parser("test");
+  parser.AddBool("flag", &b, "x");
+  auto argv = Argv({"--flag=maybe"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, UnknownFlagIsError) {
+  FlagParser parser("test");
+  auto argv = Argv({"--nope=1"});
+  Status status = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("--nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  std::string s;
+  FlagParser parser("test");
+  parser.AddString("name", &s, "x");
+  auto argv = Argv({"--name"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, BadNumericValueIsError) {
+  uint32_t u = 0;
+  FlagParser parser("test");
+  parser.AddUint32("count", &u, "x");
+  auto argv = Argv({"--count=abc"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  auto argv2 = Argv({"--count=-3"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv2.size()), argv2.data()).ok());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  std::string s;
+  FlagParser parser("test");
+  parser.AddString("s", &s, "x");
+  auto argv = Argv({"first", "--s=v", "second"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  std::string s = "default";
+  FlagParser parser("test");
+  parser.AddString("s", &s, "x");
+  auto argv = Argv({"--", "--s=ignored"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(s, "default");
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"--s=ignored"}));
+}
+
+TEST(FlagParserTest, HelpReturnsUsageAsNotFound) {
+  uint32_t u = 3;
+  FlagParser parser("my tool");
+  parser.AddUint32("count", &u, "how many");
+  auto argv = Argv({"--help"});
+  Status status = parser.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_TRUE(status.IsNotFound());
+  EXPECT_NE(status.message().find("my tool"), std::string::npos);
+  EXPECT_NE(status.message().find("--count"), std::string::npos);
+  EXPECT_NE(status.message().find("default: 3"), std::string::npos);
+}
+
+TEST(FlagParserTest, DefaultsPreservedWhenUnset) {
+  uint32_t u = 9;
+  double d = 1.5;
+  FlagParser parser("test");
+  parser.AddUint32("u", &u, "x");
+  parser.AddDouble("d", &d, "x");
+  auto argv = Argv({"--u=10"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(u, 10u);
+  EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+}  // namespace
+}  // namespace tends

@@ -1,0 +1,135 @@
+#include "metrics/fscore.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tends::metrics {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+inference::InferredNetwork Net(
+    uint32_t n,
+    std::initializer_list<std::tuple<uint32_t, uint32_t, double>> edges) {
+  inference::InferredNetwork network(n);
+  for (auto [u, v, w] : edges) network.AddEdge(u, v, w);
+  return network;
+}
+
+TEST(EvaluateEdgesTest, PerfectInference) {
+  auto truth = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto inferred = Net(3, {{0, 1, 1}, {1, 2, 1}});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_EQ(metrics.true_positives, 2u);
+  EXPECT_EQ(metrics.false_positives, 0u);
+  EXPECT_EQ(metrics.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 1.0);
+}
+
+TEST(EvaluateEdgesTest, EmptyInference) {
+  auto truth = MakeGraph(3, {{0, 1}});
+  auto inferred = Net(3, {});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 0.0);
+  EXPECT_EQ(metrics.false_negatives, 1u);
+}
+
+TEST(EvaluateEdgesTest, HandComputedMix) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  // 2 correct, 2 wrong.
+  auto inferred = Net(4, {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {2, 0, 1}});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_EQ(metrics.true_positives, 2u);
+  EXPECT_EQ(metrics.false_positives, 2u);
+  EXPECT_EQ(metrics.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 0.5);
+}
+
+TEST(EvaluateEdgesTest, DirectionMatters) {
+  auto truth = MakeGraph(2, {{0, 1}});
+  auto inferred = Net(2, {{1, 0, 1}});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_EQ(metrics.true_positives, 0u);
+  EXPECT_EQ(metrics.false_positives, 1u);
+}
+
+TEST(EvaluateEdgesTest, DuplicateInferredEdgesCountOnce) {
+  auto truth = MakeGraph(2, {{0, 1}});
+  auto inferred = Net(2, {{0, 1, 1}, {0, 1, 0.5}});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_EQ(metrics.true_positives, 1u);
+  EXPECT_EQ(metrics.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 1.0);
+}
+
+TEST(EvaluateEdgesTest, FScoreIsHarmonicMean) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  // 1 tp out of 2 inferred: P = 0.5, R = 0.25, F = 2*.5*.25/.75 = 1/3.
+  auto inferred = Net(5, {{0, 1, 1}, {4, 0, 1}});
+  EdgeMetrics metrics = EvaluateEdges(inferred, truth);
+  EXPECT_NEAR(metrics.f_score, 1.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateBestThresholdTest, FindsOptimalPrefix) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}});
+  // Weights rank: correct, correct, wrong, wrong. Best threshold keeps the
+  // first two -> perfect score.
+  auto inferred =
+      Net(4, {{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.2}, {3, 0, 0.1}});
+  EdgeMetrics metrics = EvaluateBestThreshold(inferred, truth);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 1.0);
+  EXPECT_EQ(metrics.true_positives, 2u);
+}
+
+TEST(EvaluateBestThresholdTest, WrongEdgesOnTopLimitScore) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}});
+  auto inferred =
+      Net(4, {{2, 3, 0.9}, {0, 1, 0.8}, {1, 2, 0.7}});
+  EdgeMetrics metrics = EvaluateBestThreshold(inferred, truth);
+  // Best prefix = all three: P=2/3, R=1, F=0.8.
+  EXPECT_NEAR(metrics.f_score, 0.8, 1e-12);
+}
+
+TEST(EvaluateBestThresholdTest, TiedWeightsMoveTogether) {
+  auto truth = MakeGraph(4, {{0, 1}});
+  // Two edges share weight 0.5: one correct, one wrong. A threshold cannot
+  // separate them, so the options are {} or {both}.
+  auto inferred = Net(4, {{0, 1, 0.5}, {2, 3, 0.5}});
+  EdgeMetrics metrics = EvaluateBestThreshold(inferred, truth);
+  EXPECT_NEAR(metrics.f_score, 2.0 * 0.5 * 1.0 / 1.5, 1e-12);
+  EXPECT_EQ(metrics.false_positives, 1u);
+}
+
+TEST(EvaluateBestThresholdTest, EmptyInferenceGivesZero) {
+  auto truth = MakeGraph(3, {{0, 1}});
+  auto inferred = Net(3, {});
+  EdgeMetrics metrics = EvaluateBestThreshold(inferred, truth);
+  EXPECT_DOUBLE_EQ(metrics.f_score, 0.0);
+  EXPECT_EQ(metrics.false_negatives, 1u);
+}
+
+TEST(EvaluateBestThresholdTest, AtLeastAsGoodAsFullSet) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}});
+  auto inferred = Net(
+      5, {{0, 1, 0.9}, {1, 2, 0.5}, {3, 4, 0.4}, {2, 3, 0.3}, {4, 0, 0.1}});
+  EdgeMetrics best = EvaluateBestThreshold(inferred, truth);
+  EdgeMetrics full = EvaluateEdges(inferred, truth);
+  EXPECT_GE(best.f_score, full.f_score - 1e-12);
+}
+
+TEST(EdgeMetricsTest, DebugStringContainsValues) {
+  auto truth = MakeGraph(2, {{0, 1}});
+  auto inferred = Net(2, {{0, 1, 1}});
+  std::string s = EvaluateEdges(inferred, truth).DebugString();
+  EXPECT_NE(s.find("F=1.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tends::metrics

@@ -1,0 +1,109 @@
+#include "graph/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tends::graph {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+TEST(GraphIoTest, RoundTrip) {
+  auto original = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 3}});
+  std::stringstream stream;
+  ASSERT_TRUE(WriteEdgeList(original, stream).ok());
+  auto parsed = ReadEdgeList(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "3\n"
+      "# another\n"
+      "0 1\n"
+      "   \n"
+      "1 2\n");
+  auto parsed = ReadEdgeList(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  EXPECT_EQ(parsed->num_edges(), 2u);
+  EXPECT_TRUE(parsed->HasEdge(0, 1));
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrip) {
+  std::istringstream in("0\n");
+  auto parsed = ReadEdgeList(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_nodes(), 0u);
+}
+
+TEST(GraphIoTest, MissingHeaderIsCorruption) {
+  std::istringstream in("# only comments\n");
+  auto parsed = ReadEdgeList(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(GraphIoTest, BadHeaderIsCorruption) {
+  std::istringstream in("abc\n0 1\n");
+  EXPECT_TRUE(ReadEdgeList(in).status().IsCorruption());
+  std::istringstream in2("3 4\n");
+  EXPECT_TRUE(ReadEdgeList(in2).status().IsCorruption());
+}
+
+TEST(GraphIoTest, BadEdgeLineIsCorruption) {
+  std::istringstream in("3\n0 1 2\n");
+  EXPECT_TRUE(ReadEdgeList(in).status().IsCorruption());
+  std::istringstream in2("3\n0\n");
+  EXPECT_TRUE(ReadEdgeList(in2).status().IsCorruption());
+  std::istringstream in3("3\n0 x\n");
+  EXPECT_TRUE(ReadEdgeList(in3).status().IsCorruption());
+}
+
+TEST(GraphIoTest, OutOfRangeNodeIsCorruption) {
+  std::istringstream in("3\n0 3\n");
+  auto parsed = ReadEdgeList(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(GraphIoTest, SelfLoopIsCorruption) {
+  std::istringstream in("3\n1 1\n");
+  EXPECT_TRUE(ReadEdgeList(in).status().IsCorruption());
+}
+
+TEST(GraphIoTest, DuplicateEdgeIsCorruption) {
+  std::istringstream in("3\n0 1\n0 1\n");
+  EXPECT_TRUE(ReadEdgeList(in).status().IsCorruption());
+}
+
+TEST(GraphIoTest, ErrorsMentionLineNumber) {
+  std::istringstream in("3\n0 1\n1 1\n");
+  auto parsed = ReadEdgeList(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, FileReadFailsOnMissingPath) {
+  auto parsed = ReadEdgeListFile("/nonexistent_tends/graph.txt");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsIoError());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  auto original = MakeGraph(3, {{0, 1}, {2, 1}});
+  std::string path = ::testing::TempDir() + "/tends_graph_io_test.txt";
+  ASSERT_TRUE(WriteEdgeListFile(original, path).ok());
+  auto parsed = ReadEdgeListFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+}  // namespace
+}  // namespace tends::graph

@@ -1,0 +1,152 @@
+#include "graph/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tends::graph {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+TEST(GraphStatsTest, EmptyGraph) {
+  DirectedGraph graph(0);
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(GraphStatsTest, DirectedTriangle) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_total_degree, 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev_total_degree, 0.0);
+  EXPECT_EQ(stats.max_total_degree, 2u);
+  EXPECT_EQ(stats.num_weak_components, 1u);
+  EXPECT_EQ(stats.largest_weak_component, 3u);
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 0.0);
+}
+
+TEST(GraphStatsTest, ReciprocityOfBidirectionalPair) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 0}, {1, 2}});
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_DOUBLE_EQ(stats.reciprocity, 2.0 / 3.0);
+}
+
+TEST(GraphStatsTest, ComponentsAreWeak) {
+  // 0 -> 1 and 2 -> 3: two weak components even though no node is
+  // reachable from every other.
+  auto graph = MakeGraph(5, {{0, 1}, {2, 3}});
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.num_weak_components, 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(stats.largest_weak_component, 2u);
+}
+
+TEST(GraphStatsTest, WeakComponentsLabeling) {
+  auto graph = MakeGraph(4, {{1, 0}, {3, 2}});
+  auto comp = WeakComponents(graph);
+  ASSERT_EQ(comp.size(), 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(GraphStatsTest, DegreeHistogram) {
+  auto graph = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  auto hist = DegreeHistogram(graph);
+  // Node 0 has total degree 3; nodes 1-3 have total degree 1.
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(GraphStatsTest, MaxInOutDegrees) {
+  auto graph = MakeGraph(4, {{0, 1}, {2, 1}, {3, 1}, {1, 0}});
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_EQ(stats.max_in_degree, 3u);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_total_degree, 4u);  // node 1: in 3 + out 1
+}
+
+TEST(GraphStatsTest, StddevOfUnevenDegrees) {
+  // Star: center total degree 3, leaves 1. Mean 1.5, variance 0.75.
+  auto graph = MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  GraphStats stats = ComputeStats(graph);
+  EXPECT_NEAR(stats.stddev_total_degree, std::sqrt(0.75), 1e-12);
+}
+
+TEST(GraphStatsTest, DebugStringMentionsCounts) {
+  auto graph = MakeGraph(2, {{0, 1}});
+  std::string s = ComputeStats(graph).DebugString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(graph), 1.0);
+}
+
+TEST(ClusteringTest, PathHasNoTriangles) {
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(graph), 0.0);
+}
+
+TEST(ClusteringTest, ReciprocalEdgesCollapse) {
+  // Directed triangle plus all reverse edges: still one undirected
+  // triangle, coefficient 1.
+  auto graph = MakeGraph(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(graph), 1.0);
+}
+
+TEST(ClusteringTest, HandComputedMixedGraph) {
+  // Triangle 0-1-2 plus pendant 3 attached to 2.
+  // Triangles*3 = 3; triples: deg(0)=2 ->1, deg(1)=2 ->1, deg(2)=3 ->3,
+  // deg(3)=1 ->0; total 5. C = 3/5.
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(graph), 0.6);
+}
+
+TEST(ClusteringTest, EmptyGraphIsZero) {
+  DirectedGraph graph(4);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(graph), 0.0);
+}
+
+TEST(ModularityTest, TwoCliquesPerfectPartition) {
+  // Two disjoint triangles; partition = components. Q = 2*(1/2 - 1/4) = 0.5.
+  auto graph = MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  std::vector<uint32_t> community = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(Modularity(graph, community), 0.5, 1e-12);
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<uint32_t> community = {0, 0, 0, 0};
+  EXPECT_NEAR(Modularity(graph, community), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, GoodPartitionBeatsBadPartition) {
+  auto graph = MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {0, 3}});
+  std::vector<uint32_t> good = {0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> bad = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(Modularity(graph, good), Modularity(graph, bad));
+}
+
+TEST(ModularityTest, EdgelessGraphIsZero) {
+  DirectedGraph graph(3);
+  std::vector<uint32_t> community = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(Modularity(graph, community), 0.0);
+}
+
+}  // namespace
+}  // namespace tends::graph

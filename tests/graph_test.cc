@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "test_util.h"
+
+namespace tends::graph {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+TEST(DirectedGraphTest, EmptyGraph) {
+  DirectedGraph graph(5);
+  EXPECT_EQ(graph.num_nodes(), 5u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_EQ(graph.AverageDegree(), 0.0);
+  EXPECT_TRUE(graph.OutNeighbors(0).empty());
+  EXPECT_TRUE(graph.InNeighbors(4).empty());
+}
+
+TEST(DirectedGraphTest, ZeroNodeGraph) {
+  DirectedGraph graph;
+  EXPECT_EQ(graph.num_nodes(), 0u);
+  EXPECT_EQ(graph.AverageDegree(), 0.0);
+}
+
+TEST(DirectedGraphTest, AdjacencyIsCorrectAndSorted) {
+  auto graph = MakeGraph(4, {{0, 2}, {0, 1}, {2, 1}, {3, 0}});
+  ASSERT_EQ(graph.num_edges(), 4u);
+  auto out0 = graph.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);  // sorted
+  EXPECT_EQ(out0[1], 2u);
+  auto in1 = graph.InNeighbors(1);
+  ASSERT_EQ(in1.size(), 2u);
+  EXPECT_EQ(in1[0], 0u);
+  EXPECT_EQ(in1[1], 2u);
+  EXPECT_EQ(graph.InDegree(0), 1u);
+  EXPECT_EQ(graph.OutDegree(3), 1u);
+  EXPECT_EQ(graph.OutDegree(1), 0u);
+}
+
+TEST(DirectedGraphTest, HasEdgeIsDirectional) {
+  auto graph = MakeGraph(3, {{0, 1}});
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_FALSE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+}
+
+TEST(DirectedGraphTest, EdgesReturnsLexicographicOrder) {
+  auto graph = MakeGraph(3, {{2, 0}, {0, 2}, {0, 1}});
+  auto edges = graph.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 0}));
+}
+
+TEST(DirectedGraphTest, EdgeIndexIsDenseAndAligned) {
+  auto graph = MakeGraph(3, {{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_EQ(graph.EdgeIndex(0, 1), 0u);
+  EXPECT_EQ(graph.EdgeIndex(0, 2), 1u);
+  EXPECT_EQ(graph.EdgeIndex(1, 2), 2u);
+  EXPECT_EQ(graph.EdgeIndex(2, 0), DirectedGraph::kInvalidEdgeIndex);
+  EXPECT_EQ(graph.OutEdgeBegin(1), 2u);
+  // Alignment contract: OutEdgeBegin(u) + position in OutNeighbors(u).
+  uint64_t index = graph.OutEdgeBegin(0);
+  for (NodeId v : graph.OutNeighbors(0)) {
+    EXPECT_EQ(graph.EdgeIndex(0, v), index++);
+  }
+}
+
+TEST(DirectedGraphTest, AverageDegree) {
+  auto graph = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(graph.AverageDegree(), 6.0 / 4.0);
+}
+
+TEST(DirectedGraphTest, EqualityAndDebugString) {
+  auto a = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto b = MakeGraph(3, {{1, 2}, {0, 1}});
+  auto c = MakeGraph(3, {{0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.DebugString(), "DirectedGraph(n=3, m=2)");
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder builder(3);
+  Status status = builder.AddEdge(1, 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRange) {
+  GraphBuilder builder(3);
+  EXPECT_EQ(builder.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.AddEdge(3, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicate) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_EQ(builder.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(builder.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, AddEdgeIfAbsentToleratesDuplicates) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdgeIfAbsent(0, 1).ok());
+  EXPECT_TRUE(builder.AddEdgeIfAbsent(0, 1).ok());
+  EXPECT_EQ(builder.num_edges(), 1u);
+  // Still rejects genuinely invalid edges.
+  EXPECT_FALSE(builder.AddEdgeIfAbsent(0, 0).ok());
+}
+
+TEST(GraphBuilderTest, HasEdgeTracksInsertions) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.HasEdge(0, 1));
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  EXPECT_TRUE(builder.HasEdge(0, 1));
+  EXPECT_FALSE(builder.HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, AddUndirectedEdgeAddsBothDirections) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddUndirectedEdge(0, 2).ok());
+  auto graph = builder.Build();
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_EQ(graph.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, BuildIsReusable) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  auto g1 = builder.Build();
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  auto g2 = builder.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace tends::graph

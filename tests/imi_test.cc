@@ -1,0 +1,134 @@
+#include "inference/imi.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+
+PairCounts Counts(uint32_t c00, uint32_t c01, uint32_t c10, uint32_t c11) {
+  PairCounts counts;
+  counts.c00 = c00;
+  counts.c01 = c01;
+  counts.c10 = c10;
+  counts.c11 = c11;
+  return counts;
+}
+
+TEST(PointwiseMiTermTest, ZeroJointProbabilityIsZero) {
+  EXPECT_DOUBLE_EQ(PointwiseMiTerm(Counts(5, 5, 0, 5), 1, 0), 0.0);
+}
+
+TEST(PointwiseMiTermTest, HandComputed) {
+  // c11=4, c00=4, c10=1, c01=1, total=10.
+  // P(1,1)=0.4, P_i(1)=0.5, P_j(1)=0.5 -> 0.4*log2(0.4/0.25).
+  PairCounts counts = Counts(4, 1, 1, 4);
+  EXPECT_NEAR(PointwiseMiTerm(counts, 1, 1), 0.4 * std::log2(1.6), 1e-12);
+  EXPECT_NEAR(PointwiseMiTerm(counts, 1, 0), 0.1 * std::log2(0.4), 1e-12);
+}
+
+TEST(PointwiseMiTermTest, IndependentIsZero) {
+  // Exactly independent: P(a,b) = P(a)P(b) for all cells.
+  PairCounts counts = Counts(4, 4, 4, 4);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_NEAR(PointwiseMiTerm(counts, a, b), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(TraditionalMiTest, NonNegativeOnRandomTables) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    PairCounts counts =
+        Counts(rng.NextBounded(20), rng.NextBounded(20),
+               rng.NextBounded(20), rng.NextBounded(20));
+    if (counts.total() == 0) continue;
+    EXPECT_GE(TraditionalMi(counts), -1e-12);
+  }
+}
+
+TEST(InfectionMiTest, PositiveForPositivelyCorrelatedInfections) {
+  EXPECT_GT(InfectionMi(Counts(40, 5, 5, 50)), 0.1);
+}
+
+TEST(InfectionMiTest, NegativeForAntiCorrelatedInfections) {
+  // i infected exactly when j is not.
+  EXPECT_LT(InfectionMi(Counts(2, 48, 48, 2)), -0.1);
+}
+
+TEST(InfectionMiTest, NearZeroForIndependent) {
+  EXPECT_NEAR(InfectionMi(Counts(25, 25, 25, 25)), 0.0, 1e-12);
+}
+
+TEST(InfectionMiTest, TraditionalMiCannotTellCorrelationSign) {
+  // Traditional MI is identical for the correlated and anti-correlated
+  // tables; infection MI separates them (the paper's motivation, Eq. 25).
+  PairCounts positive = Counts(45, 5, 5, 45);
+  PairCounts negative = Counts(5, 45, 45, 5);
+  EXPECT_NEAR(TraditionalMi(positive), TraditionalMi(negative), 1e-12);
+  EXPECT_GT(InfectionMi(positive), 0.2);
+  EXPECT_LT(InfectionMi(negative), -0.2);
+}
+
+TEST(ImiMatrixTest, SymmetricWithZeroDiagonal) {
+  auto statuses = MakeStatuses({
+      {1, 1, 0}, {1, 1, 1}, {0, 0, 1}, {0, 1, 0}, {1, 0, 0},
+  });
+  ImiMatrix imi(statuses, /*use_traditional_mi=*/false);
+  EXPECT_EQ(imi.num_nodes(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(imi.Get(i, i), 0.0);
+    for (uint32_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(imi.Get(i, j), imi.Get(j, i));
+    }
+  }
+}
+
+TEST(ImiMatrixTest, MatchesDirectComputation) {
+  Rng rng(7);
+  diffusion::StatusMatrix statuses(150, 10);
+  for (uint32_t p = 0; p < 150; ++p) {
+    for (uint32_t v = 0; v < 10; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.4));
+    }
+  }
+  ImiMatrix imi(statuses, false);
+  ImiMatrix mi(statuses, true);
+  for (uint32_t i = 0; i < 10; ++i) {
+    for (uint32_t j = i + 1; j < 10; ++j) {
+      PairCounts counts = CountPair(statuses, i, j);
+      EXPECT_NEAR(imi.Get(i, j), InfectionMi(counts), 1e-12);
+      EXPECT_NEAR(mi.Get(i, j), TraditionalMi(counts), 1e-12);
+    }
+  }
+}
+
+TEST(ImiMatrixTest, UpperTriangleSizeAndContent) {
+  auto statuses = MakeStatuses({{1, 0, 1, 0}, {0, 1, 0, 1}});
+  ImiMatrix imi(statuses, false);
+  auto values = imi.UpperTriangleValues();
+  EXPECT_EQ(values.size(), 6u);  // C(4,2)
+  EXPECT_DOUBLE_EQ(values[0], imi.Get(0, 1));
+  EXPECT_DOUBLE_EQ(values.back(), imi.Get(2, 3));
+}
+
+TEST(ImiMatrixTest, ParentChildPairsScoreHigherThanUnrelated) {
+  // Simulate on a chain 0 -> 1 -> 2 ... to check that adjacent pairs carry
+  // higher IMI than distant ones.
+  auto truth = ::tends::testing::MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto observations =
+      ::tends::testing::SimulateUniform(truth, 0.7, 400, 0.2, 11);
+  ImiMatrix imi(observations.statuses, false);
+  EXPECT_GT(imi.Get(0, 1), imi.Get(0, 5));
+}
+
+}  // namespace
+}  // namespace tends::inference

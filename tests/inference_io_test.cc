@@ -1,0 +1,67 @@
+#include "inference/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tends::inference {
+namespace {
+
+TEST(InferredNetworkIoTest, RoundTrip) {
+  InferredNetwork original(5);
+  original.AddEdge(0, 1, 0.25);
+  original.AddEdge(3, 2, 1.75e-3);
+  original.AddEdge(4, 0, 1.0);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteInferredNetwork(original, stream).ok());
+  auto parsed = ReadInferredNetwork(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_nodes(), 5u);
+  ASSERT_EQ(parsed->num_edges(), 3u);
+  for (size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(parsed->edges()[e].edge, original.edges()[e].edge);
+    EXPECT_DOUBLE_EQ(parsed->edges()[e].weight, original.edges()[e].weight);
+  }
+}
+
+TEST(InferredNetworkIoTest, EmptyNetworkRoundTrip) {
+  InferredNetwork original(3);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteInferredNetwork(original, stream).ok());
+  auto parsed = ReadInferredNetwork(stream);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), 0u);
+}
+
+TEST(InferredNetworkIoTest, RejectsMissingHeader) {
+  std::istringstream in("3\n0 1 0.5\n");
+  EXPECT_TRUE(ReadInferredNetwork(in).status().IsCorruption());
+}
+
+TEST(InferredNetworkIoTest, RejectsBadEdgeLine) {
+  std::istringstream in("# tends-network v1\n3\n0 1\n");
+  EXPECT_TRUE(ReadInferredNetwork(in).status().IsCorruption());
+  std::istringstream in2("# tends-network v1\n3\n0 1 x\n");
+  EXPECT_TRUE(ReadInferredNetwork(in2).status().IsCorruption());
+}
+
+TEST(InferredNetworkIoTest, RejectsOutOfRangeEndpoint) {
+  std::istringstream in("# tends-network v1\n3\n0 3 0.5\n");
+  EXPECT_TRUE(ReadInferredNetwork(in).status().IsCorruption());
+}
+
+TEST(InferredNetworkIoTest, SkipsCommentsAndBlanks) {
+  std::istringstream in("# tends-network v1\n2\n# comment\n\n0 1 0.5\n");
+  auto parsed = ReadInferredNetwork(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), 1u);
+}
+
+TEST(InferredNetworkIoTest, FileErrors) {
+  EXPECT_TRUE(ReadInferredNetworkFile("/nonexistent_tends/n.txt")
+                  .status()
+                  .IsIoError());
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -1,0 +1,83 @@
+#include "inference/inferred_network.h"
+
+#include <gtest/gtest.h>
+
+namespace tends::inference {
+namespace {
+
+TEST(InferredNetworkTest, AddAndQuery) {
+  InferredNetwork network(5);
+  EXPECT_EQ(network.num_nodes(), 5u);
+  EXPECT_EQ(network.num_edges(), 0u);
+  network.AddEdge(0, 1, 0.7);
+  network.AddEdge(2, 3);
+  ASSERT_EQ(network.num_edges(), 2u);
+  EXPECT_EQ(network.edges()[0].edge, (graph::Edge{0, 1}));
+  EXPECT_DOUBLE_EQ(network.edges()[0].weight, 0.7);
+  EXPECT_DOUBLE_EQ(network.edges()[1].weight, 1.0);
+}
+
+TEST(InferredNetworkTest, KeepTopMByWeight) {
+  InferredNetwork network(4);
+  network.AddEdge(0, 1, 0.2);
+  network.AddEdge(1, 2, 0.9);
+  network.AddEdge(2, 3, 0.5);
+  network.KeepTopM(2);
+  ASSERT_EQ(network.num_edges(), 2u);
+  EXPECT_EQ(network.edges()[0].edge, (graph::Edge{1, 2}));
+  EXPECT_EQ(network.edges()[1].edge, (graph::Edge{2, 3}));
+}
+
+TEST(InferredNetworkTest, KeepTopMTieBreaksDeterministically) {
+  InferredNetwork network(4);
+  network.AddEdge(2, 3, 0.5);
+  network.AddEdge(0, 1, 0.5);
+  network.AddEdge(1, 2, 0.5);
+  network.KeepTopM(2);
+  ASSERT_EQ(network.num_edges(), 2u);
+  // Ties broken by (from, to): (0,1) then (1,2).
+  EXPECT_EQ(network.edges()[0].edge, (graph::Edge{0, 1}));
+  EXPECT_EQ(network.edges()[1].edge, (graph::Edge{1, 2}));
+}
+
+TEST(InferredNetworkTest, KeepTopMLargerThanSizeIsNoop) {
+  InferredNetwork network(3);
+  network.AddEdge(0, 1, 0.5);
+  network.KeepTopM(10);
+  EXPECT_EQ(network.num_edges(), 1u);
+}
+
+TEST(InferredNetworkTest, KeepAboveThreshold) {
+  InferredNetwork network(4);
+  network.AddEdge(0, 1, 0.2);
+  network.AddEdge(1, 2, 0.9);
+  network.KeepAboveThreshold(0.5);
+  ASSERT_EQ(network.num_edges(), 1u);
+  EXPECT_EQ(network.edges()[0].edge, (graph::Edge{1, 2}));
+}
+
+TEST(InferredNetworkTest, ToGraphBuildsDirectedGraph) {
+  InferredNetwork network(3);
+  network.AddEdge(0, 1);
+  network.AddEdge(1, 2);
+  auto graph = network.ToGraph();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->HasEdge(0, 1));
+  EXPECT_EQ(graph->num_edges(), 2u);
+}
+
+TEST(InferredNetworkTest, ToGraphRejectsDuplicates) {
+  InferredNetwork network(3);
+  network.AddEdge(0, 1);
+  network.AddEdge(0, 1);
+  EXPECT_FALSE(network.ToGraph().ok());
+}
+
+TEST(InferredNetworkTest, DebugString) {
+  InferredNetwork network(3);
+  network.AddEdge(0, 1);
+  EXPECT_EQ(network.DebugString(), "InferredNetwork(n=3, m=1)");
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -1,0 +1,170 @@
+// End-to-end tests of the full pipeline: generator -> simulator ->
+// inference -> evaluation, including the benchlib experiment runner and
+// the paper's qualitative claims on small workloads.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "diffusion/propagation.h"
+#include "graph/datasets.h"
+#include "graph/generators/lfr.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends {
+namespace {
+
+graph::DirectedGraph SmallLfr(uint64_t seed) {
+  Rng rng(seed);
+  return graph::GenerateLfr(graph::LfrOptions::FromPaperParams(80, 4, 2), rng)
+      .value();
+}
+
+TEST(IntegrationTest, TendsBeatsChanceOnLfr) {
+  auto truth = SmallLfr(1);
+  auto observations = testing::SimulateUniform(truth, 0.3, 150, 0.15, 2);
+  inference::Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  // Chance F on this density is ~ 0.05; TENDS should be far above.
+  EXPECT_GT(metrics.f_score, 0.5) << metrics.DebugString();
+}
+
+TEST(IntegrationTest, MoreProcessesImproveTends) {
+  // Corollary 1: the selected parent sets are consistent as beta grows;
+  // empirically the F-score should trend upward from very few processes.
+  auto truth = SmallLfr(3);
+  auto evaluate = [&](uint32_t beta) {
+    auto observations = testing::SimulateUniform(truth, 0.3, beta, 0.15, 4);
+    inference::Tends tends;
+    auto inferred = tends.Infer(observations);
+    return metrics::EvaluateEdges(*inferred, truth).f_score;
+  };
+  double f_small = evaluate(25);
+  double f_large = evaluate(400);
+  EXPECT_GT(f_large, f_small + 0.05);
+}
+
+TEST(IntegrationTest, RunExperimentReturnsAllSelectedAlgorithms) {
+  auto truth = SmallLfr(5);
+  benchlib::ExperimentConfig config;
+  config.beta = 60;
+  auto evaluations = benchlib::RunExperiment(truth, config);
+  ASSERT_TRUE(evaluations.ok()) << evaluations.status();
+  ASSERT_EQ(evaluations->size(), 4u);
+  EXPECT_EQ((*evaluations)[0].algorithm, "TENDS");
+  EXPECT_EQ((*evaluations)[1].algorithm, "NetRate");
+  EXPECT_EQ((*evaluations)[2].algorithm, "MulTree");
+  EXPECT_EQ((*evaluations)[3].algorithm, "LIFT");
+  for (const auto& evaluation : *evaluations) {
+    EXPECT_GE(evaluation.metrics.f_score, 0.0);
+    EXPECT_LE(evaluation.metrics.f_score, 1.0);
+    EXPECT_GE(evaluation.seconds, 0.0);
+  }
+}
+
+TEST(IntegrationTest, RunExperimentSubsetSelection) {
+  auto truth = SmallLfr(7);
+  benchlib::ExperimentConfig config;
+  config.beta = 40;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = true};
+  auto evaluations = benchlib::RunExperiment(truth, config);
+  ASSERT_TRUE(evaluations.ok());
+  ASSERT_EQ(evaluations->size(), 2u);
+  EXPECT_EQ((*evaluations)[0].algorithm, "TENDS");
+  EXPECT_EQ((*evaluations)[1].algorithm, "LIFT");
+}
+
+TEST(IntegrationTest, RunExperimentValidatesRepetitions) {
+  auto truth = SmallLfr(9);
+  benchlib::ExperimentConfig config;
+  config.repetitions = 0;
+  EXPECT_FALSE(benchlib::RunExperiment(truth, config).ok());
+}
+
+TEST(IntegrationTest, RunExperimentAveragesRepetitions) {
+  auto truth = SmallLfr(11);
+  benchlib::ExperimentConfig config;
+  config.beta = 40;
+  config.repetitions = 2;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = false};
+  auto evaluations = benchlib::RunExperiment(truth, config);
+  ASSERT_TRUE(evaluations.ok());
+  EXPECT_LE((*evaluations)[0].metrics.f_score, 1.0);
+}
+
+TEST(IntegrationTest, RunExperimentIsDeterministic) {
+  auto truth = SmallLfr(13);
+  benchlib::ExperimentConfig config;
+  config.beta = 50;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = false};
+  auto e1 = benchlib::RunExperiment(truth, config);
+  auto e2 = benchlib::RunExperiment(truth, config);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_DOUBLE_EQ((*e1)[0].metrics.f_score, (*e2)[0].metrics.f_score);
+}
+
+TEST(IntegrationTest, MakeFigureTableShape) {
+  auto truth = SmallLfr(15);
+  benchlib::ExperimentConfig config;
+  config.beta = 40;
+  config.algorithms = {.tends = true,
+                       .netrate = false,
+                       .multree = false,
+                       .lift = true};
+  auto evaluations = benchlib::RunExperiment(truth, config);
+  ASSERT_TRUE(evaluations.ok());
+  Table table = benchlib::MakeFigureTable({{"setting-a", *evaluations}});
+  EXPECT_EQ(table.num_columns(), 7u);
+  EXPECT_EQ(table.num_rows(), 2u);  // 2 algorithms x 1 setting
+}
+
+TEST(IntegrationTest, TendsWorksOnLinearThresholdData) {
+  // Extension: TENDS is model-agnostic (it only sees statuses), so it
+  // should also recover structure from LT-model diffusions.
+  auto truth = SmallLfr(17);
+  Rng rng(18);
+  auto probs = diffusion::EdgeProbabilities::Uniform(truth, 0.45);
+  diffusion::SimulationConfig sim;
+  sim.num_processes = 200;
+  sim.model = diffusion::DiffusionModel::kLinearThreshold;
+  auto observations = diffusion::Simulate(truth, probs, sim, rng);
+  ASSERT_TRUE(observations.ok());
+  inference::Tends tends;
+  auto inferred = tends.Infer(*observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.2) << metrics.DebugString();
+}
+
+TEST(IntegrationTest, DatasetSurrogatePipelineRuns) {
+  auto truth = graph::MakeNetSciSurrogate().value();
+  auto observations = testing::SimulateUniform(truth, 0.3, 30, 0.15, 19);
+  inference::Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_GT(inferred->num_edges(), 0u);
+}
+
+TEST(IntegrationTest, FastBenchModeReadsEnvironment) {
+  unsetenv("TENDS_BENCH_FAST");
+  EXPECT_FALSE(benchlib::FastBenchMode());
+  setenv("TENDS_BENCH_FAST", "1", 1);
+  EXPECT_TRUE(benchlib::FastBenchMode());
+  unsetenv("TENDS_BENCH_FAST");
+}
+
+}  // namespace
+}  // namespace tends

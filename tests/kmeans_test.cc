@@ -1,0 +1,93 @@
+#include "inference/kmeans_threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tends::inference {
+namespace {
+
+TEST(KmeansThresholdTest, EmptyInput) {
+  ImiThreshold result = FindImiThreshold({});
+  EXPECT_DOUBLE_EQ(result.tau, 0.0);
+  EXPECT_EQ(result.noise_count, 0u);
+  EXPECT_EQ(result.signal_count, 0u);
+}
+
+TEST(KmeansThresholdTest, AllZeros) {
+  ImiThreshold result = FindImiThreshold({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.tau, 0.0);
+}
+
+TEST(KmeansThresholdTest, NegativesAreDropped) {
+  ImiThreshold with_negatives =
+      FindImiThreshold({-0.5, -0.1, 0.001, 0.002, 0.5, 0.6});
+  ImiThreshold without = FindImiThreshold({0.001, 0.002, 0.5, 0.6});
+  EXPECT_DOUBLE_EQ(with_negatives.tau, without.tau);
+  EXPECT_EQ(with_negatives.noise_count, without.noise_count);
+}
+
+TEST(KmeansThresholdTest, CleanBimodalSplit) {
+  // Noise cluster near 0, signal cluster near 0.8: tau must fall between.
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(0.001 * (i % 5));
+  for (int i = 0; i < 10; ++i) values.push_back(0.75 + 0.01 * i);
+  ImiThreshold result = FindImiThreshold(values);
+  EXPECT_LT(result.tau, 0.75);
+  EXPECT_GE(result.tau, 0.0);
+  EXPECT_EQ(result.signal_count, 10u);
+  EXPECT_EQ(result.noise_count, 50u);
+  EXPECT_NEAR(result.signal_mean, 0.795, 1e-9);
+  // tau is the largest noise value.
+  EXPECT_NEAR(result.tau, 0.004, 1e-12);
+}
+
+TEST(KmeansThresholdTest, SinglePositiveValueGoesToSignal) {
+  ImiThreshold result = FindImiThreshold({0.4});
+  EXPECT_EQ(result.signal_count, 1u);
+  EXPECT_EQ(result.noise_count, 0u);
+  EXPECT_DOUBLE_EQ(result.tau, 0.0);
+  EXPECT_DOUBLE_EQ(result.signal_mean, 0.4);
+}
+
+TEST(KmeansThresholdTest, AssignmentBoundaryIsHalfSignalMean) {
+  // With signal mean m, values < m/2 belong to the pinned-zero cluster.
+  std::vector<double> values = {0.1, 0.9, 1.0, 1.1};
+  ImiThreshold result = FindImiThreshold(values);
+  // Converged signal mean = 1.0; boundary 0.5; noise = {0.1}.
+  EXPECT_NEAR(result.signal_mean, 1.0, 1e-9);
+  EXPECT_EQ(result.noise_count, 1u);
+  EXPECT_NEAR(result.tau, 0.1, 1e-12);
+}
+
+TEST(KmeansThresholdTest, Deterministic) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextDouble());
+  ImiThreshold a = FindImiThreshold(values);
+  ImiThreshold b = FindImiThreshold(values);
+  EXPECT_DOUBLE_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(KmeansThresholdTest, ConvergesWithinIterationBudget) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.NextBernoulli(0.1) ? rng.NextDouble(0.5, 1.0)
+                                            : rng.NextDouble(0.0, 0.05));
+  }
+  ImiThreshold result = FindImiThreshold(values);
+  EXPECT_LT(result.iterations, 100u);
+  EXPECT_GT(result.tau, 0.0);
+  EXPECT_LT(result.tau, 0.5);
+}
+
+TEST(KmeansThresholdTest, CountsPartitionInput) {
+  std::vector<double> values = {0.0, 0.01, 0.02, 0.9, 0.95, -0.3};
+  ImiThreshold result = FindImiThreshold(values);
+  EXPECT_EQ(result.noise_count + result.signal_count, 5u);  // negative dropped
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -1,0 +1,220 @@
+#include "inference/local_score.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "inference/counting.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+
+// ------------------------------------------------------------ hand-computed
+
+TEST(LogLikelihoodTest, PerfectPredictorHasZeroLogLikelihood) {
+  // Child exactly mirrors the parent: every conditional is deterministic,
+  // so L = 1 and log L = 0.
+  auto statuses = MakeStatuses({{1, 1}, {1, 1}, {0, 0}, {0, 0}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_DOUBLE_EQ(LogLikelihood(counts), 0.0);
+}
+
+TEST(LogLikelihoodTest, UninformativeParentMatchesMarginalEntropy) {
+  // Child is 1 in half the processes regardless of the parent; log L =
+  // -beta * H(child) = -4 bits for beta = 4.
+  auto statuses = MakeStatuses({{1, 1}, {0, 1}, {1, 0}, {0, 0}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_NEAR(LogLikelihood(counts), -4.0, 1e-12);
+}
+
+TEST(LogLikelihoodTest, HandComputedMixedCase) {
+  // Parent=1 in 3 processes (child: 1,1,0), parent=0 in 1 process (child 0).
+  // L = (2/3)^2 * (1/3)^1 * (1/1)^1; log2 = 2*log2(2/3) + log2(1/3).
+  auto statuses = MakeStatuses({{1, 1}, {1, 1}, {0, 1}, {0, 0}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  double expected = 2 * std::log2(2.0 / 3.0) + std::log2(1.0 / 3.0);
+  EXPECT_NEAR(LogLikelihood(counts), expected, 1e-12);
+}
+
+TEST(ScorePenaltyTest, HandComputed) {
+  // Two observed combos with N = 3 and N = 1:
+  // penalty = 0.5 * (log2(4) + log2(2)) = 1.5.
+  auto statuses = MakeStatuses({{1, 1}, {1, 1}, {0, 1}, {0, 0}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_NEAR(ScorePenalty(counts), 1.5, 1e-12);
+}
+
+TEST(ScorePenaltyTest, UnobservedCombosContributeNothing) {
+  // Only one of two combos observed: phi = 1, and the penalty counts only
+  // the observed one (log2(N+1) = log2(3)).
+  auto statuses = MakeStatuses({{1, 1}, {0, 1}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_EQ(counts.num_unobserved, 1u);
+  EXPECT_NEAR(ScorePenalty(counts), 0.5 * std::log2(3.0), 1e-12);
+}
+
+TEST(LocalScoreTest, IsLikelihoodMinusPenalty) {
+  auto statuses = MakeStatuses({{1, 1}, {1, 0}, {0, 1}, {0, 0}});
+  JointCounts counts = CountJoint(statuses, 0, {1});
+  EXPECT_NEAR(LocalScore(counts), LogLikelihood(counts) - ScorePenalty(counts),
+              1e-12);
+}
+
+TEST(EmptySetLocalScoreTest, MatchesCountJointOnEmptyParents) {
+  auto statuses = MakeStatuses({{1, 0}, {0, 0}, {1, 1}, {1, 1}, {0, 1}});
+  JointCounts counts = CountJoint(statuses, 0, {});
+  uint32_t n2 = statuses.InfectionCount(0);
+  uint32_t n1 = statuses.num_processes() - n2;
+  EXPECT_NEAR(LocalScore(counts), EmptySetLocalScore(n1, n2), 1e-12);
+}
+
+TEST(EmptySetLocalScoreTest, DegenerateCounts) {
+  EXPECT_DOUBLE_EQ(EmptySetLocalScore(0, 0), 0.0);
+  // All infected: L = 1, penalty = 0.5*log2(beta+1).
+  EXPECT_NEAR(EmptySetLocalScore(0, 7), -0.5 * std::log2(8.0), 1e-12);
+}
+
+// ------------------------------------------------------------------ Lemma 1
+
+struct Lemma1Case {
+  uint32_t a1, a2, b1, b2;
+};
+
+class Lemma1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma1Test, InequalityHoldsOnRandomIntegers) {
+  // (b/a)^b <= (b1/a1)^b1 * (b2/a2)^b2 in log space, with the convention
+  // 0*log(0/x) = 0 (terms with b_k = 0 vanish, matching the paper's usage
+  // where b_k counts successes out of a_k trials, b_k <= a_k).
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    uint32_t a1 = static_cast<uint32_t>(rng.NextBounded(50));
+    uint32_t a2 = static_cast<uint32_t>(rng.NextBounded(50));
+    if (a1 + a2 == 0) continue;
+    uint32_t b1 = a1 ? static_cast<uint32_t>(rng.NextBounded(a1 + 1)) : 0;
+    uint32_t b2 = a2 ? static_cast<uint32_t>(rng.NextBounded(a2 + 1)) : 0;
+    uint32_t a = a1 + a2, b = b1 + b2;
+    auto term = [](uint32_t num, uint32_t den) {
+      return num == 0 ? 0.0 : num * std::log2(static_cast<double>(num) / den);
+    };
+    double lhs = term(b, a);
+    double rhs = term(b1, a1) + term(b2, a2);
+    EXPECT_LE(lhs, rhs + 1e-9) << "a1=" << a1 << " a2=" << a2 << " b1=" << b1
+                               << " b2=" << b2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Test, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- Theorem 1
+
+class Theorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem1Test, LikelihoodIsMonotoneUnderParentAddition) {
+  // L(v, F) <= L(v, F u {x}) for any data and any extra node x.
+  Rng rng(GetParam());
+  diffusion::StatusMatrix statuses(40, 8);
+  for (uint32_t p = 0; p < 40; ++p) {
+    for (uint32_t v = 0; v < 8; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.5));
+    }
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::NodeId child = static_cast<graph::NodeId>(rng.NextBounded(8));
+    // Random parent set not containing child.
+    std::vector<graph::NodeId> parents;
+    for (uint32_t v = 0; v < 8; ++v) {
+      if (v != child && rng.NextBernoulli(0.3)) parents.push_back(v);
+    }
+    // Pick an extra node outside F u {child}.
+    graph::NodeId extra = UINT32_MAX;
+    for (uint32_t v = 0; v < 8; ++v) {
+      if (v != child &&
+          std::find(parents.begin(), parents.end(), v) == parents.end()) {
+        extra = v;
+        break;
+      }
+    }
+    if (extra == UINT32_MAX) continue;
+    double before = LogLikelihood(CountJoint(statuses, child, parents));
+    std::vector<graph::NodeId> larger = parents;
+    larger.push_back(extra);
+    double after = LogLikelihood(CountJoint(statuses, child, larger));
+    EXPECT_LE(before, after + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Test,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// ------------------------------------------------------------------ Theorem 2
+
+TEST(DeltaITest, MatchesFormula) {
+  // beta=10, N1=4, N2=6.
+  double expected = 2 * 4 * std::log2(10.0 / 4.0) +
+                    2 * 6 * std::log2(10.0 / 6.0) + std::log2(11.0);
+  EXPECT_NEAR(DeltaI(10, 4, 6), expected, 1e-12);
+}
+
+TEST(DeltaITest, ZeroCountTermsVanish) {
+  EXPECT_NEAR(DeltaI(10, 0, 10), std::log2(11.0), 1e-12);
+  EXPECT_NEAR(DeltaI(10, 10, 0), std::log2(11.0), 1e-12);
+}
+
+TEST(WithinParentBoundTest, BoundBehaviour) {
+  // |F| <= log2(phi + delta).
+  EXPECT_TRUE(WithinParentBound(3, 0, 8.0));    // 3 <= 3
+  EXPECT_FALSE(WithinParentBound(4, 0, 8.0));   // 4 > 3
+  EXPECT_TRUE(WithinParentBound(4, 8, 8.0));    // 4 <= 4
+  EXPECT_TRUE(WithinParentBound(0, 0, 1.0));    // 0 <= 0
+}
+
+TEST(WithinParentBoundTest, EquivalentToObservedVsDelta) {
+  // s <= log2(2^s - observed + delta)  <=>  observed <= delta (for the
+  // phi = 2^s - observed form used by the search).
+  for (uint32_t s = 1; s <= 10; ++s) {
+    uint64_t possible = uint64_t{1} << s;
+    for (uint64_t observed : {uint64_t{0}, possible / 2, possible}) {
+      double delta = 100.0;
+      bool bound = WithinParentBound(s, possible - observed, delta);
+      EXPECT_EQ(bound, static_cast<double>(observed) <= delta);
+    }
+  }
+}
+
+// --------------------------------------------------------- decomposability
+
+TEST(NetworkScoreTest, EqualsSumOfLocalScores) {
+  Rng rng(99);
+  diffusion::StatusMatrix statuses(30, 6);
+  for (uint32_t p = 0; p < 30; ++p) {
+    for (uint32_t v = 0; v < 6; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.5));
+    }
+  }
+  std::vector<std::vector<graph::NodeId>> parents = {
+      {1}, {0, 2}, {}, {4}, {3, 5}, {0}};
+  double total = NetworkScore(statuses, parents);
+  double sum = 0.0;
+  for (uint32_t v = 0; v < 6; ++v) {
+    sum += LocalScoreFor(statuses, v, parents[v]);
+  }
+  EXPECT_NEAR(total, sum, 1e-9);
+}
+
+TEST(LocalScoreTest, MorePredictiveParentScoresHigher) {
+  // Node 1 mirrors the child exactly; node 2 is noise.
+  auto statuses = MakeStatuses({
+      {1, 1, 0}, {1, 1, 1}, {0, 0, 0}, {0, 0, 1},
+      {1, 1, 1}, {0, 0, 0}, {1, 1, 0}, {0, 0, 1},
+  });
+  EXPECT_GT(LocalScoreFor(statuses, 0, {1}), LocalScoreFor(statuses, 0, {2}));
+}
+
+}  // namespace
+}  // namespace tends::inference

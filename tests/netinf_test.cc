@@ -1,0 +1,101 @@
+#include "inference/netinf.h"
+
+#include <gtest/gtest.h>
+
+#include "inference/multree.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeGraph;
+using ::tends::testing::SimulateUniform;
+
+TEST(NetInfTest, RequiresEdgeCountAndCascades) {
+  NetInf no_edges({});
+  diffusion::DiffusionObservations empty;
+  EXPECT_FALSE(no_edges.Infer(empty).ok());
+  NetInfOptions options;
+  options.num_edges = 3;
+  NetInf no_cascades(options);
+  EXPECT_FALSE(no_cascades.Infer(empty).ok());
+}
+
+TEST(NetInfTest, RecoversChain) {
+  auto truth = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto observations = SimulateUniform(truth, 0.6, 400, 0.17, 51);
+  NetInfOptions options;
+  options.num_edges = truth.num_edges();
+  NetInf netinf(options);
+  auto inferred = netinf.Infer(observations);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.5) << metrics.DebugString();
+}
+
+TEST(NetInfTest, StopsWhenEverythingExplained) {
+  // A single edge explains all infections of node 1; once selected, no
+  // further edge has positive gain, so NetInf may stop below the budget.
+  auto truth = MakeGraph(2, {{0, 1}});
+  auto observations = SimulateUniform(truth, 0.9, 100, 0.5, 53);
+  NetInfOptions options;
+  options.num_edges = 50;  // far above what can be explained
+  NetInf netinf(options);
+  auto inferred = netinf.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_LT(inferred->num_edges(), 50u);
+}
+
+TEST(NetInfTest, GainsAreNonIncreasing) {
+  auto truth = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto observations = SimulateUniform(truth, 0.6, 200, 0.17, 55);
+  NetInfOptions options;
+  options.num_edges = 10;
+  NetInf netinf(options);
+  auto inferred = netinf.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  const auto& edges = inferred->edges();
+  for (size_t e = 1; e < edges.size(); ++e) {
+    EXPECT_GE(edges[e - 1].weight, edges[e].weight - 1e-9);
+  }
+}
+
+TEST(NetInfTest, DeterministicOnSameObservations) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto observations = SimulateUniform(truth, 0.5, 150, 0.2, 57);
+  NetInfOptions options;
+  options.num_edges = 4;
+  NetInf a(options), b(options);
+  auto r1 = a.Infer(observations);
+  auto r2 = b.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+  }
+}
+
+TEST(NetInfTest, MulTreeConsidersRedundantParentsNetInfDoesNot) {
+  // Diamond: 0 -> {1,2} -> 3. With high transmission, node 3 usually has
+  // two time-respecting explanations. NetInf's best-tree objective gains
+  // nothing from the second one, MulTree's all-trees objective does, so
+  // with budget 4 MulTree should recover at least as many diamond edges.
+  auto truth = MakeGraph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto observations = SimulateUniform(truth, 0.8, 500, 0.25, 59);
+  MulTreeOptions multree_options;
+  multree_options.num_edges = 4;
+  NetInfOptions netinf_options;
+  netinf_options.num_edges = 4;
+  MulTree multree(multree_options);
+  NetInf netinf(netinf_options);
+  auto multree_result = multree.Infer(observations);
+  auto netinf_result = netinf.Infer(observations);
+  ASSERT_TRUE(multree_result.ok() && netinf_result.ok());
+  double multree_f = metrics::EvaluateEdges(*multree_result, truth).f_score;
+  double netinf_f = metrics::EvaluateEdges(*netinf_result, truth).f_score;
+  EXPECT_GE(multree_f + 1e-9, netinf_f);
+}
+
+}  // namespace
+}  // namespace tends::inference

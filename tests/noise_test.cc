@@ -1,0 +1,95 @@
+#include "diffusion/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tends::diffusion {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+
+TEST(StatusNoiseTest, ZeroNoiseIsIdentity) {
+  auto statuses = MakeStatuses({{1, 0, 1}, {0, 1, 0}});
+  Rng rng(1);
+  auto noisy = ApplyStatusNoise(statuses, {}, rng);
+  ASSERT_TRUE(noisy.ok());
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t v = 0; v < 3; ++v) {
+      EXPECT_EQ(noisy->Get(p, v), statuses.Get(p, v));
+    }
+  }
+}
+
+TEST(StatusNoiseTest, FullMissErasesAllInfections) {
+  auto statuses = MakeStatuses({{1, 1}, {1, 0}});
+  Rng rng(2);
+  auto noisy = ApplyStatusNoise(statuses, {.miss_probability = 1.0}, rng);
+  ASSERT_TRUE(noisy.ok());
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t v = 0; v < 2; ++v) {
+      EXPECT_EQ(noisy->Get(p, v), 0);
+    }
+  }
+}
+
+TEST(StatusNoiseTest, FullFalseAlarmInfectsEverything) {
+  auto statuses = MakeStatuses({{0, 0}, {1, 0}});
+  Rng rng(3);
+  auto noisy =
+      ApplyStatusNoise(statuses, {.false_alarm_probability = 1.0}, rng);
+  ASSERT_TRUE(noisy.ok());
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t v = 0; v < 2; ++v) {
+      EXPECT_EQ(noisy->Get(p, v), 1);
+    }
+  }
+}
+
+TEST(StatusNoiseTest, ValidatesProbabilities) {
+  auto statuses = MakeStatuses({{1, 0}});
+  Rng rng(4);
+  EXPECT_FALSE(ApplyStatusNoise(statuses, {.miss_probability = -0.1}, rng).ok());
+  EXPECT_FALSE(
+      ApplyStatusNoise(statuses, {.false_alarm_probability = 1.1}, rng).ok());
+}
+
+TEST(StatusNoiseTest, FlipRatesMatchConfiguredProbabilities) {
+  StatusMatrix statuses(200, 50);
+  for (uint32_t p = 0; p < 200; ++p) {
+    for (uint32_t v = 0; v < 50; ++v) {
+      statuses.Set(p, v, v % 2);  // half infected
+    }
+  }
+  Rng rng(5);
+  auto noisy = ApplyStatusNoise(
+      statuses, {.miss_probability = 0.2, .false_alarm_probability = 0.05},
+      rng);
+  ASSERT_TRUE(noisy.ok());
+  uint32_t missed = 0, alarmed = 0;
+  const uint32_t per_class = 200 * 25;
+  for (uint32_t p = 0; p < 200; ++p) {
+    for (uint32_t v = 0; v < 50; ++v) {
+      if (statuses.Get(p, v) == 1 && noisy->Get(p, v) == 0) ++missed;
+      if (statuses.Get(p, v) == 0 && noisy->Get(p, v) == 1) ++alarmed;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missed) / per_class, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(alarmed) / per_class, 0.05, 0.01);
+}
+
+TEST(StatusNoiseTest, DeterministicGivenSeed) {
+  auto statuses = MakeStatuses({{1, 0, 1, 0}, {0, 1, 0, 1}});
+  Rng a(6), b(6);
+  auto n1 = ApplyStatusNoise(statuses, {.miss_probability = 0.5}, a);
+  auto n2 = ApplyStatusNoise(statuses, {.miss_probability = 0.5}, b);
+  ASSERT_TRUE(n1.ok() && n2.ok());
+  for (uint32_t p = 0; p < 2; ++p) {
+    for (uint32_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(n1->Get(p, v), n2->Get(p, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tends::diffusion

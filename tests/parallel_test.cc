@@ -1,0 +1,114 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "inference/netrate.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int t = 0; t < 100; ++t) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MinimumOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int t = 0; t < 50; ++t) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(4, 0, 1000, [&](uint32_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  int calls = 0;
+  ParallelFor(4, 5, 5, [&](uint32_t) { ++calls; });
+  ParallelFor(4, 7, 3, [&](uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInOrder) {
+  std::vector<uint32_t> order;
+  ParallelFor(1, 3, 8, [&](uint32_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<uint32_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(16, 0, 3, [&](uint32_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ----------------------------- parallel inference produces identical output
+
+TEST(ParallelInferenceTest, TendsIsThreadCountInvariant) {
+  auto truth = testing::MakeGraph(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  auto observations = testing::SimulateUniform(truth, 0.5, 200, 0.2, 61);
+  inference::TendsOptions serial_options, parallel_options;
+  parallel_options.num_threads = 4;
+  inference::Tends serial(serial_options), parallel(parallel_options);
+  auto r1 = serial.Infer(observations);
+  auto r2 = parallel.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+    EXPECT_DOUBLE_EQ(r1->edges()[e].weight, r2->edges()[e].weight);
+  }
+  EXPECT_DOUBLE_EQ(serial.diagnostics().network_score,
+                   parallel.diagnostics().network_score);
+}
+
+TEST(ParallelInferenceTest, NetRateIsThreadCountInvariant) {
+  auto truth = testing::MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto observations = testing::SimulateUniform(truth, 0.5, 120, 0.2, 63);
+  inference::NetRateOptions serial_options, parallel_options;
+  parallel_options.num_threads = 4;
+  inference::NetRate serial(serial_options), parallel(parallel_options);
+  auto r1 = serial.Infer(observations);
+  auto r2 = parallel.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+    EXPECT_DOUBLE_EQ(r1->edges()[e].weight, r2->edges()[e].weight);
+  }
+}
+
+}  // namespace
+}  // namespace tends

@@ -1,0 +1,184 @@
+#include "inference/parent_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "inference/local_score.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+
+// ------------------------------------------------------ ForEachCombination
+
+TEST(ForEachCombinationTest, EnumeratesAllSubsetsUpToSize) {
+  std::vector<graph::NodeId> candidates = {3, 7, 9, 12};
+  std::vector<std::vector<graph::NodeId>> seen;
+  ForEachCombination(candidates, 2, [&](const std::vector<graph::NodeId>& w) {
+    seen.push_back(w);
+  });
+  // C(4,1) + C(4,2) = 4 + 6 = 10.
+  EXPECT_EQ(seen.size(), 10u);
+  std::set<std::vector<graph::NodeId>> distinct(seen.begin(), seen.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  // Size-1 subsets come first, in candidate order.
+  EXPECT_EQ(seen[0], std::vector<graph::NodeId>{3});
+  EXPECT_EQ(seen[3], std::vector<graph::NodeId>{12});
+  EXPECT_EQ(seen[4], (std::vector<graph::NodeId>{3, 7}));
+}
+
+TEST(ForEachCombinationTest, MaxSizeClampedToCandidateCount) {
+  std::vector<graph::NodeId> candidates = {1, 2};
+  int count = 0;
+  ForEachCombination(candidates, 10,
+                     [&](const std::vector<graph::NodeId>&) { ++count; });
+  EXPECT_EQ(count, 3);  // {1}, {2}, {1,2}
+}
+
+TEST(ForEachCombinationTest, EmptyCandidates) {
+  int count = 0;
+  ForEachCombination({}, 3,
+                     [&](const std::vector<graph::NodeId>&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachCombinationTest, FullPowerSetMinusEmpty) {
+  std::vector<graph::NodeId> candidates = {0, 1, 2, 3, 4};
+  int count = 0;
+  ForEachCombination(candidates, 5,
+                     [&](const std::vector<graph::NodeId>&) { ++count; });
+  EXPECT_EQ(count, 31);  // 2^5 - 1
+}
+
+// ------------------------------------------------------------- FindParents
+
+// Deterministic planted data: child (node 0) = OR of parents 1 and 2;
+// nodes 3, 4 are independent noise.
+diffusion::StatusMatrix PlantedOrData(uint32_t beta, uint64_t seed) {
+  Rng rng(seed);
+  diffusion::StatusMatrix statuses(beta, 5);
+  for (uint32_t p = 0; p < beta; ++p) {
+    uint8_t p1 = rng.NextBernoulli(0.5);
+    uint8_t p2 = rng.NextBernoulli(0.5);
+    statuses.Set(p, 1, p1);
+    statuses.Set(p, 2, p2);
+    statuses.Set(p, 0, p1 | p2);
+    statuses.Set(p, 3, rng.NextBernoulli(0.5));
+    statuses.Set(p, 4, rng.NextBernoulli(0.5));
+  }
+  return statuses;
+}
+
+TEST(FindParentsTest, RecoversPlantedParents) {
+  auto statuses = PlantedOrData(200, 42);
+  ParentSearchOptions options;
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3, 4}, options);
+  EXPECT_EQ(result.parents, (std::vector<graph::NodeId>{1, 2}));
+  EXPECT_GT(result.score, result.empty_score);
+}
+
+TEST(FindParentsTest, EmptyCandidatesYieldEmptyResult) {
+  auto statuses = PlantedOrData(50, 1);
+  ParentSearchResult result = FindParents(statuses, 0, {}, {});
+  EXPECT_TRUE(result.parents.empty());
+  EXPECT_DOUBLE_EQ(result.score, result.empty_score);
+  EXPECT_EQ(result.combinations_considered, 0u);
+}
+
+TEST(FindParentsTest, NoiseCandidatesAreNotAdded) {
+  auto statuses = PlantedOrData(300, 7);
+  ParentSearchOptions options;
+  ParentSearchResult result = FindParents(statuses, 0, {3, 4}, options);
+  // Pure-noise candidates should not beat the empty set... they may add a
+  // tiny spurious correlation on finite data, so allow at most one.
+  EXPECT_LE(result.parents.size(), 1u);
+}
+
+TEST(FindParentsTest, ScoreIsConsistentWithLocalScore) {
+  auto statuses = PlantedOrData(150, 9);
+  ParentSearchOptions options;
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3}, options);
+  EXPECT_NEAR(result.score, LocalScoreFor(statuses, 0, result.parents), 1e-9);
+}
+
+TEST(FindParentsTest, MaxParentsCapsGrowth) {
+  auto statuses = PlantedOrData(200, 11);
+  ParentSearchOptions options;
+  options.max_parents = 1;
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3, 4}, options);
+  EXPECT_LE(result.parents.size(), 1u);
+}
+
+TEST(FindParentsTest, StaticModeAddsRankedCombinations) {
+  auto statuses = PlantedOrData(200, 13);
+  ParentSearchOptions options;
+  options.greedy_mode = GreedyMode::kStaticAlgorithm1;
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3, 4}, options);
+  // The literal Algorithm-1 reading merges every admitted combination while
+  // the Theorem-2 bound holds, so the planted parents must be included.
+  EXPECT_TRUE(std::binary_search(result.parents.begin(), result.parents.end(),
+                                 1u));
+  EXPECT_TRUE(std::binary_search(result.parents.begin(), result.parents.end(),
+                                 2u));
+}
+
+TEST(FindParentsTest, AdaptiveStopsWhenNothingImproves) {
+  // Child constant 1: no parent can improve over the empty set (likelihood
+  // is already perfect; any parent only adds penalty).
+  diffusion::StatusMatrix statuses(60, 3);
+  Rng rng(17);
+  for (uint32_t p = 0; p < 60; ++p) {
+    statuses.Set(p, 0, 1);
+    statuses.Set(p, 1, rng.NextBernoulli(0.5));
+    statuses.Set(p, 2, rng.NextBernoulli(0.5));
+  }
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2}, {});
+  EXPECT_TRUE(result.parents.empty());
+}
+
+TEST(FindParentsTest, ResultIsSorted) {
+  auto statuses = PlantedOrData(250, 19);
+  ParentSearchResult result = FindParents(statuses, 0, {4, 2, 1, 3}, {});
+  EXPECT_TRUE(std::is_sorted(result.parents.begin(), result.parents.end()));
+}
+
+TEST(FindParentsTest, DeterministicAcrossRuns) {
+  auto statuses = PlantedOrData(150, 23);
+  ParentSearchResult a = FindParents(statuses, 0, {1, 2, 3, 4}, {});
+  ParentSearchResult b = FindParents(statuses, 0, {1, 2, 3, 4}, {});
+  EXPECT_EQ(a.parents, b.parents);
+  EXPECT_DOUBLE_EQ(a.score, b.score);
+  EXPECT_EQ(a.score_evaluations, b.score_evaluations);
+}
+
+TEST(FindParentsTest, DiagnosticsArePopulated) {
+  auto statuses = PlantedOrData(100, 29);
+  ParentSearchOptions options;
+  options.max_combination_size = 2;
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3}, options);
+  // C(3,1) + C(3,2) = 6 combinations enumerated at most.
+  EXPECT_LE(result.combinations_considered, 6u);
+  EXPECT_GT(result.combinations_considered, 0u);
+  EXPECT_GT(result.score_evaluations, 0u);
+  EXPECT_GT(result.delta, 0.0);
+}
+
+class CombinationSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CombinationSizeTest, RecoversOrParentsAtAnyEta) {
+  auto statuses = PlantedOrData(300, 31);
+  ParentSearchOptions options;
+  options.max_combination_size = GetParam();
+  ParentSearchResult result = FindParents(statuses, 0, {1, 2, 3, 4}, options);
+  EXPECT_EQ(result.parents, (std::vector<graph::NodeId>{1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Eta, CombinationSizeTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace tends::inference

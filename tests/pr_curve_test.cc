@@ -1,0 +1,109 @@
+#include "metrics/pr_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends::metrics {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+inference::InferredNetwork Net(
+    uint32_t n,
+    std::initializer_list<std::tuple<uint32_t, uint32_t, double>> edges) {
+  inference::InferredNetwork network(n);
+  for (auto [u, v, w] : edges) network.AddEdge(u, v, w);
+  return network;
+}
+
+TEST(PrCurveTest, PerfectRankingHasUnitAveragePrecision) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}});
+  auto inferred = Net(4, {{0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.1}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 0.5);
+  EXPECT_DOUBLE_EQ(curve.points[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[1].recall, 1.0);
+  EXPECT_NEAR(curve.average_precision, 1.0, 1e-12);
+}
+
+TEST(PrCurveTest, WorstRankingHasLowAveragePrecision) {
+  auto truth = MakeGraph(4, {{0, 1}});
+  auto inferred = Net(4, {{2, 3, 0.9}, {3, 2, 0.8}, {0, 1, 0.1}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  ASSERT_EQ(curve.points.size(), 3u);
+  // AP = precision-at-full-recall * recall step = (1/3) * 1.
+  EXPECT_NEAR(curve.average_precision, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PrCurveTest, TieGroupsShareOnePoint) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}});
+  auto inferred = Net(4, {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_EQ(curve.points[0].kept_edges, 3u);
+  EXPECT_NEAR(curve.points[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve.points[0].recall, 1.0);
+}
+
+TEST(PrCurveTest, RecallIsMonotoneAndPointsOrdered) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto inferred = Net(5, {{0, 1, 0.9},
+                          {4, 0, 0.8},
+                          {1, 2, 0.7},
+                          {2, 0, 0.6},
+                          {2, 3, 0.5}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  for (size_t k = 1; k < curve.points.size(); ++k) {
+    EXPECT_GE(curve.points[k].recall, curve.points[k - 1].recall);
+    EXPECT_LT(curve.points[k].threshold, curve.points[k - 1].threshold);
+  }
+}
+
+TEST(PrCurveTest, BestThresholdFScoreIsOnTheCurve) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}});
+  auto inferred = Net(5, {{0, 1, 0.9},
+                          {3, 1, 0.8},
+                          {1, 2, 0.7},
+                          {2, 3, 0.3},
+                          {4, 2, 0.2}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  EdgeMetrics best = EvaluateBestThreshold(inferred, truth);
+  double best_f_on_curve = 0.0;
+  for (const PrPoint& point : curve.points) {
+    if (point.precision + point.recall > 0) {
+      best_f_on_curve = std::max(
+          best_f_on_curve, 2 * point.precision * point.recall /
+                               (point.precision + point.recall));
+    }
+  }
+  EXPECT_NEAR(best_f_on_curve, best.f_score, 1e-12);
+}
+
+TEST(PrCurveTest, EmptyInputsAreHandled) {
+  auto truth = MakeGraph(3, {{0, 1}});
+  inference::InferredNetwork empty(3);
+  PrCurve curve = ComputePrCurve(empty, truth);
+  EXPECT_TRUE(curve.points.empty());
+  EXPECT_DOUBLE_EQ(curve.average_precision, 0.0);
+
+  graph::DirectedGraph no_edges(3);
+  auto inferred = Net(3, {{0, 1, 0.5}});
+  PrCurve no_truth = ComputePrCurve(inferred, no_edges);
+  EXPECT_TRUE(no_truth.points.empty());
+}
+
+TEST(PrCurveTest, DuplicateEdgesCountedOnce) {
+  auto truth = MakeGraph(3, {{0, 1}});
+  auto inferred = Net(3, {{0, 1, 0.9}, {0, 1, 0.2}});
+  PrCurve curve = ComputePrCurve(inferred, truth);
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_EQ(curve.points[0].kept_edges, 1u);
+  EXPECT_DOUBLE_EQ(curve.points[0].precision, 1.0);
+}
+
+}  // namespace
+}  // namespace tends::metrics

@@ -1,0 +1,210 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tends {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U(0,1) is 0.5; stderr ~ 0.29/sqrt(20000) ~ 0.002.
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble(-2.5, 4.0);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kSamples;
+  double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextGaussian(0.3, 0.05);
+  EXPECT_NEAR(sum / kSamples, 0.3, 0.005);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {5};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  auto [n, k] = GetParam();
+  Rng rng(1000 + n * 31 + k);
+  std::vector<uint32_t> sample = rng.SampleWithoutReplacement(n, k);
+  EXPECT_EQ(sample.size(), k);
+  std::set<uint32_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), k);
+  for (uint32_t v : sample) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacementTest,
+    ::testing::Values(std::pair<uint32_t, uint32_t>{10, 0},
+                      std::pair<uint32_t, uint32_t>{10, 1},
+                      std::pair<uint32_t, uint32_t>{10, 3},
+                      std::pair<uint32_t, uint32_t>{10, 10},
+                      std::pair<uint32_t, uint32_t>{100, 5},
+                      std::pair<uint32_t, uint32_t>{100, 50},
+                      std::pair<uint32_t, uint32_t>{100, 99},
+                      std::pair<uint32_t, uint32_t>{1000, 17},
+                      std::pair<uint32_t, uint32_t>{1, 1}));
+
+TEST(RngTest, SampleWithoutReplacementUniformity) {
+  // Each element of [0, 10) should be sampled ~ k/n of the time.
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 10000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t v : rng.SampleWithoutReplacement(10, 3)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.03);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentOfParentPosition) {
+  Rng parent1(99);
+  Rng parent2(99);
+  parent2.NextUint64();  // advance one stream
+  // Forked children depend only on the parent's seed and the stream id.
+  EXPECT_EQ(parent1.Fork(5).NextUint64(), parent2.Fork(5).NextUint64());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng parent(99);
+  EXPECT_NE(parent.Fork(1).NextUint64(), parent.Fork(2).NextUint64());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.Fork(77);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace tends

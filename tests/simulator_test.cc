@@ -1,0 +1,161 @@
+#include "diffusion/simulator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "diffusion/propagation.h"
+#include "graph/generators/erdos_renyi.h"
+#include "test_util.h"
+
+namespace tends::diffusion {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+graph::DirectedGraph TestGraph() {
+  Rng rng(1);
+  return graph::GenerateErdosRenyiM(40, 160, rng).value();
+}
+
+TEST(SimulatorTest, ValidatesConfig) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(2);
+  SimulationConfig config;
+  config.num_processes = 0;
+  EXPECT_FALSE(Simulate(graph, probs, config, rng).ok());
+  config = SimulationConfig();
+  config.initial_infection_ratio = 0.0;
+  EXPECT_FALSE(Simulate(graph, probs, config, rng).ok());
+  config.initial_infection_ratio = 1.5;
+  EXPECT_FALSE(Simulate(graph, probs, config, rng).ok());
+}
+
+TEST(SimulatorTest, RejectsEmptyGraphAndMisalignedProbabilities) {
+  graph::DirectedGraph empty(0);
+  auto empty_probs = EdgeProbabilities::Uniform(empty, 0.3);
+  Rng rng(3);
+  SimulationConfig config;
+  EXPECT_FALSE(Simulate(empty, empty_probs, config, rng).ok());
+
+  auto graph = TestGraph();
+  EXPECT_FALSE(Simulate(graph, empty_probs, config, rng).ok());
+}
+
+TEST(SimulatorTest, ProducesRequestedProcessCount) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(4);
+  SimulationConfig config;
+  config.num_processes = 37;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  EXPECT_EQ(observations->num_processes(), 37u);
+  EXPECT_EQ(observations->cascades.size(), 37u);
+  EXPECT_EQ(observations->num_nodes(), 40u);
+}
+
+TEST(SimulatorTest, SourceCountMatchesAlpha) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(5);
+  SimulationConfig config;
+  config.initial_infection_ratio = 0.15;  // 0.15 * 40 = 6 sources
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  for (const auto& cascade : observations->cascades) {
+    EXPECT_EQ(cascade.sources.size(), 6u);
+  }
+}
+
+TEST(SimulatorTest, TinyAlphaStillGetsOneSource) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(6);
+  SimulationConfig config;
+  config.initial_infection_ratio = 0.001;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  EXPECT_EQ(observations->cascades[0].sources.size(), 1u);
+}
+
+TEST(SimulatorTest, StatusesAgreeWithCascades) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.4);
+  Rng rng(7);
+  SimulationConfig config;
+  config.num_processes = 25;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  for (uint32_t p = 0; p < 25; ++p) {
+    for (uint32_t v = 0; v < 40; ++v) {
+      EXPECT_EQ(observations->statuses.Get(p, v),
+                observations->cascades[p].Infected(v) ? 1 : 0);
+    }
+  }
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  SimulationConfig config;
+  Rng a(8), b(8);
+  auto o1 = Simulate(graph, probs, config, a);
+  auto o2 = Simulate(graph, probs, config, b);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  for (uint32_t p = 0; p < o1->num_processes(); ++p) {
+    EXPECT_EQ(o1->cascades[p].infection_time, o2->cascades[p].infection_time);
+  }
+}
+
+TEST(SimulatorTest, ProcessesVaryWithinOneBatch) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(9);
+  SimulationConfig config;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  // Different processes should have different source sets / outcomes.
+  bool any_difference = false;
+  for (uint32_t p = 1; p < observations->num_processes(); ++p) {
+    if (observations->cascades[p].sources !=
+        observations->cascades[0].sources) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SimulatorTest, LinearThresholdModelRuns) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.6);
+  Rng rng(10);
+  SimulationConfig config;
+  config.model = DiffusionModel::kLinearThreshold;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  EXPECT_EQ(observations->num_processes(), config.num_processes);
+}
+
+TEST(SimulatorTest, HigherProbabilityInfectsMore) {
+  auto graph = TestGraph();
+  Rng rng_low(11), rng_high(11);
+  auto probs_low = EdgeProbabilities::Uniform(graph, 0.05);
+  auto probs_high = EdgeProbabilities::Uniform(graph, 0.8);
+  SimulationConfig config;
+  auto low = Simulate(graph, probs_low, config, rng_low);
+  auto high = Simulate(graph, probs_high, config, rng_high);
+  ASSERT_TRUE(low.ok() && high.ok());
+  uint64_t low_total = 0, high_total = 0;
+  for (uint32_t v = 0; v < 40; ++v) {
+    low_total += low->statuses.InfectionCount(v);
+    high_total += high->statuses.InfectionCount(v);
+  }
+  EXPECT_GT(high_total, low_total);
+}
+
+}  // namespace
+}  // namespace tends::diffusion

@@ -1,0 +1,121 @@
+#include "diffusion/sir_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "diffusion/ic_model.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends::diffusion {
+namespace {
+
+using ::tends::testing::MakeGraph;
+
+TEST(SirModelTest, ValidatesOptionsAndSources) {
+  auto graph = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto probs = EdgeProbabilities::Uniform(graph, 0.5);
+  Rng rng(1);
+  SirModel bad(graph, probs, {.recovery_probability = 0.0});
+  EXPECT_FALSE(bad.Run({0}, rng).ok());
+  SirModel model(graph, probs);
+  EXPECT_FALSE(model.Run({5}, rng).ok());
+  EXPECT_FALSE(model.Run({0, 0}, rng).ok());
+}
+
+TEST(SirModelTest, InstantRecoveryMatchesIcSpread) {
+  // With recovery_probability = 1 each node is infectious for exactly one
+  // round: the reachable distribution equals the IC model's. Compare the
+  // expected outbreak sizes on a fixed graph over many runs.
+  Rng graph_rng(2);
+  auto graph = graph::GenerateErdosRenyiM(40, 160, graph_rng).value();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  SirModel sir(graph, probs, {.recovery_probability = 1.0});
+  IndependentCascadeModel ic(graph, probs);
+  double sir_total = 0, ic_total = 0;
+  constexpr int kRuns = 400;
+  Rng rng_sir(3), rng_ic(4);
+  for (int r = 0; r < kRuns; ++r) {
+    sir_total += sir.Run({0, 1, 2}, rng_sir)->NumInfected();
+    ic_total += ic.Run({0, 1, 2}, rng_ic)->NumInfected();
+  }
+  EXPECT_NEAR(sir_total / kRuns, ic_total / kRuns,
+              0.12 * (ic_total / kRuns) + 1.0);
+}
+
+TEST(SirModelTest, SlowerRecoverySpreadsFurther) {
+  Rng graph_rng(5);
+  auto graph = graph::GenerateErdosRenyiM(60, 240, graph_rng).value();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.15);
+  auto mean_outbreak = [&](double recovery) {
+    SirModel model(graph, probs, {.recovery_probability = recovery});
+    Rng rng(6);
+    double total = 0;
+    for (int r = 0; r < 300; ++r) {
+      total += model.Run({0, 1}, rng)->NumInfected();
+    }
+    return total / 300;
+  };
+  EXPECT_GT(mean_outbreak(0.2), mean_outbreak(1.0) + 1.0);
+}
+
+TEST(SirModelTest, InfectionClosureAndInfectorConsistency) {
+  Rng graph_rng(7);
+  auto graph = graph::GenerateErdosRenyiM(50, 250, graph_rng).value();
+  Rng rng(8);
+  auto probs = EdgeProbabilities::Gaussian(graph, 0.3, 0.05, rng);
+  SirModel model(graph, probs, {.recovery_probability = 0.4});
+  auto cascade = model.Run({0, 1, 2, 3, 4}, rng);
+  ASSERT_TRUE(cascade.ok());
+  for (uint32_t v = 0; v < 50; ++v) {
+    const int32_t tv = cascade->infection_time[v];
+    if (tv <= 0) continue;
+    const graph::NodeId infector = cascade->infector[v];
+    ASSERT_NE(infector, kNoInfector);
+    // The recorded infector is a true in-neighbor infected strictly
+    // earlier (SIR allows gaps > 1 round, unlike IC).
+    EXPECT_TRUE(graph.HasEdge(infector, v));
+    EXPECT_LT(cascade->infection_time[infector], tv);
+  }
+}
+
+TEST(SirModelTest, MaxRoundsBoundsSpread) {
+  auto graph = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto probs = EdgeProbabilities::Uniform(graph, 1.0);
+  SirModel model(graph, probs,
+                 {.recovery_probability = 0.5, .max_rounds = 2});
+  Rng rng(9);
+  auto cascade = model.Run({0}, rng);
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_LE(cascade->NumInfected(), 3u);
+}
+
+TEST(SirModelTest, TendsRecoversStructureFromSirOutbreaks) {
+  // Status-only inference is diffusion-model agnostic: "ever infected"
+  // statuses from SIR outbreaks still carry the topology.
+  auto truth = MakeGraph(
+      6, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 4}, {4, 3},
+          {4, 5}, {5, 4}});
+  auto probs = EdgeProbabilities::Uniform(truth, 0.4);
+  SirModel model(truth, probs, {.recovery_probability = 0.5});
+  Rng rng(10);
+  std::vector<Cascade> cascades;
+  for (int r = 0; r < 400; ++r) {
+    auto sources = rng.SampleWithoutReplacement(6, 1);
+    cascades.push_back(
+        model.Run({sources.begin(), sources.end()}, rng).value());
+  }
+  DiffusionObservations observations;
+  observations.cascades = cascades;
+  observations.statuses = StatusesFromCascades(cascades);
+  inference::Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.5) << metrics.DebugString();
+}
+
+}  // namespace
+}  // namespace tends::diffusion

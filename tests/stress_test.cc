@@ -1,0 +1,170 @@
+// Randomized end-to-end stress tests: for a sweep of seeds and workload
+// shapes, run the full pipeline and check structural invariants that must
+// hold for ANY input — valid edges, sane metrics, determinism — rather
+// than specific accuracy numbers.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/barabasi_albert.h"
+#include "graph/generators/erdos_renyi.h"
+#include "graph/generators/lfr.h"
+#include "graph/generators/watts_strogatz.h"
+#include "inference/lift.h"
+#include "inference/multree.h"
+#include "inference/netinf.h"
+#include "inference/netrate.h"
+#include "inference/path.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+#include "metrics/pr_curve.h"
+
+namespace tends {
+namespace {
+
+struct StressCase {
+  uint64_t seed;
+  int graph_kind;  // 0 = ER, 1 = BA, 2 = WS, 3 = LFR
+  double mu;
+  double alpha;
+};
+
+class PipelineStressTest : public ::testing::TestWithParam<StressCase> {};
+
+graph::DirectedGraph MakeStressGraph(const StressCase& param) {
+  Rng rng(param.seed);
+  switch (param.graph_kind) {
+    case 0:
+      return graph::GenerateErdosRenyiM(60, 240, rng).value();
+    case 1:
+      return graph::GenerateBarabasiAlbert(
+                 {.num_nodes = 60, .edges_per_node = 2}, rng)
+          .value();
+    case 2:
+      return graph::GenerateWattsStrogatz({.num_nodes = 60,
+                                           .neighbors_each_side = 2,
+                                           .rewire_probability = 0.2},
+                                          rng)
+          .value();
+    default:
+      return graph::GenerateLfr(graph::LfrOptions::FromPaperParams(60, 4, 2),
+                                rng)
+          .value();
+  }
+}
+
+void CheckInferredValid(const inference::InferredNetwork& network,
+                        uint32_t n) {
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& scored : network.edges()) {
+    EXPECT_LT(scored.edge.from, n);
+    EXPECT_LT(scored.edge.to, n);
+    EXPECT_NE(scored.edge.from, scored.edge.to) << "self loop inferred";
+    EXPECT_TRUE(seen.insert({scored.edge.from, scored.edge.to}).second)
+        << "duplicate edge inferred";
+  }
+}
+
+void CheckMetricsSane(const metrics::EdgeMetrics& metrics) {
+  EXPECT_GE(metrics.precision, 0.0);
+  EXPECT_LE(metrics.precision, 1.0);
+  EXPECT_GE(metrics.recall, 0.0);
+  EXPECT_LE(metrics.recall, 1.0);
+  EXPECT_GE(metrics.f_score, 0.0);
+  EXPECT_LE(metrics.f_score, 1.0);
+}
+
+TEST_P(PipelineStressTest, AllAlgorithmsSatisfyStructuralInvariants) {
+  const StressCase& param = GetParam();
+  graph::DirectedGraph truth = MakeStressGraph(param);
+  Rng rng(param.seed + 1);
+  auto probabilities =
+      diffusion::EdgeProbabilities::Gaussian(truth, param.mu, 0.05, rng);
+  diffusion::SimulationConfig config;
+  config.num_processes = 60;
+  config.initial_infection_ratio = param.alpha;
+  auto observations =
+      diffusion::Simulate(truth, probabilities, config, rng);
+  ASSERT_TRUE(observations.ok());
+
+  const uint32_t n = truth.num_nodes();
+  // TENDS.
+  inference::Tends tends;
+  auto tends_result = tends.Infer(*observations);
+  ASSERT_TRUE(tends_result.ok());
+  CheckInferredValid(*tends_result, n);
+  CheckMetricsSane(metrics::EvaluateEdges(*tends_result, truth));
+  // NetRate (+ PR curve on its weighted output).
+  inference::NetRate netrate;
+  auto netrate_result = netrate.Infer(*observations);
+  ASSERT_TRUE(netrate_result.ok());
+  CheckInferredValid(*netrate_result, n);
+  metrics::PrCurve curve = metrics::ComputePrCurve(*netrate_result, truth);
+  EXPECT_GE(curve.average_precision, 0.0);
+  EXPECT_LE(curve.average_precision, 1.0);
+  for (size_t k = 1; k < curve.points.size(); ++k) {
+    EXPECT_GE(curve.points[k].recall, curve.points[k - 1].recall);
+  }
+  // MulTree / NetInf / LIFT / PATH with the true budget.
+  inference::MulTree multree({.num_edges = truth.num_edges()});
+  auto multree_result = multree.Infer(*observations);
+  ASSERT_TRUE(multree_result.ok());
+  CheckInferredValid(*multree_result, n);
+  EXPECT_LE(multree_result->num_edges(), truth.num_edges());
+
+  inference::NetInf netinf({.num_edges = truth.num_edges()});
+  auto netinf_result = netinf.Infer(*observations);
+  ASSERT_TRUE(netinf_result.ok());
+  CheckInferredValid(*netinf_result, n);
+
+  inference::Lift lift({.num_edges = truth.num_edges()});
+  auto lift_result = lift.Infer(*observations);
+  ASSERT_TRUE(lift_result.ok());
+  CheckInferredValid(*lift_result, n);
+
+  inference::Path path({.num_edges = truth.num_edges()});
+  auto path_result = path.Infer(*observations);
+  ASSERT_TRUE(path_result.ok());
+  CheckInferredValid(*path_result, n);
+}
+
+TEST_P(PipelineStressTest, TendsIsDeterministicAcrossRuns) {
+  const StressCase& param = GetParam();
+  graph::DirectedGraph truth = MakeStressGraph(param);
+  Rng rng(param.seed + 2);
+  auto probabilities =
+      diffusion::EdgeProbabilities::Gaussian(truth, param.mu, 0.05, rng);
+  diffusion::SimulationConfig config;
+  config.num_processes = 40;
+  config.initial_infection_ratio = param.alpha;
+  auto observations = diffusion::Simulate(truth, probabilities, config, rng);
+  ASSERT_TRUE(observations.ok());
+  inference::Tends a, b;
+  auto r1 = a.Infer(*observations);
+  auto r2 = b.Infer(*observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineStressTest,
+    ::testing::Values(StressCase{101, 0, 0.3, 0.15},
+                      StressCase{102, 1, 0.3, 0.15},
+                      StressCase{103, 2, 0.3, 0.15},
+                      StressCase{104, 3, 0.3, 0.15},
+                      StressCase{105, 0, 0.2, 0.05},
+                      StressCase{106, 1, 0.4, 0.25},
+                      StressCase{107, 2, 0.5, 0.10},
+                      StressCase{108, 3, 0.2, 0.25},
+                      StressCase{109, 3, 0.4, 0.05}));
+
+}  // namespace
+}  // namespace tends

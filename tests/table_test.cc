@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tends {
+namespace {
+
+TEST(TableTest, TextRenderingAligns) {
+  Table table({"name", "value"});
+  table.AddRow().Add("alpha").AddInt(1);
+  table.AddRow().Add("b").AddDouble(0.5, 2);
+  std::ostringstream os;
+  table.PrintText(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("0.50"), std::string::npos);
+  // Header, separator, two data rows.
+  int lines = 0;
+  for (char ch : text) lines += ch == '\n';
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table table({"a", "b"});
+  table.AddRow().Add("x").AddInt(-3);
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,-3\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table table({"field"});
+  table.AddRow().Add("has,comma");
+  table.AddRow().Add("has\"quote");
+  table.AddRow().Add("has\nnewline");
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(),
+            "field\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.AddRow().Add("only");
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(TableTest, CountsRowsAndColumns) {
+  Table table({"x", "y"});
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow().Add("1").Add("2");
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, AddDoublePrecision) {
+  Table table({"v"});
+  table.AddRow().AddDouble(1.0 / 3.0, 4);
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "v\n0.3333\n");
+}
+
+TEST(TableTest, WriteCsvFileFailsOnBadPath) {
+  Table table({"v"});
+  Status status = table.WriteCsvFile("/nonexistent_dir_tends/x.csv");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIoError());
+}
+
+TEST(TableTest, WriteCsvFileRoundTrip) {
+  Table table({"k", "v"});
+  table.AddRow().Add("a").AddInt(1);
+  std::string path = ::testing::TempDir() + "/tends_table_test.csv";
+  ASSERT_TRUE(table.WriteCsvFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,1");
+}
+
+}  // namespace
+}  // namespace tends

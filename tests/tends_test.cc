@@ -1,0 +1,178 @@
+#include "inference/tends.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "inference/local_score.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeGraph;
+using ::tends::testing::SimulateUniform;
+
+TEST(TendsTest, ValidatesInputs) {
+  Tends tends;
+  diffusion::StatusMatrix empty;
+  EXPECT_FALSE(tends.InferFromStatuses(empty).ok());
+
+  TendsOptions bad_tau;
+  bad_tau.tau_multiplier = 0.0;
+  Tends tends_bad_tau(bad_tau);
+  diffusion::StatusMatrix statuses(10, 5);
+  EXPECT_FALSE(tends_bad_tau.InferFromStatuses(statuses).ok());
+
+  TendsOptions bad_cand;
+  bad_cand.max_candidates = 0;
+  Tends tends_bad_cand(bad_cand);
+  EXPECT_FALSE(tends_bad_cand.InferFromStatuses(statuses).ok());
+}
+
+TEST(TendsTest, NameIsStable) {
+  Tends tends;
+  EXPECT_EQ(tends.name(), "TENDS");
+}
+
+TEST(TendsTest, RecoversChain) {
+  // Bidirectional chain with high transmission and many observations.
+  auto truth = MakeGraph(
+      6, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 4}, {4, 3},
+          {4, 5}, {5, 4}});
+  auto observations = SimulateUniform(truth, 0.6, 500, 0.17, 77);
+  Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.f_score, 0.7) << metrics.DebugString();
+}
+
+TEST(TendsTest, RecoversStar) {
+  // Hub 0 influences 5 leaves (one direction only).
+  auto truth =
+      MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  auto observations = SimulateUniform(truth, 0.5, 600, 0.17, 101);
+  Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, truth);
+  EXPECT_GT(metrics.recall, 0.6) << metrics.DebugString();
+}
+
+TEST(TendsTest, DiagnosticsPopulated) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto observations = SimulateUniform(truth, 0.5, 200, 0.2, 3);
+  Tends tends;
+  ASSERT_TRUE(tends.Infer(observations).ok());
+  const TendsDiagnostics& diag = tends.diagnostics();
+  EXPECT_GE(diag.tau, 0.0);
+  EXPECT_GT(diag.kmeans_iterations, 0u);
+  EXPECT_GT(diag.total_score_evaluations, 0u);
+}
+
+TEST(TendsTest, TauOverrideSkipsKmeans) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto observations = SimulateUniform(truth, 0.5, 100, 0.25, 5);
+  TendsOptions options;
+  options.tau_override = 0.02;
+  Tends tends(options);
+  ASSERT_TRUE(tends.Infer(observations).ok());
+  EXPECT_DOUBLE_EQ(tends.diagnostics().tau, 0.02);
+  EXPECT_EQ(tends.diagnostics().kmeans_iterations, 0u);
+}
+
+TEST(TendsTest, TauMultiplierScalesThreshold) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto observations = SimulateUniform(truth, 0.5, 200, 0.2, 7);
+  Tends base;
+  ASSERT_TRUE(base.Infer(observations).ok());
+  TendsOptions scaled_options;
+  scaled_options.tau_multiplier = 2.0;
+  Tends scaled(scaled_options);
+  ASSERT_TRUE(scaled.Infer(observations).ok());
+  EXPECT_NEAR(scaled.diagnostics().tau, 2.0 * base.diagnostics().tau, 1e-12);
+}
+
+TEST(TendsTest, HigherTauPrunesMoreCandidates) {
+  auto truth = MakeGraph(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  auto observations = SimulateUniform(truth, 0.5, 300, 0.15, 9);
+  TendsOptions low, high;
+  low.tau_multiplier = 0.5;
+  high.tau_multiplier = 2.0;
+  Tends tends_low(low), tends_high(high);
+  ASSERT_TRUE(tends_low.Infer(observations).ok());
+  ASSERT_TRUE(tends_high.Infer(observations).ok());
+  EXPECT_GE(tends_low.diagnostics().mean_candidates,
+            tends_high.diagnostics().mean_candidates);
+}
+
+TEST(TendsTest, MaxCandidatesClips) {
+  auto truth = MakeGraph(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}});
+  auto observations = SimulateUniform(truth, 0.6, 300, 0.25, 11);
+  TendsOptions options;
+  options.max_candidates = 1;
+  options.tau_override = -1.0;  // admit everything, force clipping
+  Tends tends(options);
+  ASSERT_TRUE(tends.Infer(observations).ok());
+  EXPECT_LE(tends.diagnostics().max_candidates_seen, 1u);
+  EXPECT_GT(tends.diagnostics().clipped_nodes, 0u);
+}
+
+TEST(TendsTest, TraditionalMiModeRuns) {
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto observations = SimulateUniform(truth, 0.5, 200, 0.2, 13);
+  TendsOptions options;
+  options.use_traditional_mi = true;
+  Tends tends(options);
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+}
+
+TEST(TendsTest, PruningDisabledStillWorksOnTinyGraph) {
+  auto truth = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto observations = SimulateUniform(truth, 0.5, 150, 0.25, 15);
+  TendsOptions options;
+  options.enable_pruning = false;
+  Tends tends(options);
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  // Without pruning every node considers all others.
+  EXPECT_DOUBLE_EQ(tends.diagnostics().mean_candidates, 3.0);
+}
+
+TEST(TendsTest, DeterministicOnSameObservations) {
+  auto truth = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto observations = SimulateUniform(truth, 0.5, 250, 0.2, 17);
+  Tends a, b;
+  auto r1 = a.Infer(observations);
+  auto r2 = b.Infer(observations);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->num_edges(), r2->num_edges());
+  for (size_t e = 0; e < r1->num_edges(); ++e) {
+    EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+  }
+}
+
+TEST(TendsTest, NetworkScoreDiagnosticMatchesEquation12) {
+  // g(T) of the inferred topology must equal the sum of local scores of
+  // the inferred parent sets (decomposability, Eq. 12).
+  auto truth = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto observations = SimulateUniform(truth, 0.5, 200, 0.2, 19);
+  Tends tends;
+  auto inferred = tends.Infer(observations);
+  ASSERT_TRUE(inferred.ok());
+  std::vector<std::vector<graph::NodeId>> parents(5);
+  for (const auto& scored : inferred->edges()) {
+    parents[scored.edge.to].push_back(scored.edge.from);
+  }
+  for (auto& p : parents) std::sort(p.begin(), p.end());
+  EXPECT_NEAR(tends.diagnostics().network_score,
+              NetworkScore(observations.statuses, parents), 1e-6);
+}
+
+}  // namespace
+}  // namespace tends::inference

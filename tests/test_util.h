@@ -1,0 +1,62 @@
+#ifndef TENDS_TESTS_TEST_UTIL_H_
+#define TENDS_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace tends::testing {
+
+/// Builds a graph from an edge list (n nodes). Dies on invalid edges, which
+/// is what a test wants.
+inline graph::DirectedGraph MakeGraph(
+    uint32_t n, std::initializer_list<std::pair<uint32_t, uint32_t>> edges) {
+  graph::GraphBuilder builder(n);
+  for (auto [u, v] : edges) {
+    auto status = builder.AddEdge(u, v);
+    if (!status.ok()) std::abort();
+  }
+  return builder.Build();
+}
+
+/// Builds a status matrix from rows of 0/1 literals; all rows must have the
+/// same length.
+inline diffusion::StatusMatrix MakeStatuses(
+    std::initializer_list<std::initializer_list<int>> rows) {
+  const uint32_t beta = static_cast<uint32_t>(rows.size());
+  const uint32_t n = static_cast<uint32_t>(rows.begin()->size());
+  diffusion::StatusMatrix matrix(beta, n);
+  uint32_t p = 0;
+  for (const auto& row : rows) {
+    uint32_t v = 0;
+    for (int status : row) {
+      matrix.Set(p, v++, static_cast<uint8_t>(status));
+    }
+    ++p;
+  }
+  return matrix;
+}
+
+/// Simulates observations on `truth` with deterministic per-edge
+/// probability `prob`, `beta` processes and `alpha` initial infections.
+inline diffusion::DiffusionObservations SimulateUniform(
+    const graph::DirectedGraph& truth, double prob, uint32_t beta,
+    double alpha, uint64_t seed) {
+  Rng rng(seed);
+  auto probabilities = diffusion::EdgeProbabilities::Uniform(truth, prob);
+  diffusion::SimulationConfig config;
+  config.num_processes = beta;
+  config.initial_infection_ratio = alpha;
+  auto observations = diffusion::Simulate(truth, probabilities, config, rng);
+  if (!observations.ok()) std::abort();
+  return std::move(observations).value();
+}
+
+}  // namespace tends::testing
+
+#endif  // TENDS_TESTS_TEST_UTIL_H_

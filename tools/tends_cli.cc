@@ -1,0 +1,431 @@
+// tends_cli: command-line front end for the library. Subcommands cover the
+// whole workflow:
+//
+//   tends_cli generate  --type=lfr --n=200 --out=graph.txt
+//   tends_cli simulate  --graph=graph.txt --beta=150 --out=obs.txt
+//   tends_cli infer     --algorithm=tends --statuses=st.txt --out=net.txt
+//   tends_cli evaluate  --inferred=net.txt --truth=graph.txt
+//   tends_cli estimate  --statuses=st.txt --network=net.txt
+//
+// Run any subcommand with --help for its flags.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "diffusion/io.h"
+#include "diffusion/noise.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/datasets.h"
+#include "graph/generators/barabasi_albert.h"
+#include "graph/generators/configuration.h"
+#include "graph/generators/erdos_renyi.h"
+#include "graph/generators/lfr.h"
+#include "graph/generators/watts_strogatz.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "inference/correlation.h"
+#include "inference/io.h"
+#include "inference/lift.h"
+#include "inference/multree.h"
+#include "inference/netinf.h"
+#include "inference/netrate.h"
+#include "inference/path.h"
+#include "inference/probability_estimation.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+
+namespace tends::cli {
+namespace {
+
+int FailWith(const Status& status) {
+  if (status.IsNotFound()) {
+    // --help: the message is the usage text.
+    std::cout << status.message() << "\n";
+    return 0;
+  }
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+// ------------------------------------------------------------------ generate
+
+int RunGenerate(int argc, const char* const* argv) {
+  std::string type = "lfr";
+  std::string out = "graph.txt";
+  uint32_t n = 200;
+  double avg_degree = 4.0;
+  double t = 2.0;
+  double mixing = 0.2;
+  double probability = 0.05;
+  uint32_t edges_per_node = 2;
+  uint32_t neighbors = 2;
+  double rewire = 0.1;
+  int64_t num_edges = 800;
+  uint32_t communities = 10;
+  double intra = 0.9;
+  double reciprocal = 0.0;
+  int64_t seed = 42;
+
+  FlagParser parser(
+      "tends_cli generate: write a synthetic diffusion network as an edge "
+      "list.\nTypes: lfr, er (G(n,m)), ba, ws, chunglu, netsci, dunf.");
+  parser.AddString("type", &type, "generator type");
+  parser.AddString("out", &out, "output edge-list path");
+  parser.AddUint32("n", &n, "number of nodes");
+  parser.AddDouble("avg_degree", &avg_degree, "lfr: target average degree");
+  parser.AddDouble("t", &t, "lfr: paper's degree-dispersion parameter T");
+  parser.AddDouble("mixing", &mixing, "lfr: cross-community edge fraction");
+  parser.AddDouble("probability", &probability, "er: unused; ws: unused");
+  parser.AddInt64("num_edges", &num_edges, "er/chunglu: exact edge count");
+  parser.AddUint32("edges_per_node", &edges_per_node, "ba: attachments/node");
+  parser.AddUint32("neighbors", &neighbors, "ws: ring neighbors per side");
+  parser.AddDouble("rewire", &rewire, "ws: rewiring probability");
+  parser.AddUint32("communities", &communities, "chunglu: community count");
+  parser.AddDouble("intra", &intra, "chunglu: intra-community fraction");
+  parser.AddDouble("reciprocal", &reciprocal,
+                   "chunglu: mutual-pair edge fraction");
+  parser.AddInt64("seed", &seed, "random seed");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  Rng rng(static_cast<uint64_t>(seed));
+  StatusOr<graph::DirectedGraph> result =
+      Status::InvalidArgument("unknown generator type: " + type);
+  if (type == "lfr") {
+    graph::LfrOptions options =
+        graph::LfrOptions::FromPaperParams(n, avg_degree, t);
+    options.mixing = mixing;
+    result = graph::GenerateLfr(options, rng);
+  } else if (type == "er") {
+    result = graph::GenerateErdosRenyiM(n, static_cast<uint64_t>(num_edges),
+                                        rng);
+  } else if (type == "ba") {
+    result = graph::GenerateBarabasiAlbert(
+        {.num_nodes = n, .edges_per_node = edges_per_node}, rng);
+  } else if (type == "ws") {
+    result = graph::GenerateWattsStrogatz({.num_nodes = n,
+                                           .neighbors_each_side = neighbors,
+                                           .rewire_probability = rewire},
+                                          rng);
+  } else if (type == "chunglu") {
+    graph::ChungLuCommunityOptions options;
+    options.num_nodes = n;
+    options.num_edges = static_cast<uint64_t>(num_edges);
+    options.num_communities = communities;
+    options.intra_fraction = intra;
+    options.reciprocal_fraction = reciprocal;
+    result = graph::GenerateChungLuCommunity(options, rng);
+  } else if (type == "netsci") {
+    result = graph::MakeNetSciSurrogate();
+  } else if (type == "dunf") {
+    result = graph::MakeDunfSurrogate();
+  }
+  if (!result.ok()) return FailWith(result.status());
+  status = graph::WriteEdgeListFile(*result, out);
+  if (!status.ok()) return FailWith(status);
+  std::cout << graph::ComputeStats(*result).DebugString() << "\n"
+            << "wrote " << out << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ simulate
+
+int RunSimulate(int argc, const char* const* argv) {
+  std::string graph_path = "graph.txt";
+  std::string out = "observations.txt";
+  std::string statuses_out;
+  std::string model = "ic";
+  uint32_t beta = 150;
+  double alpha = 0.15;
+  double mu = 0.3;
+  double stddev = 0.05;
+  double miss = 0.0;
+  double false_alarm = 0.0;
+  int64_t seed = 42;
+
+  FlagParser parser(
+      "tends_cli simulate: run diffusion processes on a graph and record "
+      "observations (Section V-A setup).");
+  parser.AddString("graph", &graph_path, "input edge-list path");
+  parser.AddString("out", &out, "output observations path (cascades)");
+  parser.AddString("statuses_out", &statuses_out,
+                   "optional output path for the status-only matrix");
+  parser.AddString("model", &model, "diffusion model: ic or lt");
+  parser.AddUint32("beta", &beta, "number of diffusion processes");
+  parser.AddDouble("alpha", &alpha, "initial infection ratio");
+  parser.AddDouble("mu", &mu, "mean propagation probability");
+  parser.AddDouble("stddev", &stddev, "propagation probability stddev");
+  parser.AddDouble("miss", &miss, "status noise: missed-detection rate");
+  parser.AddDouble("false_alarm", &false_alarm,
+                   "status noise: false-alarm rate");
+  parser.AddInt64("seed", &seed, "random seed");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  auto truth = graph::ReadEdgeListFile(graph_path);
+  if (!truth.ok()) return FailWith(truth.status());
+  Rng rng(static_cast<uint64_t>(seed));
+  auto probabilities =
+      diffusion::EdgeProbabilities::Gaussian(*truth, mu, stddev, rng);
+  diffusion::SimulationConfig config;
+  config.num_processes = beta;
+  config.initial_infection_ratio = alpha;
+  if (model == "lt") {
+    config.model = diffusion::DiffusionModel::kLinearThreshold;
+  } else if (model != "ic") {
+    return FailWith(Status::InvalidArgument("model must be ic or lt"));
+  }
+  auto observations = diffusion::Simulate(*truth, probabilities, config, rng);
+  if (!observations.ok()) return FailWith(observations.status());
+  if (miss > 0.0 || false_alarm > 0.0) {
+    auto noisy = diffusion::ApplyStatusNoise(
+        observations->statuses,
+        {.miss_probability = miss, .false_alarm_probability = false_alarm},
+        rng);
+    if (!noisy.ok()) return FailWith(noisy.status());
+    observations->statuses = std::move(noisy).value();
+  }
+  status = diffusion::WriteObservationsFile(*observations, out);
+  if (!status.ok()) return FailWith(status);
+  std::cout << "wrote " << out << " (" << beta << " processes)\n";
+  if (!statuses_out.empty()) {
+    status = diffusion::WriteStatusMatrixFile(observations->statuses,
+                                              statuses_out);
+    if (!status.ok()) return FailWith(status);
+    std::cout << "wrote " << statuses_out << "\n";
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------------- infer
+
+int RunInfer(int argc, const char* const* argv) {
+  std::string algorithm = "tends";
+  std::string observations_path;
+  std::string statuses_path;
+  std::string out = "inferred.txt";
+  int64_t num_edges = 0;
+  double tau_multiplier = 1.0;
+  bool traditional_mi = false;
+  uint32_t em_iterations = 4;
+
+  FlagParser parser(
+      "tends_cli infer: reconstruct a diffusion network topology.\n"
+      "Algorithms: tends (statuses only), netrate, multree, netinf "
+      "(cascades), lift (cascades: sources), path (cascades: oracle "
+      "traces), correlation (statuses).");
+  parser.AddString("algorithm", &algorithm, "inference algorithm");
+  parser.AddString("observations", &observations_path,
+                   "cascades file (required for netrate/multree/netinf/lift)");
+  parser.AddString("statuses", &statuses_path,
+                   "status-matrix file (sufficient for tends/correlation)");
+  parser.AddString("out", &out, "output network path");
+  parser.AddInt64("num_edges", &num_edges,
+                  "edge budget for multree/netinf/lift/correlation");
+  parser.AddDouble("tau_multiplier", &tau_multiplier,
+                   "tends: pruning threshold scale");
+  parser.AddBool("traditional_mi", &traditional_mi,
+                 "tends: use traditional MI instead of infection MI");
+  parser.AddUint32("em_iterations", &em_iterations,
+                   "netrate: EM iteration budget");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  diffusion::DiffusionObservations observations;
+  if (!observations_path.empty()) {
+    auto loaded = diffusion::ReadObservationsFile(observations_path);
+    if (!loaded.ok()) return FailWith(loaded.status());
+    observations = std::move(loaded).value();
+  } else if (!statuses_path.empty()) {
+    auto loaded = diffusion::ReadStatusMatrixFile(statuses_path);
+    if (!loaded.ok()) return FailWith(loaded.status());
+    observations.statuses = std::move(loaded).value();
+  } else {
+    return FailWith(Status::InvalidArgument(
+        "one of --observations or --statuses is required"));
+  }
+
+  StatusOr<inference::InferredNetwork> result =
+      Status::InvalidArgument("unknown algorithm: " + algorithm);
+  if (algorithm == "tends") {
+    inference::TendsOptions options;
+    options.tau_multiplier = tau_multiplier;
+    options.use_traditional_mi = traditional_mi;
+    inference::Tends tends(options);
+    result = tends.Infer(observations);
+  } else if (algorithm == "netrate") {
+    inference::NetRateOptions options;
+    options.max_iterations = em_iterations;
+    inference::NetRate netrate(options);
+    result = netrate.Infer(observations);
+  } else if (algorithm == "multree") {
+    inference::MulTree multree(
+        {.num_edges = static_cast<uint64_t>(num_edges)});
+    result = multree.Infer(observations);
+  } else if (algorithm == "netinf") {
+    inference::NetInf netinf({.num_edges = static_cast<uint64_t>(num_edges)});
+    result = netinf.Infer(observations);
+  } else if (algorithm == "lift") {
+    inference::Lift lift({.num_edges = static_cast<uint64_t>(num_edges)});
+    result = lift.Infer(observations);
+  } else if (algorithm == "correlation") {
+    inference::CorrelationBaseline baseline(
+        {.num_edges = static_cast<uint64_t>(num_edges)});
+    result = baseline.Infer(observations);
+  } else if (algorithm == "path") {
+    inference::Path path({.num_edges = static_cast<uint64_t>(num_edges)});
+    result = path.Infer(observations);
+  }
+  if (!result.ok()) return FailWith(result.status());
+  status = inference::WriteInferredNetworkFile(*result, out);
+  if (!status.ok()) return FailWith(status);
+  std::cout << result->DebugString() << "\nwrote " << out << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ evaluate
+
+int RunEvaluate(int argc, const char* const* argv) {
+  std::string inferred_path = "inferred.txt";
+  std::string truth_path = "graph.txt";
+  bool sweep_threshold = false;
+
+  FlagParser parser(
+      "tends_cli evaluate: score an inferred network against the ground "
+      "truth (F-score of directed edges).");
+  parser.AddString("inferred", &inferred_path, "inferred network path");
+  parser.AddString("truth", &truth_path, "ground-truth edge-list path");
+  parser.AddBool("sweep_threshold", &sweep_threshold,
+                 "report the best F over weight thresholds (NetRate "
+                 "treatment)");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  auto inferred = inference::ReadInferredNetworkFile(inferred_path);
+  if (!inferred.ok()) return FailWith(inferred.status());
+  auto truth = graph::ReadEdgeListFile(truth_path);
+  if (!truth.ok()) return FailWith(truth.status());
+  metrics::EdgeMetrics result =
+      sweep_threshold ? metrics::EvaluateBestThreshold(*inferred, *truth)
+                      : metrics::EvaluateEdges(*inferred, *truth);
+  std::cout << result.DebugString() << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ estimate
+
+int RunEstimate(int argc, const char* const* argv) {
+  std::string statuses_path = "statuses.txt";
+  std::string network_path = "inferred.txt";
+  uint32_t top = 20;
+
+  FlagParser parser(
+      "tends_cli estimate: quantify propagation probabilities for the "
+      "edges of an inferred topology from status results.");
+  parser.AddString("statuses", &statuses_path, "status-matrix file");
+  parser.AddString("network", &network_path, "inferred network path");
+  parser.AddUint32("top", &top, "print only the first N edges (0 = all)");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  auto statuses = diffusion::ReadStatusMatrixFile(statuses_path);
+  if (!statuses.ok()) return FailWith(statuses.status());
+  auto network = inference::ReadInferredNetworkFile(network_path);
+  if (!network.ok()) return FailWith(network.status());
+  auto estimates =
+      inference::EstimatePropagationProbabilities(*statuses, *network);
+  if (!estimates.ok()) return FailWith(estimates.status());
+  size_t limit = top == 0 ? estimates->size()
+                          : std::min<size_t>(top, estimates->size());
+  for (size_t e = 0; e < limit; ++e) {
+    const auto& estimate = (*estimates)[e];
+    std::printf("%u -> %u  p=%.4f  (support %u)\n", estimate.edge.from,
+                estimate.edge.to, estimate.probability, estimate.support);
+  }
+  if (limit < estimates->size()) {
+    std::printf("... (%zu more)\n", estimates->size() - limit);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- experiment
+
+int RunExperimentCommand(int argc, const char* const* argv) {
+  std::string graph_path = "graph.txt";
+  uint32_t beta = 150;
+  double alpha = 0.15;
+  double mu = 0.3;
+  uint32_t repetitions = 1;
+  int64_t seed = 42;
+  uint32_t threads = 1;
+
+  FlagParser parser(
+      "tends_cli experiment: simulate diffusions on a graph and run the "
+      "four paper algorithms, printing the standard figure table.");
+  parser.AddString("graph", &graph_path, "ground-truth edge-list path");
+  parser.AddUint32("beta", &beta, "number of diffusion processes");
+  parser.AddDouble("alpha", &alpha, "initial infection ratio");
+  parser.AddDouble("mu", &mu, "mean propagation probability");
+  parser.AddUint32("repetitions", &repetitions, "independent repetitions");
+  parser.AddInt64("seed", &seed, "random seed");
+  parser.AddUint32("threads", &threads,
+                   "worker threads for TENDS / NetRate subproblems");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  auto truth = graph::ReadEdgeListFile(graph_path);
+  if (!truth.ok()) return FailWith(truth.status());
+  benchlib::ExperimentConfig config;
+  config.seed = static_cast<uint64_t>(seed);
+  config.beta = beta;
+  config.alpha = alpha;
+  config.mu = mu;
+  config.repetitions = repetitions;
+  config.tends_options.num_threads = threads;
+  config.netrate_options.num_threads = threads;
+  auto evaluations = benchlib::RunExperiment(*truth, config);
+  if (!evaluations.ok()) return FailWith(evaluations.status());
+  benchlib::MakeFigureTable({{graph_path, std::move(evaluations).value()}})
+      .PrintText(std::cout);
+  return 0;
+}
+
+int Main(int argc, const char* const* argv) {
+  const std::string usage =
+      "usage: tends_cli <command> [flags]\n"
+      "commands: generate, simulate, infer, evaluate, estimate, "
+      "experiment\n"
+      "Run 'tends_cli <command> --help' for command flags.\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 1;
+  }
+  std::string command = argv[1];
+  // Shift argv so each subcommand sees itself as argv[0].
+  int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "generate") return RunGenerate(sub_argc, sub_argv);
+  if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
+  if (command == "infer") return RunInfer(sub_argc, sub_argv);
+  if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
+  if (command == "estimate") return RunEstimate(sub_argc, sub_argv);
+  if (command == "experiment") return RunExperimentCommand(sub_argc, sub_argv);
+  if (command == "--help" || command == "help") {
+    std::cout << usage;
+    return 0;
+  }
+  std::cerr << "unknown command: " << command << "\n" << usage;
+  return 1;
+}
+
+}  // namespace
+}  // namespace tends::cli
+
+int main(int argc, char** argv) { return tends::cli::Main(argc, argv); }
