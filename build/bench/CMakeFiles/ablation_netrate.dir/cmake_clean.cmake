@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_netrate.dir/ablation_netrate.cc.o"
+  "CMakeFiles/ablation_netrate.dir/ablation_netrate.cc.o.d"
+  "ablation_netrate"
+  "ablation_netrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_netrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

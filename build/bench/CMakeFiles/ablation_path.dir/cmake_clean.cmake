@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path.dir/ablation_path.cc.o"
+  "CMakeFiles/ablation_path.dir/ablation_path.cc.o.d"
+  "ablation_path"
+  "ablation_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trees.dir/ablation_trees.cc.o"
+  "CMakeFiles/ablation_trees.dir/ablation_trees.cc.o.d"
+  "ablation_trees"
+  "ablation_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

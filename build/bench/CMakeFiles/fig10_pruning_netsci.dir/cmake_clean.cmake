@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pruning_netsci.dir/fig10_pruning_netsci.cc.o"
+  "CMakeFiles/fig10_pruning_netsci.dir/fig10_pruning_netsci.cc.o.d"
+  "fig10_pruning_netsci"
+  "fig10_pruning_netsci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pruning_netsci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pruning_dunf.dir/fig11_pruning_dunf.cc.o"
+  "CMakeFiles/fig11_pruning_dunf.dir/fig11_pruning_dunf.cc.o.d"
+  "fig11_pruning_dunf"
+  "fig11_pruning_dunf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pruning_dunf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_avg_degree.dir/fig2_avg_degree.cc.o"
+  "CMakeFiles/fig2_avg_degree.dir/fig2_avg_degree.cc.o.d"
+  "fig2_avg_degree"
+  "fig2_avg_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_avg_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

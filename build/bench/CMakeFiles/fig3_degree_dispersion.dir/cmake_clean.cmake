@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_degree_dispersion.dir/fig3_degree_dispersion.cc.o"
+  "CMakeFiles/fig3_degree_dispersion.dir/fig3_degree_dispersion.cc.o.d"
+  "fig3_degree_dispersion"
+  "fig3_degree_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_degree_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

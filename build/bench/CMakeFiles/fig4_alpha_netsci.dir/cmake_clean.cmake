@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_alpha_netsci.dir/fig4_alpha_netsci.cc.o"
+  "CMakeFiles/fig4_alpha_netsci.dir/fig4_alpha_netsci.cc.o.d"
+  "fig4_alpha_netsci"
+  "fig4_alpha_netsci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_alpha_netsci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

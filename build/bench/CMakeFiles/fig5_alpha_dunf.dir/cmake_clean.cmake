@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_alpha_dunf.dir/fig5_alpha_dunf.cc.o"
+  "CMakeFiles/fig5_alpha_dunf.dir/fig5_alpha_dunf.cc.o.d"
+  "fig5_alpha_dunf"
+  "fig5_alpha_dunf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_alpha_dunf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

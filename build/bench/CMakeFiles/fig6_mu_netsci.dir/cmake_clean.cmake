@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mu_netsci.dir/fig6_mu_netsci.cc.o"
+  "CMakeFiles/fig6_mu_netsci.dir/fig6_mu_netsci.cc.o.d"
+  "fig6_mu_netsci"
+  "fig6_mu_netsci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mu_netsci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mu_dunf.dir/fig7_mu_dunf.cc.o"
+  "CMakeFiles/fig7_mu_dunf.dir/fig7_mu_dunf.cc.o.d"
+  "fig7_mu_dunf"
+  "fig7_mu_dunf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mu_dunf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_beta_netsci.dir/fig8_beta_netsci.cc.o"
+  "CMakeFiles/fig8_beta_netsci.dir/fig8_beta_netsci.cc.o.d"
+  "fig8_beta_netsci"
+  "fig8_beta_netsci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_beta_netsci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

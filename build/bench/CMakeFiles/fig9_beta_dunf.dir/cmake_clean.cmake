@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_beta_dunf.dir/fig9_beta_dunf.cc.o"
+  "CMakeFiles/fig9_beta_dunf.dir/fig9_beta_dunf.cc.o.d"
+  "fig9_beta_dunf"
+  "fig9_beta_dunf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_beta_dunf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lfr_graphs.dir/table2_lfr_graphs.cc.o"
+  "CMakeFiles/table2_lfr_graphs.dir/table2_lfr_graphs.cc.o.d"
+  "table2_lfr_graphs"
+  "table2_lfr_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lfr_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_surveillance.dir/epidemic_surveillance.cpp.o"
+  "CMakeFiles/epidemic_surveillance.dir/epidemic_surveillance.cpp.o.d"
+  "epidemic_surveillance"
+  "epidemic_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/experiment.cc" "src/CMakeFiles/tends.dir/benchlib/experiment.cc.o" "gcc" "src/CMakeFiles/tends.dir/benchlib/experiment.cc.o.d"
+  "/root/repo/src/benchlib/pruning_sweep.cc" "src/CMakeFiles/tends.dir/benchlib/pruning_sweep.cc.o" "gcc" "src/CMakeFiles/tends.dir/benchlib/pruning_sweep.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/tends.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tends.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/tends.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/tends.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tends.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stringutil.cc" "src/CMakeFiles/tends.dir/common/stringutil.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/stringutil.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/tends.dir/common/table.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/table.cc.o.d"
+  "/root/repo/src/diffusion/cascade.cc" "src/CMakeFiles/tends.dir/diffusion/cascade.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/cascade.cc.o.d"
+  "/root/repo/src/diffusion/ic_model.cc" "src/CMakeFiles/tends.dir/diffusion/ic_model.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/ic_model.cc.o.d"
+  "/root/repo/src/diffusion/io.cc" "src/CMakeFiles/tends.dir/diffusion/io.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/io.cc.o.d"
+  "/root/repo/src/diffusion/lt_model.cc" "src/CMakeFiles/tends.dir/diffusion/lt_model.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/lt_model.cc.o.d"
+  "/root/repo/src/diffusion/noise.cc" "src/CMakeFiles/tends.dir/diffusion/noise.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/noise.cc.o.d"
+  "/root/repo/src/diffusion/propagation.cc" "src/CMakeFiles/tends.dir/diffusion/propagation.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/propagation.cc.o.d"
+  "/root/repo/src/diffusion/simulator.cc" "src/CMakeFiles/tends.dir/diffusion/simulator.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/simulator.cc.o.d"
+  "/root/repo/src/diffusion/sir_model.cc" "src/CMakeFiles/tends.dir/diffusion/sir_model.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/sir_model.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/tends.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/tends.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators/barabasi_albert.cc" "src/CMakeFiles/tends.dir/graph/generators/barabasi_albert.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/barabasi_albert.cc.o.d"
+  "/root/repo/src/graph/generators/configuration.cc" "src/CMakeFiles/tends.dir/graph/generators/configuration.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/configuration.cc.o.d"
+  "/root/repo/src/graph/generators/erdos_renyi.cc" "src/CMakeFiles/tends.dir/graph/generators/erdos_renyi.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/erdos_renyi.cc.o.d"
+  "/root/repo/src/graph/generators/lfr.cc" "src/CMakeFiles/tends.dir/graph/generators/lfr.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/lfr.cc.o.d"
+  "/root/repo/src/graph/generators/watts_strogatz.cc" "src/CMakeFiles/tends.dir/graph/generators/watts_strogatz.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/watts_strogatz.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/tends.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/tends.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/tends.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/stats.cc.o.d"
+  "/root/repo/src/inference/correlation.cc" "src/CMakeFiles/tends.dir/inference/correlation.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/correlation.cc.o.d"
+  "/root/repo/src/inference/counting.cc" "src/CMakeFiles/tends.dir/inference/counting.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/counting.cc.o.d"
+  "/root/repo/src/inference/imi.cc" "src/CMakeFiles/tends.dir/inference/imi.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/imi.cc.o.d"
+  "/root/repo/src/inference/inferred_network.cc" "src/CMakeFiles/tends.dir/inference/inferred_network.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/inferred_network.cc.o.d"
+  "/root/repo/src/inference/io.cc" "src/CMakeFiles/tends.dir/inference/io.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/io.cc.o.d"
+  "/root/repo/src/inference/kmeans_threshold.cc" "src/CMakeFiles/tends.dir/inference/kmeans_threshold.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/kmeans_threshold.cc.o.d"
+  "/root/repo/src/inference/lift.cc" "src/CMakeFiles/tends.dir/inference/lift.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/lift.cc.o.d"
+  "/root/repo/src/inference/local_score.cc" "src/CMakeFiles/tends.dir/inference/local_score.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/local_score.cc.o.d"
+  "/root/repo/src/inference/multree.cc" "src/CMakeFiles/tends.dir/inference/multree.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/multree.cc.o.d"
+  "/root/repo/src/inference/netinf.cc" "src/CMakeFiles/tends.dir/inference/netinf.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/netinf.cc.o.d"
+  "/root/repo/src/inference/netrate.cc" "src/CMakeFiles/tends.dir/inference/netrate.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/netrate.cc.o.d"
+  "/root/repo/src/inference/parent_search.cc" "src/CMakeFiles/tends.dir/inference/parent_search.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/parent_search.cc.o.d"
+  "/root/repo/src/inference/path.cc" "src/CMakeFiles/tends.dir/inference/path.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/path.cc.o.d"
+  "/root/repo/src/inference/probability_estimation.cc" "src/CMakeFiles/tends.dir/inference/probability_estimation.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/probability_estimation.cc.o.d"
+  "/root/repo/src/inference/tends.cc" "src/CMakeFiles/tends.dir/inference/tends.cc.o" "gcc" "src/CMakeFiles/tends.dir/inference/tends.cc.o.d"
+  "/root/repo/src/metrics/evaluation.cc" "src/CMakeFiles/tends.dir/metrics/evaluation.cc.o" "gcc" "src/CMakeFiles/tends.dir/metrics/evaluation.cc.o.d"
+  "/root/repo/src/metrics/fscore.cc" "src/CMakeFiles/tends.dir/metrics/fscore.cc.o" "gcc" "src/CMakeFiles/tends.dir/metrics/fscore.cc.o.d"
+  "/root/repo/src/metrics/pr_curve.cc" "src/CMakeFiles/tends.dir/metrics/pr_curve.cc.o" "gcc" "src/CMakeFiles/tends.dir/metrics/pr_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tends.
+# This may be replaced when dependencies are built.

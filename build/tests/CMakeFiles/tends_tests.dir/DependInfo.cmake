@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/tends_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/benchlib_test.cc" "tests/CMakeFiles/tends_tests.dir/benchlib_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/benchlib_test.cc.o.d"
+  "/root/repo/tests/cascade_test.cc" "tests/CMakeFiles/tends_tests.dir/cascade_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/cascade_test.cc.o.d"
+  "/root/repo/tests/counting_test.cc" "tests/CMakeFiles/tends_tests.dir/counting_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/counting_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/tends_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/diffusion_io_test.cc" "tests/CMakeFiles/tends_tests.dir/diffusion_io_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/diffusion_io_test.cc.o.d"
+  "/root/repo/tests/diffusion_models_test.cc" "tests/CMakeFiles/tends_tests.dir/diffusion_models_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/diffusion_models_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/tends_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/fscore_test.cc" "tests/CMakeFiles/tends_tests.dir/fscore_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/fscore_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/tends_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/tends_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_stats_test.cc" "tests/CMakeFiles/tends_tests.dir/graph_stats_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/graph_stats_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/tends_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/imi_test.cc" "tests/CMakeFiles/tends_tests.dir/imi_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/imi_test.cc.o.d"
+  "/root/repo/tests/inference_io_test.cc" "tests/CMakeFiles/tends_tests.dir/inference_io_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/inference_io_test.cc.o.d"
+  "/root/repo/tests/inferred_network_test.cc" "tests/CMakeFiles/tends_tests.dir/inferred_network_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/inferred_network_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tends_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/tends_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/local_score_test.cc" "tests/CMakeFiles/tends_tests.dir/local_score_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/local_score_test.cc.o.d"
+  "/root/repo/tests/netinf_test.cc" "tests/CMakeFiles/tends_tests.dir/netinf_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/netinf_test.cc.o.d"
+  "/root/repo/tests/noise_test.cc" "tests/CMakeFiles/tends_tests.dir/noise_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/noise_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/tends_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/parent_search_test.cc" "tests/CMakeFiles/tends_tests.dir/parent_search_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/parent_search_test.cc.o.d"
+  "/root/repo/tests/path_test.cc" "tests/CMakeFiles/tends_tests.dir/path_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/path_test.cc.o.d"
+  "/root/repo/tests/pr_curve_test.cc" "tests/CMakeFiles/tends_tests.dir/pr_curve_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/pr_curve_test.cc.o.d"
+  "/root/repo/tests/probability_estimation_test.cc" "tests/CMakeFiles/tends_tests.dir/probability_estimation_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/probability_estimation_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/tends_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/simulator_test.cc" "tests/CMakeFiles/tends_tests.dir/simulator_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/simulator_test.cc.o.d"
+  "/root/repo/tests/sir_model_test.cc" "tests/CMakeFiles/tends_tests.dir/sir_model_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/sir_model_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/tends_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/tends_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/stringutil_test.cc" "tests/CMakeFiles/tends_tests.dir/stringutil_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/stringutil_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/tends_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/tends_test.cc" "tests/CMakeFiles/tends_tests.dir/tends_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/tends_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tends.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

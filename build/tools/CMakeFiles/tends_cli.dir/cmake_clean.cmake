@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tends_cli.dir/tends_cli.cc.o"
+  "CMakeFiles/tends_cli.dir/tends_cli.cc.o.d"
+  "tends_cli"
+  "tends_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tends_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
