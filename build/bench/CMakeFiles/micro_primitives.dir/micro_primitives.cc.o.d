@@ -214,6 +214,11 @@ bench/CMakeFiles/micro_primitives.dir/micro_primitives.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/inference/tends.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/inference/tends.h \
  /root/repo/src/inference/network_inference.h \
  /root/repo/src/inference/inferred_network.h

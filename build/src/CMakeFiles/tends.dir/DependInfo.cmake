@@ -10,10 +10,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/benchlib/experiment.cc" "src/CMakeFiles/tends.dir/benchlib/experiment.cc.o" "gcc" "src/CMakeFiles/tends.dir/benchlib/experiment.cc.o.d"
   "/root/repo/src/benchlib/pruning_sweep.cc" "src/CMakeFiles/tends.dir/benchlib/pruning_sweep.cc.o" "gcc" "src/CMakeFiles/tends.dir/benchlib/pruning_sweep.cc.o.d"
+  "/root/repo/src/common/fault_injection.cc" "src/CMakeFiles/tends.dir/common/fault_injection.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/fault_injection.cc.o.d"
   "/root/repo/src/common/flags.cc" "src/CMakeFiles/tends.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/io_hardening.cc" "src/CMakeFiles/tends.dir/common/io_hardening.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/io_hardening.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/tends.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/logging.cc.o.d"
   "/root/repo/src/common/parallel.cc" "src/CMakeFiles/tends.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/parallel.cc.o.d"
   "/root/repo/src/common/random.cc" "src/CMakeFiles/tends.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/random.cc.o.d"
+  "/root/repo/src/common/run_context.cc" "src/CMakeFiles/tends.dir/common/run_context.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/run_context.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/tends.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/status.cc.o.d"
   "/root/repo/src/common/stringutil.cc" "src/CMakeFiles/tends.dir/common/stringutil.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/stringutil.cc.o.d"
   "/root/repo/src/common/table.cc" "src/CMakeFiles/tends.dir/common/table.cc.o" "gcc" "src/CMakeFiles/tends.dir/common/table.cc.o.d"
@@ -25,6 +28,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/diffusion/propagation.cc" "src/CMakeFiles/tends.dir/diffusion/propagation.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/propagation.cc.o.d"
   "/root/repo/src/diffusion/simulator.cc" "src/CMakeFiles/tends.dir/diffusion/simulator.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/simulator.cc.o.d"
   "/root/repo/src/diffusion/sir_model.cc" "src/CMakeFiles/tends.dir/diffusion/sir_model.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/sir_model.cc.o.d"
+  "/root/repo/src/diffusion/validation.cc" "src/CMakeFiles/tends.dir/diffusion/validation.cc.o" "gcc" "src/CMakeFiles/tends.dir/diffusion/validation.cc.o.d"
   "/root/repo/src/graph/builder.cc" "src/CMakeFiles/tends.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/builder.cc.o.d"
   "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/tends.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/datasets.cc.o.d"
   "/root/repo/src/graph/generators/barabasi_albert.cc" "src/CMakeFiles/tends.dir/graph/generators/barabasi_albert.cc.o" "gcc" "src/CMakeFiles/tends.dir/graph/generators/barabasi_albert.cc.o.d"

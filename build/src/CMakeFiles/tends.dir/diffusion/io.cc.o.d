@@ -117,6 +117,7 @@ src/CMakeFiles/tends.dir/diffusion/io.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/common/io_hardening.h /usr/include/c++/12/array \
  /root/repo/src/common/statusor.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -164,9 +165,9 @@ src/CMakeFiles/tends.dir/diffusion/io.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/random.h \
  /usr/include/c++/12/cstddef /root/repo/src/diffusion/cascade.h \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/diffusion/propagation.h \
- /usr/include/c++/12/fstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/diffusion/propagation.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/stringutil.h

@@ -165,4 +165,4 @@ src/CMakeFiles/tends.dir/diffusion/noise.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/diffusion/cascade.h \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array
+ /usr/include/c++/12/array /root/repo/src/common/stringutil.h

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/tends_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/datasets_test.cc.o.d"
   "/root/repo/tests/diffusion_io_test.cc" "tests/CMakeFiles/tends_tests.dir/diffusion_io_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/diffusion_io_test.cc.o.d"
   "/root/repo/tests/diffusion_models_test.cc" "tests/CMakeFiles/tends_tests.dir/diffusion_models_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/diffusion_models_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/tends_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/fault_injection_test.cc.o.d"
   "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/tends_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/flags_test.cc.o.d"
   "/root/repo/tests/fscore_test.cc" "tests/CMakeFiles/tends_tests.dir/fscore_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/fscore_test.cc.o.d"
   "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/tends_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/generators_test.cc.o.d"
@@ -35,6 +36,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/pr_curve_test.cc" "tests/CMakeFiles/tends_tests.dir/pr_curve_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/pr_curve_test.cc.o.d"
   "/root/repo/tests/probability_estimation_test.cc" "tests/CMakeFiles/tends_tests.dir/probability_estimation_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/probability_estimation_test.cc.o.d"
   "/root/repo/tests/random_test.cc" "tests/CMakeFiles/tends_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/run_context_test.cc" "tests/CMakeFiles/tends_tests.dir/run_context_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/run_context_test.cc.o.d"
   "/root/repo/tests/simulator_test.cc" "tests/CMakeFiles/tends_tests.dir/simulator_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/simulator_test.cc.o.d"
   "/root/repo/tests/sir_model_test.cc" "tests/CMakeFiles/tends_tests.dir/sir_model_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/sir_model_test.cc.o.d"
   "/root/repo/tests/status_test.cc" "tests/CMakeFiles/tends_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/tends_tests.dir/status_test.cc.o.d"

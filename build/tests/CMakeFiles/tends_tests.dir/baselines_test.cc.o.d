@@ -297,6 +297,8 @@ tests/CMakeFiles/tends_tests.dir/baselines_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/inference/correlation.h \
  /root/repo/src/inference/network_inference.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/statusor.h /root/repo/src/common/status.h \
  /root/repo/src/diffusion/simulator.h /root/repo/src/common/random.h \
  /root/repo/src/diffusion/cascade.h /root/repo/src/graph/graph.h \

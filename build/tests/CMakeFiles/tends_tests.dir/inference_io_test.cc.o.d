@@ -117,6 +117,7 @@ tests/CMakeFiles/tends_tests.dir/inference_io_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/common/io_hardening.h /usr/include/c++/12/array \
  /root/repo/src/common/statusor.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
@@ -162,9 +163,9 @@ tests/CMakeFiles/tends_tests.dir/inference_io_test.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \

@@ -165,8 +165,8 @@ tests/CMakeFiles/tends_tests.dir/noise_test.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/diffusion/cascade.h \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/array /usr/include/c++/12/limits \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

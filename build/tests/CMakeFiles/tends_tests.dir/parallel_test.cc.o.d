@@ -308,6 +308,7 @@ tests/CMakeFiles/tends_tests.dir/parallel_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/inference/netrate.h \
  /root/repo/src/inference/network_inference.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
  /root/repo/src/common/statusor.h /root/repo/src/common/status.h \
  /root/repo/src/diffusion/simulator.h /root/repo/src/common/random.h \
  /root/repo/src/diffusion/cascade.h /root/repo/src/graph/graph.h \

@@ -302,6 +302,8 @@ tests/CMakeFiles/tends_tests.dir/probability_estimation_test.cc.o: \
  /root/repo/src/inference/counting.h \
  /root/repo/src/inference/kmeans_threshold.h \
  /root/repo/src/inference/network_inference.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/diffusion/simulator.h \
  /root/repo/src/inference/parent_search.h /root/repo/tests/test_util.h \
  /root/repo/src/graph/builder.h /usr/include/c++/12/unordered_set \

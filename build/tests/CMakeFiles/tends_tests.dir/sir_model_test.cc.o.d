@@ -303,6 +303,8 @@ tests/CMakeFiles/tends_tests.dir/sir_model_test.cc.o: \
  /root/repo/src/inference/counting.h \
  /root/repo/src/inference/kmeans_threshold.h \
  /root/repo/src/inference/network_inference.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/diffusion/simulator.h \
  /root/repo/src/inference/inferred_network.h \
  /root/repo/src/inference/parent_search.h /root/repo/src/metrics/fscore.h \

@@ -299,6 +299,8 @@ tests/CMakeFiles/tends_tests.dir/stress_test.cc.o: \
  /usr/include/c++/12/span /root/repo/src/diffusion/propagation.h \
  /root/repo/src/inference/lift.h \
  /root/repo/src/inference/network_inference.h \
+ /root/repo/src/common/run_context.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/inference/inferred_network.h \
  /root/repo/src/inference/multree.h /root/repo/src/inference/netrate.h \
  /root/repo/src/inference/tends.h /root/repo/src/inference/imi.h \

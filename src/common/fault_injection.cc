@@ -1,0 +1,90 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/random.h"
+
+namespace tends {
+
+namespace {
+
+// Printable junk guaranteed to parse as neither an integer, a double, nor a
+// 0/1 status token.
+constexpr const char* kGarbageTokens[] = {"#$Gx7!", "NaNbUt", "0xZZ", "~~~",
+                                          "<?>", "eE+bad"};
+
+std::string MakeGarbageToken(Rng& rng) {
+  return kGarbageTokens[rng.NextBounded(std::size(kGarbageTokens))];
+}
+
+}  // namespace
+
+std::string CorruptPayload(const std::string& payload,
+                           const FaultInjectionOptions& options) {
+  Rng rng(options.seed);
+  std::string data = payload;
+
+  // Bit flips: each byte independently gets one random bit inverted.
+  if (options.bit_flip_rate > 0.0) {
+    for (char& byte : data) {
+      if (rng.NextBernoulli(options.bit_flip_rate)) {
+        byte = static_cast<char>(static_cast<unsigned char>(byte) ^
+                                 (1u << rng.NextBounded(8)));
+      }
+    }
+  }
+
+  // Garbage tokens: per line, splice junk at a random interior position.
+  if (options.garbage_token_rate > 0.0) {
+    std::string spliced;
+    spliced.reserve(data.size() + 16);
+    size_t line_start = 0;
+    while (line_start <= data.size()) {
+      size_t line_end = data.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = data.size();
+      std::string line = data.substr(line_start, line_end - line_start);
+      if (!line.empty() && rng.NextBernoulli(options.garbage_token_rate)) {
+        const size_t at = rng.NextBounded(line.size() + 1);
+        line.insert(at, " " + MakeGarbageToken(rng) + " ");
+      }
+      spliced += line;
+      if (line_end < data.size()) spliced += '\n';
+      if (line_end >= data.size()) break;
+      line_start = line_end + 1;
+    }
+    data = std::move(spliced);
+  }
+
+  // Truncation last: a torn write cuts whatever bytes were on the wire.
+  if (options.truncate_at_byte < data.size()) {
+    data.resize(options.truncate_at_byte);
+  }
+  return data;
+}
+
+FaultInjectingStreambuf::FaultInjectingStreambuf(
+    const std::string& payload, const FaultInjectionOptions& options)
+    : data_(CorruptPayload(payload, options)),
+      max_chunk_(options.max_read_chunk == 0 ? data_.size()
+                                             : options.max_read_chunk) {}
+
+FaultInjectingStreambuf::int_type FaultInjectingStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (served_ >= data_.size()) return traits_type::eof();
+  // Serve the next short chunk.
+  char* begin = data_.data() + served_;
+  const size_t len = std::min(max_chunk_, data_.size() - served_);
+  served_ += len;
+  setg(begin, begin, begin + len);
+  return traits_type::to_int_type(*gptr());
+}
+
+FaultInjectingStream::FaultInjectingStream(const std::string& payload,
+                                           const FaultInjectionOptions& options)
+    : std::istream(nullptr),
+      buffer_(std::make_unique<FaultInjectingStreambuf>(payload, options)) {
+  rdbuf(buffer_.get());
+}
+
+}  // namespace tends

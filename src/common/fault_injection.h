@@ -1,0 +1,81 @@
+#ifndef TENDS_COMMON_FAULT_INJECTION_H_
+#define TENDS_COMMON_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <streambuf>
+#include <string>
+
+namespace tends {
+
+/// Knobs of the fault-injecting stream wrapper. All corruption is a pure
+/// function of (payload, options) — the same seed reproduces the same
+/// damage byte-for-byte, so failing configurations can be replayed in
+/// tests and bug reports.
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+
+  /// Per-byte probability of flipping one random bit of the byte.
+  double bit_flip_rate = 0.0;
+
+  /// Per-line probability of splicing a garbage token (e.g. "#$Gx7!") into
+  /// the middle of the line.
+  double garbage_token_rate = 0.0;
+
+  /// Drop everything from this byte offset on (simulates a torn write /
+  /// partial download). SIZE_MAX = no truncation.
+  size_t truncate_at_byte = SIZE_MAX;
+
+  /// Serve at most this many bytes per underlying read so that consumers
+  /// see short reads and buffer boundaries in awkward places. 0 = serve
+  /// everything at once.
+  size_t max_read_chunk = 7;
+};
+
+/// Returns `payload` with the configured faults applied (bit flips, garbage
+/// tokens, truncation — in that order, so truncation can cut a flipped
+/// byte). Exposed separately from the streambuf so tests can inspect the
+/// exact corrupted bytes.
+std::string CorruptPayload(const std::string& payload,
+                           const FaultInjectionOptions& options);
+
+/// A read-only streambuf serving a corrupted copy of `payload` in short
+/// chunks. Drive any std::istream consumer through it to test behaviour
+/// under damaged input:
+///
+///   FaultInjectingStream in(clean_bytes, {.seed = 7, .bit_flip_rate = 1e-3});
+///   auto result = ReadStatusMatrix(in, {.mode = IoMode::kPermissive}, &report);
+class FaultInjectingStreambuf : public std::streambuf {
+ public:
+  FaultInjectingStreambuf(const std::string& payload,
+                          const FaultInjectionOptions& options);
+
+  /// The corrupted bytes this buffer serves.
+  const std::string& corrupted() const { return data_; }
+
+ protected:
+  int_type underflow() override;
+
+ private:
+  std::string data_;
+  size_t served_ = 0;
+  size_t max_chunk_;
+};
+
+/// Convenience istream owning its FaultInjectingStreambuf.
+class FaultInjectingStream : public std::istream {
+ public:
+  FaultInjectingStream(const std::string& payload,
+                       const FaultInjectionOptions& options);
+
+  const std::string& corrupted() const { return buffer_->corrupted(); }
+
+ private:
+  std::unique_ptr<FaultInjectingStreambuf> buffer_;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,68 @@
+#include "common/io_hardening.h"
+
+#include <istream>
+
+#include "common/stringutil.h"
+
+namespace tends {
+
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kBadToken:
+      return "bad-token";
+    case CorruptionKind::kWrongWidth:
+      return "wrong-width";
+    case CorruptionKind::kNonFinite:
+      return "non-finite";
+    case CorruptionKind::kOutOfRange:
+      return "out-of-range";
+    case CorruptionKind::kTruncation:
+      return "truncation";
+    case CorruptionKind::kBadStructure:
+      return "bad-structure";
+  }
+  return "unknown";
+}
+
+void CorruptionReport::Record(CorruptionKind kind, uint64_t line,
+                              std::string_view message) {
+  KindStats& stats = kinds_[static_cast<int>(kind)];
+  if (stats.count == 0) {
+    stats.first_line = line;
+    stats.first_message = std::string(message);
+  }
+  ++stats.count;
+  ++total_;
+}
+
+std::string CorruptionReport::Summary() const {
+  if (empty()) return "corruption report: clean";
+  std::string out = StrFormat(
+      "corruption report: %llu event%s, %llu record%s skipped",
+      static_cast<unsigned long long>(total_), total_ == 1 ? "" : "s",
+      static_cast<unsigned long long>(skipped_records_),
+      skipped_records_ == 1 ? "" : "s");
+  for (int k = 0; k < kNumCorruptionKinds; ++k) {
+    const KindStats& stats = kinds_[k];
+    if (stats.count == 0) continue;
+    out += StrFormat("\n  %s: %llu (first %s: %s)",
+                     CorruptionKindName(static_cast<CorruptionKind>(k)),
+                     static_cast<unsigned long long>(stats.count),
+                     stats.first_line == 0
+                         ? "at end of input"
+                         : StrFormat("at line %llu",
+                                     static_cast<unsigned long long>(
+                                         stats.first_line))
+                               .c_str(),
+                     stats.first_message.c_str());
+  }
+  return out;
+}
+
+bool LineReader::Next(std::string& line) {
+  if (!std::getline(in_, line)) return false;
+  ++line_number_;
+  return true;
+}
+
+}  // namespace tends

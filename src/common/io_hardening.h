@@ -1,0 +1,110 @@
+#ifndef TENDS_COMMON_IO_HARDENING_H_
+#define TENDS_COMMON_IO_HARDENING_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace tends {
+
+/// How the text readers treat malformed input.
+enum class IoMode {
+  /// Any malformed byte fails the whole read with a Corruption status that
+  /// names the 1-based line and the offending token. Default.
+  kStrict,
+  /// Corrupt lines/blocks are skipped and tallied in a CorruptionReport;
+  /// the read succeeds with whatever survived (it still fails when nothing
+  /// recoverable remains, e.g. an unreadable header with no valid data).
+  kPermissive,
+};
+
+/// Options accepted by every text reader.
+struct IoReadOptions {
+  IoMode mode = IoMode::kStrict;
+};
+
+/// What kind of damage a reader encountered.
+enum class CorruptionKind : int {
+  /// A token that does not parse (letters in a number, status not 0/1...).
+  kBadToken = 0,
+  /// A row/record with the wrong number of fields.
+  kWrongWidth = 1,
+  /// A numeric field that parsed to NaN or +-Inf where a finite value is
+  /// required (e.g. edge weights).
+  kNonFinite = 2,
+  /// A structurally valid value outside its domain (endpoint >= n, ...).
+  kOutOfRange = 3,
+  /// The stream ended before the declared data did.
+  kTruncation = 4,
+  /// A malformed structural line (header, dimensions, block marker).
+  kBadStructure = 5,
+};
+inline constexpr int kNumCorruptionKinds = 6;
+
+/// Stable display name ("bad-token", "wrong-width", ...).
+const char* CorruptionKindName(CorruptionKind kind);
+
+/// Tally of everything a permissive read skipped: per-kind counts plus the
+/// first error of each kind (line number and message), and the number of
+/// records dropped. Cheap to carry around; Summary() renders it for CLI
+/// output.
+class CorruptionReport {
+ public:
+  struct KindStats {
+    uint64_t count = 0;
+    uint64_t first_line = 0;     // 1-based; 0 = end of stream
+    std::string first_message;   // includes the offending token
+  };
+
+  /// Records one corruption event. `line` is 1-based (0 for end-of-stream
+  /// conditions such as truncation).
+  void Record(CorruptionKind kind, uint64_t line, std::string_view message);
+
+  /// Marks one input record (row, block, edge line) as dropped.
+  void AddSkippedRecord() { ++skipped_records_; }
+
+  bool empty() const { return total_ == 0; }
+  uint64_t total() const { return total_; }
+  uint64_t skipped_records() const { return skipped_records_; }
+  const KindStats& stats(CorruptionKind kind) const {
+    return kinds_[static_cast<int>(kind)];
+  }
+  uint64_t count(CorruptionKind kind) const { return stats(kind).count; }
+
+  /// Human-readable multi-line summary:
+  ///   corruption report: 3 events, 2 records skipped
+  ///     bad-token: 2 (first at line 7: ...)
+  ///     truncation: 1 (at end of input: ...)
+  /// or "corruption report: clean" when nothing was recorded.
+  std::string Summary() const;
+
+ private:
+  std::array<KindStats, kNumCorruptionKinds> kinds_;
+  uint64_t total_ = 0;
+  uint64_t skipped_records_ = 0;
+};
+
+/// std::getline with 1-based line accounting, so every parse error can name
+/// its source line. Readers share one LineReader per stream.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next line into `line`; false at end of stream. The line
+  /// counter advances only on success.
+  bool Next(std::string& line);
+
+  /// 1-based number of the line most recently returned (0 before the first
+  /// read).
+  uint64_t line_number() const { return line_number_; }
+
+ private:
+  std::istream& in_;
+  uint64_t line_number_ = 0;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_IO_HARDENING_H_

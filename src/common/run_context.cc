@@ -1,0 +1,13 @@
+#include "common/run_context.h"
+
+namespace tends {
+
+std::chrono::nanoseconds Deadline::Remaining() const {
+  if (is_unlimited()) return std::chrono::nanoseconds::max();
+  const auto now = Clock::now();
+  if (now >= expires_at_) return std::chrono::nanoseconds(0);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(expires_at_ -
+                                                              now);
+}
+
+}  // namespace tends

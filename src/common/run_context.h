@@ -1,0 +1,127 @@
+#ifndef TENDS_COMMON_RUN_CONTEXT_H_
+#define TENDS_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tends {
+
+/// Wall-clock budget for a unit of work, measured on the monotonic
+/// (steady) clock so that system-time adjustments can never expire or
+/// extend it. Default-constructed deadlines are unlimited and cost nothing
+/// to check.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: Expired() is always false and never reads the clock.
+  Deadline() = default;
+
+  /// Expires `budget` after the call.
+  static Deadline After(std::chrono::nanoseconds budget) {
+    return Deadline(Clock::now() + budget);
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+  /// Expired from the start; work observing it returns its initial
+  /// best-so-far state (used by tests and admission control).
+  static Deadline Expired() { return Deadline(Clock::time_point::min()); }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool is_unlimited() const { return expires_at_ == Clock::time_point::max(); }
+
+  /// True once the budget is exhausted. Monotone: never flips back.
+  bool HasExpired() const {
+    if (is_unlimited()) return false;
+    return Clock::now() >= expires_at_;
+  }
+
+  /// Time left, clamped to zero. Unlimited deadlines report the maximum
+  /// representable duration.
+  std::chrono::nanoseconds Remaining() const;
+
+ private:
+  explicit Deadline(Clock::time_point expires_at) : expires_at_(expires_at) {}
+
+  Clock::time_point expires_at_ = Clock::time_point::max();
+};
+
+/// Thread-safe, one-way cooperative cancellation flag. Any thread may
+/// request cancellation; workers poll Cancelled() at convenient points and
+/// wind down returning their best-so-far result. Cancellation is sticky.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void RequestCancellation() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Ambient execution constraints handed down to long-running library calls
+/// (a deadline plus an optional external cancellation source). The default
+/// context is unconstrained, and checking it is branch-cheap, so hot loops
+/// can poll it unconditionally.
+///
+/// Contract (see DESIGN.md, "Robustness & error-handling contract"): an
+/// algorithm that observes ShouldStop() does not abort — it stops starting
+/// new work and returns the best partial result it has, flagging the early
+/// exit in its diagnostics.
+struct RunContext {
+  Deadline deadline;
+  /// Not owned; must outlive every call using this context. May be null.
+  const CancellationToken* cancellation = nullptr;
+
+  bool IsUnconstrained() const {
+    return deadline.is_unlimited() && cancellation == nullptr;
+  }
+
+  bool ShouldStop() const {
+    if (cancellation != nullptr && cancellation->Cancelled()) return true;
+    return deadline.HasExpired();
+  }
+};
+
+/// Amortizes RunContext::ShouldStop() for per-item hot loops: reads the
+/// clock only every `stride` calls, and latches once stopped. A checker on
+/// an unconstrained context never reads the clock at all.
+class StopChecker {
+ public:
+  explicit StopChecker(const RunContext& context, uint32_t stride = 64)
+      : context_(context),
+        stride_(stride == 0 ? 1 : stride),
+        unconstrained_(context.IsUnconstrained()) {}
+
+  /// True once the context asked to stop; sticky afterwards.
+  bool ShouldStop() {
+    if (unconstrained_) return false;
+    if (stopped_) return true;
+    if (++calls_ % stride_ != 0) return false;
+    stopped_ = context_.ShouldStop();
+    return stopped_;
+  }
+
+  /// Unthrottled check, for loop boundaries where each iteration is heavy.
+  bool ShouldStopNow() {
+    if (unconstrained_) return false;
+    if (!stopped_) stopped_ = context_.ShouldStop();
+    return stopped_;
+  }
+
+ private:
+  const RunContext& context_;
+  const uint32_t stride_;
+  const bool unconstrained_;
+  uint32_t calls_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_RUN_CONTEXT_H_

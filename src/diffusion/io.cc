@@ -17,6 +17,66 @@ Status OpenError(const std::string& path) {
   return Status::IoError("cannot open: " + path);
 }
 
+struct Dims {
+  uint32_t processes = 0;
+  uint32_t nodes = 0;
+};
+
+bool ParseDims(std::string_view line, Dims* dims) {
+  auto fields = SplitWhitespace(line);
+  if (fields.size() != 4 || fields[0] != "processes" || fields[2] != "nodes") {
+    return false;
+  }
+  auto processes = ParseUint32(fields[1]);
+  auto nodes = ParseUint32(fields[3]);
+  if (!processes.ok() || !nodes.ok()) return false;
+  dims->processes = *processes;
+  dims->nodes = *nodes;
+  return true;
+}
+
+/// Reads "<header>\nprocesses <p> nodes <n>". Strict mode requires both
+/// lines to be exact. Permissive mode records a damaged header and keeps
+/// scanning for a usable dimensions line (the header may have been
+/// replaced by it outright); without one nothing is recoverable, so even
+/// permissive reads fail.
+StatusOr<Dims> ReadPreamble(LineReader& reader, const char* header,
+                            const IoReadOptions& options,
+                            CorruptionReport* report) {
+  const bool strict = options.mode == IoMode::kStrict;
+  std::string line;
+  if (!reader.Next(line)) {
+    return Status::Corruption(StrFormat("line 1: missing '%s' header", header));
+  }
+  Dims dims;
+  if (StripWhitespace(line) != header) {
+    if (strict) {
+      return Status::Corruption(StrFormat(
+          "line %llu: expected header '%s', got '%s'",
+          static_cast<unsigned long long>(reader.line_number()), header,
+          line.c_str()));
+    }
+    if (report) {
+      report->Record(CorruptionKind::kBadStructure, reader.line_number(),
+                     "bad or missing header: '" + line + "'");
+    }
+    if (ParseDims(line, &dims)) return dims;
+  }
+  while (reader.Next(line)) {
+    if (ParseDims(line, &dims)) return dims;
+    const std::string message = StrFormat(
+        "line %llu: bad dimensions line: '%s'",
+        static_cast<unsigned long long>(reader.line_number()), line.c_str());
+    if (strict) return Status::Corruption(message);
+    if (report) {
+      report->Record(CorruptionKind::kBadStructure, reader.line_number(),
+                     message);
+    }
+  }
+  return Status::Corruption(
+      "no usable dimensions line before end of stream; nothing recoverable");
+}
+
 }  // namespace
 
 Status WriteObservations(const DiffusionObservations& observations,
@@ -45,87 +105,193 @@ Status WriteObservationsFile(const DiffusionObservations& observations,
   return WriteObservations(observations, out);
 }
 
-StatusOr<DiffusionObservations> ReadObservations(std::istream& in) {
-  std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != kObservationsHeader) {
-    return Status::Corruption("missing tends-observations header");
-  }
-  if (!std::getline(in, line)) {
-    return Status::Corruption("missing dimensions line");
-  }
-  auto fields = SplitWhitespace(line);
-  if (fields.size() != 4 || fields[0] != "processes" || fields[2] != "nodes") {
-    return Status::Corruption("bad dimensions line: " + line);
-  }
-  auto num_processes = ParseUint32(fields[1]);
-  auto num_nodes = ParseUint32(fields[3]);
-  if (!num_processes.ok() || !num_nodes.ok()) {
-    return Status::Corruption("bad dimensions values: " + line);
-  }
+StatusOr<DiffusionObservations> ReadObservations(std::istream& in,
+                                                 const IoReadOptions& options,
+                                                 CorruptionReport* report) {
+  const bool strict = options.mode == IoMode::kStrict;
+  LineReader reader(in);
+  TENDS_ASSIGN_OR_RETURN(
+      Dims dims, ReadPreamble(reader, kObservationsHeader, options, report));
 
   DiffusionObservations observations;
-  observations.cascades.reserve(*num_processes);
-  for (uint32_t p = 0; p < *num_processes; ++p) {
-    if (!std::getline(in, line)) {
-      return Status::Corruption(StrFormat("truncated at process %u", p));
+  observations.cascades.reserve(dims.processes);
+  std::string line;
+  // Set when a block was dropped mid-way and `line` already holds the next
+  // unconsumed line (permissive resync).
+  bool have_line = false;
+
+  // Drops the current block and scans forward to the next "process" marker.
+  // Only reachable in permissive mode; strict returns before calling it.
+  auto drop_block = [&](CorruptionKind kind, uint64_t line_number,
+                        const std::string& message) {
+    if (report) {
+      report->Record(kind, line_number, message);
+      report->AddSkippedRecord();
     }
-    auto header = SplitWhitespace(line);
-    if (header.size() != 2 || header[0] != "process") {
-      return Status::Corruption("expected 'process <i>': " + line);
+    while (reader.Next(line)) {
+      auto fields = SplitWhitespace(line);
+      if (fields.size() == 2 && fields[0] == "process") {
+        have_line = true;
+        return;
+      }
     }
+  };
+
+  while (observations.cascades.size() < dims.processes) {
+    if (!have_line && !reader.Next(line)) {
+      const std::string message = StrFormat(
+          "stream ended after %zu of %u process blocks",
+          observations.cascades.size(), dims.processes);
+      if (strict) return Status::Corruption(message);
+      if (report) report->Record(CorruptionKind::kTruncation, 0, message);
+      break;
+    }
+    have_line = false;
+
+    auto marker = SplitWhitespace(line);
+    if (marker.size() != 2 || marker[0] != "process") {
+      const std::string message = StrFormat(
+          "line %llu: expected 'process <i>', got '%s'",
+          static_cast<unsigned long long>(reader.line_number()), line.c_str());
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kBadStructure, reader.line_number(),
+                       message);
+      }
+      continue;  // scan on, line by line, for the next block marker
+    }
+    const uint64_t block_line = reader.line_number();
+
     Cascade cascade;
-    if (!std::getline(in, line)) {
-      return Status::Corruption("missing sources line");
+    if (!reader.Next(line)) {
+      const std::string message =
+          StrFormat("block at line %llu: stream ended before sources line",
+                    static_cast<unsigned long long>(block_line));
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kTruncation, 0, message);
+        report->AddSkippedRecord();
+      }
+      break;
     }
     auto sources = SplitWhitespace(line);
     if (sources.empty() || sources[0] != "sources") {
-      return Status::Corruption("expected 'sources ...': " + line);
+      const std::string message = StrFormat(
+          "line %llu: expected 'sources ...', got '%s'",
+          static_cast<unsigned long long>(reader.line_number()), line.c_str());
+      if (strict) return Status::Corruption(message);
+      drop_block(CorruptionKind::kBadStructure, reader.line_number(), message);
+      continue;
     }
-    for (size_t f = 1; f < sources.size(); ++f) {
-      TENDS_ASSIGN_OR_RETURN(uint32_t s, ParseUint32(sources[f]));
-      if (s >= *num_nodes) {
-        return Status::Corruption(StrFormat("source %u out of range", s));
+    bool block_ok = true;
+    for (size_t f = 1; f < sources.size() && block_ok; ++f) {
+      auto parsed = ParseUint32(sources[f]);
+      if (!parsed.ok()) {
+        const std::string message =
+            StrFormat("line %llu: bad source token '%s'",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      std::string(sources[f]).c_str());
+        if (strict) return Status::Corruption(message);
+        drop_block(CorruptionKind::kBadToken, reader.line_number(), message);
+        block_ok = false;
+      } else if (*parsed >= dims.nodes) {
+        const std::string message =
+            StrFormat("line %llu: source %u out of range (nodes: %u)",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      *parsed, dims.nodes);
+        if (strict) return Status::Corruption(message);
+        drop_block(CorruptionKind::kOutOfRange, reader.line_number(), message);
+        block_ok = false;
+      } else {
+        cascade.sources.push_back(*parsed);
       }
-      cascade.sources.push_back(s);
     }
-    if (!std::getline(in, line)) {
-      return Status::Corruption("missing times line");
+    if (!block_ok) continue;
+
+    if (!reader.Next(line)) {
+      const std::string message =
+          StrFormat("block at line %llu: stream ended before times line",
+                    static_cast<unsigned long long>(block_line));
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kTruncation, 0, message);
+        report->AddSkippedRecord();
+      }
+      break;
     }
     auto times = SplitWhitespace(line);
     if (times.empty() || times[0] != "times") {
-      return Status::Corruption("expected 'times ...': " + line);
+      const std::string message = StrFormat(
+          "line %llu: expected 'times ...', got '%s'",
+          static_cast<unsigned long long>(reader.line_number()), line.c_str());
+      if (strict) return Status::Corruption(message);
+      drop_block(CorruptionKind::kBadStructure, reader.line_number(), message);
+      continue;
     }
-    if (times.size() != *num_nodes + 1) {
-      return Status::Corruption(
-          StrFormat("process %u: expected %u times, got %zu", p, *num_nodes,
-                    times.size() - 1));
+    if (times.size() != static_cast<size_t>(dims.nodes) + 1) {
+      const std::string message =
+          StrFormat("line %llu: expected %u times, got %zu",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    dims.nodes, times.size() - 1);
+      if (strict) return Status::Corruption(message);
+      drop_block(CorruptionKind::kWrongWidth, reader.line_number(), message);
+      continue;
     }
-    cascade.infection_time.reserve(*num_nodes);
-    for (size_t f = 1; f < times.size(); ++f) {
-      TENDS_ASSIGN_OR_RETURN(int64_t t, ParseInt64(times[f]));
-      if (t < -1 || t > INT32_MAX) {
-        return Status::Corruption("bad infection time: " + std::string(times[f]));
+    cascade.infection_time.reserve(dims.nodes);
+    for (size_t f = 1; f < times.size() && block_ok; ++f) {
+      auto parsed = ParseInt64(times[f]);
+      if (!parsed.ok()) {
+        const std::string message =
+            StrFormat("line %llu: bad time token '%s'",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      std::string(times[f]).c_str());
+        if (strict) return Status::Corruption(message);
+        drop_block(CorruptionKind::kBadToken, reader.line_number(), message);
+        block_ok = false;
+      } else if (*parsed < -1 || *parsed > INT32_MAX) {
+        const std::string message =
+            StrFormat("line %llu: infection time out of range: '%s'",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      std::string(times[f]).c_str());
+        if (strict) return Status::Corruption(message);
+        drop_block(CorruptionKind::kOutOfRange, reader.line_number(), message);
+        block_ok = false;
+      } else {
+        cascade.infection_time.push_back(static_cast<int32_t>(*parsed));
       }
-      cascade.infection_time.push_back(static_cast<int32_t>(t));
     }
+    if (!block_ok) continue;
     // Consistency: every source must have time 0.
     for (graph::NodeId s : cascade.sources) {
       if (cascade.infection_time[s] != 0) {
-        return Status::Corruption(
-            StrFormat("process %u: source %u has time %d", p, s,
-                      cascade.infection_time[s]));
+        const std::string message =
+            StrFormat("line %llu: source %u has time %d, expected 0",
+                      static_cast<unsigned long long>(reader.line_number()), s,
+                      cascade.infection_time[s]);
+        if (strict) return Status::Corruption(message);
+        drop_block(CorruptionKind::kBadStructure, reader.line_number(),
+                   message);
+        block_ok = false;
+        break;
       }
     }
+    if (!block_ok) continue;
     observations.cascades.push_back(std::move(cascade));
+  }
+
+  if (observations.cascades.empty() && dims.processes > 0) {
+    return Status::Corruption("no process blocks survived the read");
   }
   observations.statuses = StatusesFromCascades(observations.cascades);
   return observations;
 }
 
-StatusOr<DiffusionObservations> ReadObservationsFile(const std::string& path) {
+StatusOr<DiffusionObservations> ReadObservationsFile(
+    const std::string& path, const IoReadOptions& options,
+    CorruptionReport* report) {
   std::ifstream in(path);
   if (!in) return OpenError(path);
-  return ReadObservations(in);
+  return ReadObservations(in, options, report);
 }
 
 Status WriteStatusMatrix(const StatusMatrix& statuses, std::ostream& out) {
@@ -150,52 +316,83 @@ Status WriteStatusMatrixFile(const StatusMatrix& statuses,
   return WriteStatusMatrix(statuses, out);
 }
 
-StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in) {
+StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in,
+                                        const IoReadOptions& options,
+                                        CorruptionReport* report) {
+  const bool strict = options.mode == IoMode::kStrict;
+  LineReader reader(in);
+  TENDS_ASSIGN_OR_RETURN(
+      Dims dims, ReadPreamble(reader, kStatusesHeader, options, report));
+
+  std::vector<std::vector<uint8_t>> rows;
+  rows.reserve(dims.processes);
   std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != kStatusesHeader) {
-    return Status::Corruption("missing tends-statuses header");
-  }
-  if (!std::getline(in, line)) {
-    return Status::Corruption("missing dimensions line");
-  }
-  auto fields = SplitWhitespace(line);
-  if (fields.size() != 4 || fields[0] != "processes" || fields[2] != "nodes") {
-    return Status::Corruption("bad dimensions line: " + line);
-  }
-  auto num_processes = ParseUint32(fields[1]);
-  auto num_nodes = ParseUint32(fields[3]);
-  if (!num_processes.ok() || !num_nodes.ok()) {
-    return Status::Corruption("bad dimensions values: " + line);
-  }
-  StatusMatrix statuses(*num_processes, *num_nodes);
-  for (uint32_t p = 0; p < *num_processes; ++p) {
-    if (!std::getline(in, line)) {
-      return Status::Corruption(StrFormat("truncated at row %u", p));
+  while (rows.size() < dims.processes) {
+    if (!reader.Next(line)) {
+      const std::string message =
+          StrFormat("stream ended after %zu of %u status rows", rows.size(),
+                    dims.processes);
+      if (strict) return Status::Corruption(message);
+      if (report) report->Record(CorruptionKind::kTruncation, 0, message);
+      break;
     }
     auto cells = SplitWhitespace(line);
-    if (cells.size() != *num_nodes) {
-      return Status::Corruption(
-          StrFormat("row %u: expected %u statuses, got %zu", p, *num_nodes,
-                    cells.size()));
-    }
-    for (uint32_t v = 0; v < *num_nodes; ++v) {
-      if (cells[v] == "0") {
-        statuses.Set(p, v, 0);
-      } else if (cells[v] == "1") {
-        statuses.Set(p, v, 1);
-      } else {
-        return Status::Corruption("statuses must be 0 or 1, got '" +
-                                  std::string(cells[v]) + "'");
+    if (cells.size() != dims.nodes) {
+      const std::string message =
+          StrFormat("line %llu: expected %u statuses, got %zu",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    dims.nodes, cells.size());
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kWrongWidth, reader.line_number(),
+                       message);
+        report->AddSkippedRecord();
       }
+      continue;
+    }
+    std::vector<uint8_t> row(dims.nodes);
+    bool row_ok = true;
+    for (uint32_t v = 0; v < dims.nodes; ++v) {
+      if (cells[v] == "0") {
+        row[v] = 0;
+      } else if (cells[v] == "1") {
+        row[v] = 1;
+      } else {
+        const std::string message =
+            StrFormat("line %llu: statuses must be 0 or 1, got '%s'",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      std::string(cells[v]).c_str());
+        if (strict) return Status::Corruption(message);
+        if (report) {
+          report->Record(CorruptionKind::kBadToken, reader.line_number(),
+                         message);
+          report->AddSkippedRecord();
+        }
+        row_ok = false;
+        break;
+      }
+    }
+    if (row_ok) rows.push_back(std::move(row));
+  }
+
+  if (rows.empty() && dims.processes > 0) {
+    return Status::Corruption("no status rows survived the read");
+  }
+  StatusMatrix statuses(static_cast<uint32_t>(rows.size()), dims.nodes);
+  for (uint32_t p = 0; p < rows.size(); ++p) {
+    for (uint32_t v = 0; v < dims.nodes; ++v) {
+      statuses.Set(p, v, rows[p][v]);
     }
   }
   return statuses;
 }
 
-StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path) {
+StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path,
+                                            const IoReadOptions& options,
+                                            CorruptionReport* report) {
   std::ifstream in(path);
   if (!in) return OpenError(path);
-  return ReadStatusMatrix(in);
+  return ReadStatusMatrix(in, options, report);
 }
 
 }  // namespace tends::diffusion

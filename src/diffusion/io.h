@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/io_hardening.h"
 #include "common/statusor.h"
 #include "diffusion/simulator.h"
 
@@ -19,18 +20,33 @@ namespace tends::diffusion {
 ///
 /// Status-only matrix ("tends-statuses v1"): one row of space-separated
 /// 0/1 per process — exactly the minimal input TENDS needs.
+///
+/// Readers take IoReadOptions: in strict mode (default) any malformed
+/// input fails the read with a Corruption status naming the 1-based line
+/// and the offending token; in permissive mode corrupt rows/blocks are
+/// skipped (and truncation tolerated), every skip is tallied in `report`
+/// when non-null, and the read fails only when nothing recoverable
+/// remains.
 Status WriteObservations(const DiffusionObservations& observations,
                          std::ostream& out);
 Status WriteObservationsFile(const DiffusionObservations& observations,
                              const std::string& path);
-StatusOr<DiffusionObservations> ReadObservations(std::istream& in);
-StatusOr<DiffusionObservations> ReadObservationsFile(const std::string& path);
+StatusOr<DiffusionObservations> ReadObservations(
+    std::istream& in, const IoReadOptions& options = {},
+    CorruptionReport* report = nullptr);
+StatusOr<DiffusionObservations> ReadObservationsFile(
+    const std::string& path, const IoReadOptions& options = {},
+    CorruptionReport* report = nullptr);
 
 Status WriteStatusMatrix(const StatusMatrix& statuses, std::ostream& out);
 Status WriteStatusMatrixFile(const StatusMatrix& statuses,
                              const std::string& path);
-StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in);
-StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path);
+StatusOr<StatusMatrix> ReadStatusMatrix(std::istream& in,
+                                        const IoReadOptions& options = {},
+                                        CorruptionReport* report = nullptr);
+StatusOr<StatusMatrix> ReadStatusMatrixFile(const std::string& path,
+                                            const IoReadOptions& options = {},
+                                            CorruptionReport* report = nullptr);
 
 }  // namespace tends::diffusion
 

@@ -1,14 +1,23 @@
 #include "diffusion/noise.h"
 
+#include "common/stringutil.h"
+
 namespace tends::diffusion {
 
 StatusOr<StatusMatrix> ApplyStatusNoise(const StatusMatrix& statuses,
                                         const StatusNoiseOptions& options,
                                         Rng& rng) {
-  if (options.miss_probability < 0.0 || options.miss_probability > 1.0 ||
-      options.false_alarm_probability < 0.0 ||
-      options.false_alarm_probability > 1.0) {
-    return Status::InvalidArgument("noise probabilities must be in [0,1]");
+  // Negated form so NaN (every comparison false) is rejected too.
+  if (!(options.miss_probability >= 0.0 && options.miss_probability <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("miss_probability must be in [0,1], got %g",
+                  options.miss_probability));
+  }
+  if (!(options.false_alarm_probability >= 0.0 &&
+        options.false_alarm_probability <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("false_alarm_probability must be in [0,1], got %g",
+                  options.false_alarm_probability));
   }
   StatusMatrix noisy(statuses.num_processes(), statuses.num_nodes());
   for (uint32_t p = 0; p < statuses.num_processes(); ++p) {

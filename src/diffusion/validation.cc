@@ -1,0 +1,69 @@
+#include "diffusion/validation.h"
+
+#include "common/stringutil.h"
+
+namespace tends::diffusion {
+
+Status ValidateStatusMatrix(const StatusMatrix& statuses,
+                            bool reject_degenerate_columns) {
+  if (statuses.num_nodes() == 0) {
+    return Status::InvalidArgument("no nodes in observations");
+  }
+  if (statuses.num_processes() == 0) {
+    return Status::InvalidArgument("no diffusion processes in observations");
+  }
+  if (reject_degenerate_columns) {
+    const uint32_t beta = statuses.num_processes();
+    for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+      const uint32_t infected = statuses.InfectionCount(v);
+      if (infected == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "degenerate status column: node %u is uninfected in all %u "
+            "processes (its parents are unidentifiable)",
+            v, beta));
+      }
+      if (infected == beta) {
+        return Status::InvalidArgument(StrFormat(
+            "degenerate status column: node %u is infected in all %u "
+            "processes (its parents are unidentifiable)",
+            v, beta));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCascades(const std::vector<Cascade>& cascades,
+                        uint32_t expected_nodes) {
+  if (cascades.empty()) {
+    return Status::InvalidArgument("no recorded cascades in observations");
+  }
+  if (expected_nodes == 0) {
+    return Status::InvalidArgument("observations carry no nodes");
+  }
+  for (size_t c = 0; c < cascades.size(); ++c) {
+    const Cascade& cascade = cascades[c];
+    if (cascade.infection_time.size() != expected_nodes) {
+      return Status::InvalidArgument(
+          StrFormat("cascade %zu: ragged row — %zu infection times for %u "
+                    "nodes",
+                    c, cascade.infection_time.size(), expected_nodes));
+    }
+    for (graph::NodeId s : cascade.sources) {
+      if (s >= expected_nodes) {
+        return Status::InvalidArgument(StrFormat(
+            "cascade %zu: source %u out of range (n=%u)", c, s,
+            expected_nodes));
+      }
+      if (cascade.infection_time[s] != 0) {
+        return Status::InvalidArgument(
+            StrFormat("cascade %zu: source %u has infection time %d (sources "
+                      "must have time 0)",
+                      c, s, cascade.infection_time[s]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tends::diffusion

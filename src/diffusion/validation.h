@@ -1,0 +1,32 @@
+#ifndef TENDS_DIFFUSION_VALIDATION_H_
+#define TENDS_DIFFUSION_VALIDATION_H_
+
+#include "common/status.h"
+#include "diffusion/simulator.h"
+
+namespace tends::diffusion {
+
+/// Up-front validation of inference inputs, shared by every algorithm so
+/// that garbage is rejected with a precise kInvalidArgument message at the
+/// API boundary instead of being computed on.
+///
+/// Rejects: empty matrices (no nodes or no processes) and — when
+/// `reject_degenerate_columns` — columns that are all-0 or all-1 across
+/// every process. A constant column carries zero information: its IMI with
+/// every other node is 0 and its conditional likelihood is degenerate, so
+/// status-only algorithms would silently emit an unconstrained guess for
+/// that node. The message names the first offending node.
+Status ValidateStatusMatrix(const StatusMatrix& statuses,
+                            bool reject_degenerate_columns);
+
+/// Validates recorded cascades for the timestamp-consuming baselines.
+/// Rejects: no cascades, ragged rows (a cascade whose infection_time has a
+/// different length than the others / than `expected_nodes`), sources out
+/// of range, and sources with a nonzero infection time. Messages name the
+/// cascade index and the offending value.
+Status ValidateCascades(const std::vector<Cascade>& cascades,
+                        uint32_t expected_nodes);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_VALIDATION_H_

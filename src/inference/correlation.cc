@@ -1,20 +1,26 @@
 #include "inference/correlation.h"
 
+#include "diffusion/validation.h"
 #include "inference/imi.h"
 
 namespace tends::inference {
 
 StatusOr<InferredNetwork> CorrelationBaseline::Infer(
-    const diffusion::DiffusionObservations& observations) {
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
   if (options_.num_edges == 0) {
     return Status::InvalidArgument(
         "Correlation baseline requires a target edge count");
   }
+  TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
+      observations.statuses, /*reject_degenerate_columns=*/false));
   const uint32_t n = observations.num_nodes();
-  if (n == 0) return Status::InvalidArgument("no nodes in observations");
   ImiMatrix imi(observations.statuses, options_.use_traditional_mi);
+  // Per-node deadline check: rows already ranked stay in the output.
+  StopChecker stop(context);
   InferredNetwork network(n);
   for (uint32_t i = 0; i < n; ++i) {
+    if (stop.ShouldStop()) break;
     for (uint32_t j = 0; j < n; ++j) {
       if (i == j) continue;
       double value = imi.Get(i, j);

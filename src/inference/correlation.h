@@ -27,8 +27,13 @@ class CorrelationBaseline : public NetworkInference {
 
   std::string_view name() const override { return "Correlation"; }
 
+  using NetworkInference::Infer;
+
+  /// Honors the context at per-node granularity while ranking pairs: on
+  /// expiry the rows not yet ranked contribute no edges.
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
  private:
   CorrelationOptions options_;

@@ -1,8 +1,11 @@
 #include "inference/io.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "common/stringutil.h"
 
@@ -31,46 +34,151 @@ Status WriteInferredNetworkFile(const InferredNetwork& network,
   return WriteInferredNetwork(network, out);
 }
 
-StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in) {
+StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in,
+                                              const IoReadOptions& options,
+                                              CorruptionReport* report) {
+  const bool strict = options.mode == IoMode::kStrict;
+  LineReader reader(in);
   std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != kHeader) {
-    return Status::Corruption("missing tends-network header");
+  if (!reader.Next(line)) {
+    return Status::Corruption(
+        StrFormat("line 1: missing '%s' header", kHeader));
   }
-  if (!std::getline(in, line)) {
-    return Status::Corruption("missing node count");
+  bool line_pending = false;  // permissive: header line may be the count line
+  if (StripWhitespace(line) != kHeader) {
+    if (strict) {
+      return Status::Corruption(
+          StrFormat("line %llu: expected header '%s', got '%s'",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    kHeader, line.c_str()));
+    }
+    if (report) {
+      report->Record(CorruptionKind::kBadStructure, reader.line_number(),
+                     "bad or missing header: '" + line + "'");
+    }
+    line_pending = true;
   }
-  auto num_nodes = ParseUint32(StripWhitespace(line));
-  if (!num_nodes.ok()) return Status::Corruption("bad node count: " + line);
-  InferredNetwork network(*num_nodes);
-  int line_no = 2;
-  while (std::getline(in, line)) {
-    ++line_no;
+
+  // Node-count line. In permissive mode a damaged count is recorded and the
+  // network is sized from the largest surviving endpoint instead.
+  bool have_count = false;
+  uint32_t num_nodes = 0;
+  if (line_pending || reader.Next(line)) {
+    line_pending = false;
+    auto parsed = ParseUint32(StripWhitespace(line));
+    if (parsed.ok()) {
+      num_nodes = *parsed;
+      have_count = true;
+    } else {
+      if (strict) {
+        return Status::Corruption(
+            StrFormat("line %llu: bad node count: '%s'",
+                      static_cast<unsigned long long>(reader.line_number()),
+                      line.c_str()));
+      }
+      if (report) {
+        report->Record(CorruptionKind::kBadToken, reader.line_number(),
+                       "bad node count: '" + line + "'");
+      }
+    }
+  } else {
+    if (strict) return Status::Corruption("missing node count line");
+    if (report) {
+      report->Record(CorruptionKind::kTruncation, 0,
+                     "stream ended before the node count line");
+    }
+  }
+
+  struct ParsedEdge {
+    uint32_t from;
+    uint32_t to;
+    double weight;
+  };
+  std::vector<ParsedEdge> edges;
+  uint32_t max_endpoint = 0;
+  while (reader.Next(line)) {
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
     auto fields = SplitWhitespace(stripped);
     if (fields.size() != 3) {
-      return Status::Corruption(
-          StrFormat("line %d: expected '<from> <to> <weight>'", line_no));
+      const std::string message =
+          StrFormat("line %llu: expected '<from> <to> <weight>', got '%s'",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    line.c_str());
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kWrongWidth, reader.line_number(),
+                       message);
+        report->AddSkippedRecord();
+      }
+      continue;
     }
     auto from = ParseUint32(fields[0]);
     auto to = ParseUint32(fields[1]);
     auto weight = ParseDouble(fields[2]);
     if (!from.ok() || !to.ok() || !weight.ok()) {
-      return Status::Corruption(StrFormat("line %d: bad edge fields", line_no));
+      const std::string_view bad =
+          !from.ok() ? fields[0] : (!to.ok() ? fields[1] : fields[2]);
+      const std::string message =
+          StrFormat("line %llu: bad edge token '%s'",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    std::string(bad).c_str());
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kBadToken, reader.line_number(),
+                       message);
+        report->AddSkippedRecord();
+      }
+      continue;
     }
-    if (*from >= *num_nodes || *to >= *num_nodes) {
-      return Status::Corruption(
-          StrFormat("line %d: endpoint out of range", line_no));
+    if (!std::isfinite(*weight)) {
+      const std::string message =
+          StrFormat("line %llu: non-finite edge weight '%s'",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    std::string(fields[2]).c_str());
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kNonFinite, reader.line_number(),
+                       message);
+        report->AddSkippedRecord();
+      }
+      continue;
     }
-    network.AddEdge(*from, *to, *weight);
+    if (have_count && (*from >= num_nodes || *to >= num_nodes)) {
+      const std::string message =
+          StrFormat("line %llu: endpoint out of range (%u %u, nodes: %u)",
+                    static_cast<unsigned long long>(reader.line_number()),
+                    *from, *to, num_nodes);
+      if (strict) return Status::Corruption(message);
+      if (report) {
+        report->Record(CorruptionKind::kOutOfRange, reader.line_number(),
+                       message);
+        report->AddSkippedRecord();
+      }
+      continue;
+    }
+    max_endpoint = std::max({max_endpoint, *from, *to});
+    edges.push_back({*from, *to, *weight});
   }
+
+  if (!have_count) {
+    if (edges.empty()) {
+      return Status::Corruption(
+          "no node count and no surviving edges; nothing recoverable");
+    }
+    num_nodes = max_endpoint + 1;
+  }
+  InferredNetwork network(num_nodes);
+  for (const ParsedEdge& e : edges) network.AddEdge(e.from, e.to, e.weight);
   return network;
 }
 
-StatusOr<InferredNetwork> ReadInferredNetworkFile(const std::string& path) {
+StatusOr<InferredNetwork> ReadInferredNetworkFile(const std::string& path,
+                                                  const IoReadOptions& options,
+                                                  CorruptionReport* report) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open: " + path);
-  return ReadInferredNetwork(in);
+  return ReadInferredNetwork(in, options, report);
 }
 
 }  // namespace tends::inference

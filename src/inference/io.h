@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/io_hardening.h"
 #include "common/statusor.h"
 #include "inference/inferred_network.h"
 
@@ -13,11 +14,23 @@ namespace tends::inference {
 ///   - header comment line
 ///   - "<num_nodes>"
 ///   - one "<from> <to> <weight>" line per edge.
+///
+/// The reader takes IoReadOptions: strict mode (default) fails on any
+/// malformed line with a Corruption status naming the 1-based line and the
+/// offending token, and rejects NaN/Inf weights; permissive mode skips
+/// corrupt edge lines (tallying them in `report` when non-null) and, when
+/// the node-count line itself is damaged, sizes the network from the
+/// largest surviving endpoint.
 Status WriteInferredNetwork(const InferredNetwork& network, std::ostream& out);
 Status WriteInferredNetworkFile(const InferredNetwork& network,
                                 const std::string& path);
-StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in);
-StatusOr<InferredNetwork> ReadInferredNetworkFile(const std::string& path);
+StatusOr<InferredNetwork> ReadInferredNetwork(std::istream& in,
+                                              const IoReadOptions& options = {},
+                                              CorruptionReport* report =
+                                                  nullptr);
+StatusOr<InferredNetwork> ReadInferredNetworkFile(
+    const std::string& path, const IoReadOptions& options = {},
+    CorruptionReport* report = nullptr);
 
 }  // namespace tends::inference
 

@@ -3,21 +3,21 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
+#include "diffusion/validation.h"
 
 namespace tends::inference {
 
 StatusOr<InferredNetwork> Lift::Infer(
-    const diffusion::DiffusionObservations& observations) {
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
   if (options_.num_edges == 0) {
     return Status::InvalidArgument(
         "LIFT requires the target edge count (the paper supplies the true m)");
   }
   const auto& cascades = observations.cascades;
   const auto& statuses = observations.statuses;
-  if (cascades.empty()) {
-    return Status::InvalidArgument(
-        "LIFT requires per-process diffusion sources");
-  }
+  TENDS_RETURN_IF_ERROR(
+      diffusion::ValidateCascades(cascades, observations.num_nodes()));
   const uint32_t n = observations.num_nodes();
   const uint32_t beta = observations.num_processes();
 
@@ -38,9 +38,12 @@ StatusOr<InferredNetwork> Lift::Infer(
     for (uint32_t v = 0; v < n; ++v) infected_count[v] += row[v];
   }
 
+  // Per-source-node deadline check: rows already scored stay in the output.
+  StopChecker stop(context);
   const double s = options_.smoothing;
   InferredNetwork network(n);
   for (uint32_t u = 0; u < n; ++u) {
+    if (stop.ShouldStop()) break;
     if (source_count[u] == 0) continue;  // no lift estimate possible
     const uint32_t not_source = beta - source_count[u];
     const uint32_t* joint_row = joint.data() + static_cast<size_t>(u) * n;

@@ -30,8 +30,13 @@ class Lift : public NetworkInference {
 
   std::string_view name() const override { return "LIFT"; }
 
+  using NetworkInference::Infer;
+
+  /// Honors the context at per-source-node granularity: on expiry the lift
+  /// rows not yet scored contribute no edges.
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
  private:
   LiftOptions options_;

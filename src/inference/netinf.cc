@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
+#include "diffusion/validation.h"
 
 namespace tends::inference {
 
@@ -26,14 +27,14 @@ struct HeapEntry {
 }  // namespace
 
 StatusOr<InferredNetwork> NetInf::Infer(
-    const diffusion::DiffusionObservations& observations) {
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
   if (options_.num_edges == 0) {
     return Status::InvalidArgument("NetInf requires the target edge count");
   }
   const auto& cascades = observations.cascades;
-  if (cascades.empty()) {
-    return Status::InvalidArgument("NetInf requires recorded cascades");
-  }
+  TENDS_RETURN_IF_ERROR(
+      diffusion::ValidateCascades(cascades, observations.num_nodes()));
   const uint32_t n = observations.num_nodes();
   const uint32_t num_cascades = static_cast<uint32_t>(cascades.size());
 
@@ -77,13 +78,18 @@ StatusOr<InferredNetwork> NetInf::Infer(
     return newly_explained * per_cascade_gain;
   };
 
+  // The context is polled while seeding the heap (per candidate edge) and
+  // once per CELF pop; on expiry the edges selected so far are returned.
+  StopChecker stop(context);
   std::priority_queue<HeapEntry> heap;
   for (uint32_t id = 0; id < edges.size(); ++id) {
+    if (stop.ShouldStop()) break;
     heap.push({compute_gain(edges[id]), id, 0});
   }
   InferredNetwork network(n);
   uint64_t round = 0;
   while (network.num_edges() < options_.num_edges && !heap.empty()) {
+    if (stop.ShouldStopNow()) break;
     HeapEntry top = heap.top();
     heap.pop();
     if (top.computed_at != round) {

@@ -32,8 +32,15 @@ class NetInf : public NetworkInference {
 
   std::string_view name() const override { return "NetInf"; }
 
+  using NetworkInference::Infer;
+
+  /// Honors the context at per-edge-selection granularity: the greedy CELF
+  /// loop stops at the deadline and returns the edges selected so far
+  /// (each prefix of the greedy solution is itself the greedy solution for
+  /// that smaller budget).
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
  private:
   NetInfOptions options_;

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "diffusion/cascade.h"
+#include "diffusion/validation.h"
 
 namespace tends::inference {
 
@@ -22,11 +23,11 @@ struct CascadeTerm {
 }  // namespace
 
 StatusOr<InferredNetwork> NetRate::Infer(
-    const diffusion::DiffusionObservations& observations) {
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
   const auto& cascades = observations.cascades;
-  if (cascades.empty()) {
-    return Status::InvalidArgument("NetRate requires recorded cascades");
-  }
+  TENDS_RETURN_IF_ERROR(
+      diffusion::ValidateCascades(cascades, observations.num_nodes()));
   const uint32_t n = observations.num_nodes();
   InferredNetwork network(n);
 
@@ -42,6 +43,9 @@ StatusOr<InferredNetwork> NetRate::Infer(
   // in parallel; outputs are per-node and assembled in node order).
   std::vector<std::vector<std::pair<graph::NodeId, double>>> per_node_rates(n);
   ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
+    // Per-node deadline check: skipped nodes contribute no edges, already
+    // finished nodes stay in the output (graceful partial result).
+    if (context.ShouldStop()) return;
     // Candidates: nodes infected strictly before i in some cascade where i
     // got infected (only those can carry positive rates at the optimum).
     std::vector<graph::NodeId> candidates;
@@ -98,6 +102,9 @@ StatusOr<InferredNetwork> NetRate::Infer(
     std::vector<double> rate(k, options_.initial_rate);
     std::vector<double> responsibility(k);
     for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+      // Per-iteration deadline check: every EM iterate is a valid rate
+      // vector, so stopping here keeps the last finished iteration.
+      if (context.ShouldStop()) break;
       std::fill(responsibility.begin(), responsibility.end(), 0.0);
       for (const CascadeTerm& term : terms) {
         if (!term.node_infected) continue;

@@ -49,8 +49,15 @@ class NetRate : public NetworkInference {
 
   std::string_view name() const override { return "NetRate"; }
 
+  using NetworkInference::Infer;
+
+  /// Honors the context at per-node and per-EM-iteration granularity: on
+  /// expiry, running nodes keep the rates of their last finished iteration
+  /// (NetRate is an anytime method — every iterate is a valid rate
+  /// estimate) and the remaining nodes contribute no edges.
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
  private:
   NetRateOptions options_;

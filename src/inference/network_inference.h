@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "common/run_context.h"
 #include "common/statusor.h"
 #include "diffusion/simulator.h"
 #include "inference/inferred_network.h"
@@ -22,9 +23,21 @@ class NetworkInference {
   /// Algorithm display name ("TENDS", "NetRate", ...).
   virtual std::string_view name() const = 0;
 
-  /// Reconstructs the topology from the observations.
+  /// Reconstructs the topology from the observations under the given
+  /// execution constraints. When the context's deadline expires (or its
+  /// cancellation token fires) mid-run, the algorithm stops starting new
+  /// work and returns the best-so-far partial network — it never blocks
+  /// past the budget and never fails because of it. An unconstrained
+  /// context reproduces the unconstrained result exactly.
   virtual StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) = 0;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) = 0;
+
+  /// Unconstrained convenience overload.
+  StatusOr<InferredNetwork> Infer(
+      const diffusion::DiffusionObservations& observations) {
+    return Infer(observations, RunContext());
+  }
 };
 
 }  // namespace tends::inference

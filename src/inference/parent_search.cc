@@ -73,7 +73,8 @@ struct ScoredCombination {
 ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                graph::NodeId child,
                                const std::vector<graph::NodeId>& candidates,
-                               const ParentSearchOptions& options) {
+                               const ParentSearchOptions& options,
+                               const RunContext& context) {
   ParentSearchResult result;
   const uint32_t beta = statuses.num_processes();
   const uint32_t n2 = statuses.InfectionCount(child);  // X_i = 1
@@ -85,12 +86,17 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                      : LogLikelihood(CountJoint(statuses, child, {}));
   if (candidates.empty()) return result;
 
+  // Poll the deadline/cancellation between score evaluations (throttled so
+  // the unconstrained fast path never reads the clock).
+  StopChecker stop(context);
+
   // Build C_i: every combination W (|W| <= eta) passing the Theorem-2
   // admission check |W| <= log2(phi_W + delta_i) (Algorithm 1 line 13).
   std::vector<ScoredCombination> combos;
   ForEachCombination(
       candidates, options.max_combination_size,
       [&](const std::vector<graph::NodeId>& w) {
+        if (stop.ShouldStop()) return;
         JointCounts counts = CountJoint(statuses, child, w);
         ++result.score_evaluations;
         if (!WithinParentBound(w.size(), counts.num_unobserved, result.delta)) {
@@ -99,7 +105,10 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
         combos.push_back({w, ScoreOf(counts, options)});
       });
   result.combinations_considered = combos.size();
-  if (combos.empty()) return result;
+  if (combos.empty()) {
+    result.stopped = stop.ShouldStopNow();
+    return result;
+  }
 
   std::vector<graph::NodeId> parents;  // F_i, kept sorted
 
@@ -111,6 +120,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                        return a.static_score > b.static_score;
                      });
     for (const ScoredCombination& c : combos) {
+      if (stop.ShouldStop()) break;
       if (IsSubsetOf(c.members, parents)) continue;
       std::vector<graph::NodeId> merged = SortedUnion(parents, c.members);
       if (merged.size() > options.max_parents ||
@@ -130,11 +140,12 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
     // Adaptive greedy: each step adopts the W whose union with F_i yields
     // the best recomputed score; stop when nothing improves.
     std::vector<bool> used(combos.size(), false);
-    while (true) {
+    while (!stop.ShouldStopNow()) {
       double best_score = result.score + options.min_improvement;
       int64_t best_index = -1;
       std::vector<graph::NodeId> best_union;
       for (size_t c = 0; c < combos.size(); ++c) {
+        if (stop.ShouldStop()) break;
         if (used[c]) continue;
         if (IsSubsetOf(combos[c].members, parents)) {
           used[c] = true;  // union would be a no-op forever
@@ -167,6 +178,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   }
 
   result.parents = std::move(parents);
+  result.stopped = stop.ShouldStopNow();
   return result;
 }
 

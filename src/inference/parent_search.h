@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/run_context.h"
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
 
@@ -56,16 +57,22 @@ struct ParentSearchResult {
   uint64_t combinations_considered = 0;
   /// Total CountJoint evaluations performed (cost proxy).
   uint64_t score_evaluations = 0;
+  /// True when the run context stopped the search early; `parents` and
+  /// `score` hold the best state reached before the cutoff.
+  bool stopped = false;
 };
 
 /// Finds the most probable parent set of `child` among `candidates` by
 /// maximizing the local score g (Algorithm 1 lines 13-20). Deterministic:
 /// candidates are processed in the given order and ties keep the earlier
-/// combination.
+/// combination. The context is polled between score evaluations; on
+/// expiry the search returns its current best parent set with `stopped`
+/// set (an unconstrained context leaves results bit-identical).
 ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                graph::NodeId child,
                                const std::vector<graph::NodeId>& candidates,
-                               const ParentSearchOptions& options);
+                               const ParentSearchOptions& options,
+                               const RunContext& context = RunContext());
 
 /// Enumerates all non-empty subsets of `candidates` with size at most
 /// `max_size`, invoking `visit(subset)` in deterministic order (by size,

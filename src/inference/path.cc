@@ -9,7 +9,8 @@
 namespace tends::inference {
 
 StatusOr<InferredNetwork> Path::Infer(
-    const diffusion::DiffusionObservations& observations) {
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
   if (options_.num_edges == 0) {
     return Status::InvalidArgument("PATH requires the target edge count");
   }
@@ -35,14 +36,20 @@ StatusOr<InferredNetwork> Path::Infer(
   // Count pair co-occurrences over the unordered path-connected sets.
   std::vector<std::vector<graph::NodeId>> traces =
       diffusion::ExtractPathTraces(cascades, options_.trace_length);
+  // An already-expired context skips the scan entirely; mid-scan expiry
+  // keeps the counts gathered so far, which still rank the pairs.
+  StopChecker stop(context);
   std::unordered_map<uint64_t, uint64_t> pair_counts;
-  for (const auto& trace : traces) {
-    for (size_t a = 0; a < trace.size(); ++a) {
-      for (size_t b = a + 1; b < trace.size(); ++b) {
-        graph::NodeId lo = std::min(trace[a], trace[b]);
-        graph::NodeId hi = std::max(trace[a], trace[b]);
-        if (lo == hi) continue;
-        ++pair_counts[(static_cast<uint64_t>(lo) << 32) | hi];
+  if (!stop.ShouldStopNow()) {
+    for (const auto& trace : traces) {
+      if (stop.ShouldStop()) break;
+      for (size_t a = 0; a < trace.size(); ++a) {
+        for (size_t b = a + 1; b < trace.size(); ++b) {
+          graph::NodeId lo = std::min(trace[a], trace[b]);
+          graph::NodeId hi = std::max(trace[a], trace[b]);
+          if (lo == hi) continue;
+          ++pair_counts[(static_cast<uint64_t>(lo) << 32) | hi];
+        }
       }
     }
   }

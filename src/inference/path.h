@@ -35,8 +35,14 @@ class Path : public NetworkInference {
 
   std::string_view name() const override { return "PATH"; }
 
+  using NetworkInference::Infer;
+
+  /// Honors the context at per-trace granularity while counting pair
+  /// co-occurrences: on expiry the remaining traces are skipped and the
+  /// edges are ranked on the counts gathered so far.
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
  private:
   PathOptions options_;

@@ -1,24 +1,25 @@
 #include "inference/tends.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/parallel.h"
+#include "diffusion/validation.h"
 #include "inference/local_score.h"
 
 namespace tends::inference {
 
 StatusOr<InferredNetwork> Tends::Infer(
-    const diffusion::DiffusionObservations& observations) {
-  return InferFromStatuses(observations.statuses);
+    const diffusion::DiffusionObservations& observations,
+    const RunContext& context) {
+  return InferFromStatuses(observations.statuses, context);
 }
 
 StatusOr<InferredNetwork> Tends::InferFromStatuses(
-    const diffusion::StatusMatrix& statuses) {
+    const diffusion::StatusMatrix& statuses, const RunContext& context) {
   const uint32_t n = statuses.num_nodes();
-  if (n == 0) return Status::InvalidArgument("no nodes in observations");
-  if (statuses.num_processes() == 0) {
-    return Status::InvalidArgument("no diffusion processes in observations");
-  }
+  TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
+      statuses, options_.reject_degenerate_columns));
   if (options_.tau_multiplier <= 0.0) {
     return Status::InvalidArgument("tau_multiplier must be > 0");
   }
@@ -26,6 +27,13 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     return Status::InvalidArgument("max_candidates must be > 0");
   }
   diagnostics_ = TendsDiagnostics();
+
+  // Deadline already blown before any work: the best-so-far topology is the
+  // empty network over n nodes (valid, never a hang or an error).
+  if (context.ShouldStop()) {
+    diagnostics_.deadline_expired = true;
+    return InferredNetwork(n);
+  }
 
   // Lines 2-4: pairwise infection-MI values.
   ImiMatrix imi(statuses, options_.use_traditional_mi);
@@ -43,11 +51,21 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
 
   // Per-node subproblems are independent; run them (optionally) in
   // parallel and assemble results in node order so the output is
-  // identical for any thread count.
+  // identical for any thread count. Each worker polls the context before
+  // starting a node (per-node granularity) and FindParents polls it
+  // between score evaluations (per-combination granularity); a stop
+  // leaves the remaining nodes skipped and already-running nodes
+  // returning their best partial parent sets.
   std::vector<ParentSearchResult> results(n);
   std::vector<uint32_t> candidate_counts(n, 0);
   std::vector<uint8_t> clipped(n, 0);
+  std::vector<uint8_t> completed(n, 0);
+  std::atomic<bool> expired{false};
   ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
+    if (context.ShouldStop()) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
     // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
     std::vector<std::pair<double, graph::NodeId>> ranked;
     for (uint32_t j = 0; j < n; ++j) {
@@ -75,7 +93,12 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     candidate_counts[i] = static_cast<uint32_t>(candidates.size());
 
     // Lines 13-20: greedy parent-set search.
-    results[i] = FindParents(statuses, i, candidates, options_.search);
+    results[i] = FindParents(statuses, i, candidates, options_.search, context);
+    if (results[i].stopped) {
+      expired.store(true, std::memory_order_relaxed);
+    } else {
+      completed[i] = 1;
+    }
   });
 
   InferredNetwork network(n);
@@ -86,13 +109,16 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
         std::max(diagnostics_.max_candidates_seen, candidate_counts[i]);
     diagnostics_.clipped_nodes += clipped[i];
     diagnostics_.total_score_evaluations += results[i].score_evaluations;
-    diagnostics_.network_score += results[i].score;
-    // Line 21: a directed edge from each inferred parent to v_i.
+    diagnostics_.nodes_completed += completed[i];
+    if (completed[i]) diagnostics_.network_score += results[i].score;
+    // Line 21: a directed edge from each inferred parent to v_i (partial
+    // parent sets of stopped nodes still contribute — best-so-far output).
     for (graph::NodeId parent : results[i].parents) {
       network.AddEdge(parent, i, imi.Get(i, parent));
     }
   }
   diagnostics_.mean_candidates = static_cast<double>(total_candidates) / n;
+  diagnostics_.deadline_expired = expired.load(std::memory_order_relaxed);
   return network;
 }
 

@@ -31,6 +31,13 @@ struct TendsOptions {
   /// Worker threads for the per-node parent searches (the subproblems are
   /// independent; results are identical for any thread count).
   uint32_t num_threads = 1;
+  /// Reject status matrices containing all-0/all-1 columns with
+  /// kInvalidArgument (such a node's parents are unidentifiable — there is
+  /// no signal to compute on). Default true; harnesses that deliberately
+  /// feed tiny low-beta simulations (where a node can legitimately escape
+  /// every process) may disable it to get the best-effort topology with an
+  /// empty parent set for the degenerate node.
+  bool reject_degenerate_columns = true;
   ParentSearchOptions search;
 };
 
@@ -44,8 +51,15 @@ struct TendsDiagnostics {
   /// Nodes whose candidate set was clipped by max_candidates.
   uint32_t clipped_nodes = 0;
   uint64_t total_score_evaluations = 0;
-  /// Final network score g(T) of the inferred topology (Eq. 12).
+  /// Final network score g(T) of the inferred topology (Eq. 12; sums only
+  /// the completed nodes when the run was cut short).
   double network_score = 0.0;
+  /// True when the run context (deadline or cancellation) stopped the run
+  /// early; the returned network is the best-so-far partial topology.
+  bool deadline_expired = false;
+  /// Nodes whose parent search ran to completion. Equals num_nodes on an
+  /// uninterrupted run.
+  uint32_t nodes_completed = 0;
 };
 
 /// TENDS: reconstructs a diffusion network topology from final infection
@@ -56,13 +70,20 @@ class Tends : public NetworkInference {
 
   std::string_view name() const override { return "TENDS"; }
 
+  using NetworkInference::Infer;
+
   /// Uses only observations.statuses.
   StatusOr<InferredNetwork> Infer(
-      const diffusion::DiffusionObservations& observations) override;
+      const diffusion::DiffusionObservations& observations,
+      const RunContext& context) override;
 
-  /// The native entry point: status matrix in, topology out.
+  /// The native entry point: status matrix in, topology out. Honors the
+  /// context at per-node and per-combination granularity: on expiry the
+  /// remaining nodes are skipped and the partial network assembled so far
+  /// is returned with diagnostics().deadline_expired set.
   StatusOr<InferredNetwork> InferFromStatuses(
-      const diffusion::StatusMatrix& statuses);
+      const diffusion::StatusMatrix& statuses,
+      const RunContext& context = RunContext());
 
   const TendsDiagnostics& diagnostics() const { return diagnostics_; }
   const TendsOptions& options() const { return options_; }

@@ -24,7 +24,59 @@ graph::DirectedGraph ChainTruth() {
 TEST(NetRateTest, RequiresCascades) {
   NetRate netrate;
   diffusion::DiffusionObservations empty;
-  EXPECT_FALSE(netrate.Infer(empty).ok());
+  auto result = netrate.Infer(empty);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("no recorded cascades"),
+            std::string::npos)
+      << result.status();
+}
+
+diffusion::DiffusionObservations RaggedObservations() {
+  auto observations = SimulateUniform(ChainTruth(), 0.5, 20, 0.2, 29);
+  // Cascade 3 loses a node: the row no longer matches num_nodes().
+  observations.cascades[3].infection_time.pop_back();
+  return observations;
+}
+
+TEST(BaselineValidationTest, RaggedCascadeRowsAreRejectedWithPreciseErrors) {
+  auto ragged = RaggedObservations();
+
+  NetRate netrate;
+  auto netrate_result = netrate.Infer(ragged);
+  ASSERT_FALSE(netrate_result.ok());
+  EXPECT_TRUE(netrate_result.status().IsInvalidArgument());
+  EXPECT_NE(netrate_result.status().message().find("cascade 3"),
+            std::string::npos)
+      << netrate_result.status();
+  EXPECT_NE(netrate_result.status().message().find("ragged"),
+            std::string::npos)
+      << netrate_result.status();
+
+  MulTree multree({.num_edges = 5});
+  auto multree_result = multree.Infer(ragged);
+  ASSERT_FALSE(multree_result.ok());
+  EXPECT_TRUE(multree_result.status().IsInvalidArgument());
+  EXPECT_NE(multree_result.status().message().find("ragged"),
+            std::string::npos)
+      << multree_result.status();
+
+  Lift lift({.num_edges = 5});
+  auto lift_result = lift.Infer(ragged);
+  ASSERT_FALSE(lift_result.ok());
+  EXPECT_TRUE(lift_result.status().IsInvalidArgument());
+}
+
+TEST(BaselineValidationTest, OutOfRangeSourcesAreRejected) {
+  auto observations = SimulateUniform(ChainTruth(), 0.5, 20, 0.2, 31);
+  observations.cascades[1].sources.push_back(99);
+  NetRate netrate;
+  auto result = netrate.Infer(observations);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("source 99 out of range"),
+            std::string::npos)
+      << result.status();
 }
 
 TEST(NetRateTest, NameIsStable) {

@@ -112,5 +112,101 @@ TEST(StatusMatrixIoTest, RejectsMissingRows) {
   EXPECT_TRUE(ReadStatusMatrix(in).status().IsCorruption());
 }
 
+TEST(StatusMatrixIoTest, StrictErrorsNameLineAndToken) {
+  std::istringstream in(
+      "# tends-statuses v1\nprocesses 2 nodes 2\n1 0\n1 x\n");
+  auto status = ReadStatusMatrix(in).status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("line 4"), std::string::npos) << status;
+  EXPECT_NE(status.message().find("'x'"), std::string::npos) << status;
+}
+
+TEST(StatusMatrixIoTest, PermissiveSkipsCorruptRows) {
+  std::istringstream in(
+      "# tends-statuses v1\nprocesses 4 nodes 3\n1 0 1\n1 x 0\n0 1\n"
+      "0 0 1\n");
+  CorruptionReport report;
+  auto parsed = ReadStatusMatrix(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_processes(), 2u);
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  EXPECT_EQ(parsed->Get(0, 0), 1);
+  EXPECT_EQ(parsed->Get(1, 2), 1);
+  EXPECT_EQ(report.count(CorruptionKind::kBadToken), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kWrongWidth), 1u);
+  // Only 2 of the declared 4 rows arrived at all; the scan hit EOF.
+  EXPECT_EQ(report.count(CorruptionKind::kTruncation), 1u);
+  EXPECT_EQ(report.skipped_records(), 2u);
+}
+
+TEST(StatusMatrixIoTest, PermissiveToleratesTruncation) {
+  std::istringstream in("# tends-statuses v1\nprocesses 3 nodes 2\n1 0\n");
+  CorruptionReport report;
+  auto parsed = ReadStatusMatrix(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_processes(), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kTruncation), 1u);
+  EXPECT_EQ(report.stats(CorruptionKind::kTruncation).first_line, 0u);
+}
+
+TEST(StatusMatrixIoTest, PermissiveStillFailsWithNoSurvivingRows) {
+  std::istringstream in("# tends-statuses v1\nprocesses 2 nodes 2\nx y\n");
+  CorruptionReport report;
+  EXPECT_TRUE(ReadStatusMatrix(in, {.mode = IoMode::kPermissive}, &report)
+                  .status()
+                  .IsCorruption());
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(ObservationsIoTest, StrictErrorsNameLineAndToken) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 1 nodes 2\nprocess 0\n"
+      "sources q\ntimes 0 -1\n");
+  auto status = ReadObservations(in).status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("line 4"), std::string::npos) << status;
+  EXPECT_NE(status.message().find("'q'"), std::string::npos) << status;
+}
+
+TEST(ObservationsIoTest, PermissiveSkipsCorruptBlocksAndResyncs) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 3 nodes 2\n"
+      "process 0\nsources 0\ntimes 0 1\n"
+      "process 1\nsources 9\ntimes 0 1\n"   // source out of range
+      "process 2\nsources 1\ntimes 1 0\n"); // fine
+  CorruptionReport report;
+  auto parsed = ReadObservations(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->cascades.size(), 2u);
+  EXPECT_EQ(parsed->cascades[0].sources, std::vector<graph::NodeId>{0});
+  EXPECT_EQ(parsed->cascades[1].sources, std::vector<graph::NodeId>{1});
+  EXPECT_EQ(report.count(CorruptionKind::kOutOfRange), 1u);
+  EXPECT_EQ(report.skipped_records(), 1u);
+  // Derived statuses cover only the surviving processes.
+  EXPECT_EQ(parsed->statuses.num_processes(), 2u);
+}
+
+TEST(ObservationsIoTest, PermissiveToleratesHeaderDamage) {
+  std::istringstream in(
+      "## zends-observations v?\nprocesses 1 nodes 2\n"
+      "process 0\nsources 0\ntimes 0 -1\n");
+  CorruptionReport report;
+  auto parsed = ReadObservations(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->cascades.size(), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kBadStructure), 1u);
+}
+
+TEST(ObservationsIoTest, PermissiveStillFailsWithNoSurvivingBlocks) {
+  std::istringstream in(
+      "# tends-observations v1\nprocesses 1 nodes 2\nprocess 0\n"
+      "sources 0\ntimes 7 7\n");  // source time inconsistent -> block dropped
+  CorruptionReport report;
+  EXPECT_TRUE(ReadObservations(in, {.mode = IoMode::kPermissive}, &report)
+                  .status()
+                  .IsCorruption());
+  EXPECT_FALSE(report.empty());
+}
+
 }  // namespace
 }  // namespace tends::diffusion

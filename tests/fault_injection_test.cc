@@ -1,0 +1,204 @@
+// Fault-injection harness: drives the full simulate → write → corrupt →
+// read → infer → evaluate path through truncation, bit flips and garbage
+// tokens. Strict reads must fail with a Corruption status naming the
+// offending line; permissive reads must complete end-to-end on whatever
+// survived, with a non-empty CorruptionReport — and nothing may crash.
+
+#include "common/fault_injection.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/io_hardening.h"
+#include "diffusion/io.h"
+#include "diffusion/simulator.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+#include "test_util.h"
+
+namespace tends {
+namespace {
+
+graph::DirectedGraph Truth() {
+  return testing::MakeGraph(10, {{0, 1},
+                                 {1, 2},
+                                 {2, 3},
+                                 {3, 4},
+                                 {4, 5},
+                                 {5, 6},
+                                 {6, 7},
+                                 {7, 8},
+                                 {8, 9},
+                                 {9, 0},
+                                 {0, 5},
+                                 {2, 7}});
+}
+
+std::string CleanObservationsPayload(
+    diffusion::DiffusionObservations* observations_out = nullptr) {
+  auto truth = Truth();
+  auto observations = testing::SimulateUniform(truth, 0.5, 120, 0.2, 90210);
+  std::ostringstream out;
+  EXPECT_TRUE(diffusion::WriteObservations(observations, out).ok());
+  if (observations_out != nullptr) *observations_out = observations;
+  return out.str();
+}
+
+std::string CleanStatusesPayload() {
+  auto truth = Truth();
+  auto observations = testing::SimulateUniform(truth, 0.5, 120, 0.2, 90210);
+  std::ostringstream out;
+  EXPECT_TRUE(diffusion::WriteStatusMatrix(observations.statuses, out).ok());
+  return out.str();
+}
+
+TEST(FaultInjectionTest, CorruptionIsDeterministicPerSeed) {
+  const std::string payload = CleanStatusesPayload();
+  FaultInjectionOptions options;
+  options.seed = 17;
+  options.bit_flip_rate = 0.01;
+  options.garbage_token_rate = 0.2;
+  EXPECT_EQ(CorruptPayload(payload, options),
+            CorruptPayload(payload, options));
+  FaultInjectionOptions other = options;
+  other.seed = 18;
+  EXPECT_NE(CorruptPayload(payload, options), CorruptPayload(payload, other));
+}
+
+TEST(FaultInjectionTest, TruncationCutsAtTheConfiguredByte) {
+  const std::string payload = CleanStatusesPayload();
+  FaultInjectionOptions options;
+  options.truncate_at_byte = 10;
+  EXPECT_EQ(CorruptPayload(payload, options), payload.substr(0, 10));
+}
+
+TEST(FaultInjectionTest, StreamServesShortChunksFaithfully) {
+  // No corruption configured: awkward buffer boundaries alone must never
+  // change what a reader sees.
+  const std::string payload = CleanStatusesPayload();
+  FaultInjectionOptions options;
+  options.max_read_chunk = 1;
+  FaultInjectingStream in(payload, options);
+  EXPECT_EQ(in.corrupted(), payload);
+  auto parsed = diffusion::ReadStatusMatrix(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_processes(), 120u);
+  EXPECT_EQ(parsed->num_nodes(), 10u);
+}
+
+TEST(FaultInjectionTest, MidLineTruncationNamesTheLineInStrictMode) {
+  const std::string payload = CleanObservationsPayload();
+  FaultInjectionOptions options;
+  options.truncate_at_byte = payload.size() * 3 / 5;
+  // Make sure the cut lands mid-line so the damaged row itself is visible.
+  ASSERT_NE(payload[options.truncate_at_byte - 1], '\n');
+
+  FaultInjectingStream strict_in(payload, options);
+  auto strict = diffusion::ReadObservations(strict_in);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsCorruption());
+  EXPECT_NE(strict.status().message().find("line"), std::string::npos)
+      << strict.status();
+
+  FaultInjectingStream permissive_in(payload, options);
+  CorruptionReport report;
+  auto permissive = diffusion::ReadObservations(
+      permissive_in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(permissive.ok()) << permissive.status();
+  EXPECT_FALSE(report.empty());
+  EXPECT_GT(report.count(CorruptionKind::kTruncation) +
+                report.count(CorruptionKind::kWrongWidth),
+            0u);
+  EXPECT_GT(permissive->cascades.size(), 0u);
+  EXPECT_LT(permissive->cascades.size(), 120u);
+}
+
+TEST(FaultInjectionTest, GarbageTokensAreSkippedRowByRowInPermissiveMode) {
+  const std::string payload = CleanStatusesPayload();
+  FaultInjectionOptions options;
+  options.seed = 5;
+  options.garbage_token_rate = 0.3;
+
+  FaultInjectingStream strict_in(payload, options);
+  auto strict = diffusion::ReadStatusMatrix(strict_in);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsCorruption());
+  EXPECT_NE(strict.status().message().find("line"), std::string::npos)
+      << strict.status();
+
+  FaultInjectingStream permissive_in(payload, options);
+  CorruptionReport report;
+  auto permissive = diffusion::ReadStatusMatrix(
+      permissive_in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(permissive.ok()) << permissive.status();
+  EXPECT_FALSE(report.empty());
+  EXPECT_GT(report.skipped_records(), 0u);
+  EXPECT_LT(permissive->num_processes(), 120u);
+  EXPECT_GT(permissive->num_processes(), 0u);
+  EXPECT_EQ(permissive->num_nodes(), 10u);
+  EXPECT_NE(report.Summary().find("corruption report:"), std::string::npos);
+}
+
+struct FaultCase {
+  const char* name;
+  FaultInjectionOptions options;
+};
+
+class FaultPipelineTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultPipelineTest, PermissiveReadCompletesTheFullPipeline) {
+  // simulate → write → corrupt → read (permissive) → infer → evaluate.
+  diffusion::DiffusionObservations clean;
+  const std::string payload = CleanObservationsPayload(&clean);
+  const FaultInjectionOptions& fault = GetParam().options;
+
+  FaultInjectingStream in(payload, fault);
+  CorruptionReport report;
+  auto recovered =
+      diffusion::ReadObservations(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(report.empty()) << GetParam().name;
+  ASSERT_GT(recovered->cascades.size(), 0u);
+  EXPECT_LE(recovered->cascades.size(), clean.cascades.size());
+
+  // Dropped processes can leave a node uninfected everywhere; run TENDS in
+  // best-effort mode on whatever survived.
+  inference::TendsOptions tends_options;
+  tends_options.reject_degenerate_columns = false;
+  inference::Tends tends(tends_options);
+  auto inferred = tends.Infer(*recovered);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+  EXPECT_EQ(inferred->num_nodes(), 10u);
+
+  metrics::EdgeMetrics metrics = metrics::EvaluateEdges(*inferred, Truth());
+  EXPECT_GE(metrics.f_score, 0.0);
+  EXPECT_LE(metrics.f_score, 1.0);
+}
+
+TEST_P(FaultPipelineTest, StrictReadFailsWithCorruption) {
+  const std::string payload = CleanObservationsPayload();
+  FaultInjectingStream in(payload, GetParam().options);
+  auto result = diffusion::ReadObservations(in);
+  ASSERT_FALSE(result.ok()) << GetParam().name;
+  EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, FaultPipelineTest,
+    ::testing::Values(
+        FaultCase{"truncation", {.seed = 1, .truncate_at_byte = 2000}},
+        FaultCase{"bit_flips", {.seed = 11, .bit_flip_rate = 0.002}},
+        FaultCase{"garbage_tokens", {.seed = 7, .garbage_token_rate = 0.15}},
+        FaultCase{"combined",
+                  {.seed = 23,
+                   .bit_flip_rate = 0.001,
+                   .garbage_token_rate = 0.1,
+                   .truncate_at_byte = 5000}}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tends

@@ -63,5 +63,64 @@ TEST(InferredNetworkIoTest, FileErrors) {
                   .IsIoError());
 }
 
+TEST(InferredNetworkIoTest, StrictErrorsNameLineAndToken) {
+  std::istringstream in("# tends-network v1\n3\n0 1 0.5\n0 zz 0.25\n");
+  auto status = ReadInferredNetwork(in).status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("line 4"), std::string::npos) << status;
+  EXPECT_NE(status.message().find("zz"), std::string::npos) << status;
+}
+
+TEST(InferredNetworkIoTest, StrictRejectsNonFiniteWeights) {
+  std::istringstream in("# tends-network v1\n3\n0 1 nan\n");
+  auto status = ReadInferredNetwork(in).status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos) << status;
+  std::istringstream in2("# tends-network v1\n3\n0 1 inf\n");
+  EXPECT_TRUE(ReadInferredNetwork(in2).status().IsCorruption());
+}
+
+TEST(InferredNetworkIoTest, PermissiveSkipsCorruptEdges) {
+  std::istringstream in(
+      "# tends-network v1\n4\n0 1 0.5\n0 zz 0.25\n1 2 inf\n9 9 1.0\n2 3\n"
+      "2 3 0.125\n");
+  CorruptionReport report;
+  auto parsed =
+      ReadInferredNetwork(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_nodes(), 4u);
+  ASSERT_EQ(parsed->num_edges(), 2u);
+  EXPECT_EQ(parsed->edges()[0].edge, (graph::Edge{0, 1}));
+  EXPECT_EQ(parsed->edges()[1].edge, (graph::Edge{2, 3}));
+  EXPECT_EQ(report.total(), 4u);
+  EXPECT_EQ(report.skipped_records(), 4u);
+  EXPECT_EQ(report.count(CorruptionKind::kBadToken), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kNonFinite), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kOutOfRange), 1u);
+  EXPECT_EQ(report.count(CorruptionKind::kWrongWidth), 1u);
+  EXPECT_EQ(report.stats(CorruptionKind::kBadToken).first_line, 4u);
+}
+
+TEST(InferredNetworkIoTest, PermissiveSizesNetworkFromEdgesWithoutCount) {
+  // A damaged node-count line: permissive sizes the network from the
+  // largest surviving endpoint instead of giving up.
+  std::istringstream in("# tends-network v1\nbogus\n0 1 0.5\n4 2 0.25\n");
+  CorruptionReport report;
+  auto parsed =
+      ReadInferredNetwork(in, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_nodes(), 5u);
+  EXPECT_EQ(parsed->num_edges(), 2u);
+  EXPECT_EQ(report.count(CorruptionKind::kBadToken), 1u);
+}
+
+TEST(InferredNetworkIoTest, PermissiveStillFailsWhenNothingSurvives) {
+  std::istringstream in("garbage\nmore garbage\n");
+  CorruptionReport report;
+  EXPECT_TRUE(ReadInferredNetwork(in, {.mode = IoMode::kPermissive}, &report)
+                  .status()
+                  .IsCorruption());
+}
+
 }  // namespace
 }  // namespace tends::inference

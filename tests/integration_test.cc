@@ -152,7 +152,11 @@ TEST(IntegrationTest, TendsWorksOnLinearThresholdData) {
 TEST(IntegrationTest, DatasetSurrogatePipelineRuns) {
   auto truth = graph::MakeNetSciSurrogate().value();
   auto observations = testing::SimulateUniform(truth, 0.3, 30, 0.15, 19);
-  inference::Tends tends;
+  // 30 processes on the NetSci surrogate leave some nodes never infected;
+  // run best-effort instead of rejecting the degenerate columns.
+  inference::TendsOptions tends_options;
+  tends_options.reject_degenerate_columns = false;
+  inference::Tends tends(tends_options);
   auto inferred = tends.Infer(observations);
   ASSERT_TRUE(inferred.ok());
   EXPECT_GT(inferred->num_edges(), 0u);

@@ -1,5 +1,7 @@
 #include "diffusion/noise.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -49,9 +51,44 @@ TEST(StatusNoiseTest, FullFalseAlarmInfectsEverything) {
 TEST(StatusNoiseTest, ValidatesProbabilities) {
   auto statuses = MakeStatuses({{1, 0}});
   Rng rng(4);
-  EXPECT_FALSE(ApplyStatusNoise(statuses, {.miss_probability = -0.1}, rng).ok());
-  EXPECT_FALSE(
-      ApplyStatusNoise(statuses, {.false_alarm_probability = 1.1}, rng).ok());
+  auto miss = ApplyStatusNoise(statuses, {.miss_probability = -0.1}, rng);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_TRUE(miss.status().IsInvalidArgument());
+  EXPECT_NE(miss.status().message().find("miss_probability"),
+            std::string::npos);
+  auto alarm =
+      ApplyStatusNoise(statuses, {.false_alarm_probability = 1.1}, rng);
+  ASSERT_FALSE(alarm.ok());
+  EXPECT_TRUE(alarm.status().IsInvalidArgument());
+  EXPECT_NE(alarm.status().message().find("false_alarm_probability"),
+            std::string::npos);
+}
+
+TEST(StatusNoiseTest, RejectsNanProbabilities) {
+  auto statuses = MakeStatuses({{1, 0}});
+  Rng rng(4);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto miss = ApplyStatusNoise(statuses, {.miss_probability = nan}, rng);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_TRUE(miss.status().IsInvalidArgument());
+  auto alarm = ApplyStatusNoise(statuses, {.false_alarm_probability = nan}, rng);
+  ASSERT_FALSE(alarm.ok());
+  EXPECT_TRUE(alarm.status().IsInvalidArgument());
+}
+
+TEST(StatusNoiseTest, AcceptsBoundaryProbabilities) {
+  auto statuses = MakeStatuses({{1, 0}});
+  Rng rng(4);
+  EXPECT_TRUE(ApplyStatusNoise(statuses,
+                               {.miss_probability = 0.0,
+                                .false_alarm_probability = 0.0},
+                               rng)
+                  .ok());
+  EXPECT_TRUE(ApplyStatusNoise(statuses,
+                               {.miss_probability = 1.0,
+                                .false_alarm_probability = 1.0},
+                               rng)
+                  .ok());
 }
 
 TEST(StatusNoiseTest, FlipRatesMatchConfiguredProbabilities) {

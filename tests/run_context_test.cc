@@ -1,0 +1,254 @@
+// Deadline / cancellation behaviour: expired contexts stop every algorithm
+// without hangs or errors, best-so-far partial results stay structurally
+// valid, and an unlimited deadline reproduces the unconstrained output
+// byte for byte at any thread count.
+
+#include "common/run_context.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/simulator.h"
+#include "inference/correlation.h"
+#include "inference/io.h"
+#include "inference/lift.h"
+#include "inference/multree.h"
+#include "inference/netinf.h"
+#include "inference/netrate.h"
+#include "inference/path.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.is_unlimited());
+  EXPECT_FALSE(deadline.HasExpired());
+  EXPECT_EQ(deadline.Remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(DeadlineTest, ExpiredIsExpiredFromTheStart) {
+  Deadline deadline = Deadline::Expired();
+  EXPECT_FALSE(deadline.is_unlimited());
+  EXPECT_TRUE(deadline.HasExpired());
+  EXPECT_EQ(deadline.Remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(DeadlineTest, GenerousBudgetHasNotExpired) {
+  Deadline deadline = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(deadline.is_unlimited());
+  EXPECT_FALSE(deadline.HasExpired());
+  EXPECT_GT(deadline.Remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(CancellationTokenTest, IsStickyAndObservedByContext) {
+  CancellationToken token;
+  EXPECT_FALSE(token.Cancelled());
+  RunContext context;
+  context.cancellation = &token;
+  EXPECT_FALSE(context.IsUnconstrained());
+  EXPECT_FALSE(context.ShouldStop());
+  token.RequestCancellation();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(context.ShouldStop());
+  token.RequestCancellation();  // idempotent
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(RunContextTest, DefaultIsUnconstrained) {
+  RunContext context;
+  EXPECT_TRUE(context.IsUnconstrained());
+  EXPECT_FALSE(context.ShouldStop());
+}
+
+TEST(StopCheckerTest, UnconstrainedContextNeverStops) {
+  RunContext context;
+  StopChecker stop(context, /*stride=*/1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(stop.ShouldStop());
+    EXPECT_FALSE(stop.ShouldStopNow());
+  }
+}
+
+TEST(StopCheckerTest, ExpiredDeadlineStopsWithinOneStride) {
+  RunContext context;
+  context.deadline = Deadline::Expired();
+  StopChecker stop(context, /*stride=*/8);
+  bool stopped = false;
+  for (int i = 0; i < 8 && !stopped; ++i) stopped = stop.ShouldStop();
+  EXPECT_TRUE(stopped);
+  // Sticky: every later call reports stopped without consulting the clock.
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_TRUE(stop.ShouldStopNow());
+}
+
+TEST(StopCheckerTest, ShouldStopNowIsUnthrottled) {
+  RunContext context;
+  context.deadline = Deadline::Expired();
+  StopChecker stop(context, /*stride=*/1024);
+  EXPECT_TRUE(stop.ShouldStopNow());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm behaviour under expired / unlimited contexts.
+
+diffusion::DiffusionObservations DenseObservations() {
+  auto truth = testing::MakeGraph(12, {{0, 1},
+                                       {1, 2},
+                                       {2, 3},
+                                       {3, 4},
+                                       {4, 5},
+                                       {5, 6},
+                                       {6, 7},
+                                       {7, 8},
+                                       {8, 9},
+                                       {9, 10},
+                                       {10, 11},
+                                       {11, 0},
+                                       {0, 6},
+                                       {3, 9}});
+  return testing::SimulateUniform(truth, 0.5, 220, 0.25, 4242);
+}
+
+RunContext ExpiredContext() {
+  RunContext context;
+  context.deadline = Deadline::Expired();
+  return context;
+}
+
+TEST(DeadlineInferenceTest, TendsExpiredDeadlineReturnsValidPartial) {
+  auto observations = DenseObservations();
+  inference::Tends tends;
+  RunContext context = ExpiredContext();
+  auto result = tends.Infer(observations, context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_nodes(), observations.num_nodes());
+  EXPECT_TRUE(tends.diagnostics().deadline_expired);
+  EXPECT_EQ(tends.diagnostics().nodes_completed, 0u);
+  EXPECT_EQ(result->num_edges(), 0u);
+}
+
+TEST(DeadlineInferenceTest, TendsCancellationTokenStopsTheRun) {
+  auto observations = DenseObservations();
+  CancellationToken token;
+  token.RequestCancellation();
+  RunContext context;
+  context.cancellation = &token;
+  inference::Tends tends;
+  auto result = tends.Infer(observations, context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(tends.diagnostics().deadline_expired);
+  EXPECT_EQ(tends.diagnostics().nodes_completed, 0u);
+}
+
+TEST(DeadlineInferenceTest, TendsUncutRunCompletesAllNodes) {
+  auto observations = DenseObservations();
+  inference::Tends tends;
+  auto result = tends.Infer(observations);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(tends.diagnostics().deadline_expired);
+  EXPECT_EQ(tends.diagnostics().nodes_completed, observations.num_nodes());
+}
+
+TEST(DeadlineInferenceTest, TendsTightDeadlineNeverHangsOrErrors) {
+  // Whatever the machine's speed, a 1 ms budget either finishes or cuts the
+  // run; both must produce a structurally valid network.
+  auto observations = DenseObservations();
+  inference::Tends tends;
+  RunContext context;
+  context.deadline = Deadline::AfterMillis(1);
+  auto result = tends.Infer(observations, context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_nodes(), observations.num_nodes());
+  if (tends.diagnostics().deadline_expired) {
+    EXPECT_LT(tends.diagnostics().nodes_completed, observations.num_nodes());
+  } else {
+    EXPECT_EQ(tends.diagnostics().nodes_completed, observations.num_nodes());
+  }
+  for (const auto& scored : result->edges()) {
+    EXPECT_LT(scored.edge.from, observations.num_nodes());
+    EXPECT_LT(scored.edge.to, observations.num_nodes());
+  }
+}
+
+TEST(DeadlineInferenceTest, UnlimitedDeadlineIsByteIdenticalAtAnyThreadCount) {
+  auto observations = DenseObservations();
+  std::string baseline;
+  {
+    inference::Tends tends;
+    auto result = tends.Infer(observations);
+    ASSERT_TRUE(result.ok());
+    std::ostringstream out;
+    ASSERT_TRUE(inference::WriteInferredNetwork(*result, out).ok());
+    baseline = out.str();
+  }
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    inference::TendsOptions options;
+    options.num_threads = threads;
+    inference::Tends tends(options);
+    RunContext context;
+    context.deadline = Deadline::AfterMillis(3'600'000);  // generous, finite
+    auto result = tends.Infer(observations, context);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(tends.diagnostics().deadline_expired);
+    std::ostringstream out;
+    ASSERT_TRUE(inference::WriteInferredNetwork(*result, out).ok());
+    EXPECT_EQ(out.str(), baseline) << "threads=" << threads;
+  }
+}
+
+TEST(DeadlineInferenceTest, BaselinesReturnValidPartialsOnExpiredDeadline) {
+  auto observations = DenseObservations();
+  RunContext context = ExpiredContext();
+  const uint64_t budget = 14;
+
+  inference::NetRate netrate;
+  auto netrate_result = netrate.Infer(observations, context);
+  ASSERT_TRUE(netrate_result.ok()) << netrate_result.status();
+  EXPECT_EQ(netrate_result->num_edges(), 0u);
+
+  inference::NetInf netinf({.num_edges = budget});
+  auto netinf_result = netinf.Infer(observations, context);
+  ASSERT_TRUE(netinf_result.ok()) << netinf_result.status();
+  EXPECT_EQ(netinf_result->num_edges(), 0u);
+
+  inference::MulTree multree({.num_edges = budget});
+  auto multree_result = multree.Infer(observations, context);
+  ASSERT_TRUE(multree_result.ok()) << multree_result.status();
+  EXPECT_EQ(multree_result->num_edges(), 0u);
+
+  inference::Lift lift({.num_edges = budget});
+  auto lift_result = lift.Infer(observations, context);
+  ASSERT_TRUE(lift_result.ok()) << lift_result.status();
+
+  inference::CorrelationBaseline correlation({.num_edges = budget});
+  auto correlation_result = correlation.Infer(observations, context);
+  ASSERT_TRUE(correlation_result.ok()) << correlation_result.status();
+
+  inference::Path path({.num_edges = budget});
+  auto path_result = path.Infer(observations, context);
+  ASSERT_TRUE(path_result.ok()) << path_result.status();
+  EXPECT_EQ(path_result->num_edges(), 0u);
+}
+
+TEST(DeadlineInferenceTest, BaselinesMatchUnconstrainedUnderGenerousDeadline) {
+  auto observations = DenseObservations();
+  RunContext context;
+  context.deadline = Deadline::AfterMillis(3'600'000);
+  const uint64_t budget = 14;
+
+  inference::NetInf a({.num_edges = budget}), b({.num_edges = budget});
+  auto unconstrained = a.Infer(observations);
+  auto bounded = b.Infer(observations, context);
+  ASSERT_TRUE(unconstrained.ok() && bounded.ok());
+  ASSERT_EQ(unconstrained->num_edges(), bounded->num_edges());
+  for (size_t e = 0; e < unconstrained->num_edges(); ++e) {
+    EXPECT_EQ(unconstrained->edges()[e].edge, bounded->edges()[e].edge);
+  }
+}
+
+}  // namespace
+}  // namespace tends

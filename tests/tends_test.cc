@@ -31,6 +31,57 @@ TEST(TendsTest, ValidatesInputs) {
   EXPECT_FALSE(tends_bad_cand.InferFromStatuses(statuses).ok());
 }
 
+TEST(TendsTest, ValidationErrorsArePrecise) {
+  Tends tends;
+  diffusion::StatusMatrix empty;
+  auto no_nodes = tends.InferFromStatuses(empty);
+  ASSERT_FALSE(no_nodes.ok());
+  EXPECT_TRUE(no_nodes.status().IsInvalidArgument());
+  EXPECT_NE(no_nodes.status().message().find("no nodes"), std::string::npos);
+
+  diffusion::StatusMatrix no_processes(0, 4);
+  auto empty_rows = tends.InferFromStatuses(no_processes);
+  ASSERT_FALSE(empty_rows.ok());
+  EXPECT_TRUE(empty_rows.status().IsInvalidArgument());
+  EXPECT_NE(empty_rows.status().message().find("no diffusion processes"),
+            std::string::npos);
+}
+
+TEST(TendsTest, RejectsDegenerateColumnsByDefault) {
+  // Node 2 is infected in every process: its parents are unidentifiable.
+  auto statuses = ::tends::testing::MakeStatuses(
+      {{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {0, 0, 1}});
+  Tends tends;
+  auto result = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("node 2"), std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("infected in all 4"),
+            std::string::npos)
+      << result.status();
+
+  // All-0 columns are rejected the same way.
+  auto never = ::tends::testing::MakeStatuses({{1, 0, 0}, {0, 1, 0}});
+  auto never_result = tends.InferFromStatuses(never);
+  ASSERT_FALSE(never_result.ok());
+  EXPECT_TRUE(never_result.status().IsInvalidArgument());
+  EXPECT_NE(never_result.status().message().find("uninfected"),
+            std::string::npos)
+      << never_result.status();
+}
+
+TEST(TendsTest, DegenerateColumnRejectionCanBeDisabled) {
+  auto statuses = ::tends::testing::MakeStatuses(
+      {{1, 0, 1}, {0, 1, 1}, {1, 1, 1}, {0, 0, 1}});
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  Tends tends(options);
+  auto result = tends.InferFromStatuses(statuses);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_nodes(), 3u);
+}
+
 TEST(TendsTest, NameIsStable) {
   Tends tends;
   EXPECT_EQ(tends.name(), "TENDS");

@@ -16,7 +16,9 @@
 
 #include "benchlib/experiment.h"
 #include "common/flags.h"
+#include "common/io_hardening.h"
 #include "common/random.h"
+#include "common/run_context.h"
 #include "common/stringutil.h"
 #include "diffusion/io.h"
 #include "diffusion/noise.h"
@@ -211,7 +213,9 @@ int RunInfer(int argc, const char* const* argv) {
   std::string observations_path;
   std::string statuses_path;
   std::string out = "inferred.txt";
+  std::string io_mode = "strict";
   int64_t num_edges = 0;
+  int64_t deadline_ms = 0;
   double tau_multiplier = 1.0;
   bool traditional_mi = false;
   uint32_t em_iterations = 4;
@@ -227,8 +231,15 @@ int RunInfer(int argc, const char* const* argv) {
   parser.AddString("statuses", &statuses_path,
                    "status-matrix file (sufficient for tends/correlation)");
   parser.AddString("out", &out, "output network path");
+  parser.AddString("io_mode", &io_mode,
+                   "input handling: 'strict' fails on the first corrupt "
+                   "line; 'permissive' skips corrupt rows/blocks and prints "
+                   "a corruption report");
   parser.AddInt64("num_edges", &num_edges,
                   "edge budget for multree/netinf/lift/correlation");
+  parser.AddInt64("deadline_ms", &deadline_ms,
+                  "wall-clock budget in milliseconds; on expiry the "
+                  "best-so-far partial network is written (0 = unlimited)");
   parser.AddDouble("tau_multiplier", &tau_multiplier,
                    "tends: pruning threshold scale");
   parser.AddBool("traditional_mi", &traditional_mi,
@@ -238,52 +249,84 @@ int RunInfer(int argc, const char* const* argv) {
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
 
+  IoReadOptions read_options;
+  if (io_mode == "permissive") {
+    read_options.mode = IoMode::kPermissive;
+  } else if (io_mode != "strict") {
+    return FailWith(Status::InvalidArgument(
+        "--io_mode must be 'strict' or 'permissive', got '" + io_mode + "'"));
+  }
+  if (deadline_ms < 0) {
+    return FailWith(Status::InvalidArgument(
+        StrFormat("--deadline_ms must be >= 0, got %lld",
+                  static_cast<long long>(deadline_ms))));
+  }
+
+  CorruptionReport report;
   diffusion::DiffusionObservations observations;
   if (!observations_path.empty()) {
-    auto loaded = diffusion::ReadObservationsFile(observations_path);
+    auto loaded = diffusion::ReadObservationsFile(observations_path,
+                                                  read_options, &report);
     if (!loaded.ok()) return FailWith(loaded.status());
     observations = std::move(loaded).value();
   } else if (!statuses_path.empty()) {
-    auto loaded = diffusion::ReadStatusMatrixFile(statuses_path);
+    auto loaded =
+        diffusion::ReadStatusMatrixFile(statuses_path, read_options, &report);
     if (!loaded.ok()) return FailWith(loaded.status());
     observations.statuses = std::move(loaded).value();
   } else {
     return FailWith(Status::InvalidArgument(
         "one of --observations or --statuses is required"));
   }
+  if (read_options.mode == IoMode::kPermissive) {
+    std::cout << report.Summary() << "\n";
+  }
+
+  RunContext context;
+  if (deadline_ms > 0) context.deadline = Deadline::AfterMillis(deadline_ms);
 
   StatusOr<inference::InferredNetwork> result =
       Status::InvalidArgument("unknown algorithm: " + algorithm);
+  bool deadline_expired = false;
+  uint32_t nodes_completed = 0;
   if (algorithm == "tends") {
     inference::TendsOptions options;
     options.tau_multiplier = tau_multiplier;
     options.use_traditional_mi = traditional_mi;
     inference::Tends tends(options);
-    result = tends.Infer(observations);
+    result = tends.Infer(observations, context);
+    deadline_expired = tends.diagnostics().deadline_expired;
+    nodes_completed = tends.diagnostics().nodes_completed;
   } else if (algorithm == "netrate") {
     inference::NetRateOptions options;
     options.max_iterations = em_iterations;
     inference::NetRate netrate(options);
-    result = netrate.Infer(observations);
+    result = netrate.Infer(observations, context);
   } else if (algorithm == "multree") {
     inference::MulTree multree(
         {.num_edges = static_cast<uint64_t>(num_edges)});
-    result = multree.Infer(observations);
+    result = multree.Infer(observations, context);
   } else if (algorithm == "netinf") {
     inference::NetInf netinf({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = netinf.Infer(observations);
+    result = netinf.Infer(observations, context);
   } else if (algorithm == "lift") {
     inference::Lift lift({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = lift.Infer(observations);
+    result = lift.Infer(observations, context);
   } else if (algorithm == "correlation") {
     inference::CorrelationBaseline baseline(
         {.num_edges = static_cast<uint64_t>(num_edges)});
-    result = baseline.Infer(observations);
+    result = baseline.Infer(observations, context);
   } else if (algorithm == "path") {
     inference::Path path({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = path.Infer(observations);
+    result = path.Infer(observations, context);
   }
   if (!result.ok()) return FailWith(result.status());
+  if (deadline_expired) {
+    std::cout << StrFormat(
+        "deadline expired after %u of %u nodes; wrote the best-so-far "
+        "partial network\n",
+        nodes_completed, observations.num_nodes());
+  }
   status = inference::WriteInferredNetworkFile(*result, out);
   if (!status.ok()) return FailWith(status);
   std::cout << result->DebugString() << "\nwrote " << out << "\n";
