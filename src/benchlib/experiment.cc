@@ -1,9 +1,13 @@
 #include "benchlib/experiment.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/stringutil.h"
 #include "diffusion/propagation.h"
 
 namespace tends::benchlib {
@@ -53,14 +57,18 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
     sim_config.model = config.model;
     TENDS_ASSIGN_OR_RETURN(
         diffusion::DiffusionObservations observations,
-        diffusion::Simulate(truth, probabilities, sim_config, rng));
+        diffusion::Simulate(truth, probabilities, sim_config, rng,
+                            config.metrics));
 
+    RunContext context;
+    context.metrics = config.metrics;
     std::vector<metrics::AlgorithmEvaluation> evaluations;
     if (config.algorithms.tends) {
       inference::Tends tends(config.tends_options);
       TENDS_ASSIGN_OR_RETURN(
           metrics::AlgorithmEvaluation evaluation,
-          metrics::RunAndEvaluate(tends, observations, truth));
+          metrics::RunAndEvaluate(tends, observations, truth,
+                                  /*sweep_threshold=*/false, context));
       evaluations.push_back(evaluation);
     }
     if (config.algorithms.netrate) {
@@ -68,7 +76,7 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
       TENDS_ASSIGN_OR_RETURN(
           metrics::AlgorithmEvaluation evaluation,
           metrics::RunAndEvaluate(netrate, observations, truth,
-                                  /*sweep_threshold=*/true));
+                                  /*sweep_threshold=*/true, context));
       evaluations.push_back(evaluation);
     }
     if (config.algorithms.multree) {
@@ -77,7 +85,8 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
       inference::MulTree multree(options);
       TENDS_ASSIGN_OR_RETURN(
           metrics::AlgorithmEvaluation evaluation,
-          metrics::RunAndEvaluate(multree, observations, truth));
+          metrics::RunAndEvaluate(multree, observations, truth,
+                                  /*sweep_threshold=*/false, context));
       evaluations.push_back(evaluation);
     }
     if (config.algorithms.lift) {
@@ -86,7 +95,8 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
       inference::Lift lift(options);
       TENDS_ASSIGN_OR_RETURN(
           metrics::AlgorithmEvaluation evaluation,
-          metrics::RunAndEvaluate(lift, observations, truth));
+          metrics::RunAndEvaluate(lift, observations, truth,
+                                  /*sweep_threshold=*/false, context));
       evaluations.push_back(evaluation);
     }
 
@@ -128,6 +138,53 @@ Table MakeFigureTable(
 bool FastBenchMode() {
   const char* value = std::getenv("TENDS_BENCH_FAST");
   return value != nullptr && value[0] != '\0';
+}
+
+void MaybeWriteBenchJson(
+    const std::string& title,
+    const std::vector<std::pair<std::string,
+                                std::vector<metrics::AlgorithmEvaluation>>>&
+        rows) {
+  const char* dir = std::getenv("TENDS_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+
+  std::string slug;
+  for (char c : title) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    slug += (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ? c : '_';
+  }
+  const std::string path = std::string(dir) + "/BENCH_" + slug + ".json";
+
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KeyValue("schema", "tends.bench.v1");
+  writer.KeyValue("title", title);
+  writer.KeyValue("git", BuildGitDescribe());
+  writer.Key("rows");
+  writer.BeginArray();
+  for (const auto& [setting, evaluations] : rows) {
+    for (const auto& evaluation : evaluations) {
+      writer.BeginObject();
+      writer.KeyValue("setting", setting);
+      writer.KeyValue("algorithm", evaluation.algorithm);
+      writer.KeyValue("f_score", evaluation.metrics.f_score);
+      writer.KeyValue("precision", evaluation.metrics.precision);
+      writer.KeyValue("recall", evaluation.metrics.recall);
+      writer.KeyValue("seconds", evaluation.seconds);
+      writer.KeyValue("edges", evaluation.inferred_edges);
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.EndObject();
+
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  out << writer.TakeString() << "\n";
+  if (!out.good()) {
+    std::cerr << "warning: failed to write " << path << "\n";
+  } else {
+    std::cout << "wrote " << path << "\n";
+  }
 }
 
 int RunDatasetSweepBench(const std::string& title, const std::string& reference,
@@ -173,6 +230,7 @@ int RunDatasetSweepBench(const std::string& title, const std::string& reference,
     rows.emplace_back(label, std::move(evaluations).value());
   }
   MakeFigureTable(rows).PrintText(std::cout);
+  MaybeWriteBenchJson(title, rows);
   return 0;
 }
 

@@ -41,6 +41,10 @@ struct ExperimentConfig {
   AlgorithmSelection algorithms;
   inference::TendsOptions tends_options;
   inference::NetRateOptions netrate_options;
+  /// Observability sink threaded through the simulator and every algorithm
+  /// run (common/metrics.h). Not owned; may be null. Repetitions accumulate
+  /// into the same registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Simulates the configured diffusion processes on `truth` and runs the
@@ -55,6 +59,17 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
 /// precision, recall, time in seconds). `rows` pairs a setting label with
 /// the evaluations returned by RunExperiment.
 Table MakeFigureTable(
+    const std::vector<std::pair<std::string,
+                                std::vector<metrics::AlgorithmEvaluation>>>&
+        rows);
+
+/// When the TENDS_BENCH_JSON_DIR environment variable names a directory,
+/// writes the rows of one bench run as `<dir>/BENCH_<slug(title)>.json`
+/// (schema "tends.bench.v1": title, git describe, one record per
+/// setting/algorithm pair). Unset variable = no-op; a write failure is
+/// reported to stderr but never fails the bench.
+void MaybeWriteBenchJson(
+    const std::string& title,
     const std::vector<std::pair<std::string,
                                 std::vector<metrics::AlgorithmEvaluation>>>&
         rows);

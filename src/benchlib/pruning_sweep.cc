@@ -54,6 +54,7 @@ int RunPruningSweepBench(const std::string& title,
     return 1;
   }
   MakeFigureTable(rows).PrintText(std::cout);
+  MaybeWriteBenchJson(title, rows);
   return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <istream>
 
+#include "common/metrics.h"
 #include "common/stringutil.h"
 
 namespace tends {
@@ -57,6 +58,20 @@ std::string CorruptionReport::Summary() const {
                      stats.first_message.c_str());
   }
   return out;
+}
+
+void CorruptionReport::ExportTo(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("tends.io.corruption_events").Add(total_);
+  metrics->GetCounter("tends.io.skipped_records").Add(skipped_records_);
+  for (int k = 0; k < kNumCorruptionKinds; ++k) {
+    std::string name = "tends.io.corruption.";
+    for (const char* p = CorruptionKindName(static_cast<CorruptionKind>(k));
+         *p != '\0'; ++p) {
+      name += *p == '-' ? '_' : *p;
+    }
+    metrics->GetCounter(name).Add(kinds_[k].count);
+  }
 }
 
 bool LineReader::Next(std::string& line) {

@@ -9,6 +9,8 @@
 
 namespace tends {
 
+class MetricsRegistry;
+
 /// How the text readers treat malformed input.
 enum class IoMode {
   /// Any malformed byte fails the whole read with a Corruption status that
@@ -79,6 +81,13 @@ class CorruptionReport {
   ///     truncation: 1 (at end of input: ...)
   /// or "corruption report: clean" when nothing was recorded.
   std::string Summary() const;
+
+  /// Publishes the tally as metrics (no-op on a null registry):
+  /// `tends.io.corruption_events`, `tends.io.skipped_records`, and one
+  /// `tends.io.corruption.<kind>` counter per kind (hyphens in kind names
+  /// become underscores). All counters are registered even when zero, so
+  /// run manifests always carry the reader-corruption section.
+  void ExportTo(MetricsRegistry* metrics) const;
 
  private:
   std::array<KindStats, kNumCorruptionKinds> kinds_;

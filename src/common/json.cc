@@ -1,0 +1,428 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stringutil.h"
+
+namespace tends {
+
+// ----------------------------------------------------------------- writer
+
+void AppendJsonEscaped(std::string& out, std::string_view value) {
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_) out_ += ',';
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  ++depth_;
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  --depth_;
+  needs_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  ++depth_;
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  --depth_;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (needs_comma_) out_ += ',';
+  out_ += '"';
+  AppendJsonEscaped(out_, key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ += '"';
+  AppendJsonEscaped(out_, value);
+  out_ += '"';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  needs_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  needs_comma_ = true;
+}
+
+void JsonWriter::KeyValue(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+void JsonWriter::KeyValue(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+void JsonWriter::KeyValue(std::string_view key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+void JsonWriter::KeyValue(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+void JsonWriter::KeyValue(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+// ----------------------------------------------------------------- value
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d, int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> values) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(values);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::FindPath(
+    std::initializer_list<std::string_view> keys) const {
+  const JsonValue* current = this;
+  for (std::string_view key : keys) {
+    if (current == nullptr) return nullptr;
+    current = current->Find(key);
+  }
+  return current;
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    TENDS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::Corruption("trailing garbage after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::Corruption(StrFormat("JSON parse error at offset %zu: %s",
+                                        pos_, what.c_str()));
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      TENDS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::MakeString(std::move(s));
+    }
+    if (ConsumeLiteral("null")) return JsonValue::MakeNull();
+    if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+    if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+    return ParseNumber();
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      TENDS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      TENDS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    return JsonValue::MakeObject(std::move(members));
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> values;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(values));
+    while (true) {
+      TENDS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      values.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    return JsonValue::MakeArray(std::move(values));
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode (surrogate pairs are not recombined; the writer
+          // only emits \u for control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = (c == '-' || c == '+') ? integral : false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) return Error("expected a value");
+    StatusOr<double> d = ParseDouble(token);
+    if (!d.ok()) return Error("bad number '" + std::string(token) + "'");
+    int64_t i = 0;
+    if (integral) {
+      StatusOr<int64_t> parsed = ParseInt64(token);
+      if (parsed.ok()) i = *parsed;
+    }
+    if (!integral || i == 0) i = static_cast<int64_t>(*d);
+    return JsonValue::MakeNumber(*d, i);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace tends

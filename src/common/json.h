@@ -1,0 +1,126 @@
+#ifndef TENDS_COMMON_JSON_H_
+#define TENDS_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace tends {
+
+/// Minimal streaming JSON writer used for run manifests, diagnostics and
+/// bench records. Emits compact, valid JSON; the caller is responsible for
+/// well-formed nesting (unbalanced Begin/End pairs are caught by a
+/// TENDS_CHECK in the destructor of debug-style usage via Finish()).
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("nodes"); w.Int(42);
+///   w.Key("stages"); w.BeginArray(); w.String("imi"); w.EndArray();
+///   w.EndObject();
+///   std::string out = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  /// Exact-match overload: without it a string literal converts to bool
+  /// (const char* -> bool is a standard conversion, string_view is not).
+  void String(const char* value) { String(std::string_view(value)); }
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key(key) + value.
+  void KeyValue(std::string_view key, std::string_view value);
+  void KeyValue(std::string_view key, const char* value) {
+    KeyValue(key, std::string_view(value));
+  }
+  void KeyValue(std::string_view key, int64_t value);
+  void KeyValue(std::string_view key, uint64_t value);
+  void KeyValue(std::string_view key, double value);
+  void KeyValue(std::string_view key, bool value);
+
+  /// True once every opened container has been closed again.
+  bool balanced() const { return depth_ == 0; }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  int depth_ = 0;
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Appends the JSON string escape of `value` (without quotes) to `out`.
+void AppendJsonEscaped(std::string& out, std::string_view value);
+
+/// Parsed JSON document node: a small recursive value tree, sufficient for
+/// round-trip tests and for consuming the run manifests this library
+/// writes. Numbers are stored as double (plus the int64 value when the
+/// token was integral).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return int_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Nested lookup: Find("a") then Find("b") ...; null on any miss.
+  const JsonValue* FindPath(std::initializer_list<std::string_view> keys) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d, int64_t i);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> values);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is a Corruption error). Depth-limited to keep malicious inputs
+/// from exhausting the stack.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_JSON_H_

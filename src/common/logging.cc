@@ -3,12 +3,27 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace tends {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes emission (stderr write or sink call) so that messages from
+// concurrent threads never interleave. Function-local static so the mutex
+// outlives any static-destruction-order logging.
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -36,6 +51,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  SinkSlot() = std::move(sink);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -49,8 +69,17 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  std::fflush(stderr);
+  const std::string message = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    LogSink& sink = SinkSlot();
+    if (sink) {
+      sink(level_, message);
+    } else {
+      std::fprintf(stderr, "%s\n", message.c_str());
+      std::fflush(stderr);
+    }
+  }
   if (level_ == LogLevel::kFatal) std::abort();
 }
 

@@ -1,8 +1,10 @@
 #ifndef TENDS_COMMON_LOGGING_H_
 #define TENDS_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tends {
 
@@ -17,6 +19,17 @@ enum class LogLevel : int {
 /// Global minimum level; messages below it are dropped. Defaults to kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log record (already formatted, without a
+/// trailing newline). Invoked under the logging mutex, so sinks need no
+/// synchronization of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel level, std::string_view message)>;
+
+/// Replaces the default stderr sink; pass nullptr (default-constructed
+/// LogSink) to restore it. Intended for tests capturing log output.
+/// Emission is serialized by a single mutex, so concurrent TENDS_LOG calls
+/// from multiple threads never interleave within a message.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

@@ -1,0 +1,329 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace tends {
+
+// --------------------------------------------------------------- histogram
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return std::bit_width(value) > kNumBuckets - 1 ? kNumBuckets - 1
+                                                 : std::bit_width(value);
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= kNumBuckets - 1) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary summary;
+  uint64_t counts[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    summary.count += counts[b];
+  }
+  summary.sum = sum_.load(std::memory_order_relaxed);
+  if (summary.count == 0) return summary;
+  summary.mean =
+      static_cast<double>(summary.sum) / static_cast<double>(summary.count);
+  auto quantile = [&](double q) -> uint64_t {
+    // Rank of the q-quantile among the bucketed events (1-based).
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(summary.count));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) return BucketUpperBound(b);
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  };
+  summary.p50 = quantile(0.50);
+  summary.p90 = quantile(0.90);
+  summary.p99 = quantile(0.99);
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (counts[b] != 0) {
+      summary.max = BucketUpperBound(b);
+      break;
+    }
+  }
+  return summary;
+}
+
+// ---------------------------------------------------------------- registry
+
+bool IsValidMetricName(std::string_view name) {
+  int segments = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t dot = name.find('.', start);
+    std::string_view segment =
+        name.substr(start, dot == std::string_view::npos ? name.size() - start
+                                                         : dot - start);
+    if (segment.empty()) return false;
+    for (char c : segment) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+        return false;
+      }
+    }
+    if (segments == 0 && segment != "tends") return false;
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+namespace {
+
+template <typename T>
+T& GetOrCreate(std::mutex& mu,
+               std::map<std::string, std::unique_ptr<T>, std::less<>>& metrics,
+               std::string_view name) {
+  TENDS_CHECK(IsValidMetricName(name))
+      << "metric name '" << name
+      << "' violates the tends.<module>.<name> scheme";
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    it = metrics.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(mu_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mu_, histograms_, name);
+}
+
+void MetricsRegistry::AddStageTime(std::string_view stage, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (StageTime& existing : stages_) {
+    if (existing.name == stage) {
+      existing.wall_ns += ns;
+      ++existing.count;
+      return;
+    }
+  }
+  stages_.push_back({std::string(stage), ns, 1});
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+uint64_t MetricsRegistry::StageWallNs(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StageTime& existing : stages_) {
+    if (existing.name == stage) return existing.wall_ns;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Summary>>
+MetricsRegistry::HistogramSummaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Summary>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->Summarize());
+  }
+  return out;
+}
+
+std::vector<StageTime> MetricsRegistry::StageTimes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& writer) const {
+  writer.BeginObject();
+
+  writer.Key("stages");
+  writer.BeginObject();
+  for (const StageTime& stage : StageTimes()) {
+    writer.Key(stage.name);
+    writer.BeginObject();
+    writer.KeyValue("wall_s", static_cast<double>(stage.wall_ns) * 1e-9);
+    writer.KeyValue("sections", stage.count);
+    writer.EndObject();
+  }
+  writer.EndObject();
+
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, value] : CounterValues()) {
+    writer.KeyValue(name, value);
+  }
+  writer.EndObject();
+
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, value] : GaugeValues()) {
+    writer.KeyValue(name, value);
+  }
+  writer.EndObject();
+
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, summary] : HistogramSummaries()) {
+    writer.Key(name);
+    writer.BeginObject();
+    writer.KeyValue("count", summary.count);
+    writer.KeyValue("sum", summary.sum);
+    writer.KeyValue("mean", summary.mean);
+    writer.KeyValue("p50", summary.p50);
+    writer.KeyValue("p90", summary.p90);
+    writer.KeyValue("p99", summary.p99);
+    writer.KeyValue("max", summary.max);
+    writer.EndObject();
+  }
+  writer.EndObject();
+
+  writer.Key("spans");
+  writer.BeginObject();
+  for (const TraceSummary& summary : tracer_.Summaries()) {
+    writer.Key(summary.name);
+    writer.BeginObject();
+    writer.KeyValue("count", summary.count);
+    writer.KeyValue("total_s", static_cast<double>(summary.total_ns) * 1e-9);
+    writer.EndObject();
+  }
+  uint64_t dropped = tracer_.dropped();
+  if (dropped != 0) writer.KeyValue("dropped", dropped);
+  writer.EndObject();
+
+  writer.EndObject();
+}
+
+// ---------------------------------------------------------------- manifest
+
+const char* BuildGitDescribe() {
+#ifdef TENDS_GIT_DESCRIBE
+  return TENDS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string MetricsManifestJson(const RunManifest& manifest,
+                                const MetricsRegistry& registry) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KeyValue("schema", "tends.metrics.v1");
+  writer.KeyValue("tool", manifest.tool);
+  writer.KeyValue("git", BuildGitDescribe());
+  writer.KeyValue("metrics_enabled", TENDS_METRICS_ENABLED != 0);
+  writer.KeyValue("wall_seconds", manifest.wall_seconds);
+  writer.Key("config");
+  writer.BeginObject();
+  for (const auto& [key, value] : manifest.config) {
+    writer.KeyValue(key, value);
+  }
+  writer.EndObject();
+  writer.Key("metrics");
+  registry.WriteJson(writer);
+  writer.EndObject();
+  TENDS_CHECK(writer.balanced());
+  return writer.TakeString();
+}
+
+Status WriteMetricsManifest(const RunManifest& manifest,
+                            const MetricsRegistry& registry,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << MetricsManifestJson(manifest, registry) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- progress
+
+ProgressReporter::ProgressReporter(
+    const MetricsRegistry* registry, std::chrono::milliseconds interval,
+    std::function<std::string(const MetricsRegistry&)> format)
+    : registry_(registry), interval_(interval), format_(std::move(format)) {
+  if (registry_ != nullptr) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+ProgressReporter::~ProgressReporter() { Stop(); }
+
+void ProgressReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (registry_ != nullptr) EmitOnce();
+}
+
+void ProgressReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    lock.unlock();
+    EmitOnce();
+    lock.lock();
+  }
+}
+
+void ProgressReporter::EmitOnce() {
+  std::string line = format_(*registry_);
+  if (line.empty()) return;
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace tends

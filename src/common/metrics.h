@@ -1,0 +1,329 @@
+#ifndef TENDS_COMMON_METRICS_H_
+#define TENDS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+/// Compile-time switch for the instrumentation macros. The build defines
+/// TENDS_METRICS_ENABLED=0 when configured with -DTENDS_METRICS=OFF; the
+/// macros then compile to no-ops (null pointers / empty statements) while
+/// the MetricsRegistry type itself stays available, so code that writes
+/// manifests still links and produces identical algorithmic results.
+#ifndef TENDS_METRICS_ENABLED
+#define TENDS_METRICS_ENABLED 1
+#endif
+
+namespace tends {
+
+class JsonWriter;
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe from any thread.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (signed). Safe from any thread.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log2-scale histogram of non-negative values (typically durations
+/// in nanoseconds or set sizes). Bucket b holds values whose bit width is
+/// b, i.e. [2^(b-1), 2^b - 1]; bucket 0 holds exact zeros. Recording is a
+/// single relaxed fetch_add; quantiles are approximated by the upper bound
+/// of the bucket containing the requested rank.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `b` (2^b - 1; bucket 0 -> 0).
+  static uint64_t BucketUpperBound(int b);
+  static int BucketIndex(uint64_t value);
+
+  struct Summary {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double mean = 0.0;
+    /// Bucket-upper-bound approximations.
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;  // upper bound of the highest non-empty bucket
+  };
+  /// Consistent-enough snapshot for reporting (individual loads are
+  /// relaxed; concurrent writers may skew a bucket by a few events).
+  Summary Summarize() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Accumulated wall-clock of one named pipeline stage.
+struct StageTime {
+  std::string name;
+  uint64_t wall_ns = 0;
+  /// Number of timed sections folded into wall_ns (e.g. one per node for
+  /// per-node stages).
+  uint64_t count = 0;
+};
+
+/// True when `name` follows the documented scheme `tends.<module>.<name>`:
+/// all lowercase, segments of [a-z0-9_], at least three dot-separated
+/// segments, first segment exactly "tends". (tools/check_metrics_names.sh
+/// enforces the same pattern over source literals.)
+bool IsValidMetricName(std::string_view name);
+
+/// Thread-safe registry of named counters, gauges and histograms plus
+/// per-stage wall-clock and an embedded span Tracer. Registration takes a
+/// mutex once per name; the returned references are stable for the
+/// registry's lifetime, so hot paths resolve a metric once and then use
+/// lock-free operations only.
+///
+/// Metric names must follow `tends.<module>.<name>` (checked; a bad name
+/// is a programming error and aborts). Stage names are bare lowercase
+/// identifiers ("imi", "parent_search"); they are reported under their own
+/// manifest section rather than the metric namespace.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Adds `ns` of wall-clock to stage `stage` (registered on first use,
+  /// reported in registration order).
+  void AddStageTime(std::string_view stage, uint64_t ns);
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Value of a counter, or 0 when it was never registered.
+  uint64_t CounterValue(std::string_view name) const;
+  /// Accumulated wall-clock of a stage, or 0 when never recorded.
+  uint64_t StageWallNs(std::string_view stage) const;
+
+  /// Snapshots, sorted by name (stages: registration order).
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeValues() const;
+  std::vector<std::pair<std::string, Histogram::Summary>> HistogramSummaries()
+      const;
+  std::vector<StageTime> StageTimes() const;
+
+  /// Writes the registry's state as one JSON object with keys "counters",
+  /// "gauges", "histograms", "stages" and "spans" (span aggregates from
+  /// the tracer).
+  void WriteJson(JsonWriter& writer) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<StageTime> stages_;
+  Tracer tracer_;
+};
+
+/// RAII stage timer: adds the elapsed wall-clock to `registry`'s stage
+/// `stage` on destruction. Null registry = disabled (no clock reads).
+class ScopedStage {
+ public:
+  ScopedStage(MetricsRegistry* registry, const char* stage)
+      : registry_(registry), stage_(stage) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedStage() {
+    if (registry_ == nullptr) return;
+    registry_->AddStageTime(
+        stage_, static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count()));
+  }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Identity of one run for the manifest header. `config` is flattened
+/// key/value pairs (flag settings, dataset paths, ...).
+struct RunManifest {
+  std::string tool;
+  std::vector<std::pair<std::string, std::string>> config;
+  double wall_seconds = 0.0;
+};
+
+/// `git describe` of the built tree (baked in at configure time; "unknown"
+/// when the build ran outside a git checkout).
+const char* BuildGitDescribe();
+
+/// Renders the full run manifest: header (tool, git, schema, wall-clock)
+/// plus the registry's metrics sections.
+std::string MetricsManifestJson(const RunManifest& manifest,
+                                const MetricsRegistry& registry);
+
+/// Writes MetricsManifestJson to `path` (atomic-enough: fails with IoError
+/// on any write problem).
+Status WriteMetricsManifest(const RunManifest& manifest,
+                            const MetricsRegistry& registry,
+                            const std::string& path);
+
+/// Background progress printer: every `interval` it calls `format` on the
+/// registry and writes the returned line to stderr (empty string = skip).
+/// Driven by the same counters the manifest exports, so progress output and
+/// manifest never disagree. Stops (and joins) on destruction.
+class ProgressReporter {
+ public:
+  ProgressReporter(const MetricsRegistry* registry,
+                   std::chrono::milliseconds interval,
+                   std::function<std::string(const MetricsRegistry&)> format);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Idempotent; prints one final line before stopping.
+  void Stop();
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  const MetricsRegistry* registry_;
+  const std::chrono::milliseconds interval_;
+  std::function<std::string(const MetricsRegistry&)> format_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// ------------------------------------------------------------------ macros
+//
+// All hot-path instrumentation goes through these macros so that
+// -DTENDS_METRICS=OFF removes even the null-pointer branches. `registry`
+// arguments are MetricsRegistry* expressions (usually context.metrics) and
+// may be null at runtime — the enabled macros branch on that.
+
+#if TENDS_METRICS_ENABLED
+
+/// Resolves a counter once (outside a loop): Counter* or nullptr.
+#define TENDS_METRIC_COUNTER(registry, name) \
+  ((registry) != nullptr ? &(registry)->GetCounter(name) : nullptr)
+
+/// Adds to a Counter* resolved by TENDS_METRIC_COUNTER (null-safe).
+#define TENDS_COUNTER_ADD(counter, delta)            \
+  do {                                               \
+    ::tends::Counter* tends_c_ = (counter);          \
+    if (tends_c_ != nullptr) tends_c_->Add(delta);   \
+  } while (0)
+
+/// One-shot counter add by name (cold paths only: takes the registry map
+/// lock on first use of the name).
+#define TENDS_METRIC_ADD(registry, name, delta)                        \
+  do {                                                                 \
+    ::tends::MetricsRegistry* tends_r_ = (registry);                   \
+    if (tends_r_ != nullptr) tends_r_->GetCounter(name).Add(delta);    \
+  } while (0)
+
+/// One-shot histogram record by name (cold paths only).
+#define TENDS_METRIC_RECORD(registry, name, value)                       \
+  do {                                                                   \
+    ::tends::MetricsRegistry* tends_r_ = (registry);                     \
+    if (tends_r_ != nullptr) tends_r_->GetHistogram(name).Record(value); \
+  } while (0)
+
+/// RAII stage timer for the current scope.
+#define TENDS_METRICS_STAGE(registry, stage) \
+  ::tends::ScopedStage TENDS_CONCAT_(tends_stage_, __LINE__)(registry, stage)
+
+/// RAII trace span for the current scope; optional trailing int64 detail.
+#define TENDS_TRACE_SPAN(registry, ...)                             \
+  ::tends::ScopedSpan TENDS_CONCAT_(tends_span_, __LINE__)(         \
+      (registry) != nullptr ? &(registry)->tracer() : nullptr,      \
+      __VA_ARGS__)
+
+#else  // !TENDS_METRICS_ENABLED
+
+// The (void) casts keep variables that only feed the macros "used" so the
+// OFF build stays -Wunused-variable clean; the casts evaluate cheap
+// pointer/integer expressions that the optimizer discards.
+#define TENDS_METRIC_COUNTER(registry, name) \
+  ((void)(registry), static_cast<::tends::Counter*>(nullptr))
+#define TENDS_COUNTER_ADD(counter, delta) \
+  do {                                    \
+    (void)(counter);                      \
+    (void)(delta);                        \
+  } while (0)
+#define TENDS_METRIC_ADD(registry, name, delta) \
+  do {                                          \
+    (void)(registry);                           \
+    (void)(delta);                              \
+  } while (0)
+#define TENDS_METRIC_RECORD(registry, name, value) \
+  do {                                             \
+    (void)(registry);                              \
+    (void)(value);                                 \
+  } while (0)
+#define TENDS_METRICS_STAGE(registry, stage) \
+  do {                                       \
+    (void)(registry);                        \
+  } while (0)
+#define TENDS_TRACE_SPAN(registry, ...) \
+  do {                                  \
+    (void)(registry);                   \
+  } while (0)
+
+#endif  // TENDS_METRICS_ENABLED
+
+#ifndef TENDS_CONCAT_
+#define TENDS_CONCAT_INNER_(a, b) a##b
+#define TENDS_CONCAT_(a, b) TENDS_CONCAT_INNER_(a, b)
+#endif
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_METRICS_H_

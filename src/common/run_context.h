@@ -7,6 +7,8 @@
 
 namespace tends {
 
+class MetricsRegistry;
+
 /// Wall-clock budget for a unit of work, measured on the monotonic
 /// (steady) clock so that system-time adjustments can never expire or
 /// extend it. Default-constructed deadlines are unlimited and cost nothing
@@ -77,7 +79,14 @@ struct RunContext {
   Deadline deadline;
   /// Not owned; must outlive every call using this context. May be null.
   const CancellationToken* cancellation = nullptr;
+  /// Observability sink (common/metrics.h). Not owned; may be null — all
+  /// instrumentation sites treat null as "metrics disabled" and algorithms
+  /// produce bit-identical results either way. Must outlive every call
+  /// using this context.
+  MetricsRegistry* metrics = nullptr;
 
+  /// Constraint check only — a context that merely carries a metrics
+  /// registry is still unconstrained.
   bool IsUnconstrained() const {
     return deadline.is_unlimited() && cancellation == nullptr;
   }

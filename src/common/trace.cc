@@ -1,0 +1,126 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tends {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Cached (tracer id -> buffer) mapping for the calling thread. Validated by
+// id, never dereferenced when stale: ids are process-unique, so a new
+// tracer reusing a freed tracer's address cannot alias a stale slot.
+struct LocalSlot {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local LocalSlot t_slot;
+
+// Current span nesting depth of this thread (across all tracers; in
+// practice one tracer is active per run).
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  if (t_slot.tracer_id == id_) {
+    return static_cast<ThreadBuffer*>(t_slot.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadBuffer*& registered = by_thread_[std::this_thread::get_id()];
+  if (registered == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->index = static_cast<uint32_t>(buffers_.size());
+    registered = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  t_slot = {id_, registered};
+  return registered;
+}
+
+void Tracer::Record(const char* name, int64_t detail, uint32_t depth,
+                    int64_t start_ns, int64_t duration_ns) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->spans.size() >= kMaxSpansPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->spans.push_back({name, detail, buffer->index, depth, start_ns,
+                           duration_ns});
+}
+
+std::vector<TraceSpan> Tracer::Drain() {
+  std::vector<TraceSpan> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+      buffer->spans.clear();
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.thread_index < b.thread_index;
+            });
+  return all;
+}
+
+std::vector<TraceSummary> Tracer::Summaries() const {
+  // Aggregate by name pointer first (macro sites reuse literals), then
+  // merge by string in case two sites share a name.
+  std::map<std::string, TraceSummary> by_name;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const TraceSpan& span : buffer->spans) {
+      TraceSummary& summary = by_name[span.name];
+      summary.name = span.name;
+      ++summary.count;
+      summary.total_ns += static_cast<uint64_t>(span.duration_ns);
+    }
+  }
+  std::vector<TraceSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) out.push_back(std::move(summary));
+  return out;
+}
+
+uint32_t Tracer::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(buffers_.size());
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, int64_t detail)
+    : tracer_(tracer), name_(name), detail_(detail) {
+  if (tracer_ == nullptr) return;
+  start_ns_ = tracer_->NowNs();
+  depth_ = t_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  --t_span_depth;
+  tracer_->Record(name_, detail_, depth_, start_ns_,
+                  tracer_->NowNs() - start_ns_);
+}
+
+}  // namespace tends

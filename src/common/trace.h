@@ -1,0 +1,119 @@
+#ifndef TENDS_COMMON_TRACE_H_
+#define TENDS_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tends {
+
+/// One completed span: a named, timed section of work recorded by a
+/// ScopedSpan. Times are nanoseconds relative to the owning Tracer's
+/// construction (so spans from different threads share one timeline).
+struct TraceSpan {
+  /// Static string (macro-site literal); never owned.
+  const char* name = nullptr;
+  /// Optional payload, e.g. the node id of a parent search; -1 = none.
+  int64_t detail = -1;
+  /// Dense per-tracer index of the recording thread (registration order).
+  uint32_t thread_index = 0;
+  /// Nesting depth at the time the span opened (0 = top level).
+  uint32_t depth = 0;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+/// Aggregate view of all spans sharing a name.
+struct TraceSummary {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+/// Span collector with per-thread buffers: recording takes the recording
+/// thread's own buffer lock (uncontended except during Drain), so tracing
+/// scales with worker count. Buffers are registered lazily the first time
+/// a thread records into a given tracer and are owned by the tracer.
+///
+/// A null Tracer* in ScopedSpan is the disabled path: no clock reads, no
+/// allocation, a single branch per macro site.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since this tracer was constructed (steady clock).
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Appends one completed span to the calling thread's buffer. Spans
+  /// beyond the per-thread cap are counted as dropped instead of stored.
+  void Record(const char* name, int64_t detail, uint32_t depth,
+              int64_t start_ns, int64_t duration_ns);
+
+  /// Moves out every buffered span (all threads), sorted by start time.
+  /// Safe to call concurrently with Record; typically called once after
+  /// the traced work has joined.
+  std::vector<TraceSpan> Drain();
+
+  /// Per-name aggregation of the currently buffered spans (does not
+  /// drain).
+  std::vector<TraceSummary> Summaries() const;
+
+  /// Number of threads that have recorded into this tracer.
+  uint32_t num_threads() const;
+
+  /// Spans discarded because a thread buffer hit its cap.
+  uint64_t dropped() const;
+
+  /// Per-thread span cap; generous for per-node spans on paper-scale runs
+  /// while bounding memory on runaway instrumentation.
+  static constexpr size_t kMaxSpansPerThread = 1 << 17;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceSpan> spans;
+    uint64_t dropped = 0;
+    uint32_t index = 0;
+  };
+
+  ThreadBuffer* LocalBuffer();
+
+  const uint64_t id_;  // process-unique, for thread-local slot validation
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<std::thread::id, ThreadBuffer*> by_thread_;
+};
+
+/// RAII span: opens on construction, records into the tracer on
+/// destruction. A null tracer disables it entirely.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, int64_t detail = -1);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  int64_t detail_;
+  int64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "diffusion/ic_model.h"
 #include "diffusion/lt_model.h"
 
@@ -11,7 +12,9 @@ namespace tends::diffusion {
 StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
                                          const EdgeProbabilities& probabilities,
                                          const SimulationConfig& config,
-                                         Rng& rng) {
+                                         Rng& rng, MetricsRegistry* metrics) {
+  TENDS_METRICS_STAGE(metrics, "simulate");
+  TENDS_TRACE_SPAN(metrics, "simulate");
   const uint32_t n = graph.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
   if (config.num_processes == 0) {
@@ -43,9 +46,21 @@ StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
             ? ic.Run(sources, process_rng, config.max_rounds)
             : lt.Run(sources, process_rng, config.max_rounds);
     if (!cascade.ok()) return cascade.status();
+    TENDS_METRIC_RECORD(metrics, "tends.sim.cascade_size",
+                        cascade.value().NumInfected());
     observations.cascades.push_back(std::move(cascade).value());
   }
   observations.statuses = StatusesFromCascades(observations.cascades);
+  TENDS_METRIC_ADD(metrics, "tends.sim.processes", config.num_processes);
+#if TENDS_METRICS_ENABLED
+  if (metrics != nullptr) {
+    uint64_t infections = 0;
+    for (const Cascade& cascade : observations.cascades) {
+      infections += cascade.NumInfected();
+    }
+    metrics->GetCounter("tends.sim.infections").Add(infections);
+  }
+#endif
   return observations;
 }
 

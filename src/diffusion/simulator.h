@@ -9,6 +9,10 @@
 #include "diffusion/propagation.h"
 #include "graph/graph.h"
 
+namespace tends {
+class MetricsRegistry;
+}  // namespace tends
+
 namespace tends::diffusion {
 
 enum class DiffusionModel {
@@ -45,10 +49,15 @@ struct DiffusionObservations {
 /// Runs `config.num_processes` independent diffusion processes on `graph`
 /// with uniformly random source sets and records all observations.
 /// Deterministic given `rng` (each process gets a forked stream).
+///
+/// `metrics` (may be null) receives stage "simulate" plus counters
+/// `tends.sim.processes` / `tends.sim.infections` and histogram
+/// `tends.sim.cascade_size`; it never affects the simulated data.
 StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
                                          const EdgeProbabilities& probabilities,
                                          const SimulationConfig& config,
-                                         Rng& rng);
+                                         Rng& rng,
+                                         MetricsRegistry* metrics = nullptr);
 
 }  // namespace tends::diffusion
 

@@ -1,5 +1,6 @@
 #include "inference/correlation.h"
 
+#include "common/metrics.h"
 #include "diffusion/validation.h"
 #include "inference/imi.h"
 
@@ -12,10 +13,15 @@ StatusOr<InferredNetwork> CorrelationBaseline::Infer(
     return Status::InvalidArgument(
         "Correlation baseline requires a target edge count");
   }
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "correlation");
+  TENDS_TRACE_SPAN(metrics, "correlation_infer");
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
       observations.statuses, /*reject_degenerate_columns=*/false));
   const uint32_t n = observations.num_nodes();
   ImiMatrix imi(observations.statuses, options_.use_traditional_mi);
+  TENDS_METRIC_ADD(metrics, "tends.correlation.pairs",
+                   static_cast<uint64_t>(n) * (n - 1) / 2);
   // Per-node deadline check: rows already ranked stay in the output.
   StopChecker stop(context);
   InferredNetwork network(n);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/metrics.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -14,6 +15,9 @@ StatusOr<InferredNetwork> Lift::Infer(
     return Status::InvalidArgument(
         "LIFT requires the target edge count (the paper supplies the true m)");
   }
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "lift");
+  TENDS_TRACE_SPAN(metrics, "lift_infer");
   const auto& cascades = observations.cascades;
   const auto& statuses = observations.statuses;
   TENDS_RETURN_IF_ERROR(
@@ -57,6 +61,7 @@ StatusOr<InferredNetwork> Lift::Infer(
     }
   }
   network.KeepTopM(options_.num_edges);
+  TENDS_METRIC_ADD(metrics, "tends.lift.edges_scored", network.num_edges());
   return network;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -34,6 +35,9 @@ StatusOr<InferredNetwork> MulTree::Infer(
         "MulTree requires the target edge count (the paper supplies the "
         "true m)");
   }
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "multree");
+  TENDS_TRACE_SPAN(metrics, "multree_infer");
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
@@ -59,6 +63,9 @@ StatusOr<InferredNetwork> MulTree::Infer(
     }
   }
   if (edges.empty()) return InferredNetwork(n);
+  TENDS_METRIC_ADD(metrics, "tends.multree.candidate_edges", edges.size());
+  Counter* gains_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.multree.gain_evaluations");
 
   // explanation[c * n + v] = eps + sum of weights of selected edges (u, v)
   // with t_u < t_v in cascade c. The all-trees log-likelihood is
@@ -70,6 +77,7 @@ StatusOr<InferredNetwork> MulTree::Infer(
   // Marginal gain of adding edge e = (u, v):
   // sum over cascades where t_u < t_v of log(1 + w / explanation[c][v]).
   auto compute_gain = [&](const graph::Edge& e) {
+    TENDS_COUNTER_ADD(gains_counter, 1);
     double gain = 0.0;
     for (uint32_t c = 0; c < num_cascades; ++c) {
       const auto& time = cascades[c].infection_time;
@@ -115,6 +123,8 @@ StatusOr<InferredNetwork> MulTree::Infer(
     network.AddEdge(e.from, e.to, top.gain);
     ++round;
   }
+  TENDS_METRIC_ADD(metrics, "tends.multree.edges_selected",
+                   network.num_edges());
   return network;
 }
 

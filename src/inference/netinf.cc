@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -32,6 +33,9 @@ StatusOr<InferredNetwork> NetInf::Infer(
   if (options_.num_edges == 0) {
     return Status::InvalidArgument("NetInf requires the target edge count");
   }
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "netinf");
+  TENDS_TRACE_SPAN(metrics, "netinf_infer");
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
@@ -57,6 +61,9 @@ StatusOr<InferredNetwork> NetInf::Infer(
     }
   }
   if (edges.empty()) return InferredNetwork(n);
+  TENDS_METRIC_ADD(metrics, "tends.netinf.candidate_edges", edges.size());
+  Counter* gains_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.netinf.gain_evaluations");
 
   // explained[c * n + v]: whether node v already has a selected
   // time-respecting parent in cascade c. In the best-tree likelihood each
@@ -67,6 +74,7 @@ StatusOr<InferredNetwork> NetInf::Infer(
       std::log(options_.edge_weight / options_.epsilon);
 
   auto compute_gain = [&](const graph::Edge& e) {
+    TENDS_COUNTER_ADD(gains_counter, 1);
     uint32_t newly_explained = 0;
     for (uint32_t c = 0; c < num_cascades; ++c) {
       const auto& time = cascades[c].infection_time;
@@ -110,6 +118,8 @@ StatusOr<InferredNetwork> NetInf::Infer(
     network.AddEdge(e.from, e.to, top.gain);
     ++round;
   }
+  TENDS_METRIC_ADD(metrics, "tends.netinf.edges_selected",
+                   network.num_edges());
   return network;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
@@ -25,11 +26,18 @@ struct CascadeTerm {
 StatusOr<InferredNetwork> NetRate::Infer(
     const diffusion::DiffusionObservations& observations,
     const RunContext& context) {
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "netrate");
+  TENDS_TRACE_SPAN(metrics, "netrate_infer");
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
   const uint32_t n = observations.num_nodes();
   InferredNetwork network(n);
+  Counter* iterations_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.netrate.em_iterations");
+  Counter* nodes_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.netrate.nodes_solved");
 
   // Observation window per cascade: last infection time + 1.
   std::vector<double> window(cascades.size(), 1.0);
@@ -46,6 +54,7 @@ StatusOr<InferredNetwork> NetRate::Infer(
     // Per-node deadline check: skipped nodes contribute no edges, already
     // finished nodes stay in the output (graceful partial result).
     if (context.ShouldStop()) return;
+    TENDS_TRACE_SPAN(metrics, "netrate_node", static_cast<int64_t>(i));
     // Candidates: nodes infected strictly before i in some cascade where i
     // got infected (only those can carry positive rates at the optimum).
     std::vector<graph::NodeId> candidates;
@@ -101,10 +110,12 @@ StatusOr<InferredNetwork> NetRate::Infer(
     }
     std::vector<double> rate(k, options_.initial_rate);
     std::vector<double> responsibility(k);
+    uint32_t iterations_run = 0;
     for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
       // Per-iteration deadline check: every EM iterate is a valid rate
       // vector, so stopping here keeps the last finished iteration.
       if (context.ShouldStop()) break;
+      ++iterations_run;
       std::fill(responsibility.begin(), responsibility.end(), 0.0);
       for (const CascadeTerm& term : terms) {
         if (!term.node_infected) continue;
@@ -124,6 +135,8 @@ StatusOr<InferredNetwork> NetRate::Infer(
       if (max_change < options_.tolerance) break;
     }
 
+    TENDS_COUNTER_ADD(iterations_counter, iterations_run);
+    TENDS_COUNTER_ADD(nodes_counter, 1);
     for (uint32_t p = 0; p < k; ++p) {
       if (rate[p] >= options_.min_output_rate) {
         per_node_rates[i].emplace_back(candidates[p], rate[p]);
@@ -135,6 +148,8 @@ StatusOr<InferredNetwork> NetRate::Infer(
       network.AddEdge(parent, i, rate);
     }
   }
+  TENDS_METRIC_ADD(metrics, "tends.netrate.edges_inferred",
+                   network.num_edges());
   return network;
 }
 

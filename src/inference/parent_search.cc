@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "inference/counting.h"
 #include "inference/local_score.h"
 
@@ -75,7 +76,19 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                const std::vector<graph::NodeId>& candidates,
                                const ParentSearchOptions& options,
                                const RunContext& context) {
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "parent_search", static_cast<int64_t>(child));
   ParentSearchResult result;
+  // Published on every exit path (all three returns go through `done`).
+  auto done = [&](const ParentSearchResult& r) {
+    TENDS_METRIC_ADD(metrics, "tends.parent_search.calls", 1);
+    TENDS_METRIC_ADD(metrics, "tends.parent_search.score_evaluations",
+                     r.score_evaluations);
+    TENDS_METRIC_ADD(metrics, "tends.parent_search.combinations",
+                     r.combinations_considered);
+    TENDS_METRIC_RECORD(metrics, "tends.parent_search.parents",
+                        r.parents.size());
+  };
   const uint32_t beta = statuses.num_processes();
   const uint32_t n2 = statuses.InfectionCount(child);  // X_i = 1
   const uint32_t n1 = beta - n2;                       // X_i = 0
@@ -84,7 +97,10 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   result.score = options.use_penalty
                      ? result.empty_score
                      : LogLikelihood(CountJoint(statuses, child, {}));
-  if (candidates.empty()) return result;
+  if (candidates.empty()) {
+    done(result);
+    return result;
+  }
 
   // Poll the deadline/cancellation between score evaluations (throttled so
   // the unconstrained fast path never reads the clock).
@@ -107,6 +123,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   result.combinations_considered = combos.size();
   if (combos.empty()) {
     result.stopped = stop.ShouldStopNow();
+    done(result);
     return result;
   }
 
@@ -179,6 +196,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
 
   result.parents = std::move(parents);
   result.stopped = stop.ShouldStopNow();
+  done(result);
   return result;
 }
 

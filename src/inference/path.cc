@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "diffusion/cascade.h"
 
 namespace tends::inference {
@@ -32,10 +33,14 @@ StatusOr<InferredNetwork> Path::Infer(
         "II-B of the paper)");
   }
   const uint32_t n = observations.num_nodes();
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_METRICS_STAGE(metrics, "path");
+  TENDS_TRACE_SPAN(metrics, "path_infer");
 
   // Count pair co-occurrences over the unordered path-connected sets.
   std::vector<std::vector<graph::NodeId>> traces =
       diffusion::ExtractPathTraces(cascades, options_.trace_length);
+  TENDS_METRIC_ADD(metrics, "tends.path.traces", traces.size());
   // An already-expired context skips the scan entirely; mid-scan expiry
   // keeps the counts gathered so far, which still rank the pairs.
   StopChecker stop(context);

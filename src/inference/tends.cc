@@ -2,12 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "diffusion/validation.h"
 #include "inference/local_score.h"
 
 namespace tends::inference {
+
+std::string TendsDiagnostics::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KeyValue("tau", tau);
+  writer.KeyValue("kmeans_iterations", static_cast<uint64_t>(kmeans_iterations));
+  writer.KeyValue("mean_candidates", mean_candidates);
+  writer.KeyValue("max_candidates_seen",
+                  static_cast<uint64_t>(max_candidates_seen));
+  writer.KeyValue("clipped_nodes", static_cast<uint64_t>(clipped_nodes));
+  writer.KeyValue("total_score_evaluations", total_score_evaluations);
+  writer.KeyValue("network_score", network_score);
+  writer.KeyValue("deadline_expired", deadline_expired);
+  writer.KeyValue("nodes_completed", static_cast<uint64_t>(nodes_completed));
+  writer.EndObject();
+  return writer.TakeString();
+}
 
 StatusOr<InferredNetwork> Tends::Infer(
     const diffusion::DiffusionObservations& observations,
@@ -18,6 +38,8 @@ StatusOr<InferredNetwork> Tends::Infer(
 StatusOr<InferredNetwork> Tends::InferFromStatuses(
     const diffusion::StatusMatrix& statuses, const RunContext& context) {
   const uint32_t n = statuses.num_nodes();
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "tends_infer");
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
       statuses, options_.reject_degenerate_columns));
   if (options_.tau_multiplier <= 0.0) {
@@ -27,27 +49,54 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     return Status::InvalidArgument("max_candidates must be > 0");
   }
   diagnostics_ = TendsDiagnostics();
+#if TENDS_METRICS_ENABLED
+  if (metrics != nullptr) {
+    metrics->GetGauge("tends.tends.nodes_total").Set(n);
+    metrics->GetGauge("tends.tends.processes").Set(statuses.num_processes());
+  }
+#endif
 
   // Deadline already blown before any work: the best-so-far topology is the
   // empty network over n nodes (valid, never a hang or an error).
   if (context.ShouldStop()) {
     diagnostics_.deadline_expired = true;
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
     return InferredNetwork(n);
   }
 
   // Lines 2-4: pairwise infection-MI values.
-  ImiMatrix imi(statuses, options_.use_traditional_mi);
+  std::optional<ImiMatrix> imi_storage;
+  {
+    TENDS_METRICS_STAGE(metrics, "imi");
+    TENDS_TRACE_SPAN(metrics, "imi");
+    imi_storage.emplace(statuses, options_.use_traditional_mi);
+  }
+  const ImiMatrix& imi = *imi_storage;
+  TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
+                   static_cast<uint64_t>(n) * (n - 1) / 2);
 
   // Line 5: threshold tau via the modified K-means on non-negative values.
   double tau = 0.0;
   if (options_.tau_override.has_value()) {
     tau = *options_.tau_override;
   } else {
+    TENDS_METRICS_STAGE(metrics, "kmeans");
+    TENDS_TRACE_SPAN(metrics, "kmeans");
     ImiThreshold threshold = FindImiThreshold(imi.UpperTriangleValues());
     diagnostics_.kmeans_iterations = threshold.iterations;
     tau = threshold.tau * options_.tau_multiplier;
+    TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);
   }
   diagnostics_.tau = tau;
+
+  // Live progress counters, resolved once and bumped from the workers (the
+  // same counters drive `tends_cli infer --progress` and the manifest).
+  Counter* nodes_done_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.nodes_completed");
+  Counter* evals_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.score_evaluations");
+  Counter* clipped_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.clipped_nodes");
 
   // Per-node subproblems are independent; run them (optionally) in
   // parallel and assemble results in node order so the output is
@@ -67,37 +116,54 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
       return;
     }
     // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
-    std::vector<std::pair<double, graph::NodeId>> ranked;
-    for (uint32_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      double value = imi.Get(i, j);
-      if (options_.enable_pruning ? value > tau : true) {
-        ranked.emplace_back(value, j);
-      }
-    }
-    if (ranked.size() > options_.max_candidates) {
-      clipped[i] = 1;
-      std::partial_sort(ranked.begin(), ranked.begin() + options_.max_candidates,
-                        ranked.end(), [](const auto& a, const auto& b) {
-                          if (a.first != b.first) return a.first > b.first;
-                          return a.second < b.second;
-                        });
-      ranked.resize(options_.max_candidates);
-    }
+    // (Per-node stage times accumulate across workers, so with
+    // num_threads > 1 a stage's wall_ns can exceed the run's wall-clock;
+    // it is the aggregate cost of the stage, CPU-time style.)
     std::vector<graph::NodeId> candidates;
-    candidates.reserve(ranked.size());
-    // Deterministic processing order: by node id.
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto& a, const auto& b) { return a.second < b.second; });
-    for (const auto& [value, j] : ranked) candidates.push_back(j);
-    candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+    {
+      TENDS_METRICS_STAGE(metrics, "pruning");
+      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
+      std::vector<std::pair<double, graph::NodeId>> ranked;
+      for (uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double value = imi.Get(i, j);
+        if (options_.enable_pruning ? value > tau : true) {
+          ranked.emplace_back(value, j);
+        }
+      }
+      if (ranked.size() > options_.max_candidates) {
+        clipped[i] = 1;
+        TENDS_COUNTER_ADD(clipped_counter, 1);
+        std::partial_sort(ranked.begin(),
+                          ranked.begin() + options_.max_candidates,
+                          ranked.end(), [](const auto& a, const auto& b) {
+                            if (a.first != b.first) return a.first > b.first;
+                            return a.second < b.second;
+                          });
+        ranked.resize(options_.max_candidates);
+      }
+      candidates.reserve(ranked.size());
+      // Deterministic processing order: by node id.
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      for (const auto& [value, j] : ranked) candidates.push_back(j);
+      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
+                          candidates.size());
+    }
 
     // Lines 13-20: greedy parent-set search.
-    results[i] = FindParents(statuses, i, candidates, options_.search, context);
+    {
+      TENDS_METRICS_STAGE(metrics, "parent_search");
+      results[i] = FindParents(statuses, i, candidates, options_.search,
+                               context);
+    }
+    TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
     if (results[i].stopped) {
       expired.store(true, std::memory_order_relaxed);
     } else {
       completed[i] = 1;
+      TENDS_COUNTER_ADD(nodes_done_counter, 1);
     }
   });
 
@@ -119,6 +185,10 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   }
   diagnostics_.mean_candidates = static_cast<double>(total_candidates) / n;
   diagnostics_.deadline_expired = expired.load(std::memory_order_relaxed);
+  if (diagnostics_.deadline_expired) {
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
+  }
+  TENDS_METRIC_ADD(metrics, "tends.tends.edges_inferred", network.num_edges());
   return network;
 }
 

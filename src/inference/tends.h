@@ -60,6 +60,10 @@ struct TendsDiagnostics {
   /// Nodes whose parent search ran to completion. Equals num_nodes on an
   /// uninterrupted run.
   uint32_t nodes_completed = 0;
+
+  /// Compact single-object JSON rendering of every field (stable key
+  /// names), for `tends_cli infer --verbose` and machine consumers.
+  std::string ToJson() const;
 };
 
 /// TENDS: reconstructs a diffusion network topology from final infection

@@ -7,12 +7,13 @@ namespace tends::metrics {
 StatusOr<AlgorithmEvaluation> RunAndEvaluate(
     inference::NetworkInference& algorithm,
     const diffusion::DiffusionObservations& observations,
-    const graph::DirectedGraph& truth, bool sweep_threshold) {
+    const graph::DirectedGraph& truth, bool sweep_threshold,
+    const RunContext& context) {
   AlgorithmEvaluation evaluation;
   evaluation.algorithm = std::string(algorithm.name());
   Timer timer;
   StatusOr<inference::InferredNetwork> inferred =
-      algorithm.Infer(observations);
+      algorithm.Infer(observations, context);
   evaluation.seconds = timer.ElapsedSeconds();
   if (!inferred.ok()) return inferred.status();
   evaluation.inferred_edges = inferred->num_edges();

@@ -22,11 +22,14 @@ struct AlgorithmEvaluation {
 /// Runs `algorithm` on `observations`, times it, and scores it against
 /// `truth`. When `sweep_threshold` is set, the F-score is the best over all
 /// weight thresholds (the paper's NetRate treatment); otherwise the full
-/// inferred edge set is scored.
+/// inferred edge set is scored. `context` (deadline, cancellation, metrics
+/// sink) is forwarded to the algorithm; the default is unconstrained and
+/// unmetered.
 StatusOr<AlgorithmEvaluation> RunAndEvaluate(
     inference::NetworkInference& algorithm,
     const diffusion::DiffusionObservations& observations,
-    const graph::DirectedGraph& truth, bool sweep_threshold = false);
+    const graph::DirectedGraph& truth, bool sweep_threshold = false,
+    const RunContext& context = RunContext());
 
 }  // namespace tends::metrics
 

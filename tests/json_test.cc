@@ -1,0 +1,173 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tends {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_TRUE(w.balanced());
+  EXPECT_EQ(w.str(), "{}");
+
+  JsonWriter a;
+  a.BeginArray();
+  a.EndArray();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("name", "tends");
+  w.KeyValue("nodes", static_cast<uint64_t>(42));
+  w.KeyValue("offset", static_cast<int64_t>(-7));
+  w.KeyValue("ratio", 0.5);
+  w.KeyValue("ok", true);
+  w.Key("missing");
+  w.Null();
+  w.EndObject();
+  EXPECT_TRUE(w.balanced());
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"tends\",\"nodes\":42,\"offset\":-7,\"ratio\":0.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+// A string literal must render as a JSON string, not a bool (const char* ->
+// bool is a standard conversion and would otherwise win overload
+// resolution).
+TEST(JsonWriterTest, StringLiteralIsNotBool) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("schema", "tends.metrics.v1");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"schema\":\"tends.metrics.v1\"}");
+}
+
+TEST(JsonWriterTest, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Int(2);
+  w.Int(3);
+  w.EndArray();
+  w.EndObject();
+  w.String("x");
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1,{\"a\":[2,3]},\"x\"]");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("s", "a\"b\\c\n\t\x01");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(1.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  auto v = ParseJson("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), JsonValue::Type::kNumber);
+  EXPECT_EQ(v->int_value(), 42);
+
+  v = ParseJson("\"hi\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "hi");
+
+  v = ParseJson("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->bool_value());
+
+  v = ParseJson(" null ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = ParseJson("-2.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number_value(), -250.0);
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_EQ(a->array()[1].int_value(), 2);
+  const JsonValue* e = v->FindPath({"d", "e"});
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->bool_value());
+  EXPECT_EQ(v->FindPath({"d", "zzz"}), nullptr);
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  auto v = ParseJson("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBackIdentically) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KeyValue("tool", "round trip \"quoted\"\n");
+  w.KeyValue("count", static_cast<uint64_t>(123456789));
+  w.KeyValue("ratio", 0.25);
+  w.Key("list");
+  w.BeginArray();
+  for (int i = 0; i < 5; ++i) w.Int(i * i);
+  w.EndArray();
+  w.EndObject();
+
+  auto v = ParseJson(w.str());
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Find("tool")->string_value(), "round trip \"quoted\"\n");
+  EXPECT_EQ(v->Find("count")->int_value(), 123456789);
+  EXPECT_DOUBLE_EQ(v->Find("ratio")->number_value(), 0.25);
+  const auto& list = v->Find("list")->array();
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[4].int_value(), 16);
+}
+
+}  // namespace
+}  // namespace tends

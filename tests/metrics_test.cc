@@ -1,0 +1,265 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace tends {
+namespace {
+
+TEST(MetricNameTest, ValidatesScheme) {
+  EXPECT_TRUE(IsValidMetricName("tends.imi.pairs"));
+  EXPECT_TRUE(IsValidMetricName("tends.parent_search.score_evaluations"));
+  EXPECT_TRUE(IsValidMetricName("tends.io.corruption.bad_token"));
+
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("tends"));
+  EXPECT_FALSE(IsValidMetricName("tends.pairs"));          // two segments
+  EXPECT_FALSE(IsValidMetricName("other.imi.pairs"));      // wrong prefix
+  EXPECT_FALSE(IsValidMetricName("tends.Imi.pairs"));      // uppercase
+  EXPECT_FALSE(IsValidMetricName("tends.imi.pairs "));     // space
+  EXPECT_FALSE(IsValidMetricName("tends..pairs"));         // empty segment
+  EXPECT_FALSE(IsValidMetricName("tends.io.bad-token"));   // hyphen
+  EXPECT_FALSE(IsValidMetricName(".tends.imi.pairs"));
+  EXPECT_FALSE(IsValidMetricName("tends.imi.pairs."));
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("tends.test.concurrent_adds");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("tends.test.shared");
+  Counter& b = registry.GetCounter("tends.test.shared");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(registry.CounterValue("tends.test.shared"), 3u);
+  EXPECT_EQ(registry.CounterValue("tends.test.never_registered"), 0u);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationYieldsOneMetricPerName) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("tends.test.race").Increment();
+        registry.GetHistogram("tends.test.race_hist").Record(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("tends.test.race"), 8000u);
+  EXPECT_EQ(registry.GetHistogram("tends.test.race_hist").count(), 8000u);
+}
+
+TEST(HistogramTest, BucketIndexIsLogScale) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+}
+
+TEST(HistogramTest, SummaryQuantilesAreBucketUpperBounds) {
+  Histogram histogram;
+  // 90 small values and 10 large ones: p50 lands in the small bucket,
+  // p99 in the large one.
+  for (int i = 0; i < 90; ++i) histogram.Record(3);
+  for (int i = 0; i < 10; ++i) histogram.Record(1000);
+  Histogram::Summary summary = histogram.Summarize();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.sum, 90u * 3 + 10u * 1000);
+  EXPECT_EQ(summary.p50, 3u);     // bucket [2,3]
+  EXPECT_EQ(summary.p90, 3u);
+  EXPECT_EQ(summary.p99, 1023u);  // bucket [512,1023]
+  EXPECT_EQ(summary.max, 1023u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepTotals) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t * 31 + i % 97));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    bucket_total += histogram.bucket(b);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+TEST(StageTest, ScopedStageAccumulatesAndOrdersByFirstUse) {
+  MetricsRegistry registry;
+  { ScopedStage stage(&registry, "alpha"); }
+  { ScopedStage stage(&registry, "beta"); }
+  { ScopedStage stage(&registry, "alpha"); }
+  std::vector<StageTime> stages = registry.StageTimes();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "alpha");
+  EXPECT_EQ(stages[0].count, 2u);
+  EXPECT_EQ(stages[1].name, "beta");
+  EXPECT_EQ(stages[1].count, 1u);
+  // Null registry: the disabled path must be inert.
+  { ScopedStage stage(nullptr, "gamma"); }
+  EXPECT_EQ(registry.StageWallNs("gamma"), 0u);
+}
+
+TEST(MacroTest, MacrosTolerateNullRegistry) {
+  MetricsRegistry* registry = nullptr;
+  Counter* counter = TENDS_METRIC_COUNTER(registry, "tends.test.null_reg");
+  TENDS_COUNTER_ADD(counter, 5);
+  TENDS_METRIC_ADD(registry, "tends.test.null_reg", 1);
+  TENDS_METRIC_RECORD(registry, "tends.test.null_hist", 1);
+  TENDS_METRICS_STAGE(registry, "null_stage");
+  TENDS_TRACE_SPAN(registry, "null_span");
+#if TENDS_METRICS_ENABLED
+  EXPECT_EQ(counter, nullptr);
+#endif
+}
+
+TEST(MacroTest, MacrosRecordIntoRegistry) {
+  MetricsRegistry registry;
+  MetricsRegistry* metrics = &registry;
+  Counter* counter = TENDS_METRIC_COUNTER(metrics, "tends.test.macro_add");
+  TENDS_COUNTER_ADD(counter, 2);
+  TENDS_METRIC_ADD(metrics, "tends.test.macro_add", 3);
+  TENDS_METRIC_RECORD(metrics, "tends.test.macro_hist", 7);
+  {
+    TENDS_METRICS_STAGE(metrics, "macro_stage");
+    TENDS_TRACE_SPAN(metrics, "macro_span", 11);
+  }
+#if TENDS_METRICS_ENABLED
+  EXPECT_EQ(registry.CounterValue("tends.test.macro_add"), 5u);
+  EXPECT_EQ(registry.GetHistogram("tends.test.macro_hist").count(), 1u);
+  EXPECT_EQ(registry.StageTimes().size(), 1u);
+  std::vector<TraceSpan> spans = registry.tracer().Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "macro_span");
+  EXPECT_EQ(spans[0].detail, 11);
+#endif
+}
+
+TEST(ManifestTest, JsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  MetricsRegistry* metrics = &registry;
+  registry.GetCounter("tends.test.events").Add(42);
+  registry.GetGauge("tends.test.level").Set(-3);
+  registry.GetHistogram("tends.test.sizes").Record(10);
+  { ScopedStage stage(&registry, "imi"); }
+  { TENDS_TRACE_SPAN(metrics, "imi"); }
+
+  RunManifest manifest;
+  manifest.tool = "metrics_test";
+  manifest.config = {{"alpha", "0.15"}, {"graph", "toy.txt"}};
+  manifest.wall_seconds = 1.25;
+
+  std::string json = MetricsManifestJson(manifest, registry);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << json;
+
+  EXPECT_EQ(parsed->Find("schema")->string_value(), "tends.metrics.v1");
+  EXPECT_EQ(parsed->Find("tool")->string_value(), "metrics_test");
+  EXPECT_EQ(parsed->Find("git")->string_value(), BuildGitDescribe());
+  EXPECT_DOUBLE_EQ(parsed->Find("wall_seconds")->number_value(), 1.25);
+  EXPECT_EQ(parsed->FindPath({"config", "alpha"})->string_value(), "0.15");
+  EXPECT_EQ(parsed->FindPath({"metrics", "counters", "tends.test.events"})
+                ->int_value(),
+            42);
+  EXPECT_EQ(
+      parsed->FindPath({"metrics", "gauges", "tends.test.level"})->int_value(),
+      -3);
+  EXPECT_EQ(parsed
+                ->FindPath(
+                    {"metrics", "histograms", "tends.test.sizes", "count"})
+                ->int_value(),
+            1);
+  ASSERT_NE(parsed->FindPath({"metrics", "stages", "imi"}), nullptr);
+#if TENDS_METRICS_ENABLED
+  EXPECT_EQ(parsed->FindPath({"metrics", "spans", "imi", "count"})->int_value(),
+            1);
+#endif
+  const bool enabled = TENDS_METRICS_ENABLED != 0;
+  EXPECT_EQ(parsed->Find("metrics_enabled")->bool_value(), enabled);
+}
+
+TEST(ManifestTest, WriteMetricsManifestCreatesParsableFile) {
+  MetricsRegistry registry;
+  registry.GetCounter("tends.test.file_events").Add(7);
+  RunManifest manifest;
+  manifest.tool = "metrics_test";
+
+  std::string path =
+      testing::TempDir() + "/tends_metrics_manifest_test.json";
+  ASSERT_TRUE(WriteMetricsManifest(manifest, registry, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(
+      parsed->FindPath({"metrics", "counters", "tends.test.file_events"})
+          ->int_value(),
+      7);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(WriteMetricsManifest(manifest, registry,
+                                    "/nonexistent_dir_xyz/m.json")
+                   .ok());
+}
+
+TEST(ProgressReporterTest, EmitsAndStopsCleanly) {
+  MetricsRegistry registry;
+  registry.GetCounter("tends.test.progress").Add(1);
+  int calls = 0;
+  {
+    ProgressReporter reporter(
+        &registry, std::chrono::milliseconds(5),
+        [&calls](const MetricsRegistry& r) {
+          ++calls;
+          return "test progress " +
+                 std::to_string(r.CounterValue("tends.test.progress"));
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    reporter.Stop();
+    reporter.Stop();  // idempotent
+  }
+  EXPECT_GE(calls, 1);
+}
+
+}  // namespace
+}  // namespace tends

@@ -1,0 +1,190 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/io_hardening.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/run_context.h"
+#include "diffusion/io.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/tends.h"
+
+namespace tends {
+namespace {
+
+// End-to-end: simulate -> TENDS with a registry attached, then check that
+// the manifest's counters and stages agree with the algorithm's own
+// diagnostics. This is the contract `tends_cli infer --metrics_out` relies
+// on.
+TEST(ObservabilityPipelineTest, ManifestMatchesTendsDiagnostics) {
+  Rng rng(7);
+  auto graph = graph::GenerateErdosRenyiM(30, 80, rng);
+  ASSERT_TRUE(graph.ok());
+  auto probabilities =
+      diffusion::EdgeProbabilities::Gaussian(*graph, 0.4, 0.05, rng);
+
+  MetricsRegistry registry;
+  diffusion::SimulationConfig sim_config;
+  sim_config.num_processes = 120;
+  auto observations = diffusion::Simulate(*graph, probabilities, sim_config,
+                                          rng, &registry);
+  ASSERT_TRUE(observations.ok());
+
+  RunContext context;
+  context.metrics = &registry;
+  inference::TendsOptions options;
+  options.reject_degenerate_columns = false;
+  inference::Tends tends(options);
+  auto network = tends.InferFromStatuses(observations->statuses, context);
+  ASSERT_TRUE(network.ok());
+  const inference::TendsDiagnostics& diagnostics = tends.diagnostics();
+  EXPECT_EQ(diagnostics.nodes_completed, 30u);
+
+#if TENDS_METRICS_ENABLED
+  // Counters mirror the diagnostics exactly.
+  EXPECT_EQ(registry.CounterValue("tends.tends.nodes_completed"),
+            diagnostics.nodes_completed);
+  EXPECT_EQ(registry.CounterValue("tends.tends.score_evaluations"),
+            diagnostics.total_score_evaluations);
+  EXPECT_EQ(registry.CounterValue("tends.tends.clipped_nodes"),
+            diagnostics.clipped_nodes);
+  EXPECT_EQ(registry.CounterValue("tends.kmeans.iterations"),
+            diagnostics.kmeans_iterations);
+  // The per-call parent-search counters aggregate to the same totals.
+  EXPECT_EQ(registry.CounterValue("tends.parent_search.calls"), 30u);
+  EXPECT_EQ(registry.CounterValue("tends.parent_search.score_evaluations"),
+            diagnostics.total_score_evaluations);
+  // Simulator counters.
+  EXPECT_EQ(registry.CounterValue("tends.sim.processes"), 120u);
+  EXPECT_EQ(registry.GetHistogram("tends.sim.cascade_size").count(), 120u);
+
+  // All four pipeline stages (plus the simulator's) were timed.
+  EXPECT_GT(registry.StageWallNs("simulate"), 0u);
+  EXPECT_GT(registry.StageWallNs("imi"), 0u);
+  EXPECT_GT(registry.StageWallNs("kmeans"), 0u);
+  EXPECT_GT(registry.StageWallNs("pruning"), 0u);
+  EXPECT_GT(registry.StageWallNs("parent_search"), 0u);
+#endif
+
+  // The rendered manifest carries the same numbers through JSON.
+  RunManifest run_manifest;
+  run_manifest.tool = "observability_test";
+  std::string json = MetricsManifestJson(run_manifest, registry);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+#if TENDS_METRICS_ENABLED
+  const JsonValue* completed = parsed->FindPath(
+      {"metrics", "counters", "tends.tends.nodes_completed"});
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->int_value(),
+            static_cast<int64_t>(diagnostics.nodes_completed));
+  const JsonValue* evaluations = parsed->FindPath(
+      {"metrics", "counters", "tends.tends.score_evaluations"});
+  ASSERT_NE(evaluations, nullptr);
+  EXPECT_EQ(evaluations->int_value(),
+            static_cast<int64_t>(diagnostics.total_score_evaluations));
+  for (const char* stage : {"imi", "kmeans", "pruning", "parent_search"}) {
+    EXPECT_NE(parsed->FindPath({"metrics", "stages", stage}), nullptr)
+        << stage;
+  }
+#endif
+}
+
+// Identical input must produce an identical topology with and without a
+// registry attached: observability must never perturb the algorithm.
+TEST(ObservabilityPipelineTest, MetricsDoNotChangeTheResult) {
+  Rng rng(11);
+  auto graph = graph::GenerateErdosRenyiM(25, 60, rng);
+  ASSERT_TRUE(graph.ok());
+  auto probabilities =
+      diffusion::EdgeProbabilities::Gaussian(*graph, 0.4, 0.05, rng);
+  diffusion::SimulationConfig sim_config;
+  sim_config.num_processes = 100;
+  Rng sim_rng_a(99);
+  Rng sim_rng_b(99);
+  auto plain = diffusion::Simulate(*graph, probabilities, sim_config,
+                                   sim_rng_a);
+  MetricsRegistry registry;
+  auto metered = diffusion::Simulate(*graph, probabilities, sim_config,
+                                     sim_rng_b, &registry);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(metered.ok());
+
+  inference::TendsOptions options;
+  options.reject_degenerate_columns = false;
+  inference::Tends tends_plain(options);
+  inference::Tends tends_metered(options);
+  RunContext context;
+  context.metrics = &registry;
+  auto network_plain = tends_plain.InferFromStatuses(plain->statuses);
+  auto network_metered =
+      tends_metered.InferFromStatuses(metered->statuses, context);
+  ASSERT_TRUE(network_plain.ok());
+  ASSERT_TRUE(network_metered.ok());
+  EXPECT_EQ(network_plain->DebugString(), network_metered->DebugString());
+  EXPECT_EQ(tends_plain.diagnostics().total_score_evaluations,
+            tends_metered.diagnostics().total_score_evaluations);
+}
+
+// Reader corruption tallies flow into the manifest counter namespace, and
+// every kind is registered even at zero so the section is always present.
+TEST(ObservabilityPipelineTest, CorruptionReportExportsAllKinds) {
+  CorruptionReport report;
+  report.Record(CorruptionKind::kBadToken, 3, "x12 is not a status");
+  report.Record(CorruptionKind::kBadToken, 9, "zz");
+  report.Record(CorruptionKind::kTruncation, 0, "stream ended early");
+  report.AddSkippedRecord();
+
+  MetricsRegistry registry;
+  report.ExportTo(&registry);
+  EXPECT_EQ(registry.CounterValue("tends.io.corruption_events"), 3u);
+  EXPECT_EQ(registry.CounterValue("tends.io.skipped_records"), 1u);
+  EXPECT_EQ(registry.CounterValue("tends.io.corruption.bad_token"), 2u);
+  EXPECT_EQ(registry.CounterValue("tends.io.corruption.truncation"), 1u);
+
+  // Zero-valued kinds are registered too (visible in snapshots).
+  bool found_wrong_width = false;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    if (name == "tends.io.corruption.wrong_width") {
+      found_wrong_width = true;
+      EXPECT_EQ(value, 0u);
+    }
+  }
+  EXPECT_TRUE(found_wrong_width);
+
+  // Null registry: no-op.
+  report.ExportTo(nullptr);
+}
+
+// A permissive read of corrupt data feeds the same counters end-to-end.
+TEST(ObservabilityPipelineTest, PermissiveReadCountsReachManifest) {
+  std::istringstream input(
+      "# tends-statuses v1\n"
+      "processes 3 nodes 4\n"
+      "0 1 0 1\n"
+      "0 x 0 1\n"
+      "1 1 1 0\n");
+  CorruptionReport report;
+  auto statuses = diffusion::ReadStatusMatrix(
+      input, {.mode = IoMode::kPermissive}, &report);
+  ASSERT_TRUE(statuses.ok());
+  EXPECT_GT(report.total(), 0u);
+
+  MetricsRegistry registry;
+  report.ExportTo(&registry);
+  RunManifest manifest;
+  manifest.tool = "observability_test";
+  auto parsed = ParseJson(MetricsManifestJson(manifest, registry));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* events =
+      parsed->FindPath({"metrics", "counters", "tends.io.corruption_events"});
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->int_value(), static_cast<int64_t>(report.total()));
+}
+
+}  // namespace
+}  // namespace tends

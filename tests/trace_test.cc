@@ -1,0 +1,142 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tends {
+namespace {
+
+TEST(TracerTest, RecordsSpansInStartOrder) {
+  Tracer tracer;
+  tracer.Record("b", -1, 0, 200, 10);
+  tracer.Record("a", -1, 0, 100, 10);
+  tracer.Record("c", -1, 0, 300, 10);
+  std::vector<TraceSpan> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_STREQ(spans[1].name, "b");
+  EXPECT_STREQ(spans[2].name, "c");
+  // Drain moves the spans out.
+  EXPECT_TRUE(tracer.Drain().empty());
+}
+
+TEST(TracerTest, ScopedSpanNestingTracksDepth) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    {
+      ScopedSpan inner(&tracer, "inner", 7);
+      { ScopedSpan innermost(&tracer, "innermost"); }
+    }
+    { ScopedSpan sibling(&tracer, "sibling"); }
+  }
+  std::vector<TraceSpan> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 4u);
+  // Inner spans close (and record) before outer ones, but Drain orders by
+  // start time: outer, inner, innermost, sibling.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[1].detail, 7);
+  EXPECT_STREQ(spans[2].name, "innermost");
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_STREQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].depth, 1u);
+  // Containment: children start no earlier and end no later than parents.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].duration_ns,
+            spans[0].start_ns + spans[0].duration_ns);
+}
+
+TEST(TracerTest, NullTracerIsDisabled) {
+  // Must not crash or allocate; depth bookkeeping must stay balanced.
+  { ScopedSpan span(nullptr, "ignored"); }
+  Tracer tracer;
+  { ScopedSpan span(&tracer, "real"); }
+  std::vector<TraceSpan> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST(TracerTest, ThreadsGetDistinctIndices) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(&tracer, "work", i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.num_threads(), static_cast<uint32_t>(kThreads));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::vector<TraceSpan> spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::vector<int> per_thread(kThreads, 0);
+  for (const TraceSpan& span : spans) {
+    ASSERT_LT(span.thread_index, static_cast<uint32_t>(kThreads));
+    ++per_thread[span.thread_index];
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], kSpansPerThread);
+  }
+}
+
+TEST(TracerTest, SummariesAggregateByName) {
+  Tracer tracer;
+  tracer.Record("x", -1, 0, 0, 10);
+  tracer.Record("y", -1, 0, 5, 20);
+  tracer.Record("x", -1, 0, 30, 30);
+  std::vector<TraceSummary> summaries = tracer.Summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  auto find = [&](const char* name) -> const TraceSummary* {
+    for (const auto& s : summaries) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  const TraceSummary* x = find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->count, 2u);
+  EXPECT_EQ(x->total_ns, 40u);
+  const TraceSummary* y = find("y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->count, 1u);
+  EXPECT_EQ(y->total_ns, 20u);
+  // Summaries does not drain.
+  EXPECT_EQ(tracer.Drain().size(), 3u);
+}
+
+TEST(TracerTest, PerThreadCapCountsDropsInsteadOfGrowing) {
+  Tracer tracer;
+  const size_t extra = 100;
+  for (size_t i = 0; i < Tracer::kMaxSpansPerThread + extra; ++i) {
+    tracer.Record("flood", -1, 0, static_cast<int64_t>(i), 1);
+  }
+  EXPECT_EQ(tracer.dropped(), extra);
+  EXPECT_EQ(tracer.Drain().size(), Tracer::kMaxSpansPerThread);
+}
+
+TEST(TracerTest, TwoTracersOnOneThreadDoNotAlias) {
+  Tracer first;
+  first.Record("a", -1, 0, 0, 1);
+  Tracer second;
+  second.Record("b", -1, 0, 0, 1);
+  first.Record("a2", -1, 0, 5, 1);
+  std::vector<TraceSpan> first_spans = first.Drain();
+  std::vector<TraceSpan> second_spans = second.Drain();
+  ASSERT_EQ(first_spans.size(), 2u);
+  ASSERT_EQ(second_spans.size(), 1u);
+  EXPECT_STREQ(second_spans[0].name, "b");
+}
+
+}  // namespace
+}  // namespace tends

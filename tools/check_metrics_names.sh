@@ -1,0 +1,56 @@
+#!/bin/sh
+# Lints every metric-name string literal in the source tree against the
+# naming scheme enforced at runtime by IsValidMetricName():
+#
+#   tends.<module>.<name>[.<subname>...]
+#
+# i.e. at least three dot-separated segments, each [a-z0-9_]+, first
+# segment exactly "tends". The lint catches misspelled names at review
+# time instead of at runtime (an invalid name would silently register a
+# metric nobody aggregates).
+#
+# Usage: check_metrics_names.sh [source_root]
+# Exits non-zero and prints offenders if any literal fails the scheme.
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+
+# Every string literal starting with "tends." that is the name argument of
+# a registry/macro call site. We scan both src/ and tools/; tests may use
+# deliberately-invalid names to test the validator, so they are excluded.
+candidates=$(grep -rhoE \
+    '(GetCounter|GetGauge|GetHistogram|CounterValue|TENDS_METRIC_COUNTER|TENDS_METRIC_ADD|TENDS_METRIC_RECORD)\([^)]*"tends\.[^"]*"' \
+    "$root/src" "$root/tools" --include='*.cc' --include='*.h' \
+  | grep -oE '"tends\.[^"]*"' | tr -d '"' | sort -u)
+
+bad=0
+for name in $candidates; do
+  case "$name" in
+    tends.*.*)
+      if ! printf '%s\n' "$name" | grep -qE '^tends(\.[a-z0-9_]+){2,}$'; then
+        echo "BAD METRIC NAME: $name (segments must be [a-z0-9_]+)" >&2
+        bad=1
+      fi
+      ;;
+    *)
+      echo "BAD METRIC NAME: $name (need tends.<module>.<name>)" >&2
+      bad=1
+      ;;
+  esac
+done
+
+# Names assembled at runtime (e.g. "tends.io.corruption." + kind) end with
+# a dot in the source literal; the runtime validator covers those. Nothing
+# to do here, but make sure the scan found the instrumentation at all: an
+# empty candidate set means the grep went stale and the lint is vacuous.
+count=$(printf '%s\n' "$candidates" | grep -c . || true)
+if [ "$count" -lt 10 ]; then
+  echo "LINT STALE: only $count metric literals found; expected >= 10" >&2
+  exit 2
+fi
+
+if [ "$bad" -ne 0 ]; then
+  exit 1
+fi
+echo "OK: $count metric name literals conform to tends.<module>.<name>"
+exit 0

@@ -9,14 +9,17 @@
 //
 // Run any subcommand with --help for its flags.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "benchlib/experiment.h"
 #include "common/flags.h"
 #include "common/io_hardening.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/run_context.h"
 #include "common/stringutil.h"
@@ -54,6 +57,22 @@ int FailWith(const Status& status) {
   }
   std::cerr << "error: " << status << "\n";
   return 1;
+}
+
+/// Shared --metrics_out handling: fills the manifest wall-clock from
+/// `started` and writes the JSON file (a failure to write the manifest
+/// fails the command — silent loss of requested output is worse).
+Status MaybeWriteManifest(const std::string& metrics_out, RunManifest manifest,
+                          const MetricsRegistry& registry,
+                          std::chrono::steady_clock::time_point started) {
+  if (metrics_out.empty()) return Status::OK();
+  manifest.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  Status status = WriteMetricsManifest(manifest, registry, metrics_out);
+  if (status.ok()) std::cout << "wrote " << metrics_out << "\n";
+  return status;
 }
 
 // ------------------------------------------------------------------ generate
@@ -144,6 +163,7 @@ int RunSimulate(int argc, const char* const* argv) {
   std::string out = "observations.txt";
   std::string statuses_out;
   std::string model = "ic";
+  std::string metrics_out;
   uint32_t beta = 150;
   double alpha = 0.15;
   double mu = 0.3;
@@ -167,9 +187,14 @@ int RunSimulate(int argc, const char* const* argv) {
   parser.AddDouble("miss", &miss, "status noise: missed-detection rate");
   parser.AddDouble("false_alarm", &false_alarm,
                    "status noise: false-alarm rate");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a JSON run manifest for the simulation");
   parser.AddInt64("seed", &seed, "random seed");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
+
+  const auto started = std::chrono::steady_clock::now();
+  MetricsRegistry registry;
 
   auto truth = graph::ReadEdgeListFile(graph_path);
   if (!truth.ok()) return FailWith(truth.status());
@@ -184,7 +209,8 @@ int RunSimulate(int argc, const char* const* argv) {
   } else if (model != "ic") {
     return FailWith(Status::InvalidArgument("model must be ic or lt"));
   }
-  auto observations = diffusion::Simulate(*truth, probabilities, config, rng);
+  auto observations =
+      diffusion::Simulate(*truth, probabilities, config, rng, &registry);
   if (!observations.ok()) return FailWith(observations.status());
   if (miss > 0.0 || false_alarm > 0.0) {
     auto noisy = diffusion::ApplyStatusNoise(
@@ -203,6 +229,19 @@ int RunSimulate(int argc, const char* const* argv) {
     if (!status.ok()) return FailWith(status);
     std::cout << "wrote " << statuses_out << "\n";
   }
+  RunManifest manifest;
+  manifest.tool = "tends_cli simulate";
+  manifest.config = {
+      {"graph", graph_path},
+      {"model", model},
+      {"beta", StrFormat("%u", beta)},
+      {"alpha", StrFormat("%g", alpha)},
+      {"mu", StrFormat("%g", mu)},
+      {"seed", StrFormat("%lld", static_cast<long long>(seed))},
+  };
+  status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
+                              started);
+  if (!status.ok()) return FailWith(status);
   return 0;
 }
 
@@ -214,10 +253,14 @@ int RunInfer(int argc, const char* const* argv) {
   std::string statuses_path;
   std::string out = "inferred.txt";
   std::string io_mode = "strict";
+  std::string metrics_out;
   int64_t num_edges = 0;
   int64_t deadline_ms = 0;
+  int64_t progress_ms = 1000;
   double tau_multiplier = 1.0;
   bool traditional_mi = false;
+  bool progress = false;
+  bool verbose = false;
   uint32_t em_iterations = 4;
 
   FlagParser parser(
@@ -240,6 +283,15 @@ int RunInfer(int argc, const char* const* argv) {
   parser.AddInt64("deadline_ms", &deadline_ms,
                   "wall-clock budget in milliseconds; on expiry the "
                   "best-so-far partial network is written (0 = unlimited)");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a JSON run manifest (config, per-stage wall-clock, "
+                   "counters, histograms, spans) to this path");
+  parser.AddBool("progress", &progress,
+                 "print live per-node progress lines to stderr");
+  parser.AddInt64("progress_ms", &progress_ms,
+                  "interval between --progress lines in milliseconds");
+  parser.AddBool("verbose", &verbose,
+                 "print algorithm diagnostics as JSON (tends only)");
   parser.AddDouble("tau_multiplier", &tau_multiplier,
                    "tends: pruning threshold scale");
   parser.AddBool("traditional_mi", &traditional_mi,
@@ -261,6 +313,28 @@ int RunInfer(int argc, const char* const* argv) {
         StrFormat("--deadline_ms must be >= 0, got %lld",
                   static_cast<long long>(deadline_ms))));
   }
+  if (progress_ms <= 0) {
+    return FailWith(Status::InvalidArgument(
+        StrFormat("--progress_ms must be > 0, got %lld",
+                  static_cast<long long>(progress_ms))));
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  MetricsRegistry registry;
+  RunManifest manifest;
+  manifest.tool = "tends_cli infer";
+  manifest.config = {
+      {"algorithm", algorithm},
+      {"observations", observations_path},
+      {"statuses", statuses_path},
+      {"out", out},
+      {"io_mode", io_mode},
+      {"num_edges", StrFormat("%lld", static_cast<long long>(num_edges))},
+      {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
+      {"tau_multiplier", StrFormat("%g", tau_multiplier)},
+      {"traditional_mi", traditional_mi ? "true" : "false"},
+      {"em_iterations", StrFormat("%u", em_iterations)},
+  };
 
   CorruptionReport report;
   diffusion::DiffusionObservations observations;
@@ -281,14 +355,41 @@ int RunInfer(int argc, const char* const* argv) {
   if (read_options.mode == IoMode::kPermissive) {
     std::cout << report.Summary() << "\n";
   }
+  // Reader corruption tallies become manifest counters (all kinds
+  // registered even when zero, so the section is always present).
+  report.ExportTo(&registry);
 
   RunContext context;
   if (deadline_ms > 0) context.deadline = Deadline::AfterMillis(deadline_ms);
+  context.metrics = &registry;
+
+  // Live progress from the same counters the manifest exports.
+  const uint32_t total_nodes = observations.num_nodes();
+  std::unique_ptr<ProgressReporter> reporter;
+  if (progress) {
+    reporter = std::make_unique<ProgressReporter>(
+        &registry, std::chrono::milliseconds(progress_ms),
+        [total_nodes, started](const MetricsRegistry& r) {
+          const double elapsed =
+              std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+          return StrFormat(
+              "progress: %llu/%u nodes, %llu score evaluations, %.1fs",
+              static_cast<unsigned long long>(
+                  r.CounterValue("tends.tends.nodes_completed")),
+              total_nodes,
+              static_cast<unsigned long long>(
+                  r.CounterValue("tends.tends.score_evaluations")),
+              elapsed);
+        });
+  }
 
   StatusOr<inference::InferredNetwork> result =
       Status::InvalidArgument("unknown algorithm: " + algorithm);
   bool deadline_expired = false;
   uint32_t nodes_completed = 0;
+  std::string diagnostics_json;
   if (algorithm == "tends") {
     inference::TendsOptions options;
     options.tau_multiplier = tau_multiplier;
@@ -297,6 +398,7 @@ int RunInfer(int argc, const char* const* argv) {
     result = tends.Infer(observations, context);
     deadline_expired = tends.diagnostics().deadline_expired;
     nodes_completed = tends.diagnostics().nodes_completed;
+    diagnostics_json = tends.diagnostics().ToJson();
   } else if (algorithm == "netrate") {
     inference::NetRateOptions options;
     options.max_iterations = em_iterations;
@@ -320,6 +422,7 @@ int RunInfer(int argc, const char* const* argv) {
     inference::Path path({.num_edges = static_cast<uint64_t>(num_edges)});
     result = path.Infer(observations, context);
   }
+  if (reporter != nullptr) reporter->Stop();
   if (!result.ok()) return FailWith(result.status());
   if (deadline_expired) {
     std::cout << StrFormat(
@@ -327,9 +430,15 @@ int RunInfer(int argc, const char* const* argv) {
         "partial network\n",
         nodes_completed, observations.num_nodes());
   }
+  if (verbose && !diagnostics_json.empty()) {
+    std::cout << "diagnostics: " << diagnostics_json << "\n";
+  }
   status = inference::WriteInferredNetworkFile(*result, out);
   if (!status.ok()) return FailWith(status);
   std::cout << result->DebugString() << "\nwrote " << out << "\n";
+  status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
+                              started);
+  if (!status.ok()) return FailWith(status);
   return 0;
 }
 
@@ -402,6 +511,7 @@ int RunEstimate(int argc, const char* const* argv) {
 
 int RunExperimentCommand(int argc, const char* const* argv) {
   std::string graph_path = "graph.txt";
+  std::string metrics_out;
   uint32_t beta = 150;
   double alpha = 0.15;
   double mu = 0.3;
@@ -420,12 +530,18 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   parser.AddInt64("seed", &seed, "random seed");
   parser.AddUint32("threads", &threads,
                    "worker threads for TENDS / NetRate subproblems");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a JSON run manifest for the whole experiment");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
+
+  const auto started = std::chrono::steady_clock::now();
+  MetricsRegistry registry;
 
   auto truth = graph::ReadEdgeListFile(graph_path);
   if (!truth.ok()) return FailWith(truth.status());
   benchlib::ExperimentConfig config;
+  config.metrics = &registry;
   config.seed = static_cast<uint64_t>(seed);
   config.beta = beta;
   config.alpha = alpha;
@@ -437,6 +553,20 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   if (!evaluations.ok()) return FailWith(evaluations.status());
   benchlib::MakeFigureTable({{graph_path, std::move(evaluations).value()}})
       .PrintText(std::cout);
+  RunManifest manifest;
+  manifest.tool = "tends_cli experiment";
+  manifest.config = {
+      {"graph", graph_path},
+      {"beta", StrFormat("%u", beta)},
+      {"alpha", StrFormat("%g", alpha)},
+      {"mu", StrFormat("%g", mu)},
+      {"repetitions", StrFormat("%u", repetitions)},
+      {"seed", StrFormat("%lld", static_cast<long long>(seed))},
+      {"threads", StrFormat("%u", threads)},
+  };
+  status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
+                              started);
+  if (!status.ok()) return FailWith(status);
   return 0;
 }
 
