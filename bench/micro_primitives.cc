@@ -1,10 +1,24 @@
 // Google-benchmark micro-benchmarks of the library's hot primitives:
 // pairwise IMI matrix construction, joint counting / local scoring, the
 // K-means threshold, IC simulation throughput and the per-node parent
-// search. These back the complexity claims of Section IV-D.
+// search. These back the complexity claims of Section IV-D and the packed
+// counting-kernel speedups (DESIGN.md, "Counting kernels").
+//
+// The custom main records per-benchmark timings and, when
+// TENDS_BENCH_JSON_DIR is set, writes them via the standard bench JSON
+// channel (schema tends.bench.v1; accuracy fields are zero for
+// micro-benchmarks — only `seconds` is meaningful).
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "benchlib/experiment.h"
 #include "common/random.h"
 #include "diffusion/propagation.h"
 #include "diffusion/simulator.h"
@@ -44,18 +58,71 @@ void BM_ImiMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_ImiMatrix)->Arg(100)->Arg(200)->Arg(400)->Complexity();
 
-// O(beta * |F|): one sufficient-statistics pass.
-void BM_CountJoint(benchmark::State& state) {
-  const uint32_t parents = static_cast<uint32_t>(state.range(0));
-  auto statuses = RandomStatuses(150, 32, 2);
-  std::vector<graph::NodeId> parent_ids;
-  for (uint32_t b = 0; b < parents; ++b) parent_ids.push_back(b + 1);
+// ------------------------------------------------- joint-counting kernels
+//
+// The naive/packed/incremental trio sweeps beta x |W| on the same data so
+// the JSON rows line up as a per-setting comparison. All three produce
+// bit-identical JointCounts (tests/counting_differential_test.cc); only
+// the cost differs: naive scans beta processes per call, packed does
+// word-at-a-time popcounts, and incremental answers a greedy probe
+// F u {c} from cached combo codes with one OR-in of c's column.
+
+constexpr int64_t kCountBetas[] = {64, 1024, 16384};
+constexpr int64_t kCountParents[] = {1, 2, 3, 4, 5, 6};
+
+std::vector<graph::NodeId> FirstParents(uint32_t count) {
+  std::vector<graph::NodeId> ids;
+  for (uint32_t b = 0; b < count; ++b) ids.push_back(b + 1);
+  return ids;
+}
+
+// O(beta * |W|): one sufficient-statistics pass over the raw matrix.
+void BM_CountJointNaive(benchmark::State& state) {
+  const uint32_t beta = static_cast<uint32_t>(state.range(0));
+  auto statuses = RandomStatuses(beta, 32, 2);
+  auto parent_ids = FirstParents(static_cast<uint32_t>(state.range(1)));
   for (auto _ : state) {
     auto counts = inference::CountJoint(statuses, 0, parent_ids);
     benchmark::DoNotOptimize(counts.num_unobserved);
   }
 }
-BENCHMARK(BM_CountJoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(15);
+BENCHMARK(BM_CountJointNaive)
+    ->ArgsProduct({{kCountBetas[0], kCountBetas[1], kCountBetas[2]},
+                   {1, 2, 3, 4, 5, 6}});
+
+// O(beta / 64 * 2^|W|) below the popcount cutoff, O(beta) scatter above.
+void BM_CountJointPacked(benchmark::State& state) {
+  const uint32_t beta = static_cast<uint32_t>(state.range(0));
+  auto statuses = RandomStatuses(beta, 32, 2);
+  inference::PackedStatuses packed(statuses);
+  auto parent_ids = FirstParents(static_cast<uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    auto counts = packed.CountJoint(0, parent_ids);
+    benchmark::DoNotOptimize(counts.num_unobserved);
+  }
+}
+BENCHMARK(BM_CountJointPacked)
+    ->ArgsProduct({{kCountBetas[0], kCountBetas[1], kCountBetas[2]},
+                   {1, 2, 3, 4, 5, 6}});
+
+// The greedy-probe shape: |W|-1 parents cached as the base F, each
+// iteration evaluates F u {c} for a fresh candidate c.
+void BM_CountJointIncremental(benchmark::State& state) {
+  const uint32_t beta = static_cast<uint32_t>(state.range(0));
+  const uint32_t parents = static_cast<uint32_t>(state.range(1));
+  auto statuses = RandomStatuses(beta, 32, 2);
+  inference::PackedStatuses packed(statuses);
+  inference::IncrementalJointCounter counter(packed, 0);
+  counter.SetBase(FirstParents(parents - 1));
+  const std::vector<graph::NodeId> probe = {parents};
+  for (auto _ : state) {
+    auto counts = counter.Count(probe);
+    benchmark::DoNotOptimize(counts.num_unobserved);
+  }
+}
+BENCHMARK(BM_CountJointIncremental)
+    ->ArgsProduct({{kCountBetas[0], kCountBetas[1], kCountBetas[2]},
+                   {1, 2, 3, 4, 5, 6}});
 
 void BM_LocalScore(benchmark::State& state) {
   auto statuses = RandomStatuses(150, 16, 3);
@@ -132,6 +199,80 @@ void BM_TendsEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_TendsEndToEnd)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
 
+// ----------------------------------------------------------- JSON output
+
+// Console output plus a (name, seconds/iteration) record of every run,
+// mapped onto the repo-wide bench JSON schema afterwards.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      timings_.emplace_back(run.benchmark_name(),
+                            run.real_accumulated_time / iterations);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<std::pair<std::string, double>>& timings() const {
+    return timings_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> timings_;
+};
+
+// "BM_CountJointPacked/1024/3" -> {"beta=1024/W=3", "count_joint_packed"};
+// anything else -> {args or "-", benchmark name}. Keeps the CountJoint
+// kernel trio grouped per setting so speedups read off adjacent rows.
+std::pair<std::string, std::string> SettingAndAlgorithm(
+    const std::string& name) {
+  std::string head = name;
+  std::string args;
+  if (auto slash = name.find('/'); slash != std::string::npos) {
+    head = name.substr(0, slash);
+    args = name.substr(slash + 1);
+  }
+  const std::string prefix = "BM_CountJoint";
+  if (head.rfind(prefix, 0) == 0 && head.size() > prefix.size()) {
+    std::string kernel = head.substr(prefix.size());  // Naive/Packed/...
+    std::transform(kernel.begin(), kernel.end(), kernel.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::string setting = args;
+    if (auto slash = args.find('/'); slash != std::string::npos) {
+      setting = "beta=" + args.substr(0, slash) + "/W=" + args.substr(slash + 1);
+    }
+    return {setting, "count_joint_" + kernel};
+  }
+  return {args.empty() ? "-" : args, head};
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // One JSON row per run; rows sharing a setting stay adjacent.
+  std::vector<std::pair<std::string,
+                        std::vector<tends::metrics::AlgorithmEvaluation>>>
+      rows;
+  for (const auto& [name, seconds] : reporter.timings()) {
+    auto [setting, algorithm] = SettingAndAlgorithm(name);
+    tends::metrics::AlgorithmEvaluation evaluation;
+    evaluation.algorithm = algorithm;
+    evaluation.seconds = seconds;
+    if (rows.empty() || rows.back().first != setting) {
+      rows.emplace_back(setting,
+                        std::vector<tends::metrics::AlgorithmEvaluation>());
+    }
+    rows.back().second.push_back(std::move(evaluation));
+  }
+  tends::benchlib::MaybeWriteBenchJson("micro primitives", rows);
+  return 0;
+}

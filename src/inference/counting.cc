@@ -1,11 +1,144 @@
 #include "inference/counting.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/logging.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TENDS_COUNTING_AVX512 1
+#include <immintrin.h>
+#endif
+
 namespace tends::inference {
+
+namespace {
+
+/// Dense-table cutoff shared by every kernel: parent sets up to this size
+/// tally into flat arrays (<= 16384 entries); larger ones hash.
+constexpr uint32_t kDenseMaxParents = 14;
+
+/// Above this size the packed kernel switches from popcount-per-combination
+/// (the 2^|W| combination masks are built by binary recursion, 2 AND ops
+/// per mask, so a word costs O(2^|W|) regardless of |W|) to per-process
+/// code assembly (O(beta) tally). At 64 processes per word the recursion
+/// stops paying once 2^|W| approaches the word width.
+constexpr uint32_t kPopcountMaxParents = 6;
+
+/// Emits dense tallies in ascending combo order, skipping empty slots.
+void EmitDense(const std::vector<uint32_t>& dense0,
+               const std::vector<uint32_t>& dense1, JointCounts& counts) {
+  for (uint32_t j = 0; j < dense0.size(); ++j) {
+    if (dense0[j] + dense1[j] == 0) continue;
+    counts.combo.push_back(j);
+    counts.child0_count.push_back(dense0[j]);
+    counts.child1_count.push_back(dense1[j]);
+  }
+}
+
+/// Emits hashed tallies in ascending combo order (the canonical emission
+/// order every kernel shares, so JointCounts compare bit-identical).
+void EmitSparse(
+    const std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>>& sparse,
+    JointCounts& counts) {
+  std::vector<uint32_t> combos;
+  combos.reserve(sparse.size());
+  for (const auto& [combo, pair] : sparse) combos.push_back(combo);
+  std::sort(combos.begin(), combos.end());
+  counts.combo.reserve(combos.size());
+  counts.child0_count.reserve(combos.size());
+  counts.child1_count.reserve(combos.size());
+  for (uint32_t combo : combos) {
+    const auto& pair = sparse.at(combo);
+    counts.combo.push_back(combo);
+    counts.child0_count.push_back(pair.first);
+    counts.child1_count.push_back(pair.second);
+  }
+}
+
+#if TENDS_COUNTING_AVX512
+
+/// Compile the vector kernel for AVX-512 regardless of the baseline -march;
+/// it only runs after the cpuid check below. The counts are plain integer
+/// popcounts, so vector and scalar paths agree bit-for-bit.
+#define TENDS_AVX512_TARGET __attribute__((target("avx512f,avx512bw")))
+
+// GCC 12's avx512fintrin.h trips -W(maybe-)uninitialized on the
+// _mm512_undefined_epi32 scratch inside set1/loadu when inlined here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// Per-byte popcount of a 512-bit vector folded into eight 64-bit lane
+/// sums (nibble shuffle against a 16-entry LUT, then SAD against zero).
+TENDS_AVX512_TARGET inline __m512i PopcountLanes512(__m512i v) {
+  const __m512i lut = _mm512_set_epi8(
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0);
+  const __m512i low_nibble = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(v, low_nibble);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi64(v, 4), low_nibble);
+  const __m512i bytes = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                                        _mm512_shuffle_epi8(lut, hi));
+  return _mm512_sad_epu8(bytes, _mm512_setzero_si512());
+}
+
+/// Tallies `blocks` blocks of 8 whole words (512 processes each) into
+/// per-combination child1 / total counts. Same recursion as the scalar
+/// popcount path, eight words at a time; every process in the range is
+/// valid (the caller routes the padded tail through the scalar loop).
+TENDS_AVX512_TARGET void TallyBlocksAvx512(
+    const uint64_t* const* cols, uint32_t s, const uint64_t* child_col,
+    uint32_t blocks, uint64_t* child1, uint64_t* total) {
+  const uint32_t size = 1u << s;
+  __m512i masks[uint32_t{1} << kPopcountMaxParents];
+  __m512i acc1[uint32_t{1} << kPopcountMaxParents];
+  __m512i acc_total[uint32_t{1} << kPopcountMaxParents];
+  for (uint32_t j = 0; j < size; ++j) {
+    acc1[j] = _mm512_setzero_si512();
+    acc_total[j] = _mm512_setzero_si512();
+  }
+  for (uint32_t block = 0; block < blocks; ++block) {
+    const uint32_t base = block * 8;
+    masks[0] = _mm512_set1_epi64(-1);
+    for (uint32_t b = 0; b < s; ++b) {
+      const __m512i col = _mm512_loadu_si512(cols[b] + base);
+      const uint32_t half = 1u << b;
+      for (uint32_t j = 0; j < half; ++j) {
+        const __m512i prefix = masks[j];
+        masks[half | j] = _mm512_and_si512(prefix, col);
+        masks[j] = _mm512_andnot_si512(col, prefix);
+      }
+    }
+    const __m512i child = _mm512_loadu_si512(child_col + base);
+    for (uint32_t j = 0; j < size; ++j) {
+      const __m512i mask = masks[j];
+      acc_total[j] = _mm512_add_epi64(acc_total[j], PopcountLanes512(mask));
+      acc1[j] = _mm512_add_epi64(
+          acc1[j], PopcountLanes512(_mm512_and_si512(mask, child)));
+    }
+  }
+  for (uint32_t j = 0; j < size; ++j) {
+    child1[j] = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc1[j]));
+    total[j] = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc_total[j]));
+  }
+}
+
+#pragma GCC diagnostic pop
+
+bool HasAvx512() {
+  static const bool has = __builtin_cpu_supports("avx512f") &&
+                          __builtin_cpu_supports("avx512bw");
+  return has;
+}
+
+#endif  // TENDS_COUNTING_AVX512
+
+}  // namespace
 
 JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
                        graph::NodeId child,
@@ -16,8 +149,7 @@ JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
   counts.num_possible = uint64_t{1} << s;
   const uint32_t beta = statuses.num_processes();
 
-  if (s <= 14) {
-    // Dense tables (<= 16384 entries).
+  if (s <= kDenseMaxParents) {
     const uint32_t size = 1u << s;
     std::vector<uint32_t> dense0(size, 0), dense1(size, 0);
     for (uint32_t p = 0; p < beta; ++p) {
@@ -32,12 +164,7 @@ JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
         ++dense0[combo];
       }
     }
-    for (uint32_t j = 0; j < size; ++j) {
-      if (dense0[j] + dense1[j] == 0) continue;
-      counts.combo.push_back(j);
-      counts.child0_count.push_back(dense0[j]);
-      counts.child1_count.push_back(dense1[j]);
-    }
+    EmitDense(dense0, dense1, counts);
   } else {
     std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> sparse;
     sparse.reserve(beta);
@@ -54,12 +181,7 @@ JointCounts CountJoint(const diffusion::StatusMatrix& statuses,
         ++entry.first;
       }
     }
-    counts.combo.reserve(sparse.size());
-    for (const auto& [combo, pair] : sparse) {
-      counts.combo.push_back(combo);
-      counts.child0_count.push_back(pair.first);
-      counts.child1_count.push_back(pair.second);
-    }
+    EmitSparse(sparse, counts);
   }
   counts.num_unobserved = counts.num_possible - counts.num_observed();
   return counts;
@@ -106,6 +228,12 @@ PackedStatuses::PackedStatuses(const diffusion::StatusMatrix& statuses)
   }
 }
 
+uint64_t PackedStatuses::PadMask(uint32_t w) const {
+  if (w + 1 < words_per_node_) return ~uint64_t{0};
+  const uint32_t valid = num_processes_ - 64 * (words_per_node_ - 1);
+  return valid == 64 ? ~uint64_t{0} : (uint64_t{1} << valid) - 1;
+}
+
 PairCounts PackedStatuses::CountPair(graph::NodeId i, graph::NodeId j) const {
   const uint64_t* a = Column(i);
   const uint64_t* b = Column(j);
@@ -131,6 +259,274 @@ uint32_t PackedStatuses::InfectedCount(graph::NodeId v) const {
     count += static_cast<uint32_t>(std::popcount(a[w]));
   }
   return count;
+}
+
+JointCounts PackedStatuses::CountJoint(
+    graph::NodeId child, const std::vector<graph::NodeId>& parents) const {
+  const uint32_t s = static_cast<uint32_t>(parents.size());
+  TENDS_CHECK(s <= kMaxCountableParents) << "parent set too large: " << s;
+  JointCounts counts;
+  counts.num_possible = uint64_t{1} << s;
+
+  if (s <= kPopcountMaxParents) {
+    // Popcount path: per word, partition the 64 processes into the 2^s
+    // combination masks by binary recursion — level b splits every mask on
+    // parent b's column, so mask j ends up holding exactly the processes
+    // whose parent statuses spell j. Two ANDs per mask (not |W|), then one
+    // popcount pair per mask. ~64 processes/instruction scalar; the
+    // AVX-512 block kernel runs the same recursion 8 words at a time.
+    const uint32_t size = 1u << s;
+    constexpr uint32_t kMaxSize = uint32_t{1} << kPopcountMaxParents;
+    uint64_t tally1[kMaxSize] = {};
+    uint64_t tally_total[kMaxSize] = {};
+    const uint64_t* child_col = Column(child);
+    const uint64_t* cols[kPopcountMaxParents] = {};
+    for (uint32_t b = 0; b < s; ++b) cols[b] = Column(parents[b]);
+
+    // Whole 512-process blocks go through the vector kernel (no padding
+    // bits inside them); the remainder words fall through to the scalar
+    // loop, which applies the pad mask on the final word.
+    uint32_t first_word = 0;
+#if TENDS_COUNTING_AVX512
+    const uint32_t blocks = HasAvx512() ? num_processes_ / 512 : 0;
+    if (blocks > 0) {
+      TallyBlocksAvx512(cols, s, child_col, blocks, tally1, tally_total);
+      first_word = blocks * 8;
+    }
+#endif
+    uint64_t masks[kMaxSize];
+    for (uint32_t w = first_word; w < words_per_node_; ++w) {
+      const uint64_t child_word = child_col[w];
+      masks[0] = PadMask(w);
+      for (uint32_t b = 0; b < s; ++b) {
+        const uint64_t col = cols[b][w];
+        const uint32_t half = 1u << b;
+        for (uint32_t j = 0; j < half; ++j) {
+          masks[half | j] = masks[j] & col;  // parent b infected: bit b set
+          masks[j] &= ~col;
+        }
+      }
+      // Branchless tally: popcounting an empty mask is cheaper than a
+      // data-dependent skip (the masks are mostly non-empty for small s
+      // and the mispredictions would dominate).
+      for (uint32_t j = 0; j < size; ++j) {
+        const uint64_t mask = masks[j];
+        tally1[j] += static_cast<uint64_t>(std::popcount(mask & child_word));
+        tally_total[j] += static_cast<uint64_t>(std::popcount(mask));
+      }
+    }
+    counts.combo.reserve(size);
+    counts.child0_count.reserve(size);
+    counts.child1_count.reserve(size);
+    for (uint32_t j = 0; j < size; ++j) {
+      if (tally_total[j] == 0) continue;
+      counts.combo.push_back(j);
+      counts.child0_count.push_back(
+          static_cast<uint32_t>(tally_total[j] - tally1[j]));
+      counts.child1_count.push_back(static_cast<uint32_t>(tally1[j]));
+    }
+  } else {
+    // Code path: scatter each parent column's set bits into per-process
+    // combination codes (cost proportional to infections, not processes),
+    // then tally codes against the child column in one pass.
+    std::vector<uint32_t> codes(num_processes_, 0);
+    for (uint32_t b = 0; b < s; ++b) {
+      const uint64_t* col = Column(parents[b]);
+      const uint32_t bit = 1u << b;
+      for (uint32_t w = 0; w < words_per_node_; ++w) {
+        uint64_t word = col[w];
+        while (word != 0) {
+          codes[w * 64 + std::countr_zero(word)] |= bit;
+          word &= word - 1;
+        }
+      }
+    }
+    const uint64_t* child_col = Column(child);
+    if (s <= kDenseMaxParents) {
+      const uint32_t size = 1u << s;
+      std::vector<uint32_t> dense0(size, 0), dense1(size, 0);
+      for (uint32_t p = 0; p < num_processes_; ++p) {
+        if ((child_col[p >> 6] >> (p & 63)) & 1) {
+          ++dense1[codes[p]];
+        } else {
+          ++dense0[codes[p]];
+        }
+      }
+      EmitDense(dense0, dense1, counts);
+    } else {
+      std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> sparse;
+      sparse.reserve(num_processes_);
+      for (uint32_t p = 0; p < num_processes_; ++p) {
+        auto& entry = sparse[codes[p]];
+        if ((child_col[p >> 6] >> (p & 63)) & 1) {
+          ++entry.second;
+        } else {
+          ++entry.first;
+        }
+      }
+      EmitSparse(sparse, counts);
+    }
+  }
+  counts.num_unobserved = counts.num_possible - counts.num_observed();
+  return counts;
+}
+
+IncrementalJointCounter::IncrementalJointCounter(const PackedStatuses& packed,
+                                                 graph::NodeId child)
+    : packed_(packed), child_(child) {
+  codes_.assign(packed_.num_processes(), 0);
+  child_bits_.resize(packed_.num_processes());
+  const uint64_t* child_col = packed_.Column(child_);
+  for (uint32_t p = 0; p < packed_.num_processes(); ++p) {
+    child_bits_[p] =
+        static_cast<uint8_t>((child_col[p >> 6] >> (p & 63)) & 1);
+  }
+}
+
+void IncrementalJointCounter::SetBase(const std::vector<graph::NodeId>& base) {
+  TENDS_CHECK(base.size() <= kMaxCountableParents)
+      << "base parent set too large: " << base.size();
+  TENDS_CHECK(std::is_sorted(base.begin(), base.end()))
+      << "base parent set must be sorted";
+  base_ = base;
+  ++rebuilds_;
+  std::fill(codes_.begin(), codes_.end(), 0u);
+  for (uint32_t b = 0; b < base_.size(); ++b) {
+    const uint64_t* col = packed_.Column(base_[b]);
+    const uint32_t bit = 1u << b;
+    for (uint32_t w = 0; w < packed_.words_per_node(); ++w) {
+      uint64_t word = col[w];
+      while (word != 0) {
+        codes_[w * 64 + std::countr_zero(word)] |= bit;
+        word &= word - 1;
+      }
+    }
+  }
+}
+
+JointCounts IncrementalJointCounter::Count(
+    const std::vector<graph::NodeId>& extra) const {
+  // Internal bit order: base_[0..k) on bits 0..k, then the novel members
+  // of `extra` (in arrival order) on the bits above. The canonical output
+  // encoding orders bits by the sorted union instead, so internal combos
+  // are remapped through `perm` before emission.
+  std::vector<graph::NodeId> fresh;
+  fresh.reserve(extra.size());
+  for (graph::NodeId v : extra) {
+    if (!std::binary_search(base_.begin(), base_.end(), v) &&
+        std::find(fresh.begin(), fresh.end(), v) == fresh.end()) {
+      fresh.push_back(v);
+    }
+  }
+  const uint32_t k = static_cast<uint32_t>(base_.size());
+  const uint32_t m = k + static_cast<uint32_t>(fresh.size());
+  TENDS_CHECK(m <= kMaxCountableParents) << "parent set too large: " << m;
+
+  // Small unions are cheaper through the recursive popcount path than
+  // through the cached codes (the tally alone costs O(beta) scalar ops);
+  // the sorted union already is the canonical bit encoding, so the result
+  // is bit-identical either way. The cache pays off above the cutoff.
+  if (m <= kPopcountMaxParents) {
+    std::vector<graph::NodeId> merged = base_;
+    for (graph::NodeId v : fresh) {
+      merged.insert(std::lower_bound(merged.begin(), merged.end(), v), v);
+    }
+    return packed_.CountJoint(child_, merged);
+  }
+
+  // OR each fresh member's packed column into a scratch copy of the cached
+  // base codes (the cache itself stays valid for the next call).
+  const std::vector<uint32_t>* codes = &codes_;
+  if (!fresh.empty()) {
+    scratch_codes_ = codes_;
+    for (uint32_t t = 0; t < fresh.size(); ++t) {
+      const uint64_t* col = packed_.Column(fresh[t]);
+      const uint32_t bit = 1u << (k + t);
+      for (uint32_t w = 0; w < packed_.words_per_node(); ++w) {
+        uint64_t word = col[w];
+        while (word != 0) {
+          scratch_codes_[w * 64 + std::countr_zero(word)] |= bit;
+          word &= word - 1;
+        }
+      }
+    }
+    codes = &scratch_codes_;
+  }
+
+  // Sorted union and the internal-bit -> canonical-bit permutation.
+  std::vector<graph::NodeId> merged = base_;
+  for (graph::NodeId v : fresh) {
+    merged.insert(std::lower_bound(merged.begin(), merged.end(), v), v);
+  }
+  uint32_t perm[kMaxCountableParents] = {};
+  bool identity = true;
+  for (uint32_t b = 0; b < m; ++b) {
+    const graph::NodeId v = b < k ? base_[b] : fresh[b - k];
+    perm[b] = static_cast<uint32_t>(
+        std::lower_bound(merged.begin(), merged.end(), v) - merged.begin());
+    identity = identity && perm[b] == b;
+  }
+
+  JointCounts counts;
+  counts.num_possible = uint64_t{1} << m;
+  const uint32_t beta = packed_.num_processes();
+  if (m <= kDenseMaxParents) {
+    const uint32_t size = 1u << m;
+    std::vector<uint32_t> dense0(size, 0), dense1(size, 0);
+    for (uint32_t p = 0; p < beta; ++p) {
+      if (child_bits_[p]) {
+        ++dense1[(*codes)[p]];
+      } else {
+        ++dense0[(*codes)[p]];
+      }
+    }
+    if (identity) {
+      EmitDense(dense0, dense1, counts);
+    } else {
+      // Remap each observed internal combo to the canonical encoding, then
+      // restore ascending order.
+      std::vector<std::pair<uint32_t, uint32_t>> remapped;  // (combo, slot)
+      for (uint32_t j = 0; j < size; ++j) {
+        if (dense0[j] + dense1[j] == 0) continue;
+        uint32_t out = 0;
+        uint32_t bits = j;
+        while (bits != 0) {
+          out |= 1u << perm[std::countr_zero(bits)];
+          bits &= bits - 1;
+        }
+        remapped.emplace_back(out, j);
+      }
+      std::sort(remapped.begin(), remapped.end());
+      counts.combo.reserve(remapped.size());
+      counts.child0_count.reserve(remapped.size());
+      counts.child1_count.reserve(remapped.size());
+      for (const auto& [out, j] : remapped) {
+        counts.combo.push_back(out);
+        counts.child0_count.push_back(dense0[j]);
+        counts.child1_count.push_back(dense1[j]);
+      }
+    }
+  } else {
+    std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> sparse;
+    sparse.reserve(beta);
+    for (uint32_t p = 0; p < beta; ++p) {
+      uint32_t out = 0;
+      uint32_t bits = (*codes)[p];
+      while (bits != 0) {
+        out |= 1u << perm[std::countr_zero(bits)];
+        bits &= bits - 1;
+      }
+      auto& entry = sparse[out];
+      if (child_bits_[p]) {
+        ++entry.second;
+      } else {
+        ++entry.first;
+      }
+    }
+    EmitSparse(sparse, counts);
+  }
+  counts.num_unobserved = counts.num_possible - counts.num_observed();
+  return counts;
 }
 
 }  // namespace tends::inference

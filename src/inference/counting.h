@@ -16,9 +16,12 @@ namespace tends::inference {
 /// by the `num_unobserved` tally (the paper's φ_F).
 ///
 /// The combination index j encodes parent statuses as bits: bit b is the
-/// status of parents[b].
+/// status of parents[b]. Observed combinations are emitted in ascending
+/// combo order (canonical), so two kernels computing the same statistics
+/// produce bit-identical structs — the invariant the differential tests
+/// and the packed/naive kernel equivalence rely on.
 struct JointCounts {
-  /// Parallel arrays over *observed* combinations.
+  /// Parallel arrays over *observed* combinations, ascending by combo.
   std::vector<uint32_t> combo;         // bit-encoded parent statuses
   std::vector<uint32_t> child0_count;  // N with child status 0
   std::vector<uint32_t> child1_count;  // N with child status 1
@@ -33,6 +36,19 @@ struct JointCounts {
 /// Maximum parent-set size CountJoint accepts (combination indices are
 /// 32-bit and dense tables are bounded).
 inline constexpr uint32_t kMaxCountableParents = 24;
+
+/// Which sufficient-statistics kernel scores parent sets. Both produce
+/// bit-identical JointCounts (and therefore bit-identical scores and
+/// inferred networks); the naive kernel is kept as the reference oracle
+/// for the differential test suite.
+enum class CountingKernel {
+  /// Word-packed columns + popcount / per-process combination codes;
+  /// ~64 statuses per instruction. Default.
+  kPacked,
+  /// Reference implementation: re-scans the raw uint8 status matrix at
+  /// O(beta * |W|) per evaluation.
+  kNaive,
+};
 
 /// Counts parent-status combinations of `parents` against `child` over all
 /// processes in `statuses`. Requires parents.size() <= kMaxCountableParents
@@ -51,14 +67,22 @@ struct PairCounts {
 PairCounts CountPair(const diffusion::StatusMatrix& statuses,
                      graph::NodeId i, graph::NodeId j);
 
-/// Bit-packed per-node status columns for fast pairwise counting: node v's
-/// statuses across processes stored as ceil(beta/64) words.
+/// Bit-packed per-node status columns for fast counting: node v's statuses
+/// across processes stored as ceil(beta/64) words. Build once per status
+/// matrix and share read-only across threads (all methods are const).
 class PackedStatuses {
  public:
   explicit PackedStatuses(const diffusion::StatusMatrix& statuses);
 
   uint32_t num_nodes() const { return num_nodes_; }
   uint32_t num_processes() const { return num_processes_; }
+  uint32_t words_per_node() const { return words_per_node_; }
+
+  /// Node v's statuses as words_per_node() little-endian words; bits at or
+  /// beyond num_processes() are zero.
+  const uint64_t* Column(graph::NodeId v) const {
+    return words_.data() + static_cast<size_t>(v) * words_per_node_;
+  }
 
   /// Same contingency table as CountPair, via popcount (O(beta/64)).
   PairCounts CountPair(graph::NodeId i, graph::NodeId j) const;
@@ -66,15 +90,65 @@ class PackedStatuses {
   /// Number of processes in which `v` is infected.
   uint32_t InfectedCount(graph::NodeId v) const;
 
+  /// Bit-identical to the free CountJoint on the unpacked matrix (same bit
+  /// encoding — bit b is parents[b]'s status — and same canonical emission
+  /// order). Word-at-a-time popcount over all 2^|W| combination masks for
+  /// |W| <= 4; per-process combination-code assembly above.
+  JointCounts CountJoint(graph::NodeId child,
+                         const std::vector<graph::NodeId>& parents) const;
+
  private:
-  const uint64_t* Column(graph::NodeId v) const {
-    return words_.data() + static_cast<size_t>(v) * words_per_node_;
-  }
+  /// Valid-bit mask of word `w` (all-ones except the trailing pad of the
+  /// last word).
+  uint64_t PadMask(uint32_t w) const;
 
   uint32_t num_nodes_ = 0;
   uint32_t num_processes_ = 0;
   uint32_t words_per_node_ = 0;
   std::vector<uint64_t> words_;
+};
+
+/// Incremental joint counting against a fixed child: caches the
+/// per-process combination codes of a base parent set F so that evaluating
+/// F ∪ W costs one OR-in of each of W's packed columns plus a single tally
+/// pass, instead of re-scanning |F ∪ W| status-matrix columns. This is the
+/// access pattern of the greedy parent search, where one base set is
+/// probed against many small extensions before it changes.
+///
+/// Count() returns statistics for SortedUnion(base, extra) with the
+/// canonical bit encoding of the *sorted* union — bit-identical to
+/// CountJoint(statuses, child, SortedUnion(base, extra)).
+///
+/// Not thread-safe; use one counter per (thread, child).
+class IncrementalJointCounter {
+ public:
+  /// Starts with an empty base set.
+  IncrementalJointCounter(const PackedStatuses& packed, graph::NodeId child);
+
+  /// Replaces the cached base set (must be sorted ascending, distinct,
+  /// size <= kMaxCountableParents). O(|base| * beta / 64) bit scatter.
+  void SetBase(const std::vector<graph::NodeId>& base);
+
+  const std::vector<graph::NodeId>& base() const { return base_; }
+
+  /// Sufficient statistics of SortedUnion(base, extra). Members of `extra`
+  /// already in the base are ignored; the rest may arrive in any order.
+  JointCounts Count(const std::vector<graph::NodeId>& extra) const;
+
+  /// Number of SetBase rebuilds performed (diagnostics).
+  uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  const PackedStatuses& packed_;
+  graph::NodeId child_;
+  std::vector<graph::NodeId> base_;
+  /// codes_[p] = base-parent statuses of process p, bit b = base_[b].
+  std::vector<uint32_t> codes_;
+  /// Child statuses unpacked to one byte per process (tally-loop operand).
+  std::vector<uint8_t> child_bits_;
+  uint64_t rebuilds_ = 0;
+  /// Scratch for Count (mutable: Count is logically const).
+  mutable std::vector<uint32_t> scratch_codes_;
 };
 
 }  // namespace tends::inference

@@ -33,9 +33,11 @@ double InfectionMi(const PairCounts& counts) {
 
 ImiMatrix::ImiMatrix(const diffusion::StatusMatrix& statuses,
                      bool use_traditional_mi)
-    : num_nodes_(statuses.num_nodes()) {
+    : ImiMatrix(PackedStatuses(statuses), use_traditional_mi) {}
+
+ImiMatrix::ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi)
+    : num_nodes_(packed.num_nodes()) {
   values_.assign(static_cast<size_t>(num_nodes_) * num_nodes_, 0.0);
-  PackedStatuses packed(statuses);
   for (uint32_t i = 0; i < num_nodes_; ++i) {
     for (uint32_t j = i + 1; j < num_nodes_; ++j) {
       PairCounts counts = packed.CountPair(i, j);

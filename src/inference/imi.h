@@ -29,6 +29,10 @@ class ImiMatrix {
   /// unordered pair via bit-packed counting: O(n^2 * beta / 64).
   ImiMatrix(const diffusion::StatusMatrix& statuses, bool use_traditional_mi);
 
+  /// Same, from an already-packed view (shared with the parent-search
+  /// counting kernel so the matrix is packed once per inference run).
+  ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi);
+
   uint32_t num_nodes() const { return num_nodes_; }
 
   double Get(graph::NodeId i, graph::NodeId j) const {

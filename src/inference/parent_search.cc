@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/metrics.h"
-#include "inference/counting.h"
 #include "inference/local_score.h"
 
 namespace tends::inference {
@@ -75,7 +75,8 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                graph::NodeId child,
                                const std::vector<graph::NodeId>& candidates,
                                const ParentSearchOptions& options,
-                               const RunContext& context) {
+                               const RunContext& context,
+                               const PackedStatuses* packed) {
   MetricsRegistry* metrics = context.metrics;
   TENDS_TRACE_SPAN(metrics, "parent_search", static_cast<int64_t>(child));
   ParentSearchResult result;
@@ -88,7 +89,52 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                      r.combinations_considered);
     TENDS_METRIC_RECORD(metrics, "tends.parent_search.parents",
                         r.parents.size());
+    TENDS_METRIC_ADD(metrics, "tends.counting.packed_calls",
+                     r.packed_count_calls);
+    TENDS_METRIC_ADD(metrics, "tends.counting.incremental_hits",
+                     r.incremental_count_hits);
   };
+
+  // Counting kernel. The packed kernel works on word-packed columns (built
+  // here unless the caller shares a pre-built view) and serves the greedy
+  // phase through an incremental counter keyed on the current F_i; both
+  // kernels yield bit-identical JointCounts, so everything downstream —
+  // scores, admission checks, the inferred network — is kernel-invariant.
+  const bool use_packed = options.kernel == CountingKernel::kPacked;
+  std::optional<PackedStatuses> owned_packed;
+  if (use_packed && packed == nullptr) {
+    owned_packed.emplace(statuses);
+    packed = &*owned_packed;
+  }
+  std::optional<IncrementalJointCounter> incremental;
+  if (use_packed) incremental.emplace(*packed, child);
+  // Standalone statistics of W (Algorithm 1's candidate admission).
+  auto count_standalone = [&](const std::vector<graph::NodeId>& w) {
+    ++result.score_evaluations;
+    if (use_packed) {
+      ++result.packed_count_calls;
+      return packed->CountJoint(child, w);
+    }
+    return CountJoint(statuses, child, w);
+  };
+  // Statistics of F_i ∪ W during the greedy expansion. `merged` is the
+  // sorted union the naive kernel scans; the packed kernel answers from
+  // the incremental counter's cached codes for F_i instead.
+  auto count_union = [&](const std::vector<graph::NodeId>& members,
+                         const std::vector<graph::NodeId>& merged) {
+    ++result.score_evaluations;
+    if (use_packed) {
+      ++result.packed_count_calls;
+      ++result.incremental_count_hits;
+      return incremental->Count(members);
+    }
+    return CountJoint(statuses, child, merged);
+  };
+  // Re-anchors the incremental counter whenever F_i changes.
+  auto set_greedy_base = [&](const std::vector<graph::NodeId>& f) {
+    if (use_packed) incremental->SetBase(f);
+  };
+
   const uint32_t beta = statuses.num_processes();
   const uint32_t n2 = statuses.InfectionCount(child);  // X_i = 1
   const uint32_t n1 = beta - n2;                       // X_i = 0
@@ -113,8 +159,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
       candidates, options.max_combination_size,
       [&](const std::vector<graph::NodeId>& w) {
         if (stop.ShouldStop()) return;
-        JointCounts counts = CountJoint(statuses, child, w);
-        ++result.score_evaluations;
+        JointCounts counts = count_standalone(w);
         if (!WithinParentBound(w.size(), counts.num_unobserved, result.delta)) {
           return;
         }
@@ -144,13 +189,13 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
           merged.size() > kMaxCountableParents) {
         continue;
       }
-      JointCounts counts = CountJoint(statuses, child, merged);
-      ++result.score_evaluations;
+      JointCounts counts = count_union(c.members, merged);
       if (!WithinParentBound(merged.size(), counts.num_unobserved,
                              result.delta)) {
         continue;
       }
       parents = std::move(merged);
+      set_greedy_base(parents);
       result.score = ScoreOf(counts, options);
     }
   } else {
@@ -174,8 +219,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
             merged.size() > kMaxCountableParents) {
           continue;
         }
-        JointCounts counts = CountJoint(statuses, child, merged);
-        ++result.score_evaluations;
+        JointCounts counts = count_union(combos[c].members, merged);
         if (!WithinParentBound(merged.size(), counts.num_unobserved,
                                result.delta)) {
           continue;
@@ -189,6 +233,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
       }
       if (best_index < 0) break;
       parents = std::move(best_union);
+      set_greedy_base(parents);
       result.score = best_score;
       used[static_cast<size_t>(best_index)] = true;
     }

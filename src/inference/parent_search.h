@@ -8,6 +8,7 @@
 #include "common/run_context.h"
 #include "diffusion/cascade.h"
 #include "graph/graph.h"
+#include "inference/counting.h"
 
 namespace tends::inference {
 
@@ -42,6 +43,10 @@ struct ParentSearchOptions {
   /// degenerates to adding every admissible candidate — the behaviour the
   /// penalty exists to prevent (bench/ablation_penalty).
   bool use_penalty = true;
+  /// Sufficient-statistics kernel. Both kernels are bit-identical in
+  /// output (proven by the differential suite); kNaive re-scans the raw
+  /// status matrix and exists as the reference oracle / fallback.
+  CountingKernel kernel = CountingKernel::kPacked;
 };
 
 struct ParentSearchResult {
@@ -57,6 +62,11 @@ struct ParentSearchResult {
   uint64_t combinations_considered = 0;
   /// Total CountJoint evaluations performed (cost proxy).
   uint64_t score_evaluations = 0;
+  /// Evaluations served by the packed kernel (0 under kNaive).
+  uint64_t packed_count_calls = 0;
+  /// Packed evaluations that reused the incremental counter's cached base
+  /// codes (one OR-in instead of a full re-scan).
+  uint64_t incremental_count_hits = 0;
   /// True when the run context stopped the search early; `parents` and
   /// `score` hold the best state reached before the cutoff.
   bool stopped = false;
@@ -68,11 +78,17 @@ struct ParentSearchResult {
 /// combination. The context is polled between score evaluations; on
 /// expiry the search returns its current best parent set with `stopped`
 /// set (an unconstrained context leaves results bit-identical).
+///
+/// Under CountingKernel::kPacked the caller may pass a pre-built `packed`
+/// view of `statuses` (built once per inference run and shared read-only
+/// across worker threads); when null, one is built per call. The kernel
+/// choice never changes the result — only the cost of computing it.
 ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                graph::NodeId child,
                                const std::vector<graph::NodeId>& candidates,
                                const ParentSearchOptions& options,
-                               const RunContext& context = RunContext());
+                               const RunContext& context = RunContext(),
+                               const PackedStatuses* packed = nullptr);
 
 /// Enumerates all non-empty subsets of `candidates` with size at most
 /// `max_size`, invoking `visit(subset)` in deterministic order (by size,

@@ -1,6 +1,9 @@
 #include "inference/probability_estimation.h"
 
 #include <algorithm>
+#include <bit>
+
+#include "inference/counting.h"
 
 namespace tends::inference {
 
@@ -25,28 +28,31 @@ StatusOr<std::vector<EdgeProbabilityEstimate>> EstimatePropagationProbabilities(
 
   std::vector<EdgeProbabilityEstimate> estimates;
   estimates.reserve(network.num_edges());
-  const uint32_t beta = statuses.num_processes();
+  // Word-packed counting: per edge (u -> v), the processes where u is
+  // infected and no co-parent of v is infected fall out of ~64-process-wide
+  // mask/popcount steps instead of a per-process scan over all columns.
+  const PackedStatuses packed(statuses);
   for (const ScoredEdge& scored : network.edges()) {
     const graph::NodeId u = scored.edge.from;
     const graph::NodeId v = scored.edge.to;
+    const uint64_t* u_col = packed.Column(u);
+    const uint64_t* v_col = packed.Column(v);
     uint32_t isolated_total = 0, isolated_infected = 0;
     uint32_t pair_total = 0, pair_infected = 0;
-    for (uint32_t p = 0; p < beta; ++p) {
-      const uint8_t* row = statuses.Row(p);
-      if (!row[u]) continue;
-      ++pair_total;
-      pair_infected += row[v];
-      bool co_parent_infected = false;
-      for (graph::NodeId w : parents[v]) {
-        if (w != u && row[w]) {
-          co_parent_infected = true;
-          break;
-        }
+    for (uint32_t w = 0; w < packed.words_per_node(); ++w) {
+      const uint64_t u_word = u_col[w];
+      if (u_word == 0) continue;
+      uint64_t co_word = 0;
+      for (graph::NodeId co : parents[v]) {
+        if (co != u) co_word |= packed.Column(co)[w];
       }
-      if (!co_parent_infected) {
-        ++isolated_total;
-        isolated_infected += row[v];
-      }
+      pair_total += static_cast<uint32_t>(std::popcount(u_word));
+      pair_infected +=
+          static_cast<uint32_t>(std::popcount(u_word & v_col[w]));
+      const uint64_t isolated = u_word & ~co_word;
+      isolated_total += static_cast<uint32_t>(std::popcount(isolated));
+      isolated_infected +=
+          static_cast<uint32_t>(std::popcount(isolated & v_col[w]));
     }
     EdgeProbabilityEstimate estimate;
     estimate.edge = scored.edge;

@@ -64,12 +64,22 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     return InferredNetwork(n);
   }
 
+  // Word-packed status columns, built once and shared read-only by the
+  // pairwise IMI pass and every worker's packed counting kernel (the
+  // workers only call const methods on it).
+  std::optional<PackedStatuses> packed_storage;
+  {
+    TENDS_METRICS_STAGE(metrics, "pack_statuses");
+    packed_storage.emplace(statuses);
+  }
+  const PackedStatuses& packed = *packed_storage;
+
   // Lines 2-4: pairwise infection-MI values.
   std::optional<ImiMatrix> imi_storage;
   {
     TENDS_METRICS_STAGE(metrics, "imi");
     TENDS_TRACE_SPAN(metrics, "imi");
-    imi_storage.emplace(statuses, options_.use_traditional_mi);
+    imi_storage.emplace(packed, options_.use_traditional_mi);
   }
   const ImiMatrix& imi = *imi_storage;
   TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
@@ -156,7 +166,7 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     {
       TENDS_METRICS_STAGE(metrics, "parent_search");
       results[i] = FindParents(statuses, i, candidates, options_.search,
-                               context);
+                               context, &packed);
     }
     TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
     if (results[i].stopped) {

@@ -2,6 +2,10 @@
 // inference -> evaluation, including the benchlib experiment runner and
 // the paper's qualitative claims on small workloads.
 
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "benchlib/experiment.h"
@@ -9,6 +13,7 @@
 #include "diffusion/propagation.h"
 #include "graph/datasets.h"
 #include "graph/generators/lfr.h"
+#include "inference/io.h"
 #include "inference/tends.h"
 #include "metrics/fscore.h"
 #include "test_util.h"
@@ -160,6 +165,41 @@ TEST(IntegrationTest, DatasetSurrogatePipelineRuns) {
   auto inferred = tends.Infer(observations);
   ASSERT_TRUE(inferred.ok());
   EXPECT_GT(inferred->num_edges(), 0u);
+}
+
+TEST(IntegrationTest, PackedAndNaiveKernelsWriteIdenticalNetworkFiles) {
+  // End-to-end equivalence at the file level: run the pipeline once with
+  // each counting kernel, serialize both inferred networks, and compare
+  // the files byte for byte (formatting included, not just edge sets).
+  auto truth = SmallLfr(21);
+  auto observations = testing::SimulateUniform(truth, 0.3, 120, 0.15, 22);
+
+  auto infer_to_file = [&](inference::CountingKernel kernel,
+                           const std::string& path) {
+    inference::TendsOptions options;
+    options.search.kernel = kernel;
+    inference::Tends tends(options);
+    auto inferred = tends.Infer(observations);
+    ASSERT_TRUE(inferred.ok()) << inferred.status();
+    EXPECT_GT(inferred->num_edges(), 0u);
+    ASSERT_TRUE(inference::WriteInferredNetworkFile(*inferred, path).ok());
+  };
+
+  const std::string packed_path =
+      ::testing::TempDir() + "/network_packed.txt";
+  const std::string naive_path = ::testing::TempDir() + "/network_naive.txt";
+  infer_to_file(inference::CountingKernel::kPacked, packed_path);
+  infer_to_file(inference::CountingKernel::kNaive, naive_path);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string packed_bytes = slurp(packed_path);
+  const std::string naive_bytes = slurp(naive_path);
+  ASSERT_FALSE(packed_bytes.empty());
+  EXPECT_EQ(packed_bytes, naive_bytes);
 }
 
 TEST(IntegrationTest, FastBenchModeReadsEnvironment) {

@@ -55,6 +55,53 @@ TEST(ForEachCombinationTest, FullPowerSetMinusEmpty) {
   EXPECT_EQ(count, 31);  // 2^5 - 1
 }
 
+uint64_t Choose(uint32_t k, uint32_t s) {
+  uint64_t c = 1;
+  for (uint32_t b = 0; b < s; ++b) c = c * (k - b) / (b + 1);
+  return c;
+}
+
+TEST(ForEachCombinationTest, VisitCountIsSumOfBinomials) {
+  // k = 7 candidates, max size 4: C(7,1)+C(7,2)+C(7,3)+C(7,4) = 98.
+  std::vector<graph::NodeId> candidates = {2, 3, 5, 7, 11, 13, 17};
+  uint64_t count = 0;
+  std::vector<uint64_t> per_size(5, 0);
+  ForEachCombination(candidates, 4, [&](const std::vector<graph::NodeId>& w) {
+    ++count;
+    ++per_size[w.size()];
+  });
+  EXPECT_EQ(count, 98u);
+  for (uint32_t s = 1; s <= 4; ++s) {
+    EXPECT_EQ(per_size[s], Choose(7, s)) << "size " << s;
+  }
+}
+
+TEST(ForEachCombinationTest, VisitsBySizeThenLexicographicOrder) {
+  // Within each size the index tuples must advance lexicographically, and
+  // all size-s subsets precede every size-(s+1) subset.
+  std::vector<graph::NodeId> candidates = {10, 20, 30, 40, 50};
+  std::vector<std::vector<graph::NodeId>> seen;
+  ForEachCombination(candidates, 4, [&](const std::vector<graph::NodeId>& w) {
+    seen.push_back(w);
+  });
+  ASSERT_FALSE(seen.empty());
+  for (size_t v = 1; v < seen.size(); ++v) {
+    const auto& prev = seen[v - 1];
+    const auto& cur = seen[v];
+    if (prev.size() == cur.size()) {
+      EXPECT_TRUE(std::lexicographical_compare(prev.begin(), prev.end(),
+                                               cur.begin(), cur.end()))
+          << "visit " << v;
+    } else {
+      EXPECT_EQ(prev.size() + 1, cur.size()) << "visit " << v;
+    }
+  }
+  // Each subset preserves candidate order (positions ascending).
+  for (const auto& w : seen) {
+    EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+  }
+}
+
 // ------------------------------------------------------------- FindParents
 
 // Deterministic planted data: child (node 0) = OR of parents 1 and 2;
@@ -166,6 +213,73 @@ TEST(FindParentsTest, DiagnosticsArePopulated) {
   EXPECT_GT(result.combinations_considered, 0u);
   EXPECT_GT(result.score_evaluations, 0u);
   EXPECT_GT(result.delta, 0.0);
+}
+
+TEST(FindParentsTest, ExpiredContextLeavesValidPartialResult) {
+  // An already-expired deadline latches the StopChecker mid-enumeration
+  // (the throttled poll fires on its 64th call; 8 candidates at eta = 3
+  // yield 92 combinations, comfortably past the stride). The search must
+  // wind down — not abort — returning a structurally valid result with
+  // `stopped` set and the adaptive greedy phase never entered.
+  Rng rng(37);
+  diffusion::StatusMatrix statuses(120, 9);
+  for (uint32_t p = 0; p < 120; ++p) {
+    for (uint32_t v = 0; v < 9; ++v) {
+      statuses.Set(p, v, rng.NextBernoulli(0.4));
+    }
+  }
+  std::vector<graph::NodeId> candidates = {1, 2, 3, 4, 5, 6, 7, 8};
+  RunContext expired;
+  expired.deadline = Deadline::Expired();
+  for (CountingKernel kernel :
+       {CountingKernel::kPacked, CountingKernel::kNaive}) {
+    ParentSearchOptions options;
+    options.kernel = kernel;
+    ParentSearchResult result =
+        FindParents(statuses, 0, candidates, options, expired);
+    EXPECT_TRUE(result.stopped);
+    // Enumeration was cut short: fewer evaluations than the full 92.
+    EXPECT_LT(result.score_evaluations, 92u);
+    EXPECT_GT(result.score_evaluations, 0u);
+    // Valid partial result: sorted parents, score consistent with them
+    // (the greedy loop observed the latch immediately, so F_i is empty and
+    // the score is still the empty-set score).
+    EXPECT_TRUE(std::is_sorted(result.parents.begin(), result.parents.end()));
+    EXPECT_TRUE(result.parents.empty());
+    EXPECT_DOUBLE_EQ(result.score, result.empty_score);
+  }
+}
+
+TEST(FindParentsTest, CancellationTokenStopsSearch) {
+  // A pre-cancelled token behaves like an expired deadline: best-so-far
+  // result, stopped flag set.
+  auto statuses = PlantedOrData(150, 41);
+  CancellationToken token;
+  token.RequestCancellation();
+  RunContext cancelled;
+  cancelled.cancellation = &token;
+  std::vector<graph::NodeId> candidates = {1, 2, 3, 4};
+  ParentSearchResult result = FindParents(statuses, 0, candidates, {},
+                                          cancelled);
+  // 14 combinations at the default eta = 3 is below the poll stride, so
+  // enumeration completes; the unthrottled boundary check still reports
+  // the stop before the greedy phase commits to more work.
+  EXPECT_TRUE(result.stopped);
+  EXPECT_TRUE(std::is_sorted(result.parents.begin(), result.parents.end()));
+}
+
+TEST(FindParentsTest, UnconstrainedContextMatchesDefault) {
+  // Passing an explicit unconstrained context is bit-identical to the
+  // default: the StopChecker never reads the clock and nothing stops.
+  auto statuses = PlantedOrData(200, 43);
+  RunContext context;
+  ParentSearchResult with_context =
+      FindParents(statuses, 0, {1, 2, 3, 4}, {}, context);
+  ParentSearchResult without = FindParents(statuses, 0, {1, 2, 3, 4}, {});
+  EXPECT_FALSE(with_context.stopped);
+  EXPECT_EQ(with_context.parents, without.parents);
+  EXPECT_DOUBLE_EQ(with_context.score, without.score);
+  EXPECT_EQ(with_context.score_evaluations, without.score_evaluations);
 }
 
 class CombinationSizeTest : public ::testing::TestWithParam<uint32_t> {};

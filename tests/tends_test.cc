@@ -1,6 +1,7 @@
 #include "inference/tends.h"
 
 #include <algorithm>
+#include <bit>
 
 #include <gtest/gtest.h>
 
@@ -205,6 +206,53 @@ TEST(TendsTest, DeterministicOnSameObservations) {
   ASSERT_EQ(r1->num_edges(), r2->num_edges());
   for (size_t e = 0; e < r1->num_edges(); ++e) {
     EXPECT_EQ(r1->edges()[e].edge, r2->edges()[e].edge);
+  }
+}
+
+TEST(TendsTest, ByteIdenticalAcrossKernelsAndThreadCounts) {
+  // The packed kernels emit joint counts in the same canonical order as the
+  // naive oracle, so the float summation order inside the local score is
+  // identical and the inferred network must match bit-for-bit — same edges,
+  // same scores, same diagnostics — for every kernel x thread-count combo.
+  auto truth = MakeGraph(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {2, 6}});
+  auto observations = SimulateUniform(truth, 0.5, 300, 0.2, 23);
+
+  TendsOptions reference_options;
+  reference_options.search.kernel = CountingKernel::kNaive;
+  reference_options.num_threads = 1;
+  Tends reference(reference_options);
+  auto want = reference.Infer(observations);
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_GT(want->num_edges(), 0u);
+
+  for (CountingKernel kernel :
+       {CountingKernel::kNaive, CountingKernel::kPacked}) {
+    for (uint32_t threads : {1u, 4u, 8u}) {
+      TendsOptions options;
+      options.search.kernel = kernel;
+      options.num_threads = threads;
+      Tends tends(options);
+      auto got = tends.Infer(observations);
+      ASSERT_TRUE(got.ok()) << got.status();
+      SCOPED_TRACE(::testing::Message()
+                   << "kernel="
+                   << (kernel == CountingKernel::kPacked ? "packed" : "naive")
+                   << " threads=" << threads);
+      ASSERT_EQ(got->num_edges(), want->num_edges());
+      for (size_t e = 0; e < want->num_edges(); ++e) {
+        EXPECT_EQ(got->edges()[e].edge, want->edges()[e].edge);
+        // Bitwise, not approximate: the kernels must not reorder the sums.
+        EXPECT_EQ(std::bit_cast<uint64_t>(got->edges()[e].weight),
+                  std::bit_cast<uint64_t>(want->edges()[e].weight));
+      }
+      EXPECT_EQ(
+          std::bit_cast<uint64_t>(tends.diagnostics().network_score),
+          std::bit_cast<uint64_t>(reference.diagnostics().network_score));
+      if (kernel == CountingKernel::kPacked) {
+        EXPECT_GT(tends.diagnostics().total_score_evaluations, 0u);
+      }
+    }
   }
 }
 

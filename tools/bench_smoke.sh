@@ -1,0 +1,34 @@
+#!/bin/sh
+# Bench smoke test: runs micro_primitives on a tiny iteration budget with
+# TENDS_BENCH_JSON_DIR pointed at a scratch directory, then validates every
+# emitted BENCH_*.json against the tends.bench.v1 schema. Keeps the bench
+# JSON channel (benchlib::MaybeWriteBenchJson) and the custom main in
+# micro_primitives wired end to end.
+#
+# Usage: bench_smoke.sh <micro_primitives-binary> <validate_bench_json-binary> <workdir>
+set -eu
+
+BENCH_BIN="$1"
+VALIDATOR="$2"
+WORKDIR="$3"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+# The CountJoint kernel family only, at a minimal measuring budget: the
+# smoke test checks plumbing, not performance.
+TENDS_BENCH_JSON_DIR="$WORKDIR" "$BENCH_BIN" \
+  --benchmark_filter='BM_CountJoint(Naive|Packed|Incremental)/64/' \
+  --benchmark_min_time=0.001 > "$WORKDIR/bench.out" 2>&1 || {
+    echo "bench run failed:" >&2
+    cat "$WORKDIR/bench.out" >&2
+    exit 1
+  }
+
+set -- "$WORKDIR"/BENCH_*.json
+if [ ! -f "$1" ]; then
+  echo "no BENCH_*.json emitted in $WORKDIR" >&2
+  exit 1
+fi
+
+"$VALIDATOR" "$@"

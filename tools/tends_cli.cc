@@ -254,6 +254,7 @@ int RunInfer(int argc, const char* const* argv) {
   std::string out = "inferred.txt";
   std::string io_mode = "strict";
   std::string metrics_out;
+  std::string counting_kernel = "packed";
   int64_t num_edges = 0;
   int64_t deadline_ms = 0;
   int64_t progress_ms = 1000;
@@ -296,6 +297,10 @@ int RunInfer(int argc, const char* const* argv) {
                    "tends: pruning threshold scale");
   parser.AddBool("traditional_mi", &traditional_mi,
                  "tends: use traditional MI instead of infection MI");
+  parser.AddString("counting_kernel", &counting_kernel,
+                   "tends: sufficient-statistics kernel, 'packed' "
+                   "(bit-parallel, default) or 'naive' (reference oracle); "
+                   "both produce byte-identical networks");
   parser.AddUint32("em_iterations", &em_iterations,
                    "netrate: EM iteration budget");
   Status status = parser.Parse(argc, argv);
@@ -318,6 +323,11 @@ int RunInfer(int argc, const char* const* argv) {
         StrFormat("--progress_ms must be > 0, got %lld",
                   static_cast<long long>(progress_ms))));
   }
+  if (counting_kernel != "packed" && counting_kernel != "naive") {
+    return FailWith(Status::InvalidArgument(
+        "--counting_kernel must be 'packed' or 'naive', got '" +
+        counting_kernel + "'"));
+  }
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -333,6 +343,7 @@ int RunInfer(int argc, const char* const* argv) {
       {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
       {"tau_multiplier", StrFormat("%g", tau_multiplier)},
       {"traditional_mi", traditional_mi ? "true" : "false"},
+      {"counting_kernel", counting_kernel},
       {"em_iterations", StrFormat("%u", em_iterations)},
   };
 
@@ -394,6 +405,9 @@ int RunInfer(int argc, const char* const* argv) {
     inference::TendsOptions options;
     options.tau_multiplier = tau_multiplier;
     options.use_traditional_mi = traditional_mi;
+    options.search.kernel = counting_kernel == "naive"
+                                ? inference::CountingKernel::kNaive
+                                : inference::CountingKernel::kPacked;
     inference::Tends tends(options);
     result = tends.Infer(observations, context);
     deadline_expired = tends.diagnostics().deadline_expired;

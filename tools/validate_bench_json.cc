@@ -1,0 +1,110 @@
+// Validates a bench JSON file against the tends.bench.v1 schema written by
+// benchlib::MaybeWriteBenchJson: top-level {schema, title, git, rows[]},
+// each row {setting, algorithm, f_score, precision, recall, seconds,
+// edges}. Used by the bench smoke ctest (bench/CMakeLists.txt) so schema
+// drift between the writer and downstream consumers of the bench
+// trajectory fails CI instead of silently corrupting the record.
+//
+// Usage: validate_bench_json <file.json> [<file.json> ...]
+// Exit code 0 when every file validates; 1 otherwise, with one line per
+// violation on stderr.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace {
+
+using tends::JsonValue;
+
+bool IsFiniteNumber(const JsonValue* value) {
+  return value != nullptr && value->type() == JsonValue::Type::kNumber;
+}
+
+bool IsNonEmptyString(const JsonValue* value) {
+  return value != nullptr && value->type() == JsonValue::Type::kString &&
+         !value->string_value().empty();
+}
+
+int ValidateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto parsed = tends::ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << path << ": parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  const JsonValue& root = *parsed;
+  int errors = 0;
+  auto fail = [&](const std::string& message) {
+    std::cerr << path << ": " << message << "\n";
+    ++errors;
+  };
+
+  if (!root.is_object()) {
+    fail("top level is not an object");
+    return 1;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->string_value() != "tends.bench.v1") {
+    fail("schema is not \"tends.bench.v1\"");
+  }
+  if (!IsNonEmptyString(root.Find("title"))) fail("missing title");
+  if (!IsNonEmptyString(root.Find("git"))) fail("missing git describe");
+
+  const JsonValue* rows = root.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    fail("missing rows array");
+    return 1;
+  }
+  if (rows->array().empty()) fail("rows array is empty");
+  size_t index = 0;
+  for (const JsonValue& row : rows->array()) {
+    const std::string prefix = "rows[" + std::to_string(index++) + "]: ";
+    if (!row.is_object()) {
+      fail(prefix + "not an object");
+      continue;
+    }
+    if (!IsNonEmptyString(row.Find("setting"))) fail(prefix + "bad setting");
+    if (!IsNonEmptyString(row.Find("algorithm"))) {
+      fail(prefix + "bad algorithm");
+    }
+    for (const char* key : {"f_score", "precision", "recall", "seconds"}) {
+      const JsonValue* value = row.Find(key);
+      if (!IsFiniteNumber(value)) {
+        fail(prefix + "missing numeric " + key);
+      } else if (value->number_value() < 0.0) {
+        fail(prefix + "negative " + key);
+      }
+    }
+    const JsonValue* edges = row.Find("edges");
+    if (!IsFiniteNumber(edges) || edges->int_value() < 0) {
+      fail(prefix + "missing non-negative edges");
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_bench_json <file.json> [...]\n";
+    return 1;
+  }
+  int status = 0;
+  for (int a = 1; a < argc; ++a) {
+    status |= ValidateFile(argv[a]);
+    if (status == 0) std::cout << argv[a] << ": ok\n";
+  }
+  return status;
+}
