@@ -1,0 +1,151 @@
+// Demonstrates the amortization win of InferenceSession: a 10-point
+// tau_multiplier sweep through one session computes the shared artifacts
+// (packed transpose, pairwise count table, IMI matrix, K-means threshold)
+// once and reuses them, while 10 independent Tends::Infer runs recompute
+// them for every point. Both arms produce byte-identical networks (the
+// session equivalence suite proves that; this bench re-checks edge counts
+// as a cheap guard) — only the wall clock differs.
+//
+// JSON rows (schema tends.bench.v1, accuracy fields zero as for
+// micro-benchmarks): total seconds of each arm, plus a pseudo-row whose
+// `seconds` field carries the independent/session speedup factor.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/lfr.h"
+#include "inference/session.h"
+#include "inference/tends.h"
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader(
+      "Sweep Amortization - InferenceSession vs Independent Runs",
+      "10-point tau_multiplier sweep: shared-artifact session versus 10 "
+      "fresh Tends::Infer calls on the same status matrix");
+  const bool fast = benchlib::FastBenchMode();
+
+  // The artifact share of one run grows with n (IMI is O(n^2 * beta), the
+  // capped parent search only O(n * beta)), so the amortization win is a
+  // large-network effect: use an LFR graph well above the figure sizes.
+  const uint32_t n = fast ? 500 : 2000;
+  Rng graph_rng(1000 + n);
+  StatusOr<graph::DirectedGraph> truth_or = graph::GenerateLfr(
+      graph::LfrOptions::FromPaperParams(n, /*kappa=*/4.0, /*t=*/2.0),
+      graph_rng);
+  if (!truth_or.ok()) {
+    std::cerr << "dataset construction failed: " << truth_or.status() << "\n";
+    return 1;
+  }
+  const graph::DirectedGraph& truth = *truth_or;
+
+  Rng rng(42);
+  diffusion::EdgeProbabilities probabilities =
+      diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, rng);
+  diffusion::SimulationConfig sim_config;
+  // beta stays 256 in fast mode too: fewer processes make the IMI estimates
+  // noisy, the K-means threshold collapses, and the candidate sets explode.
+  sim_config.num_processes = 256;
+  sim_config.initial_infection_ratio = 0.15;
+  StatusOr<diffusion::DiffusionObservations> observations =
+      diffusion::Simulate(truth, probabilities, sim_config, rng);
+  if (!observations.ok()) {
+    std::cerr << "simulation failed: " << observations.status() << "\n";
+    return 1;
+  }
+  const diffusion::StatusMatrix& statuses = observations->statuses;
+
+  // Sweep from the auto threshold upward (1.0 .. 2.8). Below 1.0*tau the
+  // candidate sets explode and the greedy search swamps everything, which
+  // is the pruning ablation's territory (fig10/fig11), not a sweep a
+  // production server would fan out.
+  std::vector<inference::TendsOptions> runs;
+  for (int i = 0; i < 10; ++i) {
+    inference::TendsOptions options;
+    options.tau_multiplier = 1.0 + 0.2 * i;
+    runs.push_back(options);
+  }
+
+  // Warm caches so neither arm pays first-touch costs.
+  {
+    inference::Tends warmup(runs[0]);
+    if (!warmup.InferFromStatuses(statuses).ok()) {
+      std::cerr << "warmup run failed\n";
+      return 1;
+    }
+  }
+
+  // Arm 1: one fresh Tends per sweep point, artifacts recomputed each time.
+  Timer timer;
+  uint64_t independent_edges = 0;
+  for (const inference::TendsOptions& options : runs) {
+    inference::Tends tends(options);
+    StatusOr<inference::InferredNetwork> network =
+        tends.InferFromStatuses(statuses);
+    if (!network.ok()) {
+      std::cerr << "independent run failed: " << network.status() << "\n";
+      return 1;
+    }
+    independent_edges += network->num_edges();
+  }
+  const double independent_seconds = timer.ElapsedSeconds();
+
+  // Arm 2: one session, artifacts computed once, ten pruning+search passes.
+  timer.Restart();
+  inference::InferenceSession session(statuses);
+  inference::SweepRunner runner(session);
+  StatusOr<inference::SweepResult> sweep = runner.Run(runs);
+  const double session_seconds = timer.ElapsedSeconds();
+  if (!sweep.ok()) {
+    std::cerr << "session sweep failed: " << sweep.status() << "\n";
+    return 1;
+  }
+  uint64_t session_edges = 0;
+  for (const inference::SweepRunResult& run : sweep->completed) {
+    session_edges += run.network.num_edges();
+  }
+  if (sweep->completed.size() != runs.size() ||
+      session_edges != independent_edges) {
+    std::cerr << "equivalence guard failed: " << sweep->completed.size()
+              << " runs, " << session_edges << " vs " << independent_edges
+              << " edges\n";
+    return 1;
+  }
+
+  const double speedup = independent_seconds / session_seconds;
+  std::cout << StrFormat(
+      "nodes=%u processes=%u sweep_points=%zu\n"
+      "independent: %.3fs total (%.3fs/run)\n"
+      "session:     %.3fs total (%.3fs/run)\n"
+      "speedup:     %.2fx\n",
+      truth.num_nodes(), statuses.num_processes(), runs.size(),
+      independent_seconds, independent_seconds / runs.size(), session_seconds,
+      session_seconds / runs.size(), speedup);
+
+  auto row = [&](const std::string& setting, double seconds, uint64_t edges) {
+    metrics::AlgorithmEvaluation evaluation;
+    evaluation.algorithm = "TENDS";
+    evaluation.seconds = seconds;
+    evaluation.inferred_edges = edges;
+    return std::make_pair(setting,
+                          std::vector<metrics::AlgorithmEvaluation>{evaluation});
+  };
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  rows.push_back(row("independent x10", independent_seconds, independent_edges));
+  rows.push_back(row("session sweep x10", session_seconds, session_edges));
+  rows.push_back(row("speedup (independent/session)", speedup, 0));
+  benchlib::MaybeWriteBenchJson(
+      "Sweep Amortization - InferenceSession vs Independent Runs", rows);
+  return 0;
+}

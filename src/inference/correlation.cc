@@ -1,6 +1,7 @@
 #include "inference/correlation.h"
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "diffusion/validation.h"
 #include "inference/imi.h"
 
@@ -16,6 +17,7 @@ StatusOr<InferredNetwork> CorrelationBaseline::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "correlation");
   TENDS_TRACE_SPAN(metrics, "correlation_infer");
+  Timer timer;
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
       observations.statuses, /*reject_degenerate_columns=*/false));
   const uint32_t n = observations.num_nodes();
@@ -34,6 +36,8 @@ StatusOr<InferredNetwork> CorrelationBaseline::Infer(
     }
   }
   network.KeepTopM(options_.num_edges);
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

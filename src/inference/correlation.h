@@ -27,6 +27,10 @@ class CorrelationBaseline : public NetworkInference {
 
   std::string_view name() const override { return "Correlation"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-node granularity while ranking pairs: on
@@ -37,6 +41,7 @@ class CorrelationBaseline : public NetworkInference {
 
  private:
   CorrelationOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

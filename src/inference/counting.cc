@@ -261,6 +261,12 @@ uint32_t PackedStatuses::InfectedCount(graph::NodeId v) const {
   return count;
 }
 
+std::vector<uint32_t> PackedStatuses::InfectedCounts() const {
+  std::vector<uint32_t> counts(num_nodes_);
+  for (uint32_t v = 0; v < num_nodes_; ++v) counts[v] = InfectedCount(v);
+  return counts;
+}
+
 JointCounts PackedStatuses::CountJoint(
     graph::NodeId child, const std::vector<graph::NodeId>& parents) const {
   const uint32_t s = static_cast<uint32_t>(parents.size());

@@ -90,6 +90,10 @@ class PackedStatuses {
   /// Number of processes in which `v` is infected.
   uint32_t InfectedCount(graph::NodeId v) const;
 
+  /// The marginal count table: InfectedCount(v) for every node, in node
+  /// order. One O(n * beta / 64) pass; the session memoizes the result.
+  std::vector<uint32_t> InfectedCounts() const;
+
   /// Bit-identical to the free CountJoint on the unpacked matrix (same bit
   /// encoding — bit b is parents[b]'s status — and same canonical emission
   /// order). Word-at-a-time popcount over all 2^|W| combination masks for

@@ -31,16 +31,38 @@ double InfectionMi(const PairCounts& counts) {
          std::abs(PointwiseMiTerm(counts, 0, 1));
 }
 
+std::vector<PairCounts> ComputePairCountsUpperTriangle(
+    const PackedStatuses& packed) {
+  const uint32_t n = packed.num_nodes();
+  std::vector<PairCounts> counts;
+  counts.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      counts.push_back(packed.CountPair(i, j));
+    }
+  }
+  return counts;
+}
+
 ImiMatrix::ImiMatrix(const diffusion::StatusMatrix& statuses,
                      bool use_traditional_mi)
     : ImiMatrix(PackedStatuses(statuses), use_traditional_mi) {}
 
 ImiMatrix::ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi)
-    : num_nodes_(packed.num_nodes()) {
+    : ImiMatrix(packed.num_nodes(), ComputePairCountsUpperTriangle(packed),
+                use_traditional_mi) {}
+
+ImiMatrix::ImiMatrix(uint32_t num_nodes,
+                     const std::vector<PairCounts>& upper_triangle,
+                     bool use_traditional_mi)
+    : num_nodes_(num_nodes) {
+  TENDS_CHECK(upper_triangle.size() ==
+              static_cast<size_t>(num_nodes_) * (num_nodes_ - 1) / 2);
   values_.assign(static_cast<size_t>(num_nodes_) * num_nodes_, 0.0);
+  size_t pair = 0;
   for (uint32_t i = 0; i < num_nodes_; ++i) {
     for (uint32_t j = i + 1; j < num_nodes_; ++j) {
-      PairCounts counts = packed.CountPair(i, j);
+      const PairCounts& counts = upper_triangle[pair++];
       double value =
           use_traditional_mi ? TraditionalMi(counts) : InfectionMi(counts);
       values_[static_cast<size_t>(i) * num_nodes_ + j] = value;

@@ -22,6 +22,15 @@ double TraditionalMi(const PairCounts& counts);
 /// nodes, negative for negatively correlated infections.
 double InfectionMi(const PairCounts& counts);
 
+/// The pairwise contingency tables of every unordered node pair, in
+/// row-major strictly-upper-triangle order (pair (i, j), i < j, at index
+/// i*n - i*(i+1)/2 + (j - i - 1)). This is the O(n^2 * beta / 64) part of
+/// the IMI pass; both MI variants are cheap O(n^2) functions of it, which
+/// is what lets InferenceSession memoize the counts once and derive the
+/// IMI and traditional-MI matrices from the same table.
+std::vector<PairCounts> ComputePairCountsUpperTriangle(
+    const PackedStatuses& packed);
+
 /// Symmetric matrix of pairwise correlation values over all node pairs.
 class ImiMatrix {
  public:
@@ -32,6 +41,14 @@ class ImiMatrix {
   /// Same, from an already-packed view (shared with the parent-search
   /// counting kernel so the matrix is packed once per inference run).
   ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi);
+
+  /// From a precomputed pairwise-count table (the session's memoized
+  /// artifact; layout of ComputePairCountsUpperTriangle). All three
+  /// constructors funnel through this one, so the float operations run in
+  /// one order and the resulting matrices are bit-identical however the
+  /// counts were obtained.
+  ImiMatrix(uint32_t num_nodes, const std::vector<PairCounts>& upper_triangle,
+            bool use_traditional_mi);
 
   uint32_t num_nodes() const { return num_nodes_; }
 

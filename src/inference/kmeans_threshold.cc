@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "inference/imi.h"
+
 namespace tends::inference {
 
 ImiThreshold FindImiThreshold(const std::vector<double>& values,
@@ -55,6 +57,10 @@ ImiThreshold FindImiThreshold(const std::vector<double>& values,
   result.signal_count = static_cast<uint32_t>(points.size() - split);
   result.tau = split > 0 ? points[split - 1] : 0.0;
   return result;
+}
+
+ImiThreshold FindImiThreshold(const ImiMatrix& imi, uint32_t max_iterations) {
+  return FindImiThreshold(imi.UpperTriangleValues(), max_iterations);
 }
 
 }  // namespace tends::inference

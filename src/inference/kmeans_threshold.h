@@ -6,6 +6,8 @@
 
 namespace tends::inference {
 
+class ImiMatrix;
+
 /// Result of the modified 2-means clustering used by the pruning method
 /// (§IV-B): non-negative IMI values are split into a "noise" cluster whose
 /// centroid is pinned at 0 and a "signal" cluster with a free centroid;
@@ -24,6 +26,11 @@ struct ImiThreshold {
 /// as the paper removes negative IMI values). Deterministic. With no
 /// positive values the threshold is 0 and everything is noise.
 ImiThreshold FindImiThreshold(const std::vector<double>& values,
+                              uint32_t max_iterations = 100);
+
+/// Convenience overload over a pairwise matrix: clusters its
+/// strictly-upper-triangle values (each unordered pair once).
+ImiThreshold FindImiThreshold(const ImiMatrix& imi,
                               uint32_t max_iterations = 100);
 
 }  // namespace tends::inference

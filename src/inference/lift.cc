@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -18,6 +19,7 @@ StatusOr<InferredNetwork> Lift::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "lift");
   TENDS_TRACE_SPAN(metrics, "lift_infer");
+  Timer timer;
   const auto& cascades = observations.cascades;
   const auto& statuses = observations.statuses;
   TENDS_RETURN_IF_ERROR(
@@ -62,6 +64,8 @@ StatusOr<InferredNetwork> Lift::Infer(
   }
   network.KeepTopM(options_.num_edges);
   TENDS_METRIC_ADD(metrics, "tends.lift.edges_scored", network.num_edges());
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

@@ -30,6 +30,10 @@ class Lift : public NetworkInference {
 
   std::string_view name() const override { return "LIFT"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-source-node granularity: on expiry the lift
@@ -40,6 +44,7 @@ class Lift : public NetworkInference {
 
  private:
   LiftOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

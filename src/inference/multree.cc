@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -38,6 +39,7 @@ StatusOr<InferredNetwork> MulTree::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "multree");
   TENDS_TRACE_SPAN(metrics, "multree_infer");
+  Timer timer;
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
@@ -62,7 +64,11 @@ StatusOr<InferredNetwork> MulTree::Infer(
       }
     }
   }
-  if (edges.empty()) return InferredNetwork(n);
+  if (edges.empty()) {
+    diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                    context.ShouldStop()};
+    return InferredNetwork(n);
+  }
   TENDS_METRIC_ADD(metrics, "tends.multree.candidate_edges", edges.size());
   Counter* gains_counter =
       TENDS_METRIC_COUNTER(metrics, "tends.multree.gain_evaluations");
@@ -125,6 +131,8 @@ StatusOr<InferredNetwork> MulTree::Infer(
   }
   TENDS_METRIC_ADD(metrics, "tends.multree.edges_selected",
                    network.num_edges());
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

@@ -33,6 +33,10 @@ class MulTree : public NetworkInference {
 
   std::string_view name() const override { return "MulTree"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-edge-selection granularity: the greedy CELF
@@ -45,6 +49,7 @@ class MulTree : public NetworkInference {
 
  private:
   MulTreeOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

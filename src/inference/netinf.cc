@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -36,6 +37,7 @@ StatusOr<InferredNetwork> NetInf::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "netinf");
   TENDS_TRACE_SPAN(metrics, "netinf_infer");
+  Timer timer;
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
@@ -60,7 +62,11 @@ StatusOr<InferredNetwork> NetInf::Infer(
       }
     }
   }
-  if (edges.empty()) return InferredNetwork(n);
+  if (edges.empty()) {
+    diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                    context.ShouldStop()};
+    return InferredNetwork(n);
+  }
   TENDS_METRIC_ADD(metrics, "tends.netinf.candidate_edges", edges.size());
   Counter* gains_counter =
       TENDS_METRIC_COUNTER(metrics, "tends.netinf.gain_evaluations");
@@ -120,6 +126,8 @@ StatusOr<InferredNetwork> NetInf::Infer(
   }
   TENDS_METRIC_ADD(metrics, "tends.netinf.edges_selected",
                    network.num_edges());
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

@@ -32,6 +32,10 @@ class NetInf : public NetworkInference {
 
   std::string_view name() const override { return "NetInf"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-edge-selection granularity: the greedy CELF
@@ -44,6 +48,7 @@ class NetInf : public NetworkInference {
 
  private:
   NetInfOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

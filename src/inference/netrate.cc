@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "diffusion/cascade.h"
 #include "diffusion/validation.h"
 
@@ -29,6 +30,7 @@ StatusOr<InferredNetwork> NetRate::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "netrate");
   TENDS_TRACE_SPAN(metrics, "netrate_infer");
+  Timer timer;
   const auto& cascades = observations.cascades;
   TENDS_RETURN_IF_ERROR(
       diffusion::ValidateCascades(cascades, observations.num_nodes()));
@@ -150,6 +152,8 @@ StatusOr<InferredNetwork> NetRate::Infer(
   }
   TENDS_METRIC_ADD(metrics, "tends.netrate.edges_inferred",
                    network.num_edges());
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

@@ -49,6 +49,10 @@ class NetRate : public NetworkInference {
 
   std::string_view name() const override { return "NetRate"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-node and per-EM-iteration granularity: on
@@ -61,6 +65,7 @@ class NetRate : public NetworkInference {
 
  private:
   NetRateOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

@@ -1,0 +1,17 @@
+#include "inference/network_inference.h"
+
+#include "common/json.h"
+
+namespace tends::inference {
+
+std::string BaselineDiagnostics::ToJson() const {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KeyValue("algorithm", algorithm);
+  writer.KeyValue("seconds", seconds);
+  writer.KeyValue("deadline_expired", deadline_expired);
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+}  // namespace tends::inference

@@ -1,6 +1,7 @@
 #ifndef TENDS_INFERENCE_NETWORK_INFERENCE_H_
 #define TENDS_INFERENCE_NETWORK_INFERENCE_H_
 
+#include <string>
 #include <string_view>
 
 #include "common/run_context.h"
@@ -9,6 +10,22 @@
 #include "inference/inferred_network.h"
 
 namespace tends::inference {
+
+/// Minimal post-run diagnostics every algorithm can report: identity,
+/// wall-clock, and whether the run was cut short by its RunContext (in
+/// which case the returned network is the best-so-far partial result).
+/// Algorithms with richer diagnostics (TENDS) render their own JSON.
+struct BaselineDiagnostics {
+  std::string algorithm;
+  double seconds = 0.0;
+  /// True when the deadline/cancellation stopped the run early; the
+  /// returned network is partial.
+  bool deadline_expired = false;
+
+  /// Compact single-object JSON with stable keys "algorithm", "seconds"
+  /// and "deadline_expired".
+  std::string ToJson() const;
+};
 
 /// Common interface of all diffusion-network reconstruction algorithms.
 ///
@@ -22,6 +39,14 @@ class NetworkInference {
 
   /// Algorithm display name ("TENDS", "NetRate", ...).
   virtual std::string_view name() const = 0;
+
+  /// Machine-readable diagnostics of the most recent successful Infer call
+  /// as one JSON object ("{}" before the first call). Every implementation
+  /// reports at least its name, wall-clock seconds, and a
+  /// deadline_expired/partial flag; TENDS reports its full TendsDiagnostics.
+  /// Lets `tends_cli infer --verbose` and the evaluation harness consume
+  /// diagnostics uniformly instead of special-casing TENDS.
+  virtual std::string DiagnosticsJson() const { return "{}"; }
 
   /// Reconstructs the topology from the observations under the given
   /// execution constraints. When the context's deadline expires (or its

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/timer.h"
 #include "diffusion/cascade.h"
 
 namespace tends::inference {
@@ -36,6 +37,7 @@ StatusOr<InferredNetwork> Path::Infer(
   MetricsRegistry* metrics = context.metrics;
   TENDS_METRICS_STAGE(metrics, "path");
   TENDS_TRACE_SPAN(metrics, "path_infer");
+  Timer timer;
 
   // Count pair co-occurrences over the unordered path-connected sets.
   std::vector<std::vector<graph::NodeId>> traces =
@@ -68,6 +70,8 @@ StatusOr<InferredNetwork> Path::Infer(
     network.AddEdge(hi, lo, static_cast<double>(count));
   }
   network.KeepTopM(options_.num_edges);
+  diagnostics_ = {std::string(name()), timer.ElapsedSeconds(),
+                  context.ShouldStop()};
   return network;
 }
 

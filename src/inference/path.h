@@ -35,6 +35,10 @@ class Path : public NetworkInference {
 
   std::string_view name() const override { return "PATH"; }
 
+  /// Name, wall-clock seconds and partial-result flag of the most recent
+  /// successful Infer call ("{}" before the first).
+  std::string DiagnosticsJson() const override { return diagnostics_.ToJson(); }
+
   using NetworkInference::Infer;
 
   /// Honors the context at per-trace granularity while counting pair
@@ -46,6 +50,7 @@ class Path : public NetworkInference {
 
  private:
   PathOptions options_;
+  BaselineDiagnostics diagnostics_;
 };
 
 }  // namespace tends::inference

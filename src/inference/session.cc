@@ -1,0 +1,214 @@
+#include "inference/session.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "diffusion/validation.h"
+
+namespace tends::inference {
+
+InferenceSession::InferenceSession(diffusion::StatusMatrix statuses)
+    : statuses_(std::move(statuses)) {}
+
+template <typename T, typename Init>
+const T& InferenceSession::Memoize(const Memo<T>& memo,
+                                   MetricsRegistry* metrics,
+                                   Init&& init) const {
+  bool computed = false;
+  std::call_once(memo.once, [&] {
+    memo.value.emplace(init());
+    computed = true;
+  });
+  // Losers of a first-computation race blocked in call_once until the
+  // winner finished; they (and every later caller) count as hits.
+  if (computed) {
+    TENDS_METRIC_ADD(metrics, "tends.session.artifact_misses", 1);
+  } else {
+    TENDS_METRIC_ADD(metrics, "tends.session.artifact_hits", 1);
+  }
+  return *memo.value;
+}
+
+const PackedStatuses& InferenceSession::packed(MetricsRegistry* metrics) const {
+  return Memoize(packed_, metrics, [&] {
+    TENDS_METRICS_STAGE(metrics, "pack_statuses");
+    return PackedStatuses(statuses_);
+  });
+}
+
+const std::vector<uint32_t>& InferenceSession::marginal_counts(
+    MetricsRegistry* metrics) const {
+  return Memoize(marginal_counts_, metrics,
+                 [&] { return packed(metrics).InfectedCounts(); });
+}
+
+const std::vector<PairCounts>& InferenceSession::pair_counts(
+    MetricsRegistry* metrics) const {
+  return Memoize(pair_counts_, metrics, [&] {
+    // Dependencies are triggered before the stage opens so their cost is
+    // attributed to their own stage names, as in a fresh run.
+    const PackedStatuses& packed_columns = packed(metrics);
+    TENDS_METRICS_STAGE(metrics, "imi");
+    return ComputePairCountsUpperTriangle(packed_columns);
+  });
+}
+
+const ImiMatrix& InferenceSession::imi(bool use_traditional_mi,
+                                       MetricsRegistry* metrics) const {
+  const Memo<ImiMatrix>& memo =
+      use_traditional_mi ? imi_traditional_ : imi_infection_;
+  return Memoize(memo, metrics, [&] {
+    const std::vector<PairCounts>& counts = pair_counts(metrics);
+    TENDS_METRICS_STAGE(metrics, "imi");
+    TENDS_TRACE_SPAN(metrics, "imi");
+    TENDS_METRIC_ADD(metrics, "tends.imi.pairs", counts.size());
+    return ImiMatrix(num_nodes(), counts, use_traditional_mi);
+  });
+}
+
+const ImiThreshold& InferenceSession::base_threshold(
+    bool use_traditional_mi, MetricsRegistry* metrics) const {
+  const Memo<ImiThreshold>& memo =
+      use_traditional_mi ? threshold_traditional_ : threshold_infection_;
+  return Memoize(memo, metrics, [&] {
+    const ImiMatrix& matrix = imi(use_traditional_mi, metrics);
+    TENDS_METRICS_STAGE(metrics, "kmeans");
+    TENDS_TRACE_SPAN(metrics, "kmeans");
+    ImiThreshold threshold = FindImiThreshold(matrix);
+    TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);
+    return threshold;
+  });
+}
+
+StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
+                                           const RunContext& context) const {
+  const uint32_t n = statuses_.num_nodes();
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "session_run");
+  TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
+      statuses_, options.reject_degenerate_columns));
+  TENDS_RETURN_IF_ERROR(options.Validate());
+#if TENDS_METRICS_ENABLED
+  if (metrics != nullptr) {
+    metrics->GetGauge("tends.tends.nodes_total").Set(n);
+    metrics->GetGauge("tends.tends.processes").Set(statuses_.num_processes());
+  }
+#endif
+
+  SessionRun run;
+  // Deadline already blown before any work: same contract as a fresh
+  // Tends::Infer — the empty network over n nodes, flagged as expired.
+  if (context.ShouldStop()) {
+    run.network = InferredNetwork(n);
+    run.diagnostics.deadline_expired = true;
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
+    return run;
+  }
+
+  internal::TendsArtifacts artifacts;
+  artifacts.statuses = &statuses_;
+  artifacts.packed = &packed(metrics);
+  artifacts.imi = &imi(options.use_traditional_mi, metrics);
+  if (options.tau_override.has_value()) {
+    artifacts.tau = *options.tau_override;
+  } else {
+    const ImiThreshold& threshold =
+        base_threshold(options.use_traditional_mi, metrics);
+    artifacts.tau = threshold.tau * options.tau_multiplier;
+    artifacts.kmeans_iterations = threshold.iterations;
+  }
+
+  run.network = internal::RunTendsNodeLoop(artifacts, options, context,
+                                           &run.diagnostics);
+  return run;
+}
+
+SweepRunner::SweepRunner(const InferenceSession& session,
+                         SweepRunnerOptions options)
+    : session_(session), options_(std::move(options)) {}
+
+StatusOr<SweepResult> SweepRunner::Run(const std::vector<TendsOptions>& runs,
+                                       const RunContext& context) const {
+  if (options_.run_parallelism == 0) {
+    return Status::InvalidArgument("run_parallelism must be > 0");
+  }
+  // Fail fast on any bad option set before starting the sweep: a sweep is
+  // all-or-nothing on configuration (but not on deadline, see below).
+  for (size_t r = 0; r < runs.size(); ++r) {
+    Status status = runs[r].Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "sweep run %zu: %s", r, status.message().c_str()));
+    }
+  }
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "sweep");
+  Counter* completed_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.sweep.runs_completed");
+
+  SweepResult result;
+  result.runs_requested = runs.size();
+  const size_t num_runs = runs.size();
+  std::vector<std::optional<SweepRunResult>> slots(num_runs);
+  std::vector<Status> statuses(num_runs, Status::OK());
+  std::atomic<size_t> started{0};
+  std::atomic<bool> skipped_any{false};
+  std::mutex callback_mutex;
+
+  // Outer level of the runs × nodes two-level ParallelFor; the inner level
+  // is each run's own per-node loop (ParallelFor spawns plain threads per
+  // call, so nesting is safe — there is no shared pool to starve).
+  ParallelFor(options_.run_parallelism, 0, static_cast<uint32_t>(num_runs),
+              [&](uint32_t r) {
+                // Per-run deadline check: runs not started in time are
+                // skipped outright (completed runs already in flight are
+                // kept).
+                if (context.ShouldStop()) {
+                  skipped_any.store(true, std::memory_order_relaxed);
+                  return;
+                }
+                started.fetch_add(1, std::memory_order_relaxed);
+                Timer timer;
+                StatusOr<SessionRun> run = session_.Run(runs[r], context);
+                if (!run.ok()) {
+                  statuses[r] = run.status();
+                  return;
+                }
+                SweepRunResult& slot = slots[r].emplace();
+                slot.run_index = r;
+                slot.options = runs[r];
+                slot.network = std::move(run->network);
+                slot.diagnostics = run->diagnostics;
+                slot.seconds = timer.ElapsedSeconds();
+                if (!slot.diagnostics.deadline_expired) {
+                  TENDS_COUNTER_ADD(completed_counter, 1);
+                  if (options_.on_run_complete) {
+                    std::lock_guard<std::mutex> lock(callback_mutex);
+                    options_.on_run_complete(slot);
+                  }
+                }
+              });
+
+  for (size_t r = 0; r < num_runs; ++r) {
+    TENDS_RETURN_IF_ERROR(statuses[r]);
+  }
+  result.runs_started = started.load(std::memory_order_relaxed);
+  for (size_t r = 0; r < num_runs; ++r) {
+    if (!slots[r].has_value()) continue;
+    if (slots[r]->diagnostics.deadline_expired) {
+      skipped_any.store(true, std::memory_order_relaxed);
+      continue;
+    }
+    result.completed.push_back(std::move(*slots[r]));
+  }
+  result.stopped_early =
+      skipped_any.load(std::memory_order_relaxed) ||
+      result.completed.size() != result.runs_requested;
+  return result;
+}
+
+}  // namespace tends::inference

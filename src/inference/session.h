@@ -1,0 +1,182 @@
+#ifndef TENDS_INFERENCE_SESSION_H_
+#define TENDS_INFERENCE_SESSION_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "inference/counting.h"
+#include "inference/imi.h"
+#include "inference/kmeans_threshold.h"
+#include "inference/tends.h"
+
+namespace tends::inference {
+
+/// One TENDS run produced by a session: the inferred topology plus its
+/// per-run diagnostics. Runs are self-contained values so concurrent
+/// sweeps never share mutable diagnostics state (unlike Tends, whose
+/// diagnostics() is a member of the algorithm object).
+struct SessionRun {
+  InferredNetwork network;
+  TendsDiagnostics diagnostics;
+};
+
+/// Shared-artifact engine for running TENDS many times against one status
+/// matrix (tau_multiplier sweeps, IMI-vs-MI ablations, serving repeated
+/// inference requests).
+///
+/// A fresh Tends::Infer recomputes, for every call, artifacts that depend
+/// only on the status matrix: the bit-packed column transpose, the
+/// pairwise contingency-count table, the IMI (or traditional-MI) matrix,
+/// and the K-means base threshold. A session computes each of those
+/// lazily on first use, memoizes it for its lifetime, and reuses it across
+/// runs, so Run() only redoes the work a given option set actually
+/// changes: pruning at the scaled threshold plus the parent searches.
+///
+/// Memoization contract: the status matrix is owned by value and
+/// immutable, so every artifact is valid for the session's lifetime and
+/// there is no invalidation — a different matrix means a different
+/// session. Each artifact is guarded by its own std::once_flag; accessors
+/// (and Run) are safe to call from any number of threads concurrently,
+/// losers of a computation race block until the winner finishes, and
+/// artifacts are only ever computed once. Accessor hits/misses are
+/// counted on `tends.session.artifact_hits` / `tends.session.artifact_misses`.
+///
+/// Equivalence contract: Run(options, context) is byte-identical to a
+/// fresh Tends(options).InferFromStatuses(statuses, context) — both feed
+/// the same artifact values through internal::RunTendsNodeLoop, and both
+/// MI variants are derived from the same memoized count table with the
+/// float operations in the same order (enforced by the session test
+/// suite with bit-cast float equality).
+class InferenceSession {
+ public:
+  /// Takes ownership of the status matrix (it must not change afterwards —
+  /// pass a copy to keep the original). Validation of matrix contents
+  /// happens per run, honoring each run's reject_degenerate_columns.
+  explicit InferenceSession(diffusion::StatusMatrix statuses);
+
+  const diffusion::StatusMatrix& statuses() const { return statuses_; }
+  uint32_t num_nodes() const { return statuses_.num_nodes(); }
+  uint32_t num_processes() const { return statuses_.num_processes(); }
+
+  /// Runs TENDS with these options against the shared artifacts. Honors
+  /// the context exactly like Tends::InferFromStatuses (best-so-far
+  /// partial network, diagnostics.deadline_expired set). `metrics` inside
+  /// the context sees the same stage/counter names as a fresh run, except
+  /// that artifact stages (pack_statuses, imi, kmeans) are only timed on
+  /// the run that computes them.
+  StatusOr<SessionRun> Run(const TendsOptions& options,
+                           const RunContext& context = RunContext()) const;
+
+  // Memoized artifact accessors (computed on first use, then shared).
+  // `metrics` instruments the computation on a miss and the hit/miss
+  // counters; pass nullptr for none.
+
+  /// Bit-packed status columns (the one transpose of the matrix).
+  const PackedStatuses& packed(MetricsRegistry* metrics = nullptr) const;
+  /// Marginal infected-count per node.
+  const std::vector<uint32_t>& marginal_counts(
+      MetricsRegistry* metrics = nullptr) const;
+  /// Pairwise contingency counts, strictly-upper-triangle order (the
+  /// O(n^2 * beta) half of the IMI pass, shared by both MI variants).
+  const std::vector<PairCounts>& pair_counts(
+      MetricsRegistry* metrics = nullptr) const;
+  /// Pairwise matrix of the requested MI variant.
+  const ImiMatrix& imi(bool use_traditional_mi,
+                       MetricsRegistry* metrics = nullptr) const;
+  /// K-means base threshold of the requested variant's matrix (unscaled;
+  /// runs apply their own tau_multiplier).
+  const ImiThreshold& base_threshold(bool use_traditional_mi,
+                                     MetricsRegistry* metrics = nullptr) const;
+
+ private:
+  /// One lazily-computed artifact: a once_flag guarding `value`.
+  template <typename T>
+  struct Memo {
+    mutable std::once_flag once;
+    mutable std::optional<T> value;
+  };
+
+  /// Runs memo.value = init() exactly once (thread-safe), bumping the
+  /// session hit/miss counters, and returns the memoized value.
+  template <typename T, typename Init>
+  const T& Memoize(const Memo<T>& memo, MetricsRegistry* metrics,
+                   Init&& init) const;
+
+  diffusion::StatusMatrix statuses_;
+  Memo<PackedStatuses> packed_;
+  Memo<std::vector<uint32_t>> marginal_counts_;
+  Memo<std::vector<PairCounts>> pair_counts_;
+  Memo<ImiMatrix> imi_infection_;
+  Memo<ImiMatrix> imi_traditional_;
+  Memo<ImiThreshold> threshold_infection_;
+  Memo<ImiThreshold> threshold_traditional_;
+};
+
+/// One completed run of a sweep: where it sat in the request vector, the
+/// options it ran with, and what it produced.
+struct SweepRunResult {
+  size_t run_index = 0;
+  TendsOptions options;
+  InferredNetwork network;
+  TendsDiagnostics diagnostics;
+  /// Wall-clock of this run alone (artifact computation lands on whichever
+  /// run triggered it).
+  double seconds = 0.0;
+};
+
+struct SweepResult {
+  /// Fully-completed runs in request order. Runs never started (context
+  /// expired first) and runs the deadline cut short mid-way are excluded —
+  /// a sweep result never mixes complete and partial networks.
+  std::vector<SweepRunResult> completed;
+  size_t runs_requested = 0;
+  /// Runs that began executing (completed or cut short), as opposed to
+  /// skipped outright.
+  size_t runs_started = 0;
+  /// True when the context stopped the sweep before every requested run
+  /// completed.
+  bool stopped_early = false;
+};
+
+struct SweepRunnerOptions {
+  /// Concurrent runs (outer level of the runs × nodes two-level
+  /// ParallelFor; each run's inner level uses its own
+  /// TendsOptions::num_threads). 1 = one run at a time.
+  uint32_t run_parallelism = 1;
+  /// Invoked after each completed run, serialized under a mutex (safe to
+  /// write to shared state or a terminal from), in completion order —
+  /// progress reporting for long sweeps.
+  std::function<void(const SweepRunResult&)> on_run_complete;
+};
+
+/// Fans a vector of TendsOptions across a session: every run reuses the
+/// session's memoized artifacts, runs are independent and may execute
+/// concurrently, and the context is honored per run (a run observes the
+/// deadline exactly as a standalone Tends::Infer would; the sweep
+/// additionally skips runs it could not start in time).
+class SweepRunner {
+ public:
+  explicit SweepRunner(const InferenceSession& session,
+                       SweepRunnerOptions options = {});
+
+  /// Validates every option set up front (the index of the offending set
+  /// is named in the error), then executes the runs. Only infrastructure
+  /// errors surface as a non-OK status; deadline expiry is reported
+  /// through SweepResult::stopped_early instead.
+  StatusOr<SweepResult> Run(const std::vector<TendsOptions>& runs,
+                            const RunContext& context = RunContext()) const;
+
+ private:
+  const InferenceSession& session_;
+  SweepRunnerOptions options_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_SESSION_H_

@@ -29,6 +29,144 @@ std::string TendsDiagnostics::ToJson() const {
   return writer.TakeString();
 }
 
+Status TendsOptions::Validate() const {
+  if (tau_multiplier <= 0.0) {
+    return Status::InvalidArgument("tau_multiplier must be > 0");
+  }
+  if (tau_override.has_value() && tau_multiplier != 1.0) {
+    return Status::InvalidArgument(
+        "tau_override and tau_multiplier != 1 are contradictory: the "
+        "override fixes tau directly, so bake the scale into the override");
+  }
+  if (max_candidates == 0) {
+    return Status::InvalidArgument("max_candidates must be > 0");
+  }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be > 0 (1 = sequential)");
+  }
+  return Status::OK();
+}
+
+namespace internal {
+
+InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
+                                 const TendsOptions& options,
+                                 const RunContext& context,
+                                 TendsDiagnostics* diagnostics) {
+  const diffusion::StatusMatrix& statuses = *artifacts.statuses;
+  const PackedStatuses& packed = *artifacts.packed;
+  const ImiMatrix& imi = *artifacts.imi;
+  const double tau = artifacts.tau;
+  const uint32_t n = statuses.num_nodes();
+  MetricsRegistry* metrics = context.metrics;
+  diagnostics->tau = tau;
+  diagnostics->kmeans_iterations = artifacts.kmeans_iterations;
+
+  // Live progress counters, resolved once and bumped from the workers (the
+  // same counters drive `tends_cli infer --progress` and the manifest).
+  Counter* nodes_done_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.nodes_completed");
+  Counter* evals_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.score_evaluations");
+  Counter* clipped_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.clipped_nodes");
+
+  // Per-node subproblems are independent; run them (optionally) in
+  // parallel and assemble results in node order so the output is
+  // identical for any thread count. Each worker polls the context before
+  // starting a node (per-node granularity) and FindParents polls it
+  // between score evaluations (per-combination granularity); a stop
+  // leaves the remaining nodes skipped and already-running nodes
+  // returning their best partial parent sets.
+  std::vector<ParentSearchResult> results(n);
+  std::vector<uint32_t> candidate_counts(n, 0);
+  std::vector<uint8_t> clipped(n, 0);
+  std::vector<uint8_t> completed(n, 0);
+  std::atomic<bool> expired{false};
+  ParallelFor(options.num_threads, 0, n, [&](uint32_t i) {
+    if (context.ShouldStop()) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
+    // (Per-node stage times accumulate across workers, so with
+    // num_threads > 1 a stage's wall_ns can exceed the run's wall-clock;
+    // it is the aggregate cost of the stage, CPU-time style.)
+    std::vector<graph::NodeId> candidates;
+    {
+      TENDS_METRICS_STAGE(metrics, "pruning");
+      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
+      std::vector<std::pair<double, graph::NodeId>> ranked;
+      for (uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double value = imi.Get(i, j);
+        if (options.enable_pruning ? value > tau : true) {
+          ranked.emplace_back(value, j);
+        }
+      }
+      if (ranked.size() > options.max_candidates) {
+        clipped[i] = 1;
+        TENDS_COUNTER_ADD(clipped_counter, 1);
+        std::partial_sort(ranked.begin(),
+                          ranked.begin() + options.max_candidates,
+                          ranked.end(), [](const auto& a, const auto& b) {
+                            if (a.first != b.first) return a.first > b.first;
+                            return a.second < b.second;
+                          });
+        ranked.resize(options.max_candidates);
+      }
+      candidates.reserve(ranked.size());
+      // Deterministic processing order: by node id.
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      for (const auto& [value, j] : ranked) candidates.push_back(j);
+      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
+                          candidates.size());
+    }
+
+    // Lines 13-20: greedy parent-set search.
+    {
+      TENDS_METRICS_STAGE(metrics, "parent_search");
+      results[i] = FindParents(statuses, i, candidates, options.search,
+                               context, &packed);
+    }
+    TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
+    if (results[i].stopped) {
+      expired.store(true, std::memory_order_relaxed);
+    } else {
+      completed[i] = 1;
+      TENDS_COUNTER_ADD(nodes_done_counter, 1);
+    }
+  });
+
+  InferredNetwork network(n);
+  uint64_t total_candidates = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total_candidates += candidate_counts[i];
+    diagnostics->max_candidates_seen =
+        std::max(diagnostics->max_candidates_seen, candidate_counts[i]);
+    diagnostics->clipped_nodes += clipped[i];
+    diagnostics->total_score_evaluations += results[i].score_evaluations;
+    diagnostics->nodes_completed += completed[i];
+    if (completed[i]) diagnostics->network_score += results[i].score;
+    // Line 21: a directed edge from each inferred parent to v_i (partial
+    // parent sets of stopped nodes still contribute — best-so-far output).
+    for (graph::NodeId parent : results[i].parents) {
+      network.AddEdge(parent, i, imi.Get(i, parent));
+    }
+  }
+  diagnostics->mean_candidates = static_cast<double>(total_candidates) / n;
+  diagnostics->deadline_expired = expired.load(std::memory_order_relaxed);
+  if (diagnostics->deadline_expired) {
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
+  }
+  TENDS_METRIC_ADD(metrics, "tends.tends.edges_inferred", network.num_edges());
+  return network;
+}
+
+}  // namespace internal
+
 StatusOr<InferredNetwork> Tends::Infer(
     const diffusion::DiffusionObservations& observations,
     const RunContext& context) {
@@ -42,12 +180,7 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   TENDS_TRACE_SPAN(metrics, "tends_infer");
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
       statuses, options_.reject_degenerate_columns));
-  if (options_.tau_multiplier <= 0.0) {
-    return Status::InvalidArgument("tau_multiplier must be > 0");
-  }
-  if (options_.max_candidates == 0) {
-    return Status::InvalidArgument("max_candidates must be > 0");
-  }
+  TENDS_RETURN_IF_ERROR(options_.Validate());
   diagnostics_ = TendsDiagnostics();
 #if TENDS_METRICS_ENABLED
   if (metrics != nullptr) {
@@ -72,134 +205,36 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     TENDS_METRICS_STAGE(metrics, "pack_statuses");
     packed_storage.emplace(statuses);
   }
-  const PackedStatuses& packed = *packed_storage;
 
   // Lines 2-4: pairwise infection-MI values.
   std::optional<ImiMatrix> imi_storage;
   {
     TENDS_METRICS_STAGE(metrics, "imi");
     TENDS_TRACE_SPAN(metrics, "imi");
-    imi_storage.emplace(packed, options_.use_traditional_mi);
+    imi_storage.emplace(*packed_storage, options_.use_traditional_mi);
   }
-  const ImiMatrix& imi = *imi_storage;
   TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
                    static_cast<uint64_t>(n) * (n - 1) / 2);
 
+  internal::TendsArtifacts artifacts;
+  artifacts.statuses = &statuses;
+  artifacts.packed = &*packed_storage;
+  artifacts.imi = &*imi_storage;
+
   // Line 5: threshold tau via the modified K-means on non-negative values.
-  double tau = 0.0;
   if (options_.tau_override.has_value()) {
-    tau = *options_.tau_override;
+    artifacts.tau = *options_.tau_override;
   } else {
     TENDS_METRICS_STAGE(metrics, "kmeans");
     TENDS_TRACE_SPAN(metrics, "kmeans");
-    ImiThreshold threshold = FindImiThreshold(imi.UpperTriangleValues());
-    diagnostics_.kmeans_iterations = threshold.iterations;
-    tau = threshold.tau * options_.tau_multiplier;
+    ImiThreshold threshold = FindImiThreshold(*imi_storage);
+    artifacts.tau = threshold.tau * options_.tau_multiplier;
+    artifacts.kmeans_iterations = threshold.iterations;
     TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);
   }
-  diagnostics_.tau = tau;
 
-  // Live progress counters, resolved once and bumped from the workers (the
-  // same counters drive `tends_cli infer --progress` and the manifest).
-  Counter* nodes_done_counter =
-      TENDS_METRIC_COUNTER(metrics, "tends.tends.nodes_completed");
-  Counter* evals_counter =
-      TENDS_METRIC_COUNTER(metrics, "tends.tends.score_evaluations");
-  Counter* clipped_counter =
-      TENDS_METRIC_COUNTER(metrics, "tends.tends.clipped_nodes");
-
-  // Per-node subproblems are independent; run them (optionally) in
-  // parallel and assemble results in node order so the output is
-  // identical for any thread count. Each worker polls the context before
-  // starting a node (per-node granularity) and FindParents polls it
-  // between score evaluations (per-combination granularity); a stop
-  // leaves the remaining nodes skipped and already-running nodes
-  // returning their best partial parent sets.
-  std::vector<ParentSearchResult> results(n);
-  std::vector<uint32_t> candidate_counts(n, 0);
-  std::vector<uint8_t> clipped(n, 0);
-  std::vector<uint8_t> completed(n, 0);
-  std::atomic<bool> expired{false};
-  ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
-    if (context.ShouldStop()) {
-      expired.store(true, std::memory_order_relaxed);
-      return;
-    }
-    // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
-    // (Per-node stage times accumulate across workers, so with
-    // num_threads > 1 a stage's wall_ns can exceed the run's wall-clock;
-    // it is the aggregate cost of the stage, CPU-time style.)
-    std::vector<graph::NodeId> candidates;
-    {
-      TENDS_METRICS_STAGE(metrics, "pruning");
-      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
-      std::vector<std::pair<double, graph::NodeId>> ranked;
-      for (uint32_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        double value = imi.Get(i, j);
-        if (options_.enable_pruning ? value > tau : true) {
-          ranked.emplace_back(value, j);
-        }
-      }
-      if (ranked.size() > options_.max_candidates) {
-        clipped[i] = 1;
-        TENDS_COUNTER_ADD(clipped_counter, 1);
-        std::partial_sort(ranked.begin(),
-                          ranked.begin() + options_.max_candidates,
-                          ranked.end(), [](const auto& a, const auto& b) {
-                            if (a.first != b.first) return a.first > b.first;
-                            return a.second < b.second;
-                          });
-        ranked.resize(options_.max_candidates);
-      }
-      candidates.reserve(ranked.size());
-      // Deterministic processing order: by node id.
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) { return a.second < b.second; });
-      for (const auto& [value, j] : ranked) candidates.push_back(j);
-      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
-      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
-                          candidates.size());
-    }
-
-    // Lines 13-20: greedy parent-set search.
-    {
-      TENDS_METRICS_STAGE(metrics, "parent_search");
-      results[i] = FindParents(statuses, i, candidates, options_.search,
-                               context, &packed);
-    }
-    TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
-    if (results[i].stopped) {
-      expired.store(true, std::memory_order_relaxed);
-    } else {
-      completed[i] = 1;
-      TENDS_COUNTER_ADD(nodes_done_counter, 1);
-    }
-  });
-
-  InferredNetwork network(n);
-  uint64_t total_candidates = 0;
-  for (uint32_t i = 0; i < n; ++i) {
-    total_candidates += candidate_counts[i];
-    diagnostics_.max_candidates_seen =
-        std::max(diagnostics_.max_candidates_seen, candidate_counts[i]);
-    diagnostics_.clipped_nodes += clipped[i];
-    diagnostics_.total_score_evaluations += results[i].score_evaluations;
-    diagnostics_.nodes_completed += completed[i];
-    if (completed[i]) diagnostics_.network_score += results[i].score;
-    // Line 21: a directed edge from each inferred parent to v_i (partial
-    // parent sets of stopped nodes still contribute — best-so-far output).
-    for (graph::NodeId parent : results[i].parents) {
-      network.AddEdge(parent, i, imi.Get(i, parent));
-    }
-  }
-  diagnostics_.mean_candidates = static_cast<double>(total_candidates) / n;
-  diagnostics_.deadline_expired = expired.load(std::memory_order_relaxed);
-  if (diagnostics_.deadline_expired) {
-    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
-  }
-  TENDS_METRIC_ADD(metrics, "tends.tends.edges_inferred", network.num_edges());
-  return network;
+  return internal::RunTendsNodeLoop(artifacts, options_, context,
+                                    &diagnostics_);
 }
 
 }  // namespace tends::inference

@@ -38,7 +38,19 @@ struct TendsOptions {
   /// every process) may disable it to get the best-effort topology with an
   /// empty parent set for the degenerate node.
   bool reject_degenerate_columns = true;
+  /// Parent-search knobs. Thread count is NOT among them by design:
+  /// `num_threads` above is the single threading knob of a TENDS run (the
+  /// per-node searches are what runs in parallel), so the two can never
+  /// disagree.
   ParentSearchOptions search;
+
+  /// Rejects contradictory or degenerate settings with kInvalidArgument:
+  /// `tau_multiplier <= 0`, `max_candidates == 0`, `num_threads == 0`, and
+  /// `tau_override` combined with `tau_multiplier != 1.0` (the override
+  /// fixes tau directly — bake the scale into the override instead of
+  /// silently ignoring one of the two). Called at the top of every
+  /// Tends::Infer and InferenceSession run.
+  Status Validate() const;
 };
 
 /// Post-run diagnostics (valid after a successful Infer call).
@@ -74,6 +86,12 @@ class Tends : public NetworkInference {
 
   std::string_view name() const override { return "TENDS"; }
 
+  /// Full TendsDiagnostics of the most recent successful Infer call as
+  /// JSON ("{}"-shaped defaults before the first).
+  std::string DiagnosticsJson() const override {
+    return diagnostics_.ToJson();
+  }
+
   using NetworkInference::Infer;
 
   /// Uses only observations.statuses.
@@ -96,6 +114,37 @@ class Tends : public NetworkInference {
   TendsOptions options_;
   TendsDiagnostics diagnostics_;
 };
+
+namespace internal {
+
+/// Read-only inputs of the per-node TENDS loop, however they were obtained:
+/// computed fresh by Tends::InferFromStatuses or served memoized by an
+/// InferenceSession. All pointers are non-owning and must outlive the call.
+struct TendsArtifacts {
+  const diffusion::StatusMatrix* statuses = nullptr;
+  const PackedStatuses* packed = nullptr;
+  /// IMI or traditional-MI matrix, matching options.use_traditional_mi.
+  const ImiMatrix* imi = nullptr;
+  /// Pruning threshold, already scaled by tau_multiplier (or the override).
+  double tau = 0.0;
+  /// Iterations the K-means took to find the base threshold (0 when a
+  /// tau_override bypassed it); copied into the diagnostics.
+  uint32_t kmeans_iterations = 0;
+};
+
+/// The shared core of TENDS: pruning at artifacts.tau plus the greedy
+/// per-node parent searches, parallelized over nodes with results
+/// assembled in node order (byte-identical for any thread count). Both
+/// Tends::InferFromStatuses and InferenceSession::Run call this with the
+/// same artifact values, which is what makes session runs byte-identical
+/// to fresh ones. `diagnostics` must be freshly reset by the caller; the
+/// loop fills every field from tau onward.
+InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
+                                 const TendsOptions& options,
+                                 const RunContext& context,
+                                 TendsDiagnostics* diagnostics);
+
+}  // namespace internal
 
 }  // namespace tends::inference
 

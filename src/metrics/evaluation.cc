@@ -16,6 +16,7 @@ StatusOr<AlgorithmEvaluation> RunAndEvaluate(
       algorithm.Infer(observations, context);
   evaluation.seconds = timer.ElapsedSeconds();
   if (!inferred.ok()) return inferred.status();
+  evaluation.diagnostics_json = algorithm.DiagnosticsJson();
   evaluation.inferred_edges = inferred->num_edges();
   evaluation.metrics = sweep_threshold
                            ? EvaluateBestThreshold(*inferred, truth)

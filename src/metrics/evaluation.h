@@ -17,6 +17,9 @@ struct AlgorithmEvaluation {
   EdgeMetrics metrics;
   double seconds = 0.0;
   uint64_t inferred_edges = 0;
+  /// The algorithm's own DiagnosticsJson() after the run — uniform across
+  /// TENDS and the baselines (no special-casing by the harness).
+  std::string diagnostics_json = "{}";
 };
 
 /// Runs `algorithm` on `observations`, times it, and scores it against

@@ -8,7 +8,7 @@ namespace tends::inference {
 namespace {
 
 TEST(KmeansThresholdTest, EmptyInput) {
-  ImiThreshold result = FindImiThreshold({});
+  ImiThreshold result = FindImiThreshold(std::vector<double>{});
   EXPECT_DOUBLE_EQ(result.tau, 0.0);
   EXPECT_EQ(result.noise_count, 0u);
   EXPECT_EQ(result.signal_count, 0u);

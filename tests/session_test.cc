@@ -1,0 +1,272 @@
+#include "inference/session.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::SimulateUniform;
+
+diffusion::StatusMatrix SweepStatuses() {
+  Rng rng(7);
+  auto truth = graph::GenerateErdosRenyi({.num_nodes = 60, .edge_probability = 0.06}, rng);
+  if (!truth.ok()) std::abort();
+  return SimulateUniform(*truth, 0.4, 200, 0.15, 11).statuses;
+}
+
+// Bit-cast equality: the session's whole contract is "byte-identical to a
+// fresh Infer", so float comparisons must not tolerate any drift.
+void ExpectBitIdentical(const InferredNetwork& a, const InferredNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].edge.from, b.edges()[e].edge.from);
+    EXPECT_EQ(a.edges()[e].edge.to, b.edges()[e].edge.to);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.edges()[e].weight),
+              std::bit_cast<uint64_t>(b.edges()[e].weight));
+  }
+}
+
+std::vector<TendsOptions> SweepGrid(uint32_t num_threads) {
+  std::vector<TendsOptions> runs;
+  for (bool traditional : {false, true}) {
+    for (double multiplier : {0.7, 1.0, 1.5}) {
+      TendsOptions options;
+      options.tau_multiplier = multiplier;
+      options.use_traditional_mi = traditional;
+      options.num_threads = num_threads;
+      runs.push_back(options);
+    }
+  }
+  return runs;
+}
+
+TEST(SessionTest, RunIsByteIdenticalToFreshInfer) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  for (uint32_t num_threads : {1u, 8u}) {
+    for (const TendsOptions& options : SweepGrid(num_threads)) {
+      Tends fresh(options);
+      auto expected = fresh.InferFromStatuses(statuses);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      auto run = session.Run(options);
+      ASSERT_TRUE(run.ok()) << run.status();
+      ExpectBitIdentical(run->network, *expected);
+      EXPECT_EQ(std::bit_cast<uint64_t>(run->diagnostics.network_score),
+                std::bit_cast<uint64_t>(fresh.diagnostics().network_score));
+      EXPECT_EQ(std::bit_cast<uint64_t>(run->diagnostics.tau),
+                std::bit_cast<uint64_t>(fresh.diagnostics().tau));
+      EXPECT_EQ(run->diagnostics.nodes_completed,
+                fresh.diagnostics().nodes_completed);
+      EXPECT_FALSE(run->diagnostics.deadline_expired);
+    }
+  }
+}
+
+TEST(SessionTest, SweepRunnerMatchesFreshRunsInRequestOrder) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  const std::vector<TendsOptions> runs = SweepGrid(/*num_threads=*/1);
+
+  SweepRunnerOptions sweep_options;
+  sweep_options.run_parallelism = 3;
+  SweepRunner runner(session, sweep_options);
+  auto sweep = runner.Run(runs);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_EQ(sweep->runs_requested, runs.size());
+  EXPECT_EQ(sweep->runs_started, runs.size());
+  EXPECT_FALSE(sweep->stopped_early);
+  ASSERT_EQ(sweep->completed.size(), runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    EXPECT_EQ(sweep->completed[r].run_index, r);
+    Tends fresh(runs[r]);
+    auto expected = fresh.InferFromStatuses(statuses);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ExpectBitIdentical(sweep->completed[r].network, *expected);
+  }
+}
+
+TEST(SessionTest, TauOverrideMatchesFreshInfer) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  TendsOptions options;
+  options.tau_override = 0.02;
+  Tends fresh(options);
+  auto expected = fresh.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  auto run = session.Run(options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ExpectBitIdentical(run->network, *expected);
+  EXPECT_DOUBLE_EQ(run->diagnostics.tau, 0.02);
+}
+
+TEST(SessionTest, ArtifactsComputedOnceAcrossRuns) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  MetricsRegistry metrics;
+  RunContext context;
+  context.metrics = &metrics;
+
+  TendsOptions options;
+  ASSERT_TRUE(session.Run(options, context).ok());
+  // First IMI run misses packed + pair counts + IMI matrix + threshold.
+  // (The two hits are dependency lookups: pair-counts re-reading the packed
+  // statuses, the threshold re-reading the IMI matrix.)
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 4u);
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_hits"), 2u);
+
+  options.tau_multiplier = 1.5;
+  ASSERT_TRUE(session.Run(options, context).ok());
+  // A different multiplier reuses every artifact.
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 4u);
+  EXPECT_GT(metrics.CounterValue("tends.session.artifact_hits"), 0u);
+
+  TendsOptions traditional;
+  traditional.use_traditional_mi = true;
+  ASSERT_TRUE(session.Run(traditional, context).ok());
+  // The MI variant adds its own matrix + threshold but shares the counts.
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 6u);
+}
+
+TEST(SessionTest, SweepValidationNamesTheOffendingRun) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  std::vector<TendsOptions> runs(2);
+  runs[1].max_candidates = 0;
+  SweepRunner runner(session);
+  auto sweep = runner.Run(runs);
+  ASSERT_FALSE(sweep.ok());
+  EXPECT_TRUE(sweep.status().IsInvalidArgument());
+  EXPECT_NE(sweep.status().message().find("sweep run 1"), std::string::npos)
+      << sweep.status();
+}
+
+TEST(SessionTest, RunRejectsInvalidOptions) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  TendsOptions contradictory;
+  contradictory.tau_override = 0.1;
+  contradictory.tau_multiplier = 2.0;
+  EXPECT_FALSE(session.Run(contradictory).ok());
+  TendsOptions no_threads;
+  no_threads.num_threads = 0;
+  EXPECT_FALSE(session.Run(no_threads).ok());
+}
+
+TEST(SessionTest, ExpiredContextSkipsEveryRun) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  SweepRunner runner(session);
+  RunContext context;
+  context.deadline = Deadline::Expired();
+  auto sweep = runner.Run(SweepGrid(/*num_threads=*/1), context);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_TRUE(sweep->completed.empty());
+  EXPECT_EQ(sweep->runs_started, 0u);
+  EXPECT_TRUE(sweep->stopped_early);
+}
+
+TEST(SessionTest, CancellationMidSweepReturnsCompletedRunsOnly) {
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  CancellationToken cancellation;
+  RunContext context;
+  context.cancellation = &cancellation;
+
+  // Serial sweep; cancel as soon as the first run completes. The remaining
+  // runs must be skipped, and the result must contain only complete
+  // networks (never a partial one).
+  std::atomic<size_t> callbacks{0};
+  SweepRunnerOptions sweep_options;
+  sweep_options.on_run_complete = [&](const SweepRunResult& run) {
+    callbacks.fetch_add(1);
+    cancellation.RequestCancellation();
+  };
+  SweepRunner runner(session, sweep_options);
+  auto sweep = runner.Run(SweepGrid(/*num_threads=*/1), context);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_TRUE(sweep->stopped_early);
+  ASSERT_EQ(sweep->completed.size(), 1u);
+  EXPECT_EQ(callbacks.load(), 1u);
+  EXPECT_EQ(sweep->completed[0].run_index, 0u);
+  EXPECT_FALSE(sweep->completed[0].diagnostics.deadline_expired);
+  // The one completed run is still byte-identical to a fresh, uncancelled
+  // run: cancellation after completion cannot have touched it.
+  Tends fresh(SweepGrid(/*num_threads=*/1)[0]);
+  auto expected = fresh.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ExpectBitIdentical(sweep->completed[0].network, *expected);
+}
+
+TEST(SessionTest, ConcurrentRunsShareArtifactsSafely) {
+  // Hammer one session from many concurrent runs (run_parallelism well
+  // above the artifact count) so the memoization race is actually
+  // exercised; tsan runs this via the Session* filter.
+  const diffusion::StatusMatrix statuses = SweepStatuses();
+  InferenceSession session(statuses);
+  MetricsRegistry metrics;
+  RunContext context;
+  context.metrics = &metrics;
+  std::vector<TendsOptions> runs;
+  for (int i = 0; i < 12; ++i) {
+    TendsOptions options;
+    options.tau_multiplier = 0.8 + 0.1 * i;
+    options.use_traditional_mi = (i % 2) == 1;
+    runs.push_back(options);
+  }
+  SweepRunnerOptions sweep_options;
+  sweep_options.run_parallelism = 12;
+  SweepRunner runner(session, sweep_options);
+  auto sweep = runner.Run(runs, context);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  ASSERT_EQ(sweep->completed.size(), runs.size());
+  // However the races resolved, each artifact was computed exactly once:
+  // packed, pair counts, two MI matrices, two thresholds.
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 6u);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    Tends fresh(runs[r]);
+    auto expected = fresh.InferFromStatuses(statuses);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ExpectBitIdentical(sweep->completed[r].network, *expected);
+  }
+}
+
+TEST(SessionTest, OptionsValidateCatchesContradictions) {
+  TendsOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  TendsOptions bad_tau;
+  bad_tau.tau_multiplier = 0.0;
+  EXPECT_TRUE(bad_tau.Validate().IsInvalidArgument());
+
+  TendsOptions contradictory;
+  contradictory.tau_override = 0.1;
+  contradictory.tau_multiplier = 0.5;
+  EXPECT_TRUE(contradictory.Validate().IsInvalidArgument());
+
+  TendsOptions override_only;
+  override_only.tau_override = 0.1;
+  EXPECT_TRUE(override_only.Validate().ok());
+
+  TendsOptions no_candidates;
+  no_candidates.max_candidates = 0;
+  EXPECT_TRUE(no_candidates.Validate().IsInvalidArgument());
+
+  TendsOptions no_threads;
+  no_threads.num_threads = 0;
+  EXPECT_TRUE(no_threads.Validate().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tends::inference

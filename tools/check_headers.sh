@@ -1,0 +1,46 @@
+#!/bin/sh
+# Compiles every public header under src/ standalone (-fsyntax-only) to
+# prove each one is self-contained: includes everything it uses and parses
+# on its own. Catches the classic API-redesign hazard where a header only
+# builds because every current includer happens to pull in a dependency
+# first — which a new includer (or a reordering) would then break.
+#
+# Usage: check_headers.sh <source_root> [compiler]
+# Exits non-zero and lists the offending headers, with the compiler's
+# diagnostics, if any header fails.
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+cxx="${2:-${CXX:-c++}}"
+
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "SKIP: compiler '$cxx' not found" >&2
+  exit 0
+fi
+
+headers=$(find "$root/src" -name '*.h' | sort)
+count=0
+bad=0
+for header in $headers; do
+  count=$((count + 1))
+  # Each header is compiled as if it were the first line of a new TU.
+  if ! output=$("$cxx" -std=c++20 -fsyntax-only -x c++ \
+      -I "$root/src" "$header" 2>&1); then
+    echo "NOT SELF-CONTAINED: $header" >&2
+    printf '%s\n' "$output" >&2
+    bad=1
+  fi
+done
+
+# Guard against the find going stale (wrong root, renamed tree): an empty
+# header set would make the check silently vacuous.
+if [ "$count" -lt 10 ]; then
+  echo "CHECK STALE: only $count headers found under $root/src" >&2
+  exit 2
+fi
+
+if [ "$bad" -ne 0 ]; then
+  exit 1
+fi
+echo "OK: $count headers under src/ compile standalone"
+exit 0

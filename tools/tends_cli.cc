@@ -43,6 +43,7 @@
 #include "inference/netrate.h"
 #include "inference/path.h"
 #include "inference/probability_estimation.h"
+#include "inference/session.h"
 #include "inference/tends.h"
 #include "metrics/fscore.h"
 
@@ -73,6 +74,25 @@ Status MaybeWriteManifest(const std::string& metrics_out, RunManifest manifest,
   Status status = WriteMetricsManifest(manifest, registry, metrics_out);
   if (status.ok()) std::cout << "wrote " << metrics_out << "\n";
   return status;
+}
+
+/// Registers the canonical `--threads` flag together with its deprecated
+/// `--num_threads` alias on `parser`. `deprecated` must start at 0 (the
+/// "unset" sentinel); resolve with ResolveThreadsFlag after parsing.
+void AddThreadsFlags(FlagParser& parser, uint32_t* threads,
+                     uint32_t* deprecated) {
+  parser.AddUint32("threads", threads,
+                   "worker threads for the per-node inference subproblems");
+  parser.AddUint32("num_threads", deprecated,
+                   "deprecated alias of --threads");
+}
+
+/// Applies the deprecation policy: `--num_threads` still works but warns
+/// (once per invocation); an explicit `--threads` wins over the alias.
+uint32_t ResolveThreadsFlag(uint32_t threads, uint32_t deprecated) {
+  if (deprecated == 0) return threads;
+  std::cerr << "warning: --num_threads is deprecated; use --threads\n";
+  return threads != 1 ? threads : deprecated;
 }
 
 // ------------------------------------------------------------------ generate
@@ -263,6 +283,8 @@ int RunInfer(int argc, const char* const* argv) {
   bool progress = false;
   bool verbose = false;
   uint32_t em_iterations = 4;
+  uint32_t threads = 1;
+  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli infer: reconstruct a diffusion network topology.\n"
@@ -292,7 +314,7 @@ int RunInfer(int argc, const char* const* argv) {
   parser.AddInt64("progress_ms", &progress_ms,
                   "interval between --progress lines in milliseconds");
   parser.AddBool("verbose", &verbose,
-                 "print algorithm diagnostics as JSON (tends only)");
+                 "print the algorithm's diagnostics as JSON after inference");
   parser.AddDouble("tau_multiplier", &tau_multiplier,
                    "tends: pruning threshold scale");
   parser.AddBool("traditional_mi", &traditional_mi,
@@ -303,8 +325,10 @@ int RunInfer(int argc, const char* const* argv) {
                    "both produce byte-identical networks");
   parser.AddUint32("em_iterations", &em_iterations,
                    "netrate: EM iteration budget");
+  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
+  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
 
   IoReadOptions read_options;
   if (io_mode == "permissive") {
@@ -345,6 +369,7 @@ int RunInfer(int argc, const char* const* argv) {
       {"traditional_mi", traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
       {"em_iterations", StrFormat("%u", em_iterations)},
+      {"threads", StrFormat("%u", threads)},
   };
 
   CorruptionReport report;
@@ -396,56 +421,56 @@ int RunInfer(int argc, const char* const* argv) {
         });
   }
 
-  StatusOr<inference::InferredNetwork> result =
-      Status::InvalidArgument("unknown algorithm: " + algorithm);
-  bool deadline_expired = false;
-  uint32_t nodes_completed = 0;
-  std::string diagnostics_json;
+  // Every algorithm is driven through the uniform NetworkInference
+  // interface; diagnostics and deadline reporting below need no
+  // per-algorithm cases.
+  std::unique_ptr<inference::NetworkInference> engine;
   if (algorithm == "tends") {
     inference::TendsOptions options;
     options.tau_multiplier = tau_multiplier;
     options.use_traditional_mi = traditional_mi;
+    options.num_threads = threads;
     options.search.kernel = counting_kernel == "naive"
                                 ? inference::CountingKernel::kNaive
                                 : inference::CountingKernel::kPacked;
-    inference::Tends tends(options);
-    result = tends.Infer(observations, context);
-    deadline_expired = tends.diagnostics().deadline_expired;
-    nodes_completed = tends.diagnostics().nodes_completed;
-    diagnostics_json = tends.diagnostics().ToJson();
+    engine = std::make_unique<inference::Tends>(options);
   } else if (algorithm == "netrate") {
     inference::NetRateOptions options;
     options.max_iterations = em_iterations;
-    inference::NetRate netrate(options);
-    result = netrate.Infer(observations, context);
+    options.num_threads = threads;
+    engine = std::make_unique<inference::NetRate>(options);
   } else if (algorithm == "multree") {
-    inference::MulTree multree(
-        {.num_edges = static_cast<uint64_t>(num_edges)});
-    result = multree.Infer(observations, context);
+    engine = std::make_unique<inference::MulTree>(
+        inference::MulTreeOptions{.num_edges =
+                                      static_cast<uint64_t>(num_edges)});
   } else if (algorithm == "netinf") {
-    inference::NetInf netinf({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = netinf.Infer(observations, context);
+    engine = std::make_unique<inference::NetInf>(
+        inference::NetInfOptions{.num_edges =
+                                     static_cast<uint64_t>(num_edges)});
   } else if (algorithm == "lift") {
-    inference::Lift lift({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = lift.Infer(observations, context);
+    engine = std::make_unique<inference::Lift>(
+        inference::LiftOptions{.num_edges = static_cast<uint64_t>(num_edges)});
   } else if (algorithm == "correlation") {
-    inference::CorrelationBaseline baseline(
-        {.num_edges = static_cast<uint64_t>(num_edges)});
-    result = baseline.Infer(observations, context);
+    engine = std::make_unique<inference::CorrelationBaseline>(
+        inference::CorrelationOptions{.num_edges =
+                                          static_cast<uint64_t>(num_edges)});
   } else if (algorithm == "path") {
-    inference::Path path({.num_edges = static_cast<uint64_t>(num_edges)});
-    result = path.Infer(observations, context);
+    engine = std::make_unique<inference::Path>(
+        inference::PathOptions{.num_edges = static_cast<uint64_t>(num_edges)});
+  } else {
+    return FailWith(Status::InvalidArgument("unknown algorithm: " + algorithm));
   }
+  StatusOr<inference::InferredNetwork> result =
+      engine->Infer(observations, context);
   if (reporter != nullptr) reporter->Stop();
   if (!result.ok()) return FailWith(result.status());
-  if (deadline_expired) {
-    std::cout << StrFormat(
-        "deadline expired after %u of %u nodes; wrote the best-so-far "
-        "partial network\n",
-        nodes_completed, observations.num_nodes());
+  // Deadline and cancellation are sticky, so a stopped context after the
+  // run means the run was cut short (the written network is best-so-far).
+  if (context.ShouldStop()) {
+    std::cout << "deadline expired; wrote the best-so-far partial network\n";
   }
-  if (verbose && !diagnostics_json.empty()) {
-    std::cout << "diagnostics: " << diagnostics_json << "\n";
+  if (verbose) {
+    std::cout << "diagnostics: " << engine->DiagnosticsJson() << "\n";
   }
   status = inference::WriteInferredNetworkFile(*result, out);
   if (!status.ok()) return FailWith(status);
@@ -532,6 +557,7 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   uint32_t repetitions = 1;
   int64_t seed = 42;
   uint32_t threads = 1;
+  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli experiment: simulate diffusions on a graph and run the "
@@ -542,12 +568,12 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   parser.AddDouble("mu", &mu, "mean propagation probability");
   parser.AddUint32("repetitions", &repetitions, "independent repetitions");
   parser.AddInt64("seed", &seed, "random seed");
-  parser.AddUint32("threads", &threads,
-                   "worker threads for TENDS / NetRate subproblems");
+  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest for the whole experiment");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
+  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -584,10 +610,191 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   return 0;
 }
 
+// --------------------------------------------------------------------- sweep
+
+int RunSweep(int argc, const char* const* argv) {
+  std::string statuses_path;
+  std::string truth_path;
+  std::string out_prefix;
+  std::string io_mode = "strict";
+  std::string metrics_out;
+  std::string counting_kernel = "packed";
+  std::string multipliers_csv = "0.4,0.6,0.8,1.0,1.2,1.6,2.0";
+  bool include_traditional_mi = false;
+  int64_t deadline_ms = 0;
+  uint32_t threads = 1;
+  uint32_t deprecated_num_threads = 0;
+  uint32_t run_parallelism = 1;
+
+  FlagParser parser(
+      "tends_cli sweep: run TENDS many times against one status matrix "
+      "through a shared-artifact InferenceSession (the packed transpose, "
+      "pairwise counts, MI matrix and K-means threshold are computed once "
+      "and reused by every run).");
+  parser.AddString("statuses", &statuses_path,
+                   "status-matrix file (required)");
+  parser.AddString("truth", &truth_path,
+                   "optional ground-truth edge list; when given, each run "
+                   "is scored (F-score of directed edges)");
+  parser.AddString("tau_multipliers", &multipliers_csv,
+                   "comma-separated pruning-threshold scales, one TENDS run "
+                   "each (the paper's Fig. 10/11 sweep)");
+  parser.AddBool("include_traditional_mi", &include_traditional_mi,
+                 "additionally run every multiplier with traditional MI "
+                 "instead of infection MI (the Fig. 10/11 ablation)");
+  parser.AddString("out_prefix", &out_prefix,
+                   "when set, write each completed run's network to "
+                   "<prefix><run_index>.txt");
+  parser.AddString("io_mode", &io_mode,
+                   "input handling: 'strict' fails on the first corrupt "
+                   "line; 'permissive' skips corrupt rows and reports");
+  parser.AddInt64("deadline_ms", &deadline_ms,
+                  "wall-clock budget for the whole sweep in milliseconds; "
+                  "on expiry only fully-completed runs are reported "
+                  "(0 = unlimited)");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a JSON run manifest (artifact hit/miss counters, "
+                   "stage wall-clock, per-run counters) to this path");
+  parser.AddString("counting_kernel", &counting_kernel,
+                   "sufficient-statistics kernel: 'packed' or 'naive'");
+  parser.AddUint32("run_parallelism", &run_parallelism,
+                   "concurrent sweep runs (outer level; --threads is the "
+                   "per-run inner level)");
+  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
+
+  if (statuses_path.empty()) {
+    return FailWith(Status::InvalidArgument("--statuses is required"));
+  }
+  IoReadOptions read_options;
+  if (io_mode == "permissive") {
+    read_options.mode = IoMode::kPermissive;
+  } else if (io_mode != "strict") {
+    return FailWith(Status::InvalidArgument(
+        "--io_mode must be 'strict' or 'permissive', got '" + io_mode + "'"));
+  }
+  if (deadline_ms < 0) {
+    return FailWith(Status::InvalidArgument(
+        StrFormat("--deadline_ms must be >= 0, got %lld",
+                  static_cast<long long>(deadline_ms))));
+  }
+  if (counting_kernel != "packed" && counting_kernel != "naive") {
+    return FailWith(Status::InvalidArgument(
+        "--counting_kernel must be 'packed' or 'naive', got '" +
+        counting_kernel + "'"));
+  }
+  std::vector<double> multipliers;
+  for (std::string_view field : Split(multipliers_csv, ',')) {
+    auto value = ParseDouble(field);
+    if (!value.ok()) {
+      return FailWith(Status::InvalidArgument(
+          "--tau_multipliers: bad value '" + std::string(field) + "'"));
+    }
+    multipliers.push_back(*value);
+  }
+  if (multipliers.empty()) {
+    return FailWith(
+        Status::InvalidArgument("--tau_multipliers must be non-empty"));
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  MetricsRegistry registry;
+  CorruptionReport report;
+  auto statuses =
+      diffusion::ReadStatusMatrixFile(statuses_path, read_options, &report);
+  if (!statuses.ok()) return FailWith(statuses.status());
+  if (read_options.mode == IoMode::kPermissive) {
+    std::cout << report.Summary() << "\n";
+  }
+  report.ExportTo(&registry);
+
+  std::optional<graph::DirectedGraph> truth;
+  if (!truth_path.empty()) {
+    auto loaded = graph::ReadEdgeListFile(truth_path);
+    if (!loaded.ok()) return FailWith(loaded.status());
+    truth.emplace(std::move(loaded).value());
+  }
+
+  // One option set per (multiplier, MI variant) point.
+  std::vector<inference::TendsOptions> runs;
+  for (int traditional = 0; traditional <= (include_traditional_mi ? 1 : 0);
+       ++traditional) {
+    for (double multiplier : multipliers) {
+      inference::TendsOptions options;
+      options.tau_multiplier = multiplier;
+      options.use_traditional_mi = traditional != 0;
+      options.num_threads = threads;
+      options.search.kernel = counting_kernel == "naive"
+                                  ? inference::CountingKernel::kNaive
+                                  : inference::CountingKernel::kPacked;
+      runs.push_back(options);
+    }
+  }
+
+  RunContext context;
+  if (deadline_ms > 0) context.deadline = Deadline::AfterMillis(deadline_ms);
+  context.metrics = &registry;
+
+  inference::InferenceSession session(std::move(statuses).value());
+  inference::SweepRunnerOptions sweep_options;
+  sweep_options.run_parallelism = run_parallelism;
+  inference::SweepRunner runner(session, sweep_options);
+  auto sweep = runner.Run(runs, context);
+  if (!sweep.ok()) return FailWith(sweep.status());
+
+  std::printf("%-10s %-12s %10s %8s %10s", "run", "mi", "tau_mult", "edges",
+              "seconds");
+  if (truth.has_value()) std::printf(" %9s %9s %9s", "precision", "recall", "f");
+  std::printf("\n");
+  for (const inference::SweepRunResult& run : sweep->completed) {
+    std::printf("%-10zu %-12s %10.3f %8llu %10.4f", run.run_index,
+                run.options.use_traditional_mi ? "traditional" : "infection",
+                run.options.tau_multiplier,
+                static_cast<unsigned long long>(run.network.num_edges()),
+                run.seconds);
+    if (truth.has_value()) {
+      metrics::EdgeMetrics scored = metrics::EvaluateEdges(run.network, *truth);
+      std::printf(" %9.4f %9.4f %9.4f", scored.precision, scored.recall,
+                  scored.f_score);
+    }
+    std::printf("\n");
+    if (!out_prefix.empty()) {
+      const std::string out =
+          StrFormat("%s%zu.txt", out_prefix.c_str(), run.run_index);
+      status = inference::WriteInferredNetworkFile(run.network, out);
+      if (!status.ok()) return FailWith(status);
+    }
+  }
+  if (sweep->stopped_early) {
+    std::cout << StrFormat(
+        "deadline expired: %zu of %zu runs completed (%zu started)\n",
+        sweep->completed.size(), sweep->runs_requested, sweep->runs_started);
+  }
+
+  RunManifest manifest;
+  manifest.tool = "tends_cli sweep";
+  manifest.config = {
+      {"statuses", statuses_path},
+      {"truth", truth_path},
+      {"tau_multipliers", multipliers_csv},
+      {"include_traditional_mi", include_traditional_mi ? "true" : "false"},
+      {"counting_kernel", counting_kernel},
+      {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
+      {"threads", StrFormat("%u", threads)},
+      {"run_parallelism", StrFormat("%u", run_parallelism)},
+  };
+  status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
+                              started);
+  if (!status.ok()) return FailWith(status);
+  return 0;
+}
+
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: tends_cli <command> [flags]\n"
-      "commands: generate, simulate, infer, evaluate, estimate, "
+      "commands: generate, simulate, infer, sweep, evaluate, estimate, "
       "experiment\n"
       "Run 'tends_cli <command> --help' for command flags.\n";
   if (argc < 2) {
@@ -601,6 +808,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "generate") return RunGenerate(sub_argc, sub_argv);
   if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
   if (command == "infer") return RunInfer(sub_argc, sub_argv);
+  if (command == "sweep") return RunSweep(sub_argc, sub_argv);
   if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
   if (command == "estimate") return RunEstimate(sub_argc, sub_argv);
   if (command == "experiment") return RunExperimentCommand(sub_argc, sub_argv);
