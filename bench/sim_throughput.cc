@@ -1,0 +1,205 @@
+// Simulation-engine throughput: the parallel deterministic simulator
+// (diffusion::Simulate at 1/4/8 threads) and the statuses-only fast path
+// (diffusion::SimulateStatuses) over an n x beta grid for the IC and LT
+// models. The 1-thread Simulate arm is the pre-parallelization sequential
+// engine (the parallel path degenerates to the same inline loop), so the
+// other arms read directly as before/after speedups.
+//
+// Every arm is checked byte-identical to the 1-thread baseline before its
+// time is reported — a wrong-but-fast simulator would fail the run, not
+// report a win. The packed output of the fast path is checked against a
+// freshly transposed PackedStatuses the same way.
+//
+// JSON rows (schema tends.bench.v1, accuracy fields zero as for
+// micro-benchmarks): `seconds` of each arm, `edges` carrying the total
+// infection count, plus pseudo-rows whose `seconds` field carries the
+// speedup factor over the sequential baseline.
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "diffusion/status_simulator.h"
+#include "graph/generators/lfr.h"
+#include "inference/counting.h"
+#include "metrics/evaluation.h"
+
+using namespace tends;
+
+namespace {
+
+bool SameStatuses(const diffusion::StatusMatrix& a,
+                  const diffusion::StatusMatrix& b) {
+  if (a.num_processes() != b.num_processes() ||
+      a.num_nodes() != b.num_nodes()) {
+    return false;
+  }
+  for (uint32_t p = 0; p < a.num_processes(); ++p) {
+    if (std::memcmp(a.Row(p), b.Row(p), a.num_nodes()) != 0) return false;
+  }
+  return true;
+}
+
+bool SamePacked(const inference::PackedStatuses& a,
+                const inference::PackedStatuses& b) {
+  if (a.num_processes() != b.num_processes() || a.num_nodes() != b.num_nodes())
+    return false;
+  for (uint32_t v = 0; v < a.num_nodes(); ++v) {
+    if (std::memcmp(a.Column(v), b.Column(v),
+                    a.words_per_node() * sizeof(uint64_t)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t TotalInfections(const diffusion::StatusMatrix& statuses) {
+  uint64_t total = 0;
+  for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+    total += statuses.InfectionCount(v);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  benchlib::PrintBenchHeader(
+      "Simulation Throughput - Parallel Deterministic Engine",
+      "diffusion::Simulate and the statuses-only SimulateStatuses fast path "
+      "across thread counts; every arm byte-identical to the sequential "
+      "baseline");
+  const bool fast = benchlib::FastBenchMode();
+
+  struct GridPoint {
+    uint32_t n;
+    uint32_t beta;
+  };
+  const std::vector<GridPoint> grid =
+      fast ? std::vector<GridPoint>{{300, 128}}
+           : std::vector<GridPoint>{{500, 256}, {2000, 1024}};
+  const std::vector<uint32_t> thread_counts =
+      fast ? std::vector<uint32_t>{1, 4} : std::vector<uint32_t>{1, 4, 8};
+  const std::vector<std::pair<std::string, diffusion::DiffusionModel>> models =
+      {{"ic", diffusion::DiffusionModel::kIndependentCascade},
+       {"lt", diffusion::DiffusionModel::kLinearThreshold}};
+
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  for (const GridPoint& point : grid) {
+    Rng graph_rng(1000 + point.n);
+    StatusOr<graph::DirectedGraph> truth_or = graph::GenerateLfr(
+        graph::LfrOptions::FromPaperParams(point.n, /*kappa=*/4.0, /*t=*/2.0),
+        graph_rng);
+    if (!truth_or.ok()) {
+      std::cerr << "dataset construction failed: " << truth_or.status()
+                << "\n";
+      return 1;
+    }
+    const graph::DirectedGraph& truth = *truth_or;
+    Rng prob_rng(42);
+    diffusion::EdgeProbabilities probabilities =
+        diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, prob_rng);
+
+    for (const auto& [model_name, model] : models) {
+      diffusion::SimulationConfig config;
+      config.num_processes = point.beta;
+      config.initial_infection_ratio = 0.15;
+      config.model = model;
+
+      const std::string setting = StrFormat(
+          "%s n=%u beta=%u", model_name.c_str(), point.n, point.beta);
+      std::vector<metrics::AlgorithmEvaluation> evaluations;
+      auto add_row = [&](const std::string& algorithm, double seconds,
+                         uint64_t edges) {
+        metrics::AlgorithmEvaluation evaluation;
+        evaluation.algorithm = algorithm;
+        evaluation.seconds = seconds;
+        evaluation.inferred_edges = edges;
+        evaluations.push_back(std::move(evaluation));
+      };
+
+      // Sequential baseline (== the pre-parallelization simulator) plus
+      // reference packed transpose. Run once untimed to warm allocators.
+      config.num_threads = 1;
+      {
+        Rng warm_rng(7);
+        if (!diffusion::Simulate(truth, probabilities, config, warm_rng)
+                 .ok()) {
+          std::cerr << "warmup simulation failed\n";
+          return 1;
+        }
+      }
+      Rng base_rng(7);
+      Timer timer;
+      StatusOr<diffusion::DiffusionObservations> baseline =
+          diffusion::Simulate(truth, probabilities, config, base_rng);
+      const double baseline_seconds = timer.ElapsedSeconds();
+      if (!baseline.ok()) {
+        std::cerr << "simulation failed: " << baseline.status() << "\n";
+        return 1;
+      }
+      const diffusion::StatusMatrix& expected = baseline->statuses;
+      const inference::PackedStatuses expected_packed(expected);
+      const uint64_t infections = TotalInfections(expected);
+      add_row("simulate t=1", baseline_seconds, infections);
+
+      for (uint32_t threads : thread_counts) {
+        if (threads > 1) {
+          config.num_threads = threads;
+          Rng rng(7);
+          timer.Restart();
+          StatusOr<diffusion::DiffusionObservations> observations =
+              diffusion::Simulate(truth, probabilities, config, rng);
+          const double seconds = timer.ElapsedSeconds();
+          if (!observations.ok() ||
+              !SameStatuses(observations->statuses, expected)) {
+            std::cerr << "determinism guard failed: simulate t=" << threads
+                      << " diverged from the sequential baseline\n";
+            return 1;
+          }
+          add_row(StrFormat("simulate t=%u", threads), seconds, infections);
+          add_row(StrFormat("speedup simulate t=%u", threads),
+                  baseline_seconds / seconds, 0);
+        }
+
+        config.num_threads = threads;
+        Rng rng(7);
+        timer.Restart();
+        StatusOr<diffusion::StatusObservations> statuses_only =
+            diffusion::SimulateStatuses(truth, probabilities, config, rng);
+        const double seconds = timer.ElapsedSeconds();
+        if (!statuses_only.ok() ||
+            !SameStatuses(statuses_only->statuses, expected) ||
+            !SamePacked(statuses_only->packed, expected_packed)) {
+          std::cerr << "equivalence guard failed: SimulateStatuses t="
+                    << threads << " diverged from Simulate\n";
+          return 1;
+        }
+        add_row(StrFormat("statuses t=%u", threads), seconds, infections);
+        add_row(StrFormat("speedup statuses t=%u", threads),
+                baseline_seconds / seconds, 0);
+      }
+      rows.emplace_back(setting, std::move(evaluations));
+    }
+  }
+
+  for (const auto& [setting, evaluations] : rows) {
+    for (const metrics::AlgorithmEvaluation& evaluation : evaluations) {
+      std::cout << StrFormat("%-18s %-24s %8.4fs\n", setting.c_str(),
+                             evaluation.algorithm.c_str(), evaluation.seconds);
+    }
+  }
+  benchlib::MaybeWriteBenchJson(
+      "Simulation Throughput - Parallel Deterministic Engine", rows);
+  return 0;
+}

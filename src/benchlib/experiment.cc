@@ -55,6 +55,8 @@ StatusOr<std::vector<metrics::AlgorithmEvaluation>> RunExperiment(
     sim_config.num_processes = config.beta;
     sim_config.initial_infection_ratio = config.alpha;
     sim_config.model = config.model;
+    sim_config.sir_recovery_probability = config.sir_recovery;
+    sim_config.num_threads = config.sim_threads;
     TENDS_ASSIGN_OR_RETURN(
         diffusion::DiffusionObservations observations,
         diffusion::Simulate(truth, probabilities, sim_config, rng,

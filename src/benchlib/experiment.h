@@ -35,6 +35,12 @@ struct ExperimentConfig {
   double prob_stddev = 0.05;
   diffusion::DiffusionModel model =
       diffusion::DiffusionModel::kIndependentCascade;
+  /// kSir only: per-round recovery probability
+  /// (SimulationConfig::sir_recovery_probability).
+  double sir_recovery = 0.5;
+  /// Threads for the simulation stage (SimulationConfig::num_threads);
+  /// the simulated data is byte-identical for any value.
+  uint32_t sim_threads = 1;
   /// Independent repetitions (distinct seeds); metrics and times are
   /// averaged.
   uint32_t repetitions = 1;

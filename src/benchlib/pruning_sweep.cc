@@ -9,6 +9,7 @@
 #include "common/stringutil.h"
 #include "diffusion/propagation.h"
 #include "diffusion/simulator.h"
+#include "diffusion/status_simulator.h"
 #include "inference/session.h"
 #include "metrics/evaluation.h"
 
@@ -55,14 +56,17 @@ int RunPruningSweepBench(const std::string& title,
     sim_config.num_processes = config.beta;
     sim_config.initial_infection_ratio = config.alpha;
     sim_config.model = config.model;
-    StatusOr<diffusion::DiffusionObservations> observations =
-        diffusion::Simulate(truth, probabilities, sim_config, rng);
+    // Statuses-only fast path: the sweep never looks at cascades, and the
+    // pre-packed output seeds the session's transpose artifact for free.
+    StatusOr<diffusion::StatusObservations> observations =
+        diffusion::SimulateStatuses(truth, probabilities, sim_config, rng);
     if (!observations.ok()) {
       std::cerr << "simulation failed: " << observations.status() << "\n";
       return 1;
     }
 
-    inference::InferenceSession session(std::move(observations->statuses));
+    inference::InferenceSession session(std::move(observations->statuses),
+                                        std::move(observations->packed));
     inference::SweepRunner runner(session);
     StatusOr<inference::SweepResult> sweep = runner.Run(runs);
     if (!sweep.ok()) {

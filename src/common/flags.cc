@@ -75,6 +75,7 @@ Status FlagParser::SetValue(const std::string& name, Flag& flag,
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
   positional_.clear();
+  explicitly_set_.clear();
   if (argc > 0) program_name_ = argv[0];
   bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +113,7 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       }
     }
     TENDS_RETURN_IF_ERROR(SetValue(name, it->second, value));
+    explicitly_set_.insert(name);
   }
   return Status::OK();
 }

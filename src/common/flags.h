@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,14 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// True iff the last Parse consumed an occurrence of --name, i.e. the
+  /// user set the flag explicitly (even to its default value) as opposed
+  /// to leaving it at the default. Lets callers arbitrate between a flag
+  /// and its deprecated alias without sentinel defaults.
+  bool WasSet(const std::string& name) const {
+    return explicitly_set_.count(name) > 0;
+  }
+
   /// Usage text listing all registered flags with defaults.
   std::string Usage() const;
 
@@ -59,6 +68,7 @@ class FlagParser {
   std::string program_name_;
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
+  std::set<std::string> explicitly_set_;
 };
 
 }  // namespace tends

@@ -2,8 +2,56 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace tends {
+
+namespace {
+
+/// Upper bound on the shared pool's size: EnsureWorkers requests above it
+/// are clamped. Far above any sane thread-count knob; exists only so a
+/// corrupt request cannot spawn unbounded threads.
+constexpr uint32_t kMaxSharedPoolWorkers = 256;
+
+/// Per-call state of one ParallelFor, heap-allocated and shared with every
+/// task submitted for it. Tasks hold it by shared_ptr, so a task that the
+/// pool dequeues after the call already returned (its chunks were drained
+/// by faster threads) touches live memory, observes the exhausted cursor,
+/// and returns without ever dereferencing `fn`.
+struct ParallelForState {
+  /// Next unclaimed index. 64-bit so concurrent over-claims past `end`
+  /// cannot wrap (claims are fetch_add(grain)).
+  std::atomic<uint64_t> cursor{0};
+  uint32_t end = 0;
+  uint32_t grain = 1;
+  /// Owned by the caller's frame; only dereferenced by threads that
+  /// claimed a chunk, which the caller provably outlives (it waits for
+  /// them below).
+  const std::function<void(uint32_t)>* fn = nullptr;
+  std::mutex mutex;
+  std::condition_variable all_done;
+  /// Threads currently draining chunks (guarded by `mutex`). A claim only
+  /// happens with active > 0 held by the claimer, so once the cursor is
+  /// exhausted, active == 0 means every claimed chunk has finished.
+  uint32_t active = 0;
+};
+
+/// Claims and runs chunks until the range is exhausted.
+void DrainChunks(ParallelForState& state,
+                 const std::function<void(uint32_t)>& fn) {
+  while (true) {
+    const uint64_t claimed =
+        state.cursor.fetch_add(state.grain, std::memory_order_acq_rel);
+    if (claimed >= state.end) return;
+    const uint32_t chunk_end = static_cast<uint32_t>(
+        std::min<uint64_t>(state.end, claimed + state.grain));
+    for (uint32_t i = static_cast<uint32_t>(claimed); i < chunk_end; ++i) {
+      fn(i);
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   num_threads = std::max(1u, num_threads);
@@ -20,6 +68,13 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::EnsureWorkers(uint32_t num_threads) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (workers_.size() < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -59,27 +114,63 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(uint32_t num_threads, uint32_t begin, uint32_t end,
-                 const std::function<void(uint32_t)>& fn) {
+ThreadPool& SharedThreadPool() {
+  // Lazily constructed on first parallel call; grown on demand. Destroyed
+  // after main() — safe because ParallelFor states are self-contained
+  // (shared_ptr-owned) and no task runs past its owning call's return
+  // except as a no-op on the state itself.
+  static ThreadPool pool(1);
+  return pool;
+}
+
+void ParallelFor(const ParallelForOptions& options, uint32_t begin,
+                 uint32_t end, const std::function<void(uint32_t)>& fn) {
   if (begin >= end) return;
-  if (num_threads <= 1 || end - begin == 1) {
+  const uint32_t count = end - begin;
+  const uint32_t grain = std::max(1u, options.grain);
+  const uint32_t num_chunks = (count + grain - 1) / grain;
+  const uint32_t num_threads =
+      std::min(std::max(1u, options.num_threads), num_chunks);
+  if (num_threads <= 1) {
     for (uint32_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  num_threads = std::min(num_threads, end - begin);
-  std::atomic<uint32_t> cursor{begin};
-  auto worker = [&] {
-    while (true) {
-      uint32_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= end) return;
-      fn(i);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads - 1);
-  for (uint32_t t = 0; t + 1 < num_threads; ++t) threads.emplace_back(worker);
-  worker();
-  for (std::thread& thread : threads) thread.join();
+
+  auto state = std::make_shared<ParallelForState>();
+  state->cursor.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->fn = &fn;
+
+  ThreadPool& pool = SharedThreadPool();
+  pool.EnsureWorkers(std::min(num_threads - 1, kMaxSharedPoolWorkers));
+  for (uint32_t t = 0; t + 1 < num_threads; ++t) {
+    pool.Submit([state] {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        ++state->active;
+      }
+      DrainChunks(*state, *state->fn);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->active == 0) state->all_done.notify_all();
+    });
+  }
+
+  // The caller participates instead of blocking: it keeps claiming chunks
+  // until none are left, so the range completes even if no pool worker is
+  // ever free to help (the nested / saturated case).
+  DrainChunks(*state, fn);
+
+  // All chunks are claimed now. Wait only for workers that claimed some
+  // (they incremented `active` before their first claim); tasks still
+  // queued will find the cursor exhausted and return without touching fn.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] { return state->active == 0; });
+}
+
+void ParallelFor(uint32_t num_threads, uint32_t begin, uint32_t end,
+                 const std::function<void(uint32_t)>& fn) {
+  ParallelFor(ParallelForOptions{num_threads, 1}, begin, end, fn);
 }
 
 }  // namespace tends

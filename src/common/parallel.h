@@ -11,9 +11,9 @@
 
 namespace tends {
 
-/// Fixed-size worker pool. Tasks are arbitrary closures; Wait() blocks
-/// until every submitted task has finished. Exceptions must not escape
-/// tasks (the library is exception-free; a throwing task terminates).
+/// Worker pool. Tasks are arbitrary closures; Wait() blocks until every
+/// submitted task has finished. Exceptions must not escape tasks (the
+/// library is exception-free; a throwing task terminates).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
@@ -27,10 +27,16 @@ class ThreadPool {
 
   uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
 
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  /// Thread-safe; concurrent calls grow to the maximum requested size.
+  void EnsureWorkers(uint32_t num_threads);
+
   /// Enqueues a task. Thread-safe.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running. Only valid
+  /// when no other thread is concurrently submitting (otherwise the
+  /// "empty" observation is stale by the time Wait returns).
   void Wait();
 
  private:
@@ -45,10 +51,41 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// Runs fn(i) for every i in [begin, end), distributing indices across
-/// `num_threads` workers (dynamic chunking via an atomic cursor).
-/// num_threads <= 1 runs inline. fn must be safe to call concurrently for
-/// distinct indices; results must not depend on execution order.
+/// The lazily-initialized process-wide pool backing ParallelFor. Created
+/// with one worker on first use and grown on demand (capped); living for
+/// the process lifetime means repeated ParallelFor calls never pay
+/// thread-spawn cost again.
+ThreadPool& SharedThreadPool();
+
+struct ParallelForOptions {
+  /// Total threads working on the range, caller included; <= 1 runs the
+  /// whole range inline on the calling thread.
+  uint32_t num_threads = 1;
+  /// Indices claimed per scheduling step (dynamic chunking via an atomic
+  /// cursor). 1 = claim one index at a time — maximal load balancing,
+  /// right for heavy uneven iterations like per-node parent searches.
+  /// Larger grains amortize the claim for cheap iterations. Chunks are
+  /// contiguous [k*grain, (k+1)*grain) slices of [begin, end) when
+  /// begin is grain-aligned. Never changes results, only scheduling.
+  uint32_t grain = 1;
+};
+
+/// Runs fn(i) for every i in [begin, end), distributing chunks of indices
+/// across `options.num_threads` threads: the caller plus workers of the
+/// shared pool. fn must be safe to call concurrently for distinct indices;
+/// results must not depend on execution order.
+///
+/// Deadlock-free under nesting and pool exhaustion by construction: the
+/// caller never waits for a *queued* task to start — it drains chunks
+/// itself until the range is exhausted, then waits only for workers that
+/// actually claimed a chunk to finish. If every pool worker is busy (e.g.
+/// with outer levels of a nested ParallelFor), the caller simply runs the
+/// whole range inline and the stale queue entries later no-op.
+void ParallelFor(const ParallelForOptions& options, uint32_t begin,
+                 uint32_t end, const std::function<void(uint32_t)>& fn);
+
+/// Shorthand with grain 1 (the default scheduling of the per-node
+/// inference loops).
 void ParallelFor(uint32_t num_threads, uint32_t begin, uint32_t end,
                  const std::function<void(uint32_t)>& fn);
 

@@ -75,6 +75,13 @@ class StatusMatrix {
     return data_.data() + static_cast<size_t>(process) * num_nodes_;
   }
 
+  /// Mutable row pointer for producers that fill the matrix in place (all
+  /// bytes are zero after construction). Rows of distinct processes may be
+  /// written from different threads concurrently.
+  uint8_t* MutableRow(uint32_t process) {
+    return data_.data() + static_cast<size_t>(process) * num_nodes_;
+  }
+
   /// Number of processes in which `node` ended up infected.
   uint32_t InfectionCount(graph::NodeId node) const;
 

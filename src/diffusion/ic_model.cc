@@ -52,4 +52,44 @@ StatusOr<Cascade> IndependentCascadeModel::Run(
   return cascade;
 }
 
+Status IndependentCascadeModel::RunStatusesOnly(
+    const std::vector<graph::NodeId>& sources, Rng& rng, uint32_t max_rounds,
+    uint8_t* infected, SimScratch& scratch) const {
+  const uint32_t n = graph_.num_nodes();
+  std::vector<graph::NodeId>& frontier = scratch.frontier;
+  std::vector<graph::NodeId>& next = scratch.next;
+  frontier.clear();
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (infected[s]) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    infected[s] = 1;
+    frontier.push_back(s);
+  }
+
+  uint32_t round = 0;
+  while (!frontier.empty() && (max_rounds == 0 || round < max_rounds)) {
+    ++round;
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        // Same candidate set, edge order, and Bernoulli draws as Run:
+        // `!infected[v]` is true exactly when Run sees kNeverInfected.
+        if (!infected[v] &&
+            rng.NextBernoulli(probabilities_.GetByIndex(edge_index))) {
+          infected[v] = 1;
+          next.push_back(v);
+        }
+        ++edge_index;
+      }
+    }
+    frontier.swap(next);
+  }
+  return Status::OK();
+}
+
 }  // namespace tends::diffusion

@@ -7,6 +7,7 @@
 #include "common/statusor.h"
 #include "diffusion/cascade.h"
 #include "diffusion/propagation.h"
+#include "diffusion/sim_scratch.h"
 #include "graph/graph.h"
 
 namespace tends::diffusion {
@@ -28,6 +29,16 @@ class IndependentCascadeModel {
   /// edge fires at most once).
   StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources, Rng& rng,
                         uint32_t max_rounds = 0) const;
+
+  /// Statuses-only fast path: same infection decisions and the exact same
+  /// RNG consumption order as Run, but records only the final 0/1 flags
+  /// into `infected` (num_nodes bytes, all zero on entry — e.g. a fresh
+  /// StatusMatrix row) and keeps all working state in `scratch` so warm
+  /// repeated calls allocate nothing. Byte-identical to
+  /// Run(...).FinalStatuses() by construction.
+  Status RunStatusesOnly(const std::vector<graph::NodeId>& sources, Rng& rng,
+                         uint32_t max_rounds, uint8_t* infected,
+                         SimScratch& scratch) const;
 
  private:
   const graph::DirectedGraph& graph_;

@@ -80,4 +80,50 @@ StatusOr<Cascade> LinearThresholdModel::Run(
   return cascade;
 }
 
+Status LinearThresholdModel::RunStatusesOnly(
+    const std::vector<graph::NodeId>& sources, Rng& rng, uint32_t max_rounds,
+    uint8_t* infected, SimScratch& scratch) const {
+  const uint32_t n = graph_.num_nodes();
+  scratch.pressure.assign(n, 0.0);
+  scratch.threshold.resize(n);
+  // Thresholds are drawn before source validation, matching Run's RNG
+  // consumption order exactly.
+  for (uint32_t v = 0; v < n; ++v) {
+    scratch.threshold[v] = 1.0 - rng.NextDouble();
+  }
+  std::vector<graph::NodeId>& frontier = scratch.frontier;
+  std::vector<graph::NodeId>& next = scratch.next;
+  frontier.clear();
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (infected[s]) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    infected[s] = 1;
+    frontier.push_back(s);
+  }
+  uint32_t round = 0;
+  while (!frontier.empty() && (max_rounds == 0 || round < max_rounds)) {
+    ++round;
+    next.clear();
+    for (graph::NodeId u : frontier) {
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        if (!infected[v]) {
+          scratch.pressure[v] += normalized_weight_[edge_index];
+          if (scratch.pressure[v] >= scratch.threshold[v]) {
+            infected[v] = 1;
+            next.push_back(v);
+          }
+        }
+        ++edge_index;
+      }
+    }
+    frontier.swap(next);
+  }
+  return Status::OK();
+}
+
 }  // namespace tends::diffusion

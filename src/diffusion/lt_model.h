@@ -7,6 +7,7 @@
 #include "common/statusor.h"
 #include "diffusion/cascade.h"
 #include "diffusion/propagation.h"
+#include "diffusion/sim_scratch.h"
 #include "graph/graph.h"
 
 namespace tends::diffusion {
@@ -26,6 +27,15 @@ class LinearThresholdModel {
 
   StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources, Rng& rng,
                         uint32_t max_rounds = 0) const;
+
+  /// Statuses-only fast path: same thresholds, activation decisions, and
+  /// RNG consumption order as Run, writing only final 0/1 flags into
+  /// `infected` (num_nodes bytes, all zero on entry). The per-node
+  /// pressure/threshold arrays live in `scratch` and are reused across
+  /// calls. Byte-identical to Run(...).FinalStatuses().
+  Status RunStatusesOnly(const std::vector<graph::NodeId>& sources, Rng& rng,
+                         uint32_t max_rounds, uint8_t* infected,
+                         SimScratch& scratch) const;
 
  private:
   const graph::DirectedGraph& graph_;

@@ -1,0 +1,29 @@
+#ifndef TENDS_DIFFUSION_SIM_SCRATCH_H_
+#define TENDS_DIFFUSION_SIM_SCRATCH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tends::diffusion {
+
+/// Reusable working buffers for the statuses-only simulation fast path
+/// (the RunStatusesOnly methods of the diffusion models). The full-record
+/// Run methods allocate infection_time/infector vectors per process; the
+/// fast path keeps its frontier queues — and the LT model its
+/// pressure/threshold arrays — here instead, so a warm scratch makes
+/// repeated processes allocation-free.
+///
+/// Every run clobbers the buffers: use one scratch per thread.
+struct SimScratch {
+  std::vector<graph::NodeId> frontier;
+  std::vector<graph::NodeId> next;
+  /// LT only: weight-sum of infected in-neighbors per node.
+  std::vector<double> pressure;
+  /// LT only: per-node activation threshold of the current process.
+  std::vector<double> threshold;
+};
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_SIM_SCRATCH_H_

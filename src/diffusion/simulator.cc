@@ -2,21 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "diffusion/ic_model.h"
 #include "diffusion/lt_model.h"
+#include "diffusion/sir_model.h"
 
 namespace tends::diffusion {
 
-StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
-                                         const EdgeProbabilities& probabilities,
-                                         const SimulationConfig& config,
-                                         Rng& rng, MetricsRegistry* metrics) {
-  TENDS_METRICS_STAGE(metrics, "simulate");
-  TENDS_TRACE_SPAN(metrics, "simulate");
-  const uint32_t n = graph.num_nodes();
-  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+namespace internal {
+
+Status ValidateSimulationInputs(const graph::DirectedGraph& graph,
+                                const EdgeProbabilities& probabilities,
+                                const SimulationConfig& config) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
   if (config.num_processes == 0) {
     return Status::InvalidArgument("num_processes must be > 0");
   }
@@ -28,27 +31,81 @@ StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
     return Status::InvalidArgument(
         "probabilities not aligned with graph edges");
   }
-  const uint32_t num_sources = std::max<uint32_t>(
+  if (config.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be > 0");
+  }
+  if (config.model == DiffusionModel::kSir &&
+      (config.sir_recovery_probability <= 0.0 ||
+       config.sir_recovery_probability > 1.0)) {
+    return Status::InvalidArgument("recovery_probability must be in (0,1]");
+  }
+  return Status::OK();
+}
+
+uint32_t NumSources(const SimulationConfig& config, uint32_t num_nodes) {
+  return std::max<uint32_t>(
       1, static_cast<uint32_t>(
-             std::lround(config.initial_infection_ratio * n)));
+             std::lround(config.initial_infection_ratio * num_nodes)));
+}
+
+}  // namespace internal
+
+StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
+                                         const EdgeProbabilities& probabilities,
+                                         const SimulationConfig& config,
+                                         Rng& rng, MetricsRegistry* metrics) {
+  TENDS_METRICS_STAGE(metrics, "simulate");
+  TENDS_TRACE_SPAN(metrics, "simulate");
+  TENDS_RETURN_IF_ERROR(
+      internal::ValidateSimulationInputs(graph, probabilities, config));
+  const uint32_t n = graph.num_nodes();
+  const uint32_t num_sources = internal::NumSources(config, n);
 
   IndependentCascadeModel ic(graph, probabilities);
   LinearThresholdModel lt(graph, probabilities);
+  SirModel sir(graph, probabilities,
+               {.recovery_probability = config.sir_recovery_probability,
+                .max_rounds = config.max_rounds});
+
+  // Each process draws every decision from its own stream forked off the
+  // caller's rng, so process p's data does not depend on which thread runs
+  // it or on what the other processes did: workers fill pre-sized slots
+  // and the result is byte-identical at any num_threads.
+  std::vector<Rng> process_rngs;
+  process_rngs.reserve(config.num_processes);
+  for (uint32_t p = 0; p < config.num_processes; ++p) {
+    process_rngs.push_back(rng.Fork(p + 1));
+  }
 
   DiffusionObservations observations;
-  observations.cascades.reserve(config.num_processes);
-  for (uint32_t p = 0; p < config.num_processes; ++p) {
-    Rng process_rng = rng.Fork(p + 1);
+  observations.cascades.resize(config.num_processes);
+  std::vector<Status> failures(config.num_processes);
+  ParallelFor(config.num_threads, 0, config.num_processes, [&](uint32_t p) {
+    Rng& process_rng = process_rngs[p];
     std::vector<graph::NodeId> sources =
         process_rng.SampleWithoutReplacement(n, num_sources);
-    StatusOr<Cascade> cascade =
-        config.model == DiffusionModel::kIndependentCascade
-            ? ic.Run(sources, process_rng, config.max_rounds)
-            : lt.Run(sources, process_rng, config.max_rounds);
-    if (!cascade.ok()) return cascade.status();
+    StatusOr<Cascade> cascade = [&]() -> StatusOr<Cascade> {
+      switch (config.model) {
+        case DiffusionModel::kIndependentCascade:
+          return ic.Run(sources, process_rng, config.max_rounds);
+        case DiffusionModel::kLinearThreshold:
+          return lt.Run(sources, process_rng, config.max_rounds);
+        case DiffusionModel::kSir:
+          return sir.Run(sources, process_rng);
+      }
+      return Status::Internal("unhandled diffusion model");
+    }();
+    if (!cascade.ok()) {
+      failures[p] = cascade.status();
+      return;
+    }
     TENDS_METRIC_RECORD(metrics, "tends.sim.cascade_size",
                         cascade.value().NumInfected());
-    observations.cascades.push_back(std::move(cascade).value());
+    observations.cascades[p] = std::move(cascade).value();
+  });
+  // Lowest failing process wins, matching the sequential error order.
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
   }
   observations.statuses = StatusesFromCascades(observations.cascades);
   TENDS_METRIC_ADD(metrics, "tends.sim.processes", config.num_processes);

@@ -18,6 +18,10 @@ namespace tends::diffusion {
 enum class DiffusionModel {
   kIndependentCascade,
   kLinearThreshold,
+  /// Susceptible-Infectious-Recovered (sir_model.h): nodes stay
+  /// infectious for a geometric number of rounds governed by
+  /// SimulationConfig::sir_recovery_probability.
+  kSir,
 };
 
 /// Configuration of the paper's infection-data generation (§V-A).
@@ -30,6 +34,13 @@ struct SimulationConfig {
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   /// Bound on diffusion rounds per process (0 = until quiescence).
   uint32_t max_rounds = 0;
+  /// kSir only: per-round probability that an infectious node recovers
+  /// (geometric infectious period with mean 1/p; 1.0 reduces SIR to IC).
+  double sir_recovery_probability = 0.5;
+  /// Threads simulating processes concurrently (must be > 0; 1 =
+  /// sequential). Each process draws from its own pre-forked RNG stream,
+  /// so the observations are byte-identical at any thread count.
+  uint32_t num_threads = 1;
 };
 
 /// Everything observed from a batch of simulated diffusion processes. The
@@ -58,6 +69,20 @@ StatusOr<DiffusionObservations> Simulate(const graph::DirectedGraph& graph,
                                          const SimulationConfig& config,
                                          Rng& rng,
                                          MetricsRegistry* metrics = nullptr);
+
+namespace internal {
+
+/// Input validation shared by Simulate and SimulateStatuses
+/// (status_simulator.h), so both entry points reject exactly the same
+/// configurations with the same errors.
+Status ValidateSimulationInputs(const graph::DirectedGraph& graph,
+                                const EdgeProbabilities& probabilities,
+                                const SimulationConfig& config);
+
+/// The paper's source count: max(1, round(alpha * n)).
+uint32_t NumSources(const SimulationConfig& config, uint32_t num_nodes);
+
+}  // namespace internal
 
 }  // namespace tends::diffusion
 

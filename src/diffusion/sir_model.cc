@@ -70,4 +70,61 @@ StatusOr<Cascade> SirModel::Run(const std::vector<graph::NodeId>& sources,
   return cascade;
 }
 
+Status SirModel::RunStatusesOnly(const std::vector<graph::NodeId>& sources,
+                                 Rng& rng, uint8_t* infected,
+                                 SimScratch& scratch) const {
+  if (options_.recovery_probability <= 0.0 ||
+      options_.recovery_probability > 1.0) {
+    return Status::InvalidArgument("recovery_probability must be in (0,1]");
+  }
+  const uint32_t n = graph_.num_nodes();
+  std::vector<graph::NodeId>& infectious = scratch.frontier;
+  std::vector<graph::NodeId>& still_infectious = scratch.next;
+  infectious.clear();
+  for (graph::NodeId s : sources) {
+    if (s >= n) {
+      return Status::InvalidArgument(StrFormat("source %u out of range", s));
+    }
+    if (infected[s]) {
+      return Status::InvalidArgument(StrFormat("duplicate source %u", s));
+    }
+    infected[s] = 1;
+    infectious.push_back(s);
+  }
+
+  uint32_t round = 0;
+  while (!infectious.empty() &&
+         (options_.max_rounds == 0 || round < options_.max_rounds)) {
+    ++round;
+    still_infectious.clear();
+    // Transmission phase, identical draws to Run (the `!infected[v]` test
+    // matches Run's kNeverInfected test).
+    size_t previously_infectious = infectious.size();
+    for (size_t idx = 0; idx < previously_infectious; ++idx) {
+      graph::NodeId u = infectious[idx];
+      uint64_t edge_index = graph_.OutEdgeBegin(u);
+      for (graph::NodeId v : graph_.OutNeighbors(u)) {
+        if (!infected[v] &&
+            rng.NextBernoulli(probabilities_.GetByIndex(edge_index))) {
+          infected[v] = 1;
+          infectious.push_back(v);  // infectious from the next round on
+        }
+        ++edge_index;
+      }
+    }
+    // Recovery phase, identical draws to Run.
+    for (size_t idx = 0; idx < infectious.size(); ++idx) {
+      graph::NodeId u = infectious[idx];
+      const bool spread_this_round = idx < previously_infectious;
+      if (spread_this_round &&
+          rng.NextBernoulli(options_.recovery_probability)) {
+        continue;  // recovered
+      }
+      still_infectious.push_back(u);
+    }
+    infectious.swap(still_infectious);
+  }
+  return Status::OK();
+}
+
 }  // namespace tends::diffusion

@@ -7,6 +7,7 @@
 #include "common/statusor.h"
 #include "diffusion/cascade.h"
 #include "diffusion/propagation.h"
+#include "diffusion/sim_scratch.h"
 #include "graph/graph.h"
 
 namespace tends::diffusion {
@@ -40,6 +41,13 @@ class SirModel {
   /// Runs one outbreak from the given initially infectious nodes.
   StatusOr<Cascade> Run(const std::vector<graph::NodeId>& sources,
                         Rng& rng) const;
+
+  /// Statuses-only fast path: same transmission and recovery draws in the
+  /// same RNG order as Run, writing only final ever-infected flags into
+  /// `infected` (num_nodes bytes, all zero on entry); frontier buffers are
+  /// reused through `scratch`. Byte-identical to Run(...).FinalStatuses().
+  Status RunStatusesOnly(const std::vector<graph::NodeId>& sources, Rng& rng,
+                         uint8_t* infected, SimScratch& scratch) const;
 
  private:
   const graph::DirectedGraph& graph_;

@@ -1,0 +1,115 @@
+#include "diffusion/status_simulator.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "diffusion/ic_model.h"
+#include "diffusion/lt_model.h"
+#include "diffusion/sim_scratch.h"
+#include "diffusion/sir_model.h"
+
+namespace tends::diffusion {
+
+namespace {
+
+/// Processes per parallel work unit: one packed word. Each status-matrix
+/// row is private to its process, but the packed layout interleaves 64
+/// processes into each word of every column — block ownership makes each
+/// word single-writer without any synchronization.
+constexpr uint32_t kProcessesPerBlock = 64;
+
+}  // namespace
+
+StatusOr<StatusObservations> SimulateStatuses(
+    const graph::DirectedGraph& graph, const EdgeProbabilities& probabilities,
+    const SimulationConfig& config, Rng& rng, MetricsRegistry* metrics) {
+  TENDS_METRICS_STAGE(metrics, "simulate");
+  TENDS_TRACE_SPAN(metrics, "simulate_statuses");
+  TENDS_RETURN_IF_ERROR(
+      internal::ValidateSimulationInputs(graph, probabilities, config));
+  const uint32_t n = graph.num_nodes();
+  const uint32_t beta = config.num_processes;
+  const uint32_t num_sources = internal::NumSources(config, n);
+
+  IndependentCascadeModel ic(graph, probabilities);
+  LinearThresholdModel lt(graph, probabilities);
+  SirModel sir(graph, probabilities,
+               {.recovery_probability = config.sir_recovery_probability,
+                .max_rounds = config.max_rounds});
+
+  // Same streams as Simulate: process p forks stream p + 1, so the two
+  // entry points generate identical data.
+  std::vector<Rng> process_rngs;
+  process_rngs.reserve(beta);
+  for (uint32_t p = 0; p < beta; ++p) {
+    process_rngs.push_back(rng.Fork(p + 1));
+  }
+
+  StatusMatrix statuses(beta, n);            // zero-filled rows
+  inference::PackedStatuses packed(beta, n);  // zero-filled words
+  const uint32_t num_blocks =
+      (beta + kProcessesPerBlock - 1) / kProcessesPerBlock;
+  std::vector<Status> failures(num_blocks);
+  ParallelFor(config.num_threads, 0, num_blocks, [&](uint32_t block) {
+    // One scratch per pool thread, warm across blocks and across calls.
+    static thread_local SimScratch scratch;
+    const uint32_t block_begin = block * kProcessesPerBlock;
+    const uint32_t block_end =
+        std::min(beta, block_begin + kProcessesPerBlock);
+    for (uint32_t p = block_begin; p < block_end; ++p) {
+      Rng& process_rng = process_rngs[p];
+      std::vector<graph::NodeId> sources =
+          process_rng.SampleWithoutReplacement(n, num_sources);
+      uint8_t* row = statuses.MutableRow(p);
+      Status status;
+      switch (config.model) {
+        case DiffusionModel::kIndependentCascade:
+          status = ic.RunStatusesOnly(sources, process_rng, config.max_rounds,
+                                      row, scratch);
+          break;
+        case DiffusionModel::kLinearThreshold:
+          status = lt.RunStatusesOnly(sources, process_rng, config.max_rounds,
+                                      row, scratch);
+          break;
+        case DiffusionModel::kSir:
+          status = sir.RunStatusesOnly(sources, process_rng, row, scratch);
+          break;
+      }
+      if (!status.ok()) {
+        failures[block] = status;
+        return;
+      }
+      // Scatter the row into word `block` of each infected node's packed
+      // column. This thread owns that word for every column.
+      const uint64_t bit = uint64_t{1} << (p % kProcessesPerBlock);
+      uint32_t row_infections = 0;
+      for (uint32_t v = 0; v < n; ++v) {
+        if (row[v]) {
+          packed.MutableColumn(v)[block] |= bit;
+          ++row_infections;
+        }
+      }
+      TENDS_METRIC_RECORD(metrics, "tends.sim.cascade_size", row_infections);
+    }
+  });
+  // Blocks cover ascending process ranges, so the lowest failing block
+  // holds the lowest failing process — the sequential error order.
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+  TENDS_METRIC_ADD(metrics, "tends.sim.processes", beta);
+  TENDS_METRIC_ADD(metrics, "tends.sim.fast_path_runs", 1);
+#if TENDS_METRICS_ENABLED
+  if (metrics != nullptr) {
+    uint64_t infections = 0;
+    for (uint32_t v = 0; v < n; ++v) infections += packed.InfectedCount(v);
+    metrics->GetCounter("tends.sim.infections").Add(infections);
+  }
+#endif
+  return StatusObservations{std::move(statuses), std::move(packed)};
+}
+
+}  // namespace tends::diffusion

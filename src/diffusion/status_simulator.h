@@ -1,0 +1,49 @@
+#ifndef TENDS_DIFFUSION_STATUS_SIMULATOR_H_
+#define TENDS_DIFFUSION_STATUS_SIMULATOR_H_
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/graph.h"
+#include "inference/counting.h"
+
+namespace tends {
+class MetricsRegistry;
+}  // namespace tends
+
+namespace tends::diffusion {
+
+/// Output of the statuses-only fast path: the same status matrix Simulate
+/// would produce (byte-identical for the same inputs), plus the identical
+/// bits already in the bit-packed column-major layout of
+/// inference::PackedStatuses, assembled during simulation so status-only
+/// consumers skip the O(beta * n) transpose — feed both into
+/// inference::InferenceSession's pre-packed constructor.
+struct StatusObservations {
+  StatusMatrix statuses;
+  inference::PackedStatuses packed;
+};
+
+/// Statuses-only twin of Simulate: runs the same diffusion processes from
+/// the same per-process forked RNG streams, but records only final
+/// statuses — no per-process Cascade, no infection_time/infector
+/// allocations, and per-thread scratch buffers reused across processes
+/// (the models' RunStatusesOnly methods consume randomness in exactly the
+/// same order as their Run methods, which is what makes the outputs
+/// byte-identical, at any `config.num_threads`).
+///
+/// Parallelism is over word-aligned blocks of 64 processes so that every
+/// 64-bit word of the packed layout is written by exactly one thread.
+///
+/// `metrics` receives the same `tends.sim.*` names as Simulate plus the
+/// `tends.sim.fast_path_runs` counter.
+StatusOr<StatusObservations> SimulateStatuses(
+    const graph::DirectedGraph& graph, const EdgeProbabilities& probabilities,
+    const SimulationConfig& config, Rng& rng,
+    MetricsRegistry* metrics = nullptr);
+
+}  // namespace tends::diffusion
+
+#endif  // TENDS_DIFFUSION_STATUS_SIMULATOR_H_

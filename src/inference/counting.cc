@@ -228,6 +228,13 @@ PackedStatuses::PackedStatuses(const diffusion::StatusMatrix& statuses)
   }
 }
 
+PackedStatuses::PackedStatuses(uint32_t num_processes, uint32_t num_nodes)
+    : num_nodes_(num_nodes),
+      num_processes_(num_processes),
+      words_per_node_((num_processes + 63) / 64) {
+  words_.assign(static_cast<size_t>(num_nodes_) * words_per_node_, 0);
+}
+
 uint64_t PackedStatuses::PadMask(uint32_t w) const {
   if (w + 1 < words_per_node_) return ~uint64_t{0};
   const uint32_t valid = num_processes_ - 64 * (words_per_node_ - 1);

@@ -74,6 +74,12 @@ class PackedStatuses {
  public:
   explicit PackedStatuses(const diffusion::StatusMatrix& statuses);
 
+  /// An all-zero matrix of the given shape for producers that know the
+  /// bits as they are generated (the simulator's statuses-only fast path):
+  /// fill through MutableColumn, then the object is indistinguishable from
+  /// packing an equal StatusMatrix.
+  PackedStatuses(uint32_t num_processes, uint32_t num_nodes);
+
   uint32_t num_nodes() const { return num_nodes_; }
   uint32_t num_processes() const { return num_processes_; }
   uint32_t words_per_node() const { return words_per_node_; }
@@ -81,6 +87,15 @@ class PackedStatuses {
   /// Node v's statuses as words_per_node() little-endian words; bits at or
   /// beyond num_processes() are zero.
   const uint64_t* Column(graph::NodeId v) const {
+    return words_.data() + static_cast<size_t>(v) * words_per_node_;
+  }
+
+  /// Mutable column for in-place production (pairs with the shape
+  /// constructor). Process p is bit (p % 64) of word (p / 64). Distinct
+  /// words may be written from different threads concurrently; pad bits at
+  /// or beyond num_processes() must stay zero (the counting kernels rely
+  /// on it).
+  uint64_t* MutableColumn(graph::NodeId v) {
     return words_.data() + static_cast<size_t>(v) * words_per_node_;
   }
 

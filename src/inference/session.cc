@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stringutil.h"
@@ -13,6 +14,17 @@ namespace tends::inference {
 
 InferenceSession::InferenceSession(diffusion::StatusMatrix statuses)
     : statuses_(std::move(statuses)) {}
+
+InferenceSession::InferenceSession(diffusion::StatusMatrix statuses,
+                                   PackedStatuses packed)
+    : statuses_(std::move(statuses)) {
+  TENDS_CHECK(packed.num_processes() == statuses_.num_processes() &&
+              packed.num_nodes() == statuses_.num_nodes())
+      << "pre-packed statuses shape (" << packed.num_processes() << " x "
+      << packed.num_nodes() << ") does not match the status matrix ("
+      << statuses_.num_processes() << " x " << statuses_.num_nodes() << ")";
+  std::call_once(packed_.once, [&] { packed_.value.emplace(std::move(packed)); });
+}
 
 template <typename T, typename Init>
 const T& InferenceSession::Memoize(const Memo<T>& memo,
@@ -160,8 +172,9 @@ StatusOr<SweepResult> SweepRunner::Run(const std::vector<TendsOptions>& runs,
   std::mutex callback_mutex;
 
   // Outer level of the runs × nodes two-level ParallelFor; the inner level
-  // is each run's own per-node loop (ParallelFor spawns plain threads per
-  // call, so nesting is safe — there is no shared pool to starve).
+  // is each run's own per-node loop. Nesting is deadlock-free even though
+  // both levels share one pool: a ParallelFor caller drains chunks itself
+  // and never waits for a queued task to start (common/parallel.h).
   ParallelFor(options_.run_parallelism, 0, static_cast<uint32_t>(num_runs),
               [&](uint32_t r) {
                 // Per-run deadline check: runs not started in time are

@@ -60,6 +60,15 @@ class InferenceSession {
   /// happens per run, honoring each run's reject_degenerate_columns.
   explicit InferenceSession(diffusion::StatusMatrix statuses);
 
+  /// Same, but seeds the packed-transpose artifact with a pre-built
+  /// bit-packed copy of the same statuses (e.g. the simulator's
+  /// statuses-only fast path output, diffusion::SimulateStatuses), so
+  /// packed() never recomputes the transpose — its every call counts as an
+  /// artifact hit. `packed` must hold exactly the bits of `statuses`
+  /// (shape is checked and aborts on mismatch; contents are the caller's
+  /// contract — a lying producer silently corrupts every artifact).
+  InferenceSession(diffusion::StatusMatrix statuses, PackedStatuses packed);
+
   const diffusion::StatusMatrix& statuses() const { return statuses_; }
   uint32_t num_nodes() const { return statuses_.num_nodes(); }
   uint32_t num_processes() const { return statuses_.num_processes(); }

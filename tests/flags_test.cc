@@ -117,6 +117,52 @@ TEST(FlagParserTest, HelpReturnsUsageAsNotFound) {
   EXPECT_NE(status.message().find("default: 3"), std::string::npos);
 }
 
+TEST(FlagParserTest, WasSetTracksExplicitFlags) {
+  uint32_t u = 9;
+  double d = 1.5;
+  FlagParser parser("test");
+  parser.AddUint32("u", &u, "x");
+  parser.AddDouble("d", &d, "x");
+  auto argv = Argv({"--u=10"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.WasSet("u"));
+  EXPECT_FALSE(parser.WasSet("d"));
+  EXPECT_FALSE(parser.WasSet("never_registered"));
+}
+
+TEST(FlagParserTest, WasSetEvenWhenValueEqualsDefault) {
+  // The --threads=1 vs --num_threads deprecation shim depends on this:
+  // explicitly passing the default value still counts as "set".
+  uint32_t threads = 1;
+  FlagParser parser("test");
+  parser.AddUint32("threads", &threads, "x");
+  auto argv = Argv({"--threads=1"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(threads, 1u);
+  EXPECT_TRUE(parser.WasSet("threads"));
+}
+
+TEST(FlagParserTest, WasSetResetsOnReparse) {
+  uint32_t u = 0;
+  FlagParser parser("test");
+  parser.AddUint32("u", &u, "x");
+  auto argv = Argv({"--u=10"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.WasSet("u"));
+  auto argv2 = Argv({});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv2.size()), argv2.data()).ok());
+  EXPECT_FALSE(parser.WasSet("u"));
+}
+
+TEST(FlagParserTest, WasSetCoversBareBoolForm) {
+  bool b = false;
+  FlagParser parser("test");
+  parser.AddBool("verbose", &b, "x");
+  auto argv = Argv({"--verbose"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.WasSet("verbose"));
+}
+
 TEST(FlagParserTest, DefaultsPreservedWhenUnset) {
   uint32_t u = 9;
   double d = 1.5;

@@ -73,6 +73,80 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForTest, GrainVariantsCoverRangeExactlyOnce) {
+  for (uint32_t grain : {1u, 3u, 7u, 64u, 1000u, 5000u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(ParallelForOptions{.num_threads = 4, .grain = grain}, 0, 1000,
+                [&](uint32_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ParallelForTest, GrainSingleThreadRunsInOrder) {
+  std::vector<uint32_t> order;
+  ParallelFor(ParallelForOptions{.num_threads = 1, .grain = 16}, 3, 8,
+              [&](uint32_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<uint32_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelForTest, NestedParallelForCompletes) {
+  // Both levels share the process-wide pool; the caller-drains design must
+  // keep this from deadlocking even when workers are saturated by the
+  // outer level.
+  std::atomic<int> counter{0};
+  ParallelFor(4, 0, 8, [&](uint32_t) {
+    ParallelFor(4, 0, 100, [&](uint32_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(ParallelForTest, RepeatedCallsReuseSharedPool) {
+  const uint32_t before = SharedThreadPool().num_threads();
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<std::atomic<int>> hits(64);
+    ParallelFor(ParallelForOptions{.num_threads = 4, .grain = 5}, 0, 64,
+                [&](uint32_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+  // The pool grew at most once (to 3 extra workers) and was reused after.
+  EXPECT_GE(SharedThreadPool().num_threads(), 3u);
+  EXPECT_GE(SharedThreadPool().num_threads(), before);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsAndNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  pool.EnsureWorkers(5);
+  EXPECT_EQ(pool.num_threads(), 5u);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_threads(), 5u);
+  std::atomic<int> counter{0};
+  for (int t = 0; t < 200; ++t) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsOneProcessWideInstance) {
+  EXPECT_EQ(&SharedThreadPool(), &SharedThreadPool());
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyWaitCycles) {
+  // Stress the submit/wait handshake that ParallelFor leans on: a stale
+  // Wait or lost notification shows up here (and under tsan) long before
+  // it corrupts a simulation.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int t = 0; t < 8; ++t) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    ASSERT_EQ(counter.load(), (cycle + 1) * 8);
+  }
+}
+
 // ----------------------------- parallel inference produces identical output
 
 TEST(ParallelInferenceTest, TendsIsThreadCountInvariant) {

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
+#include "diffusion/propagation.h"
 #include "diffusion/simulator.h"
+#include "diffusion/status_simulator.h"
 #include "graph/generators/erdos_renyi.h"
 #include "inference/tends.h"
 #include "test_util.h"
@@ -137,6 +139,40 @@ TEST(SessionTest, ArtifactsComputedOnceAcrossRuns) {
   ASSERT_TRUE(session.Run(traditional, context).ok());
   // The MI variant adds its own matrix + threshold but shares the counts.
   EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 6u);
+}
+
+TEST(SessionTest, PreSeededPackedSkipsTheTranspose) {
+  Rng graph_rng(7);
+  auto truth = graph::GenerateErdosRenyi(
+      {.num_nodes = 60, .edge_probability = 0.06}, graph_rng);
+  ASSERT_TRUE(truth.ok());
+  auto probs = diffusion::EdgeProbabilities::Uniform(*truth, 0.4);
+  diffusion::SimulationConfig config;
+  config.num_processes = 200;
+  config.initial_infection_ratio = 0.15;
+  Rng rng(11);
+  auto observations = diffusion::SimulateStatuses(*truth, probs, config, rng);
+  ASSERT_TRUE(observations.ok()) << observations.status();
+  const diffusion::StatusMatrix statuses = observations->statuses;
+
+  InferenceSession session(std::move(observations->statuses),
+                           std::move(observations->packed));
+  MetricsRegistry metrics;
+  RunContext context;
+  context.metrics = &metrics;
+  TendsOptions options;
+  auto run = session.Run(options, context);
+  ASSERT_TRUE(run.ok()) << run.status();
+  Tends fresh(options);
+  auto expected = fresh.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ExpectBitIdentical(run->network, *expected);
+  // The producer seeded the packed transpose, so unlike the cold session
+  // (4 misses / 2 hits, see ArtifactsComputedOnceAcrossRuns) the first run
+  // misses only pair counts + IMI matrix + threshold, and both packed
+  // lookups hit.
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"), 3u);
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_hits"), 3u);
 }
 
 TEST(SessionTest, SweepValidationNamesTheOffendingRun) {

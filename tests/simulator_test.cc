@@ -1,12 +1,15 @@
 #include "diffusion/simulator.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "diffusion/propagation.h"
+#include "diffusion/status_simulator.h"
 #include "graph/generators/erdos_renyi.h"
+#include "inference/counting.h"
 #include "test_util.h"
 
 namespace tends::diffusion {
@@ -138,6 +141,143 @@ TEST(SimulatorTest, LinearThresholdModelRuns) {
   auto observations = Simulate(graph, probs, config, rng);
   ASSERT_TRUE(observations.ok());
   EXPECT_EQ(observations->num_processes(), config.num_processes);
+}
+
+TEST(SimulatorTest, RejectsZeroThreads) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  Rng rng(12);
+  SimulationConfig config;
+  config.num_threads = 0;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_FALSE(observations.ok());
+  EXPECT_NE(observations.status().message().find("num_threads"),
+            std::string::npos);
+  Rng rng2(12);
+  EXPECT_FALSE(SimulateStatuses(graph, probs, config, rng2).ok());
+}
+
+TEST(SimulatorTest, RejectsBadSirRecovery) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.3);
+  SimulationConfig config;
+  config.model = DiffusionModel::kSir;
+  for (double recovery : {0.0, -0.1, 1.5}) {
+    config.sir_recovery_probability = recovery;
+    Rng rng(13);
+    EXPECT_FALSE(Simulate(graph, probs, config, rng).ok()) << recovery;
+    Rng rng2(13);
+    EXPECT_FALSE(SimulateStatuses(graph, probs, config, rng2).ok()) << recovery;
+  }
+}
+
+TEST(SimulatorTest, SirModelRuns) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.5);
+  Rng rng(14);
+  SimulationConfig config;
+  config.model = DiffusionModel::kSir;
+  config.sir_recovery_probability = 0.3;
+  auto observations = Simulate(graph, probs, config, rng);
+  ASSERT_TRUE(observations.ok());
+  EXPECT_EQ(observations->num_processes(), config.num_processes);
+  for (uint32_t p = 0; p < observations->num_processes(); ++p) {
+    for (uint32_t v = 0; v < observations->num_nodes(); ++v) {
+      EXPECT_EQ(observations->statuses.Get(p, v),
+                observations->cascades[p].Infected(v) ? 1 : 0);
+    }
+  }
+}
+
+// ------------------------------------------- parallel engine determinism
+
+SimulationConfig ModelConfig(DiffusionModel model) {
+  SimulationConfig config;
+  config.num_processes = 96;
+  config.initial_infection_ratio = 0.1;
+  config.model = model;
+  config.sir_recovery_probability = 0.4;
+  return config;
+}
+
+TEST(SimulatorTest, ByteIdenticalAtAnyThreadCount) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.35);
+  for (DiffusionModel model :
+       {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold,
+        DiffusionModel::kSir}) {
+    SimulationConfig config = ModelConfig(model);
+    Rng baseline_rng(15);
+    auto baseline = Simulate(graph, probs, config, baseline_rng);
+    ASSERT_TRUE(baseline.ok()) << baseline.status();
+    for (uint32_t threads : {4u, 8u}) {
+      config.num_threads = threads;
+      Rng rng(15);
+      auto observations = Simulate(graph, probs, config, rng);
+      ASSERT_TRUE(observations.ok()) << observations.status();
+      for (uint32_t p = 0; p < config.num_processes; ++p) {
+        EXPECT_EQ(0, std::memcmp(observations->statuses.Row(p),
+                                 baseline->statuses.Row(p),
+                                 observations->statuses.num_nodes()));
+        EXPECT_EQ(observations->cascades[p].sources,
+                  baseline->cascades[p].sources);
+        EXPECT_EQ(observations->cascades[p].infection_time,
+                  baseline->cascades[p].infection_time);
+        EXPECT_EQ(observations->cascades[p].infector,
+                  baseline->cascades[p].infector);
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, StatusesFastPathMatchesSimulate) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.35);
+  for (DiffusionModel model :
+       {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold,
+        DiffusionModel::kSir}) {
+    SimulationConfig config = ModelConfig(model);
+    Rng full_rng(16);
+    auto full = Simulate(graph, probs, config, full_rng);
+    ASSERT_TRUE(full.ok()) << full.status();
+    const inference::PackedStatuses expected_packed(full->statuses);
+    for (uint32_t threads : {1u, 4u, 8u}) {
+      config.num_threads = threads;
+      Rng rng(16);
+      auto fast = SimulateStatuses(graph, probs, config, rng);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      ASSERT_EQ(fast->statuses.num_processes(), config.num_processes);
+      for (uint32_t p = 0; p < config.num_processes; ++p) {
+        EXPECT_EQ(0, std::memcmp(fast->statuses.Row(p), full->statuses.Row(p),
+                                 fast->statuses.num_nodes()));
+      }
+      ASSERT_EQ(fast->packed.words_per_node(), expected_packed.words_per_node());
+      for (uint32_t v = 0; v < fast->packed.num_nodes(); ++v) {
+        EXPECT_EQ(0, std::memcmp(fast->packed.Column(v),
+                                 expected_packed.Column(v),
+                                 fast->packed.words_per_node() *
+                                     sizeof(uint64_t)));
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, MaxRoundsRespectedByFastPath) {
+  auto graph = TestGraph();
+  auto probs = EdgeProbabilities::Uniform(graph, 0.8);
+  SimulationConfig config;
+  config.num_processes = 32;
+  config.max_rounds = 1;
+  Rng full_rng(17);
+  auto full = Simulate(graph, probs, config, full_rng);
+  ASSERT_TRUE(full.ok());
+  Rng fast_rng(17);
+  auto fast = SimulateStatuses(graph, probs, config, fast_rng);
+  ASSERT_TRUE(fast.ok());
+  for (uint32_t p = 0; p < config.num_processes; ++p) {
+    EXPECT_EQ(0, std::memcmp(fast->statuses.Row(p), full->statuses.Row(p),
+                             fast->statuses.num_nodes()));
+  }
 }
 
 TEST(SimulatorTest, HigherProbabilityInfectsMore) {

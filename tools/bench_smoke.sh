@@ -1,25 +1,26 @@
 #!/bin/sh
-# Bench smoke test: runs micro_primitives on a tiny iteration budget with
-# TENDS_BENCH_JSON_DIR pointed at a scratch directory, then validates every
-# emitted BENCH_*.json against the tends.bench.v1 schema. Keeps the bench
-# JSON channel (benchlib::MaybeWriteBenchJson) and the custom main in
-# micro_primitives wired end to end.
+# Bench smoke test: runs a bench binary on a tiny budget with
+# TENDS_BENCH_JSON_DIR pointed at a scratch directory (and TENDS_BENCH_FAST
+# set, which shrinks the workloads of the custom-main benches), then
+# validates every emitted BENCH_*.json against the tends.bench.v1 schema.
+# Keeps the bench JSON channel (benchlib::MaybeWriteBenchJson) wired end to
+# end for each registered bench.
 #
-# Usage: bench_smoke.sh <micro_primitives-binary> <validate_bench_json-binary> <workdir>
+# Usage: bench_smoke.sh <bench-binary> <validate_bench_json-binary> <workdir> [bench args...]
+# Extra arguments are passed through to the bench binary (e.g. a
+# --benchmark_filter for google-benchmark mains).
 set -eu
 
 BENCH_BIN="$1"
 VALIDATOR="$2"
 WORKDIR="$3"
+shift 3
 
 rm -rf "$WORKDIR"
 mkdir -p "$WORKDIR"
 
-# The CountJoint kernel family only, at a minimal measuring budget: the
-# smoke test checks plumbing, not performance.
-TENDS_BENCH_JSON_DIR="$WORKDIR" "$BENCH_BIN" \
-  --benchmark_filter='BM_CountJoint(Naive|Packed|Incremental)/64/' \
-  --benchmark_min_time=0.001 > "$WORKDIR/bench.out" 2>&1 || {
+TENDS_BENCH_JSON_DIR="$WORKDIR" TENDS_BENCH_FAST=1 "$BENCH_BIN" "$@" \
+  > "$WORKDIR/bench.out" 2>&1 || {
     echo "bench run failed:" >&2
     cat "$WORKDIR/bench.out" >&2
     exit 1

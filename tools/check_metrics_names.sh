@@ -39,6 +39,24 @@ for name in $candidates; do
   esac
 done
 
+# Canonical names the pipeline documents and the dashboards key on: if one
+# goes missing from the scan, either the instrumentation was dropped or it
+# was renamed without updating this list (both review-worthy).
+required_names="
+tends.sim.processes
+tends.sim.infections
+tends.sim.cascade_size
+tends.sim.fast_path_runs
+tends.session.artifact_hits
+tends.session.artifact_misses
+"
+for name in $required_names; do
+  if ! printf '%s\n' "$candidates" | grep -qxF "$name"; then
+    echo "MISSING METRIC: $name not found at any call site" >&2
+    bad=1
+  fi
+done
+
 # Names assembled at runtime (e.g. "tends.io.corruption." + kind) end with
 # a dot in the source literal; the runtime validator covers those. Nothing
 # to do here, but make sure the scan found the instrumentation at all: an

@@ -82,17 +82,36 @@ Status MaybeWriteManifest(const std::string& metrics_out, RunManifest manifest,
 void AddThreadsFlags(FlagParser& parser, uint32_t* threads,
                      uint32_t* deprecated) {
   parser.AddUint32("threads", threads,
-                   "worker threads for the per-node inference subproblems");
+                   "worker threads (diffusion processes in simulate, "
+                   "per-node subproblems in infer/sweep/experiment)");
   parser.AddUint32("num_threads", deprecated,
                    "deprecated alias of --threads");
 }
 
 /// Applies the deprecation policy: `--num_threads` still works but warns
-/// (once per invocation); an explicit `--threads` wins over the alias.
-uint32_t ResolveThreadsFlag(uint32_t threads, uint32_t deprecated) {
-  if (deprecated == 0) return threads;
+/// (once per invocation); an explicit `--threads` wins over the alias —
+/// including an explicit `--threads=1`, which FlagParser::WasSet
+/// distinguishes from the untouched default.
+uint32_t ResolveThreadsFlag(const FlagParser& parser, uint32_t threads,
+                            uint32_t deprecated) {
+  if (!parser.WasSet("num_threads")) return threads;
   std::cerr << "warning: --num_threads is deprecated; use --threads\n";
-  return threads != 1 ? threads : deprecated;
+  return parser.WasSet("threads") ? threads : deprecated;
+}
+
+/// Parses the shared `--model` spelling of simulate/experiment.
+Status ParseModelFlag(const std::string& model,
+                      diffusion::DiffusionModel* out) {
+  if (model == "ic") {
+    *out = diffusion::DiffusionModel::kIndependentCascade;
+  } else if (model == "lt") {
+    *out = diffusion::DiffusionModel::kLinearThreshold;
+  } else if (model == "sir") {
+    *out = diffusion::DiffusionModel::kSir;
+  } else {
+    return Status::InvalidArgument("model must be ic, lt or sir");
+  }
+  return Status::OK();
 }
 
 // ------------------------------------------------------------------ generate
@@ -190,7 +209,10 @@ int RunSimulate(int argc, const char* const* argv) {
   double stddev = 0.05;
   double miss = 0.0;
   double false_alarm = 0.0;
+  double recovery = 0.5;
   int64_t seed = 42;
+  uint32_t threads = 1;
+  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli simulate: run diffusion processes on a graph and record "
@@ -199,19 +221,24 @@ int RunSimulate(int argc, const char* const* argv) {
   parser.AddString("out", &out, "output observations path (cascades)");
   parser.AddString("statuses_out", &statuses_out,
                    "optional output path for the status-only matrix");
-  parser.AddString("model", &model, "diffusion model: ic or lt");
+  parser.AddString("model", &model, "diffusion model: ic, lt or sir");
   parser.AddUint32("beta", &beta, "number of diffusion processes");
   parser.AddDouble("alpha", &alpha, "initial infection ratio");
   parser.AddDouble("mu", &mu, "mean propagation probability");
   parser.AddDouble("stddev", &stddev, "propagation probability stddev");
+  parser.AddDouble("recovery", &recovery,
+                   "sir: per-round recovery probability (geometric "
+                   "infectious period)");
   parser.AddDouble("miss", &miss, "status noise: missed-detection rate");
   parser.AddDouble("false_alarm", &false_alarm,
                    "status noise: false-alarm rate");
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest for the simulation");
   parser.AddInt64("seed", &seed, "random seed");
+  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
+  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -224,11 +251,10 @@ int RunSimulate(int argc, const char* const* argv) {
   diffusion::SimulationConfig config;
   config.num_processes = beta;
   config.initial_infection_ratio = alpha;
-  if (model == "lt") {
-    config.model = diffusion::DiffusionModel::kLinearThreshold;
-  } else if (model != "ic") {
-    return FailWith(Status::InvalidArgument("model must be ic or lt"));
-  }
+  config.sir_recovery_probability = recovery;
+  config.num_threads = threads;
+  status = ParseModelFlag(model, &config.model);
+  if (!status.ok()) return FailWith(status);
   auto observations =
       diffusion::Simulate(*truth, probabilities, config, rng, &registry);
   if (!observations.ok()) return FailWith(observations.status());
@@ -257,7 +283,9 @@ int RunSimulate(int argc, const char* const* argv) {
       {"beta", StrFormat("%u", beta)},
       {"alpha", StrFormat("%g", alpha)},
       {"mu", StrFormat("%g", mu)},
+      {"recovery", StrFormat("%g", recovery)},
       {"seed", StrFormat("%lld", static_cast<long long>(seed))},
+      {"threads", StrFormat("%u", threads)},
   };
   status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
                               started);
@@ -328,7 +356,7 @@ int RunInfer(int argc, const char* const* argv) {
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
+  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   IoReadOptions read_options;
   if (io_mode == "permissive") {
@@ -551,9 +579,11 @@ int RunEstimate(int argc, const char* const* argv) {
 int RunExperimentCommand(int argc, const char* const* argv) {
   std::string graph_path = "graph.txt";
   std::string metrics_out;
+  std::string model = "ic";
   uint32_t beta = 150;
   double alpha = 0.15;
   double mu = 0.3;
+  double recovery = 0.5;
   uint32_t repetitions = 1;
   int64_t seed = 42;
   uint32_t threads = 1;
@@ -563,9 +593,12 @@ int RunExperimentCommand(int argc, const char* const* argv) {
       "tends_cli experiment: simulate diffusions on a graph and run the "
       "four paper algorithms, printing the standard figure table.");
   parser.AddString("graph", &graph_path, "ground-truth edge-list path");
+  parser.AddString("model", &model, "diffusion model: ic, lt or sir");
   parser.AddUint32("beta", &beta, "number of diffusion processes");
   parser.AddDouble("alpha", &alpha, "initial infection ratio");
   parser.AddDouble("mu", &mu, "mean propagation probability");
+  parser.AddDouble("recovery", &recovery,
+                   "sir: per-round recovery probability");
   parser.AddUint32("repetitions", &repetitions, "independent repetitions");
   parser.AddInt64("seed", &seed, "random seed");
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
@@ -573,7 +606,7 @@ int RunExperimentCommand(int argc, const char* const* argv) {
                    "write a JSON run manifest for the whole experiment");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
+  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -587,6 +620,12 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   config.alpha = alpha;
   config.mu = mu;
   config.repetitions = repetitions;
+  status = ParseModelFlag(model, &config.model);
+  if (!status.ok()) return FailWith(status);
+  config.sir_recovery = recovery;
+  // One --threads knob drives every parallel stage: the simulation as well
+  // as the per-node loops of TENDS and NetRate.
+  config.sim_threads = threads;
   config.tends_options.num_threads = threads;
   config.netrate_options.num_threads = threads;
   auto evaluations = benchlib::RunExperiment(*truth, config);
@@ -597,9 +636,11 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   manifest.tool = "tends_cli experiment";
   manifest.config = {
       {"graph", graph_path},
+      {"model", model},
       {"beta", StrFormat("%u", beta)},
       {"alpha", StrFormat("%g", alpha)},
       {"mu", StrFormat("%g", mu)},
+      {"recovery", StrFormat("%g", recovery)},
       {"repetitions", StrFormat("%u", repetitions)},
       {"seed", StrFormat("%lld", static_cast<long long>(seed))},
       {"threads", StrFormat("%u", threads)},
@@ -663,7 +704,7 @@ int RunSweep(int argc, const char* const* argv) {
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(threads, deprecated_num_threads);
+  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   if (statuses_path.empty()) {
     return FailWith(Status::InvalidArgument("--statuses is required"));
