@@ -1,0 +1,236 @@
+#include "common/durable_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+
+namespace tends {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Status::IoError(
+      StrFormat("%s %s: %s", what, path.c_str(), strerror(errno)));
+}
+
+void PutU32Le(uint32_t value, std::string* out) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::atomic<WriteFaultInjector*> g_write_fault_injector{nullptr};
+
+/// Fsyncs the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse directory fsync; the write is
+/// already atomic without it, just potentially not yet on stable storage.
+void SyncParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)fsync(fd);
+  close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32Table();
+  crc = ~crc;
+  for (char byte : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(byte)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  out->append(kFrameMagic);
+  PutU32Le(static_cast<uint32_t>(payload.size()), out);
+  PutU32Le(Crc32(payload), out);
+  out->append(payload);
+}
+
+StatusOr<std::vector<std::string_view>> ParseFrames(std::string_view data) {
+  std::vector<std::string_view> payloads;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    if (data.size() - offset < kFrameHeaderBytes) {
+      return Status::Corruption(StrFormat(
+          "torn frame %zu at byte %zu: %zu trailing bytes, need a %zu-byte "
+          "header",
+          payloads.size(), offset, data.size() - offset, kFrameHeaderBytes));
+    }
+    if (data.substr(offset, kFrameMagic.size()) != kFrameMagic) {
+      return Status::Corruption(
+          StrFormat("bad frame magic in frame %zu at byte %zu",
+                    payloads.size(), offset));
+    }
+    const uint32_t length = GetU32Le(data.data() + offset + 4);
+    const uint32_t expected_crc = GetU32Le(data.data() + offset + 8);
+    offset += kFrameHeaderBytes;
+    if (data.size() - offset < length) {
+      return Status::Corruption(StrFormat(
+          "torn frame %zu: payload declares %u bytes but only %zu remain",
+          payloads.size(), length, data.size() - offset));
+    }
+    std::string_view payload = data.substr(offset, length);
+    const uint32_t actual_crc = Crc32(payload);
+    if (actual_crc != expected_crc) {
+      return Status::Corruption(StrFormat(
+          "checksum mismatch in frame %zu: stored %08x, computed %08x",
+          payloads.size(), expected_crc, actual_crc));
+    }
+    payloads.push_back(payload);
+    offset += length;
+  }
+  return payloads;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const RunContext& context,
+                        const std::function<Status()>& op, Counter* retries) {
+  const uint32_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  // Deterministic jitter stream: reproducible backoff schedules in tests.
+  SplitMix64 jitter_stream(0x7E7D5 /* "tends" on a phone pad */);
+  std::chrono::nanoseconds backoff = policy.initial_backoff;
+  Status last = Status::OK();
+  for (uint32_t attempt = 1;; ++attempt) {
+    last = op();
+    // Only kIoError is transient; anything else describes the data or the
+    // request and would fail identically on every retry.
+    if (last.ok() || !last.IsIoError()) return last;
+    if (attempt >= attempts || context.ShouldStop()) return last;
+    double scale = 1.0;
+    if (policy.jitter > 0.0) {
+      const double unit =
+          static_cast<double>(jitter_stream.Next() >> 11) * 0x1.0p-53;
+      scale = 1.0 - policy.jitter + 2.0 * policy.jitter * unit;
+    }
+    auto sleep_for = std::chrono::nanoseconds(
+        static_cast<int64_t>(static_cast<double>(backoff.count()) * scale));
+    // Deadline-aware: never sleep past the budget — if the wait cannot
+    // complete in time there is no point starting it.
+    if (sleep_for > context.deadline.Remaining()) return last;
+    if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+    backoff = std::chrono::nanoseconds(static_cast<int64_t>(
+        static_cast<double>(backoff.count()) * policy.backoff_multiplier));
+    if (retries != nullptr) retries->Add(1);
+  }
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string temp_path = path + ".tmp";
+  std::string bytes(contents);
+  WriteFaultInjector* injector =
+      g_write_fault_injector.load(std::memory_order_acquire);
+  if (injector != nullptr) {
+    Status injected = injector->OnWrite(path, &bytes);
+    if (!injected.ok()) return injected;
+  }
+
+  int fd = open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", temp_path);
+  Status status = Status::OK();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoStatus("write", temp_path);
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (status.ok() && fsync(fd) != 0) status = ErrnoStatus("fsync", temp_path);
+  if (close(fd) != 0 && status.ok()) status = ErrnoStatus("close", temp_path);
+  if (status.ok() && injector != nullptr) {
+    status = injector->OnRename(temp_path, path);
+  }
+  if (status.ok() && rename(temp_path.c_str(), path.c_str()) != 0) {
+    status = ErrnoStatus("rename", temp_path);
+  }
+  if (!status.ok()) {
+    (void)unlink(temp_path.c_str());
+    return status;
+  }
+  SyncParentDirectory(path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrFormat("%s does not exist", path.c_str()));
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("read", path);
+      close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  return data;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  if (mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError(
+        StrFormat("%s exists and is not a directory", path.c_str()));
+  }
+  return ErrnoStatus("mkdir", path);
+}
+
+void SetWriteFaultInjectorForTest(WriteFaultInjector* injector) {
+  g_write_fault_injector.store(injector, std::memory_order_release);
+}
+
+}  // namespace tends

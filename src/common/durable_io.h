@@ -1,0 +1,107 @@
+#ifndef TENDS_COMMON_DURABLE_IO_H_
+#define TENDS_COMMON_DURABLE_IO_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/statusor.h"
+
+namespace tends {
+
+class Counter;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`, chained
+/// from `crc` so multi-buffer payloads can be checksummed incrementally
+/// (start from 0). Matches zlib's crc32: Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+/// Length- and checksum-delimited framing for durable artifacts. Each frame
+/// is self-verifying:
+///
+///   "TDF1" magic (4 bytes) | payload length (u32 LE) | payload CRC-32
+///   (u32 LE) | payload bytes
+///
+/// so a reader can tell a clean file from a torn one (length overruns the
+/// buffer), a bit-flipped one (CRC mismatch), and foreign bytes (bad
+/// magic) — every failure mode maps to a distinct Corruption message.
+inline constexpr std::string_view kFrameMagic = "TDF1";
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Appends one frame wrapping `payload` to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Splits `data` into the payloads of its consecutive frames. The returned
+/// views alias `data` (no copies) and are only valid while it lives. Fails
+/// with Corruption on bad magic, a frame length overrunning the buffer
+/// (torn/truncated file), trailing garbage shorter than a header, or a CRC
+/// mismatch; the message names the frame index and byte offset.
+StatusOr<std::vector<std::string_view>> ParseFrames(std::string_view data);
+
+/// Bounded-retry policy for transient-failure-prone IO. Backoff grows
+/// exponentially with deterministic jitter; sleeping never overruns the
+/// RunContext deadline (a retry that could not finish waiting in time gives
+/// up immediately instead).
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  uint32_t max_attempts = 4;
+  std::chrono::milliseconds initial_backoff{5};
+  double backoff_multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1 - jitter, 1 + jitter],
+  /// drawn from a deterministic per-call stream (reproducible tests).
+  double jitter = 0.25;
+};
+
+/// Runs `op` until it succeeds, retrying only transient failures (kIoError).
+/// Any other code — Corruption, InvalidArgument, ... — is a property of the
+/// data, not the attempt, and is returned immediately. Gives up and returns
+/// the last error when attempts are exhausted or the context is stopped
+/// (the deadline is also consulted before each backoff sleep). `retries`,
+/// when non-null, is bumped once per re-attempt.
+Status RetryWithBackoff(const RetryPolicy& policy, const RunContext& context,
+                        const std::function<Status()>& op,
+                        Counter* retries = nullptr);
+
+/// Atomically replaces `path` with `contents`: the bytes are written to a
+/// sibling temp file, fsync'd, renamed over `path`, and the parent
+/// directory fsync'd — so a crash at any instant leaves either the old
+/// complete file or the new complete file, never a torn mix. Failures
+/// (including injected ones, see WriteFaultInjector) surface as kIoError;
+/// the stray temp file is removed best-effort.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads the whole file. kNotFound when it does not exist (callers treat
+/// that as "no artifact yet"), kIoError on anything else.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Creates `path` as a directory if it does not already exist (one level;
+/// the parent must exist). Existing directories are fine; an existing
+/// non-directory is an error.
+Status EnsureDirectory(const std::string& path);
+
+/// Test seam for driving the write-side fault paths: when installed, every
+/// AtomicWriteFile consults it before writing the temp file (OnWrite may
+/// mutate the bytes — torn write, bit flip — or fail the attempt) and
+/// before the rename (OnRename may fail it). Production code never
+/// installs one. See ScopedWriteFaults in common/fault_injection.h for the
+/// scripted implementation used by tests.
+class WriteFaultInjector {
+ public:
+  virtual ~WriteFaultInjector() = default;
+  virtual Status OnWrite(const std::string& path, std::string* contents) = 0;
+  virtual Status OnRename(const std::string& temp_path,
+                          const std::string& path) = 0;
+};
+
+/// Installs `injector` process-wide (nullptr to clear). Not synchronized
+/// against in-flight writes — install/clear only from single-threaded test
+/// setup/teardown.
+void SetWriteFaultInjectorForTest(WriteFaultInjector* injector);
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_DURABLE_IO_H_

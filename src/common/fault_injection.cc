@@ -87,4 +87,45 @@ FaultInjectingStream::FaultInjectingStream(const std::string& payload,
   rdbuf(buffer_.get());
 }
 
+ScopedWriteFaults::ScopedWriteFaults(WriteFaultOptions options)
+    : options_(options) {
+  SetWriteFaultInjectorForTest(this);
+}
+
+ScopedWriteFaults::~ScopedWriteFaults() { SetWriteFaultInjectorForTest(nullptr); }
+
+Status ScopedWriteFaults::OnWrite(const std::string& path,
+                                  std::string* contents) {
+  ++writes_seen_;
+  if (write_failures_injected_ < options_.fail_writes) {
+    ++write_failures_injected_;
+    return Status::IoError("injected transient write failure for " + path);
+  }
+  if (!tear_injected_ && options_.tear_at_byte != SIZE_MAX) {
+    tear_injected_ = true;
+    if (options_.tear_at_byte < contents->size()) {
+      contents->resize(options_.tear_at_byte);
+    }
+  }
+  if (!flip_injected_ && options_.flip_bit_at_byte != SIZE_MAX &&
+      !contents->empty()) {
+    flip_injected_ = true;
+    const size_t at = std::min(options_.flip_bit_at_byte, contents->size() - 1);
+    (*contents)[at] = static_cast<char>(
+        static_cast<unsigned char>((*contents)[at]) ^ 0x04u);
+  }
+  return Status::OK();
+}
+
+Status ScopedWriteFaults::OnRename(const std::string& temp_path,
+                                   const std::string& path) {
+  (void)temp_path;
+  ++renames_seen_;
+  if (rename_failures_injected_ < options_.fail_renames) {
+    ++rename_failures_injected_;
+    return Status::IoError("injected transient rename failure for " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace tends

@@ -8,6 +8,8 @@
 #include <streambuf>
 #include <string>
 
+#include "common/durable_io.h"
+
 namespace tends {
 
 /// Knobs of the fault-injecting stream wrapper. All corruption is a pure
@@ -74,6 +76,65 @@ class FaultInjectingStream : public std::istream {
 
  private:
   std::unique_ptr<FaultInjectingStreambuf> buffer_;
+};
+
+/// Scripted write-side faults for the durable-IO path (AtomicWriteFile):
+/// transient attempt failures that a RetryPolicy should absorb, plus silent
+/// payload damage (torn write, bit flip) that the CRC framing must catch on
+/// the next read. Deterministic — the script fires in call order, never by
+/// chance.
+struct WriteFaultOptions {
+  /// Fail the first N write attempts with a transient kIoError (the bytes
+  /// never reach the temp file).
+  int fail_writes = 0;
+
+  /// After the write-failure budget is spent, fail the next N rename steps
+  /// with a transient kIoError (the temp file was written and fsync'd, but
+  /// never became the real file).
+  int fail_renames = 0;
+
+  /// Torn write: the first otherwise-successful write silently persists
+  /// only this many bytes of the payload (the classic crash-mid-write
+  /// artifact an atomic rename normally rules out). SIZE_MAX = off.
+  size_t tear_at_byte = SIZE_MAX;
+
+  /// Bit flip: the first otherwise-successful write silently inverts one
+  /// bit of the byte at this offset (clamped to the payload; applied after
+  /// tearing). SIZE_MAX = off.
+  size_t flip_bit_at_byte = SIZE_MAX;
+};
+
+/// RAII installer: registers itself as the process-global durable-IO fault
+/// injector on construction and uninstalls on destruction. Only one may be
+/// live at a time; construct/destroy from single-threaded test code.
+class ScopedWriteFaults : public WriteFaultInjector {
+ public:
+  explicit ScopedWriteFaults(WriteFaultOptions options);
+  ~ScopedWriteFaults() override;
+
+  ScopedWriteFaults(const ScopedWriteFaults&) = delete;
+  ScopedWriteFaults& operator=(const ScopedWriteFaults&) = delete;
+
+  Status OnWrite(const std::string& path, std::string* contents) override;
+  Status OnRename(const std::string& temp_path,
+                  const std::string& path) override;
+
+  /// Observability for assertions: attempts seen and faults actually fired.
+  int writes_seen() const { return writes_seen_; }
+  int renames_seen() const { return renames_seen_; }
+  int write_failures_injected() const { return write_failures_injected_; }
+  int rename_failures_injected() const { return rename_failures_injected_; }
+  bool tear_injected() const { return tear_injected_; }
+  bool flip_injected() const { return flip_injected_; }
+
+ private:
+  WriteFaultOptions options_;
+  int writes_seen_ = 0;
+  int renames_seen_ = 0;
+  int write_failures_injected_ = 0;
+  int rename_failures_injected_ = 0;
+  bool tear_injected_ = false;
+  bool flip_injected_ = false;
 };
 
 }  // namespace tends

@@ -85,6 +85,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
 

@@ -1,0 +1,227 @@
+#include "inference/checkpoint.h"
+
+#include <bit>
+#include <charconv>
+
+#include "common/metrics.h"
+#include "common/stringutil.h"
+#include "inference/tends.h"
+
+namespace tends::inference {
+
+namespace {
+
+/// FNV-1a, 64-bit. Not cryptographic — the fingerprint guards against
+/// operator mistakes (resuming against the wrong matrix or options), not
+/// adversaries.
+class Fnv1a {
+ public:
+  void Bytes(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ = (hash_ ^ p[i]) * 0x100000001B3ULL;
+    }
+  }
+  void U64(uint64_t value) { Bytes(&value, sizeof(value)); }
+  void F64(double value) { U64(std::bit_cast<uint64_t>(value)); }
+  void Str(std::string_view s) { Bytes(s.data(), s.size()); }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+StatusOr<uint64_t> ParseU64(std::string_view token, int base) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   value, base);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::Corruption("bad integer token '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
+                              const TendsOptions& options) {
+  Fnv1a h;
+  h.Str("tends.checkpoint.fingerprint.v1");
+  h.U64(statuses.num_processes());
+  h.U64(statuses.num_nodes());
+  for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
+    h.Bytes(statuses.Row(p), statuses.num_nodes());
+  }
+  // Every option that can alter the output. num_threads and search.kernel
+  // are byte-identical knobs (proven by the differential suites) and the
+  // checkpoint config is pure durability policy; none of them invalidate.
+  h.U64(options.enable_pruning ? 1 : 0);
+  h.F64(options.tau_multiplier);
+  h.U64(options.tau_override.has_value() ? 1 : 0);
+  h.F64(options.tau_override.value_or(0.0));
+  h.U64(options.use_traditional_mi ? 1 : 0);
+  h.U64(options.max_candidates);
+  h.U64(options.reject_degenerate_columns ? 1 : 0);
+  h.U64(options.search.max_combination_size);
+  h.U64(options.search.max_parents);
+  h.U64(static_cast<uint64_t>(options.search.greedy_mode));
+  h.F64(options.search.min_improvement);
+  h.U64(options.search.use_penalty ? 1 : 0);
+  return h.hash();
+}
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  std::string out;
+  AppendFrame(StrFormat("%s fingerprint=%016llx num_nodes=%u records=%zu",
+                        std::string(kCheckpointSchema).c_str(),
+                        static_cast<unsigned long long>(data.fingerprint),
+                        data.num_nodes, data.nodes.size()),
+              &out);
+  for (const CheckpointNodeRecord& record : data.nodes) {
+    std::string payload = StrFormat(
+        "node %u %u %u %016llx %llu %zu", record.node, record.candidate_count,
+        record.clipped ? 1 : 0,
+        static_cast<unsigned long long>(std::bit_cast<uint64_t>(record.score)),
+        static_cast<unsigned long long>(record.score_evaluations),
+        record.parents.size());
+    for (graph::NodeId parent : record.parents) {
+      payload += StrFormat(" %u", parent);
+    }
+    AppendFrame(payload, &out);
+  }
+  return out;
+}
+
+StatusOr<CheckpointData> DecodeCheckpoint(std::string_view bytes) {
+  TENDS_ASSIGN_OR_RETURN(std::vector<std::string_view> frames,
+                         ParseFrames(bytes));
+  if (frames.empty()) {
+    return Status::Corruption("checkpoint has no header frame");
+  }
+  // Header: "<schema> fingerprint=<hex> num_nodes=<n> records=<k>".
+  std::vector<std::string_view> header = SplitWhitespace(frames[0]);
+  if (header.size() != 4 || header[0] != kCheckpointSchema) {
+    return Status::Corruption(
+        "unsupported checkpoint header '" + std::string(frames[0]) +
+        "' (expected schema " + std::string(kCheckpointSchema) + ")");
+  }
+  auto field = [](std::string_view token,
+                  std::string_view key) -> StatusOr<std::string_view> {
+    if (token.substr(0, key.size()) != key) {
+      return Status::Corruption("checkpoint header field '" +
+                                std::string(token) + "' does not start with " +
+                                std::string(key));
+    }
+    return token.substr(key.size());
+  };
+  CheckpointData data;
+  TENDS_ASSIGN_OR_RETURN(std::string_view fp_hex,
+                         field(header[1], "fingerprint="));
+  TENDS_ASSIGN_OR_RETURN(data.fingerprint, ParseU64(fp_hex, 16));
+  TENDS_ASSIGN_OR_RETURN(std::string_view nodes_dec,
+                         field(header[2], "num_nodes="));
+  TENDS_ASSIGN_OR_RETURN(uint64_t num_nodes, ParseU64(nodes_dec, 10));
+  data.num_nodes = static_cast<uint32_t>(num_nodes);
+  TENDS_ASSIGN_OR_RETURN(std::string_view records_dec,
+                         field(header[3], "records="));
+  TENDS_ASSIGN_OR_RETURN(uint64_t declared_records, ParseU64(records_dec, 10));
+  if (frames.size() - 1 != declared_records) {
+    return Status::Corruption(StrFormat(
+        "checkpoint declares %llu records but carries %zu frames",
+        static_cast<unsigned long long>(declared_records), frames.size() - 1));
+  }
+
+  data.nodes.reserve(frames.size() - 1);
+  uint32_t previous_node = 0;
+  for (size_t f = 1; f < frames.size(); ++f) {
+    std::vector<std::string_view> tokens = SplitWhitespace(frames[f]);
+    if (tokens.size() < 7 || tokens[0] != "node") {
+      return Status::Corruption(
+          StrFormat("malformed node record in frame %zu", f));
+    }
+    CheckpointNodeRecord record;
+    TENDS_ASSIGN_OR_RETURN(uint64_t node, ParseU64(tokens[1], 10));
+    TENDS_ASSIGN_OR_RETURN(uint64_t candidates, ParseU64(tokens[2], 10));
+    TENDS_ASSIGN_OR_RETURN(uint64_t clipped, ParseU64(tokens[3], 10));
+    TENDS_ASSIGN_OR_RETURN(uint64_t score_bits, ParseU64(tokens[4], 16));
+    TENDS_ASSIGN_OR_RETURN(record.score_evaluations, ParseU64(tokens[5], 10));
+    TENDS_ASSIGN_OR_RETURN(uint64_t num_parents, ParseU64(tokens[6], 10));
+    if (node >= data.num_nodes || clipped > 1 ||
+        tokens.size() != 7 + num_parents) {
+      return Status::Corruption(
+          StrFormat("inconsistent node record in frame %zu", f));
+    }
+    if (f > 1 && node <= previous_node) {
+      return Status::Corruption(StrFormat(
+          "node records out of order in frame %zu (node %llu after %u)", f,
+          static_cast<unsigned long long>(node), previous_node));
+    }
+    previous_node = static_cast<uint32_t>(node);
+    record.node = static_cast<uint32_t>(node);
+    record.candidate_count = static_cast<uint32_t>(candidates);
+    record.clipped = clipped != 0;
+    record.score = std::bit_cast<double>(score_bits);
+    record.parents.reserve(num_parents);
+    for (uint64_t p = 0; p < num_parents; ++p) {
+      TENDS_ASSIGN_OR_RETURN(uint64_t parent, ParseU64(tokens[7 + p], 10));
+      if (parent >= data.num_nodes) {
+        return Status::Corruption(StrFormat(
+            "parent %llu out of range in frame %zu",
+            static_cast<unsigned long long>(parent), f));
+      }
+      record.parents.push_back(static_cast<graph::NodeId>(parent));
+    }
+    data.nodes.push_back(std::move(record));
+  }
+  return data;
+}
+
+Status WriteCheckpointFile(const CheckpointConfig& config,
+                           const CheckpointData& data,
+                           const RunContext& context,
+                           MetricsRegistry* metrics) {
+  TENDS_RETURN_IF_ERROR(EnsureDirectory(config.directory));
+  const std::string encoded = EncodeCheckpoint(data);
+  const std::string path = config.FilePath();
+  Counter* retries =
+      TENDS_METRIC_COUNTER(metrics, "tends.checkpoint.retries");
+  return RetryWithBackoff(
+      config.retry, context,
+      [&] { return AtomicWriteFile(path, encoded); }, retries);
+}
+
+StatusOr<CheckpointData> ReadCheckpointFile(const std::string& path) {
+  TENDS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  StatusOr<CheckpointData> decoded = DecodeCheckpoint(bytes);
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  path + ": " + decoded.status().message());
+  }
+  return decoded;
+}
+
+StatusOr<std::vector<CheckpointNodeRecord>> LoadCheckpointForResume(
+    const CheckpointConfig& config, uint64_t fingerprint, uint32_t num_nodes) {
+  const std::string path = config.FilePath();
+  StatusOr<CheckpointData> loaded = ReadCheckpointFile(path);
+  if (!loaded.ok()) {
+    // Nothing durable yet: resume degenerates to a fresh run.
+    if (loaded.status().IsNotFound()) {
+      return std::vector<CheckpointNodeRecord>();
+    }
+    return loaded.status();
+  }
+  if (loaded->num_nodes != num_nodes || loaded->fingerprint != fingerprint) {
+    return Status::FailedPrecondition(StrFormat(
+        "%s is stale: it was written for fingerprint %016llx over %u nodes, "
+        "but this run has fingerprint %016llx over %u nodes (the status "
+        "matrix or result-affecting options changed); delete it or point "
+        "--checkpoint_dir elsewhere",
+        path.c_str(), static_cast<unsigned long long>(loaded->fingerprint),
+        loaded->num_nodes, static_cast<unsigned long long>(fingerprint),
+        num_nodes));
+  }
+  return std::move(loaded->nodes);
+}
+
+}  // namespace tends::inference

@@ -1,0 +1,118 @@
+#ifndef TENDS_INFERENCE_CHECKPOINT_H_
+#define TENDS_INFERENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/durable_io.h"
+#include "common/run_context.h"
+#include "common/statusor.h"
+#include "diffusion/cascade.h"
+#include "graph/graph.h"
+
+namespace tends::inference {
+
+struct TendsOptions;
+
+/// Schema tag of the on-disk checkpoint format. Bump on any incompatible
+/// layout change; readers reject other versions outright.
+inline constexpr std::string_view kCheckpointSchema = "tends.checkpoint.v1";
+
+/// Where and how often a TENDS run persists completed per-node results.
+/// Disabled (the default) when `directory` is empty — checkpointing is
+/// strictly opt-in and a disabled config costs nothing per node.
+struct CheckpointConfig {
+  /// Directory holding the checkpoint file; created on first flush. Empty
+  /// = checkpointing off.
+  std::string directory;
+  /// File stem inside `directory` (the file is `<stem>.checkpoint`). Sweeps
+  /// give each run its own stem so checkpoints never collide.
+  std::string stem = "tends";
+  /// Load `<stem>.checkpoint` before running and skip the nodes it holds.
+  /// A missing file is a fresh start, not an error; a corrupt or stale one
+  /// (fingerprint mismatch) fails the run — never silently reused.
+  bool resume = false;
+  /// Flush after this many newly completed nodes (0 = no count trigger).
+  uint32_t every_nodes = 64;
+  /// Also flush when this much wall-clock has passed since the last flush
+  /// and at least one new node completed (0 = no time trigger).
+  int64_t every_ms = 2000;
+  /// Retry policy wrapped around every checkpoint write.
+  RetryPolicy retry;
+
+  bool enabled() const { return !directory.empty(); }
+  std::string FilePath() const { return directory + "/" + stem + ".checkpoint"; }
+};
+
+/// Everything needed to reproduce one completed node's contribution to the
+/// output bit-for-bit: the parent set (edge weights are re-derived from the
+/// session's IMI artifact), the exact score bits, and the diagnostics
+/// tallies. Only *completed* nodes are checkpointed — a node stopped
+/// mid-search re-runs from scratch on resume.
+struct CheckpointNodeRecord {
+  uint32_t node = 0;
+  uint32_t candidate_count = 0;
+  bool clipped = false;
+  /// g(v_i, F_i), preserved exactly (serialized as raw IEEE-754 bits).
+  double score = 0.0;
+  uint64_t score_evaluations = 0;
+  /// Inferred parent set, ascending.
+  std::vector<graph::NodeId> parents;
+};
+
+/// In-memory image of one checkpoint file.
+struct CheckpointData {
+  /// FingerprintInference of the (status matrix, options) pair the records
+  /// were computed against.
+  uint64_t fingerprint = 0;
+  uint32_t num_nodes = 0;
+  /// Ascending by node, unique.
+  std::vector<CheckpointNodeRecord> nodes;
+};
+
+/// Stable 64-bit fingerprint of the inference inputs: the status matrix
+/// bytes plus every TendsOptions field that can change the output.
+/// Deliberately *excluded* are the knobs proven byte-identical in output —
+/// num_threads and the counting kernel — so a checkpoint written at one
+/// thread count resumes at any other, and the checkpoint config itself
+/// (durability settings don't change what is computed). A resume whose
+/// fingerprint differs from the stored one is rejected as stale.
+uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
+                              const TendsOptions& options);
+
+/// Serializes to the framed tends.checkpoint.v1 byte layout: one
+/// CRC-32-checksummed frame (common/durable_io.h) for the header and one
+/// per node record, so torn files and flipped bits are detected on read.
+std::string EncodeCheckpoint(const CheckpointData& data);
+
+/// Parses EncodeCheckpoint output. Any damage — framing, checksum, schema
+/// version, malformed record, record-count mismatch, out-of-range or
+/// misordered nodes — fails with Corruption naming the offending frame;
+/// a damaged checkpoint is never partially loaded.
+StatusOr<CheckpointData> DecodeCheckpoint(std::string_view bytes);
+
+/// Durably replaces the checkpoint file with `data`: encode, then atomic
+/// write (temp + fsync + rename) wrapped in the config's retry policy
+/// (deadline-aware via `context`; `tends.checkpoint.retries` counts
+/// re-attempts). The directory is created if missing.
+Status WriteCheckpointFile(const CheckpointConfig& config,
+                           const CheckpointData& data,
+                           const RunContext& context, MetricsRegistry* metrics);
+
+/// Reads and decodes a checkpoint file. kNotFound when absent, Corruption
+/// on damage.
+StatusOr<CheckpointData> ReadCheckpointFile(const std::string& path);
+
+/// Resume entry point: loads the config's checkpoint file and validates it
+/// against the current run. Returns the usable records; an absent file
+/// yields an empty vector (fresh start). Fails with Corruption on damage
+/// and FailedPrecondition on a stale checkpoint (fingerprint or node-count
+/// mismatch) — both name the file, neither is ever silently reused.
+StatusOr<std::vector<CheckpointNodeRecord>> LoadCheckpointForResume(
+    const CheckpointConfig& config, uint64_t fingerprint, uint32_t num_nodes);
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_CHECKPOINT_H_

@@ -134,8 +134,9 @@ StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
     artifacts.kmeans_iterations = threshold.iterations;
   }
 
-  run.network = internal::RunTendsNodeLoop(artifacts, options, context,
-                                           &run.diagnostics);
+  TENDS_ASSIGN_OR_RETURN(
+      run.network, internal::RunTendsNodeLoop(artifacts, options, context,
+                                              &run.diagnostics));
   return run;
 }
 

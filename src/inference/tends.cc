@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "diffusion/validation.h"
 #include "inference/local_score.h"
 
@@ -25,6 +28,7 @@ std::string TendsDiagnostics::ToJson() const {
   writer.KeyValue("network_score", network_score);
   writer.KeyValue("deadline_expired", deadline_expired);
   writer.KeyValue("nodes_completed", static_cast<uint64_t>(nodes_completed));
+  writer.KeyValue("nodes_resumed", static_cast<uint64_t>(nodes_resumed));
   writer.EndObject();
   return writer.TakeString();
 }
@@ -44,15 +48,116 @@ Status TendsOptions::Validate() const {
   if (num_threads == 0) {
     return Status::InvalidArgument("num_threads must be > 0 (1 = sequential)");
   }
+  if (!checkpoint.enabled()) {
+    if (checkpoint.resume) {
+      return Status::InvalidArgument(
+          "checkpoint.resume requires checkpoint.directory to be set");
+    }
+  } else {
+    if (checkpoint.stem.empty()) {
+      return Status::InvalidArgument("checkpoint.stem must be non-empty");
+    }
+    if (checkpoint.every_ms < 0) {
+      return Status::InvalidArgument("checkpoint.every_ms must be >= 0");
+    }
+    if (checkpoint.every_nodes == 0 && checkpoint.every_ms == 0) {
+      return Status::InvalidArgument(
+          "enabled checkpointing needs a flush trigger: set "
+          "checkpoint.every_nodes > 0 and/or checkpoint.every_ms > 0");
+    }
+  }
   return Status::OK();
 }
 
 namespace internal {
 
-InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
-                                 const TendsOptions& options,
-                                 const RunContext& context,
-                                 TendsDiagnostics* diagnostics) {
+namespace {
+
+/// Collects completed-node records during the loop and durably snapshots
+/// them to the checkpoint file whenever a flush trigger fires (and once
+/// more on exit). Thread-safe: workers call NodeCompleted concurrently;
+/// flushes are serialized under the mutex and write the *full* set of
+/// completed nodes atomically (temp + fsync + rename), so the on-disk file
+/// is a complete, valid snapshot at every instant — a SIGKILL can only
+/// lose the not-yet-flushed tail, never tear the file. Write errors that
+/// survive the retry policy are sticky and surface from Finish().
+class CheckpointFlusher {
+ public:
+  CheckpointFlusher(const CheckpointConfig& config, uint64_t fingerprint,
+                    uint32_t num_nodes, const RunContext& context,
+                    MetricsRegistry* metrics)
+      : config_(config), context_(context), metrics_(metrics) {
+    data_.fingerprint = fingerprint;
+    data_.num_nodes = num_nodes;
+  }
+
+  /// Seeds the snapshot with records loaded on resume (already durable, so
+  /// they never re-trigger a flush by themselves).
+  void Seed(std::vector<CheckpointNodeRecord> records) {
+    data_.nodes = std::move(records);
+  }
+
+  void NodeCompleted(CheckpointNodeRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_.ok()) return;  // durability already lost; don't thrash
+    pending_.push_back(std::move(record));
+    const bool count_due = config_.every_nodes > 0 &&
+                           pending_.size() >= config_.every_nodes;
+    const bool time_due =
+        config_.every_ms > 0 &&
+        since_flush_.ElapsedMillis() >= static_cast<double>(config_.every_ms);
+    if (count_due || time_due) FlushLocked();
+  }
+
+  /// Flushes whatever completed since the last flush — called on every
+  /// exit path, including deadline expiry, so best-so-far work is always
+  /// resumable — and returns the first write error, if any.
+  Status Finish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_.ok() && !pending_.empty()) FlushLocked();
+    return error_;
+  }
+
+ private:
+  void FlushLocked() {
+    Timer timer;
+    for (CheckpointNodeRecord& record : pending_) {
+      data_.nodes.push_back(std::move(record));
+    }
+    const uint64_t new_nodes = pending_.size();
+    pending_.clear();
+    std::sort(data_.nodes.begin(), data_.nodes.end(),
+              [](const CheckpointNodeRecord& a, const CheckpointNodeRecord& b) {
+                return a.node < b.node;
+              });
+    Status status = WriteCheckpointFile(config_, data_, context_, metrics_);
+    if (!status.ok()) {
+      error_ = status;
+      return;
+    }
+    TENDS_METRIC_ADD(metrics_, "tends.checkpoint.nodes_saved", new_nodes);
+    TENDS_METRIC_ADD(metrics_, "tends.checkpoint.flushes", 1);
+    TENDS_METRIC_RECORD(metrics_, "tends.checkpoint.flush_ns",
+                        static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+    since_flush_.Restart();
+  }
+
+  const CheckpointConfig& config_;
+  const RunContext& context_;
+  MetricsRegistry* metrics_;
+  std::mutex mutex_;
+  CheckpointData data_;                        // complete snapshot so far
+  std::vector<CheckpointNodeRecord> pending_;  // completed since last flush
+  Timer since_flush_;
+  Status error_;
+};
+
+}  // namespace
+
+StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
+                                           const TendsOptions& options,
+                                           const RunContext& context,
+                                           TendsDiagnostics* diagnostics) {
   const diffusion::StatusMatrix& statuses = *artifacts.statuses;
   const PackedStatuses& packed = *artifacts.packed;
   const ImiMatrix& imi = *artifacts.imi;
@@ -82,8 +187,39 @@ InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
   std::vector<uint32_t> candidate_counts(n, 0);
   std::vector<uint8_t> clipped(n, 0);
   std::vector<uint8_t> completed(n, 0);
+
+  // Crash safety: load durable per-node results (resume) and set up the
+  // periodic flusher. Resumed nodes are restored into the same slots a
+  // fresh computation would fill, so everything downstream — network
+  // assembly, diagnostics tallies — is byte-identical to an uninterrupted
+  // run; the workers simply skip them.
+  std::optional<CheckpointFlusher> flusher;
+  if (options.checkpoint.enabled()) {
+    const uint64_t fingerprint = FingerprintInference(statuses, options);
+    flusher.emplace(options.checkpoint, fingerprint, n, context, metrics);
+    if (options.checkpoint.resume) {
+      StatusOr<std::vector<CheckpointNodeRecord>> loaded =
+          LoadCheckpointForResume(options.checkpoint, fingerprint, n);
+      if (!loaded.ok()) return loaded.status();
+      for (const CheckpointNodeRecord& record : *loaded) {
+        const uint32_t i = record.node;
+        results[i].parents = record.parents;
+        results[i].score = record.score;
+        results[i].score_evaluations = record.score_evaluations;
+        candidate_counts[i] = record.candidate_count;
+        clipped[i] = record.clipped ? 1 : 0;
+        completed[i] = 1;
+      }
+      diagnostics->nodes_resumed = static_cast<uint32_t>(loaded->size());
+      TENDS_METRIC_ADD(metrics, "tends.checkpoint.nodes_skipped_on_resume",
+                       loaded->size());
+      flusher->Seed(std::move(*loaded));
+    }
+  }
+
   std::atomic<bool> expired{false};
   ParallelFor(options.num_threads, 0, n, [&](uint32_t i) {
+    if (completed[i]) return;  // already durable via a resumed checkpoint
     if (context.ShouldStop()) {
       expired.store(true, std::memory_order_relaxed);
       return;
@@ -137,8 +273,27 @@ InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
     } else {
       completed[i] = 1;
       TENDS_COUNTER_ADD(nodes_done_counter, 1);
+      if (flusher.has_value()) {
+        CheckpointNodeRecord record;
+        record.node = i;
+        record.candidate_count = candidate_counts[i];
+        record.clipped = clipped[i] != 0;
+        record.score = results[i].score;
+        record.score_evaluations = results[i].score_evaluations;
+        record.parents = results[i].parents;
+        flusher->NodeCompleted(std::move(record));
+      }
     }
   });
+
+  // Final flush on every exit path: a deadline-expired run persists its
+  // best-so-far completed nodes, making the partial run resumable instead
+  // of discarded. A flush failure (after retries) fails the run — the
+  // caller explicitly asked for durability; losing it silently would be
+  // the exact failure mode this layer exists to prevent.
+  if (flusher.has_value()) {
+    TENDS_RETURN_IF_ERROR(flusher->Finish());
+  }
 
   InferredNetwork network(n);
   uint64_t total_candidates = 0;

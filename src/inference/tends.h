@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "inference/checkpoint.h"
 #include "inference/imi.h"
 #include "inference/kmeans_threshold.h"
 #include "inference/network_inference.h"
@@ -44,12 +45,22 @@ struct TendsOptions {
   /// disagree.
   ParentSearchOptions search;
 
+  /// Crash-safe checkpoint/resume (inference/checkpoint.h). Disabled by
+  /// default; when a directory is set, completed per-node results are
+  /// durably flushed during the run and a resume skips every node the
+  /// checkpoint already holds — with output byte-identical to an
+  /// uninterrupted run. Pure durability policy: never part of the result
+  /// fingerprint.
+  CheckpointConfig checkpoint;
+
   /// Rejects contradictory or degenerate settings with kInvalidArgument:
-  /// `tau_multiplier <= 0`, `max_candidates == 0`, `num_threads == 0`, and
+  /// `tau_multiplier <= 0`, `max_candidates == 0`, `num_threads == 0`,
   /// `tau_override` combined with `tau_multiplier != 1.0` (the override
   /// fixes tau directly — bake the scale into the override instead of
-  /// silently ignoring one of the two). Called at the top of every
-  /// Tends::Infer and InferenceSession run.
+  /// silently ignoring one of the two), and malformed checkpoint configs
+  /// (resume without a directory, an enabled config with no flush trigger
+  /// or an empty stem). Called at the top of every Tends::Infer and
+  /// InferenceSession run.
   Status Validate() const;
 };
 
@@ -70,8 +81,12 @@ struct TendsDiagnostics {
   /// early; the returned network is the best-so-far partial topology.
   bool deadline_expired = false;
   /// Nodes whose parent search ran to completion. Equals num_nodes on an
-  /// uninterrupted run.
+  /// uninterrupted run. Includes resumed nodes — a checkpointed node *was*
+  /// completed, just by an earlier process.
   uint32_t nodes_completed = 0;
+  /// Nodes served from a checkpoint instead of recomputed (0 without
+  /// --resume).
+  uint32_t nodes_resumed = 0;
 
   /// Compact single-object JSON rendering of every field (stable key
   /// names), for `tends_cli infer --verbose` and machine consumers.
@@ -139,10 +154,18 @@ struct TendsArtifacts {
 /// same artifact values, which is what makes session runs byte-identical
 /// to fresh ones. `diagnostics` must be freshly reset by the caller; the
 /// loop fills every field from tau onward.
-InferredNetwork RunTendsNodeLoop(const TendsArtifacts& artifacts,
-                                 const TendsOptions& options,
-                                 const RunContext& context,
-                                 TendsDiagnostics* diagnostics);
+///
+/// When options.checkpoint is enabled the loop periodically flushes
+/// completed nodes to the checkpoint file (and always flushes on exit, so
+/// a deadline-expired run leaves its best-so-far work resumable); with
+/// resume set it first loads the file and skips every node it holds.
+/// Errors are durability failures only — exhausted write retries, a
+/// corrupt or stale resume source; a disabled checkpoint config can never
+/// fail.
+StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
+                                           const TendsOptions& options,
+                                           const RunContext& context,
+                                           TendsDiagnostics* diagnostics);
 
 }  // namespace internal
 

@@ -1,0 +1,574 @@
+// Checkpoint/resume correctness: the fingerprint's sensitivity contract
+// (result-affecting knobs in, byte-identical knobs out), exact round-trip
+// of the tends.checkpoint.v1 format, rejection of every tampering mode,
+// and the core differential guarantee — resuming from a checkpoint cut at
+// ANY flush boundary, at any thread count, reproduces the uninterrupted
+// run bit for bit.
+
+#include "inference/checkpoint.h"
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::SimulateUniform;
+
+std::string TempDir(const char* name) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tends_checkpoint" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+diffusion::StatusMatrix Statuses(uint64_t seed = 7) {
+  Rng rng(seed);
+  auto truth = graph::GenerateErdosRenyi(
+      {.num_nodes = 24, .edge_probability = 0.12}, rng);
+  if (!truth.ok()) std::abort();
+  return SimulateUniform(*truth, 0.4, 150, 0.15, seed + 4).statuses;
+}
+
+void ExpectBitIdentical(const InferredNetwork& a, const InferredNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].edge.from, b.edges()[e].edge.from);
+    EXPECT_EQ(a.edges()[e].edge.to, b.edges()[e].edge.to);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.edges()[e].weight),
+              std::bit_cast<uint64_t>(b.edges()[e].weight));
+  }
+}
+
+CheckpointData SampleData() {
+  CheckpointData data;
+  data.fingerprint = 0xDEADBEEFCAFEF00Dull;
+  data.num_nodes = 24;
+  CheckpointNodeRecord a;
+  a.node = 1;
+  a.candidate_count = 5;
+  a.clipped = true;
+  a.score = -123.45678901234567;  // not representable exactly: bits matter
+  a.score_evaluations = 999;
+  a.parents = {0, 3, 17};
+  CheckpointNodeRecord b;
+  b.node = 7;
+  b.candidate_count = 0;
+  b.clipped = false;
+  b.score = 0.1 + 0.2;  // the classic 0.30000000000000004
+  b.score_evaluations = 1;
+  b.parents = {};
+  data.nodes = {a, b};
+  return data;
+}
+
+TEST(FingerprintTest, StableAcrossCallsAndCopies) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions options;
+  EXPECT_EQ(FingerprintInference(statuses, options),
+            FingerprintInference(statuses, options));
+  const diffusion::StatusMatrix copy = Statuses();
+  EXPECT_EQ(FingerprintInference(statuses, options),
+            FingerprintInference(copy, options));
+}
+
+TEST(FingerprintTest, SensitiveToEveryResultAffectingInput) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  const TendsOptions base;
+  const uint64_t fp = FingerprintInference(statuses, base);
+
+  EXPECT_NE(fp, FingerprintInference(Statuses(/*seed=*/8), base));
+
+  TendsOptions changed = base;
+  changed.tau_multiplier = 1.5;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.use_traditional_mi = true;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.max_candidates = 8;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.tau_override = 0.25;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.search.max_parents = 2;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.search.use_penalty = !base.search.use_penalty;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
+}
+
+TEST(FingerprintTest, InsensitiveToByteIdenticalKnobs) {
+  // The differential suites elsewhere prove these knobs cannot change the
+  // output, so a checkpoint must survive changing them mid-resume.
+  const diffusion::StatusMatrix statuses = Statuses();
+  const TendsOptions base;
+  const uint64_t fp = FingerprintInference(statuses, base);
+
+  TendsOptions changed = base;
+  changed.num_threads = 8;
+  EXPECT_EQ(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.search.kernel = CountingKernel::kNaive;
+  EXPECT_EQ(fp, FingerprintInference(statuses, changed));
+
+  changed = base;
+  changed.checkpoint.directory = "/somewhere/else";
+  changed.checkpoint.resume = true;
+  changed.checkpoint.every_nodes = 1;
+  EXPECT_EQ(fp, FingerprintInference(statuses, changed));
+}
+
+TEST(CheckpointFormatTest, RoundTripsBitForBit) {
+  const CheckpointData data = SampleData();
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->fingerprint, data.fingerprint);
+  EXPECT_EQ(decoded->num_nodes, data.num_nodes);
+  ASSERT_EQ(decoded->nodes.size(), data.nodes.size());
+  for (size_t i = 0; i < data.nodes.size(); ++i) {
+    const CheckpointNodeRecord& want = data.nodes[i];
+    const CheckpointNodeRecord& got = decoded->nodes[i];
+    EXPECT_EQ(got.node, want.node);
+    EXPECT_EQ(got.candidate_count, want.candidate_count);
+    EXPECT_EQ(got.clipped, want.clipped);
+    EXPECT_EQ(std::bit_cast<uint64_t>(got.score),
+              std::bit_cast<uint64_t>(want.score));
+    EXPECT_EQ(got.score_evaluations, want.score_evaluations);
+    EXPECT_EQ(got.parents, want.parents);
+  }
+}
+
+TEST(CheckpointFormatTest, EmptyCheckpointRoundTrips) {
+  CheckpointData data;
+  data.fingerprint = 42;
+  data.num_nodes = 10;
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->fingerprint, 42u);
+  EXPECT_TRUE(decoded->nodes.empty());
+}
+
+TEST(CheckpointFormatTest, GarbageBytesAreCorruption) {
+  auto decoded = DecodeCheckpoint("this is not a checkpoint file");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
+TEST(CheckpointFormatTest, TruncationAtEveryByteIsNeverAccepted) {
+  // A torn file must fail cleanly no matter where the tear lands — and a
+  // tear can never resurrect a *valid smaller* checkpoint, because the
+  // header pins the record count.
+  const std::string blob = EncodeCheckpoint(SampleData());
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    auto decoded = DecodeCheckpoint(std::string_view(blob).substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut at byte " << cut;
+    EXPECT_TRUE(decoded.status().IsCorruption())
+        << "cut at byte " << cut << ": " << decoded.status();
+  }
+}
+
+TEST(CheckpointFormatTest, EveryFlippedByteIsDetected) {
+  const std::string blob = EncodeCheckpoint(SampleData());
+  for (size_t at = 0; at < blob.size(); ++at) {
+    std::string damaged = blob;
+    damaged[at] ^= 0x04;
+    auto decoded = DecodeCheckpoint(damaged);
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << at;
+  }
+}
+
+TEST(CheckpointFormatTest, ExtraTrailingFrameIsCorruption) {
+  std::string blob = EncodeCheckpoint(SampleData());
+  AppendFrame("node 9 0 0 0000000000000000 0 0", &blob);
+  auto decoded = DecodeCheckpoint(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
+TEST(CheckpointFormatTest, MissingRecordFrameIsCorruption) {
+  // Rebuild the blob with the last record frame dropped: framing stays
+  // valid, but the header's record count no longer matches.
+  const std::string blob = EncodeCheckpoint(SampleData());
+  auto frames = ParseFrames(blob);
+  ASSERT_TRUE(frames.ok()) << frames.status();
+  ASSERT_GE(frames->size(), 2u);
+  std::string shorter;
+  for (size_t i = 0; i + 1 < frames->size(); ++i) {
+    AppendFrame((*frames)[i], &shorter);
+  }
+  auto decoded = DecodeCheckpoint(shorter);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
+TEST(CheckpointFormatTest, MisorderedNodesAreCorruption) {
+  CheckpointData data = SampleData();
+  std::swap(data.nodes[0], data.nodes[1]);  // 7 before 1
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
+TEST(CheckpointFormatTest, OutOfRangeNodeOrParentIsCorruption) {
+  CheckpointData data = SampleData();
+  data.nodes[1].node = data.num_nodes;  // one past the end
+  auto bad_node = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_FALSE(bad_node.ok());
+  EXPECT_TRUE(bad_node.status().IsCorruption()) << bad_node.status();
+
+  data = SampleData();
+  data.nodes[0].parents.push_back(data.num_nodes + 5);
+  auto bad_parent = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_FALSE(bad_parent.ok());
+  EXPECT_TRUE(bad_parent.status().IsCorruption()) << bad_parent.status();
+}
+
+TEST(CheckpointFormatTest, ForeignSchemaIsRejected) {
+  std::string blob;
+  AppendFrame("tends.checkpoint.v99 fingerprint=0000000000000000 "
+              "num_nodes=1 records=0",
+              &blob);
+  auto decoded = DecodeCheckpoint(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption()) << decoded.status();
+}
+
+TEST(CheckpointFileTest, WriteReadRoundTripAndMissingIsNotFound) {
+  CheckpointConfig config;
+  config.directory = TempDir("file_roundtrip");
+  const CheckpointData data = SampleData();
+  MetricsRegistry metrics;
+  ASSERT_TRUE(
+      WriteCheckpointFile(config, data, RunContext(), &metrics).ok());
+  auto read = ReadCheckpointFile(config.FilePath());
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->fingerprint, data.fingerprint);
+  ASSERT_EQ(read->nodes.size(), 2u);
+
+  auto missing = ReadCheckpointFile(config.directory + "/other.checkpoint");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(CheckpointFileTest, ResumeValidatesFingerprintAndShape) {
+  CheckpointConfig config;
+  config.directory = TempDir("file_stale");
+  const CheckpointData data = SampleData();
+  MetricsRegistry metrics;
+  ASSERT_TRUE(
+      WriteCheckpointFile(config, data, RunContext(), &metrics).ok());
+
+  auto good =
+      LoadCheckpointForResume(config, data.fingerprint, data.num_nodes);
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->size(), 2u);
+
+  auto stale =
+      LoadCheckpointForResume(config, data.fingerprint + 1, data.num_nodes);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsFailedPrecondition()) << stale.status();
+  EXPECT_NE(stale.status().message().find(config.FilePath()),
+            std::string::npos)
+      << stale.status();
+
+  auto wrong_shape =
+      LoadCheckpointForResume(config, data.fingerprint, data.num_nodes + 1);
+  ASSERT_FALSE(wrong_shape.ok());
+  EXPECT_TRUE(wrong_shape.status().IsFailedPrecondition())
+      << wrong_shape.status();
+
+  CheckpointConfig absent = config;
+  absent.stem = "never_written";
+  auto fresh = LoadCheckpointForResume(absent, data.fingerprint,
+                                       data.num_nodes);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_TRUE(fresh->empty());
+}
+
+TEST(CheckpointOptionsTest, ValidateRejectsMalformedConfigs) {
+  const diffusion::StatusMatrix statuses = Statuses();
+
+  TendsOptions options;
+  options.checkpoint.resume = true;  // resume without a directory
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = TendsOptions();
+  options.checkpoint.directory = TempDir("validate");
+  options.checkpoint.every_nodes = 0;
+  options.checkpoint.every_ms = 0;  // enabled but can never flush mid-run
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = TendsOptions();
+  options.checkpoint.directory = TempDir("validate");
+  options.checkpoint.stem = "";
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = TendsOptions();
+  options.checkpoint.directory = TempDir("validate");
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+// The heart of the feature: cut the checkpoint at EVERY flush boundary
+// (0, 1, ..., n completed nodes), resume at 1 and 8 threads, and demand
+// the exact bytes of the uninterrupted run every time.
+TEST(CheckpointResumeTest, EveryBoundaryEveryThreadCountIsByteIdentical) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  const uint32_t n = statuses.num_nodes();
+
+  TendsOptions base;
+  base.reject_degenerate_columns = false;
+  Tends fresh(base);
+  auto expected = fresh.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  // One checkpointed run with a flush after every node gives the complete
+  // record set; every prefix of it is a genuine flush-boundary snapshot.
+  CheckpointConfig config;
+  config.directory = TempDir("boundaries");
+  TendsOptions checkpointed = base;
+  checkpointed.checkpoint = config;
+  checkpointed.checkpoint.every_nodes = 1;
+  Tends writer(checkpointed);
+  auto written = writer.InferFromStatuses(statuses);
+  ASSERT_TRUE(written.ok()) << written.status();
+  ExpectBitIdentical(*written, *expected);
+  auto full = ReadCheckpointFile(config.FilePath());
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_EQ(full->nodes.size(), n);
+
+  for (uint32_t prefix = 0; prefix <= n; ++prefix) {
+    CheckpointData cut;
+    cut.fingerprint = full->fingerprint;
+    cut.num_nodes = full->num_nodes;
+    cut.nodes.assign(full->nodes.begin(), full->nodes.begin() + prefix);
+
+    for (uint32_t num_threads : {1u, 8u}) {
+      // Rewritten per thread count: each resumed run's own final flush
+      // grows the file back to all n records.
+      ASSERT_TRUE(
+          AtomicWriteFile(config.FilePath(), EncodeCheckpoint(cut)).ok());
+      TendsOptions resumed = base;
+      resumed.num_threads = num_threads;
+      resumed.checkpoint = config;
+      resumed.checkpoint.resume = true;
+      Tends tends(resumed);
+      auto network = tends.InferFromStatuses(statuses);
+      ASSERT_TRUE(network.ok())
+          << "prefix " << prefix << " threads " << num_threads << ": "
+          << network.status();
+      ExpectBitIdentical(*network, *expected);
+      EXPECT_EQ(tends.diagnostics().nodes_resumed, prefix);
+      EXPECT_EQ(tends.diagnostics().nodes_completed, n);
+      EXPECT_EQ(std::bit_cast<uint64_t>(tends.diagnostics().network_score),
+                std::bit_cast<uint64_t>(fresh.diagnostics().network_score));
+      EXPECT_EQ(tends.diagnostics().total_score_evaluations,
+                fresh.diagnostics().total_score_evaluations);
+    }
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeAcceptsDifferentKernelAndThreads) {
+  // The fingerprint deliberately excludes the byte-identical knobs, so a
+  // checkpoint written with the packed kernel at 1 thread must resume
+  // under the naive kernel at 8 threads — and still match bit for bit.
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions base;
+  base.reject_degenerate_columns = false;
+
+  CheckpointConfig config;
+  config.directory = TempDir("cross_knobs");
+  TendsOptions writer_options = base;
+  writer_options.checkpoint = config;
+  writer_options.checkpoint.every_nodes = 1;
+  Tends writer(writer_options);
+  auto expected = writer.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  TendsOptions resumed = base;
+  resumed.num_threads = 8;
+  resumed.search.kernel = CountingKernel::kNaive;
+  resumed.checkpoint = config;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_TRUE(network.ok()) << network.status();
+  ExpectBitIdentical(*network, *expected);
+  EXPECT_EQ(tends.diagnostics().nodes_resumed, statuses.num_nodes());
+}
+
+TEST(CheckpointResumeTest, StaleCheckpointFailsTheRunLoudly) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  CheckpointConfig config;
+  config.directory = TempDir("stale_run");
+
+  TendsOptions writer_options;
+  writer_options.reject_degenerate_columns = false;
+  writer_options.checkpoint = config;
+  Tends writer(writer_options);
+  ASSERT_TRUE(writer.InferFromStatuses(statuses).ok());
+
+  // Same file, different tau multiplier: the results inside are computed
+  // against another threshold and must not be reused.
+  TendsOptions resumed = writer_options;
+  resumed.tau_multiplier = 1.5;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsFailedPrecondition()) << network.status();
+}
+
+TEST(CheckpointResumeTest, CorruptCheckpointFailsTheRunLoudly) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  CheckpointConfig config;
+  config.directory = TempDir("corrupt_run");
+
+  TendsOptions writer_options;
+  writer_options.reject_degenerate_columns = false;
+  writer_options.checkpoint = config;
+  Tends writer(writer_options);
+  ASSERT_TRUE(writer.InferFromStatuses(statuses).ok());
+
+  auto bytes = ReadFileToString(config.FilePath());
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = *bytes;
+  damaged[damaged.size() / 2] ^= 0x20;
+  ASSERT_TRUE(AtomicWriteFile(config.FilePath(), damaged).ok());
+
+  TendsOptions resumed = writer_options;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsCorruption()) << network.status();
+}
+
+TEST(CheckpointResumeTest, ExpiredRunFlushesBestSoFarAndStaysResumable) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions base;
+  base.reject_degenerate_columns = false;
+  Tends fresh(base);
+  auto expected = fresh.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  CheckpointConfig config;
+  config.directory = TempDir("expired");
+
+  // A pre-expired deadline: zero nodes complete, and that must not be an
+  // error — just an empty (or absent) checkpoint.
+  TendsOptions expired_options = base;
+  expired_options.checkpoint = config;
+  RunContext expired;
+  expired.deadline = Deadline::Expired();
+  Tends interrupted(expired_options);
+  auto partial = interrupted.InferFromStatuses(statuses, expired);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(interrupted.diagnostics().deadline_expired);
+
+  // Resuming afterwards completes the run and still matches bit for bit.
+  TendsOptions resumed = base;
+  resumed.checkpoint = config;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_TRUE(network.ok()) << network.status();
+  ExpectBitIdentical(*network, *expected);
+  EXPECT_EQ(tends.diagnostics().nodes_completed, statuses.num_nodes());
+  EXPECT_FALSE(tends.diagnostics().deadline_expired);
+}
+
+TEST(CheckpointWriteFaultTest, TransientWriteFailuresAreAbsorbed) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  options.checkpoint.directory = TempDir("transient");
+  options.checkpoint.every_nodes = 0;  // exactly one flush, in Finish()
+  options.checkpoint.every_ms = 0x7FFFFFFF;
+  options.checkpoint.retry.initial_backoff = std::chrono::milliseconds(1);
+
+  ScopedWriteFaults faults({.fail_writes = 2});
+  MetricsRegistry metrics;
+  RunContext context;
+  context.metrics = &metrics;
+  Tends tends(options);
+  auto network = tends.InferFromStatuses(statuses, context);
+  ASSERT_TRUE(network.ok()) << network.status();
+  EXPECT_EQ(faults.write_failures_injected(), 2);
+#if TENDS_METRICS_ENABLED
+  EXPECT_EQ(metrics.GetCounter("tends.checkpoint.retries").value(), 2u);
+  EXPECT_EQ(metrics.GetCounter("tends.checkpoint.nodes_saved").value(),
+            statuses.num_nodes());
+#endif
+
+  // The absorbed faults left a fully valid checkpoint behind.
+  auto full = ReadCheckpointFile(options.checkpoint.FilePath());
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(full->nodes.size(), statuses.num_nodes());
+}
+
+TEST(CheckpointWriteFaultTest, ExhaustedRetriesFailTheRun) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  options.checkpoint.directory = TempDir("exhausted");
+  options.checkpoint.every_nodes = 0;
+  options.checkpoint.every_ms = 0x7FFFFFFF;
+  options.checkpoint.retry.max_attempts = 2;
+  options.checkpoint.retry.initial_backoff = std::chrono::milliseconds(1);
+
+  ScopedWriteFaults faults({.fail_writes = 1000});
+  Tends tends(options);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsIoError()) << network.status();
+  EXPECT_EQ(faults.write_failures_injected(), 2);
+}
+
+TEST(CheckpointWriteFaultTest, TornWriteIsRejectedOnTheNextResume) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  options.checkpoint.directory = TempDir("torn");
+  options.checkpoint.every_nodes = 0;
+  options.checkpoint.every_ms = 0x7FFFFFFF;
+
+  {
+    // Simulate the torn write an atomic rename normally rules out (e.g. a
+    // filesystem lying about fsync): the run itself cannot see the damage.
+    ScopedWriteFaults faults({.tear_at_byte = 40});
+    Tends tends(options);
+    ASSERT_TRUE(tends.InferFromStatuses(statuses).ok());
+    EXPECT_TRUE(faults.tear_injected());
+  }
+
+  TendsOptions resumed = options;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsCorruption()) << network.status();
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -1,0 +1,309 @@
+// Durable-IO primitives: CRC-32 known answers, the self-verifying frame
+// format (round-trip plus distinct Corruption diagnoses for torn, flipped
+// and foreign bytes), atomic file replacement, and the deadline-aware
+// retry policy — including the scripted write-fault seam that the
+// checkpoint tests build on.
+
+#include "common/durable_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+
+namespace tends {
+namespace {
+
+std::string TempDir(const char* name) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tends_durable_io" / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(DurableIoTest, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical check value of CRC-32/ISO-HDLC (what zlib computes).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(DurableIoTest, Crc32ChainsAcrossBuffers) {
+  const std::string payload = "the quick brown fox";
+  uint32_t whole = Crc32(payload);
+  uint32_t chained = Crc32(payload.substr(7), Crc32(payload.substr(0, 7)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(DurableIoTest, FramesRoundTripIncludingEmptyAndBinaryPayloads) {
+  std::string blob;
+  const std::string binary{"\x00\xff\n\r tends\x7f", 10};
+  AppendFrame("header", &blob);
+  AppendFrame("", &blob);
+  AppendFrame(binary, &blob);
+
+  auto frames = ParseFrames(blob);
+  ASSERT_TRUE(frames.ok()) << frames.status();
+  ASSERT_EQ(frames->size(), 3u);
+  EXPECT_EQ((*frames)[0], "header");
+  EXPECT_EQ((*frames)[1], "");
+  EXPECT_EQ((*frames)[2], binary);
+}
+
+TEST(DurableIoTest, ParseFramesAcceptsAnEmptyBuffer) {
+  auto frames = ParseFrames("");
+  ASSERT_TRUE(frames.ok()) << frames.status();
+  EXPECT_TRUE(frames->empty());
+}
+
+TEST(DurableIoTest, TornHeaderIsCorruption) {
+  std::string blob;
+  AppendFrame("payload", &blob);
+  auto torn = ParseFrames(std::string_view(blob).substr(0, 5));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption()) << torn.status();
+}
+
+TEST(DurableIoTest, TornPayloadIsCorruption) {
+  std::string blob;
+  AppendFrame("a long enough payload to tear", &blob);
+  auto torn = ParseFrames(std::string_view(blob).substr(0, blob.size() - 3));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption()) << torn.status();
+}
+
+TEST(DurableIoTest, BadMagicIsCorruption) {
+  std::string blob;
+  AppendFrame("payload", &blob);
+  blob[0] = 'X';
+  auto parsed = ParseFrames(blob);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption()) << parsed.status();
+  EXPECT_NE(parsed.status().message().find("magic"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(DurableIoTest, FlippedPayloadBitIsCorruptionNamingTheFrame) {
+  std::string blob;
+  AppendFrame("frame zero", &blob);
+  AppendFrame("frame one", &blob);
+  blob[blob.size() - 2] ^= 0x10;  // inside frame 1's payload
+  auto parsed = ParseFrames(blob);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption()) << parsed.status();
+  EXPECT_NE(parsed.status().message().find("frame 1"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(DurableIoTest, AtomicWriteCreatesAndOverwrites) {
+  const std::string dir = TempDir("atomic");
+  const std::string path = dir + "/artifact";
+
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  auto first = ReadFileToString(path);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, "first");
+
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer contents").ok());
+  auto second = ReadFileToString(path);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*second, "second, longer contents");
+
+  // No stray temp file is left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(DurableIoTest, ReadMissingFileIsNotFound) {
+  auto missing = ReadFileToString(TempDir("missing") + "/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+}
+
+TEST(DurableIoTest, EnsureDirectoryIsIdempotentAndRejectsFiles) {
+  const std::string dir = TempDir("ensure");
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir + "/sub").ok());
+  EXPECT_TRUE(EnsureDirectory(dir + "/sub").ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/file", "x").ok());
+  EXPECT_FALSE(EnsureDirectory(dir + "/file").ok());
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  int calls = 0;
+  Status status = RetryWithBackoff({}, RunContext(), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, AbsorbsTransientFailuresAndCountsRetries) {
+  MetricsRegistry metrics;
+  Counter* retries = &metrics.GetCounter("tends.checkpoint.retries");
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      policy, RunContext(),
+      [&] {
+        return ++calls < 3 ? Status::IoError("transient") : Status::OK();
+      },
+      retries);
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries->value(), 2u);
+}
+
+TEST(RetryTest, ExhaustionReturnsTheLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, RunContext(), [&] {
+    ++calls;
+    return Status::IoError("always down");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIoError());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, NonTransientErrorsAreNeverRetried) {
+  int calls = 0;
+  Status status = RetryWithBackoff({}, RunContext(), [&] {
+    ++calls;
+    return Status::Corruption("damaged data, retrying cannot help");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExpiredContextStillRunsTheOpOnceButNeverRetries) {
+  // The expiry-flush path depends on this: a deadline-expired run must
+  // still get one attempt at persisting its best-so-far state.
+  RunContext expired;
+  expired.deadline = Deadline::Expired();
+  int calls = 0;
+  Status ok = RetryWithBackoff({}, expired, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  Status failed = RetryWithBackoff({}, expired, [&] {
+    ++calls;
+    return Status::IoError("transient");
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsIoError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffNeverOverrunsATightDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = std::chrono::milliseconds(200);
+  RunContext context;
+  context.deadline = Deadline::AfterMillis(20);
+  int calls = 0;
+  auto start = std::chrono::steady_clock::now();
+  Status status = RetryWithBackoff(policy, context, [&] {
+    ++calls;
+    return Status::IoError("transient");
+  });
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(status.ok());
+  // Gave up long before the 9 x 200ms a deadline-blind loop would sleep.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+  EXPECT_LT(calls, 10);
+}
+
+TEST(WriteFaultTest, TransientWriteFailuresAreAbsorbedByRetries) {
+  const std::string dir = TempDir("faults_write");
+  const std::string path = dir + "/artifact";
+  ScopedWriteFaults faults({.fail_writes = 2});
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  Status status = RetryWithBackoff(policy, RunContext(), [&] {
+    return AtomicWriteFile(path, "payload");
+  });
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(faults.write_failures_injected(), 2);
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+}
+
+TEST(WriteFaultTest, FailedRenameLeavesTheOldFileIntact) {
+  const std::string dir = TempDir("faults_rename");
+  const std::string path = dir + "/artifact";
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+
+  {
+    ScopedWriteFaults faults({.fail_renames = 1});
+    Status status = AtomicWriteFile(path, "new");
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.IsIoError()) << status;
+    EXPECT_EQ(faults.rename_failures_injected(), 1);
+  }
+
+  // Atomicity: the failed replacement never touched the real file and the
+  // temp file was cleaned up.
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "old");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(WriteFaultTest, TornWriteIsCaughtByTheFrameParser) {
+  const std::string dir = TempDir("faults_tear");
+  const std::string path = dir + "/artifact";
+  std::string blob;
+  AppendFrame("a payload that will be torn mid-frame", &blob);
+
+  {
+    ScopedWriteFaults faults({.tear_at_byte = blob.size() / 2});
+    ASSERT_TRUE(AtomicWriteFile(path, blob).ok());
+    EXPECT_TRUE(faults.tear_injected());
+  }
+
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_LT(bytes->size(), blob.size());
+  auto frames = ParseFrames(*bytes);
+  ASSERT_FALSE(frames.ok());
+  EXPECT_TRUE(frames.status().IsCorruption()) << frames.status();
+}
+
+TEST(WriteFaultTest, FlippedBitIsCaughtByTheChecksum) {
+  const std::string dir = TempDir("faults_flip");
+  const std::string path = dir + "/artifact";
+  std::string blob;
+  AppendFrame("checksummed payload", &blob);
+
+  {
+    ScopedWriteFaults faults({.flip_bit_at_byte = blob.size() - 1});
+    ASSERT_TRUE(AtomicWriteFile(path, blob).ok());
+    EXPECT_TRUE(faults.flip_injected());
+  }
+
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_EQ(bytes->size(), blob.size());
+  auto frames = ParseFrames(*bytes);
+  ASSERT_FALSE(frames.ok());
+  EXPECT_TRUE(frames.status().IsCorruption()) << frames.status();
+}
+
+}  // namespace
+}  // namespace tends

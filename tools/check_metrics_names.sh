@@ -49,6 +49,11 @@ tends.sim.cascade_size
 tends.sim.fast_path_runs
 tends.session.artifact_hits
 tends.session.artifact_misses
+tends.checkpoint.nodes_saved
+tends.checkpoint.nodes_skipped_on_resume
+tends.checkpoint.retries
+tends.checkpoint.flushes
+tends.checkpoint.flush_ns
 "
 for name in $required_names; do
   if ! printf '%s\n' "$candidates" | grep -qxF "$name"; then

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Kill-and-resume integration test for the crash-safe checkpoint path.
+#
+# Part 1 (deterministic): a run cut short by an already-expired deadline
+# must still flush its (empty-or-better) checkpoint and a resumed run must
+# produce a network byte-identical to the uninterrupted baseline.
+#
+# Part 2 (the real crash): start `tends_cli infer` with per-node flushing,
+# SIGKILL it the moment the checkpoint file appears, then resume. The
+# atomic-rename write discipline guarantees the killed run left a complete,
+# valid checkpoint; the resumed run must report
+# tends.checkpoint.nodes_skipped_on_resume > 0 and reproduce the baseline
+# bytes exactly. If the victim finishes before the kill lands (fast
+# machine), the checkpoint is complete rather than partial — the resume
+# assertions hold either way.
+#
+# Usage: kill_and_resume_test.sh <tends_cli-binary> <workdir>
+set -eu
+
+CLI="$1"
+WORKDIR="$2"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+
+# A workload big enough that the victim run cannot finish instantly but
+# small enough to keep the test snappy.
+"$CLI" generate --type=er --n=120 --num_edges=480 --out=graph.txt --seed=11 \
+  > gen.out 2>&1
+"$CLI" simulate --graph=graph.txt --model=ic --beta=400 --out=cascades.tsv \
+  --statuses_out=statuses.tsv --seed=11 > sim.out 2>&1
+
+# Uninterrupted baseline.
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_base.tsv \
+  --threads=2 > base.out 2>&1
+
+# --- Part 1: deadline expiry flushes best-so-far, resume completes -------
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_cut.tsv \
+  --threads=1 --deadline_ms=1 --checkpoint_dir=ck_deadline \
+  --checkpoint_every_nodes=1 > cut.out 2>&1
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_done.tsv \
+  --threads=2 --checkpoint_dir=ck_deadline --resume \
+  --metrics_out=resume_deadline.json > done.out 2>&1
+cmp net_base.tsv net_done.tsv || {
+  echo "resume after deadline expiry diverged from the baseline" >&2
+  exit 1
+}
+
+# --- Part 2: SIGKILL mid-run, then resume --------------------------------
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_killed.tsv \
+  --threads=1 --checkpoint_dir=ck_kill --checkpoint_every_nodes=1 \
+  > killed.out 2>&1 &
+VICTIM=$!
+
+# Kill as soon as the first flush lands (the file only ever exists in
+# complete, renamed-into-place form). Give up waiting after ~5s.
+TRIES=0
+while [ ! -f ck_kill/tends.checkpoint ] && [ "$TRIES" -lt 500 ]; do
+  kill -0 "$VICTIM" 2>/dev/null || break
+  sleep 0.01
+  TRIES=$((TRIES + 1))
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+if [ ! -f ck_kill/tends.checkpoint ]; then
+  echo "victim run never produced a checkpoint file" >&2
+  exit 1
+fi
+
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_resumed.tsv \
+  --threads=2 --checkpoint_dir=ck_kill --resume --verbose \
+  --metrics_out=resume_kill.json > resumed.out 2>&1 || {
+  echo "resume after SIGKILL failed:" >&2
+  cat resumed.out >&2
+  exit 1
+}
+
+cmp net_base.tsv net_resumed.tsv || {
+  echo "resume after SIGKILL diverged from the baseline" >&2
+  exit 1
+}
+
+# The diagnostics JSON (--verbose) always carries the resume count; the
+# manifest counter exists only when instrumentation is compiled in.
+grep -q '"nodes_resumed": *[1-9]' resumed.out || {
+  echo "expected nodes_resumed > 0 after resume, diagnostics say:" >&2
+  grep 'nodes_resumed' resumed.out >&2 || true
+  exit 1
+}
+if grep -q '"metrics_enabled": *true' resume_kill.json; then
+  grep -q '"tends.checkpoint.nodes_skipped_on_resume": *[1-9]' resume_kill.json || {
+    echo "expected tends.checkpoint.nodes_skipped_on_resume > 0, manifest says:" >&2
+    grep 'nodes_skipped_on_resume' resume_kill.json >&2 || true
+    exit 1
+  }
+fi
+
+echo "kill-and-resume: OK (resumed run byte-identical to baseline)"

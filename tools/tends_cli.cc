@@ -303,14 +303,18 @@ int RunInfer(int argc, const char* const* argv) {
   std::string io_mode = "strict";
   std::string metrics_out;
   std::string counting_kernel = "packed";
+  std::string checkpoint_dir;
   int64_t num_edges = 0;
   int64_t deadline_ms = 0;
   int64_t progress_ms = 1000;
+  int64_t checkpoint_every_ms = 2000;
   double tau_multiplier = 1.0;
   bool traditional_mi = false;
   bool progress = false;
   bool verbose = false;
+  bool resume = false;
   uint32_t em_iterations = 4;
+  uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
   uint32_t deprecated_num_threads = 0;
 
@@ -351,6 +355,21 @@ int RunInfer(int argc, const char* const* argv) {
                    "tends: sufficient-statistics kernel, 'packed' "
                    "(bit-parallel, default) or 'naive' (reference oracle); "
                    "both produce byte-identical networks");
+  parser.AddString("checkpoint_dir", &checkpoint_dir,
+                   "tends: durably checkpoint completed per-node results "
+                   "into this directory (crash-safe atomic writes); a "
+                   "killed or deadline-expired run becomes resumable");
+  parser.AddBool("resume", &resume,
+                 "tends: load the checkpoint in --checkpoint_dir and skip "
+                 "the nodes it holds (output is byte-identical to an "
+                 "uninterrupted run; stale/corrupt checkpoints are "
+                 "rejected)");
+  parser.AddUint32("checkpoint_every_nodes", &checkpoint_every_nodes,
+                   "flush the checkpoint after this many newly completed "
+                   "nodes (0 = no count trigger)");
+  parser.AddInt64("checkpoint_every_ms", &checkpoint_every_ms,
+                  "also flush when this much time passed since the last "
+                  "flush (0 = no time trigger)");
   parser.AddUint32("em_iterations", &em_iterations,
                    "netrate: EM iteration budget");
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
@@ -380,6 +399,14 @@ int RunInfer(int argc, const char* const* argv) {
         "--counting_kernel must be 'packed' or 'naive', got '" +
         counting_kernel + "'"));
   }
+  if ((!checkpoint_dir.empty() || resume) && algorithm != "tends") {
+    return FailWith(Status::InvalidArgument(
+        "--checkpoint_dir/--resume are only supported for --algorithm=tends"));
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return FailWith(
+        Status::InvalidArgument("--resume requires --checkpoint_dir"));
+  }
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -396,6 +423,8 @@ int RunInfer(int argc, const char* const* argv) {
       {"tau_multiplier", StrFormat("%g", tau_multiplier)},
       {"traditional_mi", traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
+      {"checkpoint_dir", checkpoint_dir},
+      {"resume", resume ? "true" : "false"},
       {"em_iterations", StrFormat("%u", em_iterations)},
       {"threads", StrFormat("%u", threads)},
   };
@@ -461,6 +490,10 @@ int RunInfer(int argc, const char* const* argv) {
     options.search.kernel = counting_kernel == "naive"
                                 ? inference::CountingKernel::kNaive
                                 : inference::CountingKernel::kPacked;
+    options.checkpoint.directory = checkpoint_dir;
+    options.checkpoint.resume = resume;
+    options.checkpoint.every_nodes = checkpoint_every_nodes;
+    options.checkpoint.every_ms = checkpoint_every_ms;
     engine = std::make_unique<inference::Tends>(options);
   } else if (algorithm == "netrate") {
     inference::NetRateOptions options;
@@ -661,8 +694,12 @@ int RunSweep(int argc, const char* const* argv) {
   std::string metrics_out;
   std::string counting_kernel = "packed";
   std::string multipliers_csv = "0.4,0.6,0.8,1.0,1.2,1.6,2.0";
+  std::string checkpoint_dir;
   bool include_traditional_mi = false;
+  bool resume = false;
   int64_t deadline_ms = 0;
+  int64_t checkpoint_every_ms = 2000;
+  uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
   uint32_t deprecated_num_threads = 0;
   uint32_t run_parallelism = 1;
@@ -698,6 +735,19 @@ int RunSweep(int argc, const char* const* argv) {
                    "stage wall-clock, per-run counters) to this path");
   parser.AddString("counting_kernel", &counting_kernel,
                    "sufficient-statistics kernel: 'packed' or 'naive'");
+  parser.AddString("checkpoint_dir", &checkpoint_dir,
+                   "durably checkpoint each run's completed per-node "
+                   "results into this directory (one run<index>.checkpoint "
+                   "file per sweep point)");
+  parser.AddBool("resume", &resume,
+                 "load per-run checkpoints from --checkpoint_dir and skip "
+                 "the nodes they hold");
+  parser.AddUint32("checkpoint_every_nodes", &checkpoint_every_nodes,
+                   "flush a run's checkpoint after this many newly "
+                   "completed nodes (0 = no count trigger)");
+  parser.AddInt64("checkpoint_every_ms", &checkpoint_every_ms,
+                  "also flush when this much time passed since a run's "
+                  "last flush (0 = no time trigger)");
   parser.AddUint32("run_parallelism", &run_parallelism,
                    "concurrent sweep runs (outer level; --threads is the "
                    "per-run inner level)");
@@ -758,7 +808,15 @@ int RunSweep(int argc, const char* const* argv) {
     truth.emplace(std::move(loaded).value());
   }
 
-  // One option set per (multiplier, MI variant) point.
+  if (resume && checkpoint_dir.empty()) {
+    return FailWith(
+        Status::InvalidArgument("--resume requires --checkpoint_dir"));
+  }
+
+  // One option set per (multiplier, MI variant) point. Each run gets its
+  // own checkpoint stem so sweep checkpoints never collide, and each run's
+  // fingerprint covers its own options — a resumed sweep only reuses
+  // checkpoints whose point configuration is unchanged.
   std::vector<inference::TendsOptions> runs;
   for (int traditional = 0; traditional <= (include_traditional_mi ? 1 : 0);
        ++traditional) {
@@ -770,6 +828,13 @@ int RunSweep(int argc, const char* const* argv) {
       options.search.kernel = counting_kernel == "naive"
                                   ? inference::CountingKernel::kNaive
                                   : inference::CountingKernel::kPacked;
+      if (!checkpoint_dir.empty()) {
+        options.checkpoint.directory = checkpoint_dir;
+        options.checkpoint.stem = StrFormat("run%zu", runs.size());
+        options.checkpoint.resume = resume;
+        options.checkpoint.every_nodes = checkpoint_every_nodes;
+        options.checkpoint.every_ms = checkpoint_every_ms;
+      }
       runs.push_back(options);
     }
   }
@@ -822,6 +887,8 @@ int RunSweep(int argc, const char* const* argv) {
       {"tau_multipliers", multipliers_csv},
       {"include_traditional_mi", include_traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
+      {"checkpoint_dir", checkpoint_dir},
+      {"resume", resume ? "true" : "false"},
       {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
       {"threads", StrFormat("%u", threads)},
       {"run_parallelism", StrFormat("%u", run_parallelism)},
