@@ -1,10 +1,12 @@
 #include "benchlib/experiment.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "common/json.h"
+#include "common/memory_stats.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/stringutil.h"
@@ -25,6 +27,9 @@ void Accumulate(metrics::AlgorithmEvaluation& total,
   total.metrics.false_negatives += sample.metrics.false_negatives;
   total.seconds += sample.seconds;
   total.inferred_edges += sample.inferred_edges;
+  // Peak RSS is a high-water mark, so the max (not the mean) is the honest
+  // aggregate across repetitions.
+  total.peak_rss_bytes = std::max(total.peak_rss_bytes, sample.peak_rss_bytes);
 }
 
 void Average(metrics::AlgorithmEvaluation& total, uint32_t reps) {
@@ -146,7 +151,8 @@ void MaybeWriteBenchJson(
     const std::string& title,
     const std::vector<std::pair<std::string,
                                 std::vector<metrics::AlgorithmEvaluation>>>&
-        rows) {
+        rows,
+    const MetricsRegistry* registry) {
   const char* dir = std::getenv("TENDS_BENCH_JSON_DIR");
   if (dir == nullptr || dir[0] == '\0') return;
 
@@ -174,10 +180,23 @@ void MaybeWriteBenchJson(
       writer.KeyValue("recall", evaluation.metrics.recall);
       writer.KeyValue("seconds", evaluation.seconds);
       writer.KeyValue("edges", evaluation.inferred_edges);
+      writer.KeyValue("peak_rss_bytes", evaluation.peak_rss_bytes);
       writer.EndObject();
     }
   }
   writer.EndArray();
+  writer.Key("memory");
+  writer.BeginObject();
+  writer.KeyValue("peak_rss_bytes", ReadPeakRssBytes().value_or(0));
+  writer.Key("artifacts");
+  writer.BeginObject();
+  if (registry != nullptr) {
+    for (const auto& [name, value] : registry->GaugeValues()) {
+      if (name.rfind("tends.mem.", 0) == 0) writer.KeyValue(name, value);
+    }
+  }
+  writer.EndObject();
+  writer.EndObject();
   writer.EndObject();
 
   std::ofstream out(path, std::ios::out | std::ios::trunc);
@@ -201,10 +220,15 @@ int RunDatasetSweepBench(const std::string& title, const std::string& reference,
   }
   const graph::DirectedGraph& truth = *truth_or;
   const bool fast = FastBenchMode();
+  // One registry across the whole sweep: the bench record's memory section
+  // reports real per-artifact byte gauges (set at allocation sites; the
+  // largest setting wins, matching the bench's high-water footprint).
+  MetricsRegistry registry;
   std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
       rows;
   for (double value : values) {
     ExperimentConfig config;
+    config.metrics = &registry;
     config.repetitions = fast ? 1 : repetitions;
     std::string label;
     switch (parameter) {
@@ -232,7 +256,7 @@ int RunDatasetSweepBench(const std::string& title, const std::string& reference,
     rows.emplace_back(label, std::move(evaluations).value());
   }
   MakeFigureTable(rows).PrintText(std::cout);
-  MaybeWriteBenchJson(title, rows);
+  MaybeWriteBenchJson(title, rows, &registry);
   return 0;
 }
 

@@ -72,13 +72,17 @@ Table MakeFigureTable(
 /// When the TENDS_BENCH_JSON_DIR environment variable names a directory,
 /// writes the rows of one bench run as `<dir>/BENCH_<slug(title)>.json`
 /// (schema "tends.bench.v1": title, git describe, one record per
-/// setting/algorithm pair). Unset variable = no-op; a write failure is
-/// reported to stderr but never fails the bench.
+/// setting/algorithm pair, each carrying its sampled peak_rss_bytes, plus
+/// a file-level "memory" object with the process peak and — when
+/// `registry` is non-null — every tends.mem.* artifact byte gauge).
+/// Unset variable = no-op; a write failure is reported to stderr but
+/// never fails the bench.
 void MaybeWriteBenchJson(
     const std::string& title,
     const std::vector<std::pair<std::string,
                                 std::vector<metrics::AlgorithmEvaluation>>>&
-        rows);
+        rows,
+    const MetricsRegistry* registry = nullptr);
 
 /// True when the TENDS_BENCH_FAST environment variable is set (non-empty):
 /// benches then shrink repetitions / iteration counts for smoke runs.

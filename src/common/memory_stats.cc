@@ -1,0 +1,94 @@
+#include "common/memory_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace tends {
+
+namespace {
+
+std::optional<int64_t> ReadProcSelfStatusBytes(std::string_view key) {
+  std::ifstream in("/proc/self/status", std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return ParseProcStatusBytes(buffer.str(), key);
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseProcStatusBytes(std::string_view status_text,
+                                            std::string_view key) {
+  size_t pos = 0;
+  while (pos < status_text.size()) {
+    size_t eol = status_text.find('\n', pos);
+    std::string_view line = status_text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? status_text.size() : eol + 1;
+
+    // Exact "<key>:" prefix; "VmHWMx:" must not match "VmHWM".
+    if (line.size() <= key.size() || line.substr(0, key.size()) != key ||
+        line[key.size()] != ':') {
+      continue;
+    }
+    std::string_view rest = line.substr(key.size() + 1);
+    size_t digits = 0;
+    while (digits < rest.size() && (rest[digits] == ' ' || rest[digits] == '\t')) {
+      ++digits;
+    }
+    rest = rest.substr(digits);
+    int64_t kb = 0;
+    size_t consumed = 0;
+    while (consumed < rest.size() && rest[consumed] >= '0' &&
+           rest[consumed] <= '9') {
+      int digit = rest[consumed] - '0';
+      if (kb > (INT64_MAX - digit) / 10) return std::nullopt;  // overflow
+      kb = kb * 10 + digit;
+      ++consumed;
+    }
+    if (consumed == 0) return std::nullopt;  // no number after the key
+    rest = rest.substr(consumed);
+    while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+      rest.remove_prefix(1);
+    }
+    while (!rest.empty() &&
+           (rest.back() == ' ' || rest.back() == '\t' || rest.back() == '\r')) {
+      rest.remove_suffix(1);
+    }
+    if (rest != "kB") return std::nullopt;  // kernel always reports kB
+    if (kb > INT64_MAX / 1024) return std::nullopt;
+    return kb * 1024;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> ReadPeakRssBytes() {
+  return ReadProcSelfStatusBytes("VmHWM");
+}
+
+std::optional<int64_t> ReadCurrentRssBytes() {
+  return ReadProcSelfStatusBytes("VmRSS");
+}
+
+void RecordRunStats(MetricsRegistry* registry) {
+#if TENDS_METRICS_ENABLED
+  if (registry == nullptr) return;
+  if (std::optional<int64_t> peak = ReadPeakRssBytes(); peak.has_value()) {
+    TENDS_GAUGE_SET(registry, "tends.mem.peak_rss_bytes", *peak);
+  }
+  if (std::optional<int64_t> rss = ReadCurrentRssBytes(); rss.has_value()) {
+    TENDS_GAUGE_SET(registry, "tends.mem.current_rss_bytes", *rss);
+  }
+  TENDS_GAUGE_SET(registry, "tends.trace.dropped_spans",
+                  registry->tracer().dropped());
+#else
+  (void)registry;
+#endif
+}
+
+}  // namespace tends

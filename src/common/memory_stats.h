@@ -1,0 +1,36 @@
+#ifndef TENDS_COMMON_MEMORY_STATS_H_
+#define TENDS_COMMON_MEMORY_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tends {
+
+class MetricsRegistry;
+
+/// Extracts the value of `key` (e.g. "VmHWM", "VmRSS") from the text of a
+/// /proc/<pid>/status file and returns it in bytes. The kernel reports
+/// these lines as "<key>:\t  <n> kB"; any deviation — key absent, value
+/// missing or non-numeric, unexpected unit, overflow — yields nullopt,
+/// never a crash: /proc is an interface we read, not one we control.
+std::optional<int64_t> ParseProcStatusBytes(std::string_view status_text,
+                                            std::string_view key);
+
+/// Peak resident set size of this process (VmHWM from /proc/self/status).
+/// nullopt on platforms or sandboxes without a readable /proc.
+std::optional<int64_t> ReadPeakRssBytes();
+
+/// Current resident set size of this process (VmRSS).
+std::optional<int64_t> ReadCurrentRssBytes();
+
+/// End-of-run finalization for a manifest-bound registry: samples process
+/// memory into `tends.mem.peak_rss_bytes` / `tends.mem.current_rss_bytes`
+/// (absent readings leave the gauges unregistered) and surfaces the
+/// embedded tracer's dropped-span count as `tends.trace.dropped_spans`.
+/// Null registry = no-op; compiled inert with TENDS_METRICS=OFF.
+void RecordRunStats(MetricsRegistry* registry);
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_MEMORY_STATS_H_

@@ -276,6 +276,16 @@ class ProgressReporter {
     if (tends_r_ != nullptr) tends_r_->GetHistogram(name).Record(value); \
   } while (0)
 
+/// One-shot gauge set by name (cold paths only: allocation sites and
+/// end-of-run finalization, never inner loops). The canonical way to
+/// register the `tends.mem.<artifact>_bytes` gauges.
+#define TENDS_GAUGE_SET(registry, name, value)                         \
+  do {                                                                 \
+    ::tends::MetricsRegistry* tends_r_ = (registry);                   \
+    if (tends_r_ != nullptr)                                           \
+      tends_r_->GetGauge(name).Set(static_cast<int64_t>(value));       \
+  } while (0)
+
 /// RAII stage timer for the current scope.
 #define TENDS_METRICS_STAGE(registry, stage) \
   ::tends::ScopedStage TENDS_CONCAT_(tends_stage_, __LINE__)(registry, stage)
@@ -307,6 +317,11 @@ class ProgressReporter {
   do {                                             \
     (void)(registry);                              \
     (void)(value);                                 \
+  } while (0)
+#define TENDS_GAUGE_SET(registry, name, value) \
+  do {                                         \
+    (void)(registry);                          \
+    (void)(value);                             \
   } while (0)
 #define TENDS_METRICS_STAGE(registry, stage) \
   do {                                       \

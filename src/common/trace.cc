@@ -56,6 +56,18 @@ void Tracer::Record(const char* name, int64_t detail, uint32_t depth,
                            duration_ns});
 }
 
+namespace {
+
+void SortSpans(std::vector<TraceSpan>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.thread_index < b.thread_index;
+            });
+}
+
+}  // namespace
+
 std::vector<TraceSpan> Tracer::Drain() {
   std::vector<TraceSpan> all;
   {
@@ -66,11 +78,20 @@ std::vector<TraceSpan> Tracer::Drain() {
       buffer->spans.clear();
     }
   }
-  std::sort(all.begin(), all.end(),
-            [](const TraceSpan& a, const TraceSpan& b) {
-              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-              return a.thread_index < b.thread_index;
-            });
+  SortSpans(all);
+  return all;
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::vector<TraceSpan> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+    }
+  }
+  SortSpans(all);
   return all;
 }
 

@@ -65,6 +65,11 @@ class Tracer {
   /// the traced work has joined.
   std::vector<TraceSpan> Drain();
 
+  /// Copies out every buffered span without clearing the buffers, in the
+  /// same order as Drain. Lets the timeline exporter and the manifest's
+  /// span summaries observe the same spans (export does not consume).
+  std::vector<TraceSpan> Snapshot() const;
+
   /// Per-name aggregation of the currently buffered spans (does not
   /// drain).
   std::vector<TraceSummary> Summaries() const;

@@ -1,0 +1,212 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/stringutil.h"
+
+namespace tends {
+
+namespace {
+
+constexpr int64_t kTracePid = 1;
+
+void WriteMetadataEvent(JsonWriter& writer, const char* kind, uint32_t tid,
+                        const std::string& display_name) {
+  writer.BeginObject();
+  writer.KeyValue("name", kind);
+  writer.KeyValue("ph", "M");
+  writer.KeyValue("pid", kTracePid);
+  writer.KeyValue("tid", static_cast<int64_t>(tid));
+  writer.Key("args");
+  writer.BeginObject();
+  writer.KeyValue("name", display_name);
+  writer.EndObject();
+  writer.EndObject();
+}
+
+}  // namespace
+
+std::string ChromeTraceJsonFromSpans(const TraceExportMeta& meta,
+                                     const std::vector<TraceSpan>& spans,
+                                     uint64_t dropped_spans) {
+  JsonWriter writer;
+  writer.BeginObject();
+  // Viewers show ms ticks; the events themselves carry microsecond ts/dur
+  // (the unit the trace-event format fixes).
+  writer.KeyValue("displayTimeUnit", "ms");
+
+  writer.Key("otherData");
+  writer.BeginObject();
+  writer.KeyValue("schema", "tends.trace.v1");
+  writer.KeyValue("tool", meta.tool);
+  writer.KeyValue("git", BuildGitDescribe());
+  writer.KeyValue("dropped_spans", dropped_spans);
+  writer.Key("config");
+  writer.BeginObject();
+  for (const auto& [key, value] : meta.config) {
+    writer.KeyValue(key, value);
+  }
+  writer.EndObject();
+  writer.EndObject();
+
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  WriteMetadataEvent(writer, "process_name", 0,
+                     meta.tool.empty() ? "tends" : meta.tool);
+  std::set<uint32_t> threads;
+  for (const TraceSpan& span : spans) threads.insert(span.thread_index);
+  for (uint32_t thread : threads) {
+    WriteMetadataEvent(writer, "thread_name", thread,
+                       thread == 0 ? "main" : StrFormat("worker-%u", thread));
+  }
+  for (const TraceSpan& span : spans) {
+    writer.BeginObject();
+    writer.KeyValue("name", span.name == nullptr ? "" : span.name);
+    writer.KeyValue("cat", "tends");
+    writer.KeyValue("ph", "X");
+    writer.KeyValue("pid", kTracePid);
+    writer.KeyValue("tid", static_cast<int64_t>(span.thread_index));
+    writer.KeyValue("ts", static_cast<double>(span.start_ns) / 1000.0);
+    writer.KeyValue("dur", static_cast<double>(span.duration_ns) / 1000.0);
+    writer.Key("args");
+    writer.BeginObject();
+    writer.KeyValue("depth", static_cast<int64_t>(span.depth));
+    if (span.detail >= 0) writer.KeyValue("detail", span.detail);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  return writer.TakeString();
+}
+
+std::string ChromeTraceJson(const TraceExportMeta& meta, const Tracer& tracer) {
+  return ChromeTraceJsonFromSpans(meta, tracer.Snapshot(), tracer.dropped());
+}
+
+Status WriteChromeTraceFile(const TraceExportMeta& meta, const Tracer& tracer,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ChromeTraceJson(meta, tracer) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Status ValidateChromeTraceJson(std::string_view json) {
+  StatusOr<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+
+  std::vector<std::string> errors;
+  auto fail = [&](std::string message) {
+    if (errors.size() < 8) errors.push_back(std::move(message));
+  };
+
+  if (!root.is_object()) {
+    return Status::InvalidArgument("trace: top level is not an object");
+  }
+  const JsonValue* unit = root.Find("displayTimeUnit");
+  if (unit == nullptr || unit->type() != JsonValue::Type::kString) {
+    fail("missing displayTimeUnit");
+  }
+  const JsonValue* schema = root.FindPath({"otherData", "schema"});
+  if (schema == nullptr || schema->string_value() != "tends.trace.v1") {
+    fail("otherData.schema is not \"tends.trace.v1\"");
+  }
+  const JsonValue* config = root.FindPath({"otherData", "config"});
+  if (config == nullptr || !config->is_object()) {
+    fail("otherData.config missing");
+  }
+
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array() || events->array().empty()) {
+    fail("traceEvents missing or empty");
+  } else {
+    size_t process_names = 0;
+    std::set<int64_t> named_threads;
+    std::set<int64_t> used_threads;
+    double last_ts = 0.0;
+    size_t index = 0;
+    for (const JsonValue& event : events->array()) {
+      const std::string prefix =
+          "traceEvents[" + std::to_string(index++) + "]: ";
+      if (!event.is_object()) {
+        fail(prefix + "not an object");
+        continue;
+      }
+      const JsonValue* name = event.Find("name");
+      if (name == nullptr || name->type() != JsonValue::Type::kString ||
+          name->string_value().empty()) {
+        fail(prefix + "missing name");
+        continue;
+      }
+      const JsonValue* ph = event.Find("ph");
+      const std::string phase =
+          ph != nullptr && ph->type() == JsonValue::Type::kString
+              ? ph->string_value()
+              : "";
+      if (phase != "X" && phase != "M") {
+        fail(prefix + "ph must be \"X\" or \"M\"");
+        continue;
+      }
+      const JsonValue* pid = event.Find("pid");
+      const JsonValue* tid = event.Find("tid");
+      if (pid == nullptr || pid->type() != JsonValue::Type::kNumber ||
+          tid == nullptr || tid->type() != JsonValue::Type::kNumber) {
+        fail(prefix + "missing numeric pid/tid");
+        continue;
+      }
+      if (phase == "M") {
+        if (name->string_value() == "process_name") ++process_names;
+        if (name->string_value() == "thread_name") {
+          named_threads.insert(tid->int_value());
+        }
+        continue;
+      }
+      const JsonValue* ts = event.Find("ts");
+      const JsonValue* dur = event.Find("dur");
+      if (ts == nullptr || ts->type() != JsonValue::Type::kNumber ||
+          ts->number_value() < 0.0) {
+        fail(prefix + "complete event missing non-negative ts");
+        continue;
+      }
+      if (dur == nullptr || dur->type() != JsonValue::Type::kNumber ||
+          dur->number_value() < 0.0) {
+        fail(prefix + "complete event missing non-negative dur");
+      }
+      const JsonValue* depth = event.FindPath({"args", "depth"});
+      if (depth == nullptr || depth->type() != JsonValue::Type::kNumber ||
+          depth->int_value() < 0) {
+        fail(prefix + "args.depth missing");
+      }
+      if (ts->number_value() < last_ts) {
+        fail(prefix + "ts not nondecreasing (events must stay sorted)");
+      }
+      last_ts = ts->number_value();
+      used_threads.insert(tid->int_value());
+    }
+    if (process_names != 1) {
+      fail("expected exactly one process_name metadata event, found " +
+           std::to_string(process_names));
+    }
+    for (int64_t thread : used_threads) {
+      if (named_threads.count(thread) == 0) {
+        fail("tid " + std::to_string(thread) + " has no thread_name track");
+      }
+    }
+  }
+
+  if (errors.empty()) return Status::OK();
+  std::string joined = "invalid tends.trace.v1 timeline:";
+  for (const std::string& error : errors) joined += "\n  " + error;
+  return Status::InvalidArgument(joined);
+}
+
+}  // namespace tends

@@ -1,0 +1,57 @@
+#ifndef TENDS_COMMON_TRACE_EXPORT_H_
+#define TENDS_COMMON_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace tends {
+
+/// Run identity carried in the exported timeline's `otherData` block, so a
+/// trace file is self-describing (which tool produced it, with which
+/// configuration) when opened days later in a viewer.
+struct TraceExportMeta {
+  std::string tool;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Renders spans as Chrome-trace-event JSON (the "JSON object format"
+/// understood by chrome://tracing and Perfetto): one complete event
+/// (`"ph":"X"`, microsecond ts/dur) per span on a per-thread track, one
+/// `thread_name` metadata event per track, a `process_name` metadata event
+/// carrying the tool, and an `otherData` object with the run config and
+/// the dropped-span count (schema tag "tends.trace.v1"). Span `detail`
+/// payloads (node ids) and nesting depth are emitted under `args`.
+///
+/// `spans` must be sorted by start time (the order Tracer::Drain and
+/// Tracer::Snapshot produce).
+std::string ChromeTraceJsonFromSpans(const TraceExportMeta& meta,
+                                     const std::vector<TraceSpan>& spans,
+                                     uint64_t dropped_spans);
+
+/// Snapshots `tracer` (without draining it — manifest span summaries still
+/// see every span afterwards) and renders the timeline.
+std::string ChromeTraceJson(const TraceExportMeta& meta, const Tracer& tracer);
+
+/// ChromeTraceJson written to `path`; IoError on any write problem.
+Status WriteChromeTraceFile(const TraceExportMeta& meta, const Tracer& tracer,
+                            const std::string& path);
+
+/// Structural validator for an exported timeline (the trace-side
+/// counterpart of tools/validate_bench_json): parses `json` and checks the
+/// shape a viewer relies on — object root, non-empty `traceEvents`, every
+/// event carrying name/ph/pid/tid, complete events with non-negative
+/// microsecond ts/dur in nondecreasing ts order, exactly one process_name
+/// metadata event, a thread_name track for every tid used, and the
+/// "tends.trace.v1" schema tag. Returns the first few violations in the
+/// error message.
+Status ValidateChromeTraceJson(std::string_view json);
+
+}  // namespace tends
+
+#endif  // TENDS_COMMON_TRACE_EXPORT_H_

@@ -63,6 +63,10 @@ class StatusMatrix {
   uint32_t num_processes() const { return num_processes_; }
   uint32_t num_nodes() const { return num_nodes_; }
 
+  /// Payload bytes of the raw matrix (beta * n); feeds the
+  /// tends.mem.status_matrix_bytes gauge at inference entry points.
+  size_t ByteSize() const { return data_.size(); }
+
   uint8_t Get(uint32_t process, graph::NodeId node) const {
     return data_[static_cast<size_t>(process) * num_nodes_ + node];
   }

@@ -182,6 +182,10 @@ Status WriteCheckpointFile(const CheckpointConfig& config,
                            MetricsRegistry* metrics) {
   TENDS_RETURN_IF_ERROR(EnsureDirectory(config.directory));
   const std::string encoded = EncodeCheckpoint(data);
+  // Last-write-wins: the gauge tracks the latest (largest, since snapshots
+  // only grow) encoded snapshot this run flushed.
+  TENDS_GAUGE_SET(metrics, "tends.mem.checkpoint_buffer_bytes",
+                  encoded.size());
   const std::string path = config.FilePath();
   Counter* retries =
       TENDS_METRIC_COUNTER(metrics, "tends.checkpoint.retries");

@@ -84,6 +84,10 @@ class PackedStatuses {
   uint32_t num_processes() const { return num_processes_; }
   uint32_t words_per_node() const { return words_per_node_; }
 
+  /// Payload bytes of the packed words (n * ceil(beta/64) * 8); feeds the
+  /// tends.mem.packed_statuses_bytes gauge at allocation sites.
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
   /// Node v's statuses as words_per_node() little-endian words; bits at or
   /// beyond num_processes() are zero.
   const uint64_t* Column(graph::NodeId v) const {

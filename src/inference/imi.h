@@ -52,6 +52,10 @@ class ImiMatrix {
 
   uint32_t num_nodes() const { return num_nodes_; }
 
+  /// Payload bytes of the dense value matrix (n * n * sizeof(double));
+  /// feeds the tends.mem.imi_matrix_bytes gauge at allocation sites.
+  size_t ByteSize() const { return values_.size() * sizeof(double); }
+
   double Get(graph::NodeId i, graph::NodeId j) const {
     return values_[static_cast<size_t>(i) * num_nodes_ + j];
   }

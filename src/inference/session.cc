@@ -48,14 +48,21 @@ const T& InferenceSession::Memoize(const Memo<T>& memo,
 const PackedStatuses& InferenceSession::packed(MetricsRegistry* metrics) const {
   return Memoize(packed_, metrics, [&] {
     TENDS_METRICS_STAGE(metrics, "pack_statuses");
-    return PackedStatuses(statuses_);
+    PackedStatuses packed(statuses_);
+    TENDS_GAUGE_SET(metrics, "tends.mem.packed_statuses_bytes",
+                    packed.ByteSize());
+    return packed;
   });
 }
 
 const std::vector<uint32_t>& InferenceSession::marginal_counts(
     MetricsRegistry* metrics) const {
-  return Memoize(marginal_counts_, metrics,
-                 [&] { return packed(metrics).InfectedCounts(); });
+  return Memoize(marginal_counts_, metrics, [&] {
+    std::vector<uint32_t> counts = packed(metrics).InfectedCounts();
+    TENDS_GAUGE_SET(metrics, "tends.mem.marginal_counts_bytes",
+                    counts.size() * sizeof(uint32_t));
+    return counts;
+  });
 }
 
 const std::vector<PairCounts>& InferenceSession::pair_counts(
@@ -65,7 +72,11 @@ const std::vector<PairCounts>& InferenceSession::pair_counts(
     // attributed to their own stage names, as in a fresh run.
     const PackedStatuses& packed_columns = packed(metrics);
     TENDS_METRICS_STAGE(metrics, "imi");
-    return ComputePairCountsUpperTriangle(packed_columns);
+    std::vector<PairCounts> counts =
+        ComputePairCountsUpperTriangle(packed_columns);
+    TENDS_GAUGE_SET(metrics, "tends.mem.pair_counts_bytes",
+                    counts.size() * sizeof(PairCounts));
+    return counts;
   });
 }
 
@@ -78,7 +89,11 @@ const ImiMatrix& InferenceSession::imi(bool use_traditional_mi,
     TENDS_METRICS_STAGE(metrics, "imi");
     TENDS_TRACE_SPAN(metrics, "imi");
     TENDS_METRIC_ADD(metrics, "tends.imi.pairs", counts.size());
-    return ImiMatrix(num_nodes(), counts, use_traditional_mi);
+    ImiMatrix matrix(num_nodes(), counts, use_traditional_mi);
+    // Both variants have identical dense n*n footprints, so last-write-wins
+    // is exact whichever variant(s) a session materializes.
+    TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes", matrix.ByteSize());
+    return matrix;
   });
 }
 
@@ -108,6 +123,8 @@ StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
   if (metrics != nullptr) {
     metrics->GetGauge("tends.tends.nodes_total").Set(n);
     metrics->GetGauge("tends.tends.processes").Set(statuses_.num_processes());
+    metrics->GetGauge("tends.mem.status_matrix_bytes")
+        .Set(static_cast<int64_t>(statuses_.ByteSize()));
   }
 #endif
 

@@ -341,6 +341,8 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   if (metrics != nullptr) {
     metrics->GetGauge("tends.tends.nodes_total").Set(n);
     metrics->GetGauge("tends.tends.processes").Set(statuses.num_processes());
+    metrics->GetGauge("tends.mem.status_matrix_bytes")
+        .Set(static_cast<int64_t>(statuses.ByteSize()));
   }
 #endif
 
@@ -360,6 +362,8 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     TENDS_METRICS_STAGE(metrics, "pack_statuses");
     packed_storage.emplace(statuses);
   }
+  TENDS_GAUGE_SET(metrics, "tends.mem.packed_statuses_bytes",
+                  packed_storage->ByteSize());
 
   // Lines 2-4: pairwise infection-MI values.
   std::optional<ImiMatrix> imi_storage;
@@ -370,6 +374,13 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   }
   TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
                    static_cast<uint64_t>(n) * (n - 1) / 2);
+  // The fresh path materializes the pairwise count table only transiently
+  // inside the ImiMatrix constructor; its size is still the honest
+  // allocation (the session memoizes the same table durably).
+  TENDS_GAUGE_SET(metrics, "tends.mem.pair_counts_bytes",
+                  static_cast<uint64_t>(n) * (n - 1) / 2 * sizeof(PairCounts));
+  TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes",
+                  imi_storage->ByteSize());
 
   internal::TendsArtifacts artifacts;
   artifacts.statuses = &statuses;

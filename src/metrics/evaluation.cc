@@ -1,5 +1,6 @@
 #include "metrics/evaluation.h"
 
+#include "common/memory_stats.h"
 #include "common/timer.h"
 
 namespace tends::metrics {
@@ -15,6 +16,7 @@ StatusOr<AlgorithmEvaluation> RunAndEvaluate(
   StatusOr<inference::InferredNetwork> inferred =
       algorithm.Infer(observations, context);
   evaluation.seconds = timer.ElapsedSeconds();
+  evaluation.peak_rss_bytes = ReadPeakRssBytes().value_or(0);
   if (!inferred.ok()) return inferred.status();
   evaluation.diagnostics_json = algorithm.DiagnosticsJson();
   evaluation.inferred_edges = inferred->num_edges();

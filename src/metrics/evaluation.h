@@ -20,6 +20,11 @@ struct AlgorithmEvaluation {
   /// The algorithm's own DiagnosticsJson() after the run — uniform across
   /// TENDS and the baselines (no special-casing by the harness).
   std::string diagnostics_json = "{}";
+  /// Process peak RSS sampled right after the run (common/memory_stats.h);
+  /// 0 when /proc is unreadable. Process-wide, so within one process it is
+  /// nondecreasing across evaluations — an attribution hint, not an exact
+  /// per-algorithm figure (the tends.mem.* gauges are the exact ones).
+  int64_t peak_rss_bytes = 0;
 };
 
 /// Runs `algorithm` on `observations`, times it, and scores it against

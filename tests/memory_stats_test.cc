@@ -1,0 +1,177 @@
+// Memory accounting: the /proc/self/status parser's tolerance for
+// missing/garbled input (absent, never a crash), and the exactness
+// contract of the tends.mem.* byte gauges — each must equal the computed
+// size of its artifact for a known n/beta, on both the session path and
+// the fresh InferFromStatuses path.
+
+#include "common/memory_stats.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "diffusion/cascade.h"
+#include "inference/counting.h"
+#include "inference/session.h"
+#include "inference/tends.h"
+
+namespace tends {
+namespace {
+
+int64_t GaugeOr(const MetricsRegistry& registry, const std::string& name,
+                int64_t missing = -1) {
+  for (const auto& [gauge_name, value] : registry.GaugeValues()) {
+    if (gauge_name == name) return value;
+  }
+  return missing;
+}
+
+// 20 nodes x 96 processes; every column has exactly 32 ones (96/3), so no
+// column is degenerate and validation passes with default options.
+diffusion::StatusMatrix MakeStatuses(uint32_t beta = 96, uint32_t n = 20) {
+  diffusion::StatusMatrix statuses(beta, n);
+  for (uint32_t p = 0; p < beta; ++p) {
+    for (uint32_t node = 0; node < n; ++node) {
+      statuses.Set(p, node, (p + node) % 3 == 0 ? 1 : 0);
+    }
+  }
+  return statuses;
+}
+
+TEST(MemoryStatsTest, ParsesWellFormedStatusLine) {
+  const std::string text =
+      "Name:\ttends\nVmPeak:\t  999 kB\nVmHWM:\t    1234 kB\nVmRSS:\t 8 kB\n";
+  auto parsed = ParseProcStatusBytes(text, "VmHWM");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 1234 * 1024);
+  auto rss = ParseProcStatusBytes(text, "VmRSS");
+  ASSERT_TRUE(rss.has_value());
+  EXPECT_EQ(*rss, 8 * 1024);
+}
+
+TEST(MemoryStatsTest, ParserHandlesCarriageReturn) {
+  auto parsed = ParseProcStatusBytes("VmHWM:  42 kB\r\n", "VmHWM");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 42 * 1024);
+}
+
+TEST(MemoryStatsTest, ParserReturnsAbsentOnMissingKey) {
+  EXPECT_FALSE(ParseProcStatusBytes("VmPeak:\t 1 kB\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("", "VmHWM").has_value());
+}
+
+TEST(MemoryStatsTest, ParserRejectsKeyPrefixConfusion) {
+  // "VmHWMx:" must not satisfy a lookup for "VmHWM" (and vice versa a
+  // short key must not match a longer line's prefix).
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWMx:\t 5 kB\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\t 5 kB\n", "VmH").has_value());
+}
+
+TEST(MemoryStatsTest, ParserReturnsAbsentOnGarbledLines) {
+  // Garbled digits, missing number, missing/wrong unit: absent, no crash.
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\t 12x34 kB\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\t kB\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\t 1234\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\t 1234 mB\n", "VmHWM").has_value());
+  EXPECT_FALSE(ParseProcStatusBytes("VmHWM:\n", "VmHWM").has_value());
+}
+
+TEST(MemoryStatsTest, ParserReturnsAbsentOnOverflow) {
+  EXPECT_FALSE(
+      ParseProcStatusBytes("VmHWM: 99999999999999999999 kB\n", "VmHWM")
+          .has_value());
+  // Fits in int64 as kB but overflows once scaled to bytes.
+  EXPECT_FALSE(
+      ParseProcStatusBytes("VmHWM: 9223372036854775807 kB\n", "VmHWM")
+          .has_value());
+}
+
+TEST(MemoryStatsTest, LiveProcReadReportsPositivePeak) {
+  auto peak = ReadPeakRssBytes();
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_GT(*peak, 0);
+  auto current = ReadCurrentRssBytes();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_GT(*current, 0);
+}
+
+TEST(MemoryStatsTest, RecordRunStatsIsNullSafe) { RecordRunStats(nullptr); }
+
+// The gauge-exactness suite only applies when instrumentation is compiled
+// in; the nometrics build compiles every gauge site to a no-op.
+#if TENDS_METRICS_ENABLED
+
+TEST(MemoryStatsTest, RecordRunStatsSetsProcessGauges) {
+  MetricsRegistry registry;
+  RecordRunStats(&registry);
+  EXPECT_GT(GaugeOr(registry, "tends.mem.peak_rss_bytes"), 0);
+  EXPECT_GT(GaugeOr(registry, "tends.mem.current_rss_bytes"), 0);
+  EXPECT_EQ(GaugeOr(registry, "tends.trace.dropped_spans"), 0);
+}
+
+TEST(MemoryStatsTest, SessionArtifactGaugesMatchComputedSizes) {
+  const uint32_t n = 20;
+  const uint32_t beta = 96;
+  MetricsRegistry registry;
+  inference::InferenceSession session(MakeStatuses(beta, n));
+  session.packed(&registry);
+  session.marginal_counts(&registry);
+  session.pair_counts(&registry);
+  session.imi(/*use_traditional_mi=*/false, &registry);
+  RunContext context;
+  context.metrics = &registry;
+  auto run = session.Run(inference::TendsOptions(), context);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  // Exact artifact arithmetic for n=20, beta=96:
+  //   status matrix   beta * n                      = 1920 bytes
+  //   packed columns  n * ceil(beta/64) * 8         = 320 bytes
+  //   marginal counts n * 4                         = 80 bytes
+  //   pair counts     C(n,2) * sizeof(PairCounts)   = 190 * 16 = 3040 bytes
+  //   IMI matrix      n * n * 8                     = 3200 bytes
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.status_matrix_bytes"), 1920);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.packed_statuses_bytes"), 320);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.marginal_counts_bytes"), 80);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.pair_counts_bytes"), 3040);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.imi_matrix_bytes"), 3200);
+}
+
+TEST(MemoryStatsTest, FreshInferGaugesMatchComputedSizes) {
+  MetricsRegistry registry;
+  RunContext context;
+  context.metrics = &registry;
+  inference::Tends tends{inference::TendsOptions()};
+  auto result = tends.InferFromStatuses(MakeStatuses(), context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.status_matrix_bytes"), 1920);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.packed_statuses_bytes"), 320);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.pair_counts_bytes"), 3040);
+  EXPECT_EQ(GaugeOr(registry, "tends.mem.imi_matrix_bytes"), 3200);
+}
+
+TEST(MemoryStatsTest, CheckpointBufferGaugeTracksEncodedSize) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tends_memory_stats_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  inference::TendsOptions options;
+  options.checkpoint.directory = dir.string();
+  options.checkpoint.every_nodes = 1;
+  MetricsRegistry registry;
+  RunContext context;
+  context.metrics = &registry;
+  inference::Tends tends(options);
+  auto result = tends.InferFromStatuses(MakeStatuses(), context);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(GaugeOr(registry, "tends.mem.checkpoint_buffer_bytes"), 0);
+  std::filesystem::remove_all(dir);
+}
+
+#endif  // TENDS_METRICS_ENABLED
+
+}  // namespace
+}  // namespace tends

@@ -1,0 +1,253 @@
+// Trace timeline export: the Chrome-trace JSON shape (golden string),
+// the structural validator's acceptance of real exports and rejection of
+// every corruption mode, stable per-thread tracks under multi-threaded
+// recording, Snapshot's non-consuming contract, and the dropped-span
+// tally's path into the manifest and the timeline's otherData.
+
+#include "common/trace_export.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/memory_stats.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "inference/tends.h"
+
+namespace tends {
+namespace {
+
+TraceExportMeta UnitMeta() {
+  TraceExportMeta meta;
+  meta.tool = "unit";
+  meta.config = {{"k", "v"}};
+  return meta;
+}
+
+TEST(TraceExportTest, GoldenSingleSpanJson) {
+  Tracer tracer;
+  tracer.Record("alpha", /*detail=*/7, /*depth=*/0, /*start_ns=*/1000,
+                /*duration_ns=*/2500);
+  const std::string json =
+      ChromeTraceJsonFromSpans(UnitMeta(), tracer.Snapshot(), tracer.dropped());
+  // ts/dur are microseconds: 1000ns -> 1, 2500ns -> 2.5.
+  const std::string expected =
+      std::string(
+          "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"schema\":\"tends.trace.v1\",\"tool\":\"unit\",\"git\":\"") +
+      BuildGitDescribe() +
+      "\",\"dropped_spans\":0,\"config\":{\"k\":\"v\"}},"
+      "\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"unit\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"main\"}},"
+      "{\"name\":\"alpha\",\"cat\":\"tends\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":0,\"ts\":1,\"dur\":2.5,\"args\":{\"depth\":0,\"detail\":7}}"
+      "]}";
+  EXPECT_EQ(json, expected);
+  EXPECT_TRUE(ValidateChromeTraceJson(json).ok());
+}
+
+TEST(TraceExportTest, DetailOmittedWhenAbsent) {
+  Tracer tracer;
+  tracer.Record("plain", /*detail=*/-1, 0, 0, 10);
+  const std::string json = ChromeTraceJson(UnitMeta(), tracer);
+  EXPECT_EQ(json.find("\"detail\""), std::string::npos);
+  EXPECT_TRUE(ValidateChromeTraceJson(json).ok());
+}
+
+TEST(TraceExportTest, ValidatorRejectsEveryCorruptionMode) {
+  Tracer tracer;
+  tracer.Record("alpha", 7, 0, 1000, 2500);
+  const std::string good = ChromeTraceJson(UnitMeta(), tracer);
+  ASSERT_TRUE(ValidateChromeTraceJson(good).ok());
+
+  auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string bad = good;
+    size_t pos = bad.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    return bad;
+  };
+  // Wrong schema tag.
+  EXPECT_FALSE(
+      ValidateChromeTraceJson(corrupt("tends.trace.v1", "other.v9")).ok());
+  // Bad phase letter.
+  EXPECT_FALSE(ValidateChromeTraceJson(corrupt("\"ph\":\"X\"", "\"ph\":\"Q\""))
+                   .ok());
+  // Negative timestamp.
+  EXPECT_FALSE(
+      ValidateChromeTraceJson(corrupt("\"ts\":1", "\"ts\":-1")).ok());
+  // Missing traceEvents entirely.
+  EXPECT_FALSE(ValidateChromeTraceJson("{\"displayTimeUnit\":\"ms\"}").ok());
+  // Not JSON at all: the parse error propagates.
+  EXPECT_FALSE(ValidateChromeTraceJson("not json").ok());
+}
+
+TEST(TraceExportTest, ValidatorRejectsUnsortedEvents) {
+  // Hand-built out-of-order span list (the exporter itself always sorts
+  // because Snapshot/Drain do).
+  std::vector<TraceSpan> spans(2);
+  spans[0] = {"late", -1, 0, 0, 2000, 10};
+  spans[1] = {"early", -1, 0, 0, 1000, 10};
+  const std::string json = ChromeTraceJsonFromSpans(UnitMeta(), spans, 0);
+  Status status = ValidateChromeTraceJson(json);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("nondecreasing"), std::string::npos);
+}
+
+TEST(TraceExportTest, MultiThreadExportNamesEveryThreadTrack) {
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        tracer.Record("work", i, 0, t * 1000 + i, 5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(tracer.num_threads(), static_cast<uint32_t>(kThreads));
+
+  const std::string json = ChromeTraceJson(UnitMeta(), tracer);
+  ASSERT_TRUE(ValidateChromeTraceJson(json).ok());
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::set<int64_t> named;
+  std::set<std::string> names;
+  size_t complete_events = 0;
+  for (const JsonValue& event : events->array()) {
+    const std::string& kind = event.Find("name")->string_value();
+    if (event.Find("ph")->string_value() == "M") {
+      if (kind == "thread_name") {
+        named.insert(event.Find("tid")->int_value());
+        names.insert(event.FindPath({"args", "name"})->string_value());
+      }
+      continue;
+    }
+    ++complete_events;
+  }
+  // One track per recording thread, densely numbered 0..kThreads-1 with
+  // distinct display names ("main" plus worker-N).
+  EXPECT_EQ(named.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(names.size(), static_cast<size_t>(kThreads));
+  EXPECT_TRUE(names.count("main"));
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(named.count(t));
+  EXPECT_EQ(complete_events,
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(TraceExportTest, SnapshotDoesNotConsumeSpans) {
+  Tracer tracer;
+  tracer.Record("a", -1, 0, 100, 10);
+  tracer.Record("b", -1, 0, 50, 10);
+  std::vector<TraceSpan> snapshot = tracer.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_STREQ(snapshot[0].name, "b");  // same sort order as Drain
+  EXPECT_STREQ(snapshot[1].name, "a");
+  // The spans are still there for the manifest's Summaries and for Drain.
+  EXPECT_EQ(tracer.Summaries().size(), 2u);
+  EXPECT_EQ(tracer.Drain().size(), 2u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+// These two need compiled-in instrumentation: RecordRunStats and the
+// TENDS_TRACE_SPAN sites inside the inference pipeline are no-ops in the
+// nometrics build (direct Tracer::Record calls above work either way).
+#if TENDS_METRICS_ENABLED
+
+TEST(TraceExportTest, DroppedSpansSurfaceInManifestAndTimeline) {
+  MetricsRegistry registry;
+  const uint64_t extra = 5;
+  for (uint64_t i = 0; i < Tracer::kMaxSpansPerThread + extra; ++i) {
+    registry.tracer().Record("flood", -1, 0, static_cast<int64_t>(i), 1);
+  }
+  ASSERT_EQ(registry.tracer().dropped(), extra);
+
+  // RecordRunStats turns the tally into the tends.trace.dropped_spans
+  // gauge, which the tends.metrics.v1 manifest then carries.
+  RecordRunStats(&registry);
+  RunManifest manifest;
+  manifest.tool = "unit";
+  auto parsed = ParseJson(MetricsManifestJson(manifest, registry));
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* gauge =
+      parsed->FindPath({"metrics", "gauges", "tends.trace.dropped_spans"});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->int_value(), static_cast<int64_t>(extra));
+
+  // The timeline's otherData carries the same tally.
+  auto trace = ParseJson(ChromeTraceJson(UnitMeta(), registry.tracer()));
+  ASSERT_TRUE(trace.ok());
+  const JsonValue* dropped = trace->FindPath({"otherData", "dropped_spans"});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->int_value(), static_cast<int64_t>(extra));
+}
+
+TEST(TraceExportTest, EndToEndInferExportValidates) {
+  // A real inference run with a registry attached: export its timeline to
+  // a file, re-read it, validate structurally, and confirm the export did
+  // not consume the spans the manifest's Summaries section needs.
+  diffusion::StatusMatrix statuses(96, 20);
+  for (uint32_t p = 0; p < 96; ++p) {
+    for (uint32_t node = 0; node < 20; ++node) {
+      statuses.Set(p, node, (p + node) % 3 == 0 ? 1 : 0);
+    }
+  }
+  MetricsRegistry registry;
+  RunContext context;
+  context.metrics = &registry;
+  inference::Tends tends{inference::TendsOptions()};
+  auto result = tends.InferFromStatuses(statuses, context);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  TraceExportMeta meta;
+  meta.tool = "tends_tests";
+  meta.config = {{"n", "20"}, {"beta", "96"}};
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "tends_trace_export_test.json";
+  ASSERT_TRUE(
+      WriteChromeTraceFile(meta, registry.tracer(), path.string()).ok());
+
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Status valid = ValidateChromeTraceJson(buffer.str());
+  EXPECT_TRUE(valid.ok()) << valid;
+
+  // Span detail payloads (node ids) ride along in args.detail.
+  auto parsed = ParseJson(buffer.str());
+  ASSERT_TRUE(parsed.ok());
+  bool any_detail = false;
+  for (const JsonValue& event : parsed->Find("traceEvents")->array()) {
+    if (event.FindPath({"args", "detail"}) != nullptr) any_detail = true;
+  }
+  EXPECT_TRUE(any_detail);
+
+  EXPECT_FALSE(registry.tracer().Summaries().empty());
+  std::filesystem::remove(path);
+
+  // Unwritable target: a clean IoError, not a crash or silent success.
+  EXPECT_FALSE(WriteChromeTraceFile(meta, registry.tracer(),
+                                    "/nonexistent_dir/trace.json")
+                   .ok());
+}
+
+#endif  // TENDS_METRICS_ENABLED
+
+}  // namespace
+}  // namespace tends

@@ -1,0 +1,229 @@
+// bench_compare: diffs two tends.bench.v1 files (written by
+// benchlib::MaybeWriteBenchJson) and fails when the candidate regresses
+// against the baseline beyond per-metric noise thresholds. The accuracy
+// metrics (f_score/precision/recall/edges) are bit-deterministic for a
+// fixed seed, so their default thresholds are small; wall-clock and RSS
+// gating is off by default because both are machine- and load-dependent.
+//
+// Usage: bench_compare <baseline.json> <candidate.json> [flags]
+// Exit 0 = no regression, 1 = regression, 2 = bad input (unreadable file,
+// wrong schema). Improvements never fail — the gate is one-sided.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+#include "common/statusor.h"
+#include "common/stringutil.h"
+
+namespace tends {
+namespace {
+
+struct BenchRow {
+  double f_score = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double seconds = 0.0;
+  int64_t edges = 0;
+  int64_t peak_rss_bytes = 0;
+};
+
+/// Rows keyed by "setting/algorithm" — the identity of one measurement
+/// across the two files.
+using RowMap = std::map<std::string, BenchRow>;
+
+StatusOr<RowMap> LoadBenchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<JsonValue> parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(parsed.status().message()));
+  }
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument(path + ": top level is not an object");
+  }
+  const JsonValue* schema = parsed->Find("schema");
+  if (schema == nullptr || schema->string_value() != "tends.bench.v1") {
+    return Status::InvalidArgument(path + ": schema is not \"tends.bench.v1\"");
+  }
+  const JsonValue* rows = parsed->Find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->array().empty()) {
+    return Status::InvalidArgument(path + ": missing non-empty rows array");
+  }
+  RowMap out;
+  for (const JsonValue& row : rows->array()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument(path + ": row is not an object");
+    }
+    const JsonValue* setting = row.Find("setting");
+    const JsonValue* algorithm = row.Find("algorithm");
+    if (setting == nullptr || algorithm == nullptr) {
+      return Status::InvalidArgument(path + ": row missing setting/algorithm");
+    }
+    const std::string key =
+        setting->string_value() + "/" + algorithm->string_value();
+    BenchRow parsed_row;
+    auto number = [&](const char* name, double* destination) {
+      const JsonValue* value = row.Find(name);
+      if (value == nullptr || value->type() != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument(path + ": row " + key +
+                                       " missing numeric " + name);
+      }
+      *destination = value->number_value();
+      return Status::OK();
+    };
+    Status status = number("f_score", &parsed_row.f_score);
+    if (status.ok()) status = number("precision", &parsed_row.precision);
+    if (status.ok()) status = number("recall", &parsed_row.recall);
+    if (status.ok()) status = number("seconds", &parsed_row.seconds);
+    if (!status.ok()) return status;
+    const JsonValue* edges = row.Find("edges");
+    if (edges == nullptr || edges->type() != JsonValue::Type::kNumber) {
+      return Status::InvalidArgument(path + ": row " + key +
+                                     " missing numeric edges");
+    }
+    parsed_row.edges = edges->int_value();
+    // Absent in pre-memory-accounting baselines; treated as "no data"
+    // rather than a schema error so old baselines keep comparing.
+    if (const JsonValue* peak = row.Find("peak_rss_bytes");
+        peak != nullptr && peak->type() == JsonValue::Type::kNumber) {
+      parsed_row.peak_rss_bytes = peak->int_value();
+    }
+    if (!out.emplace(key, parsed_row).second) {
+      return Status::InvalidArgument(path + ": duplicate row " + key);
+    }
+  }
+  return out;
+}
+
+int Run(int argc, const char* const* argv) {
+  double max_fscore_drop = 0.02;
+  double max_precision_drop = 0.05;
+  double max_recall_drop = 0.05;
+  double max_edges_rel = 0.25;
+  double max_time_ratio = 0.0;
+  double max_peak_rss_ratio = 0.0;
+
+  FlagParser parser(
+      "bench_compare: gate a candidate tends.bench.v1 file against a "
+      "baseline. A candidate row regresses when an accuracy metric drops "
+      "beyond its threshold, the edge count drifts beyond the relative "
+      "bound, or (when enabled) time/RSS grow beyond their ratios; a "
+      "baseline row missing from the candidate is also a regression.\n"
+      "usage: bench_compare <baseline.json> <candidate.json> [flags]");
+  parser.AddDouble("max_fscore_drop", &max_fscore_drop,
+                   "largest tolerated absolute f_score drop per row");
+  parser.AddDouble("max_precision_drop", &max_precision_drop,
+                   "largest tolerated absolute precision drop per row");
+  parser.AddDouble("max_recall_drop", &max_recall_drop,
+                   "largest tolerated absolute recall drop per row");
+  parser.AddDouble("max_edges_rel", &max_edges_rel,
+                   "largest tolerated relative edge-count change per row");
+  parser.AddDouble("max_time_ratio", &max_time_ratio,
+                   "fail when candidate seconds exceed baseline * ratio "
+                   "(0 = no time gating; wall-clock is noisy)");
+  parser.AddDouble("max_peak_rss_ratio", &max_peak_rss_ratio,
+                   "fail when candidate peak_rss_bytes exceed baseline * "
+                   "ratio (0 = no memory gating)");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) {
+    if (status.IsNotFound()) {
+      std::cout << status.message() << "\n";
+      return 0;
+    }
+    std::cerr << "error: " << status << "\n";
+    return 2;
+  }
+  if (parser.positional().size() != 2) {
+    std::cerr << "error: expected <baseline.json> <candidate.json>\n";
+    return 2;
+  }
+
+  StatusOr<RowMap> baseline = LoadBenchFile(parser.positional()[0]);
+  if (!baseline.ok()) {
+    std::cerr << "error: " << baseline.status() << "\n";
+    return 2;
+  }
+  StatusOr<RowMap> candidate = LoadBenchFile(parser.positional()[1]);
+  if (!candidate.ok()) {
+    std::cerr << "error: " << candidate.status() << "\n";
+    return 2;
+  }
+
+  int regressions = 0;
+  auto regress = [&](const std::string& key, const std::string& message) {
+    std::cerr << "REGRESSION " << key << ": " << message << "\n";
+    ++regressions;
+  };
+  for (const auto& [key, base] : *baseline) {
+    auto it = candidate->find(key);
+    if (it == candidate->end()) {
+      regress(key, "row missing from candidate");
+      continue;
+    }
+    const BenchRow& cand = it->second;
+    auto drop_check = [&](const char* name, double base_value,
+                          double cand_value, double max_drop) {
+      if (base_value - cand_value > max_drop) {
+        regress(key, StrFormat("%s dropped %.4f -> %.4f (threshold %.4f)",
+                               name, base_value, cand_value, max_drop));
+      }
+    };
+    drop_check("f_score", base.f_score, cand.f_score, max_fscore_drop);
+    drop_check("precision", base.precision, cand.precision,
+               max_precision_drop);
+    drop_check("recall", base.recall, cand.recall, max_recall_drop);
+    if (base.edges > 0) {
+      const double rel =
+          std::abs(static_cast<double>(cand.edges - base.edges)) /
+          static_cast<double>(base.edges);
+      if (rel > max_edges_rel) {
+        regress(key, StrFormat("edges drifted %lld -> %lld (%.1f%% > %.1f%%)",
+                               static_cast<long long>(base.edges),
+                               static_cast<long long>(cand.edges), rel * 100,
+                               max_edges_rel * 100));
+      }
+    }
+    if (max_time_ratio > 0.0 && base.seconds > 0.0 &&
+        cand.seconds > base.seconds * max_time_ratio) {
+      regress(key, StrFormat("seconds grew %.4f -> %.4f (ratio cap %.2f)",
+                             base.seconds, cand.seconds, max_time_ratio));
+    }
+    if (max_peak_rss_ratio > 0.0 && base.peak_rss_bytes > 0 &&
+        static_cast<double>(cand.peak_rss_bytes) >
+            static_cast<double>(base.peak_rss_bytes) * max_peak_rss_ratio) {
+      regress(key,
+              StrFormat("peak_rss_bytes grew %lld -> %lld (ratio cap %.2f)",
+                        static_cast<long long>(base.peak_rss_bytes),
+                        static_cast<long long>(cand.peak_rss_bytes),
+                        max_peak_rss_ratio));
+    }
+  }
+  for (const auto& entry : *candidate) {
+    if (baseline->find(entry.first) == baseline->end()) {
+      std::cout << "note: new row " << entry.first << " (not in baseline)\n";
+    }
+  }
+
+  if (regressions > 0) {
+    std::cerr << regressions << " regression(s) against "
+              << parser.positional()[0] << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << candidate->size() << " row(s), no regressions\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tends
+
+int main(int argc, char** argv) { return tends::Run(argc, argv); }

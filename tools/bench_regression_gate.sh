@@ -1,0 +1,48 @@
+#!/bin/sh
+# Bench regression gate: runs one bench through bench_smoke.sh (fast mode,
+# JSON channel on, schema-validated), diffs the emitted tends.bench.v1
+# record against a checked-in baseline with bench_compare, and then
+# self-tests the gate by perturbing the candidate's accuracy numbers —
+# the perturbed file MUST fail bench_compare, proving the gate can
+# actually catch a regression and is not vacuously green.
+#
+# Accuracy rows are bit-deterministic for a fixed seed, so the default
+# bench_compare thresholds gate f_score/precision/recall/edges tightly;
+# wall-clock and RSS stay ungated (machine-dependent).
+#
+# Usage: bench_regression_gate.sh <bench-binary> <validate_bench_json-binary> \
+#          <bench_compare-binary> <workdir> <baseline.json>
+set -eu
+
+BENCH_BIN="$1"
+VALIDATOR="$2"
+COMPARE="$3"
+WORKDIR="$4"
+BASELINE="$5"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "baseline not found: $BASELINE" >&2
+  exit 1
+fi
+
+SMOKE="$(dirname "$0")/bench_smoke.sh"
+sh "$SMOKE" "$BENCH_BIN" "$VALIDATOR" "$WORKDIR"
+
+set -- "$WORKDIR"/BENCH_*.json
+if [ "$#" -ne 1 ] || [ ! -f "$1" ]; then
+  echo "expected exactly one BENCH_*.json in $WORKDIR, got: $*" >&2
+  exit 1
+fi
+CANDIDATE="$1"
+
+"$COMPARE" "$BASELINE" "$CANDIDATE"
+
+# Self-test: zero out every f_score; bench_compare must now exit nonzero.
+PERTURBED="$WORKDIR/perturbed.json"
+sed -E 's/"f_score":[0-9.eE+-]+/"f_score":0/g' "$CANDIDATE" > "$PERTURBED"
+if "$COMPARE" "$BASELINE" "$PERTURBED" > /dev/null 2>&1; then
+  echo "gate self-test failed: perturbed candidate passed bench_compare" >&2
+  exit 1
+fi
+
+echo "regression gate ok: $CANDIDATE matches $BASELINE"

@@ -19,7 +19,7 @@ root="${1:-$(dirname "$0")/..}"
 # a registry/macro call site. We scan both src/ and tools/; tests may use
 # deliberately-invalid names to test the validator, so they are excluded.
 candidates=$(grep -rhoE \
-    '(GetCounter|GetGauge|GetHistogram|CounterValue|TENDS_METRIC_COUNTER|TENDS_METRIC_ADD|TENDS_METRIC_RECORD)\([^)]*"tends\.[^"]*"' \
+    '(GetCounter|GetGauge|GetHistogram|CounterValue|TENDS_METRIC_COUNTER|TENDS_METRIC_ADD|TENDS_METRIC_RECORD|TENDS_GAUGE_SET)\([^)]*"tends\.[^"]*"' \
     "$root/src" "$root/tools" --include='*.cc' --include='*.h' \
   | grep -oE '"tends\.[^"]*"' | tr -d '"' | sort -u)
 
@@ -54,6 +54,15 @@ tends.checkpoint.nodes_skipped_on_resume
 tends.checkpoint.retries
 tends.checkpoint.flushes
 tends.checkpoint.flush_ns
+tends.mem.peak_rss_bytes
+tends.mem.current_rss_bytes
+tends.mem.status_matrix_bytes
+tends.mem.packed_statuses_bytes
+tends.mem.pair_counts_bytes
+tends.mem.imi_matrix_bytes
+tends.mem.marginal_counts_bytes
+tends.mem.checkpoint_buffer_bytes
+tends.trace.dropped_spans
 "
 for name in $required_names; do
   if ! printf '%s\n' "$candidates" | grep -qxF "$name"; then

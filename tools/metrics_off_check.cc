@@ -29,6 +29,7 @@ int SimulatedPipelineStage(tends::MetricsRegistry* metrics) {
   }
   TENDS_METRIC_ADD(metrics, "tends.check.done", 1);
   TENDS_METRIC_RECORD(metrics, "tends.check.work", work);
+  TENDS_GAUGE_SET(metrics, "tends.check.bytes", work * 8);
   return work;
 }
 
@@ -46,7 +47,7 @@ int main() {
   }
   // Disabled macros must not have touched the registry.
   if (registry.CounterValue("tends.check.done") != 0 ||
-      !registry.StageTimes().empty()) {
+      !registry.GaugeValues().empty() || !registry.StageTimes().empty()) {
     std::fprintf(stderr, "FAIL: disabled macros recorded metrics\n");
     return 1;
   }

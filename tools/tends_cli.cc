@@ -6,20 +6,27 @@
 //   tends_cli infer     --algorithm=tends --statuses=st.txt --out=net.txt
 //   tends_cli evaluate  --inferred=net.txt --truth=graph.txt
 //   tends_cli estimate  --statuses=st.txt --network=net.txt
+//   tends_cli report    run.json --compare=baseline.json
 //
 // Run any subcommand with --help for its flags.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "benchlib/experiment.h"
 #include "common/flags.h"
 #include "common/io_hardening.h"
+#include "common/json.h"
+#include "common/memory_stats.h"
 #include "common/metrics.h"
+#include "common/trace_export.h"
 #include "common/random.h"
 #include "common/run_context.h"
 #include "common/stringutil.h"
@@ -60,19 +67,36 @@ int FailWith(const Status& status) {
   return 1;
 }
 
-/// Shared --metrics_out handling: fills the manifest wall-clock from
-/// `started` and writes the JSON file (a failure to write the manifest
-/// fails the command — silent loss of requested output is worse).
+/// Shared --metrics_out handling: samples end-of-run process stats (peak
+/// RSS, dropped spans) into the registry, fills the manifest wall-clock
+/// from `started` and writes the JSON file (a failure to write the
+/// manifest fails the command — silent loss of requested output is worse).
 Status MaybeWriteManifest(const std::string& metrics_out, RunManifest manifest,
-                          const MetricsRegistry& registry,
+                          MetricsRegistry& registry,
                           std::chrono::steady_clock::time_point started) {
   if (metrics_out.empty()) return Status::OK();
+  RecordRunStats(&registry);
   manifest.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(
           std::chrono::steady_clock::now() - started)
           .count();
   Status status = WriteMetricsManifest(manifest, registry, metrics_out);
   if (status.ok()) std::cout << "wrote " << metrics_out << "\n";
+  return status;
+}
+
+/// Shared --trace_out handling: exports the registry's buffered spans as a
+/// Chrome-trace JSON timeline (common/trace_export.h). Snapshot-based, so
+/// a manifest written before or after still sees every span.
+Status MaybeWriteTrace(const std::string& trace_out,
+                       const RunManifest& manifest,
+                       const MetricsRegistry& registry) {
+  if (trace_out.empty()) return Status::OK();
+  TraceExportMeta meta;
+  meta.tool = manifest.tool;
+  meta.config = manifest.config;
+  Status status = WriteChromeTraceFile(meta, registry.tracer(), trace_out);
+  if (status.ok()) std::cout << "wrote " << trace_out << "\n";
   return status;
 }
 
@@ -203,6 +227,7 @@ int RunSimulate(int argc, const char* const* argv) {
   std::string statuses_out;
   std::string model = "ic";
   std::string metrics_out;
+  std::string trace_out;
   uint32_t beta = 150;
   double alpha = 0.15;
   double mu = 0.3;
@@ -234,6 +259,9 @@ int RunSimulate(int argc, const char* const* argv) {
                    "status noise: false-alarm rate");
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest for the simulation");
+  parser.AddString("trace_out", &trace_out,
+                   "write a Chrome-trace JSON timeline of the run's spans "
+                   "(open in Perfetto or chrome://tracing)");
   parser.AddInt64("seed", &seed, "random seed");
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   Status status = parser.Parse(argc, argv);
@@ -287,6 +315,8 @@ int RunSimulate(int argc, const char* const* argv) {
       {"seed", StrFormat("%lld", static_cast<long long>(seed))},
       {"threads", StrFormat("%u", threads)},
   };
+  status = MaybeWriteTrace(trace_out, manifest, registry);
+  if (!status.ok()) return FailWith(status);
   status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
                               started);
   if (!status.ok()) return FailWith(status);
@@ -302,6 +332,7 @@ int RunInfer(int argc, const char* const* argv) {
   std::string out = "inferred.txt";
   std::string io_mode = "strict";
   std::string metrics_out;
+  std::string trace_out;
   std::string counting_kernel = "packed";
   std::string checkpoint_dir;
   int64_t num_edges = 0;
@@ -341,6 +372,9 @@ int RunInfer(int argc, const char* const* argv) {
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest (config, per-stage wall-clock, "
                    "counters, histograms, spans) to this path");
+  parser.AddString("trace_out", &trace_out,
+                   "write a Chrome-trace JSON timeline of the run's spans "
+                   "(open in Perfetto or chrome://tracing)");
   parser.AddBool("progress", &progress,
                  "print live per-node progress lines to stderr");
   parser.AddInt64("progress_ms", &progress_ms,
@@ -532,10 +566,23 @@ int RunInfer(int argc, const char* const* argv) {
   }
   if (verbose) {
     std::cout << "diagnostics: " << engine->DiagnosticsJson() << "\n";
+    // Sample process stats now so the memory line below (and any manifest)
+    // reflects this run; RecordRunStats is idempotent.
+    RecordRunStats(&registry);
+    std::cout << "memory:";
+    for (const auto& [name, value] : registry.GaugeValues()) {
+      if (name.rfind("tends.mem.", 0) == 0) {
+        std::cout << " " << name.substr(sizeof("tends.mem.") - 1) << "="
+                  << value;
+      }
+    }
+    std::cout << "\n";
   }
   status = inference::WriteInferredNetworkFile(*result, out);
   if (!status.ok()) return FailWith(status);
   std::cout << result->DebugString() << "\nwrote " << out << "\n";
+  status = MaybeWriteTrace(trace_out, manifest, registry);
+  if (!status.ok()) return FailWith(status);
   status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
                               started);
   if (!status.ok()) return FailWith(status);
@@ -612,6 +659,7 @@ int RunEstimate(int argc, const char* const* argv) {
 int RunExperimentCommand(int argc, const char* const* argv) {
   std::string graph_path = "graph.txt";
   std::string metrics_out;
+  std::string trace_out;
   std::string model = "ic";
   uint32_t beta = 150;
   double alpha = 0.15;
@@ -637,6 +685,9 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   AddThreadsFlags(parser, &threads, &deprecated_num_threads);
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest for the whole experiment");
+  parser.AddString("trace_out", &trace_out,
+                   "write a Chrome-trace JSON timeline of the run's spans "
+                   "(open in Perfetto or chrome://tracing)");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
   threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
@@ -678,6 +729,8 @@ int RunExperimentCommand(int argc, const char* const* argv) {
       {"seed", StrFormat("%lld", static_cast<long long>(seed))},
       {"threads", StrFormat("%u", threads)},
   };
+  status = MaybeWriteTrace(trace_out, manifest, registry);
+  if (!status.ok()) return FailWith(status);
   status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
                               started);
   if (!status.ok()) return FailWith(status);
@@ -692,6 +745,7 @@ int RunSweep(int argc, const char* const* argv) {
   std::string out_prefix;
   std::string io_mode = "strict";
   std::string metrics_out;
+  std::string trace_out;
   std::string counting_kernel = "packed";
   std::string multipliers_csv = "0.4,0.6,0.8,1.0,1.2,1.6,2.0";
   std::string checkpoint_dir;
@@ -733,6 +787,9 @@ int RunSweep(int argc, const char* const* argv) {
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest (artifact hit/miss counters, "
                    "stage wall-clock, per-run counters) to this path");
+  parser.AddString("trace_out", &trace_out,
+                   "write a Chrome-trace JSON timeline of the sweep's spans "
+                   "(open in Perfetto or chrome://tracing)");
   parser.AddString("counting_kernel", &counting_kernel,
                    "sufficient-statistics kernel: 'packed' or 'naive'");
   parser.AddString("checkpoint_dir", &checkpoint_dir,
@@ -893,9 +950,175 @@ int RunSweep(int argc, const char* const* argv) {
       {"threads", StrFormat("%u", threads)},
       {"run_parallelism", StrFormat("%u", run_parallelism)},
   };
+  status = MaybeWriteTrace(trace_out, manifest, registry);
+  if (!status.ok()) return FailWith(status);
   status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
                               started);
   if (!status.ok()) return FailWith(status);
+  return 0;
+}
+
+// -------------------------------------------------------------------- report
+
+/// Loads and schema-checks one tends.metrics.v1 manifest.
+StatusOr<JsonValue> LoadManifestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<JsonValue> parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(parsed.status().message()));
+  }
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument(path + ": manifest root is not an object");
+  }
+  const JsonValue* schema = parsed->Find("schema");
+  if (schema == nullptr || schema->string_value() != "tends.metrics.v1") {
+    return Status::InvalidArgument(path +
+                                   ": schema is not \"tends.metrics.v1\"");
+  }
+  return parsed;
+}
+
+/// Prints one flat numeric manifest section (counters or gauges), with a
+/// signed delta column when `base` also has the section. Iterates the
+/// union of keys so entries present only in the baseline still show.
+void PrintNumericSection(const char* title, const JsonValue* section,
+                         const JsonValue* base_section) {
+  std::printf("%s:\n", title);
+  std::map<std::string, std::pair<const JsonValue*, const JsonValue*>> merged;
+  if (section != nullptr && section->is_object()) {
+    for (const auto& [name, value] : section->object()) {
+      merged[name].first = &value;
+    }
+  }
+  if (base_section != nullptr && base_section->is_object()) {
+    for (const auto& [name, value] : base_section->object()) {
+      merged[name].second = &value;
+    }
+  }
+  for (const auto& [name, values] : merged) {
+    const auto& [current, base] = values;
+    std::printf("  %-44s %14lld", name.c_str(),
+                current != nullptr
+                    ? static_cast<long long>(current->int_value())
+                    : 0LL);
+    if (base != nullptr) {
+      std::printf("  (%+lld vs baseline)",
+                  static_cast<long long>(
+                      (current != nullptr ? current->int_value() : 0) -
+                      base->int_value()));
+    }
+    std::printf("\n");
+  }
+}
+
+int RunReport(int argc, const char* const* argv) {
+  std::string compare_path;
+  FlagParser parser(
+      "tends_cli report: pretty-print a tends.metrics.v1 run manifest "
+      "(the file --metrics_out writes), optionally diffing its numeric "
+      "sections against a baseline manifest.\n"
+      "usage: tends_cli report <manifest.json> [--compare=<baseline.json>]");
+  parser.AddString("compare", &compare_path,
+                   "baseline manifest; counters, gauges and stage times "
+                   "print deltas (this run minus baseline)");
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+  if (parser.positional().size() != 1) {
+    return FailWith(Status::InvalidArgument(
+        "report takes exactly one manifest path (see --help)"));
+  }
+
+  StatusOr<JsonValue> manifest = LoadManifestFile(parser.positional()[0]);
+  if (!manifest.ok()) return FailWith(manifest.status());
+  std::optional<JsonValue> baseline;
+  if (!compare_path.empty()) {
+    StatusOr<JsonValue> loaded = LoadManifestFile(compare_path);
+    if (!loaded.ok()) return FailWith(loaded.status());
+    baseline.emplace(std::move(loaded).value());
+  }
+
+  auto string_field = [](const JsonValue& root, const char* key) {
+    const JsonValue* value = root.Find(key);
+    return value != nullptr ? value->string_value() : std::string("?");
+  };
+  std::printf("tool:         %s\n", string_field(*manifest, "tool").c_str());
+  std::printf("git:          %s\n", string_field(*manifest, "git").c_str());
+  const JsonValue* wall = manifest->Find("wall_seconds");
+  std::printf("wall_seconds: %.4f", wall != nullptr ? wall->number_value()
+                                                    : 0.0);
+  if (baseline.has_value()) {
+    const JsonValue* base_wall = baseline->Find("wall_seconds");
+    std::printf("  (baseline %s: %.4f)", string_field(*baseline, "tool").c_str(),
+                base_wall != nullptr ? base_wall->number_value() : 0.0);
+  }
+  std::printf("\nconfig:\n");
+  if (const JsonValue* config = manifest->Find("config");
+      config != nullptr && config->is_object()) {
+    for (const auto& [key, value] : config->object()) {
+      std::printf("  %-20s %s\n", key.c_str(), value.string_value().c_str());
+    }
+  }
+
+  std::printf("stages:\n");
+  const JsonValue* stages = manifest->FindPath({"metrics", "stages"});
+  const JsonValue* base_stages =
+      baseline.has_value() ? baseline->FindPath({"metrics", "stages"})
+                           : nullptr;
+  if (stages != nullptr && stages->is_object()) {
+    for (const auto& [name, stage] : stages->object()) {
+      const JsonValue* wall_s = stage.Find("wall_s");
+      const JsonValue* sections = stage.Find("sections");
+      std::printf("  %-44s %10.4fs x%lld", name.c_str(),
+                  wall_s != nullptr ? wall_s->number_value() : 0.0,
+                  sections != nullptr
+                      ? static_cast<long long>(sections->int_value())
+                      : 0LL);
+      const JsonValue* base_stage =
+          base_stages != nullptr ? base_stages->Find(name) : nullptr;
+      if (base_stage != nullptr) {
+        const JsonValue* base_wall_s = base_stage->Find("wall_s");
+        std::printf("  (%+.4fs vs baseline)",
+                    (wall_s != nullptr ? wall_s->number_value() : 0.0) -
+                        (base_wall_s != nullptr ? base_wall_s->number_value()
+                                                : 0.0));
+      }
+      std::printf("\n");
+    }
+  }
+
+  PrintNumericSection(
+      "counters", manifest->FindPath({"metrics", "counters"}),
+      baseline.has_value() ? baseline->FindPath({"metrics", "counters"})
+                           : nullptr);
+  PrintNumericSection(
+      "gauges", manifest->FindPath({"metrics", "gauges"}),
+      baseline.has_value() ? baseline->FindPath({"metrics", "gauges"})
+                           : nullptr);
+
+  std::printf("spans:\n");
+  if (const JsonValue* spans = manifest->FindPath({"metrics", "spans"});
+      spans != nullptr && spans->is_object()) {
+    for (const auto& [name, span] : spans->object()) {
+      if (!span.is_object()) {
+        // The optional "dropped" tally shares the object with the
+        // per-name summaries.
+        std::printf("  %-44s %14lld\n", name.c_str(),
+                    static_cast<long long>(span.int_value()));
+        continue;
+      }
+      const JsonValue* count = span.Find("count");
+      const JsonValue* total_s = span.Find("total_s");
+      std::printf("  %-44s %10.4fs x%lld\n", name.c_str(),
+                  total_s != nullptr ? total_s->number_value() : 0.0,
+                  count != nullptr
+                      ? static_cast<long long>(count->int_value())
+                      : 0LL);
+    }
+  }
   return 0;
 }
 
@@ -903,7 +1126,7 @@ int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: tends_cli <command> [flags]\n"
       "commands: generate, simulate, infer, sweep, evaluate, estimate, "
-      "experiment\n"
+      "experiment, report\n"
       "Run 'tends_cli <command> --help' for command flags.\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -920,6 +1143,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
   if (command == "estimate") return RunEstimate(sub_argc, sub_argv);
   if (command == "experiment") return RunExperimentCommand(sub_argc, sub_argv);
+  if (command == "report") return RunReport(sub_argc, sub_argv);
   if (command == "--help" || command == "help") {
     std::cout << usage;
     return 0;

@@ -1,9 +1,11 @@
 // Validates a bench JSON file against the tends.bench.v1 schema written by
-// benchlib::MaybeWriteBenchJson: top-level {schema, title, git, rows[]},
-// each row {setting, algorithm, f_score, precision, recall, seconds,
-// edges}. Used by the bench smoke ctest (bench/CMakeLists.txt) so schema
-// drift between the writer and downstream consumers of the bench
-// trajectory fails CI instead of silently corrupting the record.
+// benchlib::MaybeWriteBenchJson: top-level {schema, title, git, rows[],
+// memory{}}, each row {setting, algorithm, f_score, precision, recall,
+// seconds, edges, peak_rss_bytes}, memory {peak_rss_bytes, artifacts{}}.
+// Used by the bench smoke ctest (bench/CMakeLists.txt) so schema drift
+// between the writer and downstream consumers of the bench trajectory
+// (tools/bench_compare and the regression gate) fails CI instead of
+// silently corrupting the record.
 //
 // Usage: validate_bench_json <file.json> [<file.json> ...]
 // Exit code 0 when every file validates; 1 otherwise, with one line per
@@ -89,6 +91,34 @@ int ValidateFile(const std::string& path) {
     const JsonValue* edges = row.Find("edges");
     if (!IsFiniteNumber(edges) || edges->int_value() < 0) {
       fail(prefix + "missing non-negative edges");
+    }
+    const JsonValue* row_peak = row.Find("peak_rss_bytes");
+    if (!IsFiniteNumber(row_peak) || row_peak->int_value() < 0) {
+      fail(prefix + "missing non-negative peak_rss_bytes");
+    }
+  }
+
+  const JsonValue* memory = root.Find("memory");
+  if (memory == nullptr || !memory->is_object()) {
+    fail("missing memory object");
+  } else {
+    const JsonValue* peak = memory->Find("peak_rss_bytes");
+    if (!IsFiniteNumber(peak) || peak->int_value() < 0) {
+      fail("memory: missing non-negative peak_rss_bytes");
+    }
+    const JsonValue* artifacts = memory->Find("artifacts");
+    if (artifacts == nullptr || !artifacts->is_object()) {
+      fail("memory: missing artifacts object");
+    } else {
+      for (const auto& [name, value] : artifacts->object()) {
+        if (name.rfind("tends.mem.", 0) != 0) {
+          fail("memory.artifacts: unexpected key " + name);
+        }
+        if (value.type() != JsonValue::Type::kNumber ||
+            value.int_value() < 0) {
+          fail("memory.artifacts: non-numeric " + name);
+        }
+      }
     }
   }
   return errors == 0 ? 0 : 1;
