@@ -1,0 +1,104 @@
+// Scaling comparison of the two TENDS candidate-generation pipelines:
+// candidate_mode=dense (n x n pair-count + IMI matrices) vs
+// candidate_mode=sparse (inverted index + CSR positive-IMI rows) on
+// powerlaw graphs of growing size. The two arms are byte-identical by
+// construction (tests/sparse_candidate_differential_test.cc), so equal
+// accuracy rows double as a cross-check; the interesting columns are
+// time and the memory section of the bench JSON. Above the dense cutoff
+// only the sparse arm runs — the dense matrices alone would need
+// 2 * n^2 * 8 bytes.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/powerlaw.h"
+#include "inference/tends.h"
+#include "metrics/evaluation.h"
+
+int main() {
+  using namespace tends;
+  const std::string title = "Sparse vs Dense Candidate Scaling";
+  benchlib::PrintBenchHeader(
+      title,
+      "candidate_mode=dense vs sparse on powerlaw graphs, beta=128, "
+      "mu=0.3; Section IV pruning with identical outputs");
+
+  const bool fast = benchlib::FastBenchMode();
+  // Two n^2 double matrices pass 6 GB around n=20000; beyond that only
+  // the sparse arm is feasible (and is the point of the bench).
+  const uint32_t dense_cutoff = 20000;
+  const std::vector<uint32_t> sizes = fast
+                                          ? std::vector<uint32_t>{300, 800}
+                                          : std::vector<uint32_t>{2000, 10000,
+                                                                  50000};
+
+  MetricsRegistry registry;
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  for (uint32_t n : sizes) {
+    Rng rng(42 + n);
+    graph::PowerlawOptions graph_options;
+    graph_options.num_nodes = n;
+    graph_options.avg_degree = 3.0;
+    auto truth = graph::GeneratePowerlawHavelHakimi(graph_options, rng);
+    if (!truth.ok()) {
+      std::cerr << "graph generation failed: " << truth.status() << "\n";
+      return 1;
+    }
+    diffusion::EdgeProbabilities probabilities =
+        diffusion::EdgeProbabilities::Gaussian(*truth, 0.3, 0.05, rng);
+    diffusion::SimulationConfig sim_config;
+    sim_config.num_processes = 128;
+    // Fewer seeds per process at scale keeps infections sparse — the
+    // regime the inverted index exists for.
+    sim_config.initial_infection_ratio = n >= 10000 ? 0.005 : 0.05;
+    auto observations =
+        diffusion::Simulate(*truth, probabilities, sim_config, rng, &registry);
+    if (!observations.ok()) {
+      std::cerr << "simulation failed: " << observations.status() << "\n";
+      return 1;
+    }
+
+    std::vector<metrics::AlgorithmEvaluation> evaluations;
+    for (inference::CandidateMode mode : {inference::CandidateMode::kDense,
+                                          inference::CandidateMode::kSparse}) {
+      const bool dense = mode == inference::CandidateMode::kDense;
+      if (dense && n > dense_cutoff) {
+        std::cout << "n=" << n << ": dense arm skipped (two n^2 matrices = "
+                  << 2.0 * n * n * 8 / (1024.0 * 1024 * 1024) << " GiB)\n";
+        continue;
+      }
+      inference::TendsOptions options;
+      options.candidate_mode = mode;
+      // Large simulations legitimately leave nodes never (or always)
+      // infected; score the best-effort topology.
+      options.reject_degenerate_columns = false;
+      options.num_threads = 4;
+      RunContext context;
+      context.metrics = &registry;
+      inference::Tends tends(options);
+      auto evaluation = metrics::RunAndEvaluate(tends, *observations, *truth,
+                                                /*sweep_threshold=*/false,
+                                                context);
+      if (!evaluation.ok()) {
+        std::cerr << "inference failed: " << evaluation.status() << "\n";
+        return 1;
+      }
+      evaluation->algorithm = dense ? "TENDS-dense" : "TENDS-sparse";
+      evaluations.push_back(std::move(evaluation).value());
+    }
+    rows.emplace_back("n=" + std::to_string(n), std::move(evaluations));
+  }
+
+  benchlib::MakeFigureTable(rows).PrintText(std::cout);
+  benchlib::MaybeWriteBenchJson(title, rows, &registry);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "graph/generators/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "graph/builder.h"
+#include "graph/generators/configuration.h"
+
+namespace tends::graph {
+
+namespace {
+
+/// Max-heap order over (residual degree, node): larger residual first,
+/// ties to the smaller id — makes the construction fully deterministic.
+struct ResidualLess {
+  bool operator()(const std::pair<uint32_t, NodeId>& a,
+                  const std::pair<uint32_t, NodeId>& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  }
+};
+
+}  // namespace
+
+StatusOr<DirectedGraph> GeneratePowerlawHavelHakimi(
+    const PowerlawOptions& options, Rng& rng) {
+  const uint32_t n = options.num_nodes;
+  if (n < 2) {
+    return Status::InvalidArgument("num_nodes must be >= 2");
+  }
+  if (options.exponent <= 1.0) {
+    return Status::InvalidArgument("exponent must be > 1");
+  }
+  if (options.min_degree < 1) {
+    return Status::InvalidArgument("min_degree must be >= 1");
+  }
+  if (options.reciprocal_fraction < 0.0 || options.reciprocal_fraction > 1.0) {
+    return Status::InvalidArgument("reciprocal_fraction must be in [0,1]");
+  }
+  uint32_t max_degree = options.max_degree;
+  if (max_degree == 0) {
+    max_degree = static_cast<uint32_t>(
+        std::lround(std::sqrt(static_cast<double>(n) * options.avg_degree)));
+  }
+  max_degree = std::min(max_degree, n - 1);
+  max_degree = std::max(max_degree, options.min_degree);
+  if (options.avg_degree < static_cast<double>(options.min_degree) ||
+      options.avg_degree > static_cast<double>(max_degree)) {
+    return Status::InvalidArgument(StrFormat(
+        "avg_degree %.3f outside [min_degree=%u, max_degree=%u]",
+        options.avg_degree, options.min_degree, max_degree));
+  }
+
+  TENDS_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> degrees,
+      SamplePowerLawDegrees(rng, n, options.exponent, options.avg_degree,
+                            options.min_degree, max_degree));
+
+  // An undirected realization needs an even degree sum; repair the parity
+  // on the first node with headroom.
+  uint64_t degree_sum = 0;
+  for (uint32_t d : degrees) degree_sum += d;
+  if (degree_sum % 2 != 0) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (degrees[v] < max_degree) {
+        ++degrees[v];
+        break;
+      }
+    }
+  }
+
+  // Havel-Hakimi on a lazy max-heap: repeatedly take the node with the
+  // largest residual degree and connect it to the next-largest residuals.
+  // Entries are never updated in place — a decrement invalidates a node's
+  // old heap copies, detected by comparing the popped value against the
+  // live residual. Targets decremented this round are re-pushed only after
+  // the round ends, so one round can never pick the same target twice.
+  std::vector<uint32_t> residual = degrees;
+  std::priority_queue<std::pair<uint32_t, NodeId>,
+                      std::vector<std::pair<uint32_t, NodeId>>, ResidualLess>
+      heap;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (residual[v] > 0) heap.emplace(residual[v], v);
+  }
+  std::vector<std::pair<NodeId, NodeId>> undirected;
+  undirected.reserve(degree_sum / 2);
+  std::vector<std::pair<uint32_t, NodeId>> round_targets;
+  while (!heap.empty()) {
+    const auto [rv, v] = heap.top();
+    heap.pop();
+    if (rv != residual[v] || rv == 0) continue;  // stale copy
+    residual[v] = 0;  // v's edges are placed now; it never re-enters
+    round_targets.clear();
+    uint32_t placed = 0;
+    while (placed < rv && !heap.empty()) {
+      const auto [ru, u] = heap.top();
+      heap.pop();
+      if (ru != residual[u] || ru == 0) continue;  // stale copy
+      undirected.emplace_back(v, u);
+      --residual[u];
+      round_targets.emplace_back(residual[u], u);
+      ++placed;
+    }
+    // placed < rv here means the sequence was not graphical (or parity
+    // repair hit the max_degree wall): v simply ends short of its degree.
+    for (const auto& [ru, u] : round_targets) {
+      if (ru > 0) heap.emplace(ru, u);
+    }
+  }
+
+  // Orientation pass: reciprocal edges become mutual pairs, the rest flip
+  // a fair coin.
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : undirected) {
+    if (rng.NextBernoulli(options.reciprocal_fraction)) {
+      TENDS_RETURN_IF_ERROR(builder.AddEdge(a, b));
+      TENDS_RETURN_IF_ERROR(builder.AddEdge(b, a));
+    } else if (rng.NextBernoulli(0.5)) {
+      TENDS_RETURN_IF_ERROR(builder.AddEdge(a, b));
+    } else {
+      TENDS_RETURN_IF_ERROR(builder.AddEdge(b, a));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tends::graph

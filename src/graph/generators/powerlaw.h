@@ -1,0 +1,44 @@
+#ifndef TENDS_GRAPH_GENERATORS_POWERLAW_H_
+#define TENDS_GRAPH_GENERATORS_POWERLAW_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace tends::graph {
+
+struct PowerlawOptions {
+  uint32_t num_nodes = 0;
+  /// Exponent of the truncated power-law degree distribution.
+  double exponent = 2.5;
+  /// Target mean (undirected) degree; the sampled sequence is adjusted to
+  /// sum to round(num_nodes * avg_degree) exactly (up to the parity fix).
+  double avg_degree = 4.0;
+  uint32_t min_degree = 1;
+  /// Upper truncation of the degree distribution. 0 = auto: the structural
+  /// cutoff round(sqrt(num_nodes * avg_degree)), capped at num_nodes - 1 —
+  /// keeps the Havel-Hakimi construction from concentrating a hub's edges
+  /// on low-id nodes at scale while still allowing heavy tails.
+  uint32_t max_degree = 0;
+  /// Fraction of undirected edges realized as mutual pairs (u -> v and
+  /// v -> u); the rest get a single uniformly-random orientation. In [0,1].
+  double reciprocal_fraction = 0.0;
+};
+
+/// Heavy-tailed ground-truth topology at bench scale (50k-100k nodes):
+/// samples a truncated power-law degree sequence, repairs its parity, and
+/// realizes it with a deterministic Havel-Hakimi construction on a lazy
+/// max-heap — O((n + m) log n), no n x n structure, no self-loops or
+/// parallel edges. A non-graphical sequence is tolerated: nodes the
+/// construction runs out of partners for simply end up short of their
+/// sampled degree (power-law sequences at these sizes lose at most a few
+/// edges). Each undirected edge is then oriented by `rng`, honoring
+/// reciprocal_fraction. Deterministic given the rng state.
+StatusOr<DirectedGraph> GeneratePowerlawHavelHakimi(
+    const PowerlawOptions& options, Rng& rng);
+
+}  // namespace tends::graph
+
+#endif  // TENDS_GRAPH_GENERATORS_POWERLAW_H_

@@ -46,7 +46,7 @@ StatusOr<uint64_t> ParseU64(std::string_view token, int base) {
 uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
                               const TendsOptions& options) {
   Fnv1a h;
-  h.Str("tends.checkpoint.fingerprint.v1");
+  h.Str("tends.checkpoint.fingerprint.v2");
   h.U64(statuses.num_processes());
   h.U64(statuses.num_nodes());
   for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
@@ -67,6 +67,12 @@ uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
   h.U64(static_cast<uint64_t>(options.search.greedy_mode));
   h.F64(options.search.min_improvement);
   h.U64(options.search.use_penalty ? 1 : 0);
+  // candidate_mode invalidates even though sparse == dense is proven
+  // byte-identical: the equivalence is a theorem about this implementation,
+  // not a structural identity, and a checkpoint must never silently bridge
+  // the two pipelines a differential test is comparing. (v1 -> v2 label
+  // bump: v1 files predate the field and are conservatively rejected.)
+  h.U64(static_cast<uint64_t>(options.candidate_mode));
   return h.hash();
 }
 

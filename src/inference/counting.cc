@@ -384,6 +384,38 @@ JointCounts PackedStatuses::CountJoint(
   return counts;
 }
 
+InvertedStatusIndex::InvertedStatusIndex(const PackedStatuses& packed)
+    : num_processes_(packed.num_processes()) {
+  // Counting pass, then CSR fill: O(total infections) bit iteration over
+  // the packed columns, visiting nodes in ascending order so every process
+  // list comes out sorted without a sort.
+  offsets_.assign(static_cast<size_t>(num_processes_) + 1, 0);
+  const uint32_t n = packed.num_nodes();
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint64_t* col = packed.Column(v);
+    for (uint32_t w = 0; w < packed.words_per_node(); ++w) {
+      uint64_t word = col[w];
+      while (word != 0) {
+        ++offsets_[w * 64 + std::countr_zero(word) + 1];
+        word &= word - 1;
+      }
+    }
+  }
+  for (uint32_t p = 0; p < num_processes_; ++p) offsets_[p + 1] += offsets_[p];
+  nodes_.resize(offsets_[num_processes_]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint64_t* col = packed.Column(v);
+    for (uint32_t w = 0; w < packed.words_per_node(); ++w) {
+      uint64_t word = col[w];
+      while (word != 0) {
+        nodes_[cursor[w * 64 + std::countr_zero(word)]++] = v;
+        word &= word - 1;
+      }
+    }
+  }
+}
+
 IncrementalJointCounter::IncrementalJointCounter(const PackedStatuses& packed,
                                                  graph::NodeId child)
     : packed_(packed), child_(child) {

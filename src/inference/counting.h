@@ -64,6 +64,22 @@ struct PairCounts {
   uint32_t total() const { return c00 + c01 + c10 + c11; }
 };
 
+/// Reconstructs the full 2x2 table of a node pair from its co-infection
+/// count c11 and the two marginal infected counts. Pure integer arithmetic,
+/// so the result is bit-identical to the popcount CountPair — this is what
+/// lets the sparse candidate pipeline evaluate only c11 per pair and still
+/// feed InfectionMi the exact same struct the dense path does.
+inline PairCounts PairCountsFromCoInfection(uint32_t c11, uint32_t marginal_i,
+                                            uint32_t marginal_j,
+                                            uint32_t num_processes) {
+  PairCounts counts;
+  counts.c11 = c11;
+  counts.c10 = marginal_i - c11;
+  counts.c01 = marginal_j - c11;
+  counts.c00 = num_processes - counts.c11 - counts.c10 - counts.c01;
+  return counts;
+}
+
 PairCounts CountPair(const diffusion::StatusMatrix& statuses,
                      graph::NodeId i, graph::NodeId j);
 
@@ -129,6 +145,43 @@ class PackedStatuses {
   uint32_t num_processes_ = 0;
   uint32_t words_per_node_ = 0;
   std::vector<uint64_t> words_;
+};
+
+/// Inverted index over the packed status columns: for every diffusion
+/// process p, the sorted list of nodes infected in p (CSR over processes).
+/// This is the row view the column-major PackedStatuses cannot answer
+/// cheaply, and the engine of the sparse candidate pipeline: two nodes
+/// co-occur iff they share at least one process list, so iterating the
+/// lists of the processes a node belongs to enumerates exactly the pairs
+/// with c11 > 0 — O(sum of squared cascade sizes) total instead of O(n^2).
+/// Build once per status matrix and share read-only across threads.
+class InvertedStatusIndex {
+ public:
+  explicit InvertedStatusIndex(const PackedStatuses& packed);
+
+  uint32_t num_processes() const { return num_processes_; }
+
+  /// Nodes infected in process p, ascending node id.
+  const uint32_t* Nodes(uint32_t p) const {
+    return nodes_.data() + offsets_[p];
+  }
+  uint32_t Size(uint32_t p) const {
+    return static_cast<uint32_t>(offsets_[p + 1] - offsets_[p]);
+  }
+
+  /// Total infections across processes (== sum of all marginal counts).
+  uint64_t total_infections() const { return nodes_.size(); }
+
+  /// Payload bytes (offsets + node lists); feeds the
+  /// tends.mem.sparse_inverted_index_bytes gauge at allocation sites.
+  size_t ByteSize() const {
+    return offsets_.size() * sizeof(uint64_t) + nodes_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t num_processes_ = 0;
+  std::vector<uint64_t> offsets_;  // num_processes + 1
+  std::vector<uint32_t> nodes_;
 };
 
 /// Incremental joint counting against a fixed child: caches the

@@ -31,6 +31,13 @@ double InfectionMi(const PairCounts& counts) {
          std::abs(PointwiseMiTerm(counts, 0, 1));
 }
 
+double InfectionMiFromCoInfection(uint32_t c11, uint32_t marginal_lo,
+                                  uint32_t marginal_hi,
+                                  uint32_t num_processes) {
+  return InfectionMi(PairCountsFromCoInfection(c11, marginal_lo, marginal_hi,
+                                               num_processes));
+}
+
 std::vector<PairCounts> ComputePairCountsUpperTriangle(
     const PackedStatuses& packed) {
   const uint32_t n = packed.num_nodes();

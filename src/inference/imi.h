@@ -22,6 +22,19 @@ double TraditionalMi(const PairCounts& counts);
 /// nodes, negative for negatively correlated infections.
 double InfectionMi(const PairCounts& counts);
 
+/// Infection MI of a node pair in its canonical (min-id, max-id)
+/// orientation, reconstructed from the co-infection count and the two
+/// marginal infected counts. Bit-identical to
+/// InfectionMi(packed.CountPair(lo, hi)) — the orientation the dense
+/// ImiMatrix evaluates once per unordered pair — so the sparse candidate
+/// pipeline can store exactly the doubles the dense matrix would hold.
+/// (The orientation matters: InfectionMi is mathematically symmetric but
+/// sums its four terms in a fixed order, so swapping c10/c01 could round
+/// differently.)
+double InfectionMiFromCoInfection(uint32_t c11, uint32_t marginal_lo,
+                                  uint32_t marginal_hi,
+                                  uint32_t num_processes);
+
 /// The pairwise contingency tables of every unordered node pair, in
 /// row-major strictly-upper-triangle order (pair (i, j), i < j, at index
 /// i*n - i*(i+1)/2 + (j - i - 1)). This is the O(n^2 * beta / 64) part of

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "inference/imi.h"
+#include "inference/sparse_candidates.h"
 
 namespace tends::inference {
 
@@ -61,6 +62,11 @@ ImiThreshold FindImiThreshold(const std::vector<double>& values,
 
 ImiThreshold FindImiThreshold(const ImiMatrix& imi, uint32_t max_iterations) {
   return FindImiThreshold(imi.UpperTriangleValues(), max_iterations);
+}
+
+ImiThreshold FindImiThreshold(const SparseCandidateIndex& index,
+                              uint32_t max_iterations) {
+  return FindImiThreshold(index.PositiveUpperTriangleValues(), max_iterations);
 }
 
 }  // namespace tends::inference

@@ -7,6 +7,7 @@
 namespace tends::inference {
 
 class ImiMatrix;
+class SparseCandidateIndex;
 
 /// Result of the modified 2-means clustering used by the pruning method
 /// (§IV-B): non-negative IMI values are split into a "noise" cluster whose
@@ -31,6 +32,16 @@ ImiThreshold FindImiThreshold(const std::vector<double>& values,
 /// Convenience overload over a pairwise matrix: clusters its
 /// strictly-upper-triangle values (each unordered pair once).
 ImiThreshold FindImiThreshold(const ImiMatrix& imi,
+                              uint32_t max_iterations = 100);
+
+/// Overload over the sparse candidate index: clusters its stored strictly
+/// positive values (each unordered pair once). The dense matrix would
+/// additionally contribute exact-0.0 points, but those sit below every
+/// boundary the iteration visits (boundaries are strictly positive while
+/// any positive value exists), so tau, signal_mean, signal_count and
+/// iterations are bit-identical to the dense overload; only noise_count
+/// shrinks by the number of non-positive pairs the index never stores.
+ImiThreshold FindImiThreshold(const SparseCandidateIndex& index,
                               uint32_t max_iterations = 100);
 
 }  // namespace tends::inference

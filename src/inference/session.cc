@@ -111,6 +111,30 @@ const ImiThreshold& InferenceSession::base_threshold(
   });
 }
 
+const SparseCandidateIndex& InferenceSession::sparse_candidates(
+    MetricsRegistry* metrics, uint32_t num_threads) const {
+  return Memoize(sparse_candidates_, metrics, [&] {
+    const PackedStatuses& packed_columns = packed(metrics);
+    const std::vector<uint32_t>& marginals = marginal_counts(metrics);
+    SparseCandidateOptions options;
+    options.num_threads = num_threads;
+    return BuildSparseCandidateIndex(packed_columns, marginals, options,
+                                     metrics);
+  });
+}
+
+const ImiThreshold& InferenceSession::sparse_base_threshold(
+    MetricsRegistry* metrics, uint32_t num_threads) const {
+  return Memoize(threshold_sparse_, metrics, [&] {
+    const SparseCandidateIndex& index = sparse_candidates(metrics, num_threads);
+    TENDS_METRICS_STAGE(metrics, "kmeans");
+    TENDS_TRACE_SPAN(metrics, "kmeans");
+    ImiThreshold threshold = FindImiThreshold(index);
+    TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);
+    return threshold;
+  });
+}
+
 StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
                                            const RunContext& context) const {
   const uint32_t n = statuses_.num_nodes();
@@ -141,12 +165,18 @@ StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
   internal::TendsArtifacts artifacts;
   artifacts.statuses = &statuses_;
   artifacts.packed = &packed(metrics);
-  artifacts.imi = &imi(options.use_traditional_mi, metrics);
+  const bool sparse_mode = options.candidate_mode == CandidateMode::kSparse;
+  if (sparse_mode) {
+    artifacts.sparse = &sparse_candidates(metrics, options.num_threads);
+  } else {
+    artifacts.imi = &imi(options.use_traditional_mi, metrics);
+  }
   if (options.tau_override.has_value()) {
     artifacts.tau = *options.tau_override;
   } else {
     const ImiThreshold& threshold =
-        base_threshold(options.use_traditional_mi, metrics);
+        sparse_mode ? sparse_base_threshold(metrics, options.num_threads)
+                    : base_threshold(options.use_traditional_mi, metrics);
     artifacts.tau = threshold.tau * options.tau_multiplier;
     artifacts.kmeans_iterations = threshold.iterations;
   }

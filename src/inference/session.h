@@ -13,6 +13,7 @@
 #include "inference/counting.h"
 #include "inference/imi.h"
 #include "inference/kmeans_threshold.h"
+#include "inference/sparse_candidates.h"
 #include "inference/tends.h"
 
 namespace tends::inference {
@@ -102,6 +103,19 @@ class InferenceSession {
   /// runs apply their own tau_multiplier).
   const ImiThreshold& base_threshold(bool use_traditional_mi,
                                      MetricsRegistry* metrics = nullptr) const;
+  /// Sparse positive-IMI candidate index (candidate_mode = kSparse runs).
+  /// Independent of the dense pair_counts/imi artifacts — a sparse-only
+  /// session never materializes anything O(n^2). `num_threads` only
+  /// parallelizes a first-call build; the artifact is byte-identical for
+  /// any value, so memoization is sound whichever run triggers it.
+  const SparseCandidateIndex& sparse_candidates(
+      MetricsRegistry* metrics = nullptr, uint32_t num_threads = 1) const;
+  /// K-means base threshold over the sparse index's stored values
+  /// (bit-identical tau to base_threshold(false), see
+  /// kmeans_threshold.h; memoized separately so neither path forces the
+  /// other's artifact into existence).
+  const ImiThreshold& sparse_base_threshold(MetricsRegistry* metrics = nullptr,
+                                            uint32_t num_threads = 1) const;
 
  private:
   /// One lazily-computed artifact: a once_flag guarding `value`.
@@ -125,6 +139,8 @@ class InferenceSession {
   Memo<ImiMatrix> imi_traditional_;
   Memo<ImiThreshold> threshold_infection_;
   Memo<ImiThreshold> threshold_traditional_;
+  Memo<SparseCandidateIndex> sparse_candidates_;
+  Memo<ImiThreshold> threshold_sparse_;
 };
 
 /// One completed run of a sweep: where it sat in the request vector, the

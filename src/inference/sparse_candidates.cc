@@ -1,0 +1,228 @@
+#include "inference/sparse_candidates.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "inference/imi.h"
+
+namespace tends::inference {
+
+namespace {
+
+/// Cost-model constant of the per-node strategy choice: one merge step is
+/// a scratch increment, one popcount step is an AND+popcount over a word
+/// of 64 statuses. The merge wins while the node's total process-list
+/// length is below this multiple of the full column scan's word count.
+/// Tuning it shifts time only — both strategies produce identical rows.
+constexpr uint64_t kMergeCostFactor = 2;
+
+/// Per-worker scratch of the merge path: a c11 accumulator indexed by
+/// node id plus the list of touched ids (reset after every row, so the
+/// array is all-zero between rows). thread_local because ParallelFor
+/// runs chunks on the long-lived shared pool workers and the caller.
+struct MergeScratch {
+  std::vector<uint32_t> c11;
+  std::vector<uint32_t> touched;
+};
+
+MergeScratch& LocalScratch(uint32_t n) {
+  thread_local MergeScratch scratch;
+  if (scratch.c11.size() < n) scratch.c11.assign(n, 0);
+  return scratch;
+}
+
+}  // namespace
+
+double SparseCandidateIndex::Get(graph::NodeId i, graph::NodeId j) const {
+  const RowView row = Row(i);
+  const uint32_t* begin = row.neighbors;
+  const uint32_t* end = row.neighbors + row.size;
+  const uint32_t* it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return row.values[it - begin];
+}
+
+std::vector<double> SparseCandidateIndex::PositiveUpperTriangleValues() const {
+  std::vector<double> out;
+  out.reserve(num_entries() / 2);
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    const RowView row = Row(i);
+    // Rows are ascending by neighbor, so the j > i suffix starts at the
+    // first neighbor greater than i.
+    const uint32_t* begin = row.neighbors;
+    const uint32_t* end = row.neighbors + row.size;
+    const uint32_t* it = std::upper_bound(begin, end, i);
+    for (; it != end; ++it) out.push_back(row.values[it - begin]);
+  }
+  return out;
+}
+
+SparseCandidateIndex BuildSparseCandidateIndex(
+    const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
+    const SparseCandidateOptions& options, MetricsRegistry* metrics) {
+  const uint32_t n = packed.num_nodes();
+  const uint32_t beta = packed.num_processes();
+  const uint32_t words = packed.words_per_node();
+  TENDS_CHECK(marginals.size() == n)
+      << "marginals size " << marginals.size() << " != num_nodes " << n;
+
+  TENDS_METRICS_STAGE(metrics, "sparse_index");
+  TENDS_TRACE_SPAN(metrics, "sparse_index");
+
+  const InvertedStatusIndex inverted(packed);
+  TENDS_GAUGE_SET(metrics, "tends.mem.sparse_inverted_index_bytes",
+                  inverted.ByteSize());
+
+  // Per-node rows are built independently (deterministic content per row,
+  // so the assembled index is byte-identical for any thread count), then
+  // flattened into the CSR arrays.
+  std::vector<std::vector<uint32_t>> row_neighbors(n);
+  std::vector<std::vector<double>> row_values(n);
+  std::atomic<uint64_t> visited{0}, skipped{0};
+  std::atomic<uint32_t> merge_rows{0}, popcount_rows{0};
+
+  ParallelForOptions parallel;
+  parallel.num_threads = options.num_threads;
+  parallel.grain = 16;
+  ParallelFor(parallel, 0, n, [&](uint32_t i) {
+    // The processes node i participates in, from its packed column.
+    const uint64_t* col = packed.Column(i);
+    uint64_t merge_cost = 0;
+    {
+      for (uint32_t w = 0; w < words; ++w) {
+        uint64_t word = col[w];
+        while (word != 0) {
+          merge_cost += inverted.Size(w * 64 + std::countr_zero(word));
+          word &= word - 1;
+        }
+      }
+    }
+    const uint64_t popcount_cost = static_cast<uint64_t>(n) * words;
+    bool use_merge = merge_cost <= kMergeCostFactor * popcount_cost;
+    if (options.strategy == SparseRowStrategy::kMergeOnly) use_merge = true;
+    if (options.strategy == SparseRowStrategy::kPopcountOnly) {
+      use_merge = false;
+    }
+
+    std::vector<uint32_t>& neighbors = row_neighbors[i];
+    std::vector<double>& values = row_values[i];
+    uint64_t row_visited = 0;
+
+    if (use_merge) {
+      merge_rows.fetch_add(1, std::memory_order_relaxed);
+      MergeScratch& scratch = LocalScratch(n);
+      for (uint32_t w = 0; w < words; ++w) {
+        uint64_t word = col[w];
+        while (word != 0) {
+          const uint32_t p = w * 64 + std::countr_zero(word);
+          word &= word - 1;
+          const uint32_t* nodes = inverted.Nodes(p);
+          const uint32_t size = inverted.Size(p);
+          for (uint32_t e = 0; e < size; ++e) {
+            const uint32_t j = nodes[e];
+            if (scratch.c11[j]++ == 0) scratch.touched.push_back(j);
+          }
+        }
+      }
+      // Ascending-id emission, matching the popcount path exactly.
+      std::sort(scratch.touched.begin(), scratch.touched.end());
+      for (uint32_t j : scratch.touched) {
+        if (j == i) continue;
+        ++row_visited;
+        const uint32_t c11 = scratch.c11[j];
+        const uint32_t lo = std::min(i, j), hi = std::max(i, j);
+        const double value = InfectionMiFromCoInfection(
+            c11, marginals[lo], marginals[hi], beta);
+        if (value > 0.0) {
+          neighbors.push_back(j);
+          values.push_back(value);
+        }
+      }
+      for (uint32_t j : scratch.touched) scratch.c11[j] = 0;
+      scratch.touched.clear();
+    } else {
+      popcount_rows.fetch_add(1, std::memory_order_relaxed);
+      for (uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const uint64_t* other = packed.Column(j);
+        uint32_t c11 = 0;
+        for (uint32_t w = 0; w < words; ++w) {
+          c11 += static_cast<uint32_t>(std::popcount(col[w] & other[w]));
+        }
+        // Early-out on zero co-infection: no table, no MI evaluation.
+        if (c11 == 0) continue;
+        ++row_visited;
+        const uint32_t lo = std::min(i, j), hi = std::max(i, j);
+        const double value = InfectionMiFromCoInfection(
+            c11, marginals[lo], marginals[hi], beta);
+        if (value > 0.0) {
+          neighbors.push_back(j);
+          values.push_back(value);
+        }
+      }
+    }
+    visited.fetch_add(row_visited, std::memory_order_relaxed);
+    skipped.fetch_add(n - 1 - row_visited, std::memory_order_relaxed);
+  });
+
+  SparseCandidateIndex index;
+  index.num_nodes_ = n;
+  index.num_processes_ = beta;
+  index.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    index.offsets_[i + 1] = index.offsets_[i] + row_neighbors[i].size();
+  }
+  index.neighbors_.reserve(index.offsets_[n]);
+  index.values_.reserve(index.offsets_[n]);
+  for (uint32_t i = 0; i < n; ++i) {
+    index.neighbors_.insert(index.neighbors_.end(), row_neighbors[i].begin(),
+                            row_neighbors[i].end());
+    index.values_.insert(index.values_.end(), row_values[i].begin(),
+                         row_values[i].end());
+  }
+  index.stats_.pairs_visited = visited.load(std::memory_order_relaxed);
+  index.stats_.pairs_skipped = skipped.load(std::memory_order_relaxed);
+  index.stats_.merge_rows = merge_rows.load(std::memory_order_relaxed);
+  index.stats_.popcount_rows = popcount_rows.load(std::memory_order_relaxed);
+
+  TENDS_GAUGE_SET(metrics, "tends.mem.sparse_index_bytes", index.ByteSize());
+  TENDS_METRIC_ADD(metrics, "tends.counting.pairs_visited",
+                   index.stats_.pairs_visited);
+  TENDS_METRIC_ADD(metrics, "tends.counting.pairs_skipped",
+                   index.stats_.pairs_skipped);
+  TENDS_METRIC_ADD(metrics, "tends.counting.sparse_merge_rows",
+                   index.stats_.merge_rows);
+  TENDS_METRIC_ADD(metrics, "tends.counting.sparse_popcount_rows",
+                   index.stats_.popcount_rows);
+  return index;
+}
+
+void TopKCandidateHeap::Push(double value, graph::NodeId id) {
+  if (k_ == 0) return;
+  const std::pair<double, graph::NodeId> entry(value, id);
+  if (entries_.size() < k_) {
+    entries_.push_back(entry);
+    std::push_heap(entries_.begin(), entries_.end(), Better);
+    return;
+  }
+  // Full: evict the current worst only for a strictly better candidate
+  // (ties rank by id, so the order is total and the kept set unique).
+  if (!Better(entry, entries_.front())) return;
+  std::pop_heap(entries_.begin(), entries_.end(), Better);
+  entries_.back() = entry;
+  std::push_heap(entries_.begin(), entries_.end(), Better);
+}
+
+std::vector<graph::NodeId> TopKCandidateHeap::SortedIds() const {
+  std::vector<graph::NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [value, id] : entries_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace tends::inference

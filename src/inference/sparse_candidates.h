@@ -1,0 +1,171 @@
+#ifndef TENDS_INFERENCE_SPARSE_CANDIDATES_H_
+#define TENDS_INFERENCE_SPARSE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "graph/graph.h"
+#include "inference/counting.h"
+
+namespace tends::inference {
+
+/// Why the sparse pipeline can replace the dense IMI matrix bit-for-bit
+/// (the invariant the differential suite enforces):
+///
+///   * A pair with zero co-infection (c11 = 0) can never be a candidate.
+///     If both marginals are positive, MI(1,1) = 0, MI(0,0) > 0 and the
+///     cross terms dominate: InfectionMi < 0 strictly. If either marginal
+///     is 0, every term is 0 and the value is exactly 0.0. Pruning tests
+///     `value > tau` with tau >= 0, so neither case can pass.
+///   * Of co-occurring pairs, only those with InfectionMi > 0.0 can pass
+///     the same test; the index therefore stores exactly the strictly
+///     positive values, each reconstructed from (c11, marginals, beta) in
+///     the canonical (min-id, max-id) orientation — bit-identical doubles
+///     to the dense matrix entries.
+///   * The K-means threshold is unchanged by dropping the non-positive
+///     values (see FindImiThreshold's sparse overload).
+///
+/// This only holds for infection MI with non-negative tau; TendsOptions::
+/// Validate rejects sparse mode combined with traditional MI, disabled
+/// pruning, or a negative tau_override.
+
+/// How a node's sparse row is generated (SparseCandidateOptions::strategy).
+/// kAuto picks per node by a cost model; the forced modes exist for the
+/// property tests, which prove both produce byte-identical indexes.
+enum class SparseRowStrategy {
+  kAuto,
+  kMergeOnly,     // always the inverted-index merge
+  kPopcountOnly,  // always the blocked AND+popcount column scan
+};
+
+struct SparseCandidateOptions {
+  /// Worker threads for the per-node row construction (rows are
+  /// independent; the index is byte-identical for any thread count).
+  uint32_t num_threads = 1;
+  SparseRowStrategy strategy = SparseRowStrategy::kAuto;
+};
+
+/// Build statistics (aggregated over ordered (i, j) pairs, j != i; every
+/// unordered pair is counted from both sides).
+struct SparseIndexStats {
+  /// Pairs whose 2x2 table was evaluated (c11 known > 0 on the merge path;
+  /// all scanned columns on the popcount path).
+  uint64_t pairs_visited = 0;
+  /// Pairs eliminated without an IMI evaluation: never touched by the
+  /// merge, or early-outed on zero co-infection by the popcount scan.
+  uint64_t pairs_skipped = 0;
+  uint32_t merge_rows = 0;
+  uint32_t popcount_rows = 0;
+};
+
+/// CSR index of the strictly positive pairwise infection-MI values: row i
+/// holds every j != i with co-infection and InfectionMi > 0.0, ascending
+/// by j, each with the exact double the dense ImiMatrix would store.
+/// Symmetric (every unordered pair appears in both rows). Memory is
+/// O(nnz), never O(n^2) — the artifact that breaks the dense wall.
+class SparseCandidateIndex {
+ public:
+  struct RowView {
+    const uint32_t* neighbors = nullptr;
+    const double* values = nullptr;
+    size_t size = 0;
+  };
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t num_processes() const { return num_processes_; }
+
+  /// Stored (i, j) entries over all rows (twice the number of unordered
+  /// positive pairs).
+  size_t num_entries() const { return neighbors_.size(); }
+
+  RowView Row(graph::NodeId i) const {
+    RowView row;
+    row.neighbors = neighbors_.data() + offsets_[i];
+    row.values = values_.data() + offsets_[i];
+    row.size = static_cast<size_t>(offsets_[i + 1] - offsets_[i]);
+    return row;
+  }
+
+  /// The stored value of pair (i, j), or 0.0 when the pair has no strictly
+  /// positive infection MI (by the header invariant such a pair can never
+  /// be a pruning candidate). O(log row size).
+  double Get(graph::NodeId i, graph::NodeId j) const;
+
+  /// The strictly positive values, each unordered pair once (i < j), in
+  /// upper-triangle order — the K-means clustering input.
+  std::vector<double> PositiveUpperTriangleValues() const;
+
+  /// Payload bytes of offsets + neighbors + values; feeds the
+  /// tends.mem.sparse_index_bytes gauge at allocation sites.
+  size_t ByteSize() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * sizeof(uint32_t) +
+           values_.size() * sizeof(double);
+  }
+
+  const SparseIndexStats& stats() const { return stats_; }
+
+ private:
+  friend SparseCandidateIndex BuildSparseCandidateIndex(
+      const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
+      const SparseCandidateOptions& options, MetricsRegistry* metrics);
+
+  uint32_t num_nodes_ = 0;
+  uint32_t num_processes_ = 0;
+  std::vector<uint64_t> offsets_;  // num_nodes + 1
+  std::vector<uint32_t> neighbors_;
+  std::vector<double> values_;
+  SparseIndexStats stats_;
+};
+
+/// Builds the sparse index from the packed columns and their marginal
+/// infected counts (`marginals` must equal packed.InfectedCounts()).
+/// Per node, either merges the inverted-index lists of the node's
+/// processes (cost = sum of those list sizes) or falls back to a blocked
+/// AND+popcount scan over all columns (cost = n * words per column) —
+/// whichever the cost model predicts cheaper; the choice never changes
+/// the result, only the time. Deterministic and byte-identical for any
+/// thread count and either strategy. Sets the tends.mem.sparse_* gauges
+/// and tends.counting.pairs_* counters on `metrics` (may be null).
+SparseCandidateIndex BuildSparseCandidateIndex(
+    const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
+    const SparseCandidateOptions& options = {},
+    MetricsRegistry* metrics = nullptr);
+
+/// Bounded best-k selector over (value, id) candidates under the exact
+/// ranking the dense pruning's partial_sort uses: value descending, id
+/// ascending as the tie-break (a strict total order — ids are unique — so
+/// "the top k" is well-defined and the kept set is deterministic even
+/// under adversarial ties). Push is O(log k). Filtering at tau and then
+/// keeping the top k reproduces the dense row scan's clipped candidate
+/// set bit-for-bit.
+class TopKCandidateHeap {
+ public:
+  explicit TopKCandidateHeap(uint32_t k) : k_(k) {}
+
+  void Push(double value, graph::NodeId id);
+
+  size_t size() const { return entries_.size(); }
+
+  /// The retained ids sorted ascending — the deterministic processing
+  /// order the parent search expects. Leaves the heap intact.
+  std::vector<graph::NodeId> SortedIds() const;
+
+ private:
+  // a ranks strictly better than b.
+  static bool Better(const std::pair<double, graph::NodeId>& a,
+                     const std::pair<double, graph::NodeId>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+
+  uint32_t k_;
+  /// Heap ordered with Better as the "less" comparator, so the front is
+  /// the worst retained candidate (the eviction point).
+  std::vector<std::pair<double, graph::NodeId>> entries_;
+};
+
+}  // namespace tends::inference
+
+#endif  // TENDS_INFERENCE_SPARSE_CANDIDATES_H_

@@ -7,11 +7,13 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "diffusion/validation.h"
 #include "inference/local_score.h"
+#include "inference/sparse_candidates.h"
 
 namespace tends::inference {
 
@@ -47,6 +49,29 @@ Status TendsOptions::Validate() const {
   }
   if (num_threads == 0) {
     return Status::InvalidArgument("num_threads must be > 0 (1 = sequential)");
+  }
+  if (candidate_mode == CandidateMode::kSparse) {
+    // The sparse index stores only strictly positive infection-MI values;
+    // its bit-exactness rests on "no other pair can pass value > tau".
+    // Traditional MI is non-negative even for anti-correlated pairs,
+    // disabled pruning needs every pair, and a negative tau would admit
+    // values the index never stores — all three would silently change
+    // results, so they are rejected instead.
+    if (use_traditional_mi) {
+      return Status::InvalidArgument(
+          "candidate_mode=sparse requires infection MI (traditional MI can "
+          "be positive for pairs the sparse index elides)");
+    }
+    if (!enable_pruning) {
+      return Status::InvalidArgument(
+          "candidate_mode=sparse requires enable_pruning (an unpruned run "
+          "needs every pair, which is the dense path by definition)");
+    }
+    if (tau_override.has_value() && *tau_override < 0.0) {
+      return Status::InvalidArgument(
+          "candidate_mode=sparse requires tau_override >= 0 (a negative "
+          "tau admits non-positive IMI values the sparse index elides)");
+    }
   }
   if (!checkpoint.enabled()) {
     if (checkpoint.resume) {
@@ -160,7 +185,10 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
                                            TendsDiagnostics* diagnostics) {
   const diffusion::StatusMatrix& statuses = *artifacts.statuses;
   const PackedStatuses& packed = *artifacts.packed;
-  const ImiMatrix& imi = *artifacts.imi;
+  const ImiMatrix* imi = artifacts.imi;
+  const SparseCandidateIndex* sparse = artifacts.sparse;
+  TENDS_CHECK((imi != nullptr) != (sparse != nullptr))
+      << "exactly one of the dense and sparse candidate artifacts must be set";
   const double tau = artifacts.tau;
   const uint32_t n = statuses.num_nodes();
   MetricsRegistry* metrics = context.metrics;
@@ -229,13 +257,39 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
     // num_threads > 1 a stage's wall_ns can exceed the run's wall-clock;
     // it is the aggregate cost of the stage, CPU-time style.)
     std::vector<graph::NodeId> candidates;
-    {
+    if (sparse != nullptr) {
+      // Sparse pruning: only the stored positive-IMI row is scanned, and a
+      // bounded heap keeps the top max_candidates under the identical
+      // (value desc, id asc) ranking the dense partial_sort uses — so the
+      // kept set, its clipped flag, and the final id-ascending order are
+      // bit-for-bit what the dense scan produces.
+      TENDS_METRICS_STAGE(metrics, "pruning");
+      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
+      const SparseCandidateIndex::RowView row = sparse->Row(i);
+      TopKCandidateHeap heap(options.max_candidates);
+      uint32_t passed = 0;
+      for (size_t e = 0; e < row.size; ++e) {
+        const double value = row.values[e];
+        if (value > tau) {
+          ++passed;
+          heap.Push(value, row.neighbors[e]);
+        }
+      }
+      if (passed > options.max_candidates) {
+        clipped[i] = 1;
+        TENDS_COUNTER_ADD(clipped_counter, 1);
+      }
+      candidates = heap.SortedIds();
+      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
+                          candidates.size());
+    } else {
       TENDS_METRICS_STAGE(metrics, "pruning");
       TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
       std::vector<std::pair<double, graph::NodeId>> ranked;
       for (uint32_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        double value = imi.Get(i, j);
+        double value = imi->Get(i, j);
         if (options.enable_pruning ? value > tau : true) {
           ranked.emplace_back(value, j);
         }
@@ -307,8 +361,12 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
     if (completed[i]) diagnostics->network_score += results[i].score;
     // Line 21: a directed edge from each inferred parent to v_i (partial
     // parent sets of stopped nodes still contribute — best-so-far output).
+    // Every inferred parent passed value > tau >= 0, so the sparse index
+    // holds its weight whenever the sparse artifact is in use.
     for (graph::NodeId parent : results[i].parents) {
-      network.AddEdge(parent, i, imi.Get(i, parent));
+      const double weight =
+          sparse != nullptr ? sparse->Get(i, parent) : imi->Get(i, parent);
+      network.AddEdge(parent, i, weight);
     }
   }
   diagnostics->mean_candidates = static_cast<double>(total_candidates) / n;
@@ -365,27 +423,44 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   TENDS_GAUGE_SET(metrics, "tends.mem.packed_statuses_bytes",
                   packed_storage->ByteSize());
 
-  // Lines 2-4: pairwise infection-MI values.
-  std::optional<ImiMatrix> imi_storage;
-  {
-    TENDS_METRICS_STAGE(metrics, "imi");
-    TENDS_TRACE_SPAN(metrics, "imi");
-    imi_storage.emplace(*packed_storage, options_.use_traditional_mi);
-  }
-  TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
-                   static_cast<uint64_t>(n) * (n - 1) / 2);
-  // The fresh path materializes the pairwise count table only transiently
-  // inside the ImiMatrix constructor; its size is still the honest
-  // allocation (the session memoizes the same table durably).
-  TENDS_GAUGE_SET(metrics, "tends.mem.pair_counts_bytes",
-                  static_cast<uint64_t>(n) * (n - 1) / 2 * sizeof(PairCounts));
-  TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes",
-                  imi_storage->ByteSize());
-
   internal::TendsArtifacts artifacts;
   artifacts.statuses = &statuses;
   artifacts.packed = &*packed_storage;
-  artifacts.imi = &*imi_storage;
+
+  // Lines 2-4: pairwise infection-MI values — dense matrix or sparse
+  // positive-IMI index, per candidate_mode. The sparse branch never
+  // materializes an n x n artifact (the scaling smoke test pins this via
+  // the tends.mem.* gauges: no pair_counts/imi_matrix gauge is set here).
+  std::optional<ImiMatrix> imi_storage;
+  std::optional<SparseCandidateIndex> sparse_storage;
+  if (options_.candidate_mode == CandidateMode::kSparse) {
+    const std::vector<uint32_t> marginals = packed_storage->InfectedCounts();
+    TENDS_GAUGE_SET(metrics, "tends.mem.marginal_counts_bytes",
+                    marginals.size() * sizeof(uint32_t));
+    SparseCandidateOptions sparse_options;
+    sparse_options.num_threads = options_.num_threads;
+    sparse_storage.emplace(BuildSparseCandidateIndex(
+        *packed_storage, marginals, sparse_options, metrics));
+    TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
+                     sparse_storage->stats().pairs_visited);
+    artifacts.sparse = &*sparse_storage;
+  } else {
+    {
+      TENDS_METRICS_STAGE(metrics, "imi");
+      TENDS_TRACE_SPAN(metrics, "imi");
+      imi_storage.emplace(*packed_storage, options_.use_traditional_mi);
+    }
+    TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
+                     static_cast<uint64_t>(n) * (n - 1) / 2);
+    // The fresh path materializes the pairwise count table only transiently
+    // inside the ImiMatrix constructor; its size is still the honest
+    // allocation (the session memoizes the same table durably).
+    TENDS_GAUGE_SET(metrics, "tends.mem.pair_counts_bytes",
+                    static_cast<uint64_t>(n) * (n - 1) / 2 * sizeof(PairCounts));
+    TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes",
+                    imi_storage->ByteSize());
+    artifacts.imi = &*imi_storage;
+  }
 
   // Line 5: threshold tau via the modified K-means on non-negative values.
   if (options_.tau_override.has_value()) {
@@ -393,7 +468,9 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
   } else {
     TENDS_METRICS_STAGE(metrics, "kmeans");
     TENDS_TRACE_SPAN(metrics, "kmeans");
-    ImiThreshold threshold = FindImiThreshold(*imi_storage);
+    ImiThreshold threshold = sparse_storage.has_value()
+                                 ? FindImiThreshold(*sparse_storage)
+                                 : FindImiThreshold(*imi_storage);
     artifacts.tau = threshold.tau * options_.tau_multiplier;
     artifacts.kmeans_iterations = threshold.iterations;
     TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);

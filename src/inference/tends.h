@@ -13,6 +13,24 @@
 
 namespace tends::inference {
 
+class SparseCandidateIndex;
+
+/// How the pairwise-correlation artifact behind candidate pruning is
+/// generated and stored.
+enum class CandidateMode {
+  /// Dense n x n pair-count and IMI matrices (the reference oracle).
+  /// O(n^2) memory — the paper's formulation, and the path every sparse
+  /// result is differentially tested against.
+  kDense,
+  /// Sparse pipeline: an inverted index over the packed status columns
+  /// enumerates only co-occurring pairs, and only strictly positive IMI
+  /// values are stored (inference/sparse_candidates.h). O(nnz) memory,
+  /// byte-identical networks to kDense. Requires infection MI, enabled
+  /// pruning, and a non-negative tau (Validate enforces all three — the
+  /// bit-exactness argument needs them).
+  kSparse,
+};
+
 /// Options of the TENDS algorithm (Algorithm 1).
 struct TendsOptions {
   /// Use the infection-MI pruning of §IV-B. Disabling it makes every other
@@ -39,6 +57,10 @@ struct TendsOptions {
   /// every process) may disable it to get the best-effort topology with an
   /// empty parent set for the degenerate node.
   bool reject_degenerate_columns = true;
+  /// Candidate-generation pipeline. kSparse produces byte-identical
+  /// networks at O(nnz) instead of O(n^2) memory; kDense stays the
+  /// default so every pre-existing configuration is unchanged.
+  CandidateMode candidate_mode = CandidateMode::kDense;
   /// Parent-search knobs. Thread count is NOT among them by design:
   /// `num_threads` above is the single threading knob of a TENDS run (the
   /// per-node searches are what runs in parallel), so the two can never
@@ -57,10 +79,12 @@ struct TendsOptions {
   /// `tau_multiplier <= 0`, `max_candidates == 0`, `num_threads == 0`,
   /// `tau_override` combined with `tau_multiplier != 1.0` (the override
   /// fixes tau directly — bake the scale into the override instead of
-  /// silently ignoring one of the two), and malformed checkpoint configs
+  /// silently ignoring one of the two), malformed checkpoint configs
   /// (resume without a directory, an enabled config with no flush trigger
-  /// or an empty stem). Called at the top of every Tends::Infer and
-  /// InferenceSession run.
+  /// or an empty stem), and sparse candidate mode combined with settings
+  /// that break its bit-exactness argument (traditional MI, disabled
+  /// pruning, a negative tau_override). Called at the top of every
+  /// Tends::Infer and InferenceSession run.
   Status Validate() const;
 };
 
@@ -139,7 +163,11 @@ struct TendsArtifacts {
   const diffusion::StatusMatrix* statuses = nullptr;
   const PackedStatuses* packed = nullptr;
   /// IMI or traditional-MI matrix, matching options.use_traditional_mi.
+  /// Exactly one of imi / sparse is non-null, matching
+  /// options.candidate_mode.
   const ImiMatrix* imi = nullptr;
+  /// Sparse positive-IMI candidate index (candidate_mode = kSparse).
+  const SparseCandidateIndex* sparse = nullptr;
   /// Pruning threshold, already scaled by tau_multiplier (or the override).
   double tau = 0.0;
   /// Iterations the K-means took to find the base threshold (0 when a

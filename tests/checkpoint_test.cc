@@ -115,6 +115,13 @@ TEST(FingerprintTest, SensitiveToEveryResultAffectingInput) {
   changed = base;
   changed.search.use_penalty = !base.search.use_penalty;
   EXPECT_NE(fp, FingerprintInference(statuses, changed));
+
+  // candidate_mode invalidates despite the proven sparse == dense
+  // equivalence: a checkpoint must never silently bridge the two pipelines
+  // a differential test compares (see FingerprintInference).
+  changed = base;
+  changed.candidate_mode = CandidateMode::kSparse;
+  EXPECT_NE(fp, FingerprintInference(statuses, changed));
 }
 
 TEST(FingerprintTest, InsensitiveToByteIdenticalKnobs) {
@@ -409,6 +416,56 @@ TEST(CheckpointResumeTest, ResumeAcceptsDifferentKernelAndThreads) {
   resumed.num_threads = 8;
   resumed.search.kernel = CountingKernel::kNaive;
   resumed.checkpoint = config;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_TRUE(network.ok()) << network.status();
+  ExpectBitIdentical(*network, *expected);
+  EXPECT_EQ(tends.diagnostics().nodes_resumed, statuses.num_nodes());
+}
+
+TEST(CheckpointResumeTest, DenseCheckpointIsRejectedBySparseResume) {
+  // The two candidate pipelines are proven byte-identical, but a resume
+  // across them would bridge exactly what the differential suite keeps
+  // independent — the fingerprint rejects it as stale.
+  const diffusion::StatusMatrix statuses = Statuses();
+  CheckpointConfig config;
+  config.directory = TempDir("cross_mode");
+
+  TendsOptions writer_options;
+  writer_options.reject_degenerate_columns = false;
+  writer_options.checkpoint = config;
+  Tends writer(writer_options);
+  ASSERT_TRUE(writer.InferFromStatuses(statuses).ok());
+
+  TendsOptions resumed = writer_options;
+  resumed.candidate_mode = CandidateMode::kSparse;
+  resumed.checkpoint.resume = true;
+  Tends tends(resumed);
+  auto network = tends.InferFromStatuses(statuses);
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsFailedPrecondition()) << network.status();
+}
+
+TEST(CheckpointResumeTest, SparseCheckpointResumesSparseByteIdentically) {
+  const diffusion::StatusMatrix statuses = Statuses();
+  TendsOptions base;
+  base.reject_degenerate_columns = false;
+  base.candidate_mode = CandidateMode::kSparse;
+
+  Tends reference(base);
+  auto expected = reference.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  CheckpointConfig config;
+  config.directory = TempDir("sparse_resume");
+  TendsOptions writer_options = base;
+  writer_options.checkpoint = config;
+  writer_options.checkpoint.every_nodes = 1;
+  Tends writer(writer_options);
+  ASSERT_TRUE(writer.InferFromStatuses(statuses).ok());
+
+  TendsOptions resumed = writer_options;
   resumed.checkpoint.resume = true;
   Tends tends(resumed);
   auto network = tends.InferFromStatuses(statuses);

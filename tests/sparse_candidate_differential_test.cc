@@ -1,0 +1,265 @@
+// Differential proof that candidate_mode=sparse is byte-identical to the
+// dense reference pipeline: same edges, bit-cast-equal weights, equal
+// diagnostics, across a grid of sizes, process counts, noise levels,
+// max_candidates caps and thread counts — including the on-disk network
+// file bytes at n=2000 (the ISSUE acceptance gate).
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "diffusion/noise.h"
+#include "graph/generators/erdos_renyi.h"
+#include "graph/generators/powerlaw.h"
+#include "inference/io.h"
+#include "inference/session.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::MakeStatuses;
+using ::tends::testing::SimulateUniform;
+
+diffusion::StatusMatrix SimulatedStatuses(uint32_t n, uint32_t beta,
+                                          double noise, uint64_t seed) {
+  Rng rng(seed);
+  auto truth = graph::GenerateErdosRenyi(
+      {.num_nodes = n, .edge_probability = 6.0 / n}, rng);
+  if (!truth.ok()) std::abort();
+  diffusion::StatusMatrix statuses =
+      SimulateUniform(*truth, 0.4, beta, 0.15, seed + 1).statuses;
+  if (noise > 0.0) {
+    auto noisy = diffusion::ApplyStatusNoise(
+        statuses, {.miss_probability = noise, .false_alarm_probability = noise},
+        rng);
+    if (!noisy.ok()) std::abort();
+    statuses = std::move(noisy).value();
+  }
+  return statuses;
+}
+
+void ExpectBitIdentical(const InferredNetwork& a, const InferredNetwork& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << label;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << label;
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edges()[e].edge.from, b.edges()[e].edge.from) << label;
+    ASSERT_EQ(a.edges()[e].edge.to, b.edges()[e].edge.to) << label;
+    ASSERT_EQ(std::bit_cast<uint64_t>(a.edges()[e].weight),
+              std::bit_cast<uint64_t>(b.edges()[e].weight))
+        << label << " edge " << e;
+  }
+}
+
+/// Runs both modes on `statuses` with otherwise identical options and
+/// requires byte-identical networks and equal diagnostics.
+void ExpectSparseEqualsDense(const diffusion::StatusMatrix& statuses,
+                             TendsOptions options, const std::string& label) {
+  // Simulations legitimately produce all-0/all-1 columns; the comparison
+  // wants the best-effort topology from both modes, not a rejection.
+  options.reject_degenerate_columns = false;
+  options.candidate_mode = CandidateMode::kDense;
+  Tends dense(options);
+  auto dense_result = dense.InferFromStatuses(statuses);
+  ASSERT_TRUE(dense_result.ok()) << label << ": " << dense_result.status();
+
+  options.candidate_mode = CandidateMode::kSparse;
+  Tends sparse(options);
+  auto sparse_result = sparse.InferFromStatuses(statuses);
+  ASSERT_TRUE(sparse_result.ok()) << label << ": " << sparse_result.status();
+
+  ExpectBitIdentical(*dense_result, *sparse_result, label);
+  EXPECT_EQ(std::bit_cast<uint64_t>(dense.diagnostics().tau),
+            std::bit_cast<uint64_t>(sparse.diagnostics().tau))
+      << label;
+  EXPECT_EQ(dense.diagnostics().kmeans_iterations,
+            sparse.diagnostics().kmeans_iterations)
+      << label;
+  EXPECT_EQ(std::bit_cast<uint64_t>(dense.diagnostics().network_score),
+            std::bit_cast<uint64_t>(sparse.diagnostics().network_score))
+      << label;
+  EXPECT_EQ(dense.diagnostics().clipped_nodes,
+            sparse.diagnostics().clipped_nodes)
+      << label;
+  EXPECT_EQ(dense.diagnostics().max_candidates_seen,
+            sparse.diagnostics().max_candidates_seen)
+      << label;
+  EXPECT_EQ(std::bit_cast<uint64_t>(dense.diagnostics().mean_candidates),
+            std::bit_cast<uint64_t>(sparse.diagnostics().mean_candidates))
+      << label;
+  EXPECT_EQ(dense.diagnostics().total_score_evaluations,
+            sparse.diagnostics().total_score_evaluations)
+      << label;
+}
+
+TEST(SparseDifferentialTest, MatchesDenseAcrossSimulationGrid) {
+  for (uint32_t n : {40u, 90u}) {
+    for (uint32_t beta : {64u, 150u}) {
+      for (double noise : {0.0, 0.05}) {
+        const diffusion::StatusMatrix statuses =
+            SimulatedStatuses(n, beta, noise, 31 * n + beta);
+        for (uint32_t max_candidates : {1u, 4u, 16u}) {
+          for (uint32_t num_threads : {1u, 8u}) {
+            TendsOptions options;
+            options.max_candidates = max_candidates;
+            options.num_threads = num_threads;
+            std::ostringstream label;
+            label << "n=" << n << " beta=" << beta << " noise=" << noise
+                  << " k=" << max_candidates << " threads=" << num_threads;
+            ExpectSparseEqualsDense(statuses, options, label.str());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseDifferentialTest, MatchesDenseOnTauMultiplierAndOverride) {
+  const diffusion::StatusMatrix statuses = SimulatedStatuses(60, 120, 0.02, 7);
+  for (double multiplier : {0.5, 1.0, 2.0}) {
+    TendsOptions options;
+    options.tau_multiplier = multiplier;
+    ExpectSparseEqualsDense(statuses, options,
+                            "tau_multiplier=" + std::to_string(multiplier));
+  }
+  for (double override_value : {0.0, 0.01}) {
+    TendsOptions options;
+    options.tau_override = override_value;
+    ExpectSparseEqualsDense(statuses, options,
+                            "tau_override=" + std::to_string(override_value));
+  }
+}
+
+TEST(SparseDifferentialTest, MatchesDenseOnDegenerateInputs) {
+  // Hand-built corner cases: an all-zero column (isolated node), an
+  // all-one column, an all-infected process and an empty process.
+  const diffusion::StatusMatrix statuses = MakeStatuses({
+      {1, 0, 1, 0, 1, 1},
+      {1, 1, 0, 0, 0, 1},
+      {1, 1, 1, 0, 1, 1},
+      {0, 0, 0, 0, 0, 0},
+      {1, 0, 1, 0, 0, 1},
+      {1, 1, 0, 0, 1, 0},
+  });
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  ExpectSparseEqualsDense(statuses, options, "degenerate columns");
+  // All-infected matrix: every pair fully co-occurs, zero IMI everywhere.
+  diffusion::StatusMatrix saturated(8, 5);
+  for (uint32_t p = 0; p < 8; ++p) {
+    for (uint32_t v = 0; v < 5; ++v) saturated.Set(p, v, 1);
+  }
+  ExpectSparseEqualsDense(saturated, options, "all infected");
+}
+
+TEST(SparseDifferentialTest, SessionRunMatchesFreshSparseInfer) {
+  const diffusion::StatusMatrix statuses = SimulatedStatuses(70, 130, 0.0, 17);
+  InferenceSession session(statuses);
+  for (uint32_t num_threads : {1u, 8u}) {
+    for (double multiplier : {0.8, 1.0}) {
+      TendsOptions options;
+      options.candidate_mode = CandidateMode::kSparse;
+      options.reject_degenerate_columns = false;
+      options.num_threads = num_threads;
+      options.tau_multiplier = multiplier;
+      Tends fresh(options);
+      auto expected = fresh.InferFromStatuses(statuses);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      auto run = session.Run(options);
+      ASSERT_TRUE(run.ok()) << run.status();
+      ExpectBitIdentical(run->network, *expected, "session sparse");
+      EXPECT_EQ(std::bit_cast<uint64_t>(run->diagnostics.tau),
+                std::bit_cast<uint64_t>(fresh.diagnostics().tau));
+      EXPECT_EQ(std::bit_cast<uint64_t>(run->diagnostics.network_score),
+                std::bit_cast<uint64_t>(fresh.diagnostics().network_score));
+    }
+  }
+}
+
+TEST(SparseDifferentialTest, ValidateRejectsUnsupportedSparseCombinations) {
+  TendsOptions options;
+  options.candidate_mode = CandidateMode::kSparse;
+  EXPECT_TRUE(options.Validate().ok());
+
+  TendsOptions traditional = options;
+  traditional.use_traditional_mi = true;
+  EXPECT_TRUE(traditional.Validate().IsInvalidArgument());
+
+  TendsOptions unpruned = options;
+  unpruned.enable_pruning = false;
+  EXPECT_TRUE(unpruned.Validate().IsInvalidArgument());
+
+  TendsOptions negative_tau = options;
+  negative_tau.tau_override = -0.5;
+  EXPECT_TRUE(negative_tau.Validate().IsInvalidArgument());
+
+  TendsOptions zero_tau = options;
+  zero_tau.tau_override = 0.0;
+  EXPECT_TRUE(zero_tau.Validate().ok());
+}
+
+// The ISSUE acceptance gate: at n=2000 the on-disk network files written
+// by the two modes must be byte-equal, across the option grid.
+TEST(SparseDifferentialTest, OnDiskFilesByteEqualAtN2000) {
+  Rng rng(4242);
+  graph::PowerlawOptions graph_options;
+  graph_options.num_nodes = 2000;
+  graph_options.avg_degree = 3.0;
+  auto truth = graph::GeneratePowerlawHavelHakimi(graph_options, rng);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  const diffusion::StatusMatrix statuses =
+      SimulateUniform(*truth, 0.4, 128, 0.03, 8).statuses;
+
+  const std::string dir = ::testing::TempDir();
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  int grid_point = 0;
+  for (uint32_t max_candidates : {4u, 16u}) {
+    for (double multiplier : {0.8, 1.0}) {
+      for (uint32_t num_threads : {1u, 8u}) {
+        TendsOptions options;
+        options.max_candidates = max_candidates;
+        options.tau_multiplier = multiplier;
+        options.num_threads = num_threads;
+        options.reject_degenerate_columns = false;
+
+        options.candidate_mode = CandidateMode::kDense;
+        auto dense = Tends(options).InferFromStatuses(statuses);
+        ASSERT_TRUE(dense.ok()) << dense.status();
+        const std::string dense_path =
+            dir + "/dense_" + std::to_string(grid_point) + ".txt";
+        ASSERT_TRUE(WriteInferredNetworkFile(*dense, dense_path).ok());
+
+        options.candidate_mode = CandidateMode::kSparse;
+        auto sparse = Tends(options).InferFromStatuses(statuses);
+        ASSERT_TRUE(sparse.ok()) << sparse.status();
+        const std::string sparse_path =
+            dir + "/sparse_" + std::to_string(grid_point) + ".txt";
+        ASSERT_TRUE(WriteInferredNetworkFile(*sparse, sparse_path).ok());
+
+        const std::string dense_bytes = file_bytes(dense_path);
+        ASSERT_FALSE(dense_bytes.empty());
+        EXPECT_EQ(dense_bytes, file_bytes(sparse_path))
+            << "k=" << max_candidates << " mult=" << multiplier
+            << " threads=" << num_threads;
+        ++grid_point;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tends::inference

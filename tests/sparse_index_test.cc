@@ -1,0 +1,332 @@
+#include "inference/sparse_candidates.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "inference/counting.h"
+#include "inference/imi.h"
+#include "inference/kmeans_threshold.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+diffusion::StatusMatrix RandomStatuses(uint32_t beta, uint32_t n,
+                                       double density, uint64_t seed) {
+  Rng rng(seed);
+  diffusion::StatusMatrix matrix(beta, n);
+  for (uint32_t p = 0; p < beta; ++p) {
+    for (uint32_t v = 0; v < n; ++v) {
+      matrix.Set(p, v, rng.NextBernoulli(density) ? 1 : 0);
+    }
+  }
+  return matrix;
+}
+
+// ------------------------------------------------------- inverted index
+
+// The inverted index must be the exact row view of the packed columns:
+// process p's list is the ascending ids of the nodes infected in p.
+// Exercised across word-boundary process counts (1, 63, 64, 65, 129).
+TEST(SparseInvertedIndexTest, MatchesNaiveRowScanAcrossWordBoundaries) {
+  for (uint32_t beta : {1u, 63u, 64u, 65u, 129u}) {
+    for (double density : {0.0, 0.07, 0.5, 1.0}) {
+      const diffusion::StatusMatrix statuses =
+          RandomStatuses(beta, 37, density, 1000 + beta);
+      const PackedStatuses packed(statuses);
+      const InvertedStatusIndex index(packed);
+      ASSERT_EQ(index.num_processes(), beta);
+      uint64_t total = 0;
+      for (uint32_t p = 0; p < beta; ++p) {
+        std::vector<uint32_t> expected;
+        for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+          if (statuses.Get(p, v) != 0) expected.push_back(v);
+        }
+        ASSERT_EQ(index.Size(p), expected.size())
+            << "beta=" << beta << " density=" << density << " p=" << p;
+        for (uint32_t e = 0; e < expected.size(); ++e) {
+          EXPECT_EQ(index.Nodes(p)[e], expected[e]);
+        }
+        total += expected.size();
+      }
+      EXPECT_EQ(index.total_infections(), total);
+    }
+  }
+}
+
+// --------------------------------------------------------- sparse index
+
+SparseCandidateIndex BuildWith(const diffusion::StatusMatrix& statuses,
+                               SparseRowStrategy strategy,
+                               uint32_t num_threads = 1) {
+  const PackedStatuses packed(statuses);
+  SparseCandidateOptions options;
+  options.num_threads = num_threads;
+  options.strategy = strategy;
+  return BuildSparseCandidateIndex(packed, packed.InfectedCounts(), options);
+}
+
+/// The index must hold exactly the pairs with co-infection and strictly
+/// positive infection MI, with values bit-identical to the dense matrix.
+void ExpectMatchesDenseOracle(const diffusion::StatusMatrix& statuses,
+                              const SparseCandidateIndex& index) {
+  const uint32_t n = statuses.num_nodes();
+  const PackedStatuses packed(statuses);
+  const ImiMatrix dense(packed, /*use_traditional_mi=*/false);
+  ASSERT_EQ(index.num_nodes(), n);
+  ASSERT_EQ(index.num_processes(), statuses.num_processes());
+  for (uint32_t i = 0; i < n; ++i) {
+    const SparseCandidateIndex::RowView row = index.Row(i);
+    // Rows are strictly ascending by neighbor, never self-referential.
+    for (size_t e = 0; e + 1 < row.size; ++e) {
+      ASSERT_LT(row.neighbors[e], row.neighbors[e + 1]);
+    }
+    size_t cursor = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const PairCounts counts = packed.CountPair(i, j);
+      const double dense_value = dense.Get(i, j);
+      const bool expected_present = counts.c11 > 0 && dense_value > 0.0;
+      const bool present = cursor < row.size && row.neighbors[cursor] == j;
+      ASSERT_EQ(present, expected_present)
+          << "pair (" << i << ", " << j << "): c11=" << counts.c11
+          << " imi=" << dense_value;
+      if (present) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(row.values[cursor]),
+                  std::bit_cast<uint64_t>(dense_value))
+            << "pair (" << i << ", " << j << ")";
+        EXPECT_EQ(std::bit_cast<uint64_t>(index.Get(i, j)),
+                  std::bit_cast<uint64_t>(dense_value));
+        // Symmetry: the mirrored entry stores the same double.
+        EXPECT_EQ(std::bit_cast<uint64_t>(index.Get(j, i)),
+                  std::bit_cast<uint64_t>(dense_value));
+        ++cursor;
+      } else {
+        EXPECT_EQ(index.Get(i, j), 0.0);
+      }
+    }
+    ASSERT_EQ(cursor, row.size) << "row " << i << " holds extra entries";
+  }
+}
+
+TEST(SparseIndexTest, MatchesDenseOracleOnRandomMatrices) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (double density : {0.05, 0.3, 0.8}) {
+      const diffusion::StatusMatrix statuses =
+          RandomStatuses(90, 45, density, seed);
+      for (SparseRowStrategy strategy :
+           {SparseRowStrategy::kAuto, SparseRowStrategy::kMergeOnly,
+            SparseRowStrategy::kPopcountOnly}) {
+        ExpectMatchesDenseOracle(statuses, BuildWith(statuses, strategy));
+      }
+    }
+  }
+}
+
+TEST(SparseIndexTest, HandlesDegenerateColumnsAndProcesses) {
+  using ::tends::testing::MakeStatuses;
+  // Node 0: all-one column; node 3: all-zero column (isolated); process 2:
+  // all-infected; process 3: empty.
+  const diffusion::StatusMatrix statuses = MakeStatuses({
+      {1, 0, 1, 0, 1},
+      {1, 1, 0, 0, 0},
+      {1, 1, 1, 0, 1},
+      {0, 0, 0, 0, 0},
+      {1, 0, 1, 0, 0},
+  });
+  for (SparseRowStrategy strategy :
+       {SparseRowStrategy::kAuto, SparseRowStrategy::kMergeOnly,
+        SparseRowStrategy::kPopcountOnly}) {
+    const SparseCandidateIndex index = BuildWith(statuses, strategy);
+    ExpectMatchesDenseOracle(statuses, index);
+    // The all-zero column never co-occurs: its row must be empty.
+    EXPECT_EQ(index.Row(3).size, 0u);
+  }
+}
+
+// Both row strategies and any thread count must produce byte-identical
+// indexes — the cost model may only shift time.
+TEST(SparseIndexTest, StrategiesAndThreadCountsAreByteIdentical) {
+  const diffusion::StatusMatrix statuses = RandomStatuses(129, 64, 0.2, 99);
+  const SparseCandidateIndex reference =
+      BuildWith(statuses, SparseRowStrategy::kMergeOnly, 1);
+  for (SparseRowStrategy strategy :
+       {SparseRowStrategy::kAuto, SparseRowStrategy::kPopcountOnly}) {
+    for (uint32_t num_threads : {1u, 8u}) {
+      const SparseCandidateIndex other =
+          BuildWith(statuses, strategy, num_threads);
+      ASSERT_EQ(other.num_entries(), reference.num_entries());
+      for (uint32_t i = 0; i < reference.num_nodes(); ++i) {
+        const auto a = reference.Row(i);
+        const auto b = other.Row(i);
+        ASSERT_EQ(a.size, b.size) << "row " << i;
+        for (size_t e = 0; e < a.size; ++e) {
+          EXPECT_EQ(a.neighbors[e], b.neighbors[e]);
+          EXPECT_EQ(std::bit_cast<uint64_t>(a.values[e]),
+                    std::bit_cast<uint64_t>(b.values[e]));
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseIndexTest, StatsPartitionTheOrderedPairs) {
+  const uint32_t n = 45;
+  const diffusion::StatusMatrix statuses = RandomStatuses(70, n, 0.1, 5);
+  for (SparseRowStrategy strategy :
+       {SparseRowStrategy::kAuto, SparseRowStrategy::kMergeOnly,
+        SparseRowStrategy::kPopcountOnly}) {
+    const SparseCandidateIndex index = BuildWith(statuses, strategy);
+    const SparseIndexStats& stats = index.stats();
+    EXPECT_EQ(stats.pairs_visited + stats.pairs_skipped,
+              static_cast<uint64_t>(n) * (n - 1));
+    EXPECT_EQ(stats.merge_rows + stats.popcount_rows, n);
+    // Visited pairs are exactly the co-occurring ones — strategy-invariant.
+    const PackedStatuses packed(statuses);
+    uint64_t co_occurring = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (j != i && packed.CountPair(i, j).c11 > 0) ++co_occurring;
+      }
+    }
+    EXPECT_EQ(stats.pairs_visited, co_occurring);
+  }
+  EXPECT_EQ(BuildWith(statuses, SparseRowStrategy::kMergeOnly)
+                .stats()
+                .popcount_rows,
+            0u);
+  EXPECT_EQ(BuildWith(statuses, SparseRowStrategy::kPopcountOnly)
+                .stats()
+                .merge_rows,
+            0u);
+}
+
+// The sparse K-means overload must reproduce the dense threshold exactly
+// except for noise_count, which loses the non-positive pairs the index
+// never stores (see kmeans_threshold.h).
+TEST(SparseIndexTest, KmeansThresholdMatchesDenseExceptNoiseCount) {
+  for (uint64_t seed : {11u, 12u}) {
+    const diffusion::StatusMatrix statuses = RandomStatuses(150, 60, 0.2, seed);
+    const PackedStatuses packed(statuses);
+    const ImiMatrix dense(packed, /*use_traditional_mi=*/false);
+    const SparseCandidateIndex sparse =
+        BuildWith(statuses, SparseRowStrategy::kAuto);
+    const ImiThreshold from_dense = FindImiThreshold(dense);
+    const ImiThreshold from_sparse = FindImiThreshold(sparse);
+    EXPECT_EQ(std::bit_cast<uint64_t>(from_dense.tau),
+              std::bit_cast<uint64_t>(from_sparse.tau));
+    EXPECT_EQ(std::bit_cast<uint64_t>(from_dense.signal_mean),
+              std::bit_cast<uint64_t>(from_sparse.signal_mean));
+    EXPECT_EQ(from_dense.signal_count, from_sparse.signal_count);
+    EXPECT_EQ(from_dense.iterations, from_sparse.iterations);
+    // Dense clusters every non-negative upper-triangle value; sparse only
+    // the strictly positive ones. The difference is exactly the zero /
+    // negative-dropped complement.
+    EXPECT_GE(from_dense.noise_count, from_sparse.noise_count);
+    const size_t positive = sparse.PositiveUpperTriangleValues().size();
+    EXPECT_EQ(from_sparse.noise_count + from_sparse.signal_count, positive);
+  }
+}
+
+TEST(SparseIndexTest, AllNonPositiveMatrixYieldsEmptyIndexAndZeroTau) {
+  using ::tends::testing::MakeStatuses;
+  // Perfectly anti-correlated pair plus an empty node: every IMI <= 0.
+  const diffusion::StatusMatrix statuses = MakeStatuses({
+      {1, 0, 0},
+      {0, 1, 0},
+      {1, 0, 0},
+      {0, 1, 0},
+  });
+  const SparseCandidateIndex index =
+      BuildWith(statuses, SparseRowStrategy::kAuto);
+  EXPECT_EQ(index.num_entries(), 0u);
+  const ImiThreshold threshold = FindImiThreshold(index);
+  EXPECT_EQ(threshold.tau, 0.0);
+  EXPECT_EQ(threshold.iterations, 0u);
+}
+
+// ---------------------------------------------------------- top-k heap
+
+/// Oracle top-k: full sort under the (value desc, id asc) ranking.
+std::vector<graph::NodeId> OracleTopK(
+    std::vector<std::pair<double, graph::NodeId>> entries, uint32_t k) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  if (entries.size() > k) entries.resize(k);
+  std::vector<graph::NodeId> ids;
+  for (const auto& [value, id] : entries) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SparseHeapTest, MatchesFullSortOracleOnRandomStreams) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t k = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+    const uint32_t count = static_cast<uint32_t>(rng.NextBounded(40));
+    std::vector<std::pair<double, graph::NodeId>> entries;
+    TopKCandidateHeap heap(k);
+    for (uint32_t e = 0; e < count; ++e) {
+      // Coarse values force plenty of exact ties.
+      const double value = static_cast<double>(rng.NextBounded(6)) * 0.25;
+      const graph::NodeId id = static_cast<graph::NodeId>(e);
+      entries.emplace_back(value, id);
+      heap.Push(value, id);
+    }
+    EXPECT_EQ(heap.SortedIds(), OracleTopK(entries, k)) << "trial " << trial;
+  }
+}
+
+TEST(SparseHeapTest, AdversarialTiesKeepSmallestIds) {
+  // All values identical: the (value desc, id asc) order must retain
+  // exactly the k smallest ids no matter the arrival order.
+  TopKCandidateHeap heap(3);
+  for (graph::NodeId id : {9u, 1u, 7u, 0u, 8u, 2u, 5u}) {
+    heap.Push(0.5, id);
+  }
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{0, 1, 2}));
+}
+
+TEST(SparseHeapTest, NeverEvictsAStrictlyBetterCandidate) {
+  TopKCandidateHeap heap(2);
+  heap.Push(3.0, 10);
+  heap.Push(2.0, 20);
+  // Worse than both: must be rejected, not swapped in.
+  heap.Push(1.0, 1);
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{10, 20}));
+  // Better than the current worst: evicts exactly the worst.
+  heap.Push(2.5, 30);
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{10, 30}));
+  // Equal value, higher id than the worst: ranks below it, rejected.
+  heap.Push(2.5, 40);
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{10, 30}));
+  // Equal value, lower id than the worst: ranks above it, evicts it.
+  heap.Push(2.5, 25);
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{10, 25}));
+}
+
+TEST(SparseHeapTest, UnderfilledAndZeroCapacityEdges) {
+  TopKCandidateHeap empty(0);
+  empty.Push(1.0, 1);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.SortedIds().empty());
+
+  TopKCandidateHeap heap(5);
+  heap.Push(1.0, 2);
+  heap.Push(4.0, 1);
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.SortedIds(), (std::vector<graph::NodeId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace tends::inference

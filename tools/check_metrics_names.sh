@@ -61,7 +61,11 @@ tends.mem.packed_statuses_bytes
 tends.mem.pair_counts_bytes
 tends.mem.imi_matrix_bytes
 tends.mem.marginal_counts_bytes
+tends.mem.sparse_index_bytes
+tends.mem.sparse_inverted_index_bytes
 tends.mem.checkpoint_buffer_bytes
+tends.counting.pairs_visited
+tends.counting.pairs_skipped
 tends.trace.dropped_spans
 "
 for name in $required_names; do

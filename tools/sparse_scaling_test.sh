@@ -1,0 +1,119 @@
+#!/bin/sh
+# Scaling smoke for the sparse candidate pipeline.
+#
+# At n=20000 a dense run would allocate two n^2 double matrices (~3.2 GB
+# each); this test proves the sparse mode never does. It runs the full
+# generate -> simulate -> infer pipeline with --candidate_mode=sparse and
+# asserts from the --verbose memory gauges that
+#   (a) no dense artifact gauge (imi_matrix_bytes / pair_counts_bytes) was
+#       ever registered, and
+#   (b) the sparse index stayed at least 10x below the dense n^2*8 floor.
+# A second leg cuts the run with an expired deadline, then resumes from
+# the flushed checkpoint with sparse mode and requires the resumed network
+# to be byte-identical to the uninterrupted baseline.
+#
+# Usage: sparse_scaling_test.sh <tends_cli-binary> <workdir>
+set -eu
+
+CLI="$1"
+WORKDIR="$2"
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+cd "$WORKDIR"
+
+N=20000
+
+"$CLI" generate --type=powerlaw --n=$N --avg_degree=3 --out=graph.txt \
+  --seed=7 > gen.out 2>&1
+# Low alpha keeps cascades sparse, which is the regime the inverted index
+# is built for (and keeps the smoke fast).
+"$CLI" simulate --graph=graph.txt --model=ic --beta=96 --alpha=0.0025 \
+  --out=cascades.tsv --statuses_out=statuses.tsv --seed=7 > sim.out 2>&1
+
+# --- Leg 1: uninterrupted sparse run, memory-shape assertions ------------
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_base.tsv \
+  --candidate_mode=sparse --max_candidates=8 --allow_degenerate_columns --threads=4 --verbose \
+  --metrics_out=metrics.json > base.out 2>&1
+
+MEMLINE=$(grep '^memory:' base.out || true)
+if [ -z "$MEMLINE" ]; then
+  echo "no memory gauge line in --verbose output" >&2
+  exit 1
+fi
+
+if grep -q '"metrics_enabled": *true' metrics.json; then
+  case "$MEMLINE" in
+    *imi_matrix_bytes=*)
+      echo "sparse run registered the dense IMI matrix gauge: $MEMLINE" >&2
+      exit 1 ;;
+  esac
+  case "$MEMLINE" in
+    *pair_counts_bytes=*)
+      echo "sparse run registered the dense pair-count gauge: $MEMLINE" >&2
+      exit 1 ;;
+  esac
+  for gauge in sparse_index_bytes sparse_inverted_index_bytes \
+               marginal_counts_bytes packed_statuses_bytes; do
+    case "$MEMLINE" in
+      *"$gauge"=*) ;;
+      *)
+        echo "sparse run is missing the $gauge gauge: $MEMLINE" >&2
+        exit 1 ;;
+    esac
+  done
+
+  SPARSE_BYTES=$(printf '%s\n' "$MEMLINE" \
+    | sed -n 's/.*sparse_index_bytes=\([0-9][0-9]*\).*/\1/p')
+  DENSE_FLOOR=$((N * N * 8 / 10))
+  if [ "$SPARSE_BYTES" -ge "$DENSE_FLOOR" ]; then
+    echo "sparse index is $SPARSE_BYTES bytes, not 10x below the dense" \
+         "n^2*8 footprint (floor $DENSE_FLOOR)" >&2
+    exit 1
+  fi
+
+  # The counting instrumentation must have actually run (and skipped the
+  # zero-co-infection bulk rather than visiting every ordered pair).
+  grep -q '"tends.counting.pairs_visited": *[1-9]' metrics.json || {
+    echo "expected tends.counting.pairs_visited > 0 in metrics.json" >&2
+    exit 1
+  }
+  grep -q '"tends.counting.pairs_skipped": *[1-9]' metrics.json || {
+    echo "expected tends.counting.pairs_skipped > 0 in metrics.json" >&2
+    exit 1
+  }
+else
+  echo "metrics compiled out; skipping gauge-shape assertions" >&2
+fi
+
+# --- Leg 2: SIGKILL mid-run + sparse resume is byte-identical ------------
+# Kill the single-threaded victim as soon as its first checkpoint flush
+# lands (the file only ever exists in complete, renamed-into-place form).
+# If the victim finishes before the kill, the checkpoint is complete
+# rather than partial — the resume assertions hold either way.
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_killed.tsv \
+  --candidate_mode=sparse --max_candidates=8 --allow_degenerate_columns \
+  --threads=1 --checkpoint_dir=ck --checkpoint_every_nodes=64 \
+  > killed.out 2>&1 &
+VICTIM=$!
+TRIES=0
+while [ ! -f ck/tends.checkpoint ] && [ "$TRIES" -lt 2000 ]; do
+  kill -0 "$VICTIM" 2>/dev/null || break
+  sleep 0.01
+  TRIES=$((TRIES + 1))
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+if [ ! -f ck/tends.checkpoint ]; then
+  echo "killed sparse run never flushed a checkpoint" >&2
+  exit 1
+fi
+"$CLI" infer --algorithm=tends --statuses=statuses.tsv --out=net_resumed.tsv \
+  --candidate_mode=sparse --max_candidates=8 --allow_degenerate_columns \
+  --threads=4 --checkpoint_dir=ck --resume > resumed.out 2>&1
+cmp net_base.tsv net_resumed.tsv || {
+  echo "sparse resume diverged from the uninterrupted sparse baseline" >&2
+  exit 1
+}
+
+echo "sparse-scaling: OK (n=$N sparse run, no dense gauges, resume identical)"

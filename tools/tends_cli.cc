@@ -39,6 +39,7 @@
 #include "graph/generators/configuration.h"
 #include "graph/generators/erdos_renyi.h"
 #include "graph/generators/lfr.h"
+#include "graph/generators/powerlaw.h"
 #include "graph/generators/watts_strogatz.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -123,6 +124,20 @@ uint32_t ResolveThreadsFlag(const FlagParser& parser, uint32_t threads,
   return parser.WasSet("threads") ? threads : deprecated;
 }
 
+/// Parses the shared `--candidate_mode` spelling of infer/sweep.
+Status ParseCandidateModeFlag(const std::string& mode,
+                              inference::CandidateMode* out) {
+  if (mode == "dense") {
+    *out = inference::CandidateMode::kDense;
+  } else if (mode == "sparse") {
+    *out = inference::CandidateMode::kSparse;
+  } else {
+    return Status::InvalidArgument(
+        "--candidate_mode must be 'dense' or 'sparse', got '" + mode + "'");
+  }
+  return Status::OK();
+}
+
 /// Parses the shared `--model` spelling of simulate/experiment.
 Status ParseModelFlag(const std::string& model,
                       diffusion::DiffusionModel* out) {
@@ -155,15 +170,20 @@ int RunGenerate(int argc, const char* const* argv) {
   uint32_t communities = 10;
   double intra = 0.9;
   double reciprocal = 0.0;
+  double exponent = 2.5;
+  uint32_t min_degree = 1;
+  uint32_t max_degree = 0;
   int64_t seed = 42;
 
   FlagParser parser(
       "tends_cli generate: write a synthetic diffusion network as an edge "
-      "list.\nTypes: lfr, er (G(n,m)), ba, ws, chunglu, netsci, dunf.");
+      "list.\nTypes: lfr, er (G(n,m)), ba, ws, chunglu, powerlaw, netsci, "
+      "dunf.");
   parser.AddString("type", &type, "generator type");
   parser.AddString("out", &out, "output edge-list path");
   parser.AddUint32("n", &n, "number of nodes");
-  parser.AddDouble("avg_degree", &avg_degree, "lfr: target average degree");
+  parser.AddDouble("avg_degree", &avg_degree,
+                   "lfr/powerlaw: target average degree");
   parser.AddDouble("t", &t, "lfr: paper's degree-dispersion parameter T");
   parser.AddDouble("mixing", &mixing, "lfr: cross-community edge fraction");
   parser.AddDouble("probability", &probability, "er: unused; ws: unused");
@@ -174,7 +194,13 @@ int RunGenerate(int argc, const char* const* argv) {
   parser.AddUint32("communities", &communities, "chunglu: community count");
   parser.AddDouble("intra", &intra, "chunglu: intra-community fraction");
   parser.AddDouble("reciprocal", &reciprocal,
-                   "chunglu: mutual-pair edge fraction");
+                   "chunglu/powerlaw: mutual-pair edge fraction");
+  parser.AddDouble("exponent", &exponent,
+                   "powerlaw: degree-distribution exponent");
+  parser.AddUint32("min_degree", &min_degree, "powerlaw: degree lower bound");
+  parser.AddUint32("max_degree", &max_degree,
+                   "powerlaw: degree upper bound (0 = structural cutoff "
+                   "sqrt(n * avg_degree))");
   parser.AddInt64("seed", &seed, "random seed");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
@@ -206,6 +232,15 @@ int RunGenerate(int argc, const char* const* argv) {
     options.intra_fraction = intra;
     options.reciprocal_fraction = reciprocal;
     result = graph::GenerateChungLuCommunity(options, rng);
+  } else if (type == "powerlaw") {
+    graph::PowerlawOptions options;
+    options.num_nodes = n;
+    options.exponent = exponent;
+    options.avg_degree = avg_degree;
+    options.min_degree = min_degree;
+    options.max_degree = max_degree;
+    options.reciprocal_fraction = reciprocal;
+    result = graph::GeneratePowerlawHavelHakimi(options, rng);
   } else if (type == "netsci") {
     result = graph::MakeNetSciSurrogate();
   } else if (type == "dunf") {
@@ -334,6 +369,7 @@ int RunInfer(int argc, const char* const* argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string counting_kernel = "packed";
+  std::string candidate_mode = "dense";
   std::string checkpoint_dir;
   int64_t num_edges = 0;
   int64_t deadline_ms = 0;
@@ -341,10 +377,12 @@ int RunInfer(int argc, const char* const* argv) {
   int64_t checkpoint_every_ms = 2000;
   double tau_multiplier = 1.0;
   bool traditional_mi = false;
+  bool allow_degenerate_columns = false;
   bool progress = false;
   bool verbose = false;
   bool resume = false;
   uint32_t em_iterations = 4;
+  uint32_t max_candidates = 16;
   uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
   uint32_t deprecated_num_threads = 0;
@@ -389,6 +427,18 @@ int RunInfer(int argc, const char* const* argv) {
                    "tends: sufficient-statistics kernel, 'packed' "
                    "(bit-parallel, default) or 'naive' (reference oracle); "
                    "both produce byte-identical networks");
+  parser.AddString("candidate_mode", &candidate_mode,
+                   "tends: candidate generation, 'dense' (n x n IMI matrix, "
+                   "default) or 'sparse' (inverted-index positive-IMI rows, "
+                   "O(nnz) memory); both produce byte-identical networks");
+  parser.AddUint32("max_candidates", &max_candidates,
+                   "tends: cap on a node's candidate-parent set (highest-IMI "
+                   "candidates kept when more pass the threshold)");
+  parser.AddBool("allow_degenerate_columns", &allow_degenerate_columns,
+                 "tends: accept nodes that are infected in all or none of "
+                 "the processes (their parent sets are unidentifiable and "
+                 "come back empty) instead of rejecting the input; the "
+                 "normal regime for large sparse simulations");
   parser.AddString("checkpoint_dir", &checkpoint_dir,
                    "tends: durably checkpoint completed per-node results "
                    "into this directory (crash-safe atomic writes); a "
@@ -457,6 +507,9 @@ int RunInfer(int argc, const char* const* argv) {
       {"tau_multiplier", StrFormat("%g", tau_multiplier)},
       {"traditional_mi", traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
+      {"candidate_mode", candidate_mode},
+      {"max_candidates", StrFormat("%u", max_candidates)},
+      {"allow_degenerate_columns", allow_degenerate_columns ? "true" : "false"},
       {"checkpoint_dir", checkpoint_dir},
       {"resume", resume ? "true" : "false"},
       {"em_iterations", StrFormat("%u", em_iterations)},
@@ -521,6 +574,10 @@ int RunInfer(int argc, const char* const* argv) {
     options.tau_multiplier = tau_multiplier;
     options.use_traditional_mi = traditional_mi;
     options.num_threads = threads;
+    options.max_candidates = max_candidates;
+    options.reject_degenerate_columns = !allow_degenerate_columns;
+    status = ParseCandidateModeFlag(candidate_mode, &options.candidate_mode);
+    if (!status.ok()) return FailWith(status);
     options.search.kernel = counting_kernel == "naive"
                                 ? inference::CountingKernel::kNaive
                                 : inference::CountingKernel::kPacked;
@@ -747,6 +804,7 @@ int RunSweep(int argc, const char* const* argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string counting_kernel = "packed";
+  std::string candidate_mode = "dense";
   std::string multipliers_csv = "0.4,0.6,0.8,1.0,1.2,1.6,2.0";
   std::string checkpoint_dir;
   bool include_traditional_mi = false;
@@ -792,6 +850,10 @@ int RunSweep(int argc, const char* const* argv) {
                    "(open in Perfetto or chrome://tracing)");
   parser.AddString("counting_kernel", &counting_kernel,
                    "sufficient-statistics kernel: 'packed' or 'naive'");
+  parser.AddString("candidate_mode", &candidate_mode,
+                   "candidate generation for every run: 'dense' or 'sparse' "
+                   "(byte-identical results; sparse excludes "
+                   "--include_traditional_mi)");
   parser.AddString("checkpoint_dir", &checkpoint_dir,
                    "durably checkpoint each run's completed per-node "
                    "results into this directory (one run<index>.checkpoint "
@@ -832,6 +894,15 @@ int RunSweep(int argc, const char* const* argv) {
     return FailWith(Status::InvalidArgument(
         "--counting_kernel must be 'packed' or 'naive', got '" +
         counting_kernel + "'"));
+  }
+  inference::CandidateMode parsed_candidate_mode;
+  status = ParseCandidateModeFlag(candidate_mode, &parsed_candidate_mode);
+  if (!status.ok()) return FailWith(status);
+  if (parsed_candidate_mode == inference::CandidateMode::kSparse &&
+      include_traditional_mi) {
+    return FailWith(Status::InvalidArgument(
+        "--candidate_mode=sparse excludes --include_traditional_mi (the "
+        "sparse index only supports infection MI)"));
   }
   std::vector<double> multipliers;
   for (std::string_view field : Split(multipliers_csv, ',')) {
@@ -882,6 +953,7 @@ int RunSweep(int argc, const char* const* argv) {
       options.tau_multiplier = multiplier;
       options.use_traditional_mi = traditional != 0;
       options.num_threads = threads;
+      options.candidate_mode = parsed_candidate_mode;
       options.search.kernel = counting_kernel == "naive"
                                   ? inference::CountingKernel::kNaive
                                   : inference::CountingKernel::kPacked;
@@ -944,6 +1016,7 @@ int RunSweep(int argc, const char* const* argv) {
       {"tau_multipliers", multipliers_csv},
       {"include_traditional_mi", include_traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
+      {"candidate_mode", candidate_mode},
       {"checkpoint_dir", checkpoint_dir},
       {"resume", resume ? "true" : "false"},
       {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
