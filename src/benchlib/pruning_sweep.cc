@@ -41,7 +41,7 @@ int RunPruningSweepBench(const std::string& title,
   }
   // Traditional-MI ablation at the auto threshold.
   inference::TendsOptions traditional;
-  traditional.use_traditional_mi = true;
+  traditional.mi_variant = inference::MiVariant::kTraditional;
   labels.push_back("1.0*tau (traditional MI)");
   runs.push_back(traditional);
 

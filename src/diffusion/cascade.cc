@@ -59,6 +59,17 @@ uint32_t StatusMatrix::InfectionCount(graph::NodeId node) const {
   return count;
 }
 
+void StatusMatrix::AppendRows(const StatusMatrix& chunk) {
+  if (num_processes_ == 0 && num_nodes_ == 0) {
+    num_nodes_ = chunk.num_nodes_;
+  }
+  TENDS_CHECK(chunk.num_nodes_ == num_nodes_)
+      << "appended chunk covers " << chunk.num_nodes_
+      << " nodes, this matrix covers " << num_nodes_;
+  data_.insert(data_.end(), chunk.data_.begin(), chunk.data_.end());
+  num_processes_ += chunk.num_processes_;
+}
+
 StatusMatrix StatusesFromCascades(const std::vector<Cascade>& cascades) {
   if (cascades.empty()) return StatusMatrix();
   const uint32_t n = static_cast<uint32_t>(cascades[0].infection_time.size());

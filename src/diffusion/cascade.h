@@ -89,6 +89,13 @@ class StatusMatrix {
   /// Number of processes in which `node` ended up infected.
   uint32_t InfectionCount(graph::NodeId node) const;
 
+  /// Appends every process row of `chunk` after this matrix's rows (the
+  /// streaming-ingest primitive behind InferenceSession::AppendStatuses).
+  /// Both matrices must cover the same node set; the result is byte-for-byte
+  /// the row-major concatenation of the two observation sets. An empty
+  /// `this` (default-constructed) adopts the chunk's node count.
+  void AppendRows(const StatusMatrix& chunk);
+
  private:
   uint32_t num_processes_ = 0;
   uint32_t num_nodes_ = 0;

@@ -59,7 +59,10 @@ uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
   h.F64(options.tau_multiplier);
   h.U64(options.tau_override.has_value() ? 1 : 0);
   h.F64(options.tau_override.value_or(0.0));
-  h.U64(options.use_traditional_mi ? 1 : 0);
+  // Hash the resolved variant as the 0/1 the deprecated bool used to
+  // contribute, so the MiVariant migration does not invalidate existing
+  // checkpoints of equivalent configurations.
+  h.U64(IsTraditionalMi(options.ResolvedMiVariant()) ? 1 : 0);
   h.U64(options.max_candidates);
   h.U64(options.reject_degenerate_columns ? 1 : 0);
   h.U64(options.search.max_combination_size);

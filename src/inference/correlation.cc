@@ -21,7 +21,9 @@ StatusOr<InferredNetwork> CorrelationBaseline::Infer(
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
       observations.statuses, /*reject_degenerate_columns=*/false));
   const uint32_t n = observations.num_nodes();
-  ImiMatrix imi(observations.statuses, options_.use_traditional_mi);
+  ImiMatrix imi(observations.statuses, options_.use_traditional_mi
+                                           ? MiVariant::kTraditional
+                                           : MiVariant::kInfection);
   TENDS_METRIC_ADD(metrics, "tends.correlation.pairs",
                    static_cast<uint64_t>(n) * (n - 1) / 2);
   // Per-node deadline check: rows already ranked stay in the output.

@@ -235,6 +235,43 @@ PackedStatuses::PackedStatuses(uint32_t num_processes, uint32_t num_nodes)
   words_.assign(static_cast<size_t>(num_nodes_) * words_per_node_, 0);
 }
 
+void PackedStatuses::Append(const PackedStatuses& chunk) {
+  TENDS_CHECK(chunk.num_nodes_ == num_nodes_)
+      << "appended chunk covers " << chunk.num_nodes_
+      << " nodes, packed columns cover " << num_nodes_;
+  const uint32_t new_processes = num_processes_ + chunk.num_processes_;
+  const uint32_t new_words_per_node = (new_processes + 63) / 64;
+  // The first appended process lands at bit `shift` of word `base_word`;
+  // chunk word w therefore contributes its low bits to word base_word + w
+  // and (when shift > 0) its high bits to word base_word + w + 1. Chunk pad
+  // bits are zero by invariant, so the splice never smears garbage into the
+  // new pad region.
+  const uint32_t base_word = num_processes_ >> 6;
+  const uint32_t shift = num_processes_ & 63;
+  std::vector<uint64_t> merged(
+      static_cast<size_t>(num_nodes_) * new_words_per_node, 0);
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    uint64_t* out = merged.data() + static_cast<size_t>(v) * new_words_per_node;
+    const uint64_t* old_column = Column(v);
+    for (uint32_t w = 0; w < words_per_node_; ++w) out[w] = old_column[w];
+    const uint64_t* chunk_column = chunk.Column(v);
+    for (uint32_t w = 0; w < chunk.words_per_node_; ++w) {
+      const uint64_t bits = chunk_column[w];
+      out[base_word + w] |= bits << shift;
+      if (shift != 0 && base_word + w + 1 < new_words_per_node) {
+        out[base_word + w + 1] |= bits >> (64 - shift);
+      }
+    }
+  }
+  words_ = std::move(merged);
+  num_processes_ = new_processes;
+  words_per_node_ = new_words_per_node;
+}
+
+void PackedStatuses::Append(const diffusion::StatusMatrix& chunk) {
+  Append(PackedStatuses(chunk));
+}
+
 uint64_t PackedStatuses::PadMask(uint32_t w) const {
   if (w + 1 < words_per_node_) return ~uint64_t{0};
   const uint32_t valid = num_processes_ - 64 * (words_per_node_ - 1);
@@ -569,6 +606,101 @@ JointCounts IncrementalJointCounter::Count(
       }
     }
     EmitSparse(sparse, counts);
+  }
+  counts.num_unobserved = counts.num_possible - counts.num_observed();
+  return counts;
+}
+
+CandidateCube::CandidateCube(const diffusion::StatusMatrix& statuses,
+                             graph::NodeId child,
+                             std::vector<graph::NodeId> candidates)
+    : child_(child), candidates_(std::move(candidates)) {
+  TENDS_CHECK(candidates_.size() <= kMaxCubeCandidates)
+      << "candidate set too large for a cube: " << candidates_.size();
+  TENDS_CHECK(std::is_sorted(candidates_.begin(), candidates_.end()))
+      << "cube candidates must be sorted ascending";
+  cells_.assign((size_t{1} << candidates_.size()) * 2, 0);
+  AddRows(statuses, 0, statuses.num_processes());
+}
+
+void CandidateCube::AddRows(const diffusion::StatusMatrix& statuses,
+                            uint32_t begin_process, uint32_t end_process) {
+  TENDS_CHECK(begin_process == num_processes_)
+      << "non-contiguous cube append: cube covers " << num_processes_
+      << " processes, chunk starts at " << begin_process;
+  TENDS_CHECK(end_process >= begin_process &&
+              end_process <= statuses.num_processes())
+      << "cube append range [" << begin_process << ", " << end_process
+      << ") exceeds the " << statuses.num_processes() << "-process matrix";
+  const uint32_t k = static_cast<uint32_t>(candidates_.size());
+  for (uint32_t p = begin_process; p < end_process; ++p) {
+    const uint8_t* row = statuses.Row(p);
+    uint32_t code = 0;
+    for (uint32_t b = 0; b < k; ++b) {
+      code |= static_cast<uint32_t>(row[candidates_[b]] & 1) << b;
+    }
+    const uint32_t s = row[child_] & 1;
+    ++cells_[static_cast<size_t>(code) * 2 + s];
+    child_infected_ += s;
+  }
+  num_processes_ = end_process;
+}
+
+JointCounts CandidateCube::Count(
+    const std::vector<graph::NodeId>& parents) const {
+  const uint32_t k = static_cast<uint32_t>(candidates_.size());
+  const uint32_t m = static_cast<uint32_t>(parents.size());
+  // Both lists are sorted ascending, so one merge pass marks the kept
+  // positions — and guarantees the surviving positions read off in parent
+  // order, which is exactly the canonical bit encoding CountJoint uses.
+  bool keep[kMaxCubeCandidates] = {};
+  uint32_t matched = 0;
+  for (uint32_t b = 0, q = 0; b < k && q < m; ++b) {
+    if (candidates_[b] == parents[q]) {
+      keep[b] = true;
+      ++q;
+      ++matched;
+    }
+  }
+  TENDS_CHECK(matched == m)
+      << "cube queried with a parent set that is not a sorted subset of its "
+         "candidates";
+
+  // Marginalize out the dropped positions in place, highest first so every
+  // lower position keeps its bit index until its own turn. Removing index
+  // b from a d-dimensional cube maps compressed code c to sources
+  // (high|low) and (high|low|2^b); both are >= c, so ascending writes
+  // never clobber an unread cell. Total work is sum of the shrinking cube
+  // sizes: O(2^|C|), independent of beta.
+  scratch_.assign(cells_.begin(), cells_.end());
+  uint32_t d = k;
+  for (uint32_t b = k; b-- > 0;) {
+    if (keep[b]) continue;
+    const uint32_t low_mask = (1u << b) - 1;
+    const uint32_t half = 1u << (d - 1);
+    for (uint32_t c = 0; c < half; ++c) {
+      const uint32_t low = c & low_mask;
+      const uint32_t high = (c >> b) << (b + 1);
+      const size_t s0 = static_cast<size_t>(high | low) * 2;
+      const size_t s1 = s0 + (size_t{2} << b);
+      const uint32_t child0 = scratch_[s0] + scratch_[s1];
+      const uint32_t child1 = scratch_[s0 + 1] + scratch_[s1 + 1];
+      scratch_[static_cast<size_t>(c) * 2] = child0;
+      scratch_[static_cast<size_t>(c) * 2 + 1] = child1;
+    }
+    --d;
+  }
+
+  JointCounts counts;
+  counts.num_possible = uint64_t{1} << m;
+  const uint32_t size = 1u << m;
+  for (uint32_t j = 0; j < size; ++j) {
+    const uint32_t child0 = scratch_[static_cast<size_t>(j) * 2];
+    const uint32_t child1 = scratch_[static_cast<size_t>(j) * 2 + 1];
+    if (child0 + child1 == 0) continue;
+    counts.combo.push_back(j);
+    counts.child0_count.push_back(child0);
+    counts.child1_count.push_back(child1);
   }
   counts.num_unobserved = counts.num_possible - counts.num_observed();
   return counts;

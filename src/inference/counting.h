@@ -136,6 +136,17 @@ class PackedStatuses {
   JointCounts CountJoint(graph::NodeId child,
                          const std::vector<graph::NodeId>& parents) const;
 
+  /// Appends the processes of `chunk` after this object's processes, as if
+  /// the whole concatenated status matrix had been packed in one go: column
+  /// strides regrow, the chunk's bits are spliced into the partial tail
+  /// word when num_processes() % 64 != 0, and pad bits beyond the new
+  /// process count stay zero. Byte-identical to
+  /// PackedStatuses(concatenated matrix). Node counts must match.
+  void Append(const PackedStatuses& chunk);
+
+  /// Convenience overload: packs `chunk` and appends it.
+  void Append(const diffusion::StatusMatrix& chunk);
+
  private:
   /// Valid-bit mask of word `w` (all-ones except the trailing pad of the
   /// last word).
@@ -225,6 +236,75 @@ class IncrementalJointCounter {
   uint64_t rebuilds_ = 0;
   /// Scratch for Count (mutable: Count is logically const).
   mutable std::vector<uint32_t> scratch_codes_;
+};
+
+/// Full contingency cube of one child over a fixed candidate set C: cell
+/// [code][s] counts the processes whose candidate statuses bit-encode to
+/// `code` (bit b = candidates[b]) and whose child status is s. Two
+/// properties make it the engine of incremental (append-only) inference:
+///
+///  - It is delta-updatable: AddRows tallies only the appended processes,
+///    so after a chunk lands the cube over the grown history costs
+///    O(chunk * |C|) to refresh, independent of how long the history is.
+///  - It answers CountJoint for *any* subset of C by marginalizing the
+///    cube (summing out the non-subset positions), in O(2^|C|) — without
+///    touching the status matrix at all. The sums are pure integer
+///    adds over a partition of the processes, so the emitted JointCounts
+///    is bit-identical to CountJoint on the concatenated matrix: the
+///    greedy parent search run against a cube returns byte-identical
+///    results, which is what the append-vs-fresh differential relies on.
+///
+/// Memory is 2^|C| * 2 uint32 cells, hence the hard kMaxCubeCandidates
+/// cap (16 -> 512 KiB worst case per node); callers that see larger
+/// candidate sets fall back to the packed kernels.
+///
+/// Count() uses mutable scratch: one cube must not serve concurrent
+/// Count() calls (one cube per (thread, node), like the other counters).
+class CandidateCube {
+ public:
+  /// Most candidates a cube accepts (cells = 2^|C| * 2 uint32).
+  static constexpr uint32_t kMaxCubeCandidates = 16;
+
+  /// Builds the cube over all current processes of `statuses`.
+  /// `candidates` must be sorted ascending, distinct, without `child`,
+  /// and at most kMaxCubeCandidates long (checked).
+  CandidateCube(const diffusion::StatusMatrix& statuses, graph::NodeId child,
+                std::vector<graph::NodeId> candidates);
+
+  /// Tallies processes [begin_process, end_process) of `statuses` into the
+  /// cube. `begin_process` must equal num_processes() — appends are
+  /// contiguous and exactly-once, mirroring the session's append contract.
+  void AddRows(const diffusion::StatusMatrix& statuses,
+               uint32_t begin_process, uint32_t end_process);
+
+  /// Sufficient statistics of `parents` (sorted ascending, subset of
+  /// candidates(); checked) vs the child, bit-identical to
+  /// CountJoint(concatenated statuses, child, parents).
+  JointCounts Count(const std::vector<graph::NodeId>& parents) const;
+
+  graph::NodeId child() const { return child_; }
+  const std::vector<graph::NodeId>& candidates() const { return candidates_; }
+  uint32_t num_processes() const { return num_processes_; }
+  /// Processes with the child infected (the parent search's n2), tracked
+  /// so cube-backed searches never rescan the status matrix.
+  uint32_t child_infected_count() const { return child_infected_; }
+
+  /// Payload bytes of the cells (feeds memory accounting at call sites).
+  size_t ByteSize() const {
+    return cells_.size() * sizeof(uint32_t) +
+           candidates_.size() * sizeof(graph::NodeId);
+  }
+
+ private:
+  graph::NodeId child_ = 0;
+  std::vector<graph::NodeId> candidates_;
+  /// cells_[code * 2 + s]: processes with candidate-status code `code`
+  /// and child status `s`.
+  std::vector<uint32_t> cells_;
+  uint32_t num_processes_ = 0;
+  uint32_t child_infected_ = 0;
+  /// Scratch for Count's fold (mutable: Count is logically const).
+  mutable std::vector<uint32_t> scratch_;
 };
 
 }  // namespace tends::inference

@@ -52,16 +52,16 @@ std::vector<PairCounts> ComputePairCountsUpperTriangle(
 }
 
 ImiMatrix::ImiMatrix(const diffusion::StatusMatrix& statuses,
-                     bool use_traditional_mi)
-    : ImiMatrix(PackedStatuses(statuses), use_traditional_mi) {}
+                     MiVariant variant)
+    : ImiMatrix(PackedStatuses(statuses), variant) {}
 
-ImiMatrix::ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi)
+ImiMatrix::ImiMatrix(const PackedStatuses& packed, MiVariant variant)
     : ImiMatrix(packed.num_nodes(), ComputePairCountsUpperTriangle(packed),
-                use_traditional_mi) {}
+                variant) {}
 
 ImiMatrix::ImiMatrix(uint32_t num_nodes,
                      const std::vector<PairCounts>& upper_triangle,
-                     bool use_traditional_mi)
+                     MiVariant variant)
     : num_nodes_(num_nodes) {
   TENDS_CHECK(upper_triangle.size() ==
               static_cast<size_t>(num_nodes_) * (num_nodes_ - 1) / 2);
@@ -70,8 +70,8 @@ ImiMatrix::ImiMatrix(uint32_t num_nodes,
   for (uint32_t i = 0; i < num_nodes_; ++i) {
     for (uint32_t j = i + 1; j < num_nodes_; ++j) {
       const PairCounts& counts = upper_triangle[pair++];
-      double value =
-          use_traditional_mi ? TraditionalMi(counts) : InfectionMi(counts);
+      double value = IsTraditionalMi(variant) ? TraditionalMi(counts)
+                                              : InfectionMi(counts);
       values_[static_cast<size_t>(i) * num_nodes_ + j] = value;
       values_[static_cast<size_t>(j) * num_nodes_ + i] = value;
     }

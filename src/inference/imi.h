@@ -8,6 +8,27 @@
 
 namespace tends::inference {
 
+/// Which pairwise correlation statistic a pipeline scores node pairs with:
+/// the paper's infection mutual information (Eq. 25) or traditional mutual
+/// information (Eq. 24, the MI-vs-IMI ablation). This replaces the
+/// `bool use_traditional_mi` flags that used to thread through ImiMatrix,
+/// InferenceSession, and TendsOptions; the bool forms survive as
+/// deprecated aliases for one release.
+enum class MiVariant {
+  kInfection,
+  kTraditional,
+};
+
+/// The legacy bool encoding of a variant (checkpoint fingerprints and the
+/// deprecated flag surfaces hash/print exactly this bit).
+inline constexpr bool IsTraditionalMi(MiVariant variant) {
+  return variant == MiVariant::kTraditional;
+}
+
+inline constexpr const char* MiVariantName(MiVariant variant) {
+  return IsTraditionalMi(variant) ? "traditional" : "infection";
+}
+
 /// Pointwise mutual-information term MI(X_i = a, X_j = b) =
 /// P(a,b) * log2(P(a,b) / (P_i(a) * P_j(b))); 0 when P(a,b) = 0.
 double PointwiseMiTerm(const PairCounts& counts, int a, int b);
@@ -47,21 +68,37 @@ std::vector<PairCounts> ComputePairCountsUpperTriangle(
 /// Symmetric matrix of pairwise correlation values over all node pairs.
 class ImiMatrix {
  public:
-  /// Computes IMI (or traditional MI when use_traditional_mi) for every
-  /// unordered pair via bit-packed counting: O(n^2 * beta / 64).
-  ImiMatrix(const diffusion::StatusMatrix& statuses, bool use_traditional_mi);
+  /// Computes the requested variant for every unordered pair via bit-packed
+  /// counting: O(n^2 * beta / 64).
+  ImiMatrix(const diffusion::StatusMatrix& statuses, MiVariant variant);
 
   /// Same, from an already-packed view (shared with the parent-search
   /// counting kernel so the matrix is packed once per inference run).
-  ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi);
+  ImiMatrix(const PackedStatuses& packed, MiVariant variant);
 
   /// From a precomputed pairwise-count table (the session's memoized
-  /// artifact; layout of ComputePairCountsUpperTriangle). All three
-  /// constructors funnel through this one, so the float operations run in
-  /// one order and the resulting matrices are bit-identical however the
-  /// counts were obtained.
+  /// artifact; layout of ComputePairCountsUpperTriangle). All constructors
+  /// funnel through this one, so the float operations run in one order and
+  /// the resulting matrices are bit-identical however the counts were
+  /// obtained.
   ImiMatrix(uint32_t num_nodes, const std::vector<PairCounts>& upper_triangle,
-            bool use_traditional_mi);
+            MiVariant variant);
+
+  /// Deprecated bool forms (true = traditional MI). Prefer MiVariant.
+  [[deprecated("pass a MiVariant instead of a bool")]]
+  ImiMatrix(const diffusion::StatusMatrix& statuses, bool use_traditional_mi)
+      : ImiMatrix(statuses, use_traditional_mi ? MiVariant::kTraditional
+                                               : MiVariant::kInfection) {}
+  [[deprecated("pass a MiVariant instead of a bool")]]
+  ImiMatrix(const PackedStatuses& packed, bool use_traditional_mi)
+      : ImiMatrix(packed, use_traditional_mi ? MiVariant::kTraditional
+                                             : MiVariant::kInfection) {}
+  [[deprecated("pass a MiVariant instead of a bool")]]
+  ImiMatrix(uint32_t num_nodes, const std::vector<PairCounts>& upper_triangle,
+            bool use_traditional_mi)
+      : ImiMatrix(num_nodes, upper_triangle,
+                  use_traditional_mi ? MiVariant::kTraditional
+                                     : MiVariant::kInfection) {}
 
   uint32_t num_nodes() const { return num_nodes_; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "inference/local_score.h"
 
@@ -76,7 +77,8 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                const std::vector<graph::NodeId>& candidates,
                                const ParentSearchOptions& options,
                                const RunContext& context,
-                               const PackedStatuses* packed) {
+                               const PackedStatuses* packed,
+                               const CandidateCube* cube) {
   MetricsRegistry* metrics = context.metrics;
   TENDS_TRACE_SPAN(metrics, "parent_search", static_cast<int64_t>(child));
   ParentSearchResult result;
@@ -100,7 +102,16 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   // phase through an incremental counter keyed on the current F_i; both
   // kernels yield bit-identical JointCounts, so everything downstream —
   // scores, admission checks, the inferred network — is kernel-invariant.
-  const bool use_packed = options.kernel == CountingKernel::kPacked;
+  const bool use_cube = cube != nullptr;
+  if (use_cube) {
+    TENDS_CHECK(cube->child() == child && cube->candidates() == candidates)
+        << "cube does not match this (child, candidates) search";
+    TENDS_CHECK(cube->num_processes() == statuses.num_processes())
+        << "cube covers " << cube->num_processes() << " processes, matrix has "
+        << statuses.num_processes();
+  }
+  const bool use_packed =
+      !use_cube && options.kernel == CountingKernel::kPacked;
   std::optional<PackedStatuses> owned_packed;
   if (use_packed && packed == nullptr) {
     owned_packed.emplace(statuses);
@@ -111,6 +122,7 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   // Standalone statistics of W (Algorithm 1's candidate admission).
   auto count_standalone = [&](const std::vector<graph::NodeId>& w) {
     ++result.score_evaluations;
+    if (use_cube) return cube->Count(w);
     if (use_packed) {
       ++result.packed_count_calls;
       return packed->CountJoint(child, w);
@@ -119,10 +131,13 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   };
   // Statistics of F_i ∪ W during the greedy expansion. `merged` is the
   // sorted union the naive kernel scans; the packed kernel answers from
-  // the incremental counter's cached codes for F_i instead.
+  // the incremental counter's cached codes for F_i instead, and the cube
+  // marginalizes (the union stays within its candidate set by
+  // construction).
   auto count_union = [&](const std::vector<graph::NodeId>& members,
                          const std::vector<graph::NodeId>& merged) {
     ++result.score_evaluations;
+    if (use_cube) return cube->Count(merged);
     if (use_packed) {
       ++result.packed_count_calls;
       ++result.incremental_count_hits;
@@ -136,13 +151,16 @@ ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
   };
 
   const uint32_t beta = statuses.num_processes();
-  const uint32_t n2 = statuses.InfectionCount(child);  // X_i = 1
-  const uint32_t n1 = beta - n2;                       // X_i = 0
+  const uint32_t n2 =
+      use_cube ? cube->child_infected_count() : statuses.InfectionCount(child);
+  const uint32_t n1 = beta - n2;  // X_i = 0
   result.delta = DeltaI(beta, n1, n2);
   result.empty_score = EmptySetLocalScore(n1, n2);
-  result.score = options.use_penalty
-                     ? result.empty_score
-                     : LogLikelihood(CountJoint(statuses, child, {}));
+  result.score =
+      options.use_penalty
+          ? result.empty_score
+          : LogLikelihood(use_cube ? cube->Count({})
+                                   : CountJoint(statuses, child, {}));
   if (candidates.empty()) {
     done(result);
     return result;

@@ -83,12 +83,21 @@ struct ParentSearchResult {
 /// view of `statuses` (built once per inference run and shared read-only
 /// across worker threads); when null, one is built per call. The kernel
 /// choice never changes the result — only the cost of computing it.
+///
+/// When `cube` is non-null it must be a CandidateCube over exactly this
+/// (child, candidates) pair covering every process of `statuses` (checked);
+/// all sufficient statistics are then answered by cube marginalization in
+/// O(2^|C|) per evaluation, without touching the status matrix — the
+/// incremental session runner's fast path after an append. The cube emits
+/// bit-identical JointCounts, so results (and score_evaluations counts)
+/// are identical to the kernel paths.
 ParentSearchResult FindParents(const diffusion::StatusMatrix& statuses,
                                graph::NodeId child,
                                const std::vector<graph::NodeId>& candidates,
                                const ParentSearchOptions& options,
                                const RunContext& context = RunContext(),
-                               const PackedStatuses* packed = nullptr);
+                               const PackedStatuses* packed = nullptr,
+                               const CandidateCube* cube = nullptr);
 
 /// Enumerates all non-empty subsets of `candidates` with size at most
 /// `max_size`, invoking `visit(subset)` in deterministic order (by size,

@@ -1,6 +1,6 @@
 #include "inference/session.h"
 
-#include <atomic>
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -12,27 +12,20 @@
 
 namespace tends::inference {
 
-InferenceSession::InferenceSession(diffusion::StatusMatrix statuses)
-    : statuses_(std::move(statuses)) {}
+namespace internal {
 
-InferenceSession::InferenceSession(diffusion::StatusMatrix statuses,
-                                   PackedStatuses packed)
-    : statuses_(std::move(statuses)) {
-  TENDS_CHECK(packed.num_processes() == statuses_.num_processes() &&
-              packed.num_nodes() == statuses_.num_nodes())
-      << "pre-packed statuses shape (" << packed.num_processes() << " x "
-      << packed.num_nodes() << ") does not match the status matrix ("
-      << statuses_.num_processes() << " x " << statuses_.num_nodes() << ")";
-  std::call_once(packed_.once, [&] { packed_.value.emplace(std::move(packed)); });
-}
+SessionGeneration::SessionGeneration(diffusion::StatusMatrix statuses,
+                                     uint64_t epoch)
+    : statuses_(std::move(statuses)), epoch_(epoch) {}
 
 template <typename T, typename Init>
-const T& InferenceSession::Memoize(const Memo<T>& memo,
-                                   MetricsRegistry* metrics,
-                                   Init&& init) const {
+const T& SessionGeneration::Memoize(const Memo<T>& memo,
+                                    MetricsRegistry* metrics,
+                                    Init&& init) const {
   bool computed = false;
   std::call_once(memo.once, [&] {
     memo.value.emplace(init());
+    memo.ready.store(true, std::memory_order_release);
     computed = true;
   });
   // Losers of a first-computation race blocked in call_once until the
@@ -45,7 +38,9 @@ const T& InferenceSession::Memoize(const Memo<T>& memo,
   return *memo.value;
 }
 
-const PackedStatuses& InferenceSession::packed(MetricsRegistry* metrics) const {
+const PackedStatuses& SessionGeneration::packed(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   return Memoize(packed_, metrics, [&] {
     TENDS_METRICS_STAGE(metrics, "pack_statuses");
     PackedStatuses packed(statuses_);
@@ -55,22 +50,24 @@ const PackedStatuses& InferenceSession::packed(MetricsRegistry* metrics) const {
   });
 }
 
-const std::vector<uint32_t>& InferenceSession::marginal_counts(
-    MetricsRegistry* metrics) const {
+const std::vector<uint32_t>& SessionGeneration::marginal_counts(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   return Memoize(marginal_counts_, metrics, [&] {
-    std::vector<uint32_t> counts = packed(metrics).InfectedCounts();
+    std::vector<uint32_t> counts = packed(context).InfectedCounts();
     TENDS_GAUGE_SET(metrics, "tends.mem.marginal_counts_bytes",
                     counts.size() * sizeof(uint32_t));
     return counts;
   });
 }
 
-const std::vector<PairCounts>& InferenceSession::pair_counts(
-    MetricsRegistry* metrics) const {
+const std::vector<PairCounts>& SessionGeneration::pair_counts(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   return Memoize(pair_counts_, metrics, [&] {
     // Dependencies are triggered before the stage opens so their cost is
     // attributed to their own stage names, as in a fresh run.
-    const PackedStatuses& packed_columns = packed(metrics);
+    const PackedStatuses& packed_columns = packed(context);
     TENDS_METRICS_STAGE(metrics, "imi");
     std::vector<PairCounts> counts =
         ComputePairCountsUpperTriangle(packed_columns);
@@ -80,16 +77,17 @@ const std::vector<PairCounts>& InferenceSession::pair_counts(
   });
 }
 
-const ImiMatrix& InferenceSession::imi(bool use_traditional_mi,
-                                       MetricsRegistry* metrics) const {
+const ImiMatrix& SessionGeneration::imi(MiVariant variant,
+                                        const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   const Memo<ImiMatrix>& memo =
-      use_traditional_mi ? imi_traditional_ : imi_infection_;
+      IsTraditionalMi(variant) ? imi_traditional_ : imi_infection_;
   return Memoize(memo, metrics, [&] {
-    const std::vector<PairCounts>& counts = pair_counts(metrics);
+    const std::vector<PairCounts>& counts = pair_counts(context);
     TENDS_METRICS_STAGE(metrics, "imi");
     TENDS_TRACE_SPAN(metrics, "imi");
     TENDS_METRIC_ADD(metrics, "tends.imi.pairs", counts.size());
-    ImiMatrix matrix(num_nodes(), counts, use_traditional_mi);
+    ImiMatrix matrix(num_nodes(), counts, variant);
     // Both variants have identical dense n*n footprints, so last-write-wins
     // is exact whichever variant(s) a session materializes.
     TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes", matrix.ByteSize());
@@ -97,12 +95,13 @@ const ImiMatrix& InferenceSession::imi(bool use_traditional_mi,
   });
 }
 
-const ImiThreshold& InferenceSession::base_threshold(
-    bool use_traditional_mi, MetricsRegistry* metrics) const {
+const ImiThreshold& SessionGeneration::base_threshold(
+    MiVariant variant, const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   const Memo<ImiThreshold>& memo =
-      use_traditional_mi ? threshold_traditional_ : threshold_infection_;
+      IsTraditionalMi(variant) ? threshold_traditional_ : threshold_infection_;
   return Memoize(memo, metrics, [&] {
-    const ImiMatrix& matrix = imi(use_traditional_mi, metrics);
+    const ImiMatrix& matrix = imi(variant, context);
     TENDS_METRICS_STAGE(metrics, "kmeans");
     TENDS_TRACE_SPAN(metrics, "kmeans");
     ImiThreshold threshold = FindImiThreshold(matrix);
@@ -111,22 +110,32 @@ const ImiThreshold& InferenceSession::base_threshold(
   });
 }
 
-const SparseCandidateIndex& InferenceSession::sparse_candidates(
-    MetricsRegistry* metrics, uint32_t num_threads) const {
-  return Memoize(sparse_candidates_, metrics, [&] {
-    const PackedStatuses& packed_columns = packed(metrics);
-    const std::vector<uint32_t>& marginals = marginal_counts(metrics);
+const CooccurrenceCounts& SessionGeneration::cooccurrence(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
+  return Memoize(cooccurrence_, metrics, [&] {
+    const PackedStatuses& packed_columns = packed(context);
     SparseCandidateOptions options;
-    options.num_threads = num_threads;
-    return BuildSparseCandidateIndex(packed_columns, marginals, options,
-                                     metrics);
+    options.num_threads = context.num_threads;
+    return BuildCooccurrenceCounts(packed_columns, options, metrics);
   });
 }
 
-const ImiThreshold& InferenceSession::sparse_base_threshold(
-    MetricsRegistry* metrics, uint32_t num_threads) const {
+const SparseCandidateIndex& SessionGeneration::sparse_candidates(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
+  return Memoize(sparse_candidates_, metrics, [&] {
+    const CooccurrenceCounts& counts = cooccurrence(context);
+    const std::vector<uint32_t>& marginals = marginal_counts(context);
+    return DeriveSparseCandidateIndex(counts, marginals, metrics);
+  });
+}
+
+const ImiThreshold& SessionGeneration::sparse_base_threshold(
+    const ArtifactContext& context) const {
+  MetricsRegistry* metrics = context.metrics;
   return Memoize(threshold_sparse_, metrics, [&] {
-    const SparseCandidateIndex& index = sparse_candidates(metrics, num_threads);
+    const SparseCandidateIndex& index = sparse_candidates(context);
     TENDS_METRICS_STAGE(metrics, "kmeans");
     TENDS_TRACE_SPAN(metrics, "kmeans");
     ImiThreshold threshold = FindImiThreshold(index);
@@ -135,20 +144,54 @@ const ImiThreshold& InferenceSession::sparse_base_threshold(
   });
 }
 
-StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
-                                           const RunContext& context) const {
-  const uint32_t n = statuses_.num_nodes();
+namespace {
+
+/// Resolves the artifact set a run's options need against one generation,
+/// in the exact dependency-triggering order the session has always used
+/// (packed, then the candidate artifact, then the threshold) — the order
+/// the hit/miss-counter assertions of the session suite pin.
+TendsArtifacts ResolveArtifacts(const SessionGeneration& generation,
+                                const TendsOptions& options,
+                                MetricsRegistry* metrics) {
+  const ArtifactContext context{metrics, options.num_threads};
+  TendsArtifacts artifacts;
+  artifacts.statuses = &generation.statuses();
+  artifacts.packed = &generation.packed(context);
+  const bool sparse_mode = options.candidate_mode == CandidateMode::kSparse;
+  if (sparse_mode) {
+    artifacts.sparse = &generation.sparse_candidates(context);
+  } else {
+    artifacts.imi = &generation.imi(options.ResolvedMiVariant(), context);
+  }
+  if (options.tau_override.has_value()) {
+    artifacts.tau = *options.tau_override;
+  } else {
+    const ImiThreshold& threshold =
+        sparse_mode
+            ? generation.sparse_base_threshold(context)
+            : generation.base_threshold(options.ResolvedMiVariant(), context);
+    artifacts.tau = threshold.tau * options.tau_multiplier;
+    artifacts.kmeans_iterations = threshold.iterations;
+  }
+  return artifacts;
+}
+
+StatusOr<SessionRun> RunOnGeneration(const SessionGeneration& generation,
+                                     const TendsOptions& options,
+                                     const RunContext& context) {
+  const uint32_t n = generation.num_nodes();
   MetricsRegistry* metrics = context.metrics;
   TENDS_TRACE_SPAN(metrics, "session_run");
   TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
-      statuses_, options.reject_degenerate_columns));
+      generation.statuses(), options.reject_degenerate_columns));
   TENDS_RETURN_IF_ERROR(options.Validate());
 #if TENDS_METRICS_ENABLED
   if (metrics != nullptr) {
     metrics->GetGauge("tends.tends.nodes_total").Set(n);
-    metrics->GetGauge("tends.tends.processes").Set(statuses_.num_processes());
+    metrics->GetGauge("tends.tends.processes")
+        .Set(generation.num_processes());
     metrics->GetGauge("tends.mem.status_matrix_bytes")
-        .Set(static_cast<int64_t>(statuses_.ByteSize()));
+        .Set(static_cast<int64_t>(generation.statuses().ByteSize()));
   }
 #endif
 
@@ -162,28 +205,562 @@ StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
     return run;
   }
 
-  internal::TendsArtifacts artifacts;
-  artifacts.statuses = &statuses_;
-  artifacts.packed = &packed(metrics);
-  const bool sparse_mode = options.candidate_mode == CandidateMode::kSparse;
-  if (sparse_mode) {
-    artifacts.sparse = &sparse_candidates(metrics, options.num_threads);
-  } else {
-    artifacts.imi = &imi(options.use_traditional_mi, metrics);
+  TendsArtifacts artifacts = ResolveArtifacts(generation, options, metrics);
+  TENDS_ASSIGN_OR_RETURN(
+      run.network,
+      RunTendsNodeLoop(artifacts, options, context, &run.diagnostics));
+  return run;
+}
+
+}  // namespace
+
+}  // namespace internal
+
+uint64_t SessionView::epoch() const { return generation_->epoch(); }
+
+const diffusion::StatusMatrix& SessionView::statuses() const {
+  return generation_->statuses();
+}
+
+uint32_t SessionView::num_nodes() const { return generation_->num_nodes(); }
+
+uint32_t SessionView::num_processes() const {
+  return generation_->num_processes();
+}
+
+const PackedStatuses& SessionView::packed(
+    const ArtifactContext& context) const {
+  return generation_->packed(context);
+}
+
+const std::vector<uint32_t>& SessionView::marginal_counts(
+    const ArtifactContext& context) const {
+  return generation_->marginal_counts(context);
+}
+
+const std::vector<PairCounts>& SessionView::pair_counts(
+    const ArtifactContext& context) const {
+  return generation_->pair_counts(context);
+}
+
+const ImiMatrix& SessionView::imi(MiVariant variant,
+                                  const ArtifactContext& context) const {
+  return generation_->imi(variant, context);
+}
+
+const ImiThreshold& SessionView::base_threshold(
+    MiVariant variant, const ArtifactContext& context) const {
+  return generation_->base_threshold(variant, context);
+}
+
+const CooccurrenceCounts& SessionView::cooccurrence(
+    const ArtifactContext& context) const {
+  return generation_->cooccurrence(context);
+}
+
+const SparseCandidateIndex& SessionView::sparse_candidates(
+    const ArtifactContext& context) const {
+  return generation_->sparse_candidates(context);
+}
+
+const ImiThreshold& SessionView::sparse_base_threshold(
+    const ArtifactContext& context) const {
+  return generation_->sparse_base_threshold(context);
+}
+
+StatusOr<SessionRun> SessionView::Run(const TendsOptions& options,
+                                      const RunContext& context) const {
+  return internal::RunOnGeneration(*generation_, options, context);
+}
+
+InferenceSession::InferenceSession(diffusion::StatusMatrix statuses)
+    : generation_(std::make_shared<internal::SessionGeneration>(
+          std::move(statuses), /*epoch=*/0)) {}
+
+InferenceSession::InferenceSession(diffusion::StatusMatrix statuses,
+                                   PackedStatuses packed) {
+  TENDS_CHECK(packed.num_processes() == statuses.num_processes() &&
+              packed.num_nodes() == statuses.num_nodes())
+      << "pre-packed statuses shape (" << packed.num_processes() << " x "
+      << packed.num_nodes() << ") does not match the status matrix ("
+      << statuses.num_processes() << " x " << statuses.num_nodes() << ")";
+  auto generation = std::make_shared<internal::SessionGeneration>(
+      std::move(statuses), /*epoch=*/0);
+  internal::SessionGeneration::Seed(generation->packed_, std::move(packed));
+  generation_ = std::move(generation);
+}
+
+std::shared_ptr<const internal::SessionGeneration> InferenceSession::current()
+    const {
+  std::lock_guard<std::mutex> lock(generation_mutex_);
+  return generation_;
+}
+
+const diffusion::StatusMatrix& InferenceSession::statuses() const {
+  return current()->statuses();
+}
+
+uint32_t InferenceSession::num_nodes() const { return current()->num_nodes(); }
+
+uint32_t InferenceSession::num_processes() const {
+  return current()->num_processes();
+}
+
+uint64_t InferenceSession::epoch() const { return current()->epoch(); }
+
+SessionView InferenceSession::Snapshot() const {
+  return SessionView(current());
+}
+
+Status InferenceSession::AppendStatuses(const diffusion::StatusMatrix& chunk,
+                                        const ArtifactContext& context) {
+  return AppendImpl(chunk, nullptr, context);
+}
+
+Status InferenceSession::AppendPacked(const diffusion::StatusMatrix& chunk,
+                                      PackedStatuses chunk_packed,
+                                      const ArtifactContext& context) {
+  if (chunk_packed.num_processes() != chunk.num_processes() ||
+      chunk_packed.num_nodes() != chunk.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "pre-packed chunk shape (%u x %u) does not match the chunk "
+        "(%u x %u)",
+        chunk_packed.num_processes(), chunk_packed.num_nodes(),
+        chunk.num_processes(), chunk.num_nodes()));
   }
-  if (options.tau_override.has_value()) {
-    artifacts.tau = *options.tau_override;
-  } else {
-    const ImiThreshold& threshold =
-        sparse_mode ? sparse_base_threshold(metrics, options.num_threads)
-                    : base_threshold(options.use_traditional_mi, metrics);
-    artifacts.tau = threshold.tau * options.tau_multiplier;
-    artifacts.kmeans_iterations = threshold.iterations;
+  return AppendImpl(chunk, &chunk_packed, context);
+}
+
+Status InferenceSession::AppendImpl(const diffusion::StatusMatrix& chunk,
+                                    const PackedStatuses* pre_packed,
+                                    const ArtifactContext& context) {
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "session_append");
+  Timer timer;
+  if (chunk.num_processes() == 0) {
+    return Status::InvalidArgument(
+        "append chunk carries no processes (an empty append would burn an "
+        "epoch for nothing)");
+  }
+  std::lock_guard<std::mutex> append_lock(append_mutex_);
+  std::shared_ptr<const internal::SessionGeneration> old = current();
+  if (chunk.num_nodes() != old->num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "append chunk covers %u nodes, session covers %u",
+        chunk.num_nodes(), old->num_nodes()));
   }
 
-  TENDS_ASSIGN_OR_RETURN(
-      run.network, internal::RunTendsNodeLoop(artifacts, options, context,
-                                              &run.diagnostics));
+  // The successor generation: concatenated observations, epoch + 1.
+  diffusion::StatusMatrix next_statuses = old->statuses();
+  next_statuses.AppendRows(chunk);
+  auto next = std::make_shared<internal::SessionGeneration>(
+      std::move(next_statuses), old->epoch() + 1);
+
+  // The chunk transpose, packed at most once and only if some delta below
+  // needs it (callers with a pre-packed chunk never pay it at all).
+  std::optional<PackedStatuses> chunk_packed_storage;
+  auto chunk_packed = [&]() -> const PackedStatuses& {
+    if (pre_packed != nullptr) return *pre_packed;
+    if (!chunk_packed_storage.has_value()) chunk_packed_storage.emplace(chunk);
+    return *chunk_packed_storage;
+  };
+
+  // Delta-update every artifact the predecessor materialized; the rest
+  // stay lazy in the successor. Each delta is integer-exact or re-derived
+  // through the same canonical constructor a cold build uses, so every
+  // seeded artifact is byte-identical to recomputing it from the
+  // concatenated matrix (pinned by the append differential suite). The
+  // Ready() checks are racy against an in-flight first computation on the
+  // old generation by design: a mid-flight artifact reads as absent and
+  // the successor simply recomputes it lazily.
+  using Generation = internal::SessionGeneration;
+  if (old->packed_.Ready()) {
+    TENDS_METRICS_STAGE(metrics, "pack_statuses");
+    PackedStatuses next_packed = *old->packed_.value;
+    next_packed.Append(chunk_packed());
+    TENDS_GAUGE_SET(metrics, "tends.mem.packed_statuses_bytes",
+                    next_packed.ByteSize());
+    Generation::Seed(next->packed_, std::move(next_packed));
+  }
+  if (old->marginal_counts_.Ready()) {
+    std::vector<uint32_t> marginals = *old->marginal_counts_.value;
+    const std::vector<uint32_t> chunk_marginals =
+        chunk_packed().InfectedCounts();
+    for (size_t v = 0; v < marginals.size(); ++v) {
+      marginals[v] += chunk_marginals[v];
+    }
+    Generation::Seed(next->marginal_counts_, std::move(marginals));
+  }
+  if (old->pair_counts_.Ready()) {
+    // All four cells of a pair's 2x2 table are plain sums over disjoint
+    // process ranges, so the tables add fieldwise.
+    TENDS_METRICS_STAGE(metrics, "imi");
+    std::vector<PairCounts> table = *old->pair_counts_.value;
+    const std::vector<PairCounts> chunk_table =
+        ComputePairCountsUpperTriangle(chunk_packed());
+    TENDS_CHECK(chunk_table.size() == table.size());
+    for (size_t e = 0; e < table.size(); ++e) {
+      table[e].c00 += chunk_table[e].c00;
+      table[e].c01 += chunk_table[e].c01;
+      table[e].c10 += chunk_table[e].c10;
+      table[e].c11 += chunk_table[e].c11;
+    }
+    Generation::Seed(next->pair_counts_, std::move(table));
+  }
+  // MI matrices re-derive from the updated table through the canonical
+  // constructor (all ImiMatrix constructors funnel into it, so the floats
+  // come out bit-identical to a cold build). They need the successor's
+  // seeded table: gating on next->pair_counts_ (private to this thread
+  // until the swap) rather than re-reading old->pair_counts_.Ready()
+  // closes the window where a concurrent cold build finished the table
+  // after our load above but its matrix reads as ready below.
+  for (MiVariant variant : {MiVariant::kInfection, MiVariant::kTraditional}) {
+    if (!next->pair_counts_.Ready()) break;
+    const auto& old_memo = IsTraditionalMi(variant) ? old->imi_traditional_
+                                                    : old->imi_infection_;
+    if (!old_memo.Ready()) continue;
+    TENDS_METRICS_STAGE(metrics, "imi");
+    TENDS_TRACE_SPAN(metrics, "imi");
+    const auto& next_memo = IsTraditionalMi(variant) ? next->imi_traditional_
+                                                     : next->imi_infection_;
+    TENDS_METRIC_ADD(metrics, "tends.imi.pairs", next->pair_counts_.value->size());
+    ImiMatrix matrix(next->num_nodes(), *next->pair_counts_.value, variant);
+    TENDS_GAUGE_SET(metrics, "tends.mem.imi_matrix_bytes", matrix.ByteSize());
+    Generation::Seed(next_memo, std::move(matrix));
+
+    const auto& old_threshold = IsTraditionalMi(variant)
+                                    ? old->threshold_traditional_
+                                    : old->threshold_infection_;
+    if (!old_threshold.Ready()) continue;
+    const auto& next_threshold = IsTraditionalMi(variant)
+                                     ? next->threshold_traditional_
+                                     : next->threshold_infection_;
+    TENDS_METRICS_STAGE(metrics, "kmeans");
+    TENDS_TRACE_SPAN(metrics, "kmeans");
+    ImiThreshold threshold =
+        FindImiThreshold(*next_memo.value);
+    TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations", threshold.iterations);
+    Generation::Seed(next_threshold, threshold);
+  }
+  if (old->cooccurrence_.Ready()) {
+    // Integer co-infection counts merge exactly; the chunk's own table is
+    // built over just the appended processes.
+    CooccurrenceCounts merged = *old->cooccurrence_.value;
+    SparseCandidateOptions sparse_options;
+    sparse_options.num_threads = context.num_threads;
+    merged.Append(
+        BuildCooccurrenceCounts(chunk_packed(), sparse_options, metrics));
+    TENDS_GAUGE_SET(metrics, "tends.mem.cooccurrence_bytes",
+                    merged.ByteSize());
+    Generation::Seed(next->cooccurrence_, std::move(merged));
+
+    if (old->sparse_candidates_.Ready() && next->marginal_counts_.Ready()) {
+      // The index is a pure function of (counts, marginals, beta): one
+      // O(nnz) re-derivation, never an O(n * beta) rebuild.
+      Generation::Seed(
+          next->sparse_candidates_,
+          DeriveSparseCandidateIndex(*next->cooccurrence_.value,
+                                     *next->marginal_counts_.value, metrics));
+      if (old->threshold_sparse_.Ready()) {
+        TENDS_METRICS_STAGE(metrics, "kmeans");
+        TENDS_TRACE_SPAN(metrics, "kmeans");
+        ImiThreshold threshold =
+            FindImiThreshold(*next->sparse_candidates_.value);
+        TENDS_METRIC_ADD(metrics, "tends.kmeans.iterations",
+                         threshold.iterations);
+        Generation::Seed(next->threshold_sparse_, threshold);
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(generation_mutex_);
+    generation_ = std::move(next);
+  }
+  TENDS_METRIC_ADD(metrics, "tends.session.appends", 1);
+  TENDS_METRIC_ADD(metrics, "tends.session.append_processes",
+                   chunk.num_processes());
+  TENDS_METRIC_RECORD(metrics, "tends.session.append_ns",
+                      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+  return Status::OK();
+}
+
+StatusOr<SessionRun> InferenceSession::Run(const TendsOptions& options,
+                                           const RunContext& context) const {
+  // Pin the generation for the whole run so a concurrent append can never
+  // mix observations (or free artifacts) mid-inference.
+  std::shared_ptr<const internal::SessionGeneration> generation = current();
+  return internal::RunOnGeneration(*generation, options, context);
+}
+
+const PackedStatuses& InferenceSession::packed(
+    const ArtifactContext& context) const {
+  return current()->packed(context);
+}
+
+const std::vector<uint32_t>& InferenceSession::marginal_counts(
+    const ArtifactContext& context) const {
+  return current()->marginal_counts(context);
+}
+
+const std::vector<PairCounts>& InferenceSession::pair_counts(
+    const ArtifactContext& context) const {
+  return current()->pair_counts(context);
+}
+
+const ImiMatrix& InferenceSession::imi(MiVariant variant,
+                                       const ArtifactContext& context) const {
+  return current()->imi(variant, context);
+}
+
+const ImiThreshold& InferenceSession::base_threshold(
+    MiVariant variant, const ArtifactContext& context) const {
+  return current()->base_threshold(variant, context);
+}
+
+const CooccurrenceCounts& InferenceSession::cooccurrence(
+    const ArtifactContext& context) const {
+  return current()->cooccurrence(context);
+}
+
+const SparseCandidateIndex& InferenceSession::sparse_candidates(
+    const ArtifactContext& context) const {
+  return current()->sparse_candidates(context);
+}
+
+const ImiThreshold& InferenceSession::sparse_base_threshold(
+    const ArtifactContext& context) const {
+  return current()->sparse_base_threshold(context);
+}
+
+// Deprecated positional/bool overloads: pure forwarders into the
+// ArtifactContext surface, kept source-compatible for one release.
+
+const PackedStatuses& InferenceSession::packed(MetricsRegistry* metrics) const {
+  return packed(ArtifactContext{metrics});
+}
+
+const std::vector<uint32_t>& InferenceSession::marginal_counts(
+    MetricsRegistry* metrics) const {
+  return marginal_counts(ArtifactContext{metrics});
+}
+
+const std::vector<PairCounts>& InferenceSession::pair_counts(
+    MetricsRegistry* metrics) const {
+  return pair_counts(ArtifactContext{metrics});
+}
+
+const ImiMatrix& InferenceSession::imi(bool use_traditional_mi) const {
+  return imi(use_traditional_mi ? MiVariant::kTraditional
+                                : MiVariant::kInfection);
+}
+
+const ImiMatrix& InferenceSession::imi(bool use_traditional_mi,
+                                       MetricsRegistry* metrics) const {
+  return imi(use_traditional_mi ? MiVariant::kTraditional
+                                : MiVariant::kInfection,
+             ArtifactContext{metrics});
+}
+
+const ImiThreshold& InferenceSession::base_threshold(
+    bool use_traditional_mi) const {
+  return base_threshold(use_traditional_mi ? MiVariant::kTraditional
+                                           : MiVariant::kInfection);
+}
+
+const ImiThreshold& InferenceSession::base_threshold(
+    bool use_traditional_mi, MetricsRegistry* metrics) const {
+  return base_threshold(use_traditional_mi ? MiVariant::kTraditional
+                                           : MiVariant::kInfection,
+                        ArtifactContext{metrics});
+}
+
+const SparseCandidateIndex& InferenceSession::sparse_candidates(
+    MetricsRegistry* metrics) const {
+  return sparse_candidates(ArtifactContext{metrics});
+}
+
+const SparseCandidateIndex& InferenceSession::sparse_candidates(
+    MetricsRegistry* metrics, uint32_t num_threads) const {
+  return sparse_candidates(ArtifactContext{metrics, num_threads});
+}
+
+const ImiThreshold& InferenceSession::sparse_base_threshold(
+    MetricsRegistry* metrics) const {
+  return sparse_base_threshold(ArtifactContext{metrics});
+}
+
+const ImiThreshold& InferenceSession::sparse_base_threshold(
+    MetricsRegistry* metrics, uint32_t num_threads) const {
+  return sparse_base_threshold(ArtifactContext{metrics, num_threads});
+}
+
+IncrementalRunner::IncrementalRunner(const InferenceSession& session,
+                                     TendsOptions options,
+                                     IncrementalRunnerOptions runner_options)
+    : session_(session),
+      options_(std::move(options)),
+      runner_options_(runner_options) {
+  runner_options_.max_cube_candidates = std::min(
+      runner_options_.max_cube_candidates, CandidateCube::kMaxCubeCandidates);
+}
+
+StatusOr<SessionRun> IncrementalRunner::Refresh(const RunContext& context) {
+  if (options_.checkpoint.enabled() || options_.checkpoint.resume) {
+    return Status::InvalidArgument(
+        "IncrementalRunner does not support checkpointing (its reuse state "
+        "is in-memory by design; use InferenceSession::Run for durable "
+        "runs)");
+  }
+  const SessionView view = session_.Snapshot();
+  const diffusion::StatusMatrix& statuses = view.statuses();
+  const uint32_t n = statuses.num_nodes();
+  MetricsRegistry* metrics = context.metrics;
+  TENDS_TRACE_SPAN(metrics, "session_refresh");
+  TENDS_RETURN_IF_ERROR(diffusion::ValidateStatusMatrix(
+      statuses, options_.reject_degenerate_columns));
+  TENDS_RETURN_IF_ERROR(options_.Validate());
+#if TENDS_METRICS_ENABLED
+  if (metrics != nullptr) {
+    metrics->GetGauge("tends.tends.nodes_total").Set(n);
+    metrics->GetGauge("tends.tends.processes").Set(statuses.num_processes());
+    metrics->GetGauge("tends.mem.status_matrix_bytes")
+        .Set(static_cast<int64_t>(statuses.ByteSize()));
+  }
+#endif
+
+  SessionRun run;
+  if (context.ShouldStop()) {
+    run.network = InferredNetwork(n);
+    run.diagnostics.deadline_expired = true;
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
+    return run;
+  }
+
+  const internal::TendsArtifacts artifacts =
+      internal::ResolveArtifacts(*view.generation_, options_, metrics);
+  run.diagnostics.tau = artifacts.tau;
+  run.diagnostics.kmeans_iterations = artifacts.kmeans_iterations;
+
+  if (nodes_.size() != n) {
+    has_state_ = false;
+    nodes_.clear();
+    nodes_.resize(n);
+  }
+  const bool had_state = has_state_;
+
+  Counter* nodes_done_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.nodes_completed");
+  Counter* evals_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.score_evaluations");
+  Counter* clipped_counter =
+      TENDS_METRIC_COUNTER(metrics, "tends.tends.clipped_nodes");
+
+  // The same per-node loop shape as internal::RunTendsNodeLoop — identical
+  // candidate sets via the shared PruneCandidates, identical searches
+  // (the cube path emits bit-identical JointCounts), results assembled in
+  // node order — which is what makes Refresh() byte-identical to Run().
+  std::vector<ParentSearchResult> results(n);
+  std::vector<uint32_t> candidate_counts(n, 0);
+  std::vector<uint8_t> clipped(n, 0);
+  std::vector<uint8_t> completed(n, 0);
+  std::atomic<bool> expired{false};
+  std::atomic<uint32_t> dirty_count{0};
+  std::atomic<uint32_t> clean_count{0};
+  ParallelFor(options_.num_threads, 0, n, [&](uint32_t i) {
+    if (context.ShouldStop()) {
+      expired.store(true, std::memory_order_relaxed);
+      return;
+    }
+    NodeState& state = nodes_[i];
+    std::vector<graph::NodeId> candidates;
+    {
+      TENDS_METRICS_STAGE(metrics, "pruning");
+      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
+      bool was_clipped = false;
+      candidates = internal::PruneCandidates(artifacts, options_, i,
+                                             &was_clipped);
+      if (was_clipped) {
+        clipped[i] = 1;
+        TENDS_COUNTER_ADD(clipped_counter, 1);
+      }
+      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
+      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
+                          candidates.size());
+    }
+
+    // Dirty-node rule: reuse the cube only when the exact candidate set
+    // survived the append (a moved threshold or reshuffled top-k makes the
+    // node dirty, because every score depends on which candidates exist).
+    const bool reuse = had_state && state.cube.has_value() &&
+                       state.candidates == candidates;
+    {
+      TENDS_METRICS_STAGE(metrics, "parent_search");
+      if (reuse) {
+        clean_count.fetch_add(1, std::memory_order_relaxed);
+        state.cube->AddRows(statuses, state.cube->num_processes(),
+                            statuses.num_processes());
+        results[i] = FindParents(statuses, i, candidates, options_.search,
+                                 context, /*packed=*/nullptr, &*state.cube);
+      } else {
+        dirty_count.fetch_add(1, std::memory_order_relaxed);
+        results[i] = FindParents(statuses, i, candidates, options_.search,
+                                 context, artifacts.packed);
+        state.candidates = candidates;
+        if (candidates.size() <= runner_options_.max_cube_candidates) {
+          state.cube.emplace(statuses, i, std::move(candidates));
+        } else {
+          state.cube.reset();
+        }
+      }
+    }
+    TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
+    if (results[i].stopped) {
+      expired.store(true, std::memory_order_relaxed);
+    } else {
+      completed[i] = 1;
+      TENDS_COUNTER_ADD(nodes_done_counter, 1);
+    }
+  });
+
+  InferredNetwork network(n);
+  uint64_t total_candidates = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total_candidates += candidate_counts[i];
+    run.diagnostics.max_candidates_seen =
+        std::max(run.diagnostics.max_candidates_seen, candidate_counts[i]);
+    run.diagnostics.clipped_nodes += clipped[i];
+    run.diagnostics.total_score_evaluations += results[i].score_evaluations;
+    run.diagnostics.nodes_completed += completed[i];
+    if (completed[i]) run.diagnostics.network_score += results[i].score;
+    for (graph::NodeId parent : results[i].parents) {
+      const double weight = artifacts.sparse != nullptr
+                                ? artifacts.sparse->Get(i, parent)
+                                : artifacts.imi->Get(i, parent);
+      network.AddEdge(parent, i, weight);
+    }
+  }
+  run.diagnostics.mean_candidates = static_cast<double>(total_candidates) / n;
+  run.diagnostics.deadline_expired = expired.load(std::memory_order_relaxed);
+  if (run.diagnostics.deadline_expired) {
+    TENDS_METRIC_ADD(metrics, "tends.tends.deadline_expired", 1);
+  }
+  TENDS_METRIC_ADD(metrics, "tends.tends.edges_inferred", network.num_edges());
+  run.network = std::move(network);
+
+  last_dirty_nodes_ = dirty_count.load(std::memory_order_relaxed);
+  last_clean_nodes_ = clean_count.load(std::memory_order_relaxed);
+  last_epoch_ = view.epoch();
+  TENDS_GAUGE_SET(metrics, "tends.session.dirty_nodes", last_dirty_nodes_);
+  TENDS_GAUGE_SET(metrics, "tends.session.clean_nodes", last_clean_nodes_);
+  // A cut-short refresh may hold partial per-node state (searches stopped
+  // mid-greedy are never cached); drop it all so the next refresh is a
+  // clean full pass.
+  has_state_ = !run.diagnostics.deadline_expired;
+  if (!has_state_) {
+    nodes_.clear();
+    nodes_.resize(n);
+  }
   return run;
 }
 
@@ -210,6 +787,11 @@ StatusOr<SweepResult> SweepRunner::Run(const std::vector<TendsOptions>& runs,
   Counter* completed_counter =
       TENDS_METRIC_COUNTER(metrics, "tends.sweep.runs_completed");
 
+  // One pinned generation for the whole sweep: every run sees the same
+  // observations even when appends land mid-sweep, and the generation's
+  // artifacts stay alive until the sweep returns.
+  const SessionView view = session_.Snapshot();
+
   SweepResult result;
   result.runs_requested = runs.size();
   const size_t num_runs = runs.size();
@@ -234,7 +816,7 @@ StatusOr<SweepResult> SweepRunner::Run(const std::vector<TendsOptions>& runs,
                 }
                 started.fetch_add(1, std::memory_order_relaxed);
                 Timer timer;
-                StatusOr<SessionRun> run = session_.Run(runs[r], context);
+                StatusOr<SessionRun> run = view.Run(runs[r], context);
                 if (!run.ok()) {
                   statuses[r] = run.status();
                   return;

@@ -1,8 +1,10 @@
 #ifndef TENDS_INFERENCE_SESSION_H_
 #define TENDS_INFERENCE_SESSION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -18,6 +20,22 @@
 
 namespace tends::inference {
 
+class InferenceSession;
+
+/// How an artifact accessor instruments and parallelizes the computation
+/// it may trigger: the metrics registry that observes a first-call build
+/// (stages, gauges, hit/miss counters; nullptr for none) and the worker
+/// threads a parallelizable build may use. Replaces the positional
+/// `(MetricsRegistry*, uint32_t num_threads)` parameters the session
+/// accessors used to take — call sites name what they pass
+/// (`{.metrics = m}`) and new knobs can land without touching every
+/// signature again. Artifacts are byte-identical for any context value;
+/// the context only shapes observation and cost.
+struct ArtifactContext {
+  MetricsRegistry* metrics = nullptr;
+  uint32_t num_threads = 1;
+};
+
 /// One TENDS run produced by a session: the inferred topology plus its
 /// per-run diagnostics. Runs are self-contained values so concurrent
 /// sweeps never share mutable diagnostics state (unlike Tends, whose
@@ -27,26 +45,185 @@ struct SessionRun {
   TendsDiagnostics diagnostics;
 };
 
-/// Shared-artifact engine for running TENDS many times against one status
-/// matrix (tau_multiplier sweeps, IMI-vs-MI ablations, serving repeated
-/// inference requests).
+namespace internal {
+
+/// One immutable generation of a session's observations plus its lazily
+/// memoized artifacts. A generation never changes after publication:
+/// appends build a *successor* generation (copying forward what is cheap
+/// to delta-update) and atomically swap it in, so every reference handed
+/// out by a generation's accessors stays valid for as long as someone
+/// pins the generation (see SessionView). Artifact memoization follows
+/// the original session contract: each artifact computes at most once
+/// under its own std::once_flag, losers of a computation race block until
+/// the winner finishes, and hits/misses are counted on
+/// `tends.session.artifact_hits` / `tends.session.artifact_misses`.
+class SessionGeneration {
+ public:
+  SessionGeneration(diffusion::StatusMatrix statuses, uint64_t epoch);
+
+  const diffusion::StatusMatrix& statuses() const { return statuses_; }
+  uint32_t num_nodes() const { return statuses_.num_nodes(); }
+  uint32_t num_processes() const { return statuses_.num_processes(); }
+  /// 0 for the generation a session is constructed with, +1 per append.
+  uint64_t epoch() const { return epoch_; }
+
+  // Memoized artifact accessors (computed on first use, then shared; a
+  // generation seeded by an append serves the delta-updated value as a
+  // hit without ever recomputing).
+
+  /// Bit-packed status columns (the one transpose of the matrix).
+  const PackedStatuses& packed(const ArtifactContext& context = {}) const;
+  /// Marginal infected-count per node.
+  const std::vector<uint32_t>& marginal_counts(
+      const ArtifactContext& context = {}) const;
+  /// Pairwise contingency counts, strictly-upper-triangle order (the
+  /// O(n^2 * beta) half of the IMI pass, shared by both MI variants).
+  const std::vector<PairCounts>& pair_counts(
+      const ArtifactContext& context = {}) const;
+  /// Pairwise matrix of the requested MI variant.
+  const ImiMatrix& imi(MiVariant variant,
+                       const ArtifactContext& context = {}) const;
+  /// K-means base threshold of the requested variant's matrix (unscaled;
+  /// runs apply their own tau_multiplier).
+  const ImiThreshold& base_threshold(MiVariant variant,
+                                     const ArtifactContext& context = {}) const;
+  /// Symmetric co-infection count table (the integer backbone the sparse
+  /// index derives from; kept as its own artifact because integers are
+  /// what appends can delta-update exactly).
+  const CooccurrenceCounts& cooccurrence(
+      const ArtifactContext& context = {}) const;
+  /// Sparse positive-IMI candidate index (candidate_mode = kSparse runs).
+  /// Independent of the dense pair_counts/imi artifacts — a sparse-only
+  /// session never materializes anything O(n^2).
+  const SparseCandidateIndex& sparse_candidates(
+      const ArtifactContext& context = {}) const;
+  /// K-means base threshold over the sparse index's stored values
+  /// (bit-identical tau to base_threshold(kInfection); memoized separately
+  /// so neither path forces the other's artifact into existence).
+  const ImiThreshold& sparse_base_threshold(
+      const ArtifactContext& context = {}) const;
+
+ private:
+  friend class ::tends::inference::InferenceSession;
+
+  /// One lazily-computed artifact: a once_flag guarding `value`, plus a
+  /// `ready` flag so an append can ask "did anyone materialize this?"
+  /// without racing a concurrent first computation (acquire-load; a
+  /// mid-flight build simply reads as not-yet-ready and the successor
+  /// generation recomputes lazily).
+  template <typename T>
+  struct Memo {
+    mutable std::once_flag once;
+    mutable std::optional<T> value;
+    mutable std::atomic<bool> ready{false};
+
+    bool Ready() const { return ready.load(std::memory_order_acquire); }
+  };
+
+  /// Runs memo.value = init() exactly once (thread-safe), bumping the
+  /// session hit/miss counters, and returns the memoized value.
+  template <typename T, typename Init>
+  const T& Memoize(const Memo<T>& memo, MetricsRegistry* metrics,
+                   Init&& init) const;
+
+  /// Seeds a memo with an externally computed value (pre-packed statuses,
+  /// an append's delta-updated artifact). First writer wins; later
+  /// accessor calls count as hits.
+  template <typename T>
+  static void Seed(const Memo<T>& memo, T value) {
+    std::call_once(memo.once, [&] {
+      memo.value.emplace(std::move(value));
+      memo.ready.store(true, std::memory_order_release);
+    });
+  }
+
+  diffusion::StatusMatrix statuses_;
+  uint64_t epoch_ = 0;
+  Memo<PackedStatuses> packed_;
+  Memo<std::vector<uint32_t>> marginal_counts_;
+  Memo<std::vector<PairCounts>> pair_counts_;
+  Memo<ImiMatrix> imi_infection_;
+  Memo<ImiMatrix> imi_traditional_;
+  Memo<ImiThreshold> threshold_infection_;
+  Memo<ImiThreshold> threshold_traditional_;
+  Memo<CooccurrenceCounts> cooccurrence_;
+  Memo<SparseCandidateIndex> sparse_candidates_;
+  Memo<ImiThreshold> threshold_sparse_;
+};
+
+}  // namespace internal
+
+/// A pinned, immutable view of one session generation. Snapshot() hands
+/// one out; every reference its accessors return stays valid for the
+/// view's lifetime even while appends land on the session — the
+/// epoch/snapshot contract concurrent sweeps rely on. Cheap to copy
+/// (shared_ptr).
+class SessionView {
+ public:
+  uint64_t epoch() const;
+  const diffusion::StatusMatrix& statuses() const;
+  uint32_t num_nodes() const;
+  uint32_t num_processes() const;
+
+  const PackedStatuses& packed(const ArtifactContext& context = {}) const;
+  const std::vector<uint32_t>& marginal_counts(
+      const ArtifactContext& context = {}) const;
+  const std::vector<PairCounts>& pair_counts(
+      const ArtifactContext& context = {}) const;
+  const ImiMatrix& imi(MiVariant variant,
+                       const ArtifactContext& context = {}) const;
+  const ImiThreshold& base_threshold(MiVariant variant,
+                                     const ArtifactContext& context = {}) const;
+  const CooccurrenceCounts& cooccurrence(
+      const ArtifactContext& context = {}) const;
+  const SparseCandidateIndex& sparse_candidates(
+      const ArtifactContext& context = {}) const;
+  const ImiThreshold& sparse_base_threshold(
+      const ArtifactContext& context = {}) const;
+
+  /// Runs TENDS against this pinned generation; byte-identical to a fresh
+  /// Tends(options).InferFromStatuses(statuses(), context).
+  StatusOr<SessionRun> Run(const TendsOptions& options,
+                           const RunContext& context = RunContext()) const;
+
+ private:
+  friend class InferenceSession;
+  friend class IncrementalRunner;
+  explicit SessionView(
+      std::shared_ptr<const internal::SessionGeneration> generation)
+      : generation_(std::move(generation)) {}
+
+  std::shared_ptr<const internal::SessionGeneration> generation_;
+};
+
+/// Shared-artifact engine for running TENDS many times against one
+/// append-only stream of status observations (tau_multiplier sweeps,
+/// IMI-vs-MI ablations, serving repeated inference requests, streaming
+/// ingest of new diffusion processes).
 ///
 /// A fresh Tends::Infer recomputes, for every call, artifacts that depend
 /// only on the status matrix: the bit-packed column transpose, the
 /// pairwise contingency-count table, the IMI (or traditional-MI) matrix,
 /// and the K-means base threshold. A session computes each of those
-/// lazily on first use, memoizes it for its lifetime, and reuses it across
-/// runs, so Run() only redoes the work a given option set actually
-/// changes: pruning at the scaled threshold plus the parent searches.
+/// lazily on first use, memoizes it for the current generation, and
+/// reuses it across runs, so Run() only redoes the work a given option
+/// set actually changes: pruning at the scaled threshold plus the parent
+/// searches.
 ///
-/// Memoization contract: the status matrix is owned by value and
-/// immutable, so every artifact is valid for the session's lifetime and
-/// there is no invalidation — a different matrix means a different
-/// session. Each artifact is guarded by its own std::once_flag; accessors
-/// (and Run) are safe to call from any number of threads concurrently,
-/// losers of a computation race block until the winner finishes, and
-/// artifacts are only ever computed once. Accessor hits/misses are
-/// counted on `tends.session.artifact_hits` / `tends.session.artifact_misses`.
+/// Generations and appends: the observations are an append-only stream of
+/// process blocks. AppendStatuses/AppendPacked add a chunk, producing a
+/// new generation whose epoch is one higher; artifacts the predecessor
+/// had materialized are *delta-updated* eagerly — packed columns spliced,
+/// marginal and pair counts added integer-exactly, MI matrices re-derived
+/// from the updated table through the canonical constructor, thresholds
+/// re-clustered — at cost proportional to the chunk (plus O(n^2) for the
+/// dense table), never to the accumulated history, and with values
+/// byte-identical to a cold build over the concatenated matrix (the
+/// append differential suite pins this). Artifacts never materialized
+/// stay lazy. Readers are never blocked: accessors serve the current
+/// generation, Snapshot() pins one explicitly, and references returned by
+/// the convenience accessors below stay valid until the *next* append
+/// (pin a SessionView to hold them longer).
 ///
 /// Equivalence contract: Run(options, context) is byte-identical to a
 /// fresh Tends(options).InferFromStatuses(statuses, context) — both feed
@@ -56,9 +233,9 @@ struct SessionRun {
 /// suite with bit-cast float equality).
 class InferenceSession {
  public:
-  /// Takes ownership of the status matrix (it must not change afterwards —
-  /// pass a copy to keep the original). Validation of matrix contents
-  /// happens per run, honoring each run's reject_degenerate_columns.
+  /// Takes ownership of the status matrix (pass a copy to keep the
+  /// original). Validation of matrix contents happens per run, honoring
+  /// each run's reject_degenerate_columns.
   explicit InferenceSession(diffusion::StatusMatrix statuses);
 
   /// Same, but seeds the packed-transpose artifact with a pre-built
@@ -70,77 +247,173 @@ class InferenceSession {
   /// contract — a lying producer silently corrupts every artifact).
   InferenceSession(diffusion::StatusMatrix statuses, PackedStatuses packed);
 
-  const diffusion::StatusMatrix& statuses() const { return statuses_; }
-  uint32_t num_nodes() const { return statuses_.num_nodes(); }
-  uint32_t num_processes() const { return statuses_.num_processes(); }
+  /// Current generation's matrix; the reference is valid until the next
+  /// append (use Snapshot() to pin it across appends).
+  const diffusion::StatusMatrix& statuses() const;
+  uint32_t num_nodes() const;
+  uint32_t num_processes() const;
+  /// Number of appends absorbed so far (0 at construction).
+  uint64_t epoch() const;
 
-  /// Runs TENDS with these options against the shared artifacts. Honors
-  /// the context exactly like Tends::InferFromStatuses (best-so-far
-  /// partial network, diagnostics.deadline_expired set). `metrics` inside
-  /// the context sees the same stage/counter names as a fresh run, except
-  /// that artifact stages (pack_statuses, imi, kmeans) are only timed on
-  /// the run that computes them.
+  /// Pins the current generation. The view (and everything reachable from
+  /// it) stays valid and immutable however many appends land afterwards.
+  SessionView Snapshot() const;
+
+  /// Appends a block of diffusion processes (same node set, >= 1 process)
+  /// as a new generation, delta-updating every artifact the current
+  /// generation had materialized. Thread-safe against concurrent reads
+  /// and runs (they keep observing the old generation until the swap) and
+  /// against concurrent appends (serialized). Emits
+  /// tends.session.appends / append_processes / append_ns on
+  /// context.metrics. Note: appending changes the checkpoint fingerprint
+  /// (it hashes the matrix contents), so checkpoints taken before an
+  /// append do not resume against the grown session — by design.
+  Status AppendStatuses(const diffusion::StatusMatrix& chunk,
+                        const ArtifactContext& context = {});
+
+  /// Same, with a pre-packed transpose of the chunk (e.g. from the
+  /// simulator's statuses-only fast path). `chunk_packed` must hold
+  /// exactly the bits of `chunk` (shape checked; contents are the
+  /// caller's contract).
+  Status AppendPacked(const diffusion::StatusMatrix& chunk,
+                      PackedStatuses chunk_packed,
+                      const ArtifactContext& context = {});
+
+  /// Runs TENDS with these options against the current generation's
+  /// shared artifacts. Honors the context exactly like
+  /// Tends::InferFromStatuses (best-so-far partial network,
+  /// diagnostics.deadline_expired set). `metrics` inside the context sees
+  /// the same stage/counter names as a fresh run, except that artifact
+  /// stages (pack_statuses, imi, kmeans) are only timed on the run that
+  /// computes them. The generation is pinned for the duration, so a
+  /// concurrent append never mixes observations mid-run.
   StatusOr<SessionRun> Run(const TendsOptions& options,
                            const RunContext& context = RunContext()) const;
 
-  // Memoized artifact accessors (computed on first use, then shared).
-  // `metrics` instruments the computation on a miss and the hit/miss
-  // counters; pass nullptr for none.
+  // Convenience artifact accessors against the *current* generation.
+  // References are valid until the next append; concurrent sweeps should
+  // pin a Snapshot() instead.
 
-  /// Bit-packed status columns (the one transpose of the matrix).
-  const PackedStatuses& packed(MetricsRegistry* metrics = nullptr) const;
-  /// Marginal infected-count per node.
+  const PackedStatuses& packed(const ArtifactContext& context = {}) const;
   const std::vector<uint32_t>& marginal_counts(
-      MetricsRegistry* metrics = nullptr) const;
-  /// Pairwise contingency counts, strictly-upper-triangle order (the
-  /// O(n^2 * beta) half of the IMI pass, shared by both MI variants).
+      const ArtifactContext& context = {}) const;
   const std::vector<PairCounts>& pair_counts(
-      MetricsRegistry* metrics = nullptr) const;
-  /// Pairwise matrix of the requested MI variant.
-  const ImiMatrix& imi(bool use_traditional_mi,
-                       MetricsRegistry* metrics = nullptr) const;
-  /// K-means base threshold of the requested variant's matrix (unscaled;
-  /// runs apply their own tau_multiplier).
-  const ImiThreshold& base_threshold(bool use_traditional_mi,
-                                     MetricsRegistry* metrics = nullptr) const;
-  /// Sparse positive-IMI candidate index (candidate_mode = kSparse runs).
-  /// Independent of the dense pair_counts/imi artifacts — a sparse-only
-  /// session never materializes anything O(n^2). `num_threads` only
-  /// parallelizes a first-call build; the artifact is byte-identical for
-  /// any value, so memoization is sound whichever run triggers it.
+      const ArtifactContext& context = {}) const;
+  const ImiMatrix& imi(MiVariant variant,
+                       const ArtifactContext& context = {}) const;
+  const ImiThreshold& base_threshold(MiVariant variant,
+                                     const ArtifactContext& context = {}) const;
+  const CooccurrenceCounts& cooccurrence(
+      const ArtifactContext& context = {}) const;
   const SparseCandidateIndex& sparse_candidates(
-      MetricsRegistry* metrics = nullptr, uint32_t num_threads = 1) const;
-  /// K-means base threshold over the sparse index's stored values
-  /// (bit-identical tau to base_threshold(false), see
-  /// kmeans_threshold.h; memoized separately so neither path forces the
-  /// other's artifact into existence).
-  const ImiThreshold& sparse_base_threshold(MetricsRegistry* metrics = nullptr,
-                                            uint32_t num_threads = 1) const;
+      const ArtifactContext& context = {}) const;
+  const ImiThreshold& sparse_base_threshold(
+      const ArtifactContext& context = {}) const;
+
+  // Deprecated accessor overloads, source-compatible for one release
+  // (positional (MetricsRegistry*, num_threads) and bool-variant forms).
+  // None carries default arguments — the zero-argument spellings already
+  // resolve to the ArtifactContext overloads above.
+
+  [[deprecated("pass an ArtifactContext instead of a MetricsRegistry*")]]
+  const PackedStatuses& packed(MetricsRegistry* metrics) const;
+  [[deprecated("pass an ArtifactContext instead of a MetricsRegistry*")]]
+  const std::vector<uint32_t>& marginal_counts(MetricsRegistry* metrics) const;
+  [[deprecated("pass an ArtifactContext instead of a MetricsRegistry*")]]
+  const std::vector<PairCounts>& pair_counts(MetricsRegistry* metrics) const;
+  [[deprecated("pass a MiVariant (and ArtifactContext) instead of a bool")]]
+  const ImiMatrix& imi(bool use_traditional_mi) const;
+  [[deprecated("pass a MiVariant (and ArtifactContext) instead of a bool")]]
+  const ImiMatrix& imi(bool use_traditional_mi,
+                       MetricsRegistry* metrics) const;
+  [[deprecated("pass a MiVariant (and ArtifactContext) instead of a bool")]]
+  const ImiThreshold& base_threshold(bool use_traditional_mi) const;
+  [[deprecated("pass a MiVariant (and ArtifactContext) instead of a bool")]]
+  const ImiThreshold& base_threshold(bool use_traditional_mi,
+                                     MetricsRegistry* metrics) const;
+  [[deprecated("pass an ArtifactContext instead of positional arguments")]]
+  const SparseCandidateIndex& sparse_candidates(MetricsRegistry* metrics) const;
+  [[deprecated("pass an ArtifactContext instead of positional arguments")]]
+  const SparseCandidateIndex& sparse_candidates(MetricsRegistry* metrics,
+                                                uint32_t num_threads) const;
+  [[deprecated("pass an ArtifactContext instead of positional arguments")]]
+  const ImiThreshold& sparse_base_threshold(MetricsRegistry* metrics) const;
+  [[deprecated("pass an ArtifactContext instead of positional arguments")]]
+  const ImiThreshold& sparse_base_threshold(MetricsRegistry* metrics,
+                                            uint32_t num_threads) const;
 
  private:
-  /// One lazily-computed artifact: a once_flag guarding `value`.
-  template <typename T>
-  struct Memo {
-    mutable std::once_flag once;
-    mutable std::optional<T> value;
+  std::shared_ptr<const internal::SessionGeneration> current() const;
+  Status AppendImpl(const diffusion::StatusMatrix& chunk,
+                    const PackedStatuses* pre_packed,
+                    const ArtifactContext& context);
+
+  /// Guards the generation pointer swap (reads copy the shared_ptr under
+  /// it; the pointed-to generation itself is immutable).
+  mutable std::mutex generation_mutex_;
+  std::shared_ptr<const internal::SessionGeneration> generation_;
+  /// Serializes appends (readers are never blocked by it).
+  std::mutex append_mutex_;
+};
+
+struct IncrementalRunnerOptions {
+  /// Candidate sets up to this size keep a per-node CandidateCube between
+  /// refreshes (memory: 2^|C| * 8 bytes per node); larger sets fall back
+  /// to the ordinary packed search every refresh. Clamped to
+  /// CandidateCube::kMaxCubeCandidates.
+  uint32_t max_cube_candidates = 12;
+};
+
+/// Re-infers the topology after each append, reusing prior parent-search
+/// work: per node it keeps the last candidate set and a CandidateCube of
+/// sufficient statistics over it. On Refresh(), a node whose (recomputed)
+/// candidate set is unchanged is *clean* — its cube absorbs just the
+/// appended rows (O(chunk * |C|)) and the greedy search re-runs entirely
+/// against the cube, O(2^|C|) per score, never rescanning the history. A
+/// node whose candidates moved (or whose set exceeds the cube cap) is
+/// *dirty* and takes the ordinary packed search, then rebuilds its cube.
+/// Every refresh's output — network bytes, diagnostics, score-evaluation
+/// counts — is byte-identical to InferenceSession::Run(options) on the
+/// same generation; the cube serves bit-identical JointCounts, so "reuse"
+/// is a pure cost optimization (pinned by the append differential suite).
+///
+/// A refresh cut short by the run context invalidates the per-node state
+/// (partial searches are never cached); the next refresh is a full one.
+/// Not thread-safe: one runner per consumer (Refresh itself parallelizes
+/// over nodes with options.num_threads). Checkpoint options are rejected —
+/// incremental state is in-memory by design; use Run() for durable runs.
+class IncrementalRunner {
+ public:
+  IncrementalRunner(const InferenceSession& session, TendsOptions options,
+                    IncrementalRunnerOptions runner_options = {});
+
+  /// Pins the session's current generation and infers its topology,
+  /// reusing per-node state from the previous refresh where clean.
+  StatusOr<SessionRun> Refresh(const RunContext& context = RunContext());
+
+  const TendsOptions& options() const { return options_; }
+  /// Epoch of the last completed refresh.
+  uint64_t last_epoch() const { return last_epoch_; }
+  /// Dirty/clean node split of the last refresh (dirty = full search;
+  /// clean = cube-served). Also exported as the tends.session.dirty_nodes
+  /// and tends.session.clean_nodes gauges.
+  uint32_t last_dirty_nodes() const { return last_dirty_nodes_; }
+  uint32_t last_clean_nodes() const { return last_clean_nodes_; }
+
+ private:
+  struct NodeState {
+    std::vector<graph::NodeId> candidates;
+    std::optional<CandidateCube> cube;
   };
 
-  /// Runs memo.value = init() exactly once (thread-safe), bumping the
-  /// session hit/miss counters, and returns the memoized value.
-  template <typename T, typename Init>
-  const T& Memoize(const Memo<T>& memo, MetricsRegistry* metrics,
-                   Init&& init) const;
-
-  diffusion::StatusMatrix statuses_;
-  Memo<PackedStatuses> packed_;
-  Memo<std::vector<uint32_t>> marginal_counts_;
-  Memo<std::vector<PairCounts>> pair_counts_;
-  Memo<ImiMatrix> imi_infection_;
-  Memo<ImiMatrix> imi_traditional_;
-  Memo<ImiThreshold> threshold_infection_;
-  Memo<ImiThreshold> threshold_traditional_;
-  Memo<SparseCandidateIndex> sparse_candidates_;
-  Memo<ImiThreshold> threshold_sparse_;
+  const InferenceSession& session_;
+  TendsOptions options_;
+  IncrementalRunnerOptions runner_options_;
+  bool has_state_ = false;
+  std::vector<NodeState> nodes_;
+  uint64_t last_epoch_ = 0;
+  uint32_t last_dirty_nodes_ = 0;
+  uint32_t last_clean_nodes_ = 0;
 };
 
 /// One completed run of a sweep: where it sat in the request vector, the
@@ -184,7 +457,9 @@ struct SweepRunnerOptions {
 /// session's memoized artifacts, runs are independent and may execute
 /// concurrently, and the context is honored per run (a run observes the
 /// deadline exactly as a standalone Tends::Infer would; the sweep
-/// additionally skips runs it could not start in time).
+/// additionally skips runs it could not start in time). The sweep pins
+/// one generation up front, so every run sees the same observations even
+/// when appends land mid-sweep.
 class SweepRunner {
  public:
   explicit SweepRunner(const InferenceSession& session,

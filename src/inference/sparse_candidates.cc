@@ -61,14 +61,55 @@ std::vector<double> SparseCandidateIndex::PositiveUpperTriangleValues() const {
   return out;
 }
 
-SparseCandidateIndex BuildSparseCandidateIndex(
-    const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
-    const SparseCandidateOptions& options, MetricsRegistry* metrics) {
+void CooccurrenceCounts::Append(const CooccurrenceCounts& chunk) {
+  TENDS_CHECK(chunk.num_nodes_ == num_nodes_)
+      << "appended chunk covers " << chunk.num_nodes_
+      << " nodes, co-occurrence table covers " << num_nodes_;
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
+  std::vector<uint32_t> neighbors, counts;
+  neighbors.reserve(neighbors_.size() + chunk.neighbors_.size());
+  counts.reserve(counts_.size() + chunk.counts_.size());
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    const RowView a = Row(i);
+    const RowView b = chunk.Row(i);
+    size_t x = 0, y = 0;
+    while (x < a.size || y < b.size) {
+      if (y == b.size || (x < a.size && a.neighbors[x] < b.neighbors[y])) {
+        neighbors.push_back(a.neighbors[x]);
+        counts.push_back(a.counts[x]);
+        ++x;
+      } else if (x == a.size || b.neighbors[y] < a.neighbors[x]) {
+        neighbors.push_back(b.neighbors[y]);
+        counts.push_back(b.counts[y]);
+        ++y;
+      } else {
+        neighbors.push_back(a.neighbors[x]);
+        counts.push_back(a.counts[x] + b.counts[y]);
+        ++x;
+        ++y;
+      }
+    }
+    offsets[i + 1] = neighbors.size();
+  }
+  offsets_ = std::move(offsets);
+  neighbors_ = std::move(neighbors);
+  counts_ = std::move(counts);
+  num_processes_ += chunk.num_processes_;
+  // Entry counts are exact for the merged table; the strategy-row tallies
+  // just accumulate (which build path produced which chunk's rows is a
+  // diagnostic, not part of the differential contract).
+  stats_.pairs_visited = neighbors_.size();
+  stats_.pairs_skipped =
+      static_cast<uint64_t>(num_nodes_) * (num_nodes_ - 1) - neighbors_.size();
+  stats_.merge_rows += chunk.stats_.merge_rows;
+  stats_.popcount_rows += chunk.stats_.popcount_rows;
+}
+
+CooccurrenceCounts BuildCooccurrenceCounts(const PackedStatuses& packed,
+                                           const SparseCandidateOptions& options,
+                                           MetricsRegistry* metrics) {
   const uint32_t n = packed.num_nodes();
-  const uint32_t beta = packed.num_processes();
   const uint32_t words = packed.words_per_node();
-  TENDS_CHECK(marginals.size() == n)
-      << "marginals size " << marginals.size() << " != num_nodes " << n;
 
   TENDS_METRICS_STAGE(metrics, "sparse_index");
   TENDS_TRACE_SPAN(metrics, "sparse_index");
@@ -78,10 +119,10 @@ SparseCandidateIndex BuildSparseCandidateIndex(
                   inverted.ByteSize());
 
   // Per-node rows are built independently (deterministic content per row,
-  // so the assembled index is byte-identical for any thread count), then
+  // so the assembled table is byte-identical for any thread count), then
   // flattened into the CSR arrays.
   std::vector<std::vector<uint32_t>> row_neighbors(n);
-  std::vector<std::vector<double>> row_values(n);
+  std::vector<std::vector<uint32_t>> row_counts(n);
   std::atomic<uint64_t> visited{0}, skipped{0};
   std::atomic<uint32_t> merge_rows{0}, popcount_rows{0};
 
@@ -109,7 +150,7 @@ SparseCandidateIndex BuildSparseCandidateIndex(
     }
 
     std::vector<uint32_t>& neighbors = row_neighbors[i];
-    std::vector<double>& values = row_values[i];
+    std::vector<uint32_t>& pair_counts = row_counts[i];
     uint64_t row_visited = 0;
 
     if (use_merge) {
@@ -133,14 +174,8 @@ SparseCandidateIndex BuildSparseCandidateIndex(
       for (uint32_t j : scratch.touched) {
         if (j == i) continue;
         ++row_visited;
-        const uint32_t c11 = scratch.c11[j];
-        const uint32_t lo = std::min(i, j), hi = std::max(i, j);
-        const double value = InfectionMiFromCoInfection(
-            c11, marginals[lo], marginals[hi], beta);
-        if (value > 0.0) {
-          neighbors.push_back(j);
-          values.push_back(value);
-        }
+        neighbors.push_back(j);
+        pair_counts.push_back(scratch.c11[j]);
       }
       for (uint32_t j : scratch.touched) scratch.c11[j] = 0;
       scratch.touched.clear();
@@ -153,41 +188,69 @@ SparseCandidateIndex BuildSparseCandidateIndex(
         for (uint32_t w = 0; w < words; ++w) {
           c11 += static_cast<uint32_t>(std::popcount(col[w] & other[w]));
         }
-        // Early-out on zero co-infection: no table, no MI evaluation.
+        // Early-out on zero co-infection: no entry stored.
         if (c11 == 0) continue;
         ++row_visited;
-        const uint32_t lo = std::min(i, j), hi = std::max(i, j);
-        const double value = InfectionMiFromCoInfection(
-            c11, marginals[lo], marginals[hi], beta);
-        if (value > 0.0) {
-          neighbors.push_back(j);
-          values.push_back(value);
-        }
+        neighbors.push_back(j);
+        pair_counts.push_back(c11);
       }
     }
     visited.fetch_add(row_visited, std::memory_order_relaxed);
     skipped.fetch_add(n - 1 - row_visited, std::memory_order_relaxed);
   });
 
+  CooccurrenceCounts table;
+  table.num_nodes_ = n;
+  table.num_processes_ = packed.num_processes();
+  table.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    table.offsets_[i + 1] = table.offsets_[i] + row_neighbors[i].size();
+  }
+  table.neighbors_.reserve(table.offsets_[n]);
+  table.counts_.reserve(table.offsets_[n]);
+  for (uint32_t i = 0; i < n; ++i) {
+    table.neighbors_.insert(table.neighbors_.end(), row_neighbors[i].begin(),
+                            row_neighbors[i].end());
+    table.counts_.insert(table.counts_.end(), row_counts[i].begin(),
+                         row_counts[i].end());
+  }
+  table.stats_.pairs_visited = visited.load(std::memory_order_relaxed);
+  table.stats_.pairs_skipped = skipped.load(std::memory_order_relaxed);
+  table.stats_.merge_rows = merge_rows.load(std::memory_order_relaxed);
+  table.stats_.popcount_rows = popcount_rows.load(std::memory_order_relaxed);
+  TENDS_GAUGE_SET(metrics, "tends.mem.cooccurrence_bytes", table.ByteSize());
+  return table;
+}
+
+SparseCandidateIndex DeriveSparseCandidateIndex(
+    const CooccurrenceCounts& cooccurrence,
+    const std::vector<uint32_t>& marginals, MetricsRegistry* metrics) {
+  const uint32_t n = cooccurrence.num_nodes();
+  const uint32_t beta = cooccurrence.num_processes();
+  TENDS_CHECK(marginals.size() == n)
+      << "marginals size " << marginals.size() << " != num_nodes " << n;
+
   SparseCandidateIndex index;
   index.num_nodes_ = n;
   index.num_processes_ = beta;
   index.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  index.neighbors_.reserve(cooccurrence.num_entries());
+  index.values_.reserve(cooccurrence.num_entries());
   for (uint32_t i = 0; i < n; ++i) {
-    index.offsets_[i + 1] = index.offsets_[i] + row_neighbors[i].size();
+    const CooccurrenceCounts::RowView row = cooccurrence.Row(i);
+    for (size_t e = 0; e < row.size; ++e) {
+      const uint32_t j = row.neighbors[e];
+      const uint32_t lo = std::min(i, j), hi = std::max(i, j);
+      const double value = InfectionMiFromCoInfection(
+          row.counts[e], marginals[lo], marginals[hi], beta);
+      if (value > 0.0) {
+        index.neighbors_.push_back(j);
+        index.values_.push_back(value);
+      }
+    }
+    index.offsets_[i + 1] = index.neighbors_.size();
   }
-  index.neighbors_.reserve(index.offsets_[n]);
-  index.values_.reserve(index.offsets_[n]);
-  for (uint32_t i = 0; i < n; ++i) {
-    index.neighbors_.insert(index.neighbors_.end(), row_neighbors[i].begin(),
-                            row_neighbors[i].end());
-    index.values_.insert(index.values_.end(), row_values[i].begin(),
-                         row_values[i].end());
-  }
-  index.stats_.pairs_visited = visited.load(std::memory_order_relaxed);
-  index.stats_.pairs_skipped = skipped.load(std::memory_order_relaxed);
-  index.stats_.merge_rows = merge_rows.load(std::memory_order_relaxed);
-  index.stats_.popcount_rows = popcount_rows.load(std::memory_order_relaxed);
+  index.stats_ = cooccurrence.stats();
 
   TENDS_GAUGE_SET(metrics, "tends.mem.sparse_index_bytes", index.ByteSize());
   TENDS_METRIC_ADD(metrics, "tends.counting.pairs_visited",
@@ -199,6 +262,13 @@ SparseCandidateIndex BuildSparseCandidateIndex(
   TENDS_METRIC_ADD(metrics, "tends.counting.sparse_popcount_rows",
                    index.stats_.popcount_rows);
   return index;
+}
+
+SparseCandidateIndex BuildSparseCandidateIndex(
+    const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
+    const SparseCandidateOptions& options, MetricsRegistry* metrics) {
+  return DeriveSparseCandidateIndex(
+      BuildCooccurrenceCounts(packed, options, metrics), marginals, metrics);
 }
 
 void TopKCandidateHeap::Push(double value, graph::NodeId id) {

@@ -59,6 +59,69 @@ struct SparseIndexStats {
   uint32_t popcount_rows = 0;
 };
 
+class SparseCandidateIndex;
+
+/// Symmetric CSR table of the pairwise co-infection counts c11 > 0: row i
+/// holds every j != i that is co-infected with i in at least one process,
+/// ascending by j, with the exact integer count. This is the integer
+/// backbone of the sparse pipeline: the MI values of SparseCandidateIndex
+/// are pure functions of (c11, marginals, beta), so keeping the counts
+/// makes the index *delta-updatable* — appending a chunk of processes
+/// merges the chunk's counts in (integers add exactly) and re-derives the
+/// doubles, where the index alone could not absorb a beta change.
+class CooccurrenceCounts {
+ public:
+  struct RowView {
+    const uint32_t* neighbors = nullptr;
+    const uint32_t* counts = nullptr;
+    size_t size = 0;
+  };
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t num_processes() const { return num_processes_; }
+  size_t num_entries() const { return neighbors_.size(); }
+
+  RowView Row(graph::NodeId i) const {
+    RowView row;
+    row.neighbors = neighbors_.data() + offsets_[i];
+    row.counts = counts_.data() + offsets_[i];
+    row.size = static_cast<size_t>(offsets_[i + 1] - offsets_[i]);
+    return row;
+  }
+
+  /// Merges the counts of `chunk` (built over the appended processes of
+  /// the same node set) into this table: per-row sorted merge, counts of
+  /// shared pairs add, new pairs are inserted in order. Exactly equal to
+  /// building from the concatenated processes. Strategy-row stats
+  /// accumulate; visited/skipped are recomputed from the merged structure
+  /// (diagnostics only — values and entries are what the differential
+  /// suite pins).
+  void Append(const CooccurrenceCounts& chunk);
+
+  size_t ByteSize() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * sizeof(uint32_t) +
+           counts_.size() * sizeof(uint32_t);
+  }
+
+  const SparseIndexStats& stats() const { return stats_; }
+
+ private:
+  friend CooccurrenceCounts BuildCooccurrenceCounts(
+      const PackedStatuses& packed, const SparseCandidateOptions& options,
+      MetricsRegistry* metrics);
+  friend SparseCandidateIndex DeriveSparseCandidateIndex(
+      const CooccurrenceCounts& cooccurrence,
+      const std::vector<uint32_t>& marginals, MetricsRegistry* metrics);
+
+  uint32_t num_nodes_ = 0;
+  uint32_t num_processes_ = 0;
+  std::vector<uint64_t> offsets_;  // num_nodes + 1
+  std::vector<uint32_t> neighbors_;
+  std::vector<uint32_t> counts_;
+  SparseIndexStats stats_;
+};
+
 /// CSR index of the strictly positive pairwise infection-MI values: row i
 /// holds every j != i with co-infection and InfectionMi > 0.0, ascending
 /// by j, each with the exact double the dense ImiMatrix would store.
@@ -107,9 +170,9 @@ class SparseCandidateIndex {
   const SparseIndexStats& stats() const { return stats_; }
 
  private:
-  friend SparseCandidateIndex BuildSparseCandidateIndex(
-      const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
-      const SparseCandidateOptions& options, MetricsRegistry* metrics);
+  friend SparseCandidateIndex DeriveSparseCandidateIndex(
+      const CooccurrenceCounts& cooccurrence,
+      const std::vector<uint32_t>& marginals, MetricsRegistry* metrics);
 
   uint32_t num_nodes_ = 0;
   uint32_t num_processes_ = 0;
@@ -119,15 +182,33 @@ class SparseCandidateIndex {
   SparseIndexStats stats_;
 };
 
+/// Builds the co-occurrence table from the packed columns. Per node,
+/// either merges the inverted-index lists of the node's processes (cost =
+/// sum of those list sizes) or falls back to a blocked AND+popcount scan
+/// over all columns (cost = n * words per column) — whichever the cost
+/// model predicts cheaper; the choice never changes the result, only the
+/// time. Deterministic and byte-identical for any thread count and either
+/// strategy. Sets the tends.mem.sparse_inverted_index_bytes and
+/// tends.mem.cooccurrence_bytes gauges on `metrics` (may be null).
+CooccurrenceCounts BuildCooccurrenceCounts(
+    const PackedStatuses& packed, const SparseCandidateOptions& options = {},
+    MetricsRegistry* metrics = nullptr);
+
+/// Evaluates the infection MI of every stored pair of `cooccurrence`
+/// (canonical (min-id, max-id) orientation; `marginals` must equal the
+/// packed columns' InfectedCounts()) and keeps the strictly positive
+/// entries. Byte-identical to BuildSparseCandidateIndex over the same
+/// observations however the counts were obtained — one build or a chain
+/// of Append()s. Sets the tends.mem.sparse_index_bytes gauge and
+/// tends.counting.pairs_* counters on `metrics` (may be null).
+SparseCandidateIndex DeriveSparseCandidateIndex(
+    const CooccurrenceCounts& cooccurrence,
+    const std::vector<uint32_t>& marginals, MetricsRegistry* metrics = nullptr);
+
 /// Builds the sparse index from the packed columns and their marginal
-/// infected counts (`marginals` must equal packed.InfectedCounts()).
-/// Per node, either merges the inverted-index lists of the node's
-/// processes (cost = sum of those list sizes) or falls back to a blocked
-/// AND+popcount scan over all columns (cost = n * words per column) —
-/// whichever the cost model predicts cheaper; the choice never changes
-/// the result, only the time. Deterministic and byte-identical for any
-/// thread count and either strategy. Sets the tends.mem.sparse_* gauges
-/// and tends.counting.pairs_* counters on `metrics` (may be null).
+/// infected counts: BuildCooccurrenceCounts then DeriveSparseCandidateIndex
+/// (the one-shot path; a session that expects appends keeps the
+/// intermediate CooccurrenceCounts artifact instead).
 SparseCandidateIndex BuildSparseCandidateIndex(
     const PackedStatuses& packed, const std::vector<uint32_t>& marginals,
     const SparseCandidateOptions& options = {},

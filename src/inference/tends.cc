@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -36,6 +37,16 @@ std::string TendsDiagnostics::ToJson() const {
 }
 
 Status TendsOptions::Validate() const {
+  if (use_traditional_mi) {
+    // Deprecated alias of mi_variant — same warn-once treatment the old
+    // --num_threads CLI alias got before its removal.
+    static std::once_flag warn_once;
+    std::call_once(warn_once, [] {
+      std::fprintf(stderr,
+                   "warning: TendsOptions::use_traditional_mi is deprecated; "
+                   "set mi_variant = MiVariant::kTraditional instead\n");
+    });
+  }
   if (tau_multiplier <= 0.0) {
     return Status::InvalidArgument("tau_multiplier must be > 0");
   }
@@ -57,7 +68,7 @@ Status TendsOptions::Validate() const {
     // disabled pruning needs every pair, and a negative tau would admit
     // values the index never stores — all three would silently change
     // results, so they are rejected instead.
-    if (use_traditional_mi) {
+    if (IsTraditionalMi(ResolvedMiVariant())) {
       return Status::InvalidArgument(
           "candidate_mode=sparse requires infection MI (traditional MI can "
           "be positive for pairs the sparse index elides)");
@@ -179,6 +190,60 @@ class CheckpointFlusher {
 
 }  // namespace
 
+std::vector<graph::NodeId> PruneCandidates(const TendsArtifacts& artifacts,
+                                           const TendsOptions& options,
+                                           graph::NodeId node, bool* clipped) {
+  const double tau = artifacts.tau;
+  bool was_clipped = false;
+  std::vector<graph::NodeId> candidates;
+  if (artifacts.sparse != nullptr) {
+    // Sparse pruning: only the stored positive-IMI row is scanned, and a
+    // bounded heap keeps the top max_candidates under the identical
+    // (value desc, id asc) ranking the dense partial_sort uses — so the
+    // kept set, its clipped flag, and the final id-ascending order are
+    // bit-for-bit what the dense scan produces.
+    const SparseCandidateIndex::RowView row = artifacts.sparse->Row(node);
+    TopKCandidateHeap heap(options.max_candidates);
+    uint32_t passed = 0;
+    for (size_t e = 0; e < row.size; ++e) {
+      const double value = row.values[e];
+      if (value > tau) {
+        ++passed;
+        heap.Push(value, row.neighbors[e]);
+      }
+    }
+    was_clipped = passed > options.max_candidates;
+    candidates = heap.SortedIds();
+  } else {
+    const ImiMatrix& imi = *artifacts.imi;
+    const uint32_t n = imi.num_nodes();
+    std::vector<std::pair<double, graph::NodeId>> ranked;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (j == node) continue;
+      double value = imi.Get(node, j);
+      if (options.enable_pruning ? value > tau : true) {
+        ranked.emplace_back(value, j);
+      }
+    }
+    if (ranked.size() > options.max_candidates) {
+      was_clipped = true;
+      std::partial_sort(ranked.begin(), ranked.begin() + options.max_candidates,
+                        ranked.end(), [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      ranked.resize(options.max_candidates);
+    }
+    candidates.reserve(ranked.size());
+    // Deterministic processing order: by node id.
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    for (const auto& [value, j] : ranked) candidates.push_back(j);
+  }
+  if (clipped != nullptr) *clipped = was_clipped;
+  return candidates;
+}
+
 StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
                                            const TendsOptions& options,
                                            const RunContext& context,
@@ -252,64 +317,22 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
       expired.store(true, std::memory_order_relaxed);
       return;
     }
-    // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau }.
+    // Lines 10-12: candidate parents P_i = { v_j : IMI(X_i, X_j) > tau },
+    // via the shared PruneCandidates helper (the incremental runner calls
+    // the same function, which is what makes its dirty-node rule exact).
     // (Per-node stage times accumulate across workers, so with
     // num_threads > 1 a stage's wall_ns can exceed the run's wall-clock;
     // it is the aggregate cost of the stage, CPU-time style.)
     std::vector<graph::NodeId> candidates;
-    if (sparse != nullptr) {
-      // Sparse pruning: only the stored positive-IMI row is scanned, and a
-      // bounded heap keeps the top max_candidates under the identical
-      // (value desc, id asc) ranking the dense partial_sort uses — so the
-      // kept set, its clipped flag, and the final id-ascending order are
-      // bit-for-bit what the dense scan produces.
+    {
       TENDS_METRICS_STAGE(metrics, "pruning");
       TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
-      const SparseCandidateIndex::RowView row = sparse->Row(i);
-      TopKCandidateHeap heap(options.max_candidates);
-      uint32_t passed = 0;
-      for (size_t e = 0; e < row.size; ++e) {
-        const double value = row.values[e];
-        if (value > tau) {
-          ++passed;
-          heap.Push(value, row.neighbors[e]);
-        }
-      }
-      if (passed > options.max_candidates) {
+      bool was_clipped = false;
+      candidates = PruneCandidates(artifacts, options, i, &was_clipped);
+      if (was_clipped) {
         clipped[i] = 1;
         TENDS_COUNTER_ADD(clipped_counter, 1);
       }
-      candidates = heap.SortedIds();
-      candidate_counts[i] = static_cast<uint32_t>(candidates.size());
-      TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
-                          candidates.size());
-    } else {
-      TENDS_METRICS_STAGE(metrics, "pruning");
-      TENDS_TRACE_SPAN(metrics, "prune_candidates", static_cast<int64_t>(i));
-      std::vector<std::pair<double, graph::NodeId>> ranked;
-      for (uint32_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        double value = imi->Get(i, j);
-        if (options.enable_pruning ? value > tau : true) {
-          ranked.emplace_back(value, j);
-        }
-      }
-      if (ranked.size() > options.max_candidates) {
-        clipped[i] = 1;
-        TENDS_COUNTER_ADD(clipped_counter, 1);
-        std::partial_sort(ranked.begin(),
-                          ranked.begin() + options.max_candidates,
-                          ranked.end(), [](const auto& a, const auto& b) {
-                            if (a.first != b.first) return a.first > b.first;
-                            return a.second < b.second;
-                          });
-        ranked.resize(options.max_candidates);
-      }
-      candidates.reserve(ranked.size());
-      // Deterministic processing order: by node id.
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) { return a.second < b.second; });
-      for (const auto& [value, j] : ranked) candidates.push_back(j);
       candidate_counts[i] = static_cast<uint32_t>(candidates.size());
       TENDS_METRIC_RECORD(metrics, "tends.tends.candidates",
                           candidates.size());
@@ -448,7 +471,7 @@ StatusOr<InferredNetwork> Tends::InferFromStatuses(
     {
       TENDS_METRICS_STAGE(metrics, "imi");
       TENDS_TRACE_SPAN(metrics, "imi");
-      imi_storage.emplace(*packed_storage, options_.use_traditional_mi);
+      imi_storage.emplace(*packed_storage, options_.ResolvedMiVariant());
     }
     TENDS_METRIC_ADD(metrics, "tends.imi.pairs",
                      static_cast<uint64_t>(n) * (n - 1) / 2);

@@ -42,8 +42,20 @@ struct TendsOptions {
   double tau_multiplier = 1.0;
   /// Fixed threshold instead of the K-means one (used by tests).
   std::optional<double> tau_override;
-  /// Use traditional MI instead of infection MI (the Fig. 10/11 ablation).
+  /// Pairwise statistic behind the pruning matrix: infection MI (the
+  /// paper's Eq. 25) or traditional MI (the Fig. 10/11 ablation).
+  MiVariant mi_variant = MiVariant::kInfection;
+  /// Deprecated alias of `mi_variant` (true = kTraditional), kept
+  /// source-compatible for one release. Setting it warns once per process
+  /// (like the removed --num_threads CLI alias did) and wins over the
+  /// default-valued `mi_variant`; read ResolvedMiVariant(), never this
+  /// field, inside the pipeline.
   bool use_traditional_mi = false;
+  /// The variant the run actually uses: traditional when either the new
+  /// field or the deprecated alias asks for it.
+  MiVariant ResolvedMiVariant() const {
+    return use_traditional_mi ? MiVariant::kTraditional : mi_variant;
+  }
   /// Cap on |P_i|: when more candidates pass the tau test, only the
   /// highest-IMI ones are kept (engineering safeguard; see DESIGN.md).
   uint32_t max_candidates = 16;
@@ -162,9 +174,8 @@ namespace internal {
 struct TendsArtifacts {
   const diffusion::StatusMatrix* statuses = nullptr;
   const PackedStatuses* packed = nullptr;
-  /// IMI or traditional-MI matrix, matching options.use_traditional_mi.
-  /// Exactly one of imi / sparse is non-null, matching
-  /// options.candidate_mode.
+  /// Matrix of the variant options.ResolvedMiVariant() selects. Exactly
+  /// one of imi / sparse is non-null, matching options.candidate_mode.
   const ImiMatrix* imi = nullptr;
   /// Sparse positive-IMI candidate index (candidate_mode = kSparse).
   const SparseCandidateIndex* sparse = nullptr;
@@ -194,6 +205,18 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
                                            const TendsOptions& options,
                                            const RunContext& context,
                                            TendsDiagnostics* diagnostics);
+
+/// The pruning step of Algorithm 1 for one node: every j != i whose
+/// pairwise value exceeds artifacts.tau, clipped to the max_candidates
+/// best by (value desc, id asc), returned ascending by id. Factored out
+/// of RunTendsNodeLoop so the incremental session runner computes
+/// *identical* candidate sets (its dirty-node rule compares them across
+/// epochs). `clipped` (may be null) reports whether the cap dropped any
+/// passing candidate. With pruning disabled, all other nodes qualify and
+/// the cap still applies (by value ordering, as the node loop always did).
+std::vector<graph::NodeId> PruneCandidates(const TendsArtifacts& artifacts,
+                                           const TendsOptions& options,
+                                           graph::NodeId node, bool* clipped);
 
 }  // namespace internal
 

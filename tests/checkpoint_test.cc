@@ -7,6 +7,8 @@
 
 #include "inference/checkpoint.h"
 
+#include <unistd.h>
+
 #include <bit>
 #include <cstdint>
 #include <filesystem>
@@ -27,8 +29,13 @@ namespace {
 using ::tends::testing::SimulateUniform;
 
 std::string TempDir(const char* name) {
+  // Process-unique root: the tsan-suite binary and the individually
+  // discovered gtest cases can run these tests concurrently under
+  // `ctest -j`, and a shared path lets one process's remove_all or
+  // checkpoint flushes clobber the other's file mid-test.
   std::filesystem::path dir =
-      std::filesystem::temp_directory_path() / "tends_checkpoint" / name;
+      std::filesystem::temp_directory_path() /
+      ("tends_checkpoint_" + std::to_string(::getpid())) / name;
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir.string();

@@ -131,8 +131,9 @@ TEST(FlagParserTest, WasSetTracksExplicitFlags) {
 }
 
 TEST(FlagParserTest, WasSetEvenWhenValueEqualsDefault) {
-  // The --threads=1 vs --num_threads deprecation shim depends on this:
-  // explicitly passing the default value still counts as "set".
+  // Explicitly passing the default value still counts as "set" — the
+  // property the (since-removed) --num_threads deprecation shim leaned on,
+  // kept pinned because any future alias resolution needs it too.
   uint32_t threads = 1;
   FlagParser parser("test");
   parser.AddUint32("threads", &threads, "x");

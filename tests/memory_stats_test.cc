@@ -117,10 +117,11 @@ TEST(MemoryStatsTest, SessionArtifactGaugesMatchComputedSizes) {
   const uint32_t beta = 96;
   MetricsRegistry registry;
   inference::InferenceSession session(MakeStatuses(beta, n));
-  session.packed(&registry);
-  session.marginal_counts(&registry);
-  session.pair_counts(&registry);
-  session.imi(/*use_traditional_mi=*/false, &registry);
+  const inference::ArtifactContext artifact_context{.metrics = &registry};
+  session.packed(artifact_context);
+  session.marginal_counts(artifact_context);
+  session.pair_counts(artifact_context);
+  session.imi(inference::MiVariant::kInfection, artifact_context);
   RunContext context;
   context.metrics = &registry;
   auto run = session.Run(inference::TendsOptions(), context);

@@ -1,0 +1,426 @@
+// Differential suite for the appendable session: every append-path
+// optimization (packed-column splicing, integer delta-updates, cube-served
+// incremental searches) must leave results byte-identical to a cold build
+// over the concatenated observations.
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "diffusion/cascade.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/checkpoint.h"
+#include "inference/counting.h"
+#include "inference/io.h"
+#include "inference/parent_search.h"
+#include "inference/session.h"
+#include "inference/sparse_candidates.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::SimulateUniform;
+
+// Deliberately word-hostile chunk sizes: 70 % 64 = 6 and 37 % 64 = 37, so
+// every packed-column splice exercises the cross-word shift path.
+constexpr uint32_t kBaseBeta = 70;
+constexpr uint32_t kChunkBetas[] = {37, 64, 1, 58};
+
+diffusion::StatusMatrix StreamStatuses(uint32_t beta, uint64_t seed) {
+  Rng rng(7);
+  auto truth = graph::GenerateErdosRenyi(
+      {.num_nodes = 60, .edge_probability = 0.06}, rng);
+  if (!truth.ok()) std::abort();
+  return SimulateUniform(*truth, 0.4, beta, 0.15, seed).statuses;
+}
+
+diffusion::StatusMatrix Concatenate(
+    const std::vector<diffusion::StatusMatrix>& chunks) {
+  diffusion::StatusMatrix all = chunks.front();
+  for (size_t c = 1; c < chunks.size(); ++c) all.AppendRows(chunks[c]);
+  return all;
+}
+
+void ExpectBitIdentical(const InferredNetwork& a, const InferredNetwork& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edges()[e].edge.from, b.edges()[e].edge.from);
+    EXPECT_EQ(a.edges()[e].edge.to, b.edges()[e].edge.to);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.edges()[e].weight),
+              std::bit_cast<uint64_t>(b.edges()[e].weight));
+  }
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Process-unique scratch path: under `ctest -j` the tsan-suite binary and
+// the individually discovered gtest cases can run this test concurrently,
+// and ::testing::TempDir() is shared between them.
+std::string ScratchPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem + "_" +
+         std::to_string(::getpid()) + ".txt";
+}
+
+// Low-beta streams legitimately leave some node uninfected in every
+// process of a prefix; the stream options accept that instead of failing
+// the early epochs.
+TendsOptions StreamOptions(CandidateMode mode, uint32_t num_threads) {
+  TendsOptions options;
+  options.candidate_mode = mode;
+  options.num_threads = num_threads;
+  options.reject_degenerate_columns = false;
+  return options;
+}
+
+TEST(SessionAppendTest, PackedSpliceHandlesNonWordAlignedTails) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 11);
+  const diffusion::StatusMatrix chunk = StreamStatuses(37, 12);
+  InferenceSession session(base);
+  session.packed();  // materialize so the append splices instead of repacking
+  ASSERT_TRUE(session.AppendStatuses(chunk).ok());
+
+  const diffusion::StatusMatrix all = Concatenate({base, chunk});
+  const PackedStatuses expected(all);
+  const PackedStatuses& spliced = session.packed();
+  ASSERT_EQ(spliced.num_processes(), expected.num_processes());
+  ASSERT_EQ(spliced.words_per_node(), expected.words_per_node());
+  for (uint32_t v = 0; v < all.num_nodes(); ++v) {
+    for (uint32_t w = 0; w < expected.words_per_node(); ++w) {
+      ASSERT_EQ(spliced.Column(v)[w], expected.Column(v)[w])
+          << "node " << v << " word " << w;
+    }
+  }
+}
+
+TEST(SessionAppendTest, AppendVsConcatenatedByteIdenticalOnDisk) {
+  std::vector<diffusion::StatusMatrix> chunks = {StreamStatuses(kBaseBeta, 21)};
+  for (size_t c = 0; c < 2; ++c) {
+    chunks.push_back(StreamStatuses(kChunkBetas[c], 22 + c));
+  }
+  const diffusion::StatusMatrix all = Concatenate(chunks);
+
+  for (CandidateMode mode : {CandidateMode::kDense, CandidateMode::kSparse}) {
+    for (uint32_t num_threads : {1u, 8u}) {
+      const TendsOptions options = StreamOptions(mode, num_threads);
+      InferenceSession session(chunks[0]);
+      // Touch the artifacts between appends so the delta path (not a lazy
+      // cold build over the final matrix) is what produces the result.
+      ASSERT_TRUE(session.Run(options).ok());
+      for (size_t c = 1; c < chunks.size(); ++c) {
+        ASSERT_TRUE(session.AppendStatuses(chunks[c]).ok());
+        ASSERT_TRUE(session.Run(options).ok());
+      }
+      auto appended = session.Run(options);
+      ASSERT_TRUE(appended.ok()) << appended.status();
+      InferenceSession fresh(all);
+      auto expected = fresh.Run(options);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+
+      const std::string mode_tag =
+          mode == CandidateMode::kSparse ? "sparse" : "dense";
+      const std::string appended_path =
+          ScratchPath("append_" + mode_tag + std::to_string(num_threads));
+      const std::string fresh_path =
+          ScratchPath("fresh_" + mode_tag + std::to_string(num_threads));
+      ASSERT_TRUE(
+          WriteInferredNetworkFile(appended->network, appended_path).ok());
+      ASSERT_TRUE(
+          WriteInferredNetworkFile(expected->network, fresh_path).ok());
+      const std::string appended_bytes = ReadFileBytes(appended_path);
+      EXPECT_FALSE(appended_bytes.empty());
+      EXPECT_EQ(appended_bytes, ReadFileBytes(fresh_path))
+          << mode_tag << " with " << num_threads << " threads";
+    }
+  }
+}
+
+TEST(SessionAppendTest, AppendAfterSparseIndexWasBuilt) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 31);
+  const diffusion::StatusMatrix chunk = StreamStatuses(45, 32);
+  InferenceSession session(base);
+  // Materialize the whole sparse chain first, so the append must
+  // delta-update the co-occurrence table and re-derive the index.
+  session.sparse_base_threshold();
+  ASSERT_TRUE(session.AppendStatuses(chunk).ok());
+
+  const diffusion::StatusMatrix all = Concatenate({base, chunk});
+  const PackedStatuses packed(all);
+  const SparseCandidateIndex expected =
+      BuildSparseCandidateIndex(packed, packed.InfectedCounts());
+  const SparseCandidateIndex& merged = session.sparse_candidates();
+  ASSERT_EQ(merged.num_entries(), expected.num_entries());
+  for (uint32_t i = 0; i < all.num_nodes(); ++i) {
+    for (uint32_t j = 0; j < all.num_nodes(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(merged.Get(i, j)),
+                std::bit_cast<uint64_t>(expected.Get(i, j)))
+          << "pair (" << i << ", " << j << ")";
+    }
+  }
+  EXPECT_EQ(std::bit_cast<uint64_t>(session.sparse_base_threshold().tau),
+            std::bit_cast<uint64_t>(FindImiThreshold(expected).tau));
+}
+
+TEST(SessionAppendTest, DeltaUpdatedArtifactsMatchColdBuild) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 41);
+  const diffusion::StatusMatrix chunk = StreamStatuses(37, 42);
+  MetricsRegistry metrics;
+  const ArtifactContext context{.metrics = &metrics};
+  InferenceSession session(base);
+  // Materialize the full dense chain, both MI variants.
+  session.marginal_counts(context);
+  session.base_threshold(MiVariant::kInfection, context);
+  session.base_threshold(MiVariant::kTraditional, context);
+#if TENDS_METRICS_ENABLED
+  const uint64_t misses_before_append =
+      metrics.CounterValue("tends.session.artifact_misses");
+#endif
+  ASSERT_TRUE(session.AppendStatuses(chunk, context).ok());
+
+  InferenceSession cold(Concatenate({base, chunk}));
+  EXPECT_EQ(session.marginal_counts(context), cold.marginal_counts());
+  const std::vector<PairCounts>& delta_pairs = session.pair_counts(context);
+  const std::vector<PairCounts>& cold_pairs = cold.pair_counts();
+  ASSERT_EQ(delta_pairs.size(), cold_pairs.size());
+  for (size_t e = 0; e < delta_pairs.size(); ++e) {
+    EXPECT_EQ(delta_pairs[e].c00, cold_pairs[e].c00);
+    EXPECT_EQ(delta_pairs[e].c01, cold_pairs[e].c01);
+    EXPECT_EQ(delta_pairs[e].c10, cold_pairs[e].c10);
+    EXPECT_EQ(delta_pairs[e].c11, cold_pairs[e].c11);
+  }
+  for (MiVariant variant :
+       {MiVariant::kInfection, MiVariant::kTraditional}) {
+    const ImiMatrix& delta_imi = session.imi(variant, context);
+    const ImiMatrix& cold_imi = cold.imi(variant);
+    for (uint32_t i = 0; i < base.num_nodes(); ++i) {
+      for (uint32_t j = 0; j < base.num_nodes(); ++j) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(delta_imi.Get(i, j)),
+                  std::bit_cast<uint64_t>(cold_imi.Get(i, j)))
+            << MiVariantName(variant) << " (" << i << ", " << j << ")";
+      }
+    }
+    EXPECT_EQ(
+        std::bit_cast<uint64_t>(session.base_threshold(variant, context).tau),
+        std::bit_cast<uint64_t>(cold.base_threshold(variant).tau));
+  }
+#if TENDS_METRICS_ENABLED
+  // Every post-append access above was served from the delta-seeded
+  // generation: appends add no artifact misses.
+  EXPECT_EQ(metrics.CounterValue("tends.session.artifact_misses"),
+            misses_before_append);
+  EXPECT_EQ(metrics.CounterValue("tends.session.appends"), 1u);
+  EXPECT_EQ(metrics.CounterValue("tends.session.append_processes"),
+            chunk.num_processes());
+#endif
+}
+
+TEST(SessionAppendTest, IncrementalRunnerMatchesFreshAcrossStream) {
+  std::vector<diffusion::StatusMatrix> chunks = {StreamStatuses(kBaseBeta, 51)};
+  for (size_t c = 0; c < std::size(kChunkBetas); ++c) {
+    chunks.push_back(StreamStatuses(kChunkBetas[c], 52 + c));
+  }
+  const uint32_t n = chunks[0].num_nodes();
+
+  for (CandidateMode mode : {CandidateMode::kDense, CandidateMode::kSparse}) {
+    const TendsOptions options = StreamOptions(mode, /*num_threads=*/4);
+    InferenceSession session(chunks[0]);
+    IncrementalRunner runner(session, options);
+    uint32_t total_clean = 0;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      if (c > 0) ASSERT_TRUE(session.AppendStatuses(chunks[c]).ok());
+      auto refreshed = runner.Refresh();
+      ASSERT_TRUE(refreshed.ok()) << refreshed.status();
+      EXPECT_EQ(runner.last_epoch(), c);
+      EXPECT_EQ(runner.last_dirty_nodes() + runner.last_clean_nodes(), n);
+      total_clean += runner.last_clean_nodes();
+
+      std::vector<diffusion::StatusMatrix> prefix(chunks.begin(),
+                                                  chunks.begin() + c + 1);
+      InferenceSession fresh(Concatenate(prefix));
+      auto expected = fresh.Run(options);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      ExpectBitIdentical(refreshed->network, expected->network);
+      EXPECT_EQ(
+          std::bit_cast<uint64_t>(refreshed->diagnostics.network_score),
+          std::bit_cast<uint64_t>(expected->diagnostics.network_score));
+      EXPECT_EQ(refreshed->diagnostics.total_score_evaluations,
+                expected->diagnostics.total_score_evaluations);
+      EXPECT_EQ(refreshed->diagnostics.nodes_completed, n);
+    }
+    // The stream must actually exercise the reuse path, not dirty every
+    // node every epoch.
+    EXPECT_GT(total_clean, 0u) << "stream never reused a cube";
+  }
+}
+
+TEST(SessionAppendTest, IncrementalRunnerRejectsCheckpointOptions) {
+  InferenceSession session(StreamStatuses(kBaseBeta, 61));
+  TendsOptions options = StreamOptions(CandidateMode::kDense, 1);
+  options.checkpoint.directory = ::testing::TempDir();
+  IncrementalRunner runner(session, options);
+  auto refreshed = runner.Refresh();
+  ASSERT_FALSE(refreshed.ok());
+  EXPECT_TRUE(refreshed.status().IsInvalidArgument());
+}
+
+TEST(SessionAppendTest, RejectsMalformedChunks) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 71);
+  InferenceSession session(base);
+  EXPECT_TRUE(session.AppendStatuses(diffusion::StatusMatrix(0, 60))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.AppendStatuses(diffusion::StatusMatrix(5, 59))
+                  .IsInvalidArgument());
+  const diffusion::StatusMatrix chunk = StreamStatuses(5, 72);
+  EXPECT_TRUE(
+      session.AppendPacked(chunk, PackedStatuses(4, 60)).IsInvalidArgument());
+  EXPECT_EQ(session.epoch(), 0u);
+  EXPECT_EQ(session.num_processes(), kBaseBeta);
+  // A well-formed pre-packed chunk is accepted and spliced.
+  ASSERT_TRUE(session.AppendPacked(chunk, PackedStatuses(chunk)).ok());
+  EXPECT_EQ(session.epoch(), 1u);
+  EXPECT_EQ(session.num_processes(), kBaseBeta + 5);
+}
+
+TEST(SessionAppendTest, SnapshotPinsGenerationAcrossAppends) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 81);
+  const TendsOptions options = StreamOptions(CandidateMode::kDense, 1);
+  InferenceSession session(base);
+  const SessionView view = session.Snapshot();
+  ASSERT_TRUE(session.AppendStatuses(StreamStatuses(37, 82)).ok());
+  EXPECT_EQ(session.epoch(), 1u);
+  EXPECT_EQ(view.epoch(), 0u);
+  EXPECT_EQ(view.num_processes(), kBaseBeta);
+  // The pinned view still runs against the pre-append observations.
+  auto pinned = view.Run(options);
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  InferenceSession fresh(base);
+  auto expected = fresh.Run(options);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ExpectBitIdentical(pinned->network, expected->network);
+}
+
+TEST(SessionAppendTest, AppendChangesTheCheckpointFingerprint) {
+  const diffusion::StatusMatrix base = StreamStatuses(kBaseBeta, 91);
+  const diffusion::StatusMatrix chunk = StreamStatuses(37, 92);
+  const TendsOptions options;
+  InferenceSession session(base);
+  const uint64_t before = FingerprintInference(session.statuses(), options);
+  ASSERT_TRUE(session.AppendStatuses(chunk).ok());
+  const uint64_t after = FingerprintInference(session.statuses(), options);
+  EXPECT_NE(before, after);
+  // Content-addressed, not epoch-addressed: the grown session fingerprints
+  // exactly like the concatenated matrix, so a checkpoint taken against
+  // one resumes against the other.
+  EXPECT_EQ(after,
+            FingerprintInference(Concatenate({base, chunk}), options));
+}
+
+TEST(SessionCubeTest, CubeCountsMatchCountJointAcrossAppends) {
+  const diffusion::StatusMatrix statuses = StreamStatuses(107, 101);
+  const graph::NodeId child = 3;
+  const std::vector<graph::NodeId> candidates = {1, 7, 12, 30, 44, 59};
+
+  // Build over a prefix, then grow in word-hostile steps: 40, +64, +3.
+  diffusion::StatusMatrix prefix(40, statuses.num_nodes());
+  for (uint32_t p = 0; p < 40; ++p) {
+    for (uint32_t v = 0; v < statuses.num_nodes(); ++v) {
+      prefix.Set(p, v, statuses.Get(p, v));
+    }
+  }
+  CandidateCube cube(prefix, child, candidates);
+  cube.AddRows(statuses, 40, 104);
+  cube.AddRows(statuses, 104, 107);
+  ASSERT_EQ(cube.num_processes(), statuses.num_processes());
+  EXPECT_EQ(cube.child_infected_count(), statuses.InfectionCount(child));
+
+  auto expect_same = [&](const JointCounts& got, const JointCounts& want) {
+    ASSERT_EQ(got.combo.size(), want.combo.size());
+    EXPECT_EQ(got.combo, want.combo);
+    EXPECT_EQ(got.child0_count, want.child0_count);
+    EXPECT_EQ(got.child1_count, want.child1_count);
+    EXPECT_EQ(got.num_unobserved, want.num_unobserved);
+    EXPECT_EQ(got.num_possible, want.num_possible);
+  };
+  expect_same(cube.Count({}), CountJoint(statuses, child, {}));
+  expect_same(cube.Count(candidates), CountJoint(statuses, child, candidates));
+  ForEachCombination(candidates, 3, [&](const std::vector<graph::NodeId>& w) {
+    expect_same(cube.Count(w), CountJoint(statuses, child, w));
+  });
+
+  // The cube-served parent search is the real consumer: identical results
+  // and identical evaluation counts to the packed kernel.
+  ParentSearchOptions search;
+  ParentSearchResult via_cube = FindParents(statuses, child, candidates,
+                                            search, RunContext(),
+                                            /*packed=*/nullptr, &cube);
+  ParentSearchResult via_packed =
+      FindParents(statuses, child, candidates, search);
+  EXPECT_EQ(via_cube.parents, via_packed.parents);
+  EXPECT_EQ(std::bit_cast<uint64_t>(via_cube.score),
+            std::bit_cast<uint64_t>(via_packed.score));
+  EXPECT_EQ(via_cube.score_evaluations, via_packed.score_evaluations);
+  EXPECT_EQ(via_cube.combinations_considered,
+            via_packed.combinations_considered);
+}
+
+TEST(SessionApiTest, MiVariantAliasResolvesLikeTheBool) {
+  TendsOptions modern;
+  modern.mi_variant = MiVariant::kTraditional;
+  TendsOptions legacy;
+  legacy.use_traditional_mi = true;
+  EXPECT_EQ(modern.ResolvedMiVariant(), MiVariant::kTraditional);
+  EXPECT_EQ(legacy.ResolvedMiVariant(), MiVariant::kTraditional);
+  EXPECT_EQ(TendsOptions().ResolvedMiVariant(), MiVariant::kInfection);
+
+  const diffusion::StatusMatrix statuses = StreamStatuses(kBaseBeta, 111);
+  InferenceSession session(statuses);
+  modern.reject_degenerate_columns = false;
+  legacy.reject_degenerate_columns = false;
+  auto via_enum = session.Run(modern);
+  auto via_alias = session.Run(legacy);
+  ASSERT_TRUE(via_enum.ok()) << via_enum.status();
+  ASSERT_TRUE(via_alias.ok()) << via_alias.status();
+  ExpectBitIdentical(via_enum->network, via_alias->network);
+}
+
+TEST(SessionApiTest, DeprecatedAccessorOverloadsStillServeTheArtifacts) {
+  const diffusion::StatusMatrix statuses = StreamStatuses(kBaseBeta, 121);
+  InferenceSession session(statuses);
+  MetricsRegistry metrics;
+  const ArtifactContext context{.metrics = &metrics};
+  // One release of source compatibility: the positional spellings must
+  // keep returning the same memoized objects as the ArtifactContext ones.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(&session.packed(&metrics), &session.packed(context));
+  EXPECT_EQ(&session.marginal_counts(&metrics),
+            &session.marginal_counts(context));
+  EXPECT_EQ(&session.pair_counts(&metrics), &session.pair_counts(context));
+  EXPECT_EQ(&session.imi(/*use_traditional_mi=*/true),
+            &session.imi(MiVariant::kTraditional, context));
+  EXPECT_EQ(&session.base_threshold(/*use_traditional_mi=*/false, &metrics),
+            &session.base_threshold(MiVariant::kInfection, context));
+  EXPECT_EQ(&session.sparse_candidates(&metrics, /*num_threads=*/2),
+            &session.sparse_candidates(ArtifactContext{&metrics, 2}));
+  EXPECT_EQ(&session.sparse_base_threshold(&metrics),
+            &session.sparse_base_threshold(context));
+#pragma GCC diagnostic pop
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -49,6 +49,10 @@ tends.sim.cascade_size
 tends.sim.fast_path_runs
 tends.session.artifact_hits
 tends.session.artifact_misses
+tends.session.appends
+tends.session.append_processes
+tends.session.append_ns
+tends.session.dirty_nodes
 tends.checkpoint.nodes_saved
 tends.checkpoint.nodes_skipped_on_resume
 tends.checkpoint.retries

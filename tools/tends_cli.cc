@@ -4,6 +4,7 @@
 //   tends_cli generate  --type=lfr --n=200 --out=graph.txt
 //   tends_cli simulate  --graph=graph.txt --beta=150 --out=obs.txt
 //   tends_cli infer     --algorithm=tends --statuses=st.txt --out=net.txt
+//   tends_cli append    --statuses=st.txt --chunks=c1.txt,c2.txt --out=net.txt
 //   tends_cli evaluate  --inferred=net.txt --truth=graph.txt
 //   tends_cli estimate  --statuses=st.txt --network=net.txt
 //   tends_cli report    run.json --compare=baseline.json
@@ -101,27 +102,13 @@ Status MaybeWriteTrace(const std::string& trace_out,
   return status;
 }
 
-/// Registers the canonical `--threads` flag together with its deprecated
-/// `--num_threads` alias on `parser`. `deprecated` must start at 0 (the
-/// "unset" sentinel); resolve with ResolveThreadsFlag after parsing.
-void AddThreadsFlags(FlagParser& parser, uint32_t* threads,
-                     uint32_t* deprecated) {
+/// Registers the canonical `--threads` flag on `parser`. (The long-
+/// deprecated `--num_threads` alias has been removed after its one-release
+/// grace period; it now fails parsing like any unknown flag.)
+void AddThreadsFlag(FlagParser& parser, uint32_t* threads) {
   parser.AddUint32("threads", threads,
                    "worker threads (diffusion processes in simulate, "
-                   "per-node subproblems in infer/sweep/experiment)");
-  parser.AddUint32("num_threads", deprecated,
-                   "deprecated alias of --threads");
-}
-
-/// Applies the deprecation policy: `--num_threads` still works but warns
-/// (once per invocation); an explicit `--threads` wins over the alias —
-/// including an explicit `--threads=1`, which FlagParser::WasSet
-/// distinguishes from the untouched default.
-uint32_t ResolveThreadsFlag(const FlagParser& parser, uint32_t threads,
-                            uint32_t deprecated) {
-  if (!parser.WasSet("num_threads")) return threads;
-  std::cerr << "warning: --num_threads is deprecated; use --threads\n";
-  return parser.WasSet("threads") ? threads : deprecated;
+                   "per-node subproblems in infer/sweep/append/experiment)");
 }
 
 /// Parses the shared `--candidate_mode` spelling of infer/sweep.
@@ -272,7 +259,6 @@ int RunSimulate(int argc, const char* const* argv) {
   double recovery = 0.5;
   int64_t seed = 42;
   uint32_t threads = 1;
-  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli simulate: run diffusion processes on a graph and record "
@@ -298,10 +284,9 @@ int RunSimulate(int argc, const char* const* argv) {
                    "write a Chrome-trace JSON timeline of the run's spans "
                    "(open in Perfetto or chrome://tracing)");
   parser.AddInt64("seed", &seed, "random seed");
-  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
+  AddThreadsFlag(parser, &threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -385,7 +370,6 @@ int RunInfer(int argc, const char* const* argv) {
   uint32_t max_candidates = 16;
   uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
-  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli infer: reconstruct a diffusion network topology.\n"
@@ -456,10 +440,9 @@ int RunInfer(int argc, const char* const* argv) {
                   "flush (0 = no time trigger)");
   parser.AddUint32("em_iterations", &em_iterations,
                    "netrate: EM iteration budget");
-  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
+  AddThreadsFlag(parser, &threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   IoReadOptions read_options;
   if (io_mode == "permissive") {
@@ -725,7 +708,6 @@ int RunExperimentCommand(int argc, const char* const* argv) {
   uint32_t repetitions = 1;
   int64_t seed = 42;
   uint32_t threads = 1;
-  uint32_t deprecated_num_threads = 0;
 
   FlagParser parser(
       "tends_cli experiment: simulate diffusions on a graph and run the "
@@ -739,7 +721,7 @@ int RunExperimentCommand(int argc, const char* const* argv) {
                    "sir: per-round recovery probability");
   parser.AddUint32("repetitions", &repetitions, "independent repetitions");
   parser.AddInt64("seed", &seed, "random seed");
-  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
+  AddThreadsFlag(parser, &threads);
   parser.AddString("metrics_out", &metrics_out,
                    "write a JSON run manifest for the whole experiment");
   parser.AddString("trace_out", &trace_out,
@@ -747,7 +729,6 @@ int RunExperimentCommand(int argc, const char* const* argv) {
                    "(open in Perfetto or chrome://tracing)");
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   const auto started = std::chrono::steady_clock::now();
   MetricsRegistry registry;
@@ -813,7 +794,6 @@ int RunSweep(int argc, const char* const* argv) {
   int64_t checkpoint_every_ms = 2000;
   uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
-  uint32_t deprecated_num_threads = 0;
   uint32_t run_parallelism = 1;
 
   FlagParser parser(
@@ -870,10 +850,9 @@ int RunSweep(int argc, const char* const* argv) {
   parser.AddUint32("run_parallelism", &run_parallelism,
                    "concurrent sweep runs (outer level; --threads is the "
                    "per-run inner level)");
-  AddThreadsFlags(parser, &threads, &deprecated_num_threads);
+  AddThreadsFlag(parser, &threads);
   Status status = parser.Parse(argc, argv);
   if (!status.ok()) return FailWith(status);
-  threads = ResolveThreadsFlag(parser, threads, deprecated_num_threads);
 
   if (statuses_path.empty()) {
     return FailWith(Status::InvalidArgument("--statuses is required"));
@@ -1022,6 +1001,228 @@ int RunSweep(int argc, const char* const* argv) {
       {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
       {"threads", StrFormat("%u", threads)},
       {"run_parallelism", StrFormat("%u", run_parallelism)},
+  };
+  status = MaybeWriteTrace(trace_out, manifest, registry);
+  if (!status.ok()) return FailWith(status);
+  status = MaybeWriteManifest(metrics_out, std::move(manifest), registry,
+                              started);
+  if (!status.ok()) return FailWith(status);
+  return 0;
+}
+
+// -------------------------------------------------------------------- append
+
+int RunAppend(int argc, const char* const* argv) {
+  std::string statuses_path;
+  std::string chunks_csv;
+  std::string truth_path;
+  std::string out = "inferred.txt";
+  std::string io_mode = "strict";
+  std::string metrics_out;
+  std::string trace_out;
+  std::string counting_kernel = "packed";
+  std::string candidate_mode = "dense";
+  bool watch = false;
+  bool allow_degenerate_columns = false;
+  double tau_multiplier = 1.0;
+  uint32_t max_candidates = 16;
+  uint32_t max_cube_candidates = 12;
+  uint32_t threads = 1;
+
+  FlagParser parser(
+      "tends_cli append: streaming TENDS inference over an append-only "
+      "status stream. Starts an InferenceSession from --statuses, infers "
+      "once, then appends each chunk (a status-matrix file over the same "
+      "node set) and re-infers incrementally: memoized artifacts are "
+      "delta-updated at chunk cost and only dirty nodes (whose candidate "
+      "set moved) re-run a full parent search. Every refresh is "
+      "byte-identical to a from-scratch inference over the concatenated "
+      "observations.");
+  parser.AddString("statuses", &statuses_path,
+                   "base status-matrix file (required)");
+  parser.AddString("chunks", &chunks_csv,
+                   "comma-separated status-matrix files appended in order");
+  parser.AddBool("watch", &watch,
+                 "after --chunks, read further chunk file paths from stdin "
+                 "(one per line, blank lines skipped) until EOF — a tail-f "
+                 "style ingest loop");
+  parser.AddString("truth", &truth_path,
+                   "optional ground-truth edge list; when given, every "
+                   "refresh is scored (F-score of directed edges)");
+  parser.AddString("out", &out,
+                   "output path for the final refreshed network");
+  parser.AddString("io_mode", &io_mode,
+                   "input handling: 'strict' fails on the first corrupt "
+                   "line; 'permissive' skips corrupt rows and reports");
+  parser.AddDouble("tau_multiplier", &tau_multiplier,
+                   "pruning threshold scale");
+  parser.AddString("counting_kernel", &counting_kernel,
+                   "sufficient-statistics kernel for dirty nodes: 'packed' "
+                   "or 'naive'");
+  parser.AddString("candidate_mode", &candidate_mode,
+                   "candidate generation: 'dense' or 'sparse' (both "
+                   "delta-update exactly; byte-identical networks)");
+  parser.AddUint32("max_candidates", &max_candidates,
+                   "cap on a node's candidate-parent set");
+  parser.AddUint32("max_cube_candidates", &max_cube_candidates,
+                   "clean-node fast path: candidate sets up to this size "
+                   "keep per-node sufficient-statistics cubes between "
+                   "refreshes (2^k * 8 bytes per node)");
+  parser.AddBool("allow_degenerate_columns", &allow_degenerate_columns,
+                 "accept all-0/all-1 status columns (their parent sets come "
+                 "back empty) instead of rejecting the input; the normal "
+                 "regime for streams whose early chunks are small");
+  parser.AddString("metrics_out", &metrics_out,
+                   "write a JSON run manifest (append latencies, dirty-node "
+                   "gauges, artifact hit/miss counters) to this path");
+  parser.AddString("trace_out", &trace_out,
+                   "write a Chrome-trace JSON timeline of the run's spans "
+                   "(open in Perfetto or chrome://tracing)");
+  AddThreadsFlag(parser, &threads);
+  Status status = parser.Parse(argc, argv);
+  if (!status.ok()) return FailWith(status);
+
+  if (statuses_path.empty()) {
+    return FailWith(Status::InvalidArgument("--statuses is required"));
+  }
+  IoReadOptions read_options;
+  if (io_mode == "permissive") {
+    read_options.mode = IoMode::kPermissive;
+  } else if (io_mode != "strict") {
+    return FailWith(Status::InvalidArgument(
+        "--io_mode must be 'strict' or 'permissive', got '" + io_mode + "'"));
+  }
+  if (counting_kernel != "packed" && counting_kernel != "naive") {
+    return FailWith(Status::InvalidArgument(
+        "--counting_kernel must be 'packed' or 'naive', got '" +
+        counting_kernel + "'"));
+  }
+  inference::TendsOptions options;
+  options.tau_multiplier = tau_multiplier;
+  options.num_threads = threads;
+  options.max_candidates = max_candidates;
+  options.reject_degenerate_columns = !allow_degenerate_columns;
+  status = ParseCandidateModeFlag(candidate_mode, &options.candidate_mode);
+  if (!status.ok()) return FailWith(status);
+  options.search.kernel = counting_kernel == "naive"
+                              ? inference::CountingKernel::kNaive
+                              : inference::CountingKernel::kPacked;
+
+  std::vector<std::string> chunk_paths;
+  if (!chunks_csv.empty()) {
+    for (std::string_view field : Split(chunks_csv, ',')) {
+      if (!field.empty()) chunk_paths.emplace_back(field);
+    }
+  }
+  if (chunk_paths.empty() && !watch) {
+    return FailWith(Status::InvalidArgument(
+        "nothing to append: pass --chunks and/or --watch"));
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  MetricsRegistry registry;
+  CorruptionReport report;
+  auto base =
+      diffusion::ReadStatusMatrixFile(statuses_path, read_options, &report);
+  if (!base.ok()) return FailWith(base.status());
+
+  std::optional<graph::DirectedGraph> truth;
+  if (!truth_path.empty()) {
+    auto loaded = graph::ReadEdgeListFile(truth_path);
+    if (!loaded.ok()) return FailWith(loaded.status());
+    truth.emplace(std::move(loaded).value());
+  }
+
+  RunContext context;
+  context.metrics = &registry;
+  const inference::ArtifactContext artifact_context{&registry, threads};
+
+  inference::InferenceSession session(std::move(base).value());
+  inference::IncrementalRunnerOptions runner_options;
+  runner_options.max_cube_candidates = max_cube_candidates;
+  inference::IncrementalRunner runner(session, options, runner_options);
+
+  std::printf("%-6s %-28s %10s %10s %8s %7s %7s %9s", "epoch", "chunk",
+              "+procs", "processes", "edges", "dirty", "clean", "seconds");
+  if (truth.has_value()) std::printf(" %9s", "f");
+  std::printf("\n");
+  std::optional<inference::SessionRun> last_run;
+  auto refresh_and_report = [&](const std::string& label,
+                                uint32_t added) -> Status {
+    const auto refresh_started = std::chrono::steady_clock::now();
+    auto run = runner.Refresh(context);
+    if (!run.ok()) return run.status();
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - refresh_started)
+            .count();
+    std::printf("%-6llu %-28s %10u %10u %8llu %7u %7u %9.4f",
+                static_cast<unsigned long long>(runner.last_epoch()),
+                label.c_str(), added, session.num_processes(),
+                static_cast<unsigned long long>(run->network.num_edges()),
+                runner.last_dirty_nodes(), runner.last_clean_nodes(), seconds);
+    if (truth.has_value()) {
+      metrics::EdgeMetrics scored =
+          metrics::EvaluateEdges(run->network, *truth);
+      std::printf(" %9.4f", scored.f_score);
+    }
+    std::printf("\n");
+    last_run = std::move(run).value();
+    return Status::OK();
+  };
+
+  status = refresh_and_report("(base)", session.num_processes());
+  if (!status.ok()) return FailWith(status);
+
+  uint64_t appends = 0;
+  auto append_chunk = [&](const std::string& path) -> Status {
+    auto chunk = diffusion::ReadStatusMatrixFile(path, read_options, &report);
+    if (!chunk.ok()) return chunk.status();
+    const uint32_t added = chunk->num_processes();
+    TENDS_RETURN_IF_ERROR(session.AppendStatuses(*chunk, artifact_context));
+    ++appends;
+    return refresh_and_report(path, added);
+  };
+  for (const std::string& path : chunk_paths) {
+    status = append_chunk(path);
+    if (!status.ok()) return FailWith(status);
+  }
+  if (watch) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      // Trim whitespace; skip blanks (a writer touching the pipe to keep
+      // it warm should not fail the stream).
+      const size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      const size_t last = line.find_last_not_of(" \t\r");
+      status = append_chunk(line.substr(first, last - first + 1));
+      if (!status.ok()) return FailWith(status);
+    }
+  }
+  if (read_options.mode == IoMode::kPermissive) {
+    std::cout << report.Summary() << "\n";
+  }
+  report.ExportTo(&registry);
+
+  status = inference::WriteInferredNetworkFile(last_run->network, out);
+  if (!status.ok()) return FailWith(status);
+  std::cout << last_run->network.DebugString() << "\nwrote " << out << " ("
+            << appends << " appends, epoch " << session.epoch() << ")\n";
+
+  RunManifest manifest;
+  manifest.tool = "tends_cli append";
+  manifest.config = {
+      {"statuses", statuses_path},
+      {"chunks", chunks_csv},
+      {"watch", watch ? "true" : "false"},
+      {"truth", truth_path},
+      {"out", out},
+      {"tau_multiplier", StrFormat("%g", tau_multiplier)},
+      {"counting_kernel", counting_kernel},
+      {"candidate_mode", candidate_mode},
+      {"max_candidates", StrFormat("%u", max_candidates)},
+      {"max_cube_candidates", StrFormat("%u", max_cube_candidates)},
+      {"threads", StrFormat("%u", threads)},
   };
   status = MaybeWriteTrace(trace_out, manifest, registry);
   if (!status.ok()) return FailWith(status);
@@ -1198,8 +1399,8 @@ int RunReport(int argc, const char* const* argv) {
 int Main(int argc, const char* const* argv) {
   const std::string usage =
       "usage: tends_cli <command> [flags]\n"
-      "commands: generate, simulate, infer, sweep, evaluate, estimate, "
-      "experiment, report\n"
+      "commands: generate, simulate, infer, sweep, append, evaluate, "
+      "estimate, experiment, report\n"
       "Run 'tends_cli <command> --help' for command flags.\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -1213,6 +1414,7 @@ int Main(int argc, const char* const* argv) {
   if (command == "simulate") return RunSimulate(sub_argc, sub_argv);
   if (command == "infer") return RunInfer(sub_argc, sub_argv);
   if (command == "sweep") return RunSweep(sub_argc, sub_argv);
+  if (command == "append") return RunAppend(sub_argc, sub_argv);
   if (command == "evaluate") return RunEvaluate(sub_argc, sub_argv);
   if (command == "estimate") return RunEstimate(sub_argc, sub_argv);
   if (command == "experiment") return RunExperimentCommand(sub_argc, sub_argv);
