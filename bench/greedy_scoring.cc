@@ -1,0 +1,278 @@
+// Greedy-scoring strategy benchmark: the parent-search stage under the
+// three scoring strategies (packed scans, forced contingency cubes, the
+// auto planner) across a beta sweep. Packed per-evaluation cost grows
+// linearly with beta (O(beta/64) column words per score); the cube answers
+// every evaluation in O(2^|C|) after one O(beta * |C|) build, so its arm
+// stays flat — the auto planner must track the winner at both ends.
+//
+// Guards (the ISSUE acceptance criteria):
+//   * At the deepest beta, every arm's on-disk network file is byte-equal
+//     to the packed baseline's across {1, 8} threads and both candidate
+//     modes — the strategy seam moves cost only, never output.
+//   * In full (non-fast) mode the auto planner's parent-search stage at
+//     beta = 16384 must be at least 3x faster than packed-only.
+//
+// JSON rows (schema tends.bench.v1): one setting per (beta), with one
+// record per strategy arm carrying that arm's parent-search stage seconds
+// and the (bit-deterministic, baseline-gated) accuracy columns.
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchlib/experiment.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "diffusion/propagation.h"
+#include "diffusion/simulator.h"
+#include "graph/generators/powerlaw.h"
+#include "inference/io.h"
+#include "inference/session.h"
+#include "inference/tends.h"
+#include "metrics/fscore.h"
+
+namespace {
+
+struct StrategyArm {
+  tends::inference::ScoringStrategy strategy;
+  const char* name;
+};
+
+constexpr StrategyArm kArms[] = {
+    {tends::inference::ScoringStrategy::kPacked, "packed"},
+    {tends::inference::ScoringStrategy::kCube, "cube"},
+    {tends::inference::ScoringStrategy::kAuto, "auto"},
+};
+
+bool BitIdentical(const tends::inference::InferredNetwork& a,
+                  const tends::inference::InferredNetwork& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    if (a.edges()[e].edge.from != b.edges()[e].edge.from ||
+        a.edges()[e].edge.to != b.edges()[e].edge.to ||
+        std::bit_cast<uint64_t>(a.edges()[e].weight) !=
+            std::bit_cast<uint64_t>(b.edges()[e].weight)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace tends;
+  benchlib::PrintBenchHeader(
+      "Greedy Scoring - Packed vs Cube vs Auto",
+      "parent-search stage wall-clock across a beta sweep under the three "
+      "scoring strategies, with byte-identity guards across strategy, "
+      "thread count and candidate mode");
+  const bool fast = benchlib::FastBenchMode();
+
+  // The acceptance workload: a capped candidate set (|C| <= 8 keeps every
+  // node cube-eligible) over deep process histories. Fast mode shrinks
+  // beta below the planner's crossover on purpose — it validates rows and
+  // the identity guards, not the speedup.
+  const uint32_t n = fast ? 100 : 2000;
+  const std::vector<uint32_t> betas =
+      fast ? std::vector<uint32_t>{128, 512}
+           : std::vector<uint32_t>{1024, 4096, 16384};
+  const uint32_t max_candidates = 8;
+
+  Rng graph_rng(4242);
+  graph::PowerlawOptions graph_options;
+  graph_options.num_nodes = n;
+  graph_options.avg_degree = 3.0;
+  StatusOr<graph::DirectedGraph> truth_or =
+      graph::GeneratePowerlawHavelHakimi(graph_options, graph_rng);
+  if (!truth_or.ok()) {
+    std::cerr << "dataset construction failed: " << truth_or.status() << "\n";
+    return 1;
+  }
+  const graph::DirectedGraph& truth = *truth_or;
+  Rng prob_rng(42);
+  diffusion::EdgeProbabilities probabilities =
+      diffusion::EdgeProbabilities::Gaussian(truth, 0.3, 0.05, prob_rng);
+
+  MetricsRegistry registry;
+  std::vector<std::pair<std::string, std::vector<metrics::AlgorithmEvaluation>>>
+      rows;
+  double final_speedup = 0.0;
+
+  const char* tmp_env = std::getenv("TMPDIR");
+  const std::string tmp_dir = tmp_env != nullptr ? tmp_env : "/tmp";
+
+  for (size_t b = 0; b < betas.size(); ++b) {
+    const uint32_t beta = betas[b];
+    diffusion::SimulationConfig config;
+    config.num_processes = beta;
+    config.initial_infection_ratio = 0.15;
+    Rng sim_rng(1000 + beta);
+    StatusOr<diffusion::DiffusionObservations> observations =
+        diffusion::Simulate(truth, probabilities, config, sim_rng);
+    if (!observations.ok()) {
+      std::cerr << "simulation failed: " << observations.status() << "\n";
+      return 1;
+    }
+    const diffusion::StatusMatrix& statuses = observations->statuses;
+
+    // Timing runs: single-threaded and dense, so the parent_search stage
+    // wall time is the serial cost of one full node loop per arm.
+    std::vector<metrics::AlgorithmEvaluation> arm_rows;
+    std::optional<inference::InferredNetwork> packed_network;
+    uint64_t packed_stage_ns = 0;
+    for (const StrategyArm& arm : kArms) {
+      inference::TendsOptions options;
+      options.reject_degenerate_columns = false;
+      options.max_candidates = max_candidates;
+      options.search.scoring_strategy = arm.strategy;
+      MetricsRegistry run_registry;
+      RunContext context;
+      context.metrics = &run_registry;
+      inference::Tends tends(options);
+      StatusOr<inference::InferredNetwork> network =
+          tends.InferFromStatuses(statuses, context);
+      if (!network.ok()) {
+        std::cerr << arm.name << " inference failed: " << network.status()
+                  << "\n";
+        return 1;
+      }
+      const uint64_t stage_ns = run_registry.StageWallNs("parent_search");
+      const uint64_t cube_nodes =
+          run_registry.CounterValue("tends.parent_search.cube_nodes");
+      const uint64_t packed_nodes =
+          run_registry.CounterValue("tends.parent_search.packed_nodes");
+      const uint64_t build_ns =
+          run_registry.GetHistogram("tends.parent_search.cube_build_ns").sum();
+
+      if (arm.strategy == inference::ScoringStrategy::kPacked) {
+        packed_network = std::move(network).value();
+        packed_stage_ns = stage_ns;
+      } else if (!BitIdentical(*network, *packed_network)) {
+        std::cerr << "equivalence guard failed: " << arm.name << " beta="
+                  << beta << " differs from packed\n";
+        return 1;
+      }
+      const inference::InferredNetwork& result =
+          arm.strategy == inference::ScoringStrategy::kPacked
+              ? *packed_network
+              : *network;
+      const metrics::EdgeMetrics accuracy =
+          metrics::EvaluateEdges(result, truth);
+      std::cout << StrFormat(
+          "beta=%u strategy=%-6s parent_search=%.4fs cube_build=%.4fs "
+          "cube_nodes=%llu packed_nodes=%llu vs_packed=%.2fx f=%.3f\n",
+          beta, arm.name, stage_ns / 1e9, build_ns / 1e9,
+          static_cast<unsigned long long>(cube_nodes),
+          static_cast<unsigned long long>(packed_nodes),
+          stage_ns > 0 ? static_cast<double>(packed_stage_ns) / stage_ns : 0.0,
+          accuracy.f_score);
+
+      metrics::AlgorithmEvaluation evaluation;
+      evaluation.algorithm = StrFormat("TENDS-%s", arm.name);
+      evaluation.metrics = accuracy;
+      evaluation.seconds = stage_ns / 1e9;
+      evaluation.inferred_edges = result.num_edges();
+      arm_rows.push_back(std::move(evaluation));
+
+      if (arm.strategy == inference::ScoringStrategy::kAuto &&
+          b + 1 == betas.size() && stage_ns > 0) {
+        final_speedup = static_cast<double>(packed_stage_ns) / stage_ns;
+      }
+    }
+    rows.emplace_back(StrFormat("beta=%u", beta), std::move(arm_rows));
+
+    // Identity grid at the deepest beta: every arm's on-disk network file
+    // must be byte-equal to the packed baseline's, across {1, 8} threads
+    // and both candidate modes (the acceptance `cmp`).
+    if (b + 1 == betas.size()) {
+      const std::string baseline_path =
+          StrFormat("%s/greedy_scoring_baseline_%u.txt", tmp_dir.c_str(),
+                    beta);
+      Status written =
+          inference::WriteInferredNetworkFile(*packed_network, baseline_path);
+      if (!written.ok()) {
+        std::cerr << "baseline write failed: " << written << "\n";
+        return 1;
+      }
+      const std::string baseline_bytes = FileBytes(baseline_path);
+      int grid_point = 0;
+      for (const StrategyArm& arm : kArms) {
+        for (uint32_t num_threads : {1u, 8u}) {
+          for (inference::CandidateMode mode :
+               {inference::CandidateMode::kDense,
+                inference::CandidateMode::kSparse}) {
+            inference::TendsOptions options;
+            options.reject_degenerate_columns = false;
+            options.max_candidates = max_candidates;
+            options.search.scoring_strategy = arm.strategy;
+            options.num_threads = num_threads;
+            options.candidate_mode = mode;
+            StatusOr<inference::InferredNetwork> network =
+                inference::Tends(options).InferFromStatuses(statuses);
+            if (!network.ok()) {
+              std::cerr << "identity-grid inference failed: "
+                        << network.status() << "\n";
+              return 1;
+            }
+            const std::string path = StrFormat(
+                "%s/greedy_scoring_arm_%d.txt", tmp_dir.c_str(), grid_point);
+            written = inference::WriteInferredNetworkFile(*network, path);
+            if (!written.ok()) {
+              std::cerr << "arm write failed: " << written << "\n";
+              return 1;
+            }
+            if (baseline_bytes.empty() ||
+                FileBytes(path) != baseline_bytes) {
+              std::cerr << StrFormat(
+                  "byte-identity guard failed: %s threads=%u mode=%s "
+                  "beta=%u differs from the packed baseline file\n",
+                  arm.name, num_threads,
+                  mode == inference::CandidateMode::kSparse ? "sparse"
+                                                            : "dense",
+                  beta);
+              return 1;
+            }
+            ++grid_point;
+          }
+        }
+      }
+      std::cout << StrFormat(
+          "byte-identity grid: %d arm files == packed baseline (beta=%u)\n",
+          grid_point, beta);
+    }
+  }
+
+  // The flat-in-beta claim this bench exists to pin: at the deepest beta
+  // the auto planner's parent-search stage is at least 3x cheaper than
+  // packed-only. Fast (smoke) runs sit below the planner crossover and
+  // only validate rows + the identity grid.
+  if (!fast && final_speedup < 3.0) {
+    std::cerr << StrFormat(
+        "speedup guard failed: auto parent search only %.2fx faster than "
+        "packed at the deepest beta (need >= 3x)\n",
+        final_speedup);
+    return 1;
+  }
+
+  benchlib::MaybeWriteBenchJson("Greedy Scoring - Packed vs Cube vs Auto",
+                                rows, &registry);
+  return 0;
+}

@@ -52,8 +52,10 @@ uint64_t FingerprintInference(const diffusion::StatusMatrix& statuses,
   for (uint32_t p = 0; p < statuses.num_processes(); ++p) {
     h.Bytes(statuses.Row(p), statuses.num_nodes());
   }
-  // Every option that can alter the output. num_threads and search.kernel
-  // are byte-identical knobs (proven by the differential suites) and the
+  // Every option that can alter the output. num_threads, search.kernel,
+  // and the scoring-strategy knobs (search.scoring_strategy,
+  // search.max_cube_candidates, search.cube_memory_budget_bytes) are
+  // byte-identical knobs (proven by the differential suites) and the
   // checkpoint config is pure durability policy; none of them invalidate.
   h.U64(options.enable_pruning ? 1 : 0);
   h.F64(options.tau_multiplier);

@@ -623,6 +623,66 @@ CandidateCube::CandidateCube(const diffusion::StatusMatrix& statuses,
   AddRows(statuses, 0, statuses.num_processes());
 }
 
+CandidateCube::CandidateCube(const PackedStatuses& packed, graph::NodeId child,
+                             std::vector<graph::NodeId> candidates)
+    : child_(child), candidates_(std::move(candidates)) {
+  TENDS_CHECK(candidates_.size() <= kMaxCubeCandidates)
+      << "candidate set too large for a cube: " << candidates_.size();
+  TENDS_CHECK(std::is_sorted(candidates_.begin(), candidates_.end()))
+      << "cube candidates must be sorted ascending";
+  const uint32_t k = static_cast<uint32_t>(candidates_.size());
+  const uint32_t beta = packed.num_processes();
+  const uint32_t words = packed.words_per_node();
+  cells_.assign((size_t{1} << k) * 2, 0);
+  // Scatter each candidate's column into per-process codes (set bits only;
+  // pad bits beyond beta are guaranteed zero), OR-ing a live mask of the
+  // processes where any candidate is infected. The tally then walks only
+  // the live positions: every dead position has code 0, so its two cells
+  // fall out of per-word popcounts against the child column. Cells are the
+  // same integer tallies the row-major constructor computes, just
+  // accumulated column-by-column instead of row-by-row.
+  static_assert(kMaxCubeCandidates <= 16, "codes are 16-bit");
+  std::vector<uint16_t> codes(static_cast<size_t>(words) * 64, 0);
+  std::vector<uint64_t> live(words, 0);
+  for (uint32_t b = 0; b < k; ++b) {
+    const uint64_t* col = packed.Column(candidates_[b]);
+    const uint16_t bit = static_cast<uint16_t>(1u << b);
+    for (uint32_t w = 0; w < words; ++w) {
+      uint64_t word = col[w];
+      live[w] |= word;
+      while (word != 0) {
+        codes[w * 64 + static_cast<uint32_t>(std::countr_zero(word))] |= bit;
+        word &= word - 1;
+      }
+    }
+  }
+  const uint64_t* child_col = packed.Column(child_);
+  uint64_t child_total = 0;
+  uint64_t dead_total = 0;
+  uint64_t dead_child1 = 0;
+  for (uint32_t w = 0; w < words; ++w) {
+    const uint64_t valid = (w + 1 == words && (beta % 64) != 0)
+                               ? (uint64_t{1} << (beta % 64)) - 1
+                               : ~uint64_t{0};
+    const uint64_t cw = child_col[w];
+    child_total += static_cast<uint64_t>(std::popcount(cw));
+    const uint64_t dead = ~live[w] & valid;
+    dead_total += static_cast<uint64_t>(std::popcount(dead));
+    dead_child1 += static_cast<uint64_t>(std::popcount(cw & dead));
+    uint64_t l = live[w];
+    while (l != 0) {
+      const uint32_t p = static_cast<uint32_t>(std::countr_zero(l));
+      l &= l - 1;
+      const uint32_t s = static_cast<uint32_t>((cw >> p) & 1);
+      ++cells_[static_cast<size_t>(codes[w * 64 + p]) * 2 + s];
+    }
+  }
+  cells_[0] += static_cast<uint32_t>(dead_total - dead_child1);
+  cells_[1] += static_cast<uint32_t>(dead_child1);
+  child_infected_ = static_cast<uint32_t>(child_total);
+  num_processes_ = beta;
+}
+
 void CandidateCube::AddRows(const diffusion::StatusMatrix& statuses,
                             uint32_t begin_process, uint32_t end_process) {
   TENDS_CHECK(begin_process == num_processes_)
@@ -666,13 +726,16 @@ JointCounts CandidateCube::Count(
       << "cube queried with a parent set that is not a sorted subset of its "
          "candidates";
 
-  // Marginalize out the dropped positions in place, highest first so every
-  // lower position keeps its bit index until its own turn. Removing index
-  // b from a d-dimensional cube maps compressed code c to sources
-  // (high|low) and (high|low|2^b); both are >= c, so ascending writes
-  // never clobber an unread cell. Total work is sum of the shrinking cube
-  // sizes: O(2^|C|), independent of beta.
-  scratch_.assign(cells_.begin(), cells_.end());
+  // Marginalize out the dropped positions, highest first so every lower
+  // position keeps its bit index until its own turn. Removing index b from
+  // a d-dimensional cube maps compressed code c to sources (high|low) and
+  // (high|low|2^b); both are >= c, so ascending writes never clobber an
+  // unread source cell. The first fold reads the full cube straight out of
+  // cells_ into scratch_ (halving it in the process — no 2^|C| copy);
+  // later folds run in scratch_ in place. Total work is the sum of the
+  // shrinking cube sizes: O(2^|C|), independent of beta.
+  scratch_.resize(cells_.size());
+  const uint32_t* source = cells_.data();
   uint32_t d = k;
   for (uint32_t b = k; b-- > 0;) {
     if (keep[b]) continue;
@@ -683,20 +746,23 @@ JointCounts CandidateCube::Count(
       const uint32_t high = (c >> b) << (b + 1);
       const size_t s0 = static_cast<size_t>(high | low) * 2;
       const size_t s1 = s0 + (size_t{2} << b);
-      const uint32_t child0 = scratch_[s0] + scratch_[s1];
-      const uint32_t child1 = scratch_[s0 + 1] + scratch_[s1 + 1];
+      const uint32_t child0 = source[s0] + source[s1];
+      const uint32_t child1 = source[s0 + 1] + source[s1 + 1];
       scratch_[static_cast<size_t>(c) * 2] = child0;
       scratch_[static_cast<size_t>(c) * 2 + 1] = child1;
     }
+    source = scratch_.data();
     --d;
   }
 
+  // When nothing was dropped (m == k) `source` still points at cells_ and
+  // the emit loop reads the cube directly — no staging at all.
   JointCounts counts;
   counts.num_possible = uint64_t{1} << m;
   const uint32_t size = 1u << m;
   for (uint32_t j = 0; j < size; ++j) {
-    const uint32_t child0 = scratch_[static_cast<size_t>(j) * 2];
-    const uint32_t child1 = scratch_[static_cast<size_t>(j) * 2 + 1];
+    const uint32_t child0 = source[static_cast<size_t>(j) * 2];
+    const uint32_t child1 = source[static_cast<size_t>(j) * 2 + 1];
     if (child0 + child1 == 0) continue;
     counts.combo.push_back(j);
     counts.child0_count.push_back(child0);

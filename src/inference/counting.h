@@ -271,6 +271,16 @@ class CandidateCube {
   CandidateCube(const diffusion::StatusMatrix& statuses, graph::NodeId child,
                 std::vector<graph::NodeId> candidates);
 
+  /// Same cube, built from the packed columns instead of the raw matrix:
+  /// per candidate one contiguous word scan scattering its bit into a
+  /// per-process code array, then a single tally pass. Cache-friendly
+  /// where the row-major build strides across n-byte rows, and the cells
+  /// are identical integer tallies, so the two constructors are
+  /// interchangeable (the differential suite compares them directly).
+  /// This is the build the per-node scoring planner uses.
+  CandidateCube(const PackedStatuses& packed, graph::NodeId child,
+                std::vector<graph::NodeId> candidates);
+
   /// Tallies processes [begin_process, end_process) of `statuses` into the
   /// cube. `begin_process` must equal num_processes() — appends are
   /// contiguous and exactly-once, mirroring the session's append contract.

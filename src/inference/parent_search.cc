@@ -44,6 +44,71 @@ void ForEachCombination(
   }
 }
 
+ScoringStrategy PlanScoringStrategy(const ParentSearchOptions& options,
+                                    uint32_t num_processes,
+                                    size_t num_candidates) {
+  // Eligibility gate: the cube must be able to hold the candidate set at
+  // all. An empty candidate set has nothing to accelerate, a set over the
+  // caps cannot be cubed, and the memory budget bounds the per-node cell
+  // allocation (2^|C| codes x 2 child states x 4-byte cells).
+  const uint32_t cap =
+      std::min(options.max_cube_candidates, CandidateCube::kMaxCubeCandidates);
+  const bool eligible =
+      num_candidates > 0 && num_candidates <= cap &&
+      (uint64_t{8} << num_candidates) <= options.cube_memory_budget_bytes;
+  if (options.scoring_strategy == ScoringStrategy::kPacked) {
+    return ScoringStrategy::kPacked;
+  }
+  if (options.scoring_strategy == ScoringStrategy::kCube) {
+    return eligible ? ScoringStrategy::kCube : ScoringStrategy::kPacked;
+  }
+  // kAuto. Under the naive kernel the scan path *is* the product being
+  // exercised (the reference oracle); silently answering from a cube would
+  // defeat --counting_kernel=naive, so auto never substitutes it.
+  if (!eligible || options.kernel == CountingKernel::kNaive) {
+    return ScoringStrategy::kPacked;
+  }
+  // Cost model, in rough "word operations". Evaluation census: the
+  // admission phase scores every combination of size <= eta once, and each
+  // greedy round re-scores every combination against the grown F_i; F_i
+  // gains at least one member per round, so rounds <= min(max_parents,
+  // |C|) + 1 (the +1 is the final no-improvement round). This
+  // overestimates (admission prunes combos, greedy marks subsets used)
+  // but overestimates both arms by the same factor, so the comparison
+  // survives.
+  const uint64_t k = static_cast<uint64_t>(num_candidates);
+  const uint32_t eta =
+      std::min<uint32_t>(options.max_combination_size, num_candidates);
+  uint64_t combos = 0;
+  uint64_t binom = 1;
+  for (uint32_t s = 1; s <= eta; ++s) {
+    binom = binom * (k - s + 1) / s;
+    combos += binom;
+  }
+  const uint64_t rounds =
+      std::min<uint64_t>(options.max_parents, num_candidates) + 1;
+  const uint64_t evals = combos * (1 + rounds);
+  const uint64_t words = (num_processes + 63) / 64;
+  // Packed arm: admission via the popcount recursion (2^|W| word-passes
+  // over the column words), greedy via the incremental counter (one O(β)
+  // byte pass per evaluation — 16 "word ops" per word of 64 processes
+  // reflects its byte-granular inner loop).
+  const uint64_t packed_cost =
+      combos * words * (uint64_t{1} << eta) + combos * rounds * words * 16;
+  // Cube arm: one build — a per-candidate word scan (k+6 word ops per word
+  // covers the scatter's bit-clear loop plus the live/child popcounts) and
+  // a tally touching only the live positions where some candidate is
+  // infected (prior: ~0.3 infection density per column, so ~min(1,
+  // 0.3·|C|)·β live) — then an O(2^|C|) first-fold-from-cells
+  // marginalization per evaluation.
+  const uint64_t live_positions = std::min<uint64_t>(
+      num_processes, static_cast<uint64_t>(num_processes) * (k * 20) / 64);
+  const uint64_t cube_cost = live_positions + words * (k + 6) +
+                             evals * (uint64_t{1} << num_candidates);
+  return cube_cost < packed_cost ? ScoringStrategy::kCube
+                                 : ScoringStrategy::kPacked;
+}
+
 namespace {
 
 // Sorted union of a sorted set and a (small) combination.

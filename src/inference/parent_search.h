@@ -27,6 +27,28 @@ enum class GreedyMode {
   kStaticAlgorithm1,
 };
 
+/// How a node's greedy evaluations obtain their sufficient statistics.
+/// Every strategy emits bit-identical JointCounts, so networks,
+/// diagnostics, and score_evaluations counts are strategy-invariant — the
+/// choice moves cost only (enforced by the scoring-strategy differential
+/// suite). Exposed per run so the bench arms and the differential tests
+/// can force either path.
+enum class ScoringStrategy {
+  /// Default: per node, a cost model (see PlanScoringStrategy) picks
+  /// between the kernel-scan path and building a CandidateCube, from
+  /// (options, beta, |C|) alone — deterministic and thread-invariant.
+  kAuto,
+  /// Always the kernel-scan path (the packed popcount/code kernels, or
+  /// the naive oracle under CountingKernel::kNaive): every evaluation
+  /// rescans O(beta/64) column words.
+  kPacked,
+  /// Build a CandidateCube per node and answer every evaluation by
+  /// O(2^|C|) marginalization, independent of beta. Candidate sets the
+  /// cube cannot hold (|C| over the cap or the memory budget) fall back
+  /// to the kernel-scan path.
+  kCube,
+};
+
 struct ParentSearchOptions {
   /// Maximum size of a candidate parent combination W (the paper's η,
   /// assumed small in its complexity analysis).
@@ -47,7 +69,39 @@ struct ParentSearchOptions {
   /// output (proven by the differential suite); kNaive re-scans the raw
   /// status matrix and exists as the reference oracle / fallback.
   CountingKernel kernel = CountingKernel::kPacked;
+  /// Per-node scoring strategy (byte-identical output for every value;
+  /// like `kernel` it is excluded from the checkpoint fingerprint).
+  ScoringStrategy scoring_strategy = ScoringStrategy::kAuto;
+  /// Largest candidate set a per-node CandidateCube may cover; larger sets
+  /// always take the kernel-scan path. Clamped to
+  /// CandidateCube::kMaxCubeCandidates (cells are 2^|C| * 8 bytes).
+  uint32_t max_cube_candidates = 12;
+  /// Per-node byte budget for a cube's cells; a candidate set whose cube
+  /// would exceed it falls back to the kernel-scan path even under a
+  /// forced kCube. The default admits every set the candidate cap allows
+  /// (2^12 * 8 = 32 KiB) with headroom up to the hard kMaxCubeCandidates.
+  uint64_t cube_memory_budget_bytes = uint64_t{1} << 20;  // 1 MiB
 };
+
+/// The per-node scoring plan: which path `FindParents` for a node with
+/// `num_candidates` pruned candidates over `num_processes` processes
+/// should take. Pure function of its arguments — no matrix contents, no
+/// thread count — so the plan (and therefore the instrumentation split)
+/// is deterministic across runs and thread counts; the *output* is
+/// identical either way.
+///
+/// Forced strategies are honored whenever possible: kPacked always, kCube
+/// unless the candidate set exceeds the cube cap or the memory budget
+/// (then the kernel path is the only correct choice). kAuto compares an
+/// explicit cost model: cube build O(beta * |C|) + per-evaluation O(2^|C|)
+/// marginalizations versus per-evaluation O(beta/64) word scans, with the
+/// evaluation count estimated from the combination census and greedy
+/// round bound. Under CountingKernel::kNaive, kAuto never picks the cube:
+/// the naive kernel exists to be the reference oracle, and silently
+/// substituting cube marginalizations would defeat --counting_kernel=naive.
+ScoringStrategy PlanScoringStrategy(const ParentSearchOptions& options,
+                                    uint32_t num_processes,
+                                    size_t num_candidates);
 
 struct ParentSearchResult {
   /// Inferred parent set F_i, sorted ascending.

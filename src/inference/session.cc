@@ -698,17 +698,41 @@ StatusOr<SessionRun> IncrementalRunner::Refresh(const RunContext& context) {
       TENDS_METRICS_STAGE(metrics, "parent_search");
       if (reuse) {
         clean_count.fetch_add(1, std::memory_order_relaxed);
+        TENDS_METRIC_ADD(metrics, "tends.parent_search.cube_nodes", 1);
         state.cube->AddRows(statuses, state.cube->num_processes(),
                             statuses.num_processes());
         results[i] = FindParents(statuses, i, candidates, options_.search,
                                  context, /*packed=*/nullptr, &*state.cube);
       } else {
+        // A dirty node is a fresh search, so the same per-node planner as
+        // RunTendsNodeLoop decides its scoring path; a planner-built cube
+        // is then retained as the node's append-reuse state (same cells as
+        // the matrix build, so reuse semantics are unchanged).
         dirty_count.fetch_add(1, std::memory_order_relaxed);
-        results[i] = FindParents(statuses, i, candidates, options_.search,
-                                 context, artifacts.packed);
+        const ScoringStrategy plan = PlanScoringStrategy(
+            options_.search, statuses.num_processes(), candidates.size());
+        std::optional<CandidateCube> fresh;
+        if (plan == ScoringStrategy::kCube) {
+          Timer cube_timer;
+          fresh.emplace(*artifacts.packed, i, candidates);
+          TENDS_METRIC_RECORD(metrics, "tends.parent_search.cube_build_ns",
+                              static_cast<uint64_t>(
+                                  cube_timer.ElapsedSeconds() * 1e9));
+          TENDS_METRIC_ADD(metrics, "tends.parent_search.cube_nodes", 1);
+          results[i] = FindParents(statuses, i, candidates, options_.search,
+                                   context, artifacts.packed, &*fresh);
+        } else {
+          TENDS_METRIC_ADD(metrics, "tends.parent_search.packed_nodes", 1);
+          results[i] = FindParents(statuses, i, candidates, options_.search,
+                                   context, artifacts.packed);
+        }
         state.candidates = candidates;
         if (candidates.size() <= runner_options_.max_cube_candidates) {
-          state.cube.emplace(statuses, i, std::move(candidates));
+          if (fresh.has_value()) {
+            state.cube = std::move(fresh);
+          } else {
+            state.cube.emplace(*artifacts.packed, i, std::move(candidates));
+          }
         } else {
           state.cube.reset();
         }

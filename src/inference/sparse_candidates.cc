@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,12 +14,33 @@ namespace tends::inference {
 
 namespace {
 
-/// Cost-model constant of the per-node strategy choice: one merge step is
+/// Cost-model factor of the per-node strategy choice: one merge step is
 /// a scratch increment, one popcount step is an AND+popcount over a word
 /// of 64 statuses. The merge wins while the node's total process-list
 /// length is below this multiple of the full column scan's word count.
 /// Tuning it shifts time only — both strategies produce identical rows.
-constexpr uint64_t kMergeCostFactor = 2;
+///
+/// When the caller does not pin a factor, it is derived from the measured
+/// mean inverted-list occupancy (total set bits / beta — what one merge
+/// step's working set looks like). Short lists keep the c11 scratch
+/// touching few distinct nodes per process, so each increment is
+/// cache-resident and the merge is worth more word scans; occupancy in
+/// the thousands makes every increment a near-random access over an
+/// n-sized array, which is where the n=5000 sparse build was observed
+/// losing to the dense pipeline (EXPERIMENTS.md, "Sparse candidate
+/// generation at scale") — hence the factor steps down as lists grow.
+uint64_t ResolveMergeCostFactor(const SparseCandidateOptions& options,
+                                const InvertedStatusIndex& inverted,
+                                uint32_t beta) {
+  if (options.merge_cost_factor != 0) return options.merge_cost_factor;
+  if (beta == 0) return 2;
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < beta; ++p) total += inverted.Size(p);
+  const uint64_t mean_occupancy = total / beta;
+  if (mean_occupancy <= 256) return 4;
+  if (mean_occupancy <= 4096) return 2;
+  return 1;
+}
 
 /// Per-worker scratch of the merge path: a c11 accumulator indexed by
 /// node id plus the list of touched ids (reset after every row, so the
@@ -114,9 +136,21 @@ CooccurrenceCounts BuildCooccurrenceCounts(const PackedStatuses& packed,
   TENDS_METRICS_STAGE(metrics, "sparse_index");
   TENDS_TRACE_SPAN(metrics, "sparse_index");
 
-  const InvertedStatusIndex inverted(packed);
+  // The inverted-index build is a separate span from the per-row pass so a
+  // trace timeline shows where a slow sparse build actually spends its
+  // time (the instrumentation that attributed the n=5000 anomaly).
+  std::optional<InvertedStatusIndex> inverted_storage;
+  {
+    TENDS_TRACE_SPAN(metrics, "sparse_inverted_index");
+    inverted_storage.emplace(packed);
+  }
+  const InvertedStatusIndex& inverted = *inverted_storage;
   TENDS_GAUGE_SET(metrics, "tends.mem.sparse_inverted_index_bytes",
                   inverted.ByteSize());
+  const uint64_t merge_cost_factor =
+      ResolveMergeCostFactor(options, inverted, packed.num_processes());
+  TENDS_GAUGE_SET(metrics, "tends.counting.sparse_merge_cost_factor",
+                  merge_cost_factor);
 
   // Per-node rows are built independently (deterministic content per row,
   // so the assembled table is byte-identical for any thread count), then
@@ -129,6 +163,7 @@ CooccurrenceCounts BuildCooccurrenceCounts(const PackedStatuses& packed,
   ParallelForOptions parallel;
   parallel.num_threads = options.num_threads;
   parallel.grain = 16;
+  TENDS_TRACE_SPAN(metrics, "sparse_rows");
   ParallelFor(parallel, 0, n, [&](uint32_t i) {
     // The processes node i participates in, from its packed column.
     const uint64_t* col = packed.Column(i);
@@ -143,7 +178,7 @@ CooccurrenceCounts BuildCooccurrenceCounts(const PackedStatuses& packed,
       }
     }
     const uint64_t popcount_cost = static_cast<uint64_t>(n) * words;
-    bool use_merge = merge_cost <= kMergeCostFactor * popcount_cost;
+    bool use_merge = merge_cost <= merge_cost_factor * popcount_cost;
     if (options.strategy == SparseRowStrategy::kMergeOnly) use_merge = true;
     if (options.strategy == SparseRowStrategy::kPopcountOnly) {
       use_merge = false;
@@ -227,6 +262,7 @@ SparseCandidateIndex DeriveSparseCandidateIndex(
     const std::vector<uint32_t>& marginals, MetricsRegistry* metrics) {
   const uint32_t n = cooccurrence.num_nodes();
   const uint32_t beta = cooccurrence.num_processes();
+  TENDS_TRACE_SPAN(metrics, "sparse_derive");
   TENDS_CHECK(marginals.size() == n)
       << "marginals size " << marginals.size() << " != num_nodes " << n;
 

@@ -44,6 +44,15 @@ struct SparseCandidateOptions {
   /// independent; the index is byte-identical for any thread count).
   uint32_t num_threads = 1;
   SparseRowStrategy strategy = SparseRowStrategy::kAuto;
+  /// Cost-model factor of the per-node merge-vs-popcount choice under
+  /// kAuto: the merge path is taken while the node's total inverted-list
+  /// length is at most this multiple of the full column scan's word count.
+  /// 0 (the default) derives the factor from the measured mean
+  /// inverted-list occupancy — long lists make each merge step a random
+  /// access over a large scratch working set, so the factor shrinks as
+  /// occupancy grows (see ResolveMergeCostFactor). Tuning shifts time
+  /// only; both paths produce byte-identical rows.
+  uint64_t merge_cost_factor = 0;
 };
 
 /// Build statistics (aggregated over ordered (i, j) pairs, j != i; every

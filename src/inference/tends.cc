@@ -338,11 +338,30 @@ StatusOr<InferredNetwork> RunTendsNodeLoop(const TendsArtifacts& artifacts,
                           candidates.size());
     }
 
-    // Lines 13-20: greedy parent-set search.
+    // Lines 13-20: greedy parent-set search. The planner decides per node
+    // (from β and |C_i| alone, so the decision is thread- and
+    // order-invariant) whether the greedy evaluations scan the packed
+    // columns or marginalize a contingency cube built here once; both
+    // paths emit bit-identical results, so the strategy moves only where
+    // the time goes (tends.parent_search.cube_nodes / packed_nodes).
     {
       TENDS_METRICS_STAGE(metrics, "parent_search");
-      results[i] = FindParents(statuses, i, candidates, options.search,
-                               context, &packed);
+      const ScoringStrategy plan = PlanScoringStrategy(
+          options.search, statuses.num_processes(), candidates.size());
+      if (plan == ScoringStrategy::kCube) {
+        Timer cube_timer;
+        CandidateCube cube(packed, i, candidates);
+        TENDS_METRIC_RECORD(metrics, "tends.parent_search.cube_build_ns",
+                            static_cast<uint64_t>(
+                                cube_timer.ElapsedSeconds() * 1e9));
+        TENDS_METRIC_ADD(metrics, "tends.parent_search.cube_nodes", 1);
+        results[i] = FindParents(statuses, i, candidates, options.search,
+                                 context, &packed, &cube);
+      } else {
+        TENDS_METRIC_ADD(metrics, "tends.parent_search.packed_nodes", 1);
+        results[i] = FindParents(statuses, i, candidates, options.search,
+                                 context, &packed);
+      }
     }
     TENDS_COUNTER_ADD(evals_counter, results[i].score_evaluations);
     if (results[i].stopped) {

@@ -184,6 +184,102 @@ TEST(PackedCountJointTest, SparsePathAboveDenseCutoffMatchesNaive) {
                   counter.Count({14, 15}));
 }
 
+// --- CandidateCube vs the naive oracle ------------------------------------
+//
+// The cube answers any sorted subset of its candidate set by highest-bit
+// marginalization; every answer must be bit-identical to the naive
+// CountJoint over that subset. The sweep crosses the same 64-bit word
+// boundaries as the kernel tests and every candidate-set size the planner
+// default cap admits, and exercises all three build paths (row-major
+// matrix scan, packed-column scatter, split contiguous AddRows) against
+// each other by exhaustive subset comparison — 2^|C| subsets covers the
+// full cell array, so equality here is cell-array equality.
+
+class CandidateCubeDifferentialTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(CandidateCubeDifferentialTest, AllBuildsMatchNaiveOnEverySubset) {
+  const uint32_t beta = GetParam();
+  const uint32_t n = 16;
+  auto statuses = RandomStatuses(beta, n, 0.4, 3000 + beta);
+  PackedStatuses packed(statuses);
+  for (uint32_t k = 0; k <= 12; ++k) {
+    std::vector<graph::NodeId> candidates;
+    for (uint32_t b = 0; b < k; ++b) candidates.push_back(1 + b);
+
+    CandidateCube from_matrix(statuses, 0, candidates);
+    CandidateCube from_packed(packed, 0, candidates);
+    // Split build: a prefix matrix, then the remaining rows appended in
+    // two contiguous chunks (the incremental session's cube lifecycle).
+    const uint32_t half = beta / 2;
+    diffusion::StatusMatrix prefix(half, n);
+    for (uint32_t p = 0; p < half; ++p) {
+      for (uint32_t v = 0; v < n; ++v) {
+        prefix.Set(p, v, statuses.Get(p, v));
+      }
+    }
+    CandidateCube split(prefix, 0, candidates);
+    const uint32_t mid = half + (beta - half) / 2;
+    split.AddRows(statuses, half, mid);
+    split.AddRows(statuses, mid, beta);
+
+    EXPECT_EQ(from_matrix.num_processes(), beta);
+    EXPECT_EQ(from_packed.num_processes(), beta);
+    EXPECT_EQ(split.num_processes(), beta);
+    EXPECT_EQ(from_packed.child_infected_count(),
+              from_matrix.child_infected_count());
+    EXPECT_EQ(split.child_infected_count(),
+              from_matrix.child_infected_count());
+
+    for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+      std::vector<graph::NodeId> subset;
+      for (uint32_t b = 0; b < k; ++b) {
+        if ((mask >> b) & 1) subset.push_back(candidates[b]);
+      }
+      JointCounts naive = CountJoint(statuses, 0, subset);
+      ExpectIdentical(naive, from_matrix.Count(subset));
+      ExpectIdentical(naive, from_packed.Count(subset));
+      ExpectIdentical(naive, split.Count(subset));
+      ExpectProperties(from_packed.Count(subset), beta,
+                       static_cast<uint32_t>(subset.size()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, CandidateCubeDifferentialTest,
+                         ::testing::Values(63, 64, 65, 127, 128));
+
+TEST(CandidateCubeDifferentialTest, DegenerateColumnsMatchNaive) {
+  // Constant columns pin cube code bits (all-0) or their complements
+  // (all-1); a degenerate *child* pins the per-cell child split. Both
+  // build paths must agree with the oracle cell-for-cell.
+  diffusion::StatusMatrix statuses(70, 6);
+  Rng rng(17);
+  for (uint32_t p = 0; p < 70; ++p) {
+    statuses.Set(p, 0, rng.NextBernoulli(0.5));
+    statuses.Set(p, 1, 0);  // never infected
+    statuses.Set(p, 2, 1);  // always infected
+    statuses.Set(p, 3, rng.NextBernoulli(0.5));
+    statuses.Set(p, 4, 0);  // degenerate child below
+    statuses.Set(p, 5, rng.NextBernoulli(0.2));
+  }
+  PackedStatuses packed(statuses);
+  for (graph::NodeId child : {graph::NodeId{0}, graph::NodeId{4}}) {
+    const std::vector<graph::NodeId> candidates = {1, 2, 3, 5};
+    CandidateCube from_matrix(statuses, child, candidates);
+    CandidateCube from_packed(packed, child, candidates);
+    for (uint32_t mask = 0; mask < 16; ++mask) {
+      std::vector<graph::NodeId> subset;
+      for (uint32_t b = 0; b < 4; ++b) {
+        if ((mask >> b) & 1) subset.push_back(candidates[b]);
+      }
+      JointCounts naive = CountJoint(statuses, child, subset);
+      ExpectIdentical(naive, from_matrix.Count(subset));
+      ExpectIdentical(naive, from_packed.Count(subset));
+    }
+  }
+}
+
 TEST(PackedCountJointTest, AllZeroAndAllOneColumns) {
   // Degenerate columns stress the pad-mask handling: a constant-0 parent
   // pins its combo bit, a constant-1 parent pins the complement.

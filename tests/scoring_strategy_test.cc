@@ -1,0 +1,281 @@
+// The scoring-strategy planner and its output-invariance contract: the
+// per-node choice between packed column scans and a contingency cube is a
+// pure cost decision — networks, diagnostics, and score_evaluations
+// accounting must be bit-identical across strategy x thread count x
+// candidate mode (including the on-disk network file bytes), and the
+// planner itself must be a deterministic function of (options, beta, |C|)
+// with hard fallbacks for sets the cube cannot hold.
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "graph/generators/erdos_renyi.h"
+#include "inference/io.h"
+#include "inference/session.h"
+#include "inference/tends.h"
+#include "test_util.h"
+
+namespace tends::inference {
+namespace {
+
+using ::tends::testing::SimulateUniform;
+
+diffusion::StatusMatrix SimulatedStatuses(uint32_t n, uint32_t beta,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  auto truth = graph::GenerateErdosRenyi(
+      {.num_nodes = n, .edge_probability = 6.0 / n}, rng);
+  if (!truth.ok()) std::abort();
+  return SimulateUniform(*truth, 0.4, beta, 0.15, seed + 1).statuses;
+}
+
+void ExpectBitIdentical(const InferredNetwork& a, const InferredNetwork& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << label;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << label;
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edges()[e].edge.from, b.edges()[e].edge.from) << label;
+    ASSERT_EQ(a.edges()[e].edge.to, b.edges()[e].edge.to) << label;
+    ASSERT_EQ(std::bit_cast<uint64_t>(a.edges()[e].weight),
+              std::bit_cast<uint64_t>(b.edges()[e].weight))
+        << label << " edge " << e;
+  }
+}
+
+// --- planner unit behavior -------------------------------------------------
+
+TEST(ScoringStrategyPlanTest, ForcedPackedIsAlwaysHonored) {
+  ParentSearchOptions options;
+  options.scoring_strategy = ScoringStrategy::kPacked;
+  for (uint32_t beta : {1u, 64u, 16384u}) {
+    for (size_t k : {size_t{0}, size_t{4}, size_t{12}}) {
+      EXPECT_EQ(PlanScoringStrategy(options, beta, k),
+                ScoringStrategy::kPacked)
+          << "beta=" << beta << " k=" << k;
+    }
+  }
+}
+
+TEST(ScoringStrategyPlanTest, ForcedCubeFallsBackWhenIneligible) {
+  ParentSearchOptions options;
+  options.scoring_strategy = ScoringStrategy::kCube;
+  // Eligible set: honored even where the cost model would say packed.
+  EXPECT_EQ(PlanScoringStrategy(options, 64, 4), ScoringStrategy::kCube);
+  // Nothing to cube.
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 0), ScoringStrategy::kPacked);
+  // Over the candidate cap.
+  EXPECT_EQ(PlanScoringStrategy(options, 16384,
+                                options.max_cube_candidates + 1),
+            ScoringStrategy::kPacked);
+  // Over the memory budget (2^8 codes x 8 bytes = 2 KiB > 1 KiB).
+  options.cube_memory_budget_bytes = 1024;
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 8), ScoringStrategy::kPacked);
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 7), ScoringStrategy::kCube);
+}
+
+TEST(ScoringStrategyPlanTest, CandidateCapClampsToCubeHardLimit) {
+  ParentSearchOptions options;
+  options.scoring_strategy = ScoringStrategy::kCube;
+  options.max_cube_candidates = 64;  // far past what a cube can represent
+  EXPECT_EQ(PlanScoringStrategy(options, 1024, CandidateCube::kMaxCubeCandidates),
+            ScoringStrategy::kCube);
+  EXPECT_EQ(
+      PlanScoringStrategy(options, 1024, CandidateCube::kMaxCubeCandidates + 1),
+      ScoringStrategy::kPacked);
+}
+
+TEST(ScoringStrategyPlanTest, AutoNeverSubstitutesTheNaiveOracle) {
+  ParentSearchOptions options;
+  options.kernel = CountingKernel::kNaive;
+  // Heavily cube-favored point; auto must still keep the oracle in use.
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 8), ScoringStrategy::kPacked);
+  // A forced cube is an explicit override and stays honored.
+  options.scoring_strategy = ScoringStrategy::kCube;
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 8), ScoringStrategy::kCube);
+}
+
+TEST(ScoringStrategyPlanTest, AutoFollowsTheCostModelAcrossBeta) {
+  ParentSearchOptions options;
+  // The acceptance point: large beta, capped candidates — cube must win.
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 8), ScoringStrategy::kCube);
+  // Tiny beta: one or two words per scan, the cube build cannot pay off.
+  EXPECT_EQ(PlanScoringStrategy(options, 64, 8), ScoringStrategy::kPacked);
+  // Large candidate sets make the 2^|C| fold dominate even at large beta.
+  EXPECT_EQ(PlanScoringStrategy(options, 16384, 12), ScoringStrategy::kPacked);
+}
+
+// --- output invariance -----------------------------------------------------
+
+struct StrategyArm {
+  ScoringStrategy strategy;
+  const char* name;
+};
+
+constexpr StrategyArm kArms[] = {
+    {ScoringStrategy::kAuto, "auto"},
+    {ScoringStrategy::kPacked, "packed"},
+    {ScoringStrategy::kCube, "cube"},
+};
+
+TEST(ScoringStrategyDifferentialTest,
+     NetworksIdenticalAcrossStrategyThreadsAndMode) {
+  const diffusion::StatusMatrix statuses = SimulatedStatuses(90, 150, 71);
+
+  TendsOptions baseline_options;
+  baseline_options.reject_degenerate_columns = false;
+  baseline_options.max_candidates = 8;
+  baseline_options.search.scoring_strategy = ScoringStrategy::kPacked;
+  Tends baseline(baseline_options);
+  auto expected = baseline.InferFromStatuses(statuses);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  for (const StrategyArm& arm : kArms) {
+    for (uint32_t num_threads : {1u, 8u}) {
+      for (CandidateMode mode :
+           {CandidateMode::kDense, CandidateMode::kSparse}) {
+        TendsOptions options = baseline_options;
+        options.search.scoring_strategy = arm.strategy;
+        options.num_threads = num_threads;
+        options.candidate_mode = mode;
+        std::ostringstream label;
+        label << arm.name << " threads=" << num_threads << " mode="
+              << (mode == CandidateMode::kDense ? "dense" : "sparse");
+        Tends tends(options);
+        auto result = tends.InferFromStatuses(statuses);
+        ASSERT_TRUE(result.ok()) << label.str() << ": " << result.status();
+        ExpectBitIdentical(*expected, *result, label.str());
+        // Same accounting semantics: an evaluation is an evaluation no
+        // matter which structure answered it.
+        EXPECT_EQ(baseline.diagnostics().total_score_evaluations,
+                  tends.diagnostics().total_score_evaluations)
+            << label.str();
+        EXPECT_EQ(std::bit_cast<uint64_t>(baseline.diagnostics().network_score),
+                  std::bit_cast<uint64_t>(tends.diagnostics().network_score))
+            << label.str();
+      }
+    }
+  }
+}
+
+TEST(ScoringStrategyDifferentialTest, EveryNodeIsAttributedToExactlyOnePath) {
+  const diffusion::StatusMatrix statuses = SimulatedStatuses(60, 130, 5);
+  for (const StrategyArm& arm : kArms) {
+    MetricsRegistry registry;
+    RunContext context;
+    context.metrics = &registry;
+    TendsOptions options;
+    options.reject_degenerate_columns = false;
+    options.max_candidates = 6;
+    options.search.scoring_strategy = arm.strategy;
+    Tends tends(options);
+    ASSERT_TRUE(tends.InferFromStatuses(statuses, context).ok()) << arm.name;
+    const uint64_t cube_nodes =
+        registry.CounterValue("tends.parent_search.cube_nodes");
+    const uint64_t packed_nodes =
+        registry.CounterValue("tends.parent_search.packed_nodes");
+    EXPECT_EQ(cube_nodes + packed_nodes, statuses.num_nodes()) << arm.name;
+    if (arm.strategy == ScoringStrategy::kPacked) {
+      EXPECT_EQ(cube_nodes, 0u);
+    }
+    if (arm.strategy == ScoringStrategy::kCube) {
+      // Only candidate-less nodes may fall back under a forced cube.
+      EXPECT_GT(cube_nodes, 0u);
+    }
+  }
+}
+
+TEST(ScoringStrategyDifferentialTest, OnDiskFilesByteEqualAcrossStrategies) {
+  const diffusion::StatusMatrix statuses = SimulatedStatuses(250, 128, 23);
+  const std::string dir = ::testing::TempDir();
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  options.max_candidates = 8;
+  options.search.scoring_strategy = ScoringStrategy::kPacked;
+  auto baseline = Tends(options).InferFromStatuses(statuses);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  const std::string baseline_path = dir + "/scoring_baseline.txt";
+  ASSERT_TRUE(WriteInferredNetworkFile(*baseline, baseline_path).ok());
+  const std::string baseline_bytes = file_bytes(baseline_path);
+  ASSERT_FALSE(baseline_bytes.empty());
+
+  int arm_index = 0;
+  for (const StrategyArm& arm : kArms) {
+    for (uint32_t num_threads : {1u, 8u}) {
+      for (CandidateMode mode :
+           {CandidateMode::kDense, CandidateMode::kSparse}) {
+        TendsOptions run_options = options;
+        run_options.search.scoring_strategy = arm.strategy;
+        run_options.num_threads = num_threads;
+        run_options.candidate_mode = mode;
+        auto network = Tends(run_options).InferFromStatuses(statuses);
+        ASSERT_TRUE(network.ok()) << network.status();
+        const std::string path =
+            dir + "/scoring_arm_" + std::to_string(arm_index++) + ".txt";
+        ASSERT_TRUE(WriteInferredNetworkFile(*network, path).ok());
+        EXPECT_EQ(baseline_bytes, file_bytes(path))
+            << arm.name << " threads=" << num_threads << " mode="
+            << (mode == CandidateMode::kDense ? "dense" : "sparse");
+      }
+    }
+  }
+}
+
+TEST(ScoringStrategyDifferentialTest, IncrementalRefreshInvariantToStrategy) {
+  // The dirty-node path of IncrementalRunner::Refresh routes through the
+  // same planner; appended refreshes must stay byte-identical to a fresh
+  // packed inference over the concatenated stream for every strategy.
+  const diffusion::StatusMatrix full = SimulatedStatuses(50, 160, 99);
+  const uint32_t n = full.num_nodes();
+  const uint32_t base_rows = 100;
+  diffusion::StatusMatrix base(base_rows, n);
+  diffusion::StatusMatrix chunk(full.num_processes() - base_rows, n);
+  for (uint32_t p = 0; p < full.num_processes(); ++p) {
+    for (uint32_t v = 0; v < n; ++v) {
+      if (p < base_rows) {
+        base.Set(p, v, full.Get(p, v));
+      } else {
+        chunk.Set(p - base_rows, v, full.Get(p, v));
+      }
+    }
+  }
+
+  TendsOptions options;
+  options.reject_degenerate_columns = false;
+  options.max_candidates = 6;
+  Tends fresh(options);
+  auto expected = fresh.InferFromStatuses(full);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  for (const StrategyArm& arm : kArms) {
+    TendsOptions run_options = options;
+    run_options.search.scoring_strategy = arm.strategy;
+    InferenceSession session(base);
+    IncrementalRunner runner(session, run_options, {});
+    ASSERT_TRUE(runner.Refresh().ok()) << arm.name;
+    ASSERT_TRUE(session.AppendStatuses(chunk).ok()) << arm.name;
+    auto refreshed = runner.Refresh();
+    ASSERT_TRUE(refreshed.ok()) << arm.name << ": " << refreshed.status();
+    ExpectBitIdentical(*expected, refreshed->network, arm.name);
+    EXPECT_EQ(fresh.diagnostics().total_score_evaluations,
+              refreshed->diagnostics.total_score_evaluations)
+        << arm.name;
+  }
+}
+
+}  // namespace
+}  // namespace tends::inference

@@ -70,6 +70,9 @@ tends.mem.sparse_inverted_index_bytes
 tends.mem.checkpoint_buffer_bytes
 tends.counting.pairs_visited
 tends.counting.pairs_skipped
+tends.parent_search.cube_nodes
+tends.parent_search.packed_nodes
+tends.parent_search.cube_build_ns
 tends.trace.dropped_spans
 "
 for name in $required_names; do

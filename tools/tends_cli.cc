@@ -125,6 +125,38 @@ Status ParseCandidateModeFlag(const std::string& mode,
   return Status::OK();
 }
 
+/// Parses the shared `--scoring_strategy` spelling of infer/sweep/append.
+Status ParseScoringStrategyFlag(const std::string& strategy,
+                                inference::ScoringStrategy* out) {
+  if (strategy == "auto") {
+    *out = inference::ScoringStrategy::kAuto;
+  } else if (strategy == "packed") {
+    *out = inference::ScoringStrategy::kPacked;
+  } else if (strategy == "cube") {
+    *out = inference::ScoringStrategy::kCube;
+  } else {
+    return Status::InvalidArgument(
+        "--scoring_strategy must be 'auto', 'packed' or 'cube', got '" +
+        strategy + "'");
+  }
+  return Status::OK();
+}
+
+/// Registers the shared scoring-strategy flags of infer/sweep/append.
+void AddScoringStrategyFlags(FlagParser& parser, std::string* strategy,
+                             uint32_t* max_cube_candidates) {
+  parser.AddString("scoring_strategy", strategy,
+                   "tends: how greedy scores obtain their statistics — "
+                   "'auto' (per-node cost model, default), 'packed' (column "
+                   "word scans), 'cube' (per-node contingency cube; falls "
+                   "back to packed when the candidate set exceeds the cube "
+                   "caps); all produce byte-identical networks");
+  parser.AddUint32("max_cube_candidates", max_cube_candidates,
+                   "tends: largest candidate set a per-node contingency "
+                   "cube may cover (cube cells are 2^|C| x 2 counters); "
+                   "larger sets use packed scans");
+}
+
 /// Parses the shared `--model` spelling of simulate/experiment.
 Status ParseModelFlag(const std::string& model,
                       diffusion::DiffusionModel* out) {
@@ -355,6 +387,7 @@ int RunInfer(int argc, const char* const* argv) {
   std::string trace_out;
   std::string counting_kernel = "packed";
   std::string candidate_mode = "dense";
+  std::string scoring_strategy = "auto";
   std::string checkpoint_dir;
   int64_t num_edges = 0;
   int64_t deadline_ms = 0;
@@ -368,6 +401,7 @@ int RunInfer(int argc, const char* const* argv) {
   bool resume = false;
   uint32_t em_iterations = 4;
   uint32_t max_candidates = 16;
+  uint32_t max_cube_candidates = 12;
   uint32_t checkpoint_every_nodes = 64;
   uint32_t threads = 1;
 
@@ -418,6 +452,7 @@ int RunInfer(int argc, const char* const* argv) {
   parser.AddUint32("max_candidates", &max_candidates,
                    "tends: cap on a node's candidate-parent set (highest-IMI "
                    "candidates kept when more pass the threshold)");
+  AddScoringStrategyFlags(parser, &scoring_strategy, &max_cube_candidates);
   parser.AddBool("allow_degenerate_columns", &allow_degenerate_columns,
                  "tends: accept nodes that are infected in all or none of "
                  "the processes (their parent sets are unidentifiable and "
@@ -491,7 +526,9 @@ int RunInfer(int argc, const char* const* argv) {
       {"traditional_mi", traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
       {"candidate_mode", candidate_mode},
+      {"scoring_strategy", scoring_strategy},
       {"max_candidates", StrFormat("%u", max_candidates)},
+      {"max_cube_candidates", StrFormat("%u", max_cube_candidates)},
       {"allow_degenerate_columns", allow_degenerate_columns ? "true" : "false"},
       {"checkpoint_dir", checkpoint_dir},
       {"resume", resume ? "true" : "false"},
@@ -564,6 +601,10 @@ int RunInfer(int argc, const char* const* argv) {
     options.search.kernel = counting_kernel == "naive"
                                 ? inference::CountingKernel::kNaive
                                 : inference::CountingKernel::kPacked;
+    status = ParseScoringStrategyFlag(scoring_strategy,
+                                      &options.search.scoring_strategy);
+    if (!status.ok()) return FailWith(status);
+    options.search.max_cube_candidates = max_cube_candidates;
     options.checkpoint.directory = checkpoint_dir;
     options.checkpoint.resume = resume;
     options.checkpoint.every_nodes = checkpoint_every_nodes;
@@ -786,6 +827,7 @@ int RunSweep(int argc, const char* const* argv) {
   std::string trace_out;
   std::string counting_kernel = "packed";
   std::string candidate_mode = "dense";
+  std::string scoring_strategy = "auto";
   std::string multipliers_csv = "0.4,0.6,0.8,1.0,1.2,1.6,2.0";
   std::string checkpoint_dir;
   bool include_traditional_mi = false;
@@ -793,6 +835,7 @@ int RunSweep(int argc, const char* const* argv) {
   int64_t deadline_ms = 0;
   int64_t checkpoint_every_ms = 2000;
   uint32_t checkpoint_every_nodes = 64;
+  uint32_t max_cube_candidates = 12;
   uint32_t threads = 1;
   uint32_t run_parallelism = 1;
 
@@ -834,6 +877,7 @@ int RunSweep(int argc, const char* const* argv) {
                    "candidate generation for every run: 'dense' or 'sparse' "
                    "(byte-identical results; sparse excludes "
                    "--include_traditional_mi)");
+  AddScoringStrategyFlags(parser, &scoring_strategy, &max_cube_candidates);
   parser.AddString("checkpoint_dir", &checkpoint_dir,
                    "durably checkpoint each run's completed per-node "
                    "results into this directory (one run<index>.checkpoint "
@@ -876,6 +920,9 @@ int RunSweep(int argc, const char* const* argv) {
   }
   inference::CandidateMode parsed_candidate_mode;
   status = ParseCandidateModeFlag(candidate_mode, &parsed_candidate_mode);
+  if (!status.ok()) return FailWith(status);
+  inference::ScoringStrategy parsed_scoring_strategy;
+  status = ParseScoringStrategyFlag(scoring_strategy, &parsed_scoring_strategy);
   if (!status.ok()) return FailWith(status);
   if (parsed_candidate_mode == inference::CandidateMode::kSparse &&
       include_traditional_mi) {
@@ -936,6 +983,8 @@ int RunSweep(int argc, const char* const* argv) {
       options.search.kernel = counting_kernel == "naive"
                                   ? inference::CountingKernel::kNaive
                                   : inference::CountingKernel::kPacked;
+      options.search.scoring_strategy = parsed_scoring_strategy;
+      options.search.max_cube_candidates = max_cube_candidates;
       if (!checkpoint_dir.empty()) {
         options.checkpoint.directory = checkpoint_dir;
         options.checkpoint.stem = StrFormat("run%zu", runs.size());
@@ -996,6 +1045,8 @@ int RunSweep(int argc, const char* const* argv) {
       {"include_traditional_mi", include_traditional_mi ? "true" : "false"},
       {"counting_kernel", counting_kernel},
       {"candidate_mode", candidate_mode},
+      {"scoring_strategy", scoring_strategy},
+      {"max_cube_candidates", StrFormat("%u", max_cube_candidates)},
       {"checkpoint_dir", checkpoint_dir},
       {"resume", resume ? "true" : "false"},
       {"deadline_ms", StrFormat("%lld", static_cast<long long>(deadline_ms))},
@@ -1022,6 +1073,7 @@ int RunAppend(int argc, const char* const* argv) {
   std::string trace_out;
   std::string counting_kernel = "packed";
   std::string candidate_mode = "dense";
+  std::string scoring_strategy = "auto";
   bool watch = false;
   bool allow_degenerate_columns = false;
   double tau_multiplier = 1.0;
@@ -1064,10 +1116,16 @@ int RunAppend(int argc, const char* const* argv) {
                    "delta-update exactly; byte-identical networks)");
   parser.AddUint32("max_candidates", &max_candidates,
                    "cap on a node's candidate-parent set");
+  parser.AddString("scoring_strategy", &scoring_strategy,
+                   "how dirty-node greedy scores obtain their statistics: "
+                   "'auto' (per-node cost model, default), 'packed', or "
+                   "'cube'; all produce byte-identical networks");
   parser.AddUint32("max_cube_candidates", &max_cube_candidates,
-                   "clean-node fast path: candidate sets up to this size "
-                   "keep per-node sufficient-statistics cubes between "
-                   "refreshes (2^k * 8 bytes per node)");
+                   "largest candidate set covered by a per-node "
+                   "sufficient-statistics cube (2^k * 8 bytes per node) — "
+                   "both the clean-node cubes kept between refreshes and "
+                   "the dirty-node scoring planner's cubes (the same cap "
+                   "infer/sweep expose)");
   parser.AddBool("allow_degenerate_columns", &allow_degenerate_columns,
                  "accept all-0/all-1 status columns (their parent sets come "
                  "back empty) instead of rejecting the input; the normal "
@@ -1107,6 +1165,12 @@ int RunAppend(int argc, const char* const* argv) {
   options.search.kernel = counting_kernel == "naive"
                               ? inference::CountingKernel::kNaive
                               : inference::CountingKernel::kPacked;
+  status = ParseScoringStrategyFlag(scoring_strategy,
+                                    &options.search.scoring_strategy);
+  if (!status.ok()) return FailWith(status);
+  // One cap for both cube uses: the dirty-node scoring planner and the
+  // clean-node retention below.
+  options.search.max_cube_candidates = max_cube_candidates;
 
   std::vector<std::string> chunk_paths;
   if (!chunks_csv.empty()) {
@@ -1220,6 +1284,7 @@ int RunAppend(int argc, const char* const* argv) {
       {"tau_multiplier", StrFormat("%g", tau_multiplier)},
       {"counting_kernel", counting_kernel},
       {"candidate_mode", candidate_mode},
+      {"scoring_strategy", scoring_strategy},
       {"max_candidates", StrFormat("%u", max_candidates)},
       {"max_cube_candidates", StrFormat("%u", max_cube_candidates)},
       {"threads", StrFormat("%u", threads)},
